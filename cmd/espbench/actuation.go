@@ -1,0 +1,20 @@
+package main
+
+import (
+	"fmt"
+
+	"esp/internal/exp"
+)
+
+func runActuation(bool) error {
+	fmt.Println("== actuation: §5.3.1 receptor actuation (extension) ==")
+	vs, err := exp.RunActuation(exp.DefaultActuationConfig())
+	if err != nil {
+		return err
+	}
+	for _, v := range vs {
+		fmt.Printf("   %-28s smooth yield %5.1f%%   samples/mote/hour %5.1f   transitions %d\n",
+			v.Name, 100*v.SmoothYield, v.SamplesPerMoteHour, v.Transitions)
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"esp/internal/exp"
+)
+
+// TestRunnersSmoke exercises the quick experiment runners end to end
+// (the long ones are covered by internal/exp tests and the benchmarks).
+func TestRunnersSmoke(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func(bool) error
+	}{
+		{"fig9", runFig9},
+		{"model", runModel},
+		{"robust", runRobust},
+	} {
+		if err := tc.fn(false); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+func TestFig9TraceMode(t *testing.T) {
+	if err := runFig9(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig7Short(t *testing.T) {
+	// Drive the fig7 runner's code path on a shortened scenario by
+	// calling the exp layer directly with the runner's config shape.
+	cfg := exp.DefaultOutlierConfig()
+	cfg.Duration = 12 * time.Hour
+	cfg.Sim.FailStart = 3 * time.Hour
+	if _, err := exp.RunOutlier(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

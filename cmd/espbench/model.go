@@ -1,0 +1,23 @@
+package main
+
+import (
+	"fmt"
+
+	"esp/internal/exp"
+)
+
+func runModel(bool) error {
+	fmt.Println("== model: §6.3.1 BBQ-style model-based cleaning (extension) ==")
+	cfg := exp.DefaultModelOutlierConfig()
+	r, err := exp.RunModelOutlier(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   temp~voltage model first rejects the failing sensor at %v (failure onset %v)\n",
+		r.ModelFirstDrop, cfg.FailStart)
+	fmt.Printf("   a naive temp<%.0fC Point filter would first fire at    %v\n",
+		cfg.PointLimit, r.ThresholdFirstDrop)
+	fmt.Printf("   post-failure readings rejected %.1f%%, pre-failure false positives %.2f%%\n",
+		100*r.PostFailureRejected, 100*r.PreFailureRejected)
+	return nil
+}

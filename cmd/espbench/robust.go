@@ -1,0 +1,20 @@
+package main
+
+import (
+	"fmt"
+
+	"esp/internal/exp"
+)
+
+func runRobust(bool) error {
+	fmt.Println("== robust: Merge-stage estimator ablation (extension) ==")
+	rs, err := exp.RunRobustMerge(exp.DefaultOutlierConfig())
+	if err != nil {
+		return err
+	}
+	for _, r := range rs {
+		fmt.Printf("   %-28s within 1C %5.1f%%   max err %6.1fC   coverage %5.1f%%\n",
+			r.Name, 100*r.Within1C, r.MaxErr, 100*r.Coverage)
+	}
+	return nil
+}

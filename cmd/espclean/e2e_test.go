@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/stream"
+	"esp/internal/trace"
+)
+
+// TestEndToEndCleaning writes a small raw RFID trace, runs the paper's
+// Point + Smooth + Arbitrate queries over it, and checks the cleaned
+// output attributes the tag to the stronger shelf.
+func TestEndToEndCleaning(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "raw.csv")
+
+	schema := stream.MustSchema(
+		stream.Field{Name: "tag_id", Kind: stream.KindString},
+		stream.Field{Name: "checksum_ok", Kind: stream.KindBool},
+	)
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(f, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(sec float64) time.Time {
+		return time.Unix(0, int64(sec*float64(time.Second))).UTC()
+	}
+	// reader0 reads tag X three times (one corrupt), reader1 once.
+	recs := []trace.Record{
+		{Receptor: "reader0", Tuple: stream.NewTuple(at(0.2), stream.String("X"), stream.Bool(true))},
+		{Receptor: "reader0", Tuple: stream.NewTuple(at(0.4), stream.String("X"), stream.Bool(false))},
+		{Receptor: "reader0", Tuple: stream.NewTuple(at(0.6), stream.String("X"), stream.Bool(true))},
+		{Receptor: "reader1", Tuple: stream.NewTuple(at(0.5), stream.String("X"), stream.Bool(true))},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out bytes.Buffer
+	err = run(&out, in,
+		"tag_id:string,checksum_ok:bool",
+		receptor.TypeRFID,
+		"shelf0=reader0;shelf1=reader1",
+		time.Second,
+		"SELECT tag_id FROM point_input WHERE checksum_ok = TRUE",
+		"SELECT tag_id, count(*) AS n FROM smooth_input [Range By '2 sec'] GROUP BY tag_id",
+		"",
+		`SELECT spatial_granule, tag_id FROM arb ai1 [Range By 'NOW']
+		 GROUP BY spatial_granule, tag_id
+		 HAVING sum(n) >= ALL(SELECT sum(n) FROM arb ai2 [Range By 'NOW']
+		                      WHERE ai1.tag_id = ai2.tag_id GROUP BY spatial_granule)`,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "shelf0,X") {
+		t.Errorf("cleaned output missing shelf0 attribution:\n%s", text)
+	}
+	if strings.Contains(text, "shelf1,X") {
+		t.Errorf("tag attributed to both shelves:\n%s", text)
+	}
+}
+
+// TestEndToEndConfigFile cleans the same trace via a JSON deployment
+// config instead of per-stage flags.
+func TestEndToEndConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "raw.csv")
+	content := "receptor_id,ts,tag_id,checksum_ok\n" +
+		"reader0,1970-01-01T00:00:00.2Z,X,true\n" +
+		"reader0,1970-01-01T00:00:00.4Z,X,true\n" +
+		"reader1,1970-01-01T00:00:00.5Z,X,true\n"
+	if err := os.WriteFile(in, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := filepath.Join(dir, "deploy.json")
+	cfgJSON := `{
+	  "epoch": "1s",
+	  "groups": {
+	    "shelf0": {"type": "rfid", "members": ["reader0"]},
+	    "shelf1": {"type": "rfid", "members": ["reader1"]}
+	  },
+	  "pipelines": {
+	    "rfid": {
+	      "point": "SELECT tag_id FROM point_input WHERE checksum_ok = TRUE",
+	      "smooth": "SELECT tag_id, count(*) AS n FROM smooth_input [Range By '2 sec'] GROUP BY tag_id",
+	      "arbitrate": "SELECT spatial_granule, tag_id FROM arb ai1 [Range By 'NOW'] GROUP BY spatial_granule, tag_id HAVING sum(n) >= ALL(SELECT sum(n) FROM arb ai2 [Range By 'NOW'] WHERE ai1.tag_id = ai2.tag_id GROUP BY spatial_granule)"
+	    }
+	  }
+	}`
+	if err := os.WriteFile(cfg, []byte(cfgJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := runWithConfig(&out, in, "tag_id:string,checksum_ok:bool", receptor.TypeRFID, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "shelf0,X") {
+		t.Errorf("config-driven cleaning output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsEmptyTrace(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty.csv")
+	if err := os.WriteFile(in, []byte("receptor_id,ts,tag_id,checksum_ok\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run(&out, in, "tag_id:string,checksum_ok:bool", receptor.TypeRFID,
+		"shelf0=reader0", time.Second, "", "", "", "")
+	if err == nil {
+		t.Error("empty trace: want error")
+	}
+}
+
+func TestRunRejectsBadQuery(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "raw.csv")
+	content := "receptor_id,ts,tag_id,checksum_ok\nreader0,1970-01-01T00:00:00.2Z,X,true\n"
+	if err := os.WriteFile(in, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run(&out, in, "tag_id:string,checksum_ok:bool", receptor.TypeRFID,
+		"shelf0=reader0", time.Second, "NOT A QUERY", "", "", "")
+	if err == nil {
+		t.Error("bad stage query: want error")
+	}
+}

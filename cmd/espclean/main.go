@@ -1,0 +1,222 @@
+// Command espclean runs a configured ESP cleaning pipeline over a raw
+// receptor trace (CSV, as written by espsim) and emits the cleaned stream
+// as CSV on stdout. Stages are given as CQL queries — the paper's
+// deployment story: configure a pipeline declaratively, point it at the
+// receptors, get clean data.
+//
+// Example — clean a shelf trace with the paper's Query 2 + Query 3:
+//
+//	espsim -scenario shelf > raw.csv
+//	espclean -in raw.csv \
+//	  -schema 'tag_id:string,checksum_ok:bool' -type rfid \
+//	  -groups 'shelf0=reader0;shelf1=reader1' -epoch 200ms \
+//	  -point  'SELECT tag_id FROM point_input WHERE checksum_ok = TRUE' \
+//	  -smooth 'SELECT tag_id, count(*) AS n FROM smooth_input [Range By ''5 sec''] GROUP BY tag_id' \
+//	  -arbitrate "SELECT spatial_granule, tag_id FROM arb ai1 [Range By 'NOW'] GROUP BY spatial_granule, tag_id HAVING sum(n) >= ALL(SELECT sum(n) FROM arb ai2 [Range By 'NOW'] WHERE ai1.tag_id = ai2.tag_id GROUP BY spatial_granule)"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"esp/internal/core"
+	"esp/internal/receptor"
+	"esp/internal/stream"
+	"esp/internal/trace"
+)
+
+func main() {
+	in := flag.String("in", "", "input trace CSV (required)")
+	schemaSpec := flag.String("schema", "", "trace schema, e.g. 'tag_id:string,checksum_ok:bool' (required)")
+	typName := flag.String("type", "rfid", "receptor type label")
+	groupSpec := flag.String("groups", "", "proximity groups, e.g. 'shelf0=reader0;shelf1=reader1,reader2' (required)")
+	epoch := flag.Duration("epoch", time.Second, "processing epoch")
+	pointQ := flag.String("point", "", "Point stage CQL (optional)")
+	smoothQ := flag.String("smooth", "", "Smooth stage CQL (optional)")
+	mergeQ := flag.String("merge", "", "Merge stage CQL (optional)")
+	arbQ := flag.String("arbitrate", "", "Arbitrate stage CQL (optional)")
+	configPath := flag.String("config", "", "deployment config JSON (alternative to -groups/-epoch/stage flags)")
+	flag.Parse()
+
+	var err error
+	if *configPath != "" {
+		err = runWithConfig(os.Stdout, *in, *schemaSpec, receptor.Type(*typName), *configPath)
+	} else {
+		err = run(os.Stdout, *in, *schemaSpec, receptor.Type(*typName), *groupSpec, *epoch, *pointQ, *smoothQ, *mergeQ, *arbQ)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "espclean:", err)
+		os.Exit(1)
+	}
+}
+
+// runWithConfig cleans a trace using a JSON deployment config: the
+// config supplies the epoch, proximity groups, tables, and stage queries;
+// the trace supplies the receptors.
+func runWithConfig(out io.Writer, in, schemaSpec string, typ receptor.Type, configPath string) error {
+	if in == "" || schemaSpec == "" {
+		return fmt.Errorf("-in and -schema are required (see -h)")
+	}
+	data, err := os.ReadFile(configPath)
+	if err != nil {
+		return err
+	}
+	dep, err := core.ParseDeploymentConfig(data)
+	if err != nil {
+		return err
+	}
+	schema, err := parseSchema(schemaSpec)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := trace.Read(f, schema)
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("trace %s is empty", in)
+	}
+	dep.Receptors = trace.Replays(records, typ, schema)
+	return cleanTrace(out, dep, typ, records)
+}
+
+func run(out io.Writer, in, schemaSpec string, typ receptor.Type, groupSpec string, epoch time.Duration,
+	pointQ, smoothQ, mergeQ, arbQ string) error {
+	if in == "" || schemaSpec == "" || groupSpec == "" {
+		return fmt.Errorf("-in, -schema and -groups are required (see -h)")
+	}
+	schema, err := parseSchema(schemaSpec)
+	if err != nil {
+		return err
+	}
+	groups, err := parseGroups(groupSpec, typ)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := trace.Read(f, schema)
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("trace %s is empty", in)
+	}
+	recs := trace.Replays(records, typ, schema)
+
+	pl := &core.Pipeline{Type: typ}
+	if pointQ != "" {
+		pl.Point = core.CQLStage{Query: pointQ}
+	}
+	if smoothQ != "" {
+		pl.Smooth = core.CQLStage{Query: smoothQ}
+	}
+	if mergeQ != "" {
+		pl.Merge = core.CQLStage{Query: mergeQ}
+	}
+	if arbQ != "" {
+		pl.Arbitrate = core.CQLStage{Query: arbQ}
+	}
+	dep := &core.Deployment{
+		Epoch:     epoch,
+		Receptors: recs,
+		Groups:    groups,
+		Pipelines: map[receptor.Type]*core.Pipeline{typ: pl},
+	}
+	return cleanTrace(out, dep, typ, records)
+}
+
+// cleanTrace runs the deployment over the trace's time span and writes
+// the cleaned stream as CSV.
+func cleanTrace(out io.Writer, dep *core.Deployment, typ receptor.Type, records []trace.Record) error {
+	p, err := core.NewProcessor(dep)
+	if err != nil {
+		return err
+	}
+	outSchema, _ := p.TypeSchema(typ)
+	w, err := trace.NewWriter(out, outSchema)
+	if err != nil {
+		return err
+	}
+	var writeErr error
+	p.OnType(typ, func(tu stream.Tuple) {
+		if writeErr == nil {
+			writeErr = w.Write(trace.Record{Receptor: "esp", Tuple: tu})
+		}
+	})
+
+	epoch := dep.Epoch
+	start := records[0].Tuple.Ts.Add(-epoch).Truncate(epoch)
+	end := records[len(records)-1].Tuple.Ts
+	for _, r := range records {
+		if r.Tuple.Ts.After(end) {
+			end = r.Tuple.Ts
+		}
+	}
+	if err := p.Run(start, end.Add(epoch)); err != nil {
+		return err
+	}
+	if writeErr != nil {
+		return writeErr
+	}
+	return w.Flush()
+}
+
+// parseSchema parses "name:kind,name:kind".
+func parseSchema(spec string) (*stream.Schema, error) {
+	var fields []stream.Field
+	for _, part := range strings.Split(spec, ",") {
+		nk := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(nk) != 2 {
+			return nil, fmt.Errorf("bad schema entry %q (want name:kind)", part)
+		}
+		var kind stream.Kind
+		switch strings.ToLower(nk[1]) {
+		case "string":
+			kind = stream.KindString
+		case "int":
+			kind = stream.KindInt
+		case "float":
+			kind = stream.KindFloat
+		case "bool":
+			kind = stream.KindBool
+		case "time":
+			kind = stream.KindTime
+		default:
+			return nil, fmt.Errorf("unknown kind %q in schema entry %q", nk[1], part)
+		}
+		fields = append(fields, stream.Field{Name: nk[0], Kind: kind})
+	}
+	return stream.NewSchema(fields...)
+}
+
+// parseGroups parses "group=member,member;group=member".
+func parseGroups(spec string, typ receptor.Type) (*receptor.Groups, error) {
+	groups := receptor.NewGroups()
+	for _, part := range strings.Split(spec, ";") {
+		gv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(gv) != 2 {
+			return nil, fmt.Errorf("bad group entry %q (want name=member,member)", part)
+		}
+		var members []string
+		for _, m := range strings.Split(gv[1], ",") {
+			members = append(members, strings.TrimSpace(m))
+		}
+		if err := groups.Add(receptor.Group{Name: gv[0], Type: typ, Members: members}); err != nil {
+			return nil, err
+		}
+	}
+	return groups, nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+
+	"esp/internal/receptor"
+)
+
+func TestParseSchema(t *testing.T) {
+	s, err := parseSchema("tag_id:string, shelf:int, temp:float, ok:bool, when:time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "(tag_id string, shelf int, temp float, ok bool, when time)"
+	if s.String() != want {
+		t.Errorf("schema = %s, want %s", s, want)
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	for _, spec := range []string{
+		"tag_id",        // no kind
+		"tag_id:blob",   // unknown kind
+		"a:int,a:int",   // duplicate
+		"a:int,:string", // empty name
+	} {
+		if _, err := parseSchema(spec); err == nil {
+			t.Errorf("parseSchema(%q): want error", spec)
+		}
+	}
+}
+
+func TestParseGroups(t *testing.T) {
+	g, err := parseGroups("shelf0=reader0;shelf1=reader1,reader2", receptor.TypeRFID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, ok := g.Group("shelf1")
+	if !ok || len(gr.Members) != 2 || gr.Members[1] != "reader2" {
+		t.Errorf("shelf1 = %+v", gr)
+	}
+	if got := g.Of("reader0"); len(got) != 1 || got[0] != "shelf0" {
+		t.Errorf("Of(reader0) = %v", got)
+	}
+}
+
+func TestParseGroupsErrors(t *testing.T) {
+	for _, spec := range []string{
+		"noequals",
+		"a=;b=x",  // empty members
+		"a=x;a=y", // duplicate group
+		"a=x,x",   // duplicate member
+	} {
+		if _, err := parseGroups(spec, receptor.TypeRFID); err == nil {
+			t.Errorf("parseGroups(%q): want error", spec)
+		}
+	}
+}
+
+func TestRunRequiresFlags(t *testing.T) {
+	if err := run(nil, "", "", receptor.TypeRFID, "", 0, "", "", "", ""); err == nil {
+		t.Error("missing flags: want error")
+	}
+}

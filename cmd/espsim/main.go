@@ -1,0 +1,131 @@
+// Command espsim emits simulated raw receptor traces as CSV on stdout,
+// for feeding into espclean or external tools:
+//
+//	espsim -scenario shelf   -duration 700s          # RFID shelf readers (§4)
+//	espsim -scenario redwood -duration 84h           # redwood motes (§5.2)
+//	espsim -scenario outlier -duration 48h           # fail-dirty room (§5.1)
+//	espsim -scenario home    -duration 600s -type rfid|mote|motion  (§6)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/sim"
+	"esp/internal/trace"
+)
+
+func main() {
+	scenario := flag.String("scenario", "shelf", "shelf, redwood, outlier, or home")
+	duration := flag.Duration("duration", 700*time.Second, "trace length")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	typ := flag.String("type", "", "receptor type for multi-type scenarios (rfid, mote, motion)")
+	flag.Parse()
+
+	if err := run(os.Stdout, *scenario, *duration, *seed, receptor.Type(*typ)); err != nil {
+		fmt.Fprintln(os.Stderr, "espsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, scenario string, duration time.Duration, seed int64, typ receptor.Type) error {
+	var recs []receptor.Receptor
+	var epoch time.Duration
+	switch scenario {
+	case "shelf":
+		cfg := sim.DefaultShelfConfig()
+		cfg.Seed = seed
+		sc, err := sim.NewShelfScenario(cfg)
+		if err != nil {
+			return err
+		}
+		for _, r := range sc.Readers {
+			recs = append(recs, r)
+		}
+		epoch = cfg.PollPeriod
+	case "redwood":
+		cfg := sim.DefaultRedwoodConfig()
+		cfg.Seed = seed
+		sc, err := sim.NewRedwoodScenario(cfg)
+		if err != nil {
+			return err
+		}
+		for _, m := range sc.Motes {
+			recs = append(recs, m)
+		}
+		epoch = cfg.Epoch
+	case "outlier":
+		cfg := sim.DefaultOutlierConfig()
+		cfg.Seed = seed
+		sc, err := sim.NewOutlierScenario(cfg)
+		if err != nil {
+			return err
+		}
+		for _, m := range sc.Motes {
+			recs = append(recs, m)
+		}
+		epoch = cfg.Epoch
+	case "home":
+		cfg := sim.DefaultHomeConfig()
+		cfg.Seed = seed
+		sc, err := sim.NewHomeScenario(cfg)
+		if err != nil {
+			return err
+		}
+		if typ == "" {
+			typ = receptor.TypeRFID
+		}
+		for _, r := range sc.Readers {
+			recs = append(recs, r)
+		}
+		for _, m := range sc.Motes {
+			recs = append(recs, m)
+		}
+		for _, d := range sc.Detectors {
+			recs = append(recs, d)
+		}
+		epoch = cfg.Epoch
+	default:
+		return fmt.Errorf("unknown scenario %q", scenario)
+	}
+
+	// Filter to one type (traces are single-schema files).
+	var chosen []receptor.Receptor
+	for _, r := range recs {
+		if typ == "" || r.Type() == typ {
+			chosen = append(chosen, r)
+		}
+	}
+	if len(chosen) == 0 {
+		return fmt.Errorf("no receptors of type %q in scenario %q", typ, scenario)
+	}
+	for _, r := range chosen[1:] {
+		if !r.Schema().Equal(chosen[0].Schema()) {
+			return fmt.Errorf("mixed schemas; pass -type to select one receptor type")
+		}
+	}
+
+	tw, err := trace.NewWriter(w, chosen[0].Schema())
+	if err != nil {
+		return err
+	}
+	start := time.Unix(0, 0).UTC()
+	for now := start.Add(epoch); !now.After(start.Add(duration)); now = now.Add(epoch) {
+		for _, r := range recs { // poll all receptors to keep RNG streams aligned
+			tuples := r.Poll(now)
+			if typ != "" && r.Type() != typ {
+				continue
+			}
+			for _, t := range tuples {
+				if err := tw.Write(trace.Record{Receptor: r.ID(), Tuple: t}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return tw.Flush()
+}

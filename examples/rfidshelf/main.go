@@ -1,0 +1,103 @@
+// RFID shelf monitoring — the paper's §4 deployment. Two shelves, each
+// watched by one error-prone RFID reader; the application asks "how many
+// items are on each shelf?" (Query 1). Raw answers are near-meaningless;
+// the Smooth + Arbitrate pipeline fixes them.
+//
+// Run with: go run ./examples/rfidshelf
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"esp/internal/core"
+	"esp/internal/cql"
+	"esp/internal/receptor"
+	"esp/internal/sim"
+	"esp/internal/stream"
+)
+
+func main() {
+	cfg := sim.DefaultShelfConfig()
+	sc, err := sim.NewShelfScenario(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs := make([]receptor.Receptor, len(sc.Readers))
+	for i, r := range sc.Readers {
+		recs[i] = r
+	}
+
+	// The §4 pipeline. The checksum filter is the Point functionality the
+	// Alien reader ships with; Smooth is the paper's Query 2; Arbitrate
+	// is Query 3, with ties calibrated toward the weaker antenna
+	// (§4.3.1). Merge is unused: one reader per proximity group.
+	dep := &core.Deployment{
+		Epoch:     cfg.PollPeriod, // 5 Hz reader polls
+		Receptors: recs,
+		Groups:    sc.Groups,
+		Pipelines: map[receptor.Type]*core.Pipeline{
+			receptor.TypeRFID: {
+				Type:      receptor.TypeRFID,
+				Point:     core.PointChecksum("checksum_ok"),
+				Smooth:    core.SmoothTagCount(5 * time.Second),
+				Arbitrate: core.ArbitrateMaxSum("tag_id", "n"),
+			},
+		},
+		TieBreak: func(a, b stream.Tuple) bool {
+			return a.Values[0] == stream.String("shelf1")
+		},
+	}
+	p, err := core.NewProcessor(dep)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The application: the paper's Query 1 over the *cleaned* stream.
+	cleanSchema, _ := p.TypeSchema(receptor.TypeRFID)
+	counter, err := cql.PlanString(
+		`SELECT spatial_granule, count(distinct tag_id) AS cnt
+		 FROM clean [Range By 'NOW'] GROUP BY spatial_granule`,
+		cql.Catalog{"clean": cleanSchema},
+		cql.PlanConfig{Slide: cfg.PollPeriod},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pending []stream.Tuple
+	p.OnType(receptor.TypeRFID, func(t stream.Tuple) { pending = append(pending, t) })
+
+	fmt.Println("t(s)   shelf0 reported/truth   shelf1 reported/truth")
+	start := time.Unix(0, 0).UTC()
+	for now := start.Add(cfg.PollPeriod); !now.After(start.Add(2 * time.Minute)); now = now.Add(cfg.PollPeriod) {
+		if err := p.Step(now); err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range pending {
+			if _, err := counter.Push("clean", t); err != nil {
+				log.Fatal(err)
+			}
+		}
+		pending = pending[:0]
+		rows, err := counter.Advance(now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Print once per 10 s.
+		if now.Sub(start)%(10*time.Second) != 0 {
+			continue
+		}
+		counts := map[string]int64{}
+		for _, r := range rows {
+			counts[r.Values[0].AsString()] = r.Values[1].AsInt()
+		}
+		fmt.Printf("%4.0f   %6d / %d          %6d / %d\n",
+			now.Sub(start).Seconds(),
+			counts["shelf0"], sc.TrueCount(0, now),
+			counts["shelf1"], sc.TrueCount(1, now))
+	}
+	fmt.Println("\nNote how the cleaned counts track the truth through the")
+	fmt.Println("40-second tag relocations; run `espbench -exp fig3` for the")
+	fmt.Println("full 700 s experiment and error metrics.")
+}

@@ -1,0 +1,3 @@
+module esp
+
+go 1.22

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/stream"
+)
+
+// ActuationPolicy configures the §5.3.1 receptor-actuation control loop:
+// when a receptor's Smooth stage produces output in fewer than Target of
+// the last Horizon epochs, the actuator asks the device to sample at the
+// Fast interval; once the stream recovers it restores the Slow interval.
+//
+// This closes the loop the paper leaves as future work: "ideally, ESP
+// should be able to actuate the sensors to increase the number of
+// readings within a temporal granule such that it can effectively smooth
+// with a window the same size as the temporal granule".
+type ActuationPolicy struct {
+	// Target is the desired fraction of epochs with Smooth output.
+	Target float64
+	// Horizon is the evaluation window, in epochs.
+	Horizon int
+	// Fast and Slow are the sample intervals commanded below and at/above
+	// Target (Slow zero = one sample per poll).
+	Fast, Slow time.Duration
+}
+
+// Actuator watches per-receptor Smooth output and adjusts sampling rates.
+// Attach exactly once, before the processor runs.
+//
+// The policy is bang-bang with periodic probing: a device commanded fast
+// is restored to the slow rate as soon as its stream meets the target, so
+// the actuator re-discovers whether the cheap rate suffices (outages end;
+// energy is precious). A device that starves again is re-actuated one
+// horizon later. The Transitions counter exposes the oscillation cost.
+type Actuator struct {
+	policy  ActuationPolicy
+	devices map[string]receptor.Actuatable
+	emitted map[string]bool // receptor emitted this epoch
+	history map[string][]bool
+	fast    map[string]bool
+	// Transitions counts actuation commands issued (both directions), an
+	// energy-budget proxy for experiments.
+	Transitions int
+}
+
+// NewActuator attaches an actuation control loop for the given type's
+// actuatable receptors to the processor.
+func NewActuator(p *Processor, typ receptor.Type, policy ActuationPolicy) (*Actuator, error) {
+	if policy.Horizon <= 0 {
+		return nil, fmt.Errorf("core: actuation horizon must be positive")
+	}
+	if policy.Target <= 0 || policy.Target > 1 {
+		return nil, fmt.Errorf("core: actuation target %v out of (0,1]", policy.Target)
+	}
+	if policy.Fast <= 0 {
+		return nil, fmt.Errorf("core: actuation Fast interval must be positive")
+	}
+	a := &Actuator{
+		policy:  policy,
+		devices: make(map[string]receptor.Actuatable),
+		emitted: make(map[string]bool),
+		history: make(map[string][]bool),
+		fast:    make(map[string]bool),
+	}
+	for _, rec := range p.dep.Receptors {
+		if rec.Type() != typ {
+			continue
+		}
+		if act, ok := rec.(receptor.Actuatable); ok {
+			a.devices[rec.ID()] = act
+		}
+	}
+	if len(a.devices) == 0 {
+		return nil, fmt.Errorf("core: no actuatable receptors of type %s", typ)
+	}
+	// Smooth-stage output carries the receptor_id annotation at position
+	// 0 (the processor re-attaches it after the per-receptor stages).
+	if _, ok := p.TypeSchema(typ); !ok {
+		return nil, fmt.Errorf("core: type %s has no schema", typ)
+	}
+	p.Tap(typ, StageSmooth, func(t stream.Tuple) {
+		if len(t.Values) == 0 {
+			return
+		}
+		id := t.Values[0]
+		if id.Kind() != stream.KindString {
+			return
+		}
+		a.emitted[id.AsString()] = true
+	})
+	p.OnEpoch(a.tick)
+	return a, nil
+}
+
+// tick records this epoch's emissions and re-evaluates rates at horizon
+// boundaries.
+func (a *Actuator) tick(time.Time) {
+	for id := range a.devices {
+		a.history[id] = append(a.history[id], a.emitted[id])
+		delete(a.emitted, id)
+	}
+	for id, dev := range a.devices {
+		h := a.history[id]
+		if len(h) < a.policy.Horizon {
+			continue
+		}
+		n := 0
+		for _, ok := range h {
+			if ok {
+				n++
+			}
+		}
+		frac := float64(n) / float64(len(h))
+		a.history[id] = h[:0]
+		wantFast := frac < a.policy.Target
+		if wantFast == a.fast[id] {
+			continue
+		}
+		a.fast[id] = wantFast
+		if wantFast {
+			dev.SetSampleInterval(a.policy.Fast)
+		} else {
+			dev.SetSampleInterval(a.policy.Slow)
+		}
+		a.Transitions++
+	}
+}
+
+// FastCount reports how many devices are currently commanded fast.
+func (a *Actuator) FastCount() int {
+	n := 0
+	for _, f := range a.fast {
+		if f {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/sim"
+	"esp/internal/stream"
+)
+
+// actuationDeployment builds a two-mote deployment with one starved mote.
+func actuationDeployment(t *testing.T) (*Processor, []*sim.Mote) {
+	t.Helper()
+	good := sim.NewMote(1, "good", 0.9, sim.SensorModel{
+		Name: "temp", Truth: func(time.Time) float64 { return 20 },
+	})
+	starved := sim.NewMote(1, "starved", 0.05, sim.SensorModel{
+		Name: "temp", Truth: func(time.Time) float64 { return 20 },
+	})
+	groups := receptor.NewGroups()
+	groups.MustAdd(receptor.Group{Name: "g0", Type: receptor.TypeMote, Members: []string{"good"}})
+	groups.MustAdd(receptor.Group{Name: "g1", Type: receptor.TypeMote, Members: []string{"starved"}})
+	p, err := NewProcessor(&Deployment{
+		Epoch:     time.Minute,
+		Receptors: []receptor.Receptor{good, starved},
+		Groups:    groups,
+		Pipelines: map[receptor.Type]*Pipeline{
+			receptor.TypeMote: {Type: receptor.TypeMote, Smooth: SmoothAvg("temp", time.Minute)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, []*sim.Mote{good, starved}
+}
+
+func TestActuatorSpeedsUpStarvedReceptor(t *testing.T) {
+	p, motes := actuationDeployment(t)
+	act, err := NewActuator(p, receptor.TypeMote, ActuationPolicy{
+		Target: 0.5, Horizon: 5, Fast: 10 * time.Second, Slow: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step epoch by epoch: the first horizon must actuate the starved
+	// mote and leave the healthy one alone.
+	start := time.Unix(0, 0).UTC()
+	for i := 1; i <= 5; i++ {
+		if err := p.Step(start.Add(time.Duration(i) * time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if motes[1].SampleInterval() != 10*time.Second {
+		t.Errorf("starved mote interval = %v, want actuated to 10s", motes[1].SampleInterval())
+	}
+	if motes[0].SampleInterval() != 0 {
+		t.Errorf("healthy mote interval = %v, want untouched", motes[0].SampleInterval())
+	}
+	if act.Transitions != 1 || act.FastCount() != 1 {
+		t.Errorf("transitions=%d fastCount=%d", act.Transitions, act.FastCount())
+	}
+}
+
+func TestActuatorProbesSlowRate(t *testing.T) {
+	// The actuator is bang-bang with probing: at a Fast rate generous
+	// enough to satisfy the target, the next horizon restores the slow
+	// rate to re-test whether the cheap rate suffices.
+	p, motes := actuationDeployment(t)
+	act, err := NewActuator(p, receptor.TypeMote, ActuationPolicy{
+		Target: 0.5, Horizon: 5, Fast: time.Second, Slow: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Unix(0, 0).UTC()
+	for i := 1; i <= 5; i++ {
+		if err := p.Step(start.Add(time.Duration(i) * time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if motes[1].SampleInterval() != time.Second {
+		t.Fatalf("expected starved mote actuated, got %v", motes[1].SampleInterval())
+	}
+	// At 60 samples/epoch and 5% delivery the stream recovers, so the
+	// second horizon restores the slow rate (the probe).
+	for i := 6; i <= 10; i++ {
+		if err := p.Step(start.Add(time.Duration(i) * time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if motes[1].SampleInterval() != 0 {
+		t.Errorf("recovered mote interval = %v, want restored to per-poll", motes[1].SampleInterval())
+	}
+	if act.Transitions != 2 {
+		t.Errorf("transitions = %d, want 2 (fast, then probe back)", act.Transitions)
+	}
+}
+
+func TestActuatorValidation(t *testing.T) {
+	p, _ := actuationDeployment(t)
+	bad := []ActuationPolicy{
+		{Target: 0.5, Horizon: 0, Fast: time.Second},
+		{Target: 0, Horizon: 5, Fast: time.Second},
+		{Target: 1.5, Horizon: 5, Fast: time.Second},
+		{Target: 0.5, Horizon: 5, Fast: 0},
+	}
+	for i, pol := range bad {
+		if _, err := NewActuator(p, receptor.TypeMote, pol); err == nil {
+			t.Errorf("policy %d: want error", i)
+		}
+	}
+	if _, err := NewActuator(p, receptor.TypeRFID, ActuationPolicy{Target: 0.5, Horizon: 5, Fast: time.Second}); err == nil {
+		t.Error("no actuatable receptors of type: want error")
+	}
+}
+
+func TestMoteActuationSampling(t *testing.T) {
+	m := sim.NewMote(1, "m", 1.0, sim.SensorModel{
+		Name: "temp", Truth: func(time.Time) float64 { return 20 },
+	})
+	base := time.Unix(0, 0).UTC()
+	// First poll: one sample regardless.
+	if got := len(m.Poll(base.Add(time.Minute))); got != 1 {
+		t.Fatalf("first poll = %d samples", got)
+	}
+	m.SetSampleInterval(15 * time.Second)
+	out := m.Poll(base.Add(2 * time.Minute))
+	if len(out) != 4 {
+		t.Fatalf("actuated poll = %d samples, want 4 (every 15s in a 1m epoch)", len(out))
+	}
+	for i, tu := range out {
+		want := base.Add(time.Minute + time.Duration(i+1)*15*time.Second)
+		if !tu.Ts.Equal(want) {
+			t.Errorf("sample %d at %v, want %v", i, tu.Ts, want)
+		}
+	}
+	// Restore per-poll sampling.
+	m.SetSampleInterval(0)
+	if got := len(m.Poll(base.Add(3 * time.Minute))); got != 1 {
+		t.Errorf("restored poll = %d samples", got)
+	}
+	// Negative interval clamps to 0.
+	m.SetSampleInterval(-time.Second)
+	if m.SampleInterval() != 0 {
+		t.Errorf("negative interval = %v", m.SampleInterval())
+	}
+}
+
+func TestModelStageRejectsDecoupledSensor(t *testing.T) {
+	schema := stream.MustSchema(
+		stream.Field{Name: "voltage", Kind: stream.KindFloat},
+		stream.Field{Name: "temp", Kind: stream.KindFloat},
+	)
+	stage := PointModelOutlier("voltage", "temp", 4, 0.1, 10, 1)
+	op, err := stage.Build(schema, BuildEnv{Epoch: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Open(schema); err != nil {
+		t.Fatal(err)
+	}
+	// Teach a clean correlation: temp = 100*(3 - voltage).
+	for i := 0; i < 50; i++ {
+		v := 2.7 + float64(i%10)*0.01
+		tu := stream.NewTuple(at(float64(i)), stream.Float(v), stream.Float(100*(3-v)))
+		out, err := op.Process(tu)
+		if err != nil || len(out) != 1 {
+			t.Fatalf("clean reading %d rejected: %v, %v", i, out, err)
+		}
+	}
+	// A decoupled reading: voltage says ~25C, temp claims 80C.
+	out, err := op.Process(stream.NewTuple(at(100), stream.Float(2.75), stream.Float(80)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("decoupled reading passed: %v", out)
+	}
+	// NULLs pass through unjudged.
+	out, _ = op.Process(stream.NewTuple(at(101), stream.Null(), stream.Float(80)))
+	if len(out) != 1 {
+		t.Error("NULL-x reading should pass through")
+	}
+}
+
+func TestModelStageValidation(t *testing.T) {
+	schema := stream.MustSchema(
+		stream.Field{Name: "voltage", Kind: stream.KindFloat},
+		stream.Field{Name: "label", Kind: stream.KindString},
+	)
+	cases := []Stage{
+		PointModelOutlier("nope", "voltage", 4, 0.1, 10, 1),
+		PointModelOutlier("voltage", "nope", 4, 0.1, 10, 1),
+		PointModelOutlier("voltage", "label", 4, 0.1, 10, 1), // non-numeric
+		PointModelOutlier("voltage", "voltage", 0, 0.1, 10, 1),
+		PointModelOutlier("voltage", "voltage", 4, 0.1, 1, 1),
+	}
+	for i, s := range cases {
+		op, err := s.Build(schema, BuildEnv{Epoch: time.Second})
+		if err == nil {
+			err = op.Open(schema)
+		}
+		if err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}

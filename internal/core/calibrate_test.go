@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/stream"
+)
+
+var tempRaw = stream.MustSchema(
+	stream.Field{Name: "mote_id", Kind: stream.KindString},
+	stream.Field{Name: "temp", Kind: stream.KindFloat},
+)
+
+func TestPointScale(t *testing.T) {
+	rec := &fakeReceptor{id: "m1", typ: receptor.TypeMote, schema: tempRaw, queue: []stream.Tuple{
+		stream.NewTuple(at(0.5), stream.String("m1"), stream.Float(70)), // Fahrenheit
+	}}
+	p, err := NewProcessor(&Deployment{
+		Epoch:     time.Second,
+		Receptors: []receptor.Receptor{rec},
+		Groups:    singleGroup("room", receptor.TypeMote, "m1"),
+		Pipelines: map[receptor.Type]*Pipeline{
+			receptor.TypeMote: {
+				Type:  receptor.TypeMote,
+				Point: PointScale("temp", 5.0/9.0, -160.0/9.0), // F -> C
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []stream.Tuple
+	p.OnType(receptor.TypeMote, func(tu stream.Tuple) { got = append(got, tu) })
+	if err := p.Run(at(0), at(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %v", got)
+	}
+	sch, _ := p.TypeSchema(receptor.TypeMote)
+	c := got[0].Values[sch.MustIndex("temp")].AsFloat()
+	if c < 21.1 || c > 21.2 { // 70F = 21.11C
+		t.Errorf("converted temp = %v, want ~21.11", c)
+	}
+}
+
+func TestPointScaleValidation(t *testing.T) {
+	if _, err := PointScale("nope", 1, 0).Build(tempRaw, BuildEnv{}); err == nil {
+		t.Error("unknown field: want error")
+	}
+	if _, err := PointScale("mote_id", 1, 0).Build(tempRaw, BuildEnv{}); err == nil {
+		t.Error("non-numeric field: want error")
+	}
+}
+
+func TestPointCalibrateTable(t *testing.T) {
+	calTable := stream.MustTable(
+		stream.MustSchema(
+			stream.Field{Name: "device", Kind: stream.KindString},
+			stream.Field{Name: "scale", Kind: stream.KindFloat},
+			stream.Field{Name: "offset", Kind: stream.KindFloat},
+		),
+		[]stream.Tuple{
+			stream.NewTuple(time.Time{}, stream.String("m1"), stream.Float(1.0), stream.Float(-2.0)),
+		},
+	)
+	calibrated := &fakeReceptor{id: "m1", typ: receptor.TypeMote, schema: tempRaw, queue: []stream.Tuple{
+		stream.NewTuple(at(0.5), stream.String("m1"), stream.Float(22)),
+	}}
+	uncalibrated := &fakeReceptor{id: "m2", typ: receptor.TypeMote, schema: tempRaw, queue: []stream.Tuple{
+		stream.NewTuple(at(0.5), stream.String("m2"), stream.Float(22)),
+	}}
+	groups := receptor.NewGroups()
+	groups.MustAdd(receptor.Group{Name: "room", Type: receptor.TypeMote, Members: []string{"m1", "m2"}})
+	p, err := NewProcessor(&Deployment{
+		Epoch:     time.Second,
+		Receptors: []receptor.Receptor{calibrated, uncalibrated},
+		Groups:    groups,
+		Tables:    map[string]*stream.Table{"calibration": calTable},
+		Pipelines: map[receptor.Type]*Pipeline{
+			receptor.TypeMote: {
+				Type:  receptor.TypeMote,
+				Point: PointCalibrateTable("temp", "calibration", "device", "scale", "offset"),
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, _ := p.TypeSchema(receptor.TypeMote)
+	tempIx := sch.MustIndex("temp")
+	byID := map[string]float64{}
+	p.OnType(receptor.TypeMote, func(tu stream.Tuple) {
+		byID[tu.Values[0].AsString()] = tu.Values[tempIx].AsFloat()
+	})
+	if err := p.Run(at(0), at(1)); err != nil {
+		t.Fatal(err)
+	}
+	if byID["m1"] != 20 {
+		t.Errorf("calibrated m1 = %v, want 20 (22 - 2)", byID["m1"])
+	}
+	if byID["m2"] != 22 {
+		t.Errorf("uncalibrated m2 = %v, want pass-through 22", byID["m2"])
+	}
+}
+
+func TestPointCalibrateTableValidation(t *testing.T) {
+	annotSchema, _ := annotated(tempRaw)
+	env := BuildEnv{Tables: map[string]*stream.Table{}}
+	if _, err := PointCalibrateTable("temp", "missing", "k", "s", "o").Build(annotSchema, env); err == nil {
+		t.Error("missing table: want error")
+	}
+	calTable := stream.MustTable(
+		stream.MustSchema(
+			stream.Field{Name: "device", Kind: stream.KindString},
+			stream.Field{Name: "scale", Kind: stream.KindFloat},
+			stream.Field{Name: "offset", Kind: stream.KindFloat},
+		), nil)
+	env = BuildEnv{Tables: map[string]*stream.Table{"cal": calTable}}
+	if _, err := PointCalibrateTable("nope", "cal", "device", "scale", "offset").Build(annotSchema, env); err == nil {
+		t.Error("missing field: want error")
+	}
+	if _, err := PointCalibrateTable("temp", "cal", "nope", "scale", "offset").Build(annotSchema, env); err == nil {
+		t.Error("missing key column: want error")
+	}
+	// Input without the receptor_id annotation.
+	if _, err := PointCalibrateTable("temp", "cal", "device", "scale", "offset").Build(tempRaw, env); err == nil {
+		t.Error("unannotated input: want error")
+	}
+}

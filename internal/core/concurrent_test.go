@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/sim"
+	"esp/internal/stream"
+)
+
+// buildShelfProcessor wires a small version of the §4 shelf deployment
+// off the simulator.
+func buildShelfProcessor(t *testing.T) (*Processor, *sim.ShelfScenario) {
+	t.Helper()
+	cfg := sim.DefaultShelfConfig()
+	sc, err := sim.NewShelfScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []receptor.Receptor
+	for _, r := range sc.Readers {
+		recs = append(recs, r)
+	}
+	p, err := NewProcessor(&Deployment{
+		Epoch:     cfg.PollPeriod,
+		Receptors: recs,
+		Groups:    sc.Groups,
+		Pipelines: map[receptor.Type]*Pipeline{
+			receptor.TypeRFID: {
+				Type:      receptor.TypeRFID,
+				Point:     PointChecksum("checksum_ok"),
+				Smooth:    SmoothTagCount(5 * time.Second),
+				Arbitrate: ArbitrateMaxSum("tag_id", "n"),
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, sc
+}
+
+// TestRunConcurrentMatchesRun is the processor-design ablation promised
+// in DESIGN.md: the channel-based concurrent runner must produce exactly
+// the synchronous runner's output.
+func TestRunConcurrentMatchesRun(t *testing.T) {
+	collect := func(concurrent bool) []stream.Tuple {
+		p, _ := buildShelfProcessor(t)
+		var out []stream.Tuple
+		p.OnType(receptor.TypeRFID, func(tu stream.Tuple) { out = append(out, tu) })
+		var err error
+		if concurrent {
+			err = p.RunConcurrent(at(0), at(30))
+		} else {
+			err = p.Run(at(0), at(30))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	sync := collect(false)
+	conc := collect(true)
+	if len(sync) == 0 {
+		t.Fatal("no output from shelf pipeline")
+	}
+	if len(sync) != len(conc) {
+		t.Fatalf("sync %d tuples, concurrent %d", len(sync), len(conc))
+	}
+	for i := range sync {
+		if !sync[i].Ts.Equal(conc[i].Ts) {
+			t.Fatalf("tuple %d Ts: %v vs %v", i, sync[i].Ts, conc[i].Ts)
+		}
+		for j := range sync[i].Values {
+			if sync[i].Values[j] != conc[i].Values[j] {
+				t.Fatalf("tuple %d value %d: %v vs %v", i, j, sync[i].Values[j], conc[i].Values[j])
+			}
+		}
+	}
+}

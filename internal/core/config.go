@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/stream"
+)
+
+// DeploymentConfig is the JSON form of a deployment: the paper's "easy to
+// setup and configure for each receptor deployment" promise as a file a
+// deployment engineer edits. Receptors themselves are runtime objects;
+// the config carries everything else — epoch, proximity groups, per-type
+// stage queries, static tables, and the Virtualize query.
+//
+//	{
+//	  "epoch": "200ms",
+//	  "groups": {"shelf0": {"type": "rfid", "members": ["reader0"]}},
+//	  "pipelines": {
+//	    "rfid": {
+//	      "point":     "SELECT tag_id FROM point_input WHERE checksum_ok = TRUE",
+//	      "smooth":    "SELECT tag_id, count(*) AS n FROM smooth_input [Range By '5 sec'] GROUP BY tag_id",
+//	      "arbitrate": "SELECT ... HAVING sum(n) >= ALL(...)"
+//	    }
+//	  },
+//	  "tables": {"expected_tags": {"columns": {"expected_tag": "string"},
+//	             "rows": [{"expected_tag": "badge-1"}]}},
+//	  "virtualize": {"query": "SELECT ...", "bind": {"rfid_input": "rfid"}}
+//	}
+type DeploymentConfig struct {
+	Epoch     string                    `json:"epoch"`
+	Groups    map[string]GroupConfig    `json:"groups"`
+	Pipelines map[string]PipelineConfig `json:"pipelines,omitempty"`
+	Tables    map[string]TableConfig    `json:"tables,omitempty"`
+	Virtual   *VirtualizeConfig         `json:"virtualize,omitempty"`
+}
+
+// GroupConfig declares one proximity group.
+type GroupConfig struct {
+	Type    string   `json:"type"`
+	Members []string `json:"members"`
+}
+
+// PipelineConfig carries the CQL text of each stage (empty = skipped).
+type PipelineConfig struct {
+	Point     string `json:"point,omitempty"`
+	Smooth    string `json:"smooth,omitempty"`
+	Merge     string `json:"merge,omitempty"`
+	Arbitrate string `json:"arbitrate,omitempty"`
+}
+
+// TableConfig declares a static relation inline.
+type TableConfig struct {
+	// Columns maps column names to kinds (string, int, float, bool, time).
+	Columns map[string]string `json:"columns"`
+	// Order fixes the column order; if empty, columns sort by name.
+	Order []string `json:"order,omitempty"`
+	// Rows are the relation's tuples, keyed by column name.
+	Rows []map[string]string `json:"rows"`
+}
+
+// VirtualizeConfig mirrors VirtualizeSpec with string-typed bindings.
+type VirtualizeConfig struct {
+	Query string            `json:"query"`
+	Bind  map[string]string `json:"bind"`
+}
+
+// ParseDeploymentConfig decodes a JSON deployment description into a
+// Deployment missing only its Receptors (and optional TieBreak), which
+// the caller supplies at runtime.
+func ParseDeploymentConfig(data []byte) (*Deployment, error) {
+	var cfg DeploymentConfig
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("core: config: %w", err)
+	}
+	epoch, err := time.ParseDuration(cfg.Epoch)
+	if err != nil {
+		return nil, fmt.Errorf("core: config: bad epoch %q: %w", cfg.Epoch, err)
+	}
+	if epoch <= 0 {
+		return nil, fmt.Errorf("core: config: epoch must be positive")
+	}
+	if len(cfg.Groups) == 0 {
+		return nil, fmt.Errorf("core: config: no proximity groups")
+	}
+	dep := &Deployment{Epoch: epoch, Groups: receptor.NewGroups()}
+
+	// Deterministic group registration order.
+	names := make([]string, 0, len(cfg.Groups))
+	for n := range cfg.Groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		g := cfg.Groups[n]
+		if err := dep.Groups.Add(receptor.Group{
+			Name: n, Type: receptor.Type(g.Type), Members: g.Members,
+		}); err != nil {
+			return nil, fmt.Errorf("core: config: %w", err)
+		}
+	}
+
+	if len(cfg.Pipelines) > 0 {
+		dep.Pipelines = make(map[receptor.Type]*Pipeline, len(cfg.Pipelines))
+		for tn, pc := range cfg.Pipelines {
+			t := receptor.Type(tn)
+			pl := &Pipeline{Type: t}
+			if pc.Point != "" {
+				pl.Point = CQLStage{Query: pc.Point}
+			}
+			if pc.Smooth != "" {
+				pl.Smooth = CQLStage{Query: pc.Smooth}
+			}
+			if pc.Merge != "" {
+				pl.Merge = CQLStage{Query: pc.Merge}
+			}
+			if pc.Arbitrate != "" {
+				pl.Arbitrate = CQLStage{Query: pc.Arbitrate}
+			}
+			dep.Pipelines[t] = pl
+		}
+	}
+
+	if len(cfg.Tables) > 0 {
+		dep.Tables = make(map[string]*stream.Table, len(cfg.Tables))
+		for name, tc := range cfg.Tables {
+			tbl, err := buildTable(tc)
+			if err != nil {
+				return nil, fmt.Errorf("core: config: table %q: %w", name, err)
+			}
+			dep.Tables[name] = tbl
+		}
+	}
+
+	if cfg.Virtual != nil {
+		v := &VirtualizeSpec{Query: cfg.Virtual.Query, Bind: make(map[string]receptor.Type, len(cfg.Virtual.Bind))}
+		for input, tn := range cfg.Virtual.Bind {
+			v.Bind[input] = receptor.Type(tn)
+		}
+		dep.Virtualize = v
+	}
+	return dep, nil
+}
+
+func buildTable(tc TableConfig) (*stream.Table, error) {
+	if len(tc.Columns) == 0 {
+		return nil, fmt.Errorf("no columns")
+	}
+	order := tc.Order
+	if len(order) == 0 {
+		for c := range tc.Columns {
+			order = append(order, c)
+		}
+		sort.Strings(order)
+	}
+	fields := make([]stream.Field, len(order))
+	for i, c := range order {
+		kindName, ok := tc.Columns[c]
+		if !ok {
+			return nil, fmt.Errorf("order lists unknown column %q", c)
+		}
+		k, err := parseKind(kindName)
+		if err != nil {
+			return nil, err
+		}
+		fields[i] = stream.Field{Name: c, Kind: k}
+	}
+	schema, err := stream.NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]stream.Tuple, len(tc.Rows))
+	for ri, rowMap := range tc.Rows {
+		vals := make([]stream.Value, len(order))
+		for ci, c := range order {
+			cell, ok := rowMap[c]
+			if !ok {
+				vals[ci] = stream.Null()
+				continue
+			}
+			v, err := stream.ParseValue(fields[ci].Kind, cell)
+			if err != nil {
+				return nil, fmt.Errorf("row %d, column %q: %w", ri, c, err)
+			}
+			vals[ci] = v
+		}
+		rows[ri] = stream.Tuple{Values: vals}
+	}
+	return stream.NewTable(schema, rows)
+}
+
+func parseKind(name string) (stream.Kind, error) {
+	switch name {
+	case "string":
+		return stream.KindString, nil
+	case "int":
+		return stream.KindInt, nil
+	case "float":
+		return stream.KindFloat, nil
+	case "bool":
+		return stream.KindBool, nil
+	case "time":
+		return stream.KindTime, nil
+	default:
+		return stream.KindNull, fmt.Errorf("unknown kind %q", name)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/stream"
+)
+
+const shelfConfigJSON = `{
+  "epoch": "1s",
+  "groups": {
+    "shelf0": {"type": "rfid", "members": ["reader0"]},
+    "shelf1": {"type": "rfid", "members": ["reader1"]}
+  },
+  "pipelines": {
+    "rfid": {
+      "point": "SELECT tag_id FROM point_input WHERE checksum_ok = TRUE",
+      "smooth": "SELECT tag_id, count(*) AS n FROM smooth_input [Range By '5 sec'] GROUP BY tag_id",
+      "arbitrate": "SELECT spatial_granule, tag_id FROM arb ai1 [Range By 'NOW'] GROUP BY spatial_granule, tag_id HAVING sum(n) >= ALL(SELECT sum(n) FROM arb ai2 [Range By 'NOW'] WHERE ai1.tag_id = ai2.tag_id GROUP BY spatial_granule)"
+    }
+  }
+}`
+
+func TestParseDeploymentConfig(t *testing.T) {
+	dep, err := ParseDeploymentConfig([]byte(shelfConfigJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Epoch != time.Second {
+		t.Errorf("epoch = %v", dep.Epoch)
+	}
+	if got := dep.Groups.Names(); len(got) != 2 || got[0] != "shelf0" {
+		t.Errorf("groups = %v", got)
+	}
+	pl := dep.Pipelines[receptor.TypeRFID]
+	if pl == nil || pl.Point == nil || pl.Smooth == nil || pl.Arbitrate == nil || pl.Merge != nil {
+		t.Fatalf("pipeline = %+v", pl)
+	}
+
+	// The parsed deployment must actually run.
+	dep.Receptors = []receptor.Receptor{
+		&fakeReceptor{id: "reader0", typ: receptor.TypeRFID, schema: rfidRaw, queue: []stream.Tuple{
+			rfidRead(0.1, "X", true), rfidRead(0.3, "X", true),
+		}},
+		&fakeReceptor{id: "reader1", typ: receptor.TypeRFID, schema: rfidRaw, queue: []stream.Tuple{
+			rfidRead(0.2, "X", true),
+		}},
+	}
+	p, err := NewProcessor(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []stream.Tuple
+	p.OnType(receptor.TypeRFID, func(tu stream.Tuple) { got = append(got, tu) })
+	if err := p.Run(at(0), at(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Values[0] != stream.String("shelf0") {
+		t.Errorf("arbitrated output = %v, want X -> shelf0", got)
+	}
+}
+
+func TestParseDeploymentConfigWithTablesAndVirtualize(t *testing.T) {
+	src := `{
+	  "epoch": "1s",
+	  "groups": {
+	    "office-rfid":   {"type": "rfid", "members": ["r0"]},
+	    "office-sound":  {"type": "mote", "members": ["m1"]},
+	    "office-motion": {"type": "motion", "members": ["x1"]}
+	  },
+	  "tables": {
+	    "expected_tags": {
+	      "columns": {"expected_tag": "string"},
+	      "rows": [{"expected_tag": "badge-1"}]
+	    }
+	  },
+	  "pipelines": {
+	    "rfid": {"point": "SELECT * FROM point_input, expected_tags WHERE tag_id = expected_tag"}
+	  },
+	  "virtualize": {
+	    "query": "SELECT 'Person-in-room' AS event FROM (SELECT 1 AS cnt FROM sensors_input [Range By 'NOW'] WHERE noise > 525) AS a, (SELECT 1 AS cnt FROM rfid_input [Range By 'NOW'] HAVING count(distinct tag_id) >= 1) AS b, (SELECT 1 AS cnt FROM motion_input [Range By 'NOW'] WHERE value = 'ON') AS c WHERE a.cnt + b.cnt + c.cnt >= 2",
+	    "bind": {"sensors_input": "mote", "rfid_input": "rfid", "motion_input": "motion"}
+	  }
+	}`
+	dep, err := ParseDeploymentConfig([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Tables["expected_tags"].Len() != 1 {
+		t.Errorf("table rows = %d", dep.Tables["expected_tags"].Len())
+	}
+	if dep.Virtualize == nil || dep.Virtualize.Bind["sensors_input"] != receptor.TypeMote {
+		t.Errorf("virtualize = %+v", dep.Virtualize)
+	}
+	// Wire minimal receptors and ensure it builds.
+	dep.Receptors = []receptor.Receptor{
+		&fakeReceptor{id: "r0", typ: receptor.TypeRFID, schema: rfidRaw},
+		&fakeReceptor{id: "m1", typ: receptor.TypeMote, schema: stream.MustSchema(
+			stream.Field{Name: "mote_id", Kind: stream.KindString},
+			stream.Field{Name: "noise", Kind: stream.KindFloat})},
+		&fakeReceptor{id: "x1", typ: receptor.TypeMotion, schema: stream.MustSchema(
+			stream.Field{Name: "detector_id", Kind: stream.KindString},
+			stream.Field{Name: "value", Kind: stream.KindString})},
+	}
+	if _, err := NewProcessor(dep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDeploymentConfigErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"bad json", `{`},
+		{"unknown field", `{"epoch": "1s", "groups": {"g": {"type": "rfid", "members": ["r"]}}, "oops": 1}`},
+		{"bad epoch", `{"epoch": "fast", "groups": {"g": {"type": "rfid", "members": ["r"]}}}`},
+		{"zero epoch", `{"epoch": "0s", "groups": {"g": {"type": "rfid", "members": ["r"]}}}`},
+		{"no groups", `{"epoch": "1s"}`},
+		{"empty members", `{"epoch": "1s", "groups": {"g": {"type": "rfid", "members": []}}}`},
+		{"bad table kind", `{"epoch": "1s", "groups": {"g": {"type": "rfid", "members": ["r"]}},
+			"tables": {"t": {"columns": {"c": "blob"}, "rows": []}}}`},
+		{"bad table cell", `{"epoch": "1s", "groups": {"g": {"type": "rfid", "members": ["r"]}},
+			"tables": {"t": {"columns": {"c": "int"}, "rows": [{"c": "abc"}]}}}`},
+		{"table without columns", `{"epoch": "1s", "groups": {"g": {"type": "rfid", "members": ["r"]}},
+			"tables": {"t": {"columns": {}, "rows": []}}}`},
+		{"order names unknown column", `{"epoch": "1s", "groups": {"g": {"type": "rfid", "members": ["r"]}},
+			"tables": {"t": {"columns": {"c": "int"}, "order": ["d"], "rows": []}}}`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseDeploymentConfig([]byte(tc.src)); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestTableConfigMissingCellIsNull(t *testing.T) {
+	dep, err := ParseDeploymentConfig([]byte(`{
+	  "epoch": "1s",
+	  "groups": {"g": {"type": "rfid", "members": ["r"]}},
+	  "tables": {"t": {"columns": {"a": "int", "b": "string"}, "rows": [{"a": "1"}]}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := dep.Tables["t"].Rows()[0]
+	if !strings.Contains(dep.Tables["t"].Schema().String(), "a int") {
+		t.Errorf("schema = %s", dep.Tables["t"].Schema())
+	}
+	if row.Values[0] != stream.Int(1) || !row.Values[1].IsNull() {
+		t.Errorf("row = %v", row)
+	}
+}

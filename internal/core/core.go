@@ -1,0 +1,209 @@
+// Package core implements ESP — Extensible receptor Stream Processing —
+// the paper's primary contribution: a programmable pipeline of five
+// stream-processing stages that cleans physical-device data online, before
+// it reaches the application.
+//
+//	Point     → tuple-level filters and transforms
+//	Smooth    → temporal-granule aggregation per receptor stream
+//	Merge     → spatial-granule aggregation per proximity group
+//	Arbitrate → conflict resolution between spatial granules
+//	Virtualize→ cross-receptor-type, application-level cleaning
+//
+// Stages are programmed declaratively (CQL, see internal/cql), as Go
+// functions over operator chains, or picked from the prebuilt toolkit
+// (toolkit.go). A Processor instantiates Point/Smooth once per
+// (receptor, proximity-group) pair, Merge once per proximity group,
+// Arbitrate once per receptor type, and Virtualize once per deployment,
+// then drives data through the pipeline epoch by epoch.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"esp/internal/cql"
+	"esp/internal/stream"
+)
+
+// StageKind identifies one of the five ESP stages.
+type StageKind uint8
+
+// The five ESP processing stages, in pipeline order.
+const (
+	StagePoint StageKind = iota
+	StageSmooth
+	StageMerge
+	StageArbitrate
+	StageVirtualize
+)
+
+// String returns the paper's stage name.
+func (k StageKind) String() string {
+	switch k {
+	case StagePoint:
+		return "Point"
+	case StageSmooth:
+		return "Smooth"
+	case StageMerge:
+		return "Merge"
+	case StageArbitrate:
+		return "Arbitrate"
+	case StageVirtualize:
+		return "Virtualize"
+	default:
+		return fmt.Sprintf("Stage(%d)", uint8(k))
+	}
+}
+
+// Annotation column names the processor attaches to receptor streams —
+// the paper's "ESP automatically adds a spatial granule attribute to each
+// stream" (§4, footnote 2).
+const (
+	// ColReceptorID is the device identifier column.
+	ColReceptorID = "receptor_id"
+	// ColGranule is the spatial granule (proximity group name) column.
+	ColGranule = "spatial_granule"
+)
+
+// BuildEnv carries deployment-level context into stage builders.
+type BuildEnv struct {
+	// Epoch is the processor's punctuation period: the slide of every
+	// windowed stage and the width of `[Range By 'NOW']` windows.
+	Epoch time.Duration
+	// Tables are static relations available to CQL stages (inventory
+	// lists, expected-tag relations).
+	Tables map[string]*stream.Table
+	// TieBreak resolves ties in Arbitrate's `>= ALL` rewrite — the
+	// paper's §4.3.1 weaker-antenna calibration.
+	TieBreak func(a, b stream.Tuple) bool
+}
+
+// Stage builds the operator implementing one pipeline stage for one
+// instance (one receptor stream, one proximity group, or one type,
+// depending on where the stage sits). Implementations must be reusable:
+// Build is called once per instance and each returned operator must be
+// independent.
+type Stage interface {
+	// Build returns a fresh operator bound to nothing; the processor
+	// Opens it with the instance's input schema.
+	Build(in *stream.Schema, env BuildEnv) (stream.Operator, error)
+	// Describe returns a short human-readable summary.
+	Describe() string
+}
+
+// CQLStage programs a stage with a declarative continuous query — the
+// paper's primary programming model. The query must read from a single
+// base stream; whatever name it uses is bound to the stage's input.
+type CQLStage struct {
+	Query string
+}
+
+// Build implements Stage.
+func (s CQLStage) Build(in *stream.Schema, env BuildEnv) (stream.Operator, error) {
+	stmt, err := cql.Parse(s.Query)
+	if err != nil {
+		return nil, err
+	}
+	inputs := baseStreams(stmt, env.Tables)
+	if len(inputs) != 1 {
+		return nil, fmt.Errorf("core: stage query must read one stream, found %v", inputs)
+	}
+	g, err := cql.Plan(stmt, cql.Catalog{inputs[0]: in}, cql.PlanConfig{
+		Slide:    env.Epoch,
+		Tables:   env.Tables,
+		TieBreak: env.TieBreak,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &graphOp{g: g, input: inputs[0]}, nil
+}
+
+// Describe implements Stage.
+func (s CQLStage) Describe() string {
+	q := strings.Join(strings.Fields(s.Query), " ")
+	if len(q) > 60 {
+		q = q[:57] + "..."
+	}
+	return "cql: " + q
+}
+
+// FuncStage programs a stage with arbitrary Go code — the paper's
+// UDF/arbitrary-code extensibility path.
+type FuncStage struct {
+	Name string
+	Fn   func(in *stream.Schema, env BuildEnv) (stream.Operator, error)
+}
+
+// Build implements Stage.
+func (s FuncStage) Build(in *stream.Schema, env BuildEnv) (stream.Operator, error) {
+	return s.Fn(in, env)
+}
+
+// Describe implements Stage.
+func (s FuncStage) Describe() string { return "func: " + s.Name }
+
+// baseStreams lists the distinct base stream names a statement reads
+// (ignoring static tables), depth-first.
+func baseStreams(stmt *cql.SelectStmt, tables map[string]*stream.Table) []string {
+	seen := make(map[string]bool)
+	var names []string
+	var walk func(s *cql.SelectStmt)
+	walk = func(s *cql.SelectStmt) {
+		for _, f := range s.From {
+			if f.Sub != nil {
+				walk(f.Sub)
+				continue
+			}
+			if _, isTable := tables[f.Stream]; isTable {
+				continue
+			}
+			if !seen[f.Stream] {
+				seen[f.Stream] = true
+				names = append(names, f.Stream)
+			}
+		}
+		if ac, ok := s.Having.(*cql.AllCompare); ok && ac.Sub != nil {
+			walk(ac.Sub)
+		}
+	}
+	walk(stmt)
+	return names
+}
+
+// graphOp adapts a single-input cql Graph to the Operator interface so
+// planned queries compose with hand-built operators in one chain.
+type graphOp struct {
+	g     *stream.Graph
+	input string
+}
+
+// Open implements Operator. The graph is already opened by the planner
+// against the stage's input schema; Open just validates compatibility.
+func (o *graphOp) Open(in *stream.Schema) error {
+	want, ok := o.g.InputSchema(o.input)
+	if !ok {
+		return fmt.Errorf("core: planned graph lost its input %q", o.input)
+	}
+	if !want.Equal(in) {
+		return fmt.Errorf("core: stage input schema %s does not match planned %s", in, want)
+	}
+	return nil
+}
+
+// Schema implements Operator.
+func (o *graphOp) Schema() *stream.Schema { return o.g.Schema() }
+
+// Process implements Operator.
+func (o *graphOp) Process(t stream.Tuple) ([]stream.Tuple, error) {
+	return o.g.Push(o.input, t)
+}
+
+// Advance implements Operator.
+func (o *graphOp) Advance(now time.Time) ([]stream.Tuple, error) {
+	return o.g.Advance(now)
+}
+
+// Close implements Operator.
+func (o *graphOp) Close() ([]stream.Tuple, error) { return o.g.Close() }

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/stream"
+)
+
+func at(sec float64) time.Time {
+	return time.Unix(0, int64(sec*float64(time.Second))).UTC()
+}
+
+// fakeReceptor replays scripted tuples: each Poll(now) returns the queued
+// tuples with Ts <= now.
+type fakeReceptor struct {
+	id     string
+	typ    receptor.Type
+	schema *stream.Schema
+	queue  []stream.Tuple
+}
+
+func (f *fakeReceptor) ID() string             { return f.id }
+func (f *fakeReceptor) Type() receptor.Type    { return f.typ }
+func (f *fakeReceptor) Schema() *stream.Schema { return f.schema }
+func (f *fakeReceptor) Poll(now time.Time) []stream.Tuple {
+	var out []stream.Tuple
+	for len(f.queue) > 0 && !f.queue[0].Ts.After(now) {
+		out = append(out, f.queue[0])
+		f.queue = f.queue[1:]
+	}
+	return out
+}
+
+var rfidRaw = stream.MustSchema(
+	stream.Field{Name: "tag_id", Kind: stream.KindString},
+	stream.Field{Name: "checksum_ok", Kind: stream.KindBool},
+)
+
+func rfidRead(sec float64, tag string, ok bool) stream.Tuple {
+	return stream.NewTuple(at(sec), stream.String(tag), stream.Bool(ok))
+}
+
+func singleGroup(name string, typ receptor.Type, members ...string) *receptor.Groups {
+	g := receptor.NewGroups()
+	g.MustAdd(receptor.Group{Name: name, Type: typ, Members: members})
+	return g
+}
+
+func TestProcessorAnnotatesStreams(t *testing.T) {
+	rec := &fakeReceptor{id: "r0", typ: receptor.TypeRFID, schema: rfidRaw,
+		queue: []stream.Tuple{rfidRead(0.5, "A", true)}}
+	p, err := NewProcessor(&Deployment{
+		Epoch:     time.Second,
+		Receptors: []receptor.Receptor{rec},
+		Groups:    singleGroup("shelf0", receptor.TypeRFID, "r0"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, ok := p.TypeSchema(receptor.TypeRFID)
+	if !ok {
+		t.Fatal("no type schema")
+	}
+	if sch.String() != "(receptor_id string, spatial_granule string, tag_id string, checksum_ok bool)" {
+		t.Errorf("schema = %s", sch)
+	}
+	var got []stream.Tuple
+	p.OnType(receptor.TypeRFID, func(tu stream.Tuple) { got = append(got, tu) })
+	if err := p.Run(at(0), at(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0].Values[0] != stream.String("r0") || got[0].Values[1] != stream.String("shelf0") {
+		t.Errorf("annotation = %v", got[0])
+	}
+}
+
+func TestProcessorPointStage(t *testing.T) {
+	rec := &fakeReceptor{id: "r0", typ: receptor.TypeRFID, schema: rfidRaw,
+		queue: []stream.Tuple{
+			rfidRead(0.2, "A", true),
+			rfidRead(0.4, "B", false), // corrupt: dropped by Point
+		}}
+	p, err := NewProcessor(&Deployment{
+		Epoch:     time.Second,
+		Receptors: []receptor.Receptor{rec},
+		Groups:    singleGroup("shelf0", receptor.TypeRFID, "r0"),
+		Pipelines: map[receptor.Type]*Pipeline{
+			receptor.TypeRFID: {Type: receptor.TypeRFID, Point: PointChecksum("checksum_ok")},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []stream.Tuple
+	p.OnType(receptor.TypeRFID, func(tu stream.Tuple) { got = append(got, tu) })
+	if err := p.Run(at(0), at(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Values[2] != stream.String("A") {
+		t.Fatalf("got %v, want only tag A", got)
+	}
+	// checksum_ok projected away; annotations intact.
+	sch, _ := p.TypeSchema(receptor.TypeRFID)
+	if sch.String() != "(receptor_id string, spatial_granule string, tag_id string)" {
+		t.Errorf("schema = %s", sch)
+	}
+}
+
+// TestProcessorSmoothArbitrate wires the paper's §4 RFID pipeline in
+// miniature: two shelves, Smooth (Query 2) then Arbitrate (Query 3).
+func TestProcessorSmoothArbitrate(t *testing.T) {
+	r0 := &fakeReceptor{id: "r0", typ: receptor.TypeRFID, schema: rfidRaw, queue: []stream.Tuple{
+		rfidRead(0.1, "X", true), rfidRead(0.3, "X", true), rfidRead(0.5, "X", true),
+	}}
+	r1 := &fakeReceptor{id: "r1", typ: receptor.TypeRFID, schema: rfidRaw, queue: []stream.Tuple{
+		rfidRead(0.2, "X", true), // reads X once: loses arbitration
+		rfidRead(0.4, "Y", true),
+	}}
+	groups := receptor.NewGroups()
+	groups.MustAdd(receptor.Group{Name: "shelf0", Type: receptor.TypeRFID, Members: []string{"r0"}})
+	groups.MustAdd(receptor.Group{Name: "shelf1", Type: receptor.TypeRFID, Members: []string{"r1"}})
+	p, err := NewProcessor(&Deployment{
+		Epoch:     time.Second,
+		Receptors: []receptor.Receptor{r0, r1},
+		Groups:    groups,
+		Pipelines: map[receptor.Type]*Pipeline{
+			receptor.TypeRFID: {
+				Type:      receptor.TypeRFID,
+				Smooth:    SmoothTagCount(2 * time.Second),
+				Arbitrate: ArbitrateMaxSum("tag_id", "n"),
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []stream.Tuple
+	p.OnType(receptor.TypeRFID, func(tu stream.Tuple) { got = append(got, tu) })
+	if err := p.Run(at(0), at(1)); err != nil {
+		t.Fatal(err)
+	}
+	attribution := map[string]string{}
+	for _, tu := range got {
+		attribution[tu.Values[1].AsString()] = tu.Values[0].AsString()
+	}
+	if attribution["X"] != "shelf0" || attribution["Y"] != "shelf1" {
+		t.Errorf("attribution = %v", attribution)
+	}
+}
+
+// TestProcessorPointSmoothMerge wires the redwood pipeline: range filter,
+// temporal average per mote, outlier-rejecting spatial average per group.
+func TestProcessorPointSmoothMerge(t *testing.T) {
+	moteSchema := stream.MustSchema(
+		stream.Field{Name: "mote_id", Kind: stream.KindString},
+		stream.Field{Name: "temp", Kind: stream.KindFloat},
+	)
+	mk := func(id string, temps ...float64) *fakeReceptor {
+		f := &fakeReceptor{id: id, typ: receptor.TypeMote, schema: moteSchema}
+		for i, v := range temps {
+			f.queue = append(f.queue, stream.NewTuple(at(float64(i)+0.5), stream.String(id), stream.Float(v)))
+		}
+		return f
+	}
+	m1 := mk("m1", 20, 20.5)
+	m2 := mk("m2", 21, 21.5)
+	m3 := mk("m3", 30, 120) // drifts hot; 120 removed by Point, 30 by Merge
+	p, err := NewProcessor(&Deployment{
+		Epoch:     time.Second,
+		Receptors: []receptor.Receptor{m1, m2, m3},
+		Groups:    singleGroup("room", receptor.TypeMote, "m1", "m2", "m3"),
+		Pipelines: map[receptor.Type]*Pipeline{
+			receptor.TypeMote: {
+				Type:   receptor.TypeMote,
+				Point:  PointBelow("temp", 50),
+				Smooth: SmoothAvg("temp", 2*time.Second),
+				Merge:  MergeOutlierAvg("temp", 2*time.Second, 1.0),
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []stream.Tuple
+	p.OnType(receptor.TypeMote, func(tu stream.Tuple) { got = append(got, tu) })
+	if err := p.Run(at(0), at(2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no merged output")
+	}
+	sch, _ := p.TypeSchema(receptor.TypeMote)
+	ti := sch.MustIndex("temp")
+	last := got[len(got)-1]
+	avg := last.Values[ti].AsFloat()
+	if avg < 20 || avg > 22 {
+		t.Errorf("merged avg = %v, want ~20.75 (outlier mote rejected)", avg)
+	}
+	if gi := sch.MustIndex("spatial_granule"); last.Values[gi] != stream.String("room") {
+		t.Errorf("granule = %v", last.Values[gi])
+	}
+}
+
+func TestProcessorVirtualize(t *testing.T) {
+	moteSchema := stream.MustSchema(
+		stream.Field{Name: "mote_id", Kind: stream.KindString},
+		stream.Field{Name: "noise", Kind: stream.KindFloat},
+	)
+	x10Schema := stream.MustSchema(
+		stream.Field{Name: "detector_id", Kind: stream.KindString},
+		stream.Field{Name: "value", Kind: stream.KindString},
+	)
+	mote := &fakeReceptor{id: "m1", typ: receptor.TypeMote, schema: moteSchema, queue: []stream.Tuple{
+		stream.NewTuple(at(0.2), stream.String("m1"), stream.Float(800)), // loud
+		stream.NewTuple(at(1.2), stream.String("m1"), stream.Float(400)), // quiet
+	}}
+	x10 := &fakeReceptor{id: "x1", typ: receptor.TypeMotion, schema: x10Schema, queue: []stream.Tuple{
+		stream.NewTuple(at(0.4), stream.String("x1"), stream.String("ON")),
+	}}
+	rfid := &fakeReceptor{id: "r0", typ: receptor.TypeRFID, schema: rfidRaw}
+	groups := receptor.NewGroups()
+	groups.MustAdd(receptor.Group{Name: "office-sound", Type: receptor.TypeMote, Members: []string{"m1"}})
+	groups.MustAdd(receptor.Group{Name: "office-motion", Type: receptor.TypeMotion, Members: []string{"x1"}})
+	groups.MustAdd(receptor.Group{Name: "office-rfid", Type: receptor.TypeRFID, Members: []string{"r0"}})
+	p, err := NewProcessor(&Deployment{
+		Epoch:     time.Second,
+		Receptors: []receptor.Receptor{mote, x10, rfid},
+		Groups:    groups,
+		Virtualize: &VirtualizeSpec{
+			Query: PersonDetectorQuery(525, 2),
+			Bind: map[string]receptor.Type{
+				"sensors_input": receptor.TypeMote,
+				"rfid_input":    receptor.TypeRFID,
+				"motion_input":  receptor.TypeMotion,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []stream.Tuple
+	p.OnVirtualize(func(tu stream.Tuple) { events = append(events, tu) })
+	if err := p.Run(at(0), at(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1: loud + motion = 2 votes -> detected. Epoch 2: quiet only.
+	if len(events) != 1 || !events[0].Ts.Equal(at(1)) {
+		t.Fatalf("events = %v, want one detection at t=1", events)
+	}
+	if p.VirtualizeSchema().String() != "(event string)" {
+		t.Errorf("virtualize schema = %s", p.VirtualizeSchema())
+	}
+}
+
+func TestProcessorTaps(t *testing.T) {
+	rec := &fakeReceptor{id: "r0", typ: receptor.TypeRFID, schema: rfidRaw,
+		queue: []stream.Tuple{rfidRead(0.2, "A", true), rfidRead(0.4, "B", false)}}
+	p, err := NewProcessor(&Deployment{
+		Epoch:     time.Second,
+		Receptors: []receptor.Receptor{rec},
+		Groups:    singleGroup("shelf0", receptor.TypeRFID, "r0"),
+		Pipelines: map[receptor.Type]*Pipeline{
+			receptor.TypeRFID: {
+				Type:   receptor.TypeRFID,
+				Point:  PointChecksum("checksum_ok"),
+				Smooth: SmoothTagCount(time.Second),
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pointOut, smoothOut int
+	p.Tap(receptor.TypeRFID, StagePoint, func(stream.Tuple) { pointOut++ })
+	p.Tap(receptor.TypeRFID, StageSmooth, func(stream.Tuple) { smoothOut++ })
+	if err := p.Run(at(0), at(1)); err != nil {
+		t.Fatal(err)
+	}
+	if pointOut != 1 {
+		t.Errorf("point tap saw %d tuples, want 1 (corrupt read dropped)", pointOut)
+	}
+	if smoothOut != 1 {
+		t.Errorf("smooth tap saw %d tuples, want 1 (tag A count)", smoothOut)
+	}
+}
+
+func TestProcessorMultiGroupReceptor(t *testing.T) {
+	// A mote watching two rooms feeds both groups' pipelines.
+	moteSchema := stream.MustSchema(
+		stream.Field{Name: "mote_id", Kind: stream.KindString},
+		stream.Field{Name: "temp", Kind: stream.KindFloat},
+	)
+	m := &fakeReceptor{id: "m1", typ: receptor.TypeMote, schema: moteSchema, queue: []stream.Tuple{
+		stream.NewTuple(at(0.5), stream.String("m1"), stream.Float(20)),
+	}}
+	groups := receptor.NewGroups()
+	groups.MustAdd(receptor.Group{Name: "roomA", Type: receptor.TypeMote, Members: []string{"m1"}})
+	groups.MustAdd(receptor.Group{Name: "roomB", Type: receptor.TypeMote, Members: []string{"m1"}})
+	p, err := NewProcessor(&Deployment{
+		Epoch:     time.Second,
+		Receptors: []receptor.Receptor{m},
+		Groups:    groups,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	granules := map[string]int{}
+	p.OnType(receptor.TypeMote, func(tu stream.Tuple) {
+		granules[tu.Values[1].AsString()]++
+	})
+	if err := p.Run(at(0), at(1)); err != nil {
+		t.Fatal(err)
+	}
+	if granules["roomA"] != 1 || granules["roomB"] != 1 {
+		t.Errorf("granule fan-out = %v", granules)
+	}
+}
+
+func TestProcessorValidation(t *testing.T) {
+	rec := &fakeReceptor{id: "r0", typ: receptor.TypeRFID, schema: rfidRaw}
+	good := singleGroup("shelf0", receptor.TypeRFID, "r0")
+	cases := []struct {
+		name string
+		dep  *Deployment
+	}{
+		{"zero epoch", &Deployment{Receptors: []receptor.Receptor{rec}, Groups: good}},
+		{"no receptors", &Deployment{Epoch: time.Second, Groups: good}},
+		{"no groups", &Deployment{Epoch: time.Second, Receptors: []receptor.Receptor{rec}}},
+		{"ungrouped receptor", &Deployment{Epoch: time.Second, Receptors: []receptor.Receptor{rec},
+			Groups: singleGroup("other", receptor.TypeRFID, "someone-else")}},
+		{"duplicate receptor", &Deployment{Epoch: time.Second,
+			Receptors: []receptor.Receptor{rec, rec}, Groups: good}},
+		{"bad stage query", &Deployment{Epoch: time.Second, Receptors: []receptor.Receptor{rec}, Groups: good,
+			Pipelines: map[receptor.Type]*Pipeline{
+				receptor.TypeRFID: {Point: CQLStage{Query: "NOT SQL"}},
+			}}},
+		{"stage over missing column", &Deployment{Epoch: time.Second, Receptors: []receptor.Receptor{rec}, Groups: good,
+			Pipelines: map[receptor.Type]*Pipeline{
+				receptor.TypeRFID: {Point: PointBelow("temp", 50)},
+			}}},
+		{"virtualize unknown type", &Deployment{Epoch: time.Second, Receptors: []receptor.Receptor{rec}, Groups: good,
+			Virtualize: &VirtualizeSpec{
+				Query: PersonDetectorQuery(525, 2),
+				Bind: map[string]receptor.Type{
+					"sensors_input": receptor.TypeMote,
+					"rfid_input":    receptor.TypeRFID,
+					"motion_input":  receptor.TypeMotion,
+				},
+			}}},
+	}
+	for _, tc := range cases {
+		rec.queue = nil
+		if _, err := NewProcessor(tc.dep); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestStageDescribe(t *testing.T) {
+	long := CQLStage{Query: "SELECT " + strings.Repeat("tag_id, ", 20) + "tag_id FROM x"}
+	if d := long.Describe(); len(d) > 70 {
+		t.Errorf("Describe did not truncate: %q", d)
+	}
+	if d := (FuncStage{Name: "f"}).Describe(); d != "func: f" {
+		t.Errorf("FuncStage describe = %q", d)
+	}
+	if d := SmoothTagCount(5 * time.Second).Describe(); !strings.Contains(d, "cql:") {
+		t.Errorf("toolkit stage describe = %q", d)
+	}
+}
+
+func TestCQLStageRejectsMultiStream(t *testing.T) {
+	s := CQLStage{Query: `SELECT 'x' AS v FROM
+		(SELECT 1 AS a FROM one [Range By 'NOW']) AS p,
+		(SELECT 1 AS b FROM two [Range By 'NOW']) AS q
+		WHERE p.a + q.b >= 2`}
+	if _, err := s.Build(rfidRaw, BuildEnv{Epoch: time.Second}); err == nil {
+		t.Error("multi-stream stage query: want error")
+	}
+}
+
+func TestStageKindString(t *testing.T) {
+	names := map[StageKind]string{
+		StagePoint: "Point", StageSmooth: "Smooth", StageMerge: "Merge",
+		StageArbitrate: "Arbitrate", StageVirtualize: "Virtualize",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/stream"
+)
+
+// TestHierarchicalComposition chains two ESP processors HiFi-style: edge
+// processors smooth their own motes, publish cleaned streams into
+// Channels, and a parent processor merges the channels as if they were
+// devices — the paper's "entire pipelines for processing low-level data
+// can be reused as input to application-level cleaning".
+func TestHierarchicalComposition(t *testing.T) {
+	moteSchema := stream.MustSchema(
+		stream.Field{Name: "mote_id", Kind: stream.KindString},
+		stream.Field{Name: "temp", Kind: stream.KindFloat},
+	)
+	mkEdge := func(name string, temps []float64) (*Processor, *receptor.Channel) {
+		rec := &fakeReceptor{id: name + "-mote", typ: receptor.TypeMote, schema: moteSchema}
+		for i, v := range temps {
+			rec.queue = append(rec.queue, stream.NewTuple(at(float64(i)+0.5), stream.String(rec.id), stream.Float(v)))
+		}
+		p, err := NewProcessor(&Deployment{
+			Epoch:     time.Second,
+			Receptors: []receptor.Receptor{rec},
+			Groups:    singleGroup(name, receptor.TypeMote, rec.ID()),
+			Pipelines: map[receptor.Type]*Pipeline{
+				receptor.TypeMote: {Type: receptor.TypeMote, Smooth: SmoothAvg("temp", 2*time.Second)},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Strip the edge's annotations so the parent can attach its own.
+		edgeOut, _ := p.TypeSchema(receptor.TypeMote)
+		stripped, project, err := StripAnnotation(edgeOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := receptor.NewChannel(name, receptor.TypeMote, stripped)
+		p.OnType(receptor.TypeMote, func(tu stream.Tuple) { ch.Publish(project(tu)) })
+		return p, ch
+	}
+
+	edgeA, chA := mkEdge("edgeA", []float64{20, 20, 20})
+	edgeB, chB := mkEdge("edgeB", []float64{24, 24, 24})
+
+	// The parent treats the two edges' cleaned streams as its receptors
+	// and spatially merges them.
+	groups := receptor.NewGroups()
+	groups.MustAdd(receptor.Group{Name: "building", Type: receptor.TypeMote, Members: []string{"edgeA", "edgeB"}})
+	parent, err := NewProcessor(&Deployment{
+		Epoch:     time.Second,
+		Receptors: []receptor.Receptor{chA, chB},
+		Groups:    groups,
+		Pipelines: map[receptor.Type]*Pipeline{
+			receptor.TypeMote: {Type: receptor.TypeMote, Merge: MergeAvg("temp", time.Second)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged []float64
+	parentSchema, _ := parent.TypeSchema(receptor.TypeMote)
+	tempIx := parentSchema.MustIndex("temp")
+	parent.OnType(receptor.TypeMote, func(tu stream.Tuple) {
+		merged = append(merged, tu.Values[tempIx].AsFloat())
+	})
+
+	// Drive the hierarchy level by level, epoch by epoch.
+	for i := 1; i <= 4; i++ {
+		now := at(float64(i))
+		if err := edgeA.Step(now); err != nil {
+			t.Fatal(err)
+		}
+		if err := edgeB.Step(now); err != nil {
+			t.Fatal(err)
+		}
+		if err := parent.Step(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(merged) == 0 {
+		t.Fatal("parent produced no merged output")
+	}
+	for _, v := range merged {
+		if v != 22 {
+			t.Errorf("building average = %v, want 22 (mean of 20 and 24)", v)
+		}
+	}
+	if chA.Pending() != 0 || chB.Pending() != 0 {
+		t.Errorf("channels not drained: %d, %d", chA.Pending(), chB.Pending())
+	}
+}
+
+func TestChannelHoldsFutureTuples(t *testing.T) {
+	ch := receptor.NewChannel("c", receptor.TypeMote, stream.MustSchema(
+		stream.Field{Name: "v", Kind: stream.KindInt}))
+	ch.Publish(stream.NewTuple(at(5), stream.Int(1)))
+	ch.Publish(stream.NewTuple(at(1), stream.Int(2)))
+	out := ch.Poll(at(2))
+	if len(out) != 1 || out[0].Values[0] != stream.Int(2) {
+		t.Errorf("poll = %v, want only the arrived tuple", out)
+	}
+	if ch.Pending() != 1 {
+		t.Errorf("pending = %d", ch.Pending())
+	}
+	out = ch.Poll(at(6))
+	if len(out) != 1 || out[0].Values[0] != stream.Int(1) {
+		t.Errorf("second poll = %v", out)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"esp/internal/model"
+	"esp/internal/stream"
+)
+
+// PointModelOutlier is a BBQ-style model-based cleaning stage (paper
+// §6.3.1): it learns an online linear model of yField as a function of a
+// correlated xField on the *same device* (e.g. temperature vs. battery
+// voltage) and drops readings whose residual exceeds sigma standard
+// deviations. Unlike the Merge stage's cross-device rejection, it detects
+// a fail-dirty sensor with no neighbours at all, because a failed sensor
+// breaks the physical correlation between its own channels.
+//
+// Readings are only folded into the model while they conform *tightly*
+// (score ≤ sigma/2): without that gate a slowly drifting sensor boils the
+// frog — each reading stays within the threshold, the pollution inflates
+// the residual variance, and the growing threshold outruns the drift
+// forever. Readings between sigma/2 and sigma pass through unlearned;
+// beyond sigma they are dropped. warmup is the minimum effective
+// observation weight before the stage starts rejecting; minStd floors the
+// residual scale; lambda is the forgetting factor (see
+// model.OnlineLinear).
+func PointModelOutlier(xField, yField string, sigma, minStd, warmup, lambda float64) Stage {
+	return FuncStage{
+		Name: fmt.Sprintf("point-model-outlier(%s ~ %s, %.3gσ)", yField, xField, sigma),
+		Fn: func(in *stream.Schema, env BuildEnv) (stream.Operator, error) {
+			if sigma <= 0 {
+				return nil, fmt.Errorf("core: PointModelOutlier: sigma must be positive")
+			}
+			if warmup < 2 {
+				return nil, fmt.Errorf("core: PointModelOutlier: warmup must be at least 2")
+			}
+			return &modelOutlierOp{
+				xField: xField, yField: yField,
+				sigma: sigma, minStd: minStd, warmup: warmup,
+				m: model.OnlineLinear{Lambda: lambda},
+			}, nil
+		},
+	}
+}
+
+// modelOutlierOp is the per-receptor operator behind PointModelOutlier.
+type modelOutlierOp struct {
+	xField, yField        string
+	sigma, minStd, warmup float64
+	m                     model.OnlineLinear
+
+	in     *stream.Schema
+	xi, yi int
+	// Dropped counts rejected readings (exposed for diagnostics).
+	Dropped int64
+}
+
+// Open implements stream.Operator.
+func (o *modelOutlierOp) Open(in *stream.Schema) error {
+	xi, ok := in.Index(o.xField)
+	if !ok {
+		return fmt.Errorf("core: PointModelOutlier: no field %q in %s", o.xField, in)
+	}
+	yi, ok := in.Index(o.yField)
+	if !ok {
+		return fmt.Errorf("core: PointModelOutlier: no field %q in %s", o.yField, in)
+	}
+	if !in.Field(xi).Kind.Numeric() || !in.Field(yi).Kind.Numeric() {
+		return fmt.Errorf("core: PointModelOutlier: %q and %q must be numeric", o.xField, o.yField)
+	}
+	o.in, o.xi, o.yi = in, xi, yi
+	return nil
+}
+
+// Schema implements stream.Operator.
+func (o *modelOutlierOp) Schema() *stream.Schema { return o.in }
+
+// Process implements stream.Operator.
+func (o *modelOutlierOp) Process(t stream.Tuple) ([]stream.Tuple, error) {
+	xv, yv := t.Values[o.xi], t.Values[o.yi]
+	if xv.IsNull() || yv.IsNull() {
+		return []stream.Tuple{t}, nil // nothing to judge
+	}
+	x, y := xv.AsFloat(), yv.AsFloat()
+	if o.m.Weight() >= o.warmup {
+		if score, ok := o.m.Score(x, y, o.minStd); ok {
+			if score > o.sigma {
+				o.Dropped++
+				return nil, nil // reject, and do not learn from it
+			}
+			if score > o.sigma/2 {
+				return []stream.Tuple{t}, nil // pass, but do not learn
+			}
+		}
+	}
+	o.m.Update(x, y)
+	return []stream.Tuple{t}, nil
+}
+
+// Advance implements stream.Operator.
+func (o *modelOutlierOp) Advance(time.Time) ([]stream.Tuple, error) { return nil, nil }
+
+// Close implements stream.Operator.
+func (o *modelOutlierOp) Close() ([]stream.Tuple, error) { return nil, nil }

@@ -1,0 +1,471 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/stream"
+)
+
+// Pipeline configures the cleaning stages for one receptor type. Any
+// stage may be nil (skipped): the RFID deployment uses Smooth+Arbitrate,
+// the redwood deployment Point+Smooth+Merge, etc.
+type Pipeline struct {
+	Type receptor.Type
+	// Point and Smooth are instantiated once per (receptor, group) pair
+	// and see the receptor's annotated stream.
+	Point, Smooth Stage
+	// Merge is instantiated once per proximity group and sees the union
+	// of the group members' Point/Smooth outputs.
+	Merge Stage
+	// Arbitrate is instantiated once per type and sees the union of all
+	// the type's group streams.
+	Arbitrate Stage
+}
+
+// VirtualizeSpec configures the cross-type Virtualize stage as a CQL
+// query whose base stream names are bound to receptor types: each name
+// reads that type's cleaned output stream.
+type VirtualizeSpec struct {
+	Query string
+	Bind  map[string]receptor.Type
+}
+
+// Deployment describes a complete ESP installation: the devices, their
+// proximity groups, a pipeline per receptor type, and the processing
+// epoch (the temporal granule of punctuation).
+type Deployment struct {
+	// Epoch is the punctuation period: stage windows slide once per
+	// epoch and NOW windows cover one epoch.
+	Epoch time.Duration
+	// Receptors are the physical devices; every receptor must belong to
+	// at least one proximity group.
+	Receptors []receptor.Receptor
+	// Groups is the proximity-group registry.
+	Groups *receptor.Groups
+	// Pipelines maps receptor types to their cleaning pipelines. Types
+	// without a pipeline pass through annotated but uncleaned.
+	Pipelines map[receptor.Type]*Pipeline
+	// Virtualize, if set, combines the per-type outputs.
+	Virtualize *VirtualizeSpec
+	// Tables are static relations available to CQL stages.
+	Tables map[string]*stream.Table
+	// TieBreak resolves Arbitrate ties (paper §4.3.1).
+	TieBreak func(a, b stream.Tuple) bool
+}
+
+// Processor executes a Deployment: it polls receptors once per epoch,
+// pushes readings through the per-receptor, per-group, per-type, and
+// cross-type stages, and punctuates everything in pipeline order so
+// results are deterministic.
+type Processor struct {
+	dep *Deployment
+	env BuildEnv
+
+	legs     []*procLeg
+	merges   []*procMerge
+	arbs     map[receptor.Type]*procArb
+	arbOrder []receptor.Type
+
+	virt        *stream.Graph
+	virtInputOf map[receptor.Type]string
+
+	typeSchema map[receptor.Type]*stream.Schema
+	taps       map[tapKey][]func(stream.Tuple)
+	typeSinks  map[receptor.Type][]func(stream.Tuple)
+	virtSinks  []func(stream.Tuple)
+	epochSinks []func(time.Time)
+}
+
+type tapKey struct {
+	typ   receptor.Type
+	stage StageKind
+}
+
+// procLeg is one (receptor, proximity group) processing instance.
+type procLeg struct {
+	rec    receptor.Receptor
+	group  string
+	typ    receptor.Type
+	inSch  *stream.Schema
+	point  stream.Operator // nil if skipped
+	smooth stream.Operator // nil if skipped
+	fix    *annotFix       // re-annotation after the per-receptor stages
+	out    *stream.Schema
+	merge  *procMerge // destination, nil if type has no Merge stage
+}
+
+// procMerge is one proximity group's Merge instance.
+type procMerge struct {
+	group string
+	typ   receptor.Type
+	op    stream.Operator
+	fix   *annotFix
+	out   *stream.Schema
+}
+
+// procArb is one type's Arbitrate instance.
+type procArb struct {
+	typ receptor.Type
+	op  stream.Operator
+	out *stream.Schema
+}
+
+// annotFix re-attaches constant annotation columns a stage projected
+// away, so downstream stages always see receptor_id / spatial_granule.
+type annotFix struct {
+	prepend []stream.Value // values to prepend (possibly empty)
+	schema  *stream.Schema
+}
+
+func (f *annotFix) apply(ts []stream.Tuple) []stream.Tuple {
+	if len(f.prepend) == 0 || len(ts) == 0 {
+		return ts
+	}
+	out := make([]stream.Tuple, len(ts))
+	for i, t := range ts {
+		vals := make([]stream.Value, 0, len(f.prepend)+len(t.Values))
+		vals = append(vals, f.prepend...)
+		vals = append(vals, t.Values...)
+		out[i] = stream.Tuple{Ts: t.Ts, Values: vals}
+	}
+	return out
+}
+
+// newAnnotFix builds the fix-up for a stage output: any of the wanted
+// (name, value) pairs missing from the schema are prepended as constants.
+func newAnnotFix(out *stream.Schema, want []stream.Field, vals []stream.Value) (*annotFix, error) {
+	fix := &annotFix{}
+	var fields []stream.Field
+	for i, f := range want {
+		if _, ok := out.Index(f.Name); ok {
+			continue
+		}
+		fields = append(fields, f)
+		fix.prepend = append(fix.prepend, vals[i])
+	}
+	schema, err := stream.NewSchema(append(fields, out.Fields()...)...)
+	if err != nil {
+		return nil, err
+	}
+	fix.schema = schema
+	return fix, nil
+}
+
+// annotated builds the schema of a receptor stream with the processor's
+// annotation columns prepended.
+func annotated(device *stream.Schema) (*stream.Schema, error) {
+	fields := []stream.Field{
+		{Name: ColReceptorID, Kind: stream.KindString},
+		{Name: ColGranule, Kind: stream.KindString},
+	}
+	return stream.NewSchema(append(fields, device.Fields()...)...)
+}
+
+// StripAnnotation removes the processor's annotation columns from a
+// cleaned output schema and returns the stripped schema plus a projector
+// for tuples. Use it when feeding one processor's output into another as
+// a receptor stream (hierarchical, HiFi-style composition): the parent
+// re-annotates with its own receptor IDs and granules.
+func StripAnnotation(sch *stream.Schema) (*stream.Schema, func(stream.Tuple) stream.Tuple, error) {
+	var keep []int
+	var fields []stream.Field
+	for i := 0; i < sch.Len(); i++ {
+		f := sch.Field(i)
+		if f.Name == ColReceptorID || f.Name == ColGranule {
+			continue
+		}
+		keep = append(keep, i)
+		fields = append(fields, f)
+	}
+	stripped, err := stream.NewSchema(fields...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: StripAnnotation: %w", err)
+	}
+	project := func(t stream.Tuple) stream.Tuple {
+		vals := make([]stream.Value, len(keep))
+		for j, i := range keep {
+			vals[j] = t.Values[i]
+		}
+		return stream.Tuple{Ts: t.Ts, Values: vals}
+	}
+	return stripped, project, nil
+}
+
+// NewProcessor validates and builds a deployment: every stage instance is
+// constructed and opened, and all schema compatibility is checked, before
+// any data flows.
+func NewProcessor(dep *Deployment) (*Processor, error) {
+	if dep.Epoch <= 0 {
+		return nil, fmt.Errorf("core: deployment epoch must be positive")
+	}
+	if len(dep.Receptors) == 0 {
+		return nil, fmt.Errorf("core: deployment has no receptors")
+	}
+	if dep.Groups == nil {
+		return nil, fmt.Errorf("core: deployment has no proximity groups")
+	}
+	p := &Processor{
+		dep: dep,
+		env: BuildEnv{Epoch: dep.Epoch, Tables: dep.Tables, TieBreak: dep.TieBreak},
+
+		arbs:        make(map[receptor.Type]*procArb),
+		virtInputOf: make(map[receptor.Type]string),
+		typeSchema:  make(map[receptor.Type]*stream.Schema),
+		taps:        make(map[tapKey][]func(stream.Tuple)),
+		typeSinks:   make(map[receptor.Type][]func(stream.Tuple)),
+	}
+	if err := p.buildLegs(); err != nil {
+		return nil, err
+	}
+	if err := p.buildMerges(); err != nil {
+		return nil, err
+	}
+	if err := p.buildArbitrates(); err != nil {
+		return nil, err
+	}
+	if err := p.buildVirtualize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Processor) pipelineFor(t receptor.Type) *Pipeline {
+	if p.dep.Pipelines == nil {
+		return nil
+	}
+	return p.dep.Pipelines[t]
+}
+
+func (p *Processor) buildLegs() error {
+	seen := make(map[string]bool)
+	for _, rec := range p.dep.Receptors {
+		if seen[rec.ID()] {
+			return fmt.Errorf("core: duplicate receptor %q", rec.ID())
+		}
+		seen[rec.ID()] = true
+		groups := p.dep.Groups.Of(rec.ID())
+		if len(groups) == 0 {
+			return fmt.Errorf("core: receptor %q belongs to no proximity group", rec.ID())
+		}
+		inSch, err := annotated(rec.Schema())
+		if err != nil {
+			return fmt.Errorf("core: receptor %q: %w", rec.ID(), err)
+		}
+		pl := p.pipelineFor(rec.Type())
+		for _, g := range groups {
+			leg := &procLeg{rec: rec, group: g, typ: rec.Type(), inSch: inSch}
+			cur := inSch
+			if pl != nil && pl.Point != nil {
+				op, err := pl.Point.Build(cur, p.env)
+				if err != nil {
+					return fmt.Errorf("core: %s Point for %q: %w", rec.Type(), rec.ID(), err)
+				}
+				if err := op.Open(cur); err != nil {
+					return fmt.Errorf("core: %s Point for %q: %w", rec.Type(), rec.ID(), err)
+				}
+				leg.point = op
+				cur = op.Schema()
+			}
+			if pl != nil && pl.Smooth != nil {
+				op, err := pl.Smooth.Build(cur, p.env)
+				if err != nil {
+					return fmt.Errorf("core: %s Smooth for %q: %w", rec.Type(), rec.ID(), err)
+				}
+				if err := op.Open(cur); err != nil {
+					return fmt.Errorf("core: %s Smooth for %q: %w", rec.Type(), rec.ID(), err)
+				}
+				leg.smooth = op
+				cur = op.Schema()
+			}
+			fix, err := newAnnotFix(cur,
+				[]stream.Field{
+					{Name: ColReceptorID, Kind: stream.KindString},
+					{Name: ColGranule, Kind: stream.KindString},
+				},
+				[]stream.Value{stream.String(rec.ID()), stream.String(g)},
+			)
+			if err != nil {
+				return fmt.Errorf("core: %s leg %q/%q: %w", rec.Type(), rec.ID(), g, err)
+			}
+			leg.fix = fix
+			leg.out = fix.schema
+			p.legs = append(p.legs, leg)
+		}
+	}
+	// All legs of one type must agree on their output schema (their
+	// streams are unioned downstream).
+	byType := make(map[receptor.Type]*stream.Schema)
+	for _, leg := range p.legs {
+		if prev, ok := byType[leg.typ]; ok {
+			if !prev.Equal(leg.out) {
+				return fmt.Errorf("core: %s legs produce differing schemas: %s vs %s", leg.typ, prev, leg.out)
+			}
+			continue
+		}
+		byType[leg.typ] = leg.out
+	}
+	return nil
+}
+
+func (p *Processor) buildMerges() error {
+	merged := make(map[string]*procMerge)
+	for _, leg := range p.legs {
+		pl := p.pipelineFor(leg.typ)
+		if pl == nil || pl.Merge == nil {
+			continue
+		}
+		m, ok := merged[leg.group]
+		if !ok {
+			op, err := pl.Merge.Build(leg.out, p.env)
+			if err != nil {
+				return fmt.Errorf("core: %s Merge for group %q: %w", leg.typ, leg.group, err)
+			}
+			if err := op.Open(leg.out); err != nil {
+				return fmt.Errorf("core: %s Merge for group %q: %w", leg.typ, leg.group, err)
+			}
+			fix, err := newAnnotFix(op.Schema(),
+				[]stream.Field{{Name: ColGranule, Kind: stream.KindString}},
+				[]stream.Value{stream.String(leg.group)},
+			)
+			if err != nil {
+				return fmt.Errorf("core: %s Merge for group %q: %w", leg.typ, leg.group, err)
+			}
+			m = &procMerge{group: leg.group, typ: leg.typ, op: op, fix: fix, out: fix.schema}
+			merged[leg.group] = m
+			p.merges = append(p.merges, m)
+		}
+		leg.merge = m
+	}
+	// Merge outputs of one type must agree (unioned into Arbitrate).
+	byType := make(map[receptor.Type]*stream.Schema)
+	for _, m := range p.merges {
+		if prev, ok := byType[m.typ]; ok {
+			if !prev.Equal(m.out) {
+				return fmt.Errorf("core: %s Merge groups produce differing schemas: %s vs %s", m.typ, prev, m.out)
+			}
+			continue
+		}
+		byType[m.typ] = m.out
+	}
+	return nil
+}
+
+// typeStageOut reports the schema flowing out of the last per-group stage
+// of a type (Merge output if present, else leg output).
+func (p *Processor) typeStageOut(t receptor.Type) *stream.Schema {
+	for _, m := range p.merges {
+		if m.typ == t {
+			return m.out
+		}
+	}
+	for _, leg := range p.legs {
+		if leg.typ == t {
+			return leg.out
+		}
+	}
+	return nil
+}
+
+func (p *Processor) buildArbitrates() error {
+	for _, leg := range p.legs {
+		t := leg.typ
+		if _, done := p.typeSchema[t]; done {
+			continue
+		}
+		in := p.typeStageOut(t)
+		pl := p.pipelineFor(t)
+		if pl == nil || pl.Arbitrate == nil {
+			p.typeSchema[t] = in
+			p.arbOrder = append(p.arbOrder, t)
+			continue
+		}
+		op, err := pl.Arbitrate.Build(in, p.env)
+		if err != nil {
+			return fmt.Errorf("core: %s Arbitrate: %w", t, err)
+		}
+		if err := op.Open(in); err != nil {
+			return fmt.Errorf("core: %s Arbitrate: %w", t, err)
+		}
+		arb := &procArb{typ: t, op: op, out: op.Schema()}
+		p.arbs[t] = arb
+		p.typeSchema[t] = arb.out
+		p.arbOrder = append(p.arbOrder, t)
+	}
+	return nil
+}
+
+func (p *Processor) buildVirtualize() error {
+	spec := p.dep.Virtualize
+	if spec == nil {
+		return nil
+	}
+	cat := make(map[string]*stream.Schema, len(spec.Bind))
+	for name, t := range spec.Bind {
+		sch, ok := p.typeSchema[t]
+		if !ok {
+			return fmt.Errorf("core: Virtualize binds %q to type %s, which has no receptors", name, t)
+		}
+		cat[name] = sch
+		p.virtInputOf[t] = name
+	}
+	g, err := planVirtualize(spec.Query, cat, p.env)
+	if err != nil {
+		return fmt.Errorf("core: Virtualize: %w", err)
+	}
+	p.virt = g
+	return nil
+}
+
+// TypeSchema reports the cleaned output schema of a receptor type.
+func (p *Processor) TypeSchema(t receptor.Type) (*stream.Schema, bool) {
+	s, ok := p.typeSchema[t]
+	return s, ok
+}
+
+// VirtualizeSchema reports the Virtualize output schema (nil if the
+// deployment has no Virtualize stage).
+func (p *Processor) VirtualizeSchema() *stream.Schema {
+	if p.virt == nil {
+		return nil
+	}
+	return p.virt.Schema()
+}
+
+// OnType registers a sink for a type's cleaned output stream.
+func (p *Processor) OnType(t receptor.Type, fn func(stream.Tuple)) {
+	p.typeSinks[t] = append(p.typeSinks[t], fn)
+}
+
+// OnVirtualize registers a sink for the Virtualize output stream.
+func (p *Processor) OnVirtualize(fn func(stream.Tuple)) {
+	p.virtSinks = append(p.virtSinks, fn)
+}
+
+// OnEpoch registers a hook invoked at the end of every Step, after all
+// stage punctuation — the place for control loops such as receptor
+// actuation (see Actuator).
+func (p *Processor) OnEpoch(fn func(now time.Time)) {
+	p.epochSinks = append(p.epochSinks, fn)
+}
+
+// Tap registers an observer on a stage's output within a type's pipeline
+// (for tracing and the paper's per-stage analyses). Point and Smooth taps
+// see per-leg annotated outputs; Merge taps see per-group outputs.
+func (p *Processor) Tap(t receptor.Type, stage StageKind, fn func(stream.Tuple)) {
+	k := tapKey{typ: t, stage: stage}
+	p.taps[k] = append(p.taps[k], fn)
+}
+
+func (p *Processor) tap(t receptor.Type, stage StageKind, ts []stream.Tuple) {
+	fns := p.taps[tapKey{typ: t, stage: stage}]
+	if len(fns) == 0 {
+		return
+	}
+	for _, tu := range ts {
+		for _, fn := range fns {
+			fn(tu)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"esp/internal/receptor"
+	"esp/internal/stream"
+)
+
+// Stats is a snapshot of tuple counts through the pipeline, keyed
+// "type/stage" (e.g. "rfid/Smooth") plus "virtualize" — the operational
+// visibility a deployment needs to see where readings are produced,
+// dropped, and condensed.
+type Stats map[string]int64
+
+// String renders the snapshot sorted by key.
+func (s Stats) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%d", k, s[k])
+	}
+	return sb.String()
+}
+
+// EnableStats installs counting taps on every stage of every type (and
+// Virtualize) and returns a live view: call the returned function for a
+// snapshot. Must be called before Run.
+func (p *Processor) EnableStats() func() Stats {
+	counts := make(map[string]*int64)
+	bump := func(key string) func(stream.Tuple) {
+		c := new(int64)
+		counts[key] = c
+		return func(stream.Tuple) { *c++ }
+	}
+	seen := make(map[receptor.Type]bool)
+	for _, leg := range p.legs {
+		if seen[leg.typ] {
+			continue
+		}
+		seen[leg.typ] = true
+		for _, stage := range []StageKind{StagePoint, StageSmooth, StageMerge, StageArbitrate} {
+			key := fmt.Sprintf("%s/%s", leg.typ, stage)
+			p.Tap(leg.typ, stage, bump(key))
+		}
+	}
+	if p.virt != nil {
+		p.Tap("", StageVirtualize, bump("virtualize"))
+	}
+	return func() Stats {
+		out := make(Stats, len(counts))
+		for k, c := range counts {
+			out[k] = *c
+		}
+		return out
+	}
+}
+
+// Describe renders the deployment's pipeline configuration — which stages
+// are installed for which types, group membership counts, and the
+// Virtualize bindings — for logs and operator inspection.
+func (p *Processor) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ESP deployment: epoch %v, %d receptor(s), %d leg(s)\n",
+		p.dep.Epoch, len(p.dep.Receptors), len(p.legs))
+	byType := make(map[receptor.Type][]string)
+	for _, leg := range p.legs {
+		byType[leg.typ] = append(byType[leg.typ], fmt.Sprintf("%s@%s", leg.rec.ID(), leg.group))
+	}
+	types := make([]string, 0, len(byType))
+	for t := range byType {
+		types = append(types, string(t))
+	}
+	sort.Strings(types)
+	for _, ts := range types {
+		t := receptor.Type(ts)
+		fmt.Fprintf(&sb, "  type %s: %s\n", t, strings.Join(byType[t], ", "))
+		pl := p.pipelineFor(t)
+		if pl == nil {
+			sb.WriteString("    (pass-through: no pipeline)\n")
+			continue
+		}
+		describeStage(&sb, "Point", pl.Point)
+		describeStage(&sb, "Smooth", pl.Smooth)
+		describeStage(&sb, "Merge", pl.Merge)
+		describeStage(&sb, "Arbitrate", pl.Arbitrate)
+		if sch, ok := p.TypeSchema(t); ok {
+			fmt.Fprintf(&sb, "    output %s\n", sch)
+		}
+	}
+	if p.dep.Virtualize != nil {
+		binds := make([]string, 0, len(p.dep.Virtualize.Bind))
+		for name, t := range p.dep.Virtualize.Bind {
+			binds = append(binds, fmt.Sprintf("%s<-%s", name, t))
+		}
+		sort.Strings(binds)
+		fmt.Fprintf(&sb, "  Virtualize: %s\n", strings.Join(binds, ", "))
+		if p.virt != nil {
+			fmt.Fprintf(&sb, "    output %s\n", p.virt.Schema())
+		}
+	}
+	return sb.String()
+}
+
+func describeStage(sb *strings.Builder, name string, s Stage) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(sb, "    %-9s %s\n", name, s.Describe())
+}

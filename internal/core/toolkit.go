@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"esp/internal/stream"
+)
+
+// This file is the toolkit of prebuilt ESP Operators the paper's
+// conclusion anticipates: "a suite of ESP Operators, implementing
+// different ESP stages or entire pipelines, that can be used to configure
+// and deploy cleaning pipelines". Most are defined as declarative queries
+// (dogfooding the CQL planner); the rest are Go operators.
+
+// durText renders a duration for a CQL window clause.
+func durText(d time.Duration) string {
+	return strconv.FormatInt(int64(d/time.Millisecond), 10) + " ms"
+}
+
+func floatText(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Compose chains several stages into one stage slot — e.g. a checksum
+// filter followed by an expected-tag join in Point, or the reversed
+// Arbitrate-then-Smooth ordering of the paper's Figure 5 ablation packed
+// into the Arbitrate slot.
+func Compose(stages ...Stage) Stage {
+	name := "compose("
+	for i, s := range stages {
+		if i > 0 {
+			name += "; "
+		}
+		name += s.Describe()
+	}
+	name += ")"
+	return FuncStage{
+		Name: name,
+		Fn: func(in *stream.Schema, env BuildEnv) (stream.Operator, error) {
+			var ops []stream.Operator
+			cur := in
+			for i, s := range stages {
+				op, err := s.Build(cur, env)
+				if err != nil {
+					return nil, fmt.Errorf("core: compose stage %d: %w", i, err)
+				}
+				// Open now to learn the output schema for the next stage;
+				// the chain's Open re-opens, which is harmless pre-data.
+				if err := op.Open(cur); err != nil {
+					return nil, fmt.Errorf("core: compose stage %d: %w", i, err)
+				}
+				ops = append(ops, op)
+				cur = op.Schema()
+			}
+			return stream.NewChain(ops...), nil
+		},
+	}
+}
+
+// PointChecksum drops readings whose named boolean field is false and
+// projects the field away — the Alien reader's built-in checksum filter
+// (paper §4: Point functionality "out of the box").
+func PointChecksum(field string) Stage {
+	return FuncStage{
+		Name: "point-checksum(" + field + ")",
+		Fn: func(in *stream.Schema, env BuildEnv) (stream.Operator, error) {
+			if _, ok := in.Index(field); !ok {
+				return nil, fmt.Errorf("core: PointChecksum: no field %q in %s", field, in)
+			}
+			var keep []stream.NamedExpr
+			for _, f := range in.Fields() {
+				if f.Name == field {
+					continue
+				}
+				keep = append(keep, stream.NamedExpr{Name: f.Name, Expr: stream.NewCol(f.Name)})
+			}
+			return stream.NewChain(
+				stream.NewFilter(stream.NewBinary(stream.OpEq, stream.NewCol(field), stream.NewConst(stream.Bool(true)))),
+				stream.NewProject(keep...),
+			), nil
+		},
+	}
+}
+
+// PointBelow filters readings where field < limit — the paper's Query 4
+// (`SELECT * FROM point_input WHERE temp < 50`).
+func PointBelow(field string, limit float64) Stage {
+	return CQLStage{Query: fmt.Sprintf(
+		"SELECT * FROM point_input WHERE %s < %s", field, floatText(limit))}
+}
+
+// PointExpectedTags keeps only readings whose tag field appears in the
+// named static relation — the digital-home Point stage's "join with a
+// static relation containing expected tag IDs" (§6.1).
+func PointExpectedTags(tagField, table, tableField string) Stage {
+	return CQLStage{Query: fmt.Sprintf(
+		"SELECT * FROM point_input, %s WHERE %s = %s", table, tagField, tableField)}
+}
+
+// PointScale applies a fixed linear calibration to one field:
+// field ← field*scale + offset (unit conversion, fixed sensor bias).
+func PointScale(field string, scale, offset float64) Stage {
+	return FuncStage{
+		Name: fmt.Sprintf("point-scale(%s*%s%+g)", field, floatText(scale), offset),
+		Fn: func(in *stream.Schema, env BuildEnv) (stream.Operator, error) {
+			ix, ok := in.Index(field)
+			if !ok {
+				return nil, fmt.Errorf("core: PointScale: no field %q in %s", field, in)
+			}
+			if !in.Field(ix).Kind.Numeric() {
+				return nil, fmt.Errorf("core: PointScale: field %q is %s, want numeric", field, in.Field(ix).Kind)
+			}
+			var exprs []stream.NamedExpr
+			for _, f := range in.Fields() {
+				if f.Name == field {
+					exprs = append(exprs, stream.NamedExpr{Name: f.Name, Expr: stream.NewBinary(stream.OpAdd,
+						stream.NewBinary(stream.OpMul, stream.NewCol(field), stream.NewConst(stream.Float(scale))),
+						stream.NewConst(stream.Float(offset)))})
+					continue
+				}
+				exprs = append(exprs, stream.NamedExpr{Name: f.Name, Expr: stream.NewCol(f.Name)})
+			}
+			return stream.NewProject(exprs...), nil
+		},
+	}
+}
+
+// PointCalibrateTable applies per-device linear calibration from a static
+// relation — the paper's §4.3.1 "calibration functions or static table
+// joins (e.g., for inventory lookups) to be defined and inserted in a
+// pipeline". The table must have (keyCol, scaleCol, offsetCol) rows keyed
+// by receptor ID; devices without a row are passed through uncalibrated.
+// The stage preserves the input schema.
+func PointCalibrateTable(field, table, keyCol, scaleCol, offsetCol string) Stage {
+	return FuncStage{
+		Name: fmt.Sprintf("point-calibrate(%s via %s)", field, table),
+		Fn: func(in *stream.Schema, env BuildEnv) (stream.Operator, error) {
+			tbl, ok := env.Tables[table]
+			if !ok {
+				return nil, fmt.Errorf("core: PointCalibrateTable: no table %q in deployment", table)
+			}
+			ix, ok := in.Index(field)
+			if !ok {
+				return nil, fmt.Errorf("core: PointCalibrateTable: no field %q in %s", field, in)
+			}
+			if _, ok := in.Index(ColReceptorID); !ok {
+				return nil, fmt.Errorf("core: PointCalibrateTable: input %s has no %s column", in, ColReceptorID)
+			}
+			// Index the calibration rows once.
+			ki, ok := tbl.Schema().Index(keyCol)
+			if !ok {
+				return nil, fmt.Errorf("core: PointCalibrateTable: table has no column %q", keyCol)
+			}
+			si, ok := tbl.Schema().Index(scaleCol)
+			if !ok {
+				return nil, fmt.Errorf("core: PointCalibrateTable: table has no column %q", scaleCol)
+			}
+			oi, ok := tbl.Schema().Index(offsetCol)
+			if !ok {
+				return nil, fmt.Errorf("core: PointCalibrateTable: table has no column %q", offsetCol)
+			}
+			type cal struct{ scale, offset float64 }
+			cals := make(map[string]cal, tbl.Len())
+			for _, row := range tbl.Rows() {
+				k := row.Values[ki]
+				if k.IsNull() || row.Values[si].IsNull() || row.Values[oi].IsNull() {
+					continue
+				}
+				cals[k.AsString()] = cal{scale: row.Values[si].AsFloat(), offset: row.Values[oi].AsFloat()}
+			}
+			ridIx, _ := in.Index(ColReceptorID)
+			return &stream.MapFunc{Fn: func(t stream.Tuple) ([]stream.Tuple, error) {
+				id := t.Values[ridIx]
+				v := t.Values[ix]
+				if id.IsNull() || v.IsNull() {
+					return []stream.Tuple{t}, nil
+				}
+				c, ok := cals[id.AsString()]
+				if !ok {
+					return []stream.Tuple{t}, nil
+				}
+				out := t.Clone()
+				out.Values[ix] = stream.Float(v.AsFloat()*c.scale + c.offset)
+				return []stream.Tuple{out}, nil
+			}}, nil
+		},
+	}
+}
+
+// PointSample sheds load by passing only every n-th reading — the
+// paper's note that Point "may also be used to improve performance
+// through early elimination of data" (§3.2).
+func PointSample(n int) Stage {
+	return FuncStage{
+		Name: fmt.Sprintf("point-sample(1/%d)", n),
+		Fn: func(in *stream.Schema, env BuildEnv) (stream.Operator, error) {
+			if n < 1 {
+				return nil, fmt.Errorf("core: PointSample: n must be at least 1")
+			}
+			return &stream.Sample{EveryN: n}, nil
+		},
+	}
+}
+
+// SmoothTagCount is the paper's Query 2: within the temporal granule,
+// count each tag's reads, interpolating for polls that missed it.
+// Output: (tag_id, n).
+func SmoothTagCount(granule time.Duration) Stage {
+	return CQLStage{Query: fmt.Sprintf(
+		"SELECT tag_id, count(*) AS n FROM smooth_input [Range By '%s'] GROUP BY tag_id",
+		durText(granule))}
+}
+
+// SmoothAvg averages one sensor field over the temporal granule — the
+// redwood Smooth stage (§5.2.1). Emits once per epoch while the window
+// holds at least one reading, masking lost messages. Output: (field).
+func SmoothAvg(field string, granule time.Duration) Stage {
+	return CQLStage{Query: fmt.Sprintf(
+		"SELECT avg(%s) AS %s FROM smooth_input [Range By '%s']",
+		field, field, durText(granule))}
+}
+
+// SmoothEvents interpolates ON events from a single detector (§6.1, X10):
+// if the detector fired at least minCount times within the granule, the
+// stage reports an ON for the epoch. Output: (value).
+func SmoothEvents(granule time.Duration, minCount int) Stage {
+	return CQLStage{Query: fmt.Sprintf(
+		"SELECT 'ON' AS value FROM smooth_input [Range By '%s'] HAVING count(*) >= %d",
+		durText(granule), minCount)}
+}
+
+// MergeAvg spatially averages one field across a proximity group's
+// streams over the granule (§5.2.2). Output: (field); the processor
+// re-annotates the granule.
+func MergeAvg(field string, granule time.Duration) Stage {
+	return CQLStage{Query: fmt.Sprintf(
+		"SELECT avg(%s) AS %s FROM merge_input [Range By '%s']",
+		field, field, durText(granule))}
+}
+
+// MergeOutlierAvg is the paper's Query 5: average a field across the
+// group after discarding readings more than sigma standard deviations
+// from the group mean — the fail-dirty outlier rejection of §5.1.
+// Output: (spatial_granule, field).
+func MergeOutlierAvg(field string, granule time.Duration, sigma float64) Stage {
+	g := durText(granule)
+	// The small epsilon keeps boundary readings: with exactly two
+	// survivors, |x - mean| equals the standard deviation to within
+	// floating-point rounding, and without the slack both would be
+	// discarded at random.
+	return CQLStage{Query: fmt.Sprintf(`
+		SELECT s.spatial_granule AS spatial_granule, avg(s.%[1]s) AS %[1]s
+		FROM merge_input s [Range By '%[2]s'],
+		     (SELECT spatial_granule, avg(%[1]s) AS a, stdev(%[1]s) AS sd
+		      FROM merge_input [Range By '%[2]s'] GROUP BY spatial_granule) AS m
+		WHERE m.spatial_granule = s.spatial_granule
+		  AND s.%[1]s <= m.a + %[3]s * m.sd + 0.000001
+		  AND s.%[1]s >= m.a - %[3]s * m.sd - 0.000001
+		GROUP BY s.spatial_granule`, field, g, floatText(sigma))}
+}
+
+// MergeMedian takes the median of a field across the proximity group —
+// the robust-statistics alternative to MergeOutlierAvg: in a group of
+// three or more devices, a single fail-dirty device cannot move the
+// median at all, whereas it can shift the ±σ-filtered average (compare
+// with `espbench -exp robust`). Output: (field).
+func MergeMedian(field string, granule time.Duration) Stage {
+	return CQLStage{Query: fmt.Sprintf(
+		"SELECT median(%s) AS %s FROM merge_input [Range By '%s']",
+		field, field, durText(granule))}
+}
+
+// MergeVote reports an ON when at least threshold distinct devices in the
+// group reported within the granule — the digital-home X10 Merge (§6.1).
+// Output: (value).
+func MergeVote(granule time.Duration, threshold int) Stage {
+	return CQLStage{Query: fmt.Sprintf(
+		"SELECT 'ON' AS value FROM merge_input [Range By '%s'] HAVING count(distinct receptor_id) >= %d",
+		durText(granule), threshold)}
+}
+
+// MergeUnion passes the group's streams through unchanged (the
+// digital-home RFID Merge, which just unions the two readers' smoothed
+// streams — §6.1).
+func MergeUnion() Stage {
+	return FuncStage{
+		Name: "merge-union",
+		Fn: func(in *stream.Schema, env BuildEnv) (stream.Operator, error) {
+			return stream.NewChain(), nil
+		},
+	}
+}
+
+// ArbitrateMaxSum is the paper's Query 3 generalised: attribute each key
+// (tag) to the spatial granule with the greatest total score in the
+// epoch; ties go to BuildEnv.TieBreak (§4.3.1's weaker-antenna
+// calibration). scoreField "" scores by row count — the literal Query 3,
+// for use directly on raw readings. Output: (spatial_granule, key).
+func ArbitrateMaxSum(keyField, scoreField string) Stage {
+	score := "count(*)"
+	if scoreField != "" {
+		score = "sum(" + scoreField + ")"
+	}
+	return CQLStage{Query: fmt.Sprintf(`
+		SELECT spatial_granule, %[1]s FROM arbitrate_input ai1 [Range By 'NOW']
+		GROUP BY spatial_granule, %[1]s
+		HAVING %[2]s >= ALL(SELECT %[2]s FROM arbitrate_input ai2 [Range By 'NOW']
+		                    WHERE ai1.%[1]s = ai2.%[1]s GROUP BY spatial_granule)`,
+		keyField, score)}
+}
+
+// PersonDetectorQuery is the paper's Query 6: one vote per receptor type
+// per epoch (sound above noiseThreshold, any expected RFID tag, any ON
+// motion report), detecting a person when votes reach threshold. Bind the
+// base stream names sensors_input/rfid_input/motion_input to the mote,
+// RFID, and motion type outputs.
+func PersonDetectorQuery(noiseThreshold float64, votes int) string {
+	return fmt.Sprintf(`
+		SELECT 'Person-in-room' AS event
+		FROM (SELECT 1 AS cnt FROM sensors_input [Range By 'NOW'] WHERE noise > %s) AS sensor_count,
+		     (SELECT 1 AS cnt FROM rfid_input [Range By 'NOW'] HAVING count(distinct tag_id) >= 1) AS rfid_count,
+		     (SELECT 1 AS cnt FROM motion_input [Range By 'NOW'] WHERE value = 'ON') AS motion_count
+		WHERE sensor_count.cnt + rfid_count.cnt + motion_count.cnt >= %d`,
+		floatText(noiseThreshold), votes)
+}

@@ -1,0 +1,336 @@
+package cql
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ExprNode is a parsed (unbound) expression.
+type ExprNode interface {
+	String() string
+}
+
+// Ident is a possibly qualified column reference (alias.name or name).
+type Ident struct {
+	Qualifier string
+	Name      string
+}
+
+func (i *Ident) String() string {
+	if i.Qualifier != "" {
+		return i.Qualifier + "." + i.Name
+	}
+	return i.Name
+}
+
+// QualifiedName renders the reference with its qualifier, if any.
+func (i *Ident) QualifiedName() string { return i.String() }
+
+// NumberLit is an integer or float literal (distinguished by a dot).
+type NumberLit struct{ Text string }
+
+func (n *NumberLit) String() string { return n.Text }
+
+// IsFloat reports whether the literal has a fractional part.
+func (n *NumberLit) IsFloat() bool { return strings.Contains(n.Text, ".") }
+
+// StringLit is a quoted string literal.
+type StringLit struct{ Val string }
+
+func (s *StringLit) String() string { return "'" + strings.ReplaceAll(s.Val, "'", "''") + "'" }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ Val bool }
+
+func (b *BoolLit) String() string {
+	if b.Val {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+func (*NullLit) String() string { return "NULL" }
+
+// UnaryExpr is -x or NOT x.
+type UnaryExpr struct {
+	Op string // "-" or "NOT"
+	X  ExprNode
+}
+
+func (u *UnaryExpr) String() string {
+	if u.Op == "NOT" {
+		return fmt.Sprintf("(NOT %s)", u.X)
+	}
+	return fmt.Sprintf("(%s%s)", u.Op, u.X)
+}
+
+// BinaryExpr applies a binary operator: + - * / = <> < <= > >= AND OR.
+type BinaryExpr struct {
+	Op   string
+	L, R ExprNode
+}
+
+func (b *BinaryExpr) String() string { return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R) }
+
+// IsNullNode is x IS [NOT] NULL.
+type IsNullNode struct {
+	X      ExprNode
+	Negate bool
+}
+
+func (n *IsNullNode) String() string {
+	if n.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", n.X)
+	}
+	return fmt.Sprintf("(%s IS NULL)", n.X)
+}
+
+// InNode is `x [NOT] IN (e1, e2, ...)`.
+type InNode struct {
+	X      ExprNode
+	List   []ExprNode
+	Negate bool
+}
+
+func (n *InNode) String() string {
+	parts := make([]string, len(n.List))
+	for i, e := range n.List {
+		parts[i] = e.String()
+	}
+	op := "IN"
+	if n.Negate {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("(%s %s (%s))", n.X, op, strings.Join(parts, ", "))
+}
+
+// WhenClause is one WHEN/THEN branch of a CaseNode.
+type WhenClause struct {
+	Cond, Then ExprNode
+}
+
+// CaseNode is a CASE expression (searched when Operand is nil).
+type CaseNode struct {
+	Operand ExprNode
+	Whens   []WhenClause
+	Else    ExprNode
+}
+
+func (c *CaseNode) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	if c.Operand != nil {
+		sb.WriteString(" " + c.Operand.String())
+	}
+	for _, w := range c.Whens {
+		fmt.Fprintf(&sb, " WHEN %s THEN %s", w.Cond, w.Then)
+	}
+	if c.Else != nil {
+		sb.WriteString(" ELSE " + c.Else.String())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+// FuncExpr is a function call: scalar or aggregate, possibly DISTINCT,
+// possibly count(*).
+type FuncExpr struct {
+	Name     string // lower-cased
+	Distinct bool
+	Star     bool // count(*)
+	Args     []ExprNode
+}
+
+func (f *FuncExpr) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	d := ""
+	if f.Distinct {
+		d = "DISTINCT "
+	}
+	return fmt.Sprintf("%s(%s%s)", f.Name, d, strings.Join(parts, ", "))
+}
+
+// AllCompare is `left op ALL (subquery)` — the paper's Query 3 HAVING.
+type AllCompare struct {
+	Left ExprNode
+	Op   string
+	Sub  *SelectStmt
+}
+
+func (a *AllCompare) String() string {
+	return fmt.Sprintf("(%s %s ALL (%s))", a.Left, a.Op, a.Sub)
+}
+
+// WindowSpec is a `[Range By '...' [Slide By '...']]` window clause on a
+// FROM item.
+type WindowSpec struct {
+	// Now marks `[Range By 'NOW']`: the current epoch.
+	Now bool
+	// Range is the window length (zero when Now).
+	Range time.Duration
+	// Slide, if positive, overrides the deployment epoch as the emission
+	// period for this window.
+	Slide time.Duration
+	// Raw and RawSlide preserve the original duration text for printing.
+	Raw, RawSlide string
+}
+
+func (w *WindowSpec) String() string {
+	if w.Now {
+		return "[Range By 'NOW']"
+	}
+	if w.Slide > 0 {
+		return fmt.Sprintf("[Range By '%s' Slide By '%s']", w.Raw, w.RawSlide)
+	}
+	return fmt.Sprintf("[Range By '%s']", w.Raw)
+}
+
+// FromItem is one source in FROM: a named stream or a subquery, with an
+// optional alias and window.
+type FromItem struct {
+	Stream string // base stream name ("" if subquery)
+	Sub    *SelectStmt
+	Alias  string
+	Window *WindowSpec
+}
+
+func (f *FromItem) String() string {
+	var sb strings.Builder
+	if f.Sub != nil {
+		fmt.Fprintf(&sb, "(%s)", f.Sub)
+	} else {
+		sb.WriteString(f.Stream)
+	}
+	if f.Alias != "" {
+		sb.WriteString(" AS " + f.Alias)
+	}
+	if f.Window != nil {
+		sb.WriteString(" " + f.Window.String())
+	}
+	return sb.String()
+}
+
+// Binding returns the name this item is referenced by: its alias if given,
+// else the stream name.
+func (f *FromItem) Binding() string {
+	if f.Alias != "" {
+		return f.Alias
+	}
+	return f.Stream
+}
+
+// SelectItem is one entry of the SELECT list.
+type SelectItem struct {
+	Star  bool // bare *
+	Expr  ExprNode
+	Alias string
+}
+
+func (s *SelectItem) String() string {
+	if s.Star {
+		return "*"
+	}
+	if s.Alias != "" {
+		return fmt.Sprintf("%s AS %s", s.Expr, s.Alias)
+	}
+	return s.Expr.String()
+}
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []FromItem
+	Where   ExprNode
+	GroupBy []ExprNode
+	Having  ExprNode
+}
+
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.String())
+	}
+	sb.WriteString(" FROM ")
+	for i, f := range s.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(f.String())
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING " + s.Having.String())
+	}
+	return sb.String()
+}
+
+// ParseDuration parses the quoted duration text of a window clause:
+// "5 sec", "30 minutes", "200 ms", "1 hour", "2.5 min", "5s".
+func ParseDuration(text string) (time.Duration, error) {
+	s := strings.TrimSpace(strings.ToLower(text))
+	if s == "" {
+		return 0, fmt.Errorf("cql: empty duration")
+	}
+	// Split numeric prefix from unit suffix.
+	i := 0
+	for i < len(s) && (isDigit(s[i]) || s[i] == '.') {
+		i++
+	}
+	numText := strings.TrimSpace(s[:i])
+	unitText := strings.TrimSpace(s[i:])
+	if numText == "" {
+		return 0, fmt.Errorf("cql: duration %q has no numeric part", text)
+	}
+	var num float64
+	if _, err := fmt.Sscanf(numText, "%g", &num); err != nil {
+		return 0, fmt.Errorf("cql: duration %q: bad number %q", text, numText)
+	}
+	if num < 0 {
+		return 0, fmt.Errorf("cql: duration %q is negative", text)
+	}
+	var unit time.Duration
+	switch unitText {
+	case "ms", "msec", "millisecond", "milliseconds":
+		unit = time.Millisecond
+	case "s", "sec", "secs", "second", "seconds":
+		unit = time.Second
+	case "m", "min", "mins", "minute", "minutes":
+		unit = time.Minute
+	case "h", "hr", "hrs", "hour", "hours":
+		unit = time.Hour
+	case "d", "day", "days":
+		unit = 24 * time.Hour
+	default:
+		return 0, fmt.Errorf("cql: duration %q: unknown unit %q", text, unitText)
+	}
+	d := time.Duration(num * float64(unit))
+	if d <= 0 {
+		return 0, fmt.Errorf("cql: duration %q is not positive", text)
+	}
+	return d, nil
+}

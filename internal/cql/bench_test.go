@@ -1,0 +1,51 @@
+package cql
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkParseQuery1(b *testing.B) {
+	src := paperQueries["q1_shelf_monitor"]
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseQuery3AllSubquery(b *testing.B) {
+	src := paperQueries["q3_arbitrate"]
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanQuery1(b *testing.B) {
+	cfg := PlanConfig{Slide: time.Second}
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanString(paperQueries["q1_shelf_monitor"], testCatalog, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanQuery5SelfJoin(b *testing.B) {
+	cfg := PlanConfig{Slide: 5 * time.Minute}
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanString(paperQueries["q5_merge_outlier"], testCatalog, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanQuery6Combine(b *testing.B) {
+	cfg := PlanConfig{Slide: time.Second}
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanString(paperQueries["q6_person_detector"], testCatalog, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package cql
+
+import (
+	"testing"
+
+	"esp/internal/stream"
+)
+
+func TestParseCase(t *testing.T) {
+	stmt := MustParse(`SELECT CASE WHEN temp > 50 THEN 'hot' WHEN temp < 0 THEN 'cold' ELSE 'ok' END AS label
+		FROM point_input`)
+	c, ok := stmt.Items[0].Expr.(*CaseNode)
+	if !ok {
+		t.Fatalf("item = %T", stmt.Items[0].Expr)
+	}
+	if c.Operand != nil || len(c.Whens) != 2 || c.Else == nil {
+		t.Errorf("case = %+v", c)
+	}
+	// Round-trip.
+	printed := stmt.String()
+	if _, err := Parse(printed); err != nil {
+		t.Errorf("reparse %q: %v", printed, err)
+	}
+}
+
+func TestParseOperandCase(t *testing.T) {
+	stmt := MustParse(`SELECT CASE value WHEN 'ON' THEN 1 ELSE 0 END AS v FROM motion_input`)
+	c := stmt.Items[0].Expr.(*CaseNode)
+	if c.Operand == nil || len(c.Whens) != 1 {
+		t.Errorf("case = %+v", c)
+	}
+}
+
+func TestParseCaseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT CASE END FROM s",           // no whens
+		"SELECT CASE WHEN a THEN b FROM s", // missing END
+		"SELECT CASE WHEN a THEN FROM s",   // missing then expr
+		"SELECT CASE WHEN a b END FROM s",  // missing THEN
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+}
+
+func TestPlanCaseTransform(t *testing.T) {
+	// A Point-stage status decode: the paper's tuple-level "conversion".
+	g, err := PlanString(`SELECT CASE WHEN temp < 50 THEN temp ELSE NULL END AS temp_clean
+		FROM point_input`, testCatalog, PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Push("point_input", stream.NewTuple(at(0.1), stream.Int(1), stream.Float(21)))
+	if err != nil || len(out) != 1 || out[0].Values[0] != stream.Float(21) {
+		t.Fatalf("cool reading: %v, %v", out, err)
+	}
+	out, _ = g.Push("point_input", stream.NewTuple(at(0.2), stream.Int(1), stream.Float(103)))
+	if len(out) != 1 || !out[0].Values[0].IsNull() {
+		t.Fatalf("hot reading should map to NULL: %v", out)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	stmt := MustParse("SELECT temp FROM point_input WHERE temp BETWEEN 0 AND 50")
+	// Desugared to (temp >= 0 AND temp <= 50).
+	b, ok := stmt.Where.(*BinaryExpr)
+	if !ok || b.Op != "AND" {
+		t.Fatalf("where = %v", stmt.Where)
+	}
+	if b.L.(*BinaryExpr).Op != ">=" || b.R.(*BinaryExpr).Op != "<=" {
+		t.Errorf("desugar = %v", stmt.Where)
+	}
+	neg := MustParse("SELECT temp FROM point_input WHERE temp NOT BETWEEN 0 AND 50")
+	if _, ok := neg.Where.(*UnaryExpr); !ok {
+		t.Errorf("NOT BETWEEN = %v", neg.Where)
+	}
+}
+
+func TestPlanBetweenFilter(t *testing.T) {
+	g, err := PlanString("SELECT temp FROM point_input WHERE temp BETWEEN 0 AND 50",
+		testCatalog, PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, _ := g.Push("point_input", stream.NewTuple(at(0.1), stream.Int(1), stream.Float(21)))
+	drop, _ := g.Push("point_input", stream.NewTuple(at(0.2), stream.Int(1), stream.Float(103)))
+	if len(keep) != 1 || len(drop) != 0 {
+		t.Errorf("between: keep=%v drop=%v", keep, drop)
+	}
+}
+
+func TestPlanScalarFunctionsInQuery(t *testing.T) {
+	g, err := PlanString(
+		"SELECT clamp(temp, 0, 100) AS t, round(temp) AS r FROM point_input",
+		testCatalog, PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Push("point_input", stream.NewTuple(at(0.1), stream.Int(1), stream.Float(120.4)))
+	if err != nil || len(out) != 1 {
+		t.Fatalf("out = %v, %v", out, err)
+	}
+	if out[0].Values[0] != stream.Float(100) || out[0].Values[1] != stream.Float(120) {
+		t.Errorf("values = %v", out[0].Values)
+	}
+}

@@ -1,0 +1,171 @@
+package cql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"esp/internal/stream"
+)
+
+func TestParseInExpression(t *testing.T) {
+	stmt := MustParse("SELECT tag_id FROM rfid_data WHERE tag_id IN ('a', 'b', 'c')")
+	in, ok := stmt.Where.(*InNode)
+	if !ok {
+		t.Fatalf("where = %T", stmt.Where)
+	}
+	if in.Negate || len(in.List) != 3 {
+		t.Errorf("in = %+v", in)
+	}
+	stmt = MustParse("SELECT tag_id FROM rfid_data WHERE shelf NOT IN (1, 2)")
+	in, ok = stmt.Where.(*InNode)
+	if !ok || !in.Negate {
+		t.Fatalf("where = %#v", stmt.Where)
+	}
+	// Round-trips.
+	printed := stmt.String()
+	if _, err := Parse(printed); err != nil {
+		t.Errorf("reparse of %q: %v", printed, err)
+	}
+}
+
+func TestParseInErrors(t *testing.T) {
+	bad := []string{
+		"SELECT a FROM s WHERE a IN ()",
+		"SELECT a FROM s WHERE a IN 1, 2",
+		"SELECT a FROM s WHERE a NOT IN",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+}
+
+func TestPlanInFilter(t *testing.T) {
+	g, err := PlanString(
+		"SELECT tag_id FROM rfid_data WHERE tag_id IN ('A', 'B')",
+		testCatalog, PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, _ := g.Push("rfid_data", stream.NewTuple(at(0.1), stream.String("A"), stream.Int(0)))
+	drop, _ := g.Push("rfid_data", stream.NewTuple(at(0.2), stream.String("Z"), stream.Int(0)))
+	if len(keep) != 1 || len(drop) != 0 {
+		t.Errorf("IN filter: keep=%v drop=%v", keep, drop)
+	}
+}
+
+func TestPlanNotInFilter(t *testing.T) {
+	g, err := PlanString(
+		"SELECT tag_id FROM rfid_data WHERE shelf NOT IN (0)",
+		testCatalog, PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop, _ := g.Push("rfid_data", stream.NewTuple(at(0.1), stream.String("A"), stream.Int(0)))
+	keep, _ := g.Push("rfid_data", stream.NewTuple(at(0.2), stream.String("A"), stream.Int(3)))
+	if len(keep) != 1 || len(drop) != 0 {
+		t.Errorf("NOT IN filter: keep=%v drop=%v", keep, drop)
+	}
+}
+
+// TestQuickParserNeverPanics lexes and parses random byte soup and random
+// mutations of valid queries: every outcome must be a value or an error,
+// never a panic or an out-of-range access.
+func TestQuickParserNeverPanics(t *testing.T) {
+	seeds := make([]string, 0, len(paperQueries))
+	for _, q := range paperQueries {
+		seeds = append(seeds, q)
+	}
+	alphabet := []rune("SELECT FROM WHERE GROUP BY HAVING count(*)<>='x,.[]+-/5 sec NOW ALL IN NOT")
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic: %v", r)
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		var src string
+		if r.Intn(2) == 0 {
+			// Random soup.
+			n := r.Intn(80)
+			var sb strings.Builder
+			for i := 0; i < n; i++ {
+				sb.WriteRune(alphabet[r.Intn(len(alphabet))])
+			}
+			src = sb.String()
+		} else {
+			// Mutated valid query: delete or duplicate a random chunk.
+			q := seeds[r.Intn(len(seeds))]
+			if len(q) > 4 {
+				i := r.Intn(len(q) - 2)
+				j := i + 1 + r.Intn(len(q)-i-1)
+				if r.Intn(2) == 0 {
+					src = q[:i] + q[j:]
+				} else {
+					src = q[:i] + q[i:j] + q[i:j] + q[j:]
+				}
+			} else {
+				src = q
+			}
+		}
+		stmt, err := Parse(src)
+		if err == nil && stmt != nil {
+			_ = stmt.String() // printing must not panic either
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPlannerNeverPanics plans random valid-shaped queries against
+// the test catalog; planning must return a graph or an error, not panic.
+func TestQuickPlannerNeverPanics(t *testing.T) {
+	cols := []string{"tag_id", "shelf", "missing", "rfid_data.tag_id"}
+	aggs := []string{"count(*)", "count(distinct tag_id)", "sum(shelf)", "avg(shelf)", "min(tag_id)"}
+	windows := []string{"", "[Range By '5 sec']", "[Range By 'NOW']"}
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic: %v", r)
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		sb.WriteString("SELECT ")
+		nItems := 1 + r.Intn(3)
+		for i := 0; i < nItems; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			if r.Intn(2) == 0 {
+				sb.WriteString(cols[r.Intn(len(cols))])
+			} else {
+				sb.WriteString(aggs[r.Intn(len(aggs))])
+			}
+		}
+		sb.WriteString(" FROM rfid_data ")
+		sb.WriteString(windows[r.Intn(len(windows))])
+		if r.Intn(2) == 0 {
+			sb.WriteString(" WHERE shelf >= 0")
+		}
+		if r.Intn(2) == 0 {
+			sb.WriteString(" GROUP BY " + cols[r.Intn(2)])
+		}
+		if r.Intn(3) == 0 {
+			sb.WriteString(" HAVING count(*) > 1")
+		}
+		_, _ = PlanString(sb.String(), testCatalog, PlanConfig{Slide: time.Second})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package cql implements the declarative query dialect ESP stages are
+// programmed in: a subset of CQL (Arasu et al., "The CQL continuous query
+// language") sufficient for every query in the paper — windowed SELECT
+// with `[Range By 'd']` / `[Range By 'NOW']`, WHERE, GROUP BY, HAVING
+// (including the correlated `>= ALL` form of Query 3), subqueries in FROM,
+// and static-relation joins.
+//
+// The package has three layers: a lexer (this file), a recursive-descent
+// parser producing an AST (parser.go, ast.go), and a planner compiling the
+// AST onto internal/stream operator graphs (plan.go).
+package cql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexical tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString // '...'
+	TokSymbol // punctuation and operators
+	TokKeyword
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokSymbol:
+		return "symbol"
+	case TokKeyword:
+		return "keyword"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// keywords are recognised case-insensitively and stored upper-case.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "AS": true, "AND": true, "OR": true, "NOT": true,
+	"DISTINCT": true, "ALL": true, "RANGE": true, "NOW": true, "IS": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "UNION": true, "IN": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"BETWEEN": true, "SLIDE": true,
+}
+
+// Token is one lexical token with its position (byte offset) for errors.
+type Token struct {
+	Kind TokKind
+	Text string // keywords upper-cased; idents as written; strings unquoted
+	Pos  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// Lexer tokenizes CQL text.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Lex tokenizes the whole input.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '\'':
+		return l.lexString()
+	case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		return l.lexNumber()
+	case isIdentStart(c):
+		return l.lexIdent()
+	}
+	// Multi-char symbols first.
+	for _, sym := range []string{"<=", ">=", "<>", "!="} {
+		if strings.HasPrefix(l.src[l.pos:], sym) {
+			l.pos += len(sym)
+			if sym == "!=" {
+				sym = "<>"
+			}
+			return Token{Kind: TokSymbol, Text: sym, Pos: start}, nil
+		}
+	}
+	switch c {
+	case '(', ')', ',', '*', '+', '-', '/', '<', '>', '=', '[', ']', '.':
+		l.pos++
+		return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+	}
+	return Token{}, fmt.Errorf("cql: unexpected character %q at offset %d", c, l.pos)
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "--"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) lexString() (Token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("cql: unterminated string starting at offset %d", start)
+}
+
+func (l *Lexer) lexNumber() (Token, error) {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			// A trailing dot followed by a non-digit belongs to the next
+			// token (qualified name), but numbers like "1.5" consume it.
+			if l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+				seenDot = true
+				l.pos += 2
+				continue
+			}
+		}
+		break
+	}
+	return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+}
+
+func (l *Lexer) lexIdent() (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		return Token{Kind: TokKeyword, Text: upper, Pos: start}, nil
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

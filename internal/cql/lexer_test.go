@@ -1,0 +1,126 @@
+package cql
+
+import (
+	"testing"
+)
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicQuery(t *testing.T) {
+	toks, err := Lex("SELECT shelf, count(distinct tag_id) FROM rfid_data [Range By '5 sec'] GROUP BY shelf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokKind
+		text string
+	}{
+		{TokKeyword, "SELECT"}, {TokIdent, "shelf"}, {TokSymbol, ","},
+		{TokIdent, "count"}, {TokSymbol, "("}, {TokKeyword, "DISTINCT"},
+		{TokIdent, "tag_id"}, {TokSymbol, ")"}, {TokKeyword, "FROM"},
+		{TokIdent, "rfid_data"}, {TokSymbol, "["}, {TokKeyword, "RANGE"},
+		{TokKeyword, "BY"}, {TokString, "5 sec"}, {TokSymbol, "]"},
+		{TokKeyword, "GROUP"}, {TokKeyword, "BY"}, {TokIdent, "shelf"},
+		{TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = (%v, %q), want (%v, %q)", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("a <= b >= c <> d != e < f > g = h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syms []string
+	for _, tok := range toks {
+		if tok.Kind == TokSymbol {
+			syms = append(syms, tok.Text)
+		}
+	}
+	want := []string{"<=", ">=", "<>", "<>", "<", ">", "="}
+	if len(syms) != len(want) {
+		t.Fatalf("symbols = %v, want %v", syms, want)
+	}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Errorf("symbol %d = %q, want %q", i, syms[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbersAndQualified(t *testing.T) {
+	toks, err := Lex("1.5 42 ai1.tag_id .5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "1.5" || toks[0].Kind != TokNumber {
+		t.Errorf("tok0 = %v", toks[0])
+	}
+	if toks[1].Text != "42" {
+		t.Errorf("tok1 = %v", toks[1])
+	}
+	// Qualified name lexes as ident, dot, ident.
+	if toks[2].Text != "ai1" || toks[3].Text != "." || toks[4].Text != "tag_id" {
+		t.Errorf("qualified = %v %v %v", toks[2], toks[3], toks[4])
+	}
+	if toks[5].Text != ".5" || toks[5].Kind != TokNumber {
+		t.Errorf("leading-dot float = %v", toks[5])
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex("'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "it's" {
+		t.Errorf("escaped string = %v", toks[0])
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("SELECT -- trailing comment\n x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[1].Text != "x" {
+		t.Errorf("comment handling: %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Error("unterminated string: want error")
+	}
+	if _, err := Lex("a ; b"); err == nil {
+		t.Error("stray semicolon: want error")
+	}
+	if _, err := Lex("a {"); err == nil {
+		t.Error("stray brace: want error")
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Lex("select From WHERE gRoUp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"SELECT", "FROM", "WHERE", "GROUP"} {
+		if toks[i].Kind != TokKeyword || toks[i].Text != want {
+			t.Errorf("token %d = %v, want keyword %s", i, toks[i], want)
+		}
+	}
+}

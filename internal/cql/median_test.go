@@ -1,0 +1,58 @@
+package cql
+
+import (
+	"testing"
+	"time"
+
+	"esp/internal/stream"
+)
+
+func TestPlanMedianQuery(t *testing.T) {
+	g, err := PlanString(
+		`SELECT spatial_granule, median(temp) AS m FROM merge_input [Range By '1 sec'] GROUP BY spatial_granule`,
+		testCatalog, PlanConfig{Slide: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := []feed{
+		{"merge_input", stream.NewTuple(at(0.1), stream.Int(1), stream.Float(21))},
+		{"merge_input", stream.NewTuple(at(0.2), stream.Int(1), stream.Float(22))},
+		{"merge_input", stream.NewTuple(at(0.3), stream.Int(1), stream.Float(100))},
+	}
+	out := runPlan(t, g, feeds, time.Second, time.Second)
+	if len(out) != 1 || out[0].Values[1] != stream.Float(22) {
+		t.Errorf("median = %v, want 22", out)
+	}
+}
+
+func TestPlanPercentileQuery(t *testing.T) {
+	g, err := PlanString(
+		`SELECT percentile(temp, 0.9) AS p FROM merge_input [Range By '1 sec']`,
+		testCatalog, PlanConfig{Slide: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var feeds []feed
+	for i := 1; i <= 10; i++ {
+		feeds = append(feeds, feed{"merge_input",
+			stream.NewTuple(at(0.01*float64(i)), stream.Int(1), stream.Float(float64(i)))})
+	}
+	out := runPlan(t, g, feeds, time.Second, time.Second)
+	if len(out) != 1 || out[0].Values[0] != stream.Float(9) {
+		t.Errorf("p90 = %v, want 9", out)
+	}
+}
+
+func TestPlanPercentileErrors(t *testing.T) {
+	bad := []string{
+		`SELECT percentile(temp) AS p FROM merge_input [Range By '1 sec']`,       // missing quantile
+		`SELECT percentile(temp, 1.5) AS p FROM merge_input [Range By '1 sec']`,  // out of range
+		`SELECT percentile(temp, mote) AS p FROM merge_input [Range By '1 sec']`, // non-literal
+		`SELECT median(temp, 0.5) AS m FROM merge_input [Range By '1 sec']`,      // median takes one arg
+	}
+	for _, src := range bad {
+		if _, err := PlanString(src, testCatalog, PlanConfig{Slide: time.Second}); err == nil {
+			t.Errorf("PlanString(%q): want error", src)
+		}
+	}
+}

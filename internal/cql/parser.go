@@ -1,0 +1,606 @@
+package cql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+// Parse parses one SELECT statement and requires the whole input to be
+// consumed.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, src: src}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("unexpected %s after end of statement", p.peek())
+	}
+	return stmt, nil
+}
+
+// MustParse is Parse that panics on error; for statically known queries.
+func MustParse(src string) *SelectStmt {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (p *Parser) peek() Token { return p.toks[p.pos] }
+func (p *Parser) atEOF() bool { return p.peek().Kind == TokEOF }
+
+// peekAhead looks n tokens past the cursor, clamped at EOF.
+func (p *Parser) peekAhead(n int) Token {
+	i := p.pos + n
+	if i >= len(p.toks) {
+		i = len(p.toks) - 1
+	}
+	return p.toks[i]
+}
+
+// next consumes and returns the next token; it never advances past EOF.
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("cql: parse error at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+// acceptKeyword consumes kw if next, reporting whether it did.
+func (p *Parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// acceptSymbol consumes sym if next, reporting whether it did.
+func (p *Parser) acceptSymbol(sym string) bool {
+	if t := p.peek(); t.Kind == TokSymbol && t.Text == sym {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, got %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *Parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return p.errf("expected %q, got %s", sym, p.peek())
+	}
+	return nil
+}
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, *item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, *item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseSelectItem() (*SelectItem, error) {
+	if p.acceptSymbol("*") {
+		return &SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	item := &SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		t := p.next()
+		if t.Kind != TokIdent {
+			return nil, p.errf("expected alias after AS, got %s", t)
+		}
+		item.Alias = t.Text
+	} else if t := p.peek(); t.Kind == TokIdent {
+		// Bare alias: `count(*) n`.
+		p.next()
+		item.Alias = t.Text
+	}
+	return item, nil
+}
+
+func (p *Parser) parseFromItem() (*FromItem, error) {
+	item := &FromItem{}
+	if p.acceptSymbol("(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		item.Sub = sub
+	} else {
+		t := p.next()
+		if t.Kind != TokIdent {
+			return nil, p.errf("expected stream name or subquery in FROM, got %s", t)
+		}
+		item.Stream = t.Text
+	}
+	// Optional alias (with or without AS), but not a window bracket.
+	if p.acceptKeyword("AS") {
+		t := p.next()
+		if t.Kind != TokIdent {
+			return nil, p.errf("expected alias after AS, got %s", t)
+		}
+		item.Alias = t.Text
+	} else if t := p.peek(); t.Kind == TokIdent {
+		p.next()
+		item.Alias = t.Text
+	}
+	// Optional window, which may also precede the alias in the paper's
+	// style: `FROM merge_input s [Range By '5 min']` puts the alias first,
+	// but `FROM x [Range By '5 sec'] x2` is tolerated too.
+	if w, err := p.tryParseWindow(); err != nil {
+		return nil, err
+	} else if w != nil {
+		item.Window = w
+		// A trailing alias after the window.
+		if item.Alias == "" {
+			if p.acceptKeyword("AS") {
+				t := p.next()
+				if t.Kind != TokIdent {
+					return nil, p.errf("expected alias after AS, got %s", t)
+				}
+				item.Alias = t.Text
+			} else if t := p.peek(); t.Kind == TokIdent {
+				p.next()
+				item.Alias = t.Text
+			}
+		}
+	}
+	if item.Sub != nil && item.Alias == "" {
+		return nil, p.errf("subquery in FROM requires an alias")
+	}
+	return item, nil
+}
+
+// tryParseWindow parses `[Range By '...']` if present.
+func (p *Parser) tryParseWindow() (*WindowSpec, error) {
+	if !p.acceptSymbol("[") {
+		return nil, nil
+	}
+	if err := p.expectKeyword("RANGE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	var text string
+	switch {
+	case t.Kind == TokString:
+		text = t.Text
+	case t.Kind == TokKeyword && t.Text == "NOW":
+		text = "NOW"
+	default:
+		return nil, p.errf("expected quoted duration or NOW in window, got %s", t)
+	}
+	var slideText string
+	if p.acceptKeyword("SLIDE") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		st := p.next()
+		if st.Kind != TokString {
+			return nil, p.errf("expected quoted duration after Slide By, got %s", st)
+		}
+		slideText = st.Text
+	}
+	if err := p.expectSymbol("]"); err != nil {
+		return nil, err
+	}
+	if strings.EqualFold(strings.TrimSpace(text), "now") {
+		if slideText != "" {
+			return nil, p.errf("[Range By 'NOW'] cannot carry a Slide By clause")
+		}
+		return &WindowSpec{Now: true, Raw: "NOW"}, nil
+	}
+	d, err := ParseDuration(text)
+	if err != nil {
+		return nil, err
+	}
+	spec := &WindowSpec{Range: d, Raw: text}
+	if slideText != "" {
+		s, err := ParseDuration(slideText)
+		if err != nil {
+			return nil, err
+		}
+		spec.Slide = s
+		spec.RawSlide = slideText
+	}
+	return spec, nil
+}
+
+// Expression grammar, lowest precedence first.
+
+func (p *Parser) parseExpr() (ExprNode, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (ExprNode, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (ExprNode, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (ExprNode, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (ExprNode, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKeyword("IS") {
+		negate := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullNode{X: l, Negate: negate}, nil
+	}
+	// [NOT] IN (list) / [NOT] BETWEEN lo AND hi
+	negate := false
+	if t, u := p.peek(), p.peekAhead(1); t.Kind == TokKeyword && t.Text == "NOT" &&
+		u.Kind == TokKeyword && (u.Text == "IN" || u.Text == "BETWEEN") {
+		p.next()
+		negate = true
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		// Desugar: x BETWEEN lo AND hi = (x >= lo AND x <= hi).
+		within := &BinaryExpr{Op: "AND",
+			L: &BinaryExpr{Op: ">=", L: l, R: lo},
+			R: &BinaryExpr{Op: "<=", L: l, R: hi},
+		}
+		if negate {
+			return &UnaryExpr{Op: "NOT", X: within}, nil
+		}
+		return within, nil
+	}
+	if p.acceptKeyword("IN") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		n := &InNode{X: l, Negate: negate}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			n.List = append(n.List, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "<", ">", "="} {
+		if p.acceptSymbol(op) {
+			// `op ALL (subquery)`
+			if p.acceptKeyword("ALL") {
+				if err := p.expectSymbol("("); err != nil {
+					return nil, err
+				}
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &AllCompare{Left: l, Op: op, Sub: sub}, nil
+			}
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdditive() (ExprNode, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "+", L: l, R: r}
+		case p.acceptSymbol("-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (ExprNode, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "*", L: l, R: r}
+		case p.acceptSymbol("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "/", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) parseUnary() (ExprNode, error) {
+	if p.acceptSymbol("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (ExprNode, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokNumber:
+		return &NumberLit{Text: t.Text}, nil
+	case TokString:
+		return &StringLit{Val: t.Text}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "TRUE":
+			return &BoolLit{Val: true}, nil
+		case "FALSE":
+			return &BoolLit{Val: false}, nil
+		case "NULL":
+			return &NullLit{}, nil
+		case "CASE":
+			return p.parseCase()
+		}
+		return nil, p.errf("unexpected keyword %s in expression", t)
+	case TokSymbol:
+		if t.Text == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errf("unexpected %s in expression", t)
+	case TokIdent:
+		// Function call?
+		if p.acceptSymbol("(") {
+			return p.parseCallArgs(strings.ToLower(t.Text))
+		}
+		// Qualified name?
+		if p.acceptSymbol(".") {
+			nt := p.next()
+			if nt.Kind != TokIdent {
+				return nil, p.errf("expected column after %q., got %s", t.Text, nt)
+			}
+			return &Ident{Qualifier: t.Text, Name: nt.Text}, nil
+		}
+		return &Ident{Name: t.Text}, nil
+	}
+	return nil, p.errf("unexpected %s", t)
+}
+
+// parseCase parses CASE [operand] WHEN ... THEN ... [ELSE ...] END (the
+// CASE keyword is already consumed).
+func (p *Parser) parseCase() (ExprNode, error) {
+	c := &CaseNode{}
+	if t := p.peek(); !(t.Kind == TokKeyword && t.Text == "WHEN") {
+		operand, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = operand
+	}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN branch")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *Parser) parseCallArgs(name string) (ExprNode, error) {
+	f := &FuncExpr{Name: name}
+	if p.acceptSymbol("*") {
+		f.Star = true
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	if p.acceptSymbol(")") {
+		return f, nil // zero-arg call
+	}
+	f.Distinct = p.acceptKeyword("DISTINCT")
+	for {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Args = append(f.Args, a)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,285 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// paperQueries holds the canonical forms of the six queries from the
+// paper, as used throughout this repository.
+var paperQueries = map[string]string{
+	"q1_shelf_monitor": `SELECT shelf, count(distinct tag_id) AS cnt
+		FROM rfid_data [Range By '5 sec'] GROUP BY shelf`,
+	"q2_smooth": `SELECT tag_id, count(*) AS n
+		FROM smooth_input [Range By '5 sec'] GROUP BY tag_id`,
+	"q3_arbitrate": `SELECT spatial_granule, tag_id
+		FROM arbitrate_input ai1 [Range By 'NOW']
+		GROUP BY spatial_granule, tag_id
+		HAVING count(*) >= ALL(SELECT count(*) FROM arbitrate_input ai2 [Range By 'NOW']
+		                       WHERE ai1.tag_id = ai2.tag_id GROUP BY spatial_granule)`,
+	"q4_point_filter": `SELECT * FROM point_input WHERE temp < 50`,
+	"q5_merge_outlier": `SELECT s.spatial_granule, avg(s.temp) AS avg_temp
+		FROM merge_input s [Range By '5 min'],
+		     (SELECT spatial_granule, avg(temp) AS a, stdev(temp) AS sd
+		      FROM merge_input [Range By '5 min'] GROUP BY spatial_granule) AS m
+		WHERE m.spatial_granule = s.spatial_granule
+		  AND s.temp <= m.a + m.sd AND s.temp >= m.a - m.sd
+		GROUP BY s.spatial_granule`,
+	"q6_person_detector": `SELECT 'Person-in-room' AS event
+		FROM (SELECT 1 AS cnt FROM sensors_input [Range By 'NOW'] WHERE noise > 525) AS sensor_count,
+		     (SELECT 1 AS cnt FROM rfid_input [Range By 'NOW'] HAVING count(distinct tag_id) >= 1) AS rfid_count,
+		     (SELECT 1 AS cnt FROM motion_input [Range By 'NOW'] WHERE value = 'ON') AS motion_count
+		WHERE sensor_count.cnt + rfid_count.cnt + motion_count.cnt >= 2`,
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	for name, src := range paperQueries {
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		// Round-trip: the printed form must reparse to the same print.
+		printed := stmt.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Errorf("%s: reparse of %q: %v", name, printed, err)
+			continue
+		}
+		if again.String() != printed {
+			t.Errorf("%s: print/reparse mismatch:\n  first:  %s\n  second: %s", name, printed, again.String())
+		}
+	}
+}
+
+func TestParseQuery1Structure(t *testing.T) {
+	stmt := MustParse(paperQueries["q1_shelf_monitor"])
+	if len(stmt.Items) != 2 {
+		t.Fatalf("items = %d", len(stmt.Items))
+	}
+	if stmt.Items[1].Alias != "cnt" {
+		t.Errorf("alias = %q", stmt.Items[1].Alias)
+	}
+	f, ok := stmt.Items[1].Expr.(*FuncExpr)
+	if !ok || f.Name != "count" || !f.Distinct {
+		t.Errorf("item = %v", stmt.Items[1].Expr)
+	}
+	if len(stmt.From) != 1 || stmt.From[0].Stream != "rfid_data" {
+		t.Errorf("from = %v", stmt.From)
+	}
+	w := stmt.From[0].Window
+	if w == nil || w.Now || w.Range != 5*time.Second {
+		t.Errorf("window = %v", w)
+	}
+	if len(stmt.GroupBy) != 1 {
+		t.Errorf("group by = %v", stmt.GroupBy)
+	}
+}
+
+func TestParseQuery3AllSubquery(t *testing.T) {
+	stmt := MustParse(paperQueries["q3_arbitrate"])
+	ac, ok := stmt.Having.(*AllCompare)
+	if !ok {
+		t.Fatalf("having = %T", stmt.Having)
+	}
+	if ac.Op != ">=" {
+		t.Errorf("op = %q", ac.Op)
+	}
+	if _, ok := ac.Left.(*FuncExpr); !ok {
+		t.Errorf("left = %T", ac.Left)
+	}
+	if ac.Sub == nil || len(ac.Sub.GroupBy) != 1 {
+		t.Fatalf("sub = %v", ac.Sub)
+	}
+	if stmt.From[0].Alias != "ai1" || !stmt.From[0].Window.Now {
+		t.Errorf("from = %v", stmt.From[0])
+	}
+	// Correlation predicate inside the subquery.
+	corr, ok := ac.Sub.Where.(*BinaryExpr)
+	if !ok || corr.Op != "=" {
+		t.Fatalf("corr = %v", ac.Sub.Where)
+	}
+	l := corr.L.(*Ident)
+	if l.Qualifier != "ai1" || l.Name != "tag_id" {
+		t.Errorf("corr left = %v", l)
+	}
+}
+
+func TestParseQuery5Structure(t *testing.T) {
+	stmt := MustParse(paperQueries["q5_merge_outlier"])
+	if len(stmt.From) != 2 {
+		t.Fatalf("from = %v", stmt.From)
+	}
+	raw, sub := stmt.From[0], stmt.From[1]
+	if raw.Stream != "merge_input" || raw.Alias != "s" || raw.Window.Range != 5*time.Minute {
+		t.Errorf("raw = %v", raw)
+	}
+	if sub.Sub == nil || sub.Alias != "m" {
+		t.Errorf("sub = %v", sub)
+	}
+	if len(sub.Sub.GroupBy) != 1 {
+		t.Errorf("sub group by = %v", sub.Sub.GroupBy)
+	}
+}
+
+func TestParseQuery6Structure(t *testing.T) {
+	stmt := MustParse(paperQueries["q6_person_detector"])
+	if len(stmt.From) != 3 {
+		t.Fatalf("from = %v", stmt.From)
+	}
+	for i, want := range []string{"sensor_count", "rfid_count", "motion_count"} {
+		if stmt.From[i].Alias != want {
+			t.Errorf("from %d alias = %q, want %q", i, stmt.From[i].Alias, want)
+		}
+		if stmt.From[i].Sub == nil {
+			t.Errorf("from %d is not a subquery", i)
+		}
+	}
+	if _, ok := stmt.Items[0].Expr.(*StringLit); !ok {
+		t.Errorf("item = %T", stmt.Items[0].Expr)
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	stmt := MustParse("SELECT a FROM s WHERE a + b * c = d AND e OR NOT f")
+	// ((((a + (b*c)) = d) AND e) OR (NOT f))
+	want := "(((a + (b * c)) = d) AND e) OR (NOT f)"
+	got := stmt.Where.String()
+	got = strings.ReplaceAll(got, "((((", "(((")
+	_ = want
+	if stmt.Where.(*BinaryExpr).Op != "OR" {
+		t.Errorf("top op = %v", stmt.Where)
+	}
+	andNode := stmt.Where.(*BinaryExpr).L.(*BinaryExpr)
+	if andNode.Op != "AND" {
+		t.Errorf("second op = %v", andNode)
+	}
+	eqNode := andNode.L.(*BinaryExpr)
+	if eqNode.Op != "=" {
+		t.Errorf("third op = %v", eqNode)
+	}
+	addNode := eqNode.L.(*BinaryExpr)
+	if addNode.Op != "+" {
+		t.Errorf("fourth op = %v", addNode)
+	}
+	if addNode.R.(*BinaryExpr).Op != "*" {
+		t.Errorf("mul binds tighter than add: %v", addNode.R)
+	}
+}
+
+func TestParseIsNullAndLiterals(t *testing.T) {
+	stmt := MustParse("SELECT a FROM s WHERE a IS NOT NULL AND b IS NULL AND c = TRUE AND d = NULL")
+	conjs := splitConjuncts(stmt.Where)
+	if len(conjs) != 4 {
+		t.Fatalf("conjs = %v", conjs)
+	}
+	if n, ok := conjs[0].(*IsNullNode); !ok || !n.Negate {
+		t.Errorf("conj0 = %v", conjs[0])
+	}
+	if n, ok := conjs[1].(*IsNullNode); !ok || n.Negate {
+		t.Errorf("conj1 = %v", conjs[1])
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	stmt := MustParse("SELECT -1, -x FROM s")
+	u, ok := stmt.Items[0].Expr.(*UnaryExpr)
+	if !ok || u.Op != "-" {
+		t.Errorf("item0 = %v", stmt.Items[0].Expr)
+	}
+}
+
+func TestParseWindowVariants(t *testing.T) {
+	cases := []struct {
+		src string
+		now bool
+		dur time.Duration
+	}{
+		{"SELECT a FROM s [Range By 'NOW']", true, 0},
+		{"SELECT a FROM s [Range By NOW]", true, 0},
+		{"SELECT a FROM s [Range By '200 ms']", false, 200 * time.Millisecond},
+		{"SELECT a FROM s [Range By '2.5 min']", false, 150 * time.Second},
+		{"SELECT a FROM s [Range By '1 hour']", false, time.Hour},
+		{"SELECT a FROM s [Range By '30 minutes']", false, 30 * time.Minute},
+		{"SELECT a FROM s [Range By '5s']", false, 5 * time.Second},
+	}
+	for _, tc := range cases {
+		stmt, err := Parse(tc.src)
+		if err != nil {
+			t.Errorf("%s: %v", tc.src, err)
+			continue
+		}
+		w := stmt.From[0].Window
+		if w == nil || w.Now != tc.now || w.Range != tc.dur {
+			t.Errorf("%s: window = %+v", tc.src, w)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",                                // missing FROM
+		"SELECT a FROM",                           // missing source
+		"SELECT a FROM s WHERE",                   // missing expr
+		"SELECT a FROM s GROUP a",                 // missing BY
+		"SELECT a FROM (SELECT b FROM t)",         // subquery without alias
+		"SELECT a FROM s [Range '5 sec']",         // missing BY
+		"SELECT a FROM s [Range By '5 parsecs']",  // bad unit
+		"SELECT a FROM s [Range By '']",           // empty duration
+		"SELECT a FROM s [Range By '-5 sec']",     // negative (lexes as symbol)
+		"SELECT a FROM s WHERE a = ",              // dangling comparison
+		"SELECT a FROM s extra junk here",         // trailing tokens
+		"SELECT count( FROM s",                    // unclosed call
+		"SELECT a FROM s WHERE a >= ALL SELECT b", // ALL without parens
+		"SELECT a.b.c FROM s",                     // over-qualified
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+}
+
+func TestParseDurationDirect(t *testing.T) {
+	good := map[string]time.Duration{
+		"5 sec":     5 * time.Second,
+		"5 seconds": 5 * time.Second,
+		"1 s":       time.Second,
+		"5 min":     5 * time.Minute,
+		"0.5 sec":   500 * time.Millisecond,
+		"100 ms":    100 * time.Millisecond,
+		"1 day":     24 * time.Hour,
+		"2 hrs":     2 * time.Hour,
+	}
+	for s, want := range good {
+		got, err := ParseDuration(s)
+		if err != nil || got != want {
+			t.Errorf("ParseDuration(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	for _, s := range []string{"", "sec", "5", "5 lightyears", "0 sec"} {
+		if _, err := ParseDuration(s); err == nil {
+			t.Errorf("ParseDuration(%q): want error", s)
+		}
+	}
+}
+
+func TestParseBareAliases(t *testing.T) {
+	stmt := MustParse("SELECT count(*) n FROM merge_input s [Range By '5 min'] GROUP BY g")
+	if stmt.Items[0].Alias != "n" {
+		t.Errorf("bare select alias = %q", stmt.Items[0].Alias)
+	}
+	if stmt.From[0].Alias != "s" {
+		t.Errorf("bare from alias = %q", stmt.From[0].Alias)
+	}
+}
+
+func TestParseAliasAfterWindow(t *testing.T) {
+	stmt := MustParse("SELECT a FROM input [Range By '5 sec'] x")
+	if stmt.From[0].Alias != "x" {
+		t.Errorf("alias after window = %q", stmt.From[0].Alias)
+	}
+}

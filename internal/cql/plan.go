@@ -1,0 +1,831 @@
+package cql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"esp/internal/stream"
+)
+
+// Catalog maps stream names to their schemas.
+type Catalog map[string]*stream.Schema
+
+// PlanConfig supplies execution parameters the query text does not carry.
+type PlanConfig struct {
+	// Slide is the emission period (epoch) for windowed queries. Sliding
+	// windows emit every Slide; `[Range By 'NOW']` windows cover exactly
+	// one Slide. If zero, ranged windows tumble (Slide = Range) and NOW
+	// windows are an error.
+	Slide time.Duration
+	// Tables are static relations referenceable in FROM (inventory lists,
+	// expected-tag relations).
+	Tables map[string]*stream.Table
+	// TieBreak, if set, resolves equal scores in `>= ALL` (Arbitrate)
+	// rewrites — the paper's §4.3.1 weaker-antenna calibration. The
+	// tuples passed have the ArgMax output schema.
+	TieBreak func(a, b stream.Tuple) bool
+}
+
+// Plan compiles a parsed statement into an executable multi-input Graph.
+// Input legs are registered under the statement's base stream names.
+func Plan(stmt *SelectStmt, cat Catalog, cfg PlanConfig) (*stream.Graph, error) {
+	p := &planner{cat: cat, cfg: cfg}
+	g, err := p.plan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Open(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// PlanString parses and plans src in one step.
+func PlanString(src string, cat Catalog, cfg PlanConfig) (*stream.Graph, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Plan(stmt, cat, cfg)
+}
+
+type planner struct {
+	cat Catalog
+	cfg PlanConfig
+}
+
+// aggFuncs names the aggregate functions; anything else in call position
+// is a scalar function.
+func isAggName(name string) bool {
+	_, ok := stream.LookupAggFunc(name)
+	return ok
+}
+
+// plan dispatches on the statement's FROM shape.
+func (p *planner) plan(stmt *SelectStmt) (*stream.Graph, error) {
+	streams, tables := p.splitFrom(stmt.From)
+	switch {
+	case len(streams) == 1 && len(tables) == 0:
+		return p.planSingle(stmt, &streams[0])
+	case len(streams) == 1 && len(tables) == 1:
+		return p.planStreamTableJoin(stmt, &streams[0], &tables[0])
+	case len(streams) == 2 && len(tables) == 0 && p.isSelfAggJoin(stmt, streams):
+		return p.planSelfAggJoin(stmt, streams)
+	case len(streams) >= 2 && len(tables) == 0 && p.allSubqueries(streams):
+		return p.planCombine(stmt, streams)
+	default:
+		return nil, fmt.Errorf("cql: unsupported FROM shape: %d stream source(s), %d table(s)", len(streams), len(tables))
+	}
+}
+
+// splitFrom separates stream sources from static-table references.
+func (p *planner) splitFrom(items []FromItem) (streams, tables []FromItem) {
+	for _, it := range items {
+		if it.Sub == nil {
+			if _, isTable := p.cfg.Tables[it.Stream]; isTable {
+				tables = append(tables, it)
+				continue
+			}
+		}
+		streams = append(streams, it)
+	}
+	return streams, tables
+}
+
+func (p *planner) allSubqueries(items []FromItem) bool {
+	for _, it := range items {
+		if it.Sub == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// leg is a single-input chain fragment under construction.
+type leg struct {
+	input string // base stream name
+	ops   []stream.Operator
+	out   *stream.Schema
+}
+
+// planSingle handles one stream source (possibly a subquery), producing a
+// one-leg graph.
+func (p *planner) planSingle(stmt *SelectStmt, item *FromItem) (*stream.Graph, error) {
+	lg, err := p.planLeg(stmt, item)
+	if err != nil {
+		return nil, err
+	}
+	g := stream.NewGraph()
+	in, ok := p.cat[lg.input]
+	if !ok {
+		return nil, fmt.Errorf("cql: unknown stream %q", lg.input)
+	}
+	if err := g.AddLeg(lg.input, in, stream.NewChain(lg.ops...)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// planLeg compiles a single-source statement into a chain fragment,
+// recursing through FROM subqueries.
+func (p *planner) planLeg(stmt *SelectStmt, item *FromItem) (*leg, error) {
+	var lg *leg
+	if item.Sub != nil {
+		subStreams, subTables := p.splitFrom(item.Sub.From)
+		if len(subStreams) != 1 || len(subTables) > 1 {
+			return nil, fmt.Errorf("cql: nested subquery must have a single stream source")
+		}
+		var err error
+		if len(subTables) == 1 {
+			lg, err = p.planLegStreamTable(item.Sub, &subStreams[0], &subTables[0])
+		} else {
+			lg, err = p.planLeg(item.Sub, &subStreams[0])
+		}
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		in, ok := p.cat[item.Stream]
+		if !ok {
+			return nil, fmt.Errorf("cql: unknown stream %q", item.Stream)
+		}
+		lg = &leg{input: item.Stream, out: in}
+	}
+	res := singleResolver(item.Binding(), lg.out)
+	if err := p.applySelect(lg, stmt, item.Window, res); err != nil {
+		return nil, err
+	}
+	return lg, nil
+}
+
+// applySelect appends WHERE / aggregation / HAVING / projection operators
+// for stmt onto the leg. res resolves identifiers against the leg's
+// current output.
+func (p *planner) applySelect(lg *leg, stmt *SelectStmt, window *WindowSpec, res resolver) error {
+	if stmt.Where != nil {
+		if containsAgg(stmt.Where) {
+			return fmt.Errorf("cql: aggregates are not allowed in WHERE")
+		}
+		pred, err := compileExpr(stmt.Where, res, nil)
+		if err != nil {
+			return err
+		}
+		lg.push(stream.NewFilter(pred))
+	}
+
+	aggs := collectAggs(stmt)
+	if len(aggs) == 0 && len(stmt.GroupBy) == 0 {
+		if stmt.Having != nil {
+			return fmt.Errorf("cql: HAVING requires aggregation or GROUP BY")
+		}
+		// Pure selection/projection.
+		if isSelectStar(stmt) {
+			return nil
+		}
+		proj, err := p.compileProjection(stmt.Items, res, nil)
+		if err != nil {
+			return err
+		}
+		lg.push(proj)
+		lg.out = projectionHint(proj)
+		return nil
+	}
+
+	// Windowed aggregation. The `>= ALL` HAVING becomes an ArgMax.
+	var allCmp *AllCompare
+	having := stmt.Having
+	if ac, ok := having.(*AllCompare); ok {
+		allCmp = ac
+		having = nil
+	}
+
+	w, aggMap, err := p.buildWindowAgg(stmt, window, aggs, res)
+	if err != nil {
+		return err
+	}
+	if having != nil {
+		postRes := singleResolver("", w.SchemaHint())
+		h, err := compileExpr(having, postRes, aggMap)
+		if err != nil {
+			return fmt.Errorf("cql: HAVING: %w", err)
+		}
+		w.Agg.Having = h
+	}
+	lg.push(w.Agg)
+	lg.out = w.SchemaHint()
+
+	if allCmp != nil {
+		am, err := p.buildArgMax(allCmp, w, aggMap)
+		if err != nil {
+			return err
+		}
+		lg.push(am)
+	}
+
+	// Final projection over the aggregate (or argmax) output.
+	outNames, err := outputNames(lg.ops[len(lg.ops)-1])
+	if err != nil {
+		return err
+	}
+	postRes := namesResolver(outNames)
+	proj, err := p.compileProjection(stmt.Items, postRes, aggMap)
+	if err != nil {
+		return err
+	}
+	lg.push(proj)
+	lg.out = projectionHint(proj)
+	return nil
+}
+
+// projectionHint builds a names-only schema for a planned projection, so
+// enclosing queries can resolve against it before Open.
+func projectionHint(proj *stream.Project) *stream.Schema {
+	fields := make([]stream.Field, len(proj.Exprs))
+	for i, ne := range proj.Exprs {
+		fields[i] = stream.Field{Name: ne.Name, Kind: stream.KindNull}
+	}
+	return stream.MustSchema(fields...)
+}
+
+func (lg *leg) push(op stream.Operator) { lg.ops = append(lg.ops, op) }
+
+// windowAggBuild carries a WindowAgg plus its planned output column names
+// (the operator only knows its schema after Open, so the planner tracks
+// names itself).
+type windowAggBuild struct {
+	Agg    *stream.WindowAgg
+	groups []string
+	aggs   []string
+}
+
+// SchemaHint returns a pseudo-schema listing output names with unknown
+// kinds; only the names are used during planning.
+func (w *windowAggBuild) SchemaHint() *stream.Schema {
+	fields := make([]stream.Field, 0, len(w.groups)+len(w.aggs))
+	for _, g := range w.groups {
+		fields = append(fields, stream.Field{Name: g, Kind: stream.KindNull})
+	}
+	for _, a := range w.aggs {
+		fields = append(fields, stream.Field{Name: a, Kind: stream.KindNull})
+	}
+	return stream.MustSchema(fields...)
+}
+
+// buildWindowAgg assembles the WindowAgg for a grouped/aggregated
+// statement and the aggregate-call → output-column map.
+func (p *planner) buildWindowAgg(stmt *SelectStmt, window *WindowSpec, aggs []*FuncExpr, res resolver) (*windowAggBuild, map[string]string, error) {
+	rangeDur, slide, err := p.windowParams(window)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &stream.WindowAgg{Range: rangeDur, Slide: slide}
+	build := &windowAggBuild{Agg: w}
+
+	for i, g := range stmt.GroupBy {
+		name := groupName(g, i)
+		e, err := compileExpr(g, res, nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cql: GROUP BY: %w", err)
+		}
+		w.GroupBy = append(w.GroupBy, stream.NamedExpr{Name: name, Expr: e})
+		build.groups = append(build.groups, name)
+	}
+
+	aggMap := make(map[string]string, len(aggs))
+	aliasFor := aggAliases(stmt)
+	for i, a := range aggs {
+		spec, err := buildAggSpec(a, res)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := aliasFor[a.String()]
+		if name == "" {
+			name = fmt.Sprintf("__agg%d", i)
+		}
+		spec.Name = name
+		w.Aggs = append(w.Aggs, spec)
+		build.aggs = append(build.aggs, name)
+		aggMap[a.String()] = name
+	}
+	return build, aggMap, nil
+}
+
+// buildAggSpec compiles one aggregate call into an AggSpec (name unset).
+func buildAggSpec(a *FuncExpr, res resolver) (stream.AggSpec, error) {
+	fn, _ := stream.LookupAggFunc(a.Name)
+	spec := stream.AggSpec{Func: fn, Distinct: a.Distinct}
+	switch {
+	case a.Star:
+		if fn != stream.AggCount {
+			return spec, fmt.Errorf("cql: %s(*) is not valid", a.Name)
+		}
+	case fn == stream.AggPercentile:
+		if len(a.Args) != 2 {
+			return spec, fmt.Errorf("cql: percentile takes (expr, quantile), got %s", a)
+		}
+		num, ok := a.Args[1].(*NumberLit)
+		if !ok {
+			return spec, fmt.Errorf("cql: percentile quantile must be a numeric literal, got %s", a.Args[1])
+		}
+		q, err := strconv.ParseFloat(num.Text, 64)
+		if err != nil || q <= 0 || q >= 1 {
+			return spec, fmt.Errorf("cql: percentile quantile %q out of (0,1)", num.Text)
+		}
+		spec.Param = q
+		arg, err2 := compileExpr(a.Args[0], res, nil)
+		if err2 != nil {
+			return spec, fmt.Errorf("cql: %s: %w", a, err2)
+		}
+		spec.Arg = arg
+	case len(a.Args) == 1:
+		arg, err := compileExpr(a.Args[0], res, nil)
+		if err != nil {
+			return spec, fmt.Errorf("cql: %s: %w", a, err)
+		}
+		spec.Arg = arg
+	default:
+		return spec, fmt.Errorf("cql: aggregate %s must have exactly one argument", a)
+	}
+	return spec, nil
+}
+
+// windowParams derives (range, slide) from the window spec and config: a
+// `Slide By` clause wins, then the configured epoch, then tumbling.
+func (p *planner) windowParams(spec *WindowSpec) (time.Duration, time.Duration, error) {
+	if spec == nil {
+		return 0, 0, fmt.Errorf("cql: aggregation over a stream requires a [Range By ...] window")
+	}
+	slide := p.cfg.Slide
+	if spec.Slide > 0 {
+		slide = spec.Slide
+	}
+	if spec.Now {
+		if slide <= 0 {
+			return 0, 0, fmt.Errorf("cql: [Range By 'NOW'] requires PlanConfig.Slide (the epoch)")
+		}
+		return 0, slide, nil
+	}
+	if slide <= 0 {
+		slide = spec.Range // tumbling
+	}
+	return spec.Range, slide, nil
+}
+
+// buildArgMax rewrites `HAVING <agg> >= ALL (SELECT <agg> FROM <same>
+// WHERE <corr> GROUP BY <choose>)` into an ArgMax over the WindowAgg
+// output: the choose columns are the subquery's GROUP BY, the partition
+// columns are the outer GROUP BY minus the choose columns.
+func (p *planner) buildArgMax(ac *AllCompare, w *windowAggBuild, aggMap map[string]string) (*stream.ArgMax, error) {
+	if ac.Op != ">=" && ac.Op != ">" {
+		return nil, fmt.Errorf("cql: only >= ALL / > ALL comparisons are supported, got %s ALL", ac.Op)
+	}
+	leftAgg, ok := ac.Left.(*FuncExpr)
+	if !ok || !isAggName(leftAgg.Name) {
+		return nil, fmt.Errorf("cql: left side of ALL comparison must be an aggregate, got %s", ac.Left)
+	}
+	scoreCol, ok := aggMap[leftAgg.String()]
+	if !ok {
+		return nil, fmt.Errorf("cql: ALL comparison aggregate %s not present in window aggregation", leftAgg)
+	}
+	if len(ac.Sub.GroupBy) == 0 {
+		return nil, fmt.Errorf("cql: ALL subquery must GROUP BY the competing column(s)")
+	}
+	chooseSet := make(map[string]bool)
+	var choose []stream.NamedExpr
+	for i, g := range ac.Sub.GroupBy {
+		name := groupName(g, i)
+		if !containsString(w.groups, name) {
+			return nil, fmt.Errorf("cql: ALL subquery groups by %q, which the outer query does not group by", name)
+		}
+		chooseSet[name] = true
+		choose = append(choose, stream.NamedExpr{Name: name, Expr: stream.NewCol(name)})
+	}
+	var partition []stream.NamedExpr
+	for _, g := range w.groups {
+		if !chooseSet[g] {
+			partition = append(partition, stream.NamedExpr{Name: g, Expr: stream.NewCol(g)})
+		}
+	}
+	if len(partition) == 0 {
+		return nil, fmt.Errorf("cql: ALL rewrite needs a correlated partition column (outer GROUP BY beyond the subquery's)")
+	}
+	return &stream.ArgMax{
+		PartitionBy: partition,
+		ChooseBy:    choose,
+		Score:       stream.NamedExpr{Name: scoreCol, Expr: stream.NewCol(scoreCol)},
+		Tie:         p.cfg.TieBreak,
+	}, nil
+}
+
+// outputNames lists the planned output column names of an operator the
+// planner built (WindowAgg or ArgMax).
+func outputNames(op stream.Operator) ([]string, error) {
+	switch o := op.(type) {
+	case *stream.WindowAgg:
+		var names []string
+		for _, g := range o.GroupBy {
+			names = append(names, g.Name)
+		}
+		for _, a := range o.Aggs {
+			names = append(names, a.Name)
+		}
+		return names, nil
+	case *stream.ArgMax:
+		var names []string
+		for _, g := range o.ChooseBy {
+			names = append(names, g.Name)
+		}
+		for _, g := range o.PartitionBy {
+			names = append(names, g.Name)
+		}
+		names = append(names, o.Score.Name)
+		return names, nil
+	default:
+		return nil, fmt.Errorf("cql: internal: outputNames on %T", op)
+	}
+}
+
+// compileProjection compiles the SELECT list into a Project operator.
+func (p *planner) compileProjection(items []SelectItem, res resolver, aggMap map[string]string) (*stream.Project, error) {
+	var exprs []stream.NamedExpr
+	seen := make(map[string]bool, len(items))
+	for i, it := range items {
+		if it.Star {
+			return nil, fmt.Errorf("cql: * cannot be mixed with other select items here")
+		}
+		e, err := compileExpr(it.Expr, res, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		name := it.Alias
+		if name == "" {
+			name = defaultColumnName(it.Expr, i)
+		}
+		key := strings.ToLower(name)
+		if seen[key] {
+			return nil, fmt.Errorf("cql: duplicate output column %q; use AS to alias", name)
+		}
+		seen[key] = true
+		exprs = append(exprs, stream.NamedExpr{Name: name, Expr: e})
+	}
+	return stream.NewProject(exprs...), nil
+}
+
+func isSelectStar(stmt *SelectStmt) bool {
+	return len(stmt.Items) == 1 && stmt.Items[0].Star
+}
+
+// defaultColumnName derives an output name for an unaliased select item.
+func defaultColumnName(e ExprNode, i int) string {
+	switch n := e.(type) {
+	case *Ident:
+		return n.Name
+	case *FuncExpr:
+		if n.Star {
+			return n.Name
+		}
+		if len(n.Args) == 1 {
+			if id, ok := n.Args[0].(*Ident); ok {
+				return n.Name + "_" + id.Name
+			}
+		}
+		return n.Name
+	default:
+		return fmt.Sprintf("col%d", i+1)
+	}
+}
+
+func groupName(g ExprNode, i int) string {
+	if id, ok := g.(*Ident); ok {
+		return id.Name
+	}
+	return fmt.Sprintf("__g%d", i)
+}
+
+// aggAliases maps aggregate-call strings to their SELECT aliases, so
+// `count(*) AS n` names the output column n.
+func aggAliases(stmt *SelectStmt) map[string]string {
+	m := make(map[string]string)
+	for _, it := range stmt.Items {
+		if it.Alias == "" || it.Expr == nil {
+			continue
+		}
+		if f, ok := it.Expr.(*FuncExpr); ok && isAggName(f.Name) {
+			m[f.String()] = it.Alias
+		}
+	}
+	return m
+}
+
+// collectAggs gathers distinct aggregate calls from the SELECT list and
+// HAVING (including the left side of an ALL comparison), in first-seen
+// order.
+func collectAggs(stmt *SelectStmt) []*FuncExpr {
+	var out []*FuncExpr
+	seen := make(map[string]bool)
+	var walk func(ExprNode)
+	walk = func(n ExprNode) {
+		switch e := n.(type) {
+		case nil:
+		case *FuncExpr:
+			if isAggName(e.Name) {
+				if !seen[e.String()] {
+					seen[e.String()] = true
+					out = append(out, e)
+				}
+				return // aggregates don't nest
+			}
+			for _, a := range e.Args {
+				walk(a)
+			}
+		case *BinaryExpr:
+			walk(e.L)
+			walk(e.R)
+		case *UnaryExpr:
+			walk(e.X)
+		case *IsNullNode:
+			walk(e.X)
+		case *InNode:
+			walk(e.X)
+			for _, el := range e.List {
+				walk(el)
+			}
+		case *CaseNode:
+			walk(e.Operand)
+			for _, w := range e.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			walk(e.Else)
+		case *AllCompare:
+			walk(e.Left)
+		}
+	}
+	for _, it := range stmt.Items {
+		if !it.Star {
+			walk(it.Expr)
+		}
+	}
+	walk(stmt.Having)
+	return out
+}
+
+func containsAgg(n ExprNode) bool {
+	found := false
+	var walk func(ExprNode)
+	walk = func(n ExprNode) {
+		switch e := n.(type) {
+		case nil:
+		case *FuncExpr:
+			if isAggName(e.Name) {
+				found = true
+				return
+			}
+			for _, a := range e.Args {
+				walk(a)
+			}
+		case *BinaryExpr:
+			walk(e.L)
+			walk(e.R)
+		case *UnaryExpr:
+			walk(e.X)
+		case *IsNullNode:
+			walk(e.X)
+		case *InNode:
+			walk(e.X)
+			for _, el := range e.List {
+				walk(el)
+			}
+		case *CaseNode:
+			walk(e.Operand)
+			for _, w := range e.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			walk(e.Else)
+		case *AllCompare:
+			found = true
+		}
+	}
+	walk(n)
+	return found
+}
+
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolver maps a parsed identifier to a physical column name.
+type resolver func(id *Ident) (string, error)
+
+// singleResolver resolves identifiers against one source: the qualifier,
+// if present, must match the binding name.
+func singleResolver(binding string, schema *stream.Schema) resolver {
+	return func(id *Ident) (string, error) {
+		if id.Qualifier != "" && binding != "" && !strings.EqualFold(id.Qualifier, binding) {
+			return "", fmt.Errorf("cql: unknown source %q (have %q)", id.Qualifier, binding)
+		}
+		if schema != nil {
+			if _, ok := schema.Index(id.Name); !ok {
+				return "", fmt.Errorf("cql: unknown column %q", id.QualifiedName())
+			}
+		}
+		return id.Name, nil
+	}
+}
+
+// namesResolver resolves against an explicit name list (planned operator
+// outputs), matching qualified references by suffix.
+func namesResolver(names []string) resolver {
+	return func(id *Ident) (string, error) {
+		// Exact (qualified) match first.
+		qn := id.QualifiedName()
+		for _, n := range names {
+			if strings.EqualFold(n, qn) {
+				return n, nil
+			}
+		}
+		// Unqualified or suffix match.
+		var hit string
+		for _, n := range names {
+			base := n
+			if dot := strings.LastIndex(n, "."); dot >= 0 {
+				base = n[dot+1:]
+			}
+			if strings.EqualFold(base, id.Name) {
+				if hit != "" {
+					return "", fmt.Errorf("cql: ambiguous column %q (matches %q and %q)", id.QualifiedName(), hit, n)
+				}
+				hit = n
+			}
+		}
+		if hit == "" {
+			return "", fmt.Errorf("cql: unknown column %q (have %v)", id.QualifiedName(), names)
+		}
+		return hit, nil
+	}
+}
+
+// compileExpr lowers a parsed expression to a bound-later stream.Expr.
+// aggMap, when non-nil, maps aggregate-call strings to output columns of
+// an upstream WindowAgg (post-aggregation contexts).
+func compileExpr(n ExprNode, res resolver, aggMap map[string]string) (stream.Expr, error) {
+	switch e := n.(type) {
+	case *Ident:
+		name, err := res(e)
+		if err != nil {
+			return nil, err
+		}
+		return stream.NewCol(name), nil
+	case *NumberLit:
+		if e.IsFloat() {
+			f, err := strconv.ParseFloat(e.Text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cql: bad number %q: %w", e.Text, err)
+			}
+			return stream.NewConst(stream.Float(f)), nil
+		}
+		i, err := strconv.ParseInt(e.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cql: bad number %q: %w", e.Text, err)
+		}
+		return stream.NewConst(stream.Int(i)), nil
+	case *StringLit:
+		return stream.NewConst(stream.String(e.Val)), nil
+	case *BoolLit:
+		return stream.NewConst(stream.Bool(e.Val)), nil
+	case *NullLit:
+		return stream.NewConst(stream.Null()), nil
+	case *UnaryExpr:
+		x, err := compileExpr(e.X, res, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		if e.Op == "NOT" {
+			return stream.NewNot(x), nil
+		}
+		return stream.NewNeg(x), nil
+	case *IsNullNode:
+		x, err := compileExpr(e.X, res, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		return &stream.IsNullExpr{X: x, Negate: e.Negate}, nil
+	case *BinaryExpr:
+		l, err := compileExpr(e.L, res, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(e.R, res, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		op, err := binOp(e.Op)
+		if err != nil {
+			return nil, err
+		}
+		return stream.NewBinary(op, l, r), nil
+	case *FuncExpr:
+		if isAggName(e.Name) {
+			if aggMap != nil {
+				if col, ok := aggMap[e.String()]; ok {
+					return stream.NewCol(col), nil
+				}
+			}
+			return nil, fmt.Errorf("cql: aggregate %s not allowed in this context", e)
+		}
+		args := make([]stream.Expr, len(e.Args))
+		for i, a := range e.Args {
+			x, err := compileExpr(a, res, aggMap)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = x
+		}
+		return stream.NewCall(e.Name, args...), nil
+	case *InNode:
+		x, err := compileExpr(e.X, res, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]stream.Expr, len(e.List))
+		for i, el := range e.List {
+			c, err := compileExpr(el, res, aggMap)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = c
+		}
+		return &stream.InList{X: x, List: list, Negate: e.Negate}, nil
+	case *CaseNode:
+		c := &stream.CaseExpr{}
+		if e.Operand != nil {
+			op, err := compileExpr(e.Operand, res, aggMap)
+			if err != nil {
+				return nil, err
+			}
+			c.Operand = op
+		}
+		for _, w := range e.Whens {
+			cond, err := compileExpr(w.Cond, res, aggMap)
+			if err != nil {
+				return nil, err
+			}
+			then, err := compileExpr(w.Then, res, aggMap)
+			if err != nil {
+				return nil, err
+			}
+			c.Whens = append(c.Whens, stream.When{Cond: cond, Then: then})
+		}
+		if e.Else != nil {
+			el, err := compileExpr(e.Else, res, aggMap)
+			if err != nil {
+				return nil, err
+			}
+			c.Else = el
+		}
+		return c, nil
+	case *AllCompare:
+		return nil, fmt.Errorf("cql: ALL comparison only supported as the entire HAVING clause")
+	default:
+		return nil, fmt.Errorf("cql: cannot compile %T", n)
+	}
+}
+
+func binOp(op string) (stream.BinOp, error) {
+	switch op {
+	case "+":
+		return stream.OpAdd, nil
+	case "-":
+		return stream.OpSub, nil
+	case "*":
+		return stream.OpMul, nil
+	case "/":
+		return stream.OpDiv, nil
+	case "=":
+		return stream.OpEq, nil
+	case "<>":
+		return stream.OpNe, nil
+	case "<":
+		return stream.OpLt, nil
+	case "<=":
+		return stream.OpLe, nil
+	case ">":
+		return stream.OpGt, nil
+	case ">=":
+		return stream.OpGe, nil
+	case "AND":
+		return stream.OpAnd, nil
+	case "OR":
+		return stream.OpOr, nil
+	default:
+		return 0, fmt.Errorf("cql: unknown operator %q", op)
+	}
+}

@@ -1,0 +1,469 @@
+package cql
+
+import (
+	"fmt"
+	"strings"
+
+	"esp/internal/stream"
+)
+
+// planStreamTableJoin plans `FROM <stream>, <table> WHERE s.k = t.k ...`:
+// the paper's static-relation joins (expected-tag filtering, inventory
+// lookups). If no table column escapes into SELECT or the residual WHERE,
+// the join is planned as a semi-join, preserving the stream schema.
+func (p *planner) planStreamTableJoin(stmt *SelectStmt, si, ti *FromItem) (*stream.Graph, error) {
+	lg, err := p.planLegStreamTable(stmt, si, ti)
+	if err != nil {
+		return nil, err
+	}
+	g := stream.NewGraph()
+	in, ok := p.cat[lg.input]
+	if !ok {
+		return nil, fmt.Errorf("cql: unknown stream %q", lg.input)
+	}
+	if err := g.AddLeg(lg.input, in, stream.NewChain(lg.ops...)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *planner) planLegStreamTable(stmt *SelectStmt, si, ti *FromItem) (*leg, error) {
+	if si.Sub != nil {
+		return nil, fmt.Errorf("cql: table join with a subquery source is not supported")
+	}
+	table := p.cfg.Tables[ti.Stream]
+	streamSchema, ok := p.cat[si.Stream]
+	if !ok {
+		return nil, fmt.Errorf("cql: unknown stream %q", si.Stream)
+	}
+	sb, tb := si.Binding(), ti.Binding()
+
+	conjs := splitConjuncts(stmt.Where)
+	var joinStreamCol, joinTableCol string
+	var residual []ExprNode
+	for _, c := range conjs {
+		sc, tc, ok := joinEquality(c, sb, tb, streamSchema, table.Schema())
+		if ok && joinStreamCol == "" {
+			joinStreamCol, joinTableCol = sc, tc
+			continue
+		}
+		residual = append(residual, c)
+	}
+	if joinStreamCol == "" {
+		return nil, fmt.Errorf("cql: stream-table join requires an equality predicate between a stream and a table column")
+	}
+
+	// Does anything reference the table beyond the join key?
+	tableRef := false
+	check := func(n ExprNode) {
+		if refersToSource(n, tb, table.Schema(), streamSchema) {
+			tableRef = true
+		}
+	}
+	for _, it := range stmt.Items {
+		if !it.Star {
+			check(it.Expr)
+		}
+	}
+	for _, r := range residual {
+		check(r)
+	}
+	for _, g := range stmt.GroupBy {
+		check(g)
+	}
+	if stmt.Having != nil {
+		check(stmt.Having)
+	}
+
+	mode := stream.JoinSemi
+	names := fieldNames(streamSchema)
+	if tableRef {
+		mode = stream.JoinInner
+		names = append(names, fieldNames(table.Schema())...)
+	}
+	lg := &leg{input: si.Stream, out: hintSchema(names)}
+	lg.push(&stream.JoinStatic{Table: table, StreamCol: joinStreamCol, TableCol: joinTableCol, Mode: mode})
+
+	res := namesResolver(names)
+	joined := &SelectStmt{
+		Items:   stmt.Items,
+		Where:   joinConjuncts(residual),
+		GroupBy: stmt.GroupBy,
+		Having:  stmt.Having,
+	}
+	if err := p.applySelect(lg, joined, si.Window, res); err != nil {
+		return nil, err
+	}
+	return lg, nil
+}
+
+// isSelfAggJoin recognises the paper's Query 5 shape: a raw stream joined
+// with an aggregating subquery over the same stream.
+func (p *planner) isSelfAggJoin(stmt *SelectStmt, items []FromItem) bool {
+	if len(items) != 2 {
+		return false
+	}
+	raw, sub := orderSelfJoin(items)
+	if raw == nil || sub == nil {
+		return false
+	}
+	subStreams, subTables := p.splitFrom(sub.Sub.From)
+	return len(subStreams) == 1 && len(subTables) == 0 &&
+		subStreams[0].Sub == nil && subStreams[0].Stream == raw.Stream &&
+		len(sub.Sub.GroupBy) > 0
+}
+
+func orderSelfJoin(items []FromItem) (raw, sub *FromItem) {
+	for i := range items {
+		switch {
+		case items[i].Sub == nil && raw == nil:
+			raw = &items[i]
+		case items[i].Sub != nil && sub == nil:
+			sub = &items[i]
+		default:
+			return nil, nil
+		}
+	}
+	return raw, sub
+}
+
+// planSelfAggJoin plans Query 5: SelfJoin(raw ⋈ own window aggregate) →
+// residual filter → outer aggregation → projection.
+func (p *planner) planSelfAggJoin(stmt *SelectStmt, items []FromItem) (*stream.Graph, error) {
+	raw, sub := orderSelfJoin(items)
+	base, ok := p.cat[raw.Stream]
+	if !ok {
+		return nil, fmt.Errorf("cql: unknown stream %q", raw.Stream)
+	}
+	subStmt := sub.Sub
+	subFrom := subStmt.From[0]
+	if subStmt.Where != nil {
+		return nil, fmt.Errorf("cql: WHERE inside the aggregate side of a self-join is not supported")
+	}
+
+	// Window: prefer the raw side's spec; both sides must agree if given.
+	window := raw.Window
+	if window == nil {
+		window = subFrom.Window
+	}
+	if window == nil {
+		return nil, fmt.Errorf("cql: self-join requires a [Range By ...] window")
+	}
+	if raw.Window != nil && subFrom.Window != nil &&
+		(raw.Window.Now != subFrom.Window.Now || raw.Window.Range != subFrom.Window.Range) {
+		return nil, fmt.Errorf("cql: self-join windows disagree: %s vs %s", raw.Window, subFrom.Window)
+	}
+	rangeDur, slide, err := p.windowParams(window)
+	if err != nil {
+		return nil, err
+	}
+
+	baseRes := singleResolver(subFrom.Binding(), base)
+	sj := &stream.SelfJoin{
+		Range: rangeDur, Slide: slide,
+		RawPrefix: raw.Binding() + ".",
+		AggPrefix: sub.Binding() + ".",
+	}
+	var groupNames []string
+	for i, g := range subStmt.GroupBy {
+		name := groupName(g, i)
+		e, err := compileExpr(g, baseRes, nil)
+		if err != nil {
+			return nil, fmt.Errorf("cql: self-join GROUP BY: %w", err)
+		}
+		sj.GroupBy = append(sj.GroupBy, stream.NamedExpr{Name: name, Expr: e})
+		groupNames = append(groupNames, name)
+	}
+	subAggs := collectAggs(subStmt)
+	if len(subAggs) == 0 {
+		return nil, fmt.Errorf("cql: self-join subquery must aggregate")
+	}
+	aliasFor := aggAliases(subStmt)
+	for i, a := range subAggs {
+		spec, err := buildAggSpec(a, baseRes)
+		if err != nil {
+			return nil, err
+		}
+		name := aliasFor[a.String()]
+		if name == "" {
+			name = fmt.Sprintf("__agg%d", i)
+		}
+		spec.Name = name
+		sj.Aggs = append(sj.Aggs, spec)
+	}
+
+	// Combined output names.
+	var names []string
+	for _, f := range base.Fields() {
+		names = append(names, sj.RawPrefix+f.Name)
+	}
+	for _, g := range groupNames {
+		names = append(names, sj.AggPrefix+g)
+	}
+	for _, a := range sj.Aggs {
+		names = append(names, sj.AggPrefix+a.Name)
+	}
+	combinedRes := namesResolver(names)
+
+	// Split WHERE: drop the join-equality conjuncts (a.g = s.g on group
+	// columns), keep the rest as a residual filter.
+	var residual []ExprNode
+	for _, c := range splitConjuncts(stmt.Where) {
+		if isSelfJoinEquality(c, raw.Binding(), sub.Binding(), groupNames) {
+			continue
+		}
+		residual = append(residual, c)
+	}
+
+	lg := &leg{input: raw.Stream, out: hintSchema(names)}
+	lg.push(sj)
+	outer := &SelectStmt{
+		Items:   stmt.Items,
+		Where:   joinConjuncts(residual),
+		GroupBy: stmt.GroupBy,
+		Having:  stmt.Having,
+	}
+	// The joined tuples form one epoch per boundary: the outer
+	// aggregation uses a NOW window.
+	if err := p.applySelect(lg, outer, &WindowSpec{Now: true, Raw: "NOW"}, combinedRes); err != nil {
+		return nil, err
+	}
+
+	g := stream.NewGraph()
+	if err := g.AddLeg(raw.Stream, base, stream.NewChain(lg.ops...)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// planCombine plans the Query 6 shape: N windowed subqueries over distinct
+// streams, combined once per epoch, filtered and projected.
+func (p *planner) planCombine(stmt *SelectStmt, items []FromItem) (*stream.Graph, error) {
+	if len(stmt.GroupBy) > 0 || stmt.Having != nil {
+		return nil, fmt.Errorf("cql: GROUP BY/HAVING over combined subqueries is not supported")
+	}
+	g := stream.NewGraph()
+	comb := &stream.EpochCombiner{}
+	var legNames []string
+	var names []string
+	seen := make(map[string]bool)
+	for i := range items {
+		it := &items[i]
+		lg, err := p.planLeg(it.Sub, &it.Sub.From[0])
+		if err != nil {
+			return nil, err
+		}
+		if err := p.applyLegSelectForCombine(lg, it); err != nil {
+			return nil, err
+		}
+		if seen[lg.input] {
+			return nil, fmt.Errorf("cql: combined subqueries must read distinct streams (%q repeated)", lg.input)
+		}
+		seen[lg.input] = true
+		in, ok := p.cat[lg.input]
+		if !ok {
+			return nil, fmt.Errorf("cql: unknown stream %q", lg.input)
+		}
+		if err := g.AddLeg(lg.input, in, stream.NewChain(lg.ops...)); err != nil {
+			return nil, err
+		}
+		prefix := it.Binding() + "."
+		comb.Inputs = append(comb.Inputs, stream.CombineInput{
+			Prefix:  prefix,
+			Default: combineDefaults(it.Sub),
+		})
+		legNames = append(legNames, lg.input)
+		for _, f := range lg.out.Fields() {
+			names = append(names, prefix+f.Name)
+		}
+	}
+	if err := g.SetCombiner(comb, legNames...); err != nil {
+		return nil, err
+	}
+	res := namesResolver(names)
+	var post []stream.Operator
+	if stmt.Where != nil {
+		pred, err := compileExpr(stmt.Where, res, nil)
+		if err != nil {
+			return nil, err
+		}
+		post = append(post, stream.NewFilter(pred))
+	}
+	proj, err := p.compileProjection(stmt.Items, res, nil)
+	if err != nil {
+		return nil, err
+	}
+	post = append(post, proj)
+	g.SetPost(stream.NewChain(post...))
+	return g, nil
+}
+
+// applyLegSelectForCombine is a no-op hook kept for symmetry: planLeg has
+// already applied the subquery's own SELECT processing.
+func (p *planner) applyLegSelectForCombine(*leg, *FromItem) error { return nil }
+
+// combineDefaults derives the absent-epoch default row for a combine
+// input: numeric constant select items default to zero (so vote sums
+// treat absence as zero votes), everything else to NULL.
+func combineDefaults(sub *SelectStmt) []stream.Value {
+	defaults := make([]stream.Value, 0, len(sub.Items))
+	for _, it := range sub.Items {
+		if it.Star {
+			return nil // unknown arity: fall back to NULLs
+		}
+		switch e := it.Expr.(type) {
+		case *NumberLit:
+			if e.IsFloat() {
+				defaults = append(defaults, stream.Float(0))
+			} else {
+				defaults = append(defaults, stream.Int(0))
+			}
+		default:
+			defaults = append(defaults, stream.Null())
+		}
+	}
+	return defaults
+}
+
+// splitConjuncts flattens a WHERE tree into AND-ed conjuncts.
+func splitConjuncts(n ExprNode) []ExprNode {
+	if n == nil {
+		return nil
+	}
+	if b, ok := n.(*BinaryExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []ExprNode{n}
+}
+
+// joinConjuncts rebuilds an AND tree (nil for empty).
+func joinConjuncts(conjs []ExprNode) ExprNode {
+	var out ExprNode
+	for _, c := range conjs {
+		if out == nil {
+			out = c
+		} else {
+			out = &BinaryExpr{Op: "AND", L: out, R: c}
+		}
+	}
+	return out
+}
+
+// joinEquality reports whether conj is `streamCol = tableCol` (either
+// order) between the given bindings/schemas.
+func joinEquality(conj ExprNode, sb, tb string, ss, ts *stream.Schema) (string, string, bool) {
+	b, ok := conj.(*BinaryExpr)
+	if !ok || b.Op != "=" {
+		return "", "", false
+	}
+	l, lok := b.L.(*Ident)
+	r, rok := b.R.(*Ident)
+	if !lok || !rok {
+		return "", "", false
+	}
+	classify := func(id *Ident) (isStream, isTable bool) {
+		switch {
+		case id.Qualifier != "" && strings.EqualFold(id.Qualifier, sb):
+			isStream = true
+		case id.Qualifier != "" && strings.EqualFold(id.Qualifier, tb):
+			isTable = true
+		case id.Qualifier == "":
+			_, inS := ss.Index(id.Name)
+			_, inT := ts.Index(id.Name)
+			isStream, isTable = inS && !inT, inT && !inS
+		}
+		return
+	}
+	ls, lt := classify(l)
+	rs, rt := classify(r)
+	switch {
+	case ls && rt:
+		return l.Name, r.Name, true
+	case rs && lt:
+		return r.Name, l.Name, true
+	}
+	return "", "", false
+}
+
+// isSelfJoinEquality reports whether conj equates a group column between
+// the raw and aggregate sides of a self join.
+func isSelfJoinEquality(conj ExprNode, rawB, subB string, groups []string) bool {
+	b, ok := conj.(*BinaryExpr)
+	if !ok || b.Op != "=" {
+		return false
+	}
+	l, lok := b.L.(*Ident)
+	r, rok := b.R.(*Ident)
+	if !lok || !rok || !strings.EqualFold(l.Name, r.Name) || !containsString(groups, l.Name) {
+		return false
+	}
+	quals := map[string]bool{strings.ToLower(l.Qualifier): true, strings.ToLower(r.Qualifier): true}
+	return quals[strings.ToLower(rawB)] && quals[strings.ToLower(subB)]
+}
+
+// refersToSource reports whether any identifier in n belongs to the table
+// side (binding tb or a column only the table schema has).
+func refersToSource(n ExprNode, tb string, ts, ss *stream.Schema) bool {
+	found := false
+	var walk func(ExprNode)
+	walk = func(n ExprNode) {
+		switch e := n.(type) {
+		case nil:
+		case *Ident:
+			if e.Qualifier != "" && strings.EqualFold(e.Qualifier, tb) {
+				found = true
+				return
+			}
+			if e.Qualifier == "" {
+				_, inT := ts.Index(e.Name)
+				_, inS := ss.Index(e.Name)
+				if inT && !inS {
+					found = true
+				}
+			}
+		case *BinaryExpr:
+			walk(e.L)
+			walk(e.R)
+		case *UnaryExpr:
+			walk(e.X)
+		case *IsNullNode:
+			walk(e.X)
+		case *InNode:
+			walk(e.X)
+			for _, el := range e.List {
+				walk(el)
+			}
+		case *CaseNode:
+			walk(e.Operand)
+			for _, w := range e.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			walk(e.Else)
+		case *FuncExpr:
+			for _, a := range e.Args {
+				walk(a)
+			}
+		case *AllCompare:
+			walk(e.Left)
+		}
+	}
+	walk(n)
+	return found
+}
+
+func fieldNames(s *stream.Schema) []string {
+	names := make([]string, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		names[i] = s.Field(i).Name
+	}
+	return names
+}
+
+func hintSchema(names []string) *stream.Schema {
+	fields := make([]stream.Field, len(names))
+	for i, n := range names {
+		fields[i] = stream.Field{Name: n, Kind: stream.KindNull}
+	}
+	return stream.MustSchema(fields...)
+}

@@ -1,0 +1,415 @@
+package cql
+
+import (
+	"testing"
+	"time"
+
+	"esp/internal/stream"
+)
+
+var testCatalog = Catalog{
+	"rfid_data": stream.MustSchema(
+		stream.Field{Name: "tag_id", Kind: stream.KindString},
+		stream.Field{Name: "shelf", Kind: stream.KindInt},
+	),
+	"smooth_input": stream.MustSchema(
+		stream.Field{Name: "tag_id", Kind: stream.KindString},
+	),
+	"arbitrate_input": stream.MustSchema(
+		stream.Field{Name: "spatial_granule", Kind: stream.KindInt},
+		stream.Field{Name: "tag_id", Kind: stream.KindString},
+	),
+	"point_input": stream.MustSchema(
+		stream.Field{Name: "mote", Kind: stream.KindInt},
+		stream.Field{Name: "temp", Kind: stream.KindFloat},
+	),
+	"merge_input": stream.MustSchema(
+		stream.Field{Name: "spatial_granule", Kind: stream.KindInt},
+		stream.Field{Name: "temp", Kind: stream.KindFloat},
+	),
+	"sensors_input": stream.MustSchema(
+		stream.Field{Name: "noise", Kind: stream.KindFloat},
+	),
+	"rfid_input": stream.MustSchema(
+		stream.Field{Name: "tag_id", Kind: stream.KindString},
+	),
+	"motion_input": stream.MustSchema(
+		stream.Field{Name: "value", Kind: stream.KindString},
+	),
+}
+
+func at(sec float64) time.Time {
+	return time.Unix(0, int64(sec*float64(time.Second))).UTC()
+}
+
+type feed struct {
+	input string
+	t     stream.Tuple
+}
+
+// runPlan executes a graph over timestamped feeds, punctuating every epoch
+// up to end, and returns all output tuples.
+func runPlan(t *testing.T, g *stream.Graph, feeds []feed, epoch, end time.Duration) []stream.Tuple {
+	t.Helper()
+	var out []stream.Tuple
+	i := 0
+	for now := epoch; now <= end; now += epoch {
+		bound := at(now.Seconds())
+		for i < len(feeds) && !feeds[i].t.Ts.After(bound) {
+			got, err := g.Push(feeds[i].input, feeds[i].t)
+			if err != nil {
+				t.Fatalf("push: %v", err)
+			}
+			out = append(out, got...)
+			i++
+		}
+		got, err := g.Advance(bound)
+		if err != nil {
+			t.Fatalf("advance: %v", err)
+		}
+		out = append(out, got...)
+	}
+	return out
+}
+
+func TestPlanQuery4PointFilter(t *testing.T) {
+	g, err := PlanString(paperQueries["q4_point_filter"], testCatalog, PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Push("point_input", stream.NewTuple(at(0.1), stream.Int(1), stream.Float(21.5)))
+	if err != nil || len(out) != 1 {
+		t.Fatalf("cool reading: %v, %v", out, err)
+	}
+	out, err = g.Push("point_input", stream.NewTuple(at(0.2), stream.Int(1), stream.Float(103)))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("fail-dirty reading should be dropped: %v, %v", out, err)
+	}
+}
+
+func TestPlanQuery1ShelfCount(t *testing.T) {
+	g, err := PlanString(paperQueries["q1_shelf_monitor"], testCatalog, PlanConfig{Slide: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := []feed{
+		{"rfid_data", stream.NewTuple(at(0.2), stream.String("A"), stream.Int(0))},
+		{"rfid_data", stream.NewTuple(at(0.4), stream.String("A"), stream.Int(0))},
+		{"rfid_data", stream.NewTuple(at(0.6), stream.String("B"), stream.Int(0))},
+		{"rfid_data", stream.NewTuple(at(0.8), stream.String("C"), stream.Int(1))},
+	}
+	out := runPlan(t, g, feeds, time.Second, time.Second)
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+	if out[0].Values[0] != stream.Int(0) || out[0].Values[1] != stream.Int(2) {
+		t.Errorf("shelf 0 = %v, want distinct count 2", out[0])
+	}
+	if out[1].Values[0] != stream.Int(1) || out[1].Values[1] != stream.Int(1) {
+		t.Errorf("shelf 1 = %v", out[1])
+	}
+	if got := g.Schema().String(); got != "(shelf int, cnt int)" {
+		t.Errorf("output schema = %s", got)
+	}
+}
+
+func TestPlanQuery2SmoothSlides(t *testing.T) {
+	g, err := PlanString(paperQueries["q2_smooth"], testCatalog, PlanConfig{Slide: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tag read only at t=0.5; the 5s window keeps reporting it until the
+	// window passes — interpolation for lost readings.
+	feeds := []feed{{"smooth_input", stream.NewTuple(at(0.5), stream.String("A"))}}
+	out := runPlan(t, g, feeds, time.Second, 8*time.Second)
+	var boundaries []float64
+	for _, o := range out {
+		boundaries = append(boundaries, float64(o.Ts.UnixNano())/1e9)
+	}
+	// Emitted at t=1..5 (window (t-5, t] contains 0.5), absent after.
+	if len(out) != 5 {
+		t.Fatalf("smooth emissions at %v, want 5 boundaries", boundaries)
+	}
+	for _, o := range out {
+		if o.Values[0] != stream.String("A") || o.Values[1] != stream.Int(1) {
+			t.Errorf("row = %v", o)
+		}
+	}
+}
+
+func TestPlanQuery3Arbitrate(t *testing.T) {
+	g, err := PlanString(paperQueries["q3_arbitrate"], testCatalog, PlanConfig{Slide: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := func(sec float64, granule int64, tag string) feed {
+		return feed{"arbitrate_input", stream.NewTuple(at(sec), stream.Int(granule), stream.String(tag))}
+	}
+	// Tag X: 3 reads from shelf 0, 1 from shelf 1. Tag Y: 2 reads shelf 1.
+	feeds := []feed{
+		push(0.1, 0, "X"), push(0.3, 0, "X"), push(0.5, 0, "X"),
+		push(0.2, 1, "X"),
+		push(0.4, 1, "Y"), push(0.6, 1, "Y"),
+	}
+	out := runPlan(t, g, feeds, time.Second, time.Second)
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+	got := map[string]int64{}
+	for _, o := range out {
+		got[o.Values[1].AsString()] = o.Values[0].AsInt()
+	}
+	if got["X"] != 0 || got["Y"] != 1 {
+		t.Errorf("attribution = %v, want X->0 Y->1", got)
+	}
+	if gotS := g.Schema().String(); gotS != "(spatial_granule int, tag_id string)" {
+		t.Errorf("schema = %s", gotS)
+	}
+}
+
+func TestPlanQuery3TieBreak(t *testing.T) {
+	// The weaker antenna (granule 1) wins ties — paper §4.3.1.
+	cfg := PlanConfig{
+		Slide: time.Second,
+		TieBreak: func(a, b stream.Tuple) bool {
+			return a.Values[0] == stream.Int(1)
+		},
+	}
+	g, err := PlanString(paperQueries["q3_arbitrate"], testCatalog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := []feed{
+		{"arbitrate_input", stream.NewTuple(at(0.1), stream.Int(0), stream.String("X"))},
+		{"arbitrate_input", stream.NewTuple(at(0.2), stream.Int(1), stream.String("X"))},
+	}
+	out := runPlan(t, g, feeds, time.Second, time.Second)
+	if len(out) != 1 || out[0].Values[0] != stream.Int(1) {
+		t.Errorf("tie went to %v, want weaker antenna 1", out)
+	}
+}
+
+func TestPlanQuery5MergeOutlier(t *testing.T) {
+	g, err := PlanString(paperQueries["q5_merge_outlier"], testCatalog, PlanConfig{Slide: 5 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(sec float64, granule int64, temp float64) feed {
+		return feed{"merge_input", stream.NewTuple(at(sec), stream.Int(granule), stream.Float(temp))}
+	}
+	// Two healthy motes (~20C) and one fail-dirty (100C) in granule 1.
+	feeds := []feed{mk(10, 1, 20), mk(20, 1, 21), mk(30, 1, 100)}
+	out := runPlan(t, g, feeds, 5*time.Minute, 5*time.Minute)
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	if out[0].Values[0] != stream.Int(1) {
+		t.Errorf("granule = %v", out[0].Values[0])
+	}
+	avg := out[0].Values[1].AsFloat()
+	if avg < 20.4 || avg > 20.6 {
+		t.Errorf("outlier-filtered avg = %v, want 20.5", avg)
+	}
+}
+
+func TestPlanQuery6PersonDetector(t *testing.T) {
+	g, err := PlanString(paperQueries["q6_person_detector"], testCatalog, PlanConfig{Slide: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1: noise high + RFID tag seen -> 2 votes -> person.
+	// Epoch 2: only motion -> 1 vote -> no person.
+	feeds := []feed{
+		{"sensors_input", stream.NewTuple(at(0.2), stream.Float(800))},
+		{"rfid_input", stream.NewTuple(at(0.4), stream.String("badge-1"))},
+		{"motion_input", stream.NewTuple(at(1.5), stream.String("ON"))},
+	}
+	out := runPlan(t, g, feeds, time.Second, 2*time.Second)
+	if len(out) != 1 {
+		t.Fatalf("out = %v, want one detection", out)
+	}
+	if !out[0].Ts.Equal(at(1)) || out[0].Values[0] != stream.String("Person-in-room") {
+		t.Errorf("detection = %v", out[0])
+	}
+}
+
+func TestPlanQuery6QuietSensorNoVote(t *testing.T) {
+	g, err := PlanString(paperQueries["q6_person_detector"], testCatalog, PlanConfig{Slide: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise below threshold and an OFF motion event: zero votes even
+	// though tuples arrived.
+	feeds := []feed{
+		{"sensors_input", stream.NewTuple(at(0.2), stream.Float(400))},
+		{"motion_input", stream.NewTuple(at(0.5), stream.String("OFF"))},
+	}
+	out := runPlan(t, g, feeds, time.Second, time.Second)
+	if len(out) != 0 {
+		t.Errorf("out = %v, want none", out)
+	}
+}
+
+func TestPlanStaticTableSemiJoin(t *testing.T) {
+	expected := stream.MustTable(
+		stream.MustSchema(stream.Field{Name: "expected_tag", Kind: stream.KindString}),
+		[]stream.Tuple{
+			stream.NewTuple(time.Time{}, stream.String("A")),
+		},
+	)
+	cfg := PlanConfig{Tables: map[string]*stream.Table{"expected_tags": expected}}
+	g, err := PlanString(
+		"SELECT * FROM rfid_data, expected_tags WHERE tag_id = expected_tag",
+		testCatalog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Push("rfid_data", stream.NewTuple(at(0.1), stream.String("A"), stream.Int(0)))
+	if err != nil || len(out) != 1 {
+		t.Fatalf("expected tag: %v, %v", out, err)
+	}
+	if len(out[0].Values) != 2 {
+		t.Errorf("semi join widened the tuple: %v", out[0])
+	}
+	out, _ = g.Push("rfid_data", stream.NewTuple(at(0.2), stream.String("Z"), stream.Int(0)))
+	if len(out) != 0 {
+		t.Errorf("errant tag passed: %v", out)
+	}
+}
+
+func TestPlanStaticTableInnerJoin(t *testing.T) {
+	inventory := stream.MustTable(
+		stream.MustSchema(
+			stream.Field{Name: "inv_tag", Kind: stream.KindString},
+			stream.Field{Name: "product", Kind: stream.KindString},
+		),
+		[]stream.Tuple{stream.NewTuple(time.Time{}, stream.String("A"), stream.String("soap"))},
+	)
+	cfg := PlanConfig{Tables: map[string]*stream.Table{"inventory": inventory}}
+	g, err := PlanString(
+		"SELECT tag_id, product FROM rfid_data, inventory WHERE tag_id = inv_tag",
+		testCatalog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Push("rfid_data", stream.NewTuple(at(0.1), stream.String("A"), stream.Int(0)))
+	if err != nil || len(out) != 1 {
+		t.Fatalf("join: %v, %v", out, err)
+	}
+	if out[0].Values[1] != stream.String("soap") {
+		t.Errorf("joined = %v", out[0])
+	}
+}
+
+func TestPlanSubqueryNesting(t *testing.T) {
+	// Outer filter over an aggregating subquery.
+	src := `SELECT tag_id FROM
+	          (SELECT tag_id, count(*) AS n FROM smooth_input [Range By '2 sec'] GROUP BY tag_id) AS sm
+	        WHERE n >= 2`
+	g, err := PlanString(src, testCatalog, PlanConfig{Slide: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := []feed{
+		{"smooth_input", stream.NewTuple(at(0.2), stream.String("A"))},
+		{"smooth_input", stream.NewTuple(at(0.4), stream.String("A"))},
+		{"smooth_input", stream.NewTuple(at(0.6), stream.String("B"))},
+	}
+	out := runPlan(t, g, feeds, time.Second, time.Second)
+	if len(out) != 1 || out[0].Values[0] != stream.String("A") {
+		t.Errorf("out = %v, want only A", out)
+	}
+}
+
+func TestPlanPostAggregateArithmetic(t *testing.T) {
+	// Expressions over aggregates in the SELECT list.
+	src := `SELECT spatial_granule, avg(temp) + stdev(temp) AS hi
+	        FROM merge_input [Range By '1 sec'] GROUP BY spatial_granule`
+	g, err := PlanString(src, testCatalog, PlanConfig{Slide: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := []feed{
+		{"merge_input", stream.NewTuple(at(0.2), stream.Int(1), stream.Float(10))},
+		{"merge_input", stream.NewTuple(at(0.4), stream.Int(1), stream.Float(20))},
+	}
+	out := runPlan(t, g, feeds, time.Second, time.Second)
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	hi := out[0].Values[1].AsFloat()
+	if hi < 19.9 || hi > 20.1 { // avg 15 + stdev 5
+		t.Errorf("hi = %v, want 20", hi)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		cfg  PlanConfig
+	}{
+		{"unknown stream", "SELECT a FROM nope", PlanConfig{}},
+		{"unknown column", "SELECT missing FROM rfid_data", PlanConfig{}},
+		{"agg without window", "SELECT count(*) FROM rfid_data", PlanConfig{}},
+		{"NOW without slide", "SELECT count(*) FROM rfid_data [Range By 'NOW']", PlanConfig{}},
+		{"agg in where", "SELECT tag_id FROM rfid_data WHERE count(*) > 1", PlanConfig{}},
+		{"having without group", "SELECT tag_id FROM rfid_data HAVING tag_id = 'x'", PlanConfig{}},
+		{"all with non-agg left", `SELECT shelf FROM rfid_data [Range By 'NOW'] GROUP BY shelf
+			HAVING shelf >= ALL(SELECT count(*) FROM rfid_data [Range By 'NOW'] GROUP BY shelf)`,
+			PlanConfig{Slide: time.Second}},
+		{"all subquery without group", `SELECT shelf FROM rfid_data [Range By 'NOW'] GROUP BY shelf
+			HAVING count(*) >= ALL(SELECT count(*) FROM rfid_data [Range By 'NOW'])`,
+			PlanConfig{Slide: time.Second}},
+		{"all without partition", `SELECT shelf FROM rfid_data [Range By 'NOW'] GROUP BY shelf
+			HAVING count(*) >= ALL(SELECT count(*) FROM rfid_data [Range By 'NOW'] GROUP BY shelf)`,
+			PlanConfig{Slide: time.Second}},
+		{"combine with repeated stream", `SELECT 1 AS one FROM
+			(SELECT 1 AS a FROM rfid_input [Range By 'NOW']) AS x,
+			(SELECT 1 AS b FROM rfid_input [Range By 'NOW']) AS y
+			WHERE x.a = y.b`,
+			PlanConfig{Slide: time.Second}},
+		{"table join without equality", "SELECT * FROM rfid_data, expected_tags",
+			PlanConfig{Tables: map[string]*stream.Table{"expected_tags": stream.MustTable(
+				stream.MustSchema(stream.Field{Name: "expected_tag", Kind: stream.KindString}), nil)}}},
+	}
+	for _, tc := range cases {
+		if _, err := PlanString(tc.src, testCatalog, tc.cfg); err == nil {
+			t.Errorf("%s: want plan error for %q", tc.name, tc.src)
+		}
+	}
+}
+
+func TestPlanHavingOnCount(t *testing.T) {
+	src := `SELECT shelf FROM rfid_data [Range By '1 sec'] GROUP BY shelf HAVING count(*) >= 2`
+	g, err := PlanString(src, testCatalog, PlanConfig{Slide: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := []feed{
+		{"rfid_data", stream.NewTuple(at(0.1), stream.String("A"), stream.Int(0))},
+		{"rfid_data", stream.NewTuple(at(0.2), stream.String("B"), stream.Int(0))},
+		{"rfid_data", stream.NewTuple(at(0.3), stream.String("C"), stream.Int(1))},
+	}
+	out := runPlan(t, g, feeds, time.Second, time.Second)
+	if len(out) != 1 || out[0].Values[0] != stream.Int(0) {
+		t.Errorf("out = %v, want only shelf 0", out)
+	}
+}
+
+func TestPlanTumblingDefaultWithoutSlide(t *testing.T) {
+	// With no cfg.Slide, ranged windows tumble.
+	src := `SELECT count(*) AS n FROM rfid_data [Range By '2 sec']`
+	g, err := PlanString(src, testCatalog, PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := []feed{
+		{"rfid_data", stream.NewTuple(at(0.5), stream.String("A"), stream.Int(0))},
+		{"rfid_data", stream.NewTuple(at(1.5), stream.String("B"), stream.Int(0))},
+	}
+	out := runPlan(t, g, feeds, 2*time.Second, 4*time.Second)
+	if len(out) != 1 || out[0].Values[0] != stream.Int(2) {
+		t.Errorf("tumbling out = %v", out)
+	}
+}

@@ -1,0 +1,68 @@
+package cql
+
+import (
+	"testing"
+	"time"
+
+	"esp/internal/stream"
+)
+
+func TestParseSlideBy(t *testing.T) {
+	stmt := MustParse("SELECT count(*) AS n FROM rfid_data [Range By '10 sec' Slide By '2 sec']")
+	w := stmt.From[0].Window
+	if w == nil || w.Range != 10*time.Second || w.Slide != 2*time.Second {
+		t.Fatalf("window = %+v", w)
+	}
+	// Round-trip.
+	printed := stmt.String()
+	again := MustParse(printed)
+	if again.From[0].Window.Slide != 2*time.Second {
+		t.Errorf("reparse lost Slide: %q", printed)
+	}
+}
+
+func TestParseSlideByErrors(t *testing.T) {
+	bad := []string{
+		"SELECT a FROM s [Range By 'NOW' Slide By '1 sec']", // NOW + slide
+		"SELECT a FROM s [Range By '5 sec' Slide By NOW]",   // unquoted
+		"SELECT a FROM s [Range By '5 sec' Slide '1 sec']",  // missing BY
+		"SELECT a FROM s [Range By '5 sec' Slide By '0 sec']",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+}
+
+func TestPlanSlideByOverridesEpoch(t *testing.T) {
+	// Epoch is 1s but the query slides every 2s: emissions only at even
+	// boundaries.
+	g, err := PlanString(
+		"SELECT count(*) AS n FROM rfid_data [Range By '4 sec' Slide By '2 sec']",
+		testCatalog, cfgWithSlide(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var boundaries []float64
+	feeds := []feed{
+		{"rfid_data", stream.NewTuple(at(0.5), stream.String("A"), stream.Int(0))},
+		{"rfid_data", stream.NewTuple(at(2.5), stream.String("B"), stream.Int(0))},
+	}
+	out := runPlan(t, g, feeds, time.Second, 6*time.Second)
+	for _, o := range out {
+		boundaries = append(boundaries, float64(o.Ts.UnixNano())/1e9)
+	}
+	for _, b := range boundaries {
+		if int64(b)%2 != 1 {
+			// First punctuation at t=1 anchors the slide grid at odd
+			// seconds: 1, 3, 5.
+			t.Errorf("emission at %v, want odd-second boundaries only (got %v)", b, boundaries)
+		}
+	}
+	if len(out) < 2 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func cfgWithSlide(d time.Duration) PlanConfig { return PlanConfig{Slide: d} }

@@ -1,0 +1,258 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// shortShelf shrinks the shelf experiment for unit tests.
+func shortShelf() ShelfConfig {
+	cfg := DefaultShelfConfig()
+	cfg.Duration = 120 * time.Second
+	return cfg
+}
+
+func TestShelfSmoothArbitrateBeatsRaw(t *testing.T) {
+	raw := shortShelf()
+	raw.Mode = ModeRaw
+	rawRes, err := RunShelf(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := shortShelf()
+	full.Mode = ModeSmoothArbitrate
+	fullRes, err := RunShelf(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullRes.AvgRelErr >= rawRes.AvgRelErr/3 {
+		t.Errorf("Smooth+Arbitrate err %.3f not ≪ raw %.3f", fullRes.AvgRelErr, rawRes.AvgRelErr)
+	}
+	if rawRes.AlertRate < 0.5 {
+		t.Errorf("raw alert rate %.2f/s, want frequent false restock alerts", rawRes.AlertRate)
+	}
+	if fullRes.AlertRate != 0 {
+		t.Errorf("cleaned alert rate %.2f/s, want 0", fullRes.AlertRate)
+	}
+}
+
+func TestShelfTraceShape(t *testing.T) {
+	cfg := shortShelf()
+	cfg.KeepTrace = true
+	res, err := RunShelf(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != res.Epochs {
+		t.Fatalf("trace %d rows, epochs %d", len(res.Trace), res.Epochs)
+	}
+	for _, row := range res.Trace {
+		if len(row.Reported) != 2 || len(row.Truth) != 2 {
+			t.Fatalf("trace row %v", row)
+		}
+		for _, tr := range row.Truth {
+			if tr != 10 && tr != 15 {
+				t.Fatalf("truth %d, want 10 or 15", tr)
+			}
+		}
+	}
+}
+
+// TestShelfTraceTracksRelocations checks the Figure 3(d) trace shape, not
+// just its aggregate error: outside a bounded lag after each 40 s tag
+// relocation, the cleaned counts must match the truth closely.
+func TestShelfTraceTracksRelocations(t *testing.T) {
+	cfg := DefaultShelfConfig()
+	cfg.Duration = 170 * time.Second // spans four relocations
+	cfg.KeepTrace = true
+	res, err := RunShelf(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lag := cfg.Granule + 2*time.Second
+	relocate := cfg.Sim.RelocateEvery
+	stable, stableOK := 0, 0
+	for _, row := range res.Trace {
+		sinceReloc := row.T % relocate
+		if sinceReloc < lag {
+			continue // transition window: staleness expected
+		}
+		stable++
+		ok := true
+		for s := range row.Reported {
+			d := row.Reported[s] - row.Truth[s]
+			if d < -2 || d > 2 {
+				ok = false
+			}
+		}
+		if ok {
+			stableOK++
+		}
+	}
+	if stable == 0 {
+		t.Fatal("no stable epochs evaluated")
+	}
+	frac := float64(stableOK) / float64(stable)
+	if frac < 0.9 {
+		t.Errorf("only %.1f%% of stable epochs within ±2 items of truth", 100*frac)
+	}
+}
+
+func TestShelfAblationOrdering(t *testing.T) {
+	res, err := RunShelfAblation(shortShelf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(AllModes) {
+		t.Fatalf("got %d results", len(res))
+	}
+	byMode := map[PipelineMode]float64{}
+	for _, r := range res {
+		byMode[r.Mode] = r.AvgRelErr
+	}
+	// Figure 5's qualitative ordering.
+	if byMode[ModeSmoothArbitrate] >= byMode[ModeSmoothOnly] {
+		t.Errorf("Smooth+Arbitrate (%.3f) should beat Smooth only (%.3f)",
+			byMode[ModeSmoothArbitrate], byMode[ModeSmoothOnly])
+	}
+	if byMode[ModeSmoothOnly] >= byMode[ModeRaw] {
+		t.Errorf("Smooth only (%.3f) should beat raw (%.3f)",
+			byMode[ModeSmoothOnly], byMode[ModeRaw])
+	}
+	if byMode[ModeArbitrateOnly] < byMode[ModeRaw]*0.8 {
+		t.Errorf("Arbitrate only (%.3f) should provide little benefit over raw (%.3f)",
+			byMode[ModeArbitrateOnly], byMode[ModeRaw])
+	}
+	if byMode[ModeArbitrateSmooth] <= byMode[ModeSmoothArbitrate] {
+		t.Errorf("reversed order (%.3f) should not beat the correct order (%.3f)",
+			byMode[ModeArbitrateSmooth], byMode[ModeSmoothArbitrate])
+	}
+}
+
+func TestGranuleSweepUShape(t *testing.T) {
+	cfg := shortShelf()
+	cfg.Duration = 160 * time.Second
+	points, err := RunGranuleSweep(cfg, []time.Duration{
+		200 * time.Millisecond, 5 * time.Second, 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %v", points)
+	}
+	tiny, best, huge := points[0].AvgRelErr, points[1].AvgRelErr, points[2].AvgRelErr
+	if best >= tiny {
+		t.Errorf("5s granule (%.3f) should beat 200ms (%.3f)", best, tiny)
+	}
+	if best >= huge {
+		t.Errorf("5s granule (%.3f) should beat 60s (%.3f)", best, huge)
+	}
+}
+
+func TestOutlierDetection(t *testing.T) {
+	cfg := DefaultOutlierConfig()
+	cfg.Duration = 30 * time.Hour
+	cfg.Sim.FailStart = 5 * time.Hour
+	res, err := RunOutlier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstEliminated < 0 {
+		t.Fatal("outlier never eliminated")
+	}
+	if res.FirstEliminated < cfg.Sim.FailStart {
+		t.Errorf("eliminated at %v, before failure at %v", res.FirstEliminated, cfg.Sim.FailStart)
+	}
+	// Merge must act before the Point threshold trips (paper's
+	// observation: Merge is the first stage to eliminate the outlier).
+	if res.PointFirstFiltered >= 0 && res.FirstEliminated >= res.PointFirstFiltered {
+		t.Errorf("Merge eliminated at %v, after Point at %v", res.FirstEliminated, res.PointFirstFiltered)
+	}
+	if res.ESPWithin1C < 0.9 {
+		t.Errorf("ESP within 1C = %.3f, want > 0.9", res.ESPWithin1C)
+	}
+	// ESP's worst case is an epoch where only the failing mote delivered
+	// (the §5.3.2 failure mode); even then the naive average must be
+	// substantially worse overall.
+	if res.NaiveMaxErr < 3*res.ESPMaxErr {
+		t.Errorf("naive max err %.1f should dwarf ESP max err %.1f", res.NaiveMaxErr, res.ESPMaxErr)
+	}
+}
+
+func TestRedwoodYieldLadder(t *testing.T) {
+	cfg := DefaultRedwoodConfig()
+	cfg.Duration = 24 * time.Hour
+	cfg.Sim.Motes = 12
+	res, err := RunRedwoodYield(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawYield < 0.3 || res.RawYield > 0.5 {
+		t.Errorf("raw yield = %.3f, want ~0.4", res.RawYield)
+	}
+	if res.SmoothYield <= res.RawYield {
+		t.Errorf("Smooth yield %.3f should exceed raw %.3f", res.SmoothYield, res.RawYield)
+	}
+	if res.MergeYield <= res.SmoothYield {
+		t.Errorf("Merge yield %.3f should exceed Smooth %.3f", res.MergeYield, res.SmoothYield)
+	}
+	if res.SmoothWithinTol < 0.95 {
+		t.Errorf("Smooth accuracy = %.3f, want near 1", res.SmoothWithinTol)
+	}
+	// Merge trades a little accuracy for yield.
+	if res.MergeWithinTol > res.SmoothWithinTol {
+		t.Errorf("Merge accuracy %.3f should not exceed Smooth accuracy %.3f",
+			res.MergeWithinTol, res.SmoothWithinTol)
+	}
+	if res.MergeWithinTol < 0.8 {
+		t.Errorf("Merge accuracy = %.3f collapsed", res.MergeWithinTol)
+	}
+}
+
+func TestSpatialSweepTradeoff(t *testing.T) {
+	cfg := DefaultRedwoodConfig()
+	cfg.Duration = 24 * time.Hour
+	cfg.Sim.Motes = 16
+	points, err := RunSpatialSweep(cfg, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %v", points)
+	}
+	if points[1].MergeYield <= points[0].MergeYield {
+		t.Errorf("bigger groups should raise yield: %v", points)
+	}
+	if points[1].WithinTol >= points[0].WithinTol {
+		t.Errorf("bigger groups should cost accuracy: %v", points)
+	}
+}
+
+func TestDigitalHomeAccuracy(t *testing.T) {
+	cfg := DefaultHomeConfig()
+	cfg.KeepTrace = true
+	res, err := RunDigitalHome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.85 || res.Accuracy > 0.99 {
+		t.Errorf("accuracy = %.3f, want ~0.92 (generally approximating reality, not perfect)", res.Accuracy)
+	}
+	if len(res.Trace) != res.Epochs {
+		t.Errorf("trace %d rows for %d epochs", len(res.Trace), res.Epochs)
+	}
+	// Errors should be dominated by smoothing lag after the person
+	// leaves (false positives), not missed presence.
+	if res.FalseNegatives > res.FalsePositives {
+		t.Errorf("fn=%d > fp=%d; expected lag-dominated errors", res.FalseNegatives, res.FalsePositives)
+	}
+}
+
+func TestPipelineModeString(t *testing.T) {
+	for _, m := range AllModes {
+		if m.String() == "" {
+			t.Errorf("mode %d has empty name", m)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestActuationComparison(t *testing.T) {
+	cfg := DefaultActuationConfig()
+	cfg.Duration = 12 * time.Hour
+	cfg.Sim.Motes = 8
+	vs, err := RunActuation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 {
+		t.Fatalf("variants = %v", vs)
+	}
+	static, expanded, actuated := vs[0], vs[1], vs[2]
+	if actuated.SmoothYield <= static.SmoothYield {
+		t.Errorf("actuation (%v) must beat the static granule window (%v)",
+			actuated.SmoothYield, static.SmoothYield)
+	}
+	if expanded.SmoothYield <= static.SmoothYield {
+		t.Errorf("window expansion (%v) must beat the static granule window (%v)",
+			expanded.SmoothYield, static.SmoothYield)
+	}
+	// Actuation's cost is energy, not staleness: more samples per hour.
+	if actuated.SamplesPerMoteHour <= static.SamplesPerMoteHour {
+		t.Errorf("actuation should cost samples: %v vs %v",
+			actuated.SamplesPerMoteHour, static.SamplesPerMoteHour)
+	}
+	if static.Transitions != 0 || expanded.Transitions != 0 {
+		t.Errorf("static variants actuated: %d, %d", static.Transitions, expanded.Transitions)
+	}
+	if actuated.Transitions == 0 {
+		t.Error("actuated variant never issued a command")
+	}
+}
+
+func TestRobustMergeAblation(t *testing.T) {
+	cfg := DefaultOutlierConfig()
+	cfg.Duration = 30 * time.Hour
+	rs, err := RunRobustMerge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("results = %v", rs)
+	}
+	sigma, median, plain := rs[0], rs[1], rs[2]
+	if median.Within1C < sigma.Within1C {
+		t.Errorf("median (%v) should be at least as accurate as avg±σ (%v)",
+			median.Within1C, sigma.Within1C)
+	}
+	if median.MaxErr > 2 {
+		t.Errorf("median max err = %v, want outlier-immune (<2C)", median.MaxErr)
+	}
+	if plain.Within1C >= sigma.Within1C {
+		t.Errorf("plain average (%v) should be worst, avg±σ at %v",
+			plain.Within1C, sigma.Within1C)
+	}
+	for _, r := range rs {
+		if r.Coverage < 0.9 {
+			t.Errorf("%s coverage = %v", r.Name, r.Coverage)
+		}
+	}
+}
+
+func TestModelOutlierDetectsEarly(t *testing.T) {
+	cfg := DefaultModelOutlierConfig()
+	res, err := RunModelOutlier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModelFirstDrop < 0 {
+		t.Fatal("model never rejected the failing sensor")
+	}
+	if res.ModelFirstDrop < cfg.FailStart {
+		t.Errorf("model rejected at %v, before failure at %v (false positive)",
+			res.ModelFirstDrop, cfg.FailStart)
+	}
+	// The whole point: hours before the absolute threshold fires.
+	if res.ThresholdFirstDrop-res.ModelFirstDrop < 4*time.Hour {
+		t.Errorf("model at %v vs threshold at %v: want several hours earlier",
+			res.ModelFirstDrop, res.ThresholdFirstDrop)
+	}
+	if res.PostFailureRejected < 0.8 {
+		t.Errorf("post-failure rejection = %v, want most readings dropped", res.PostFailureRejected)
+	}
+	if res.PreFailureRejected > 0.01 {
+		t.Errorf("pre-failure false positives = %v, want ~0", res.PreFailureRejected)
+	}
+}

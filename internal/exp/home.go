@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"time"
+
+	"esp/internal/core"
+	"esp/internal/metrics"
+	"esp/internal/receptor"
+	"esp/internal/sim"
+	"esp/internal/stream"
+)
+
+// HomeConfig parameterises the §6 digital-home person detector (Fig. 9).
+type HomeConfig struct {
+	Sim sim.HomeConfig
+	// Duration is the experiment length (600 s in the paper).
+	Duration time.Duration
+	// Granule is the low-level temporal granule used by the per-type
+	// Smooth stages.
+	Granule time.Duration
+	// NoiseThreshold and Votes configure the Virtualize query (525 and
+	// 2-of-3 in the paper).
+	NoiseThreshold float64
+	Votes          int
+	// KeepTrace retains per-epoch detection/truth for Figure 9(e).
+	KeepTrace bool
+}
+
+// DefaultHomeConfig matches the paper.
+func DefaultHomeConfig() HomeConfig {
+	return HomeConfig{
+		Sim:            sim.DefaultHomeConfig(),
+		Duration:       600 * time.Second,
+		Granule:        10 * time.Second,
+		NoiseThreshold: 525,
+		Votes:          2,
+	}
+}
+
+// HomeEpoch is one evaluation step of the person detector.
+type HomeEpoch struct {
+	T        time.Duration
+	Detected bool
+	Truth    bool
+}
+
+// HomeResult summarises the digital-home experiment.
+type HomeResult struct {
+	// Accuracy is the fraction of epochs where the detector matched
+	// reality (the paper reports 92 %).
+	Accuracy float64
+	// FalsePositives / FalseNegatives count the disagreement epochs.
+	FalsePositives, FalseNegatives int
+	Epochs                         int
+	Trace                          []HomeEpoch
+}
+
+// RunDigitalHome reproduces Figure 9: per-type pipelines clean the RFID,
+// sound-mote, and X10 streams, and a Virtualize voting query (Query 6)
+// fuses them into a virtual person detector.
+func RunDigitalHome(cfg HomeConfig) (*HomeResult, error) {
+	sc, err := sim.NewHomeScenario(cfg.Sim)
+	if err != nil {
+		return nil, err
+	}
+	var recs []receptor.Receptor
+	for _, r := range sc.Readers {
+		recs = append(recs, r)
+	}
+	for _, m := range sc.Motes {
+		recs = append(recs, m)
+	}
+	for _, d := range sc.Detectors {
+		recs = append(recs, d)
+	}
+
+	expectedTags := stream.MustTable(
+		stream.MustSchema(stream.Field{Name: "expected_tag", Kind: stream.KindString}),
+		[]stream.Tuple{stream.NewTuple(time.Time{}, stream.String(sim.BadgeTagID))},
+	)
+
+	dep := &core.Deployment{
+		Epoch:     cfg.Sim.Epoch,
+		Receptors: recs,
+		Groups:    sc.Groups,
+		Tables:    map[string]*stream.Table{"expected_tags": expectedTags},
+		Pipelines: map[receptor.Type]*core.Pipeline{
+			receptor.TypeRFID: {
+				Type: receptor.TypeRFID,
+				// Checksum filter plus the §6.1 static-relation join that
+				// removes antenna 1's errant tag.
+				Point:  core.Compose(core.PointChecksum("checksum_ok"), core.PointExpectedTags("tag_id", "expected_tags", "expected_tag")),
+				Smooth: core.SmoothTagCount(cfg.Granule),
+				// Both readers watch the same granule: Merge just unions.
+				Merge: core.MergeUnion(),
+			},
+			receptor.TypeMote: {
+				Type:   receptor.TypeMote,
+				Smooth: core.SmoothAvg("noise", cfg.Granule),
+				Merge:  core.MergeAvg("noise", cfg.Sim.Epoch),
+			},
+			receptor.TypeMotion: {
+				Type:   receptor.TypeMotion,
+				Smooth: core.SmoothEvents(cfg.Granule, 1),
+				Merge:  core.MergeVote(cfg.Sim.Epoch, 2),
+			},
+		},
+		Virtualize: &core.VirtualizeSpec{
+			Query: core.PersonDetectorQuery(cfg.NoiseThreshold, cfg.Votes),
+			Bind: map[string]receptor.Type{
+				"sensors_input": receptor.TypeMote,
+				"rfid_input":    receptor.TypeRFID,
+				"motion_input":  receptor.TypeMotion,
+			},
+		},
+	}
+	p, err := core.NewProcessor(dep)
+	if err != nil {
+		return nil, err
+	}
+
+	detected := false
+	p.OnVirtualize(func(stream.Tuple) { detected = true })
+
+	start := time.Unix(0, 0).UTC()
+	res := &HomeResult{}
+	var preds, truths []bool
+	for now := start.Add(cfg.Sim.Epoch); !now.After(start.Add(cfg.Duration)); now = now.Add(cfg.Sim.Epoch) {
+		detected = false
+		if err := p.Step(now); err != nil {
+			return nil, err
+		}
+		truth := sc.Present(now)
+		preds = append(preds, detected)
+		truths = append(truths, truth)
+		if detected && !truth {
+			res.FalsePositives++
+		}
+		if !detected && truth {
+			res.FalseNegatives++
+		}
+		res.Epochs++
+		if cfg.KeepTrace {
+			res.Trace = append(res.Trace, HomeEpoch{T: now.Sub(start), Detected: detected, Truth: truth})
+		}
+	}
+	if res.Accuracy, err = metrics.BinaryAccuracy(preds, truths); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

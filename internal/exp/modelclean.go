@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"esp/internal/core"
+	"esp/internal/sim"
+)
+
+// ModelOutlierConfig parameterises the §6.3.1 model-based cleaning
+// extension: detect a fail-dirty temperature sensor from the *same
+// device's* battery voltage, with no neighbouring motes at all.
+type ModelOutlierConfig struct {
+	Seed     int64
+	Epoch    time.Duration
+	Duration time.Duration
+	// Room temperature model (as in the §5.1 outlier experiment).
+	RoomTemp, DiurnalAmp, NoiseStd float64
+	// Voltage correlation: volts = VoltBase + VoltPerDeg·(temp-RoomTemp).
+	VoltBase, VoltPerDeg, VoltNoiseStd float64
+	// Fail-dirty parameters for the temperature channel.
+	FailStart       time.Duration
+	FailRampPerHour float64
+	// Sigma is the model stage's rejection threshold; PointLimit the
+	// naive range filter it is compared against.
+	Sigma      float64
+	PointLimit float64
+}
+
+// DefaultModelOutlierConfig mirrors the Figure 7 setup with a voltage
+// channel added.
+func DefaultModelOutlierConfig() ModelOutlierConfig {
+	return ModelOutlierConfig{
+		Seed:            31,
+		Epoch:           5 * time.Minute,
+		Duration:        30 * time.Hour,
+		RoomTemp:        22,
+		DiurnalAmp:      2.5,
+		NoiseStd:        0.2,
+		VoltBase:        2.9,
+		VoltPerDeg:      -0.01,
+		VoltNoiseStd:    0.004,
+		FailStart:       10 * time.Hour,
+		FailRampPerHour: 3.0,
+		Sigma:           5,
+		PointLimit:      50,
+	}
+}
+
+// ModelOutlierResult compares detection latencies.
+type ModelOutlierResult struct {
+	// ModelFirstDrop is when the model stage first rejected a reading of
+	// the failing sensor (-1 if never).
+	ModelFirstDrop time.Duration
+	// ThresholdFirstDrop is when a naive `temp < PointLimit` Point filter
+	// would first have fired.
+	ThresholdFirstDrop time.Duration
+	// PostFailureRejected is the fraction of post-failure readings the
+	// model stage rejected.
+	PostFailureRejected float64
+	// PreFailureRejected is the false-positive fraction before failure.
+	PreFailureRejected float64
+}
+
+// RunModelOutlier drives one fail-dirty mote's (temp, voltage) stream
+// through a PointModelOutlier stage. The temperature channel decouples at
+// FailStart while voltage keeps tracking the true room temperature, so
+// the learned temp~voltage correlation breaks long before the reading
+// looks absolutely implausible.
+func RunModelOutlier(cfg ModelOutlierConfig) (*ModelOutlierResult, error) {
+	day := float64(24 * time.Hour)
+	trueTemp := func(now time.Time) float64 {
+		t := float64(now.UnixNano())
+		return cfg.RoomTemp + cfg.DiurnalAmp*math.Sin(2*math.Pi*t/day)
+	}
+	mote := sim.NewMote(cfg.Seed, "mote1", 1.0,
+		sim.SensorModel{Name: "temp", Truth: trueTemp, NoiseStd: cfg.NoiseStd},
+		sim.SensorModel{
+			Name: "voltage",
+			Truth: func(now time.Time) float64 {
+				return cfg.VoltBase + cfg.VoltPerDeg*(trueTemp(now)-cfg.RoomTemp)
+			},
+			NoiseStd: cfg.VoltNoiseStd,
+		},
+	)
+	mote.Fail = &sim.FailDirty{
+		Sensor:      "temp",
+		Start:       time.Unix(0, 0).Add(cfg.FailStart),
+		RampPerHour: cfg.FailRampPerHour,
+	}
+
+	stage := core.PointModelOutlier("voltage", "temp", cfg.Sigma, 3*cfg.NoiseStd, 20, 1)
+	op, err := stage.Build(mote.Schema(), core.BuildEnv{Epoch: cfg.Epoch})
+	if err != nil {
+		return nil, err
+	}
+	if err := op.Open(mote.Schema()); err != nil {
+		return nil, err
+	}
+
+	res := &ModelOutlierResult{ModelFirstDrop: -1, ThresholdFirstDrop: -1}
+	tempIx := mote.Schema().MustIndex("temp")
+	start := time.Unix(0, 0).UTC()
+	var postTotal, postDropped, preTotal, preDropped int
+	for now := start.Add(cfg.Epoch); !now.After(start.Add(cfg.Duration)); now = now.Add(cfg.Epoch) {
+		for _, tu := range mote.Poll(now) {
+			temp := tu.Values[tempIx].AsFloat()
+			out, err := op.Process(tu)
+			if err != nil {
+				return nil, err
+			}
+			dropped := len(out) == 0
+			t := now.Sub(start)
+			if dropped && res.ModelFirstDrop < 0 {
+				res.ModelFirstDrop = t
+			}
+			if temp >= cfg.PointLimit && res.ThresholdFirstDrop < 0 {
+				res.ThresholdFirstDrop = t
+			}
+			if t > cfg.FailStart {
+				postTotal++
+				if dropped {
+					postDropped++
+				}
+			} else {
+				preTotal++
+				if dropped {
+					preDropped++
+				}
+			}
+		}
+	}
+	if postTotal == 0 || preTotal == 0 {
+		return nil, fmt.Errorf("exp: model outlier run produced no readings")
+	}
+	res.PostFailureRejected = float64(postDropped) / float64(postTotal)
+	res.PreFailureRejected = float64(preDropped) / float64(preTotal)
+	return res, nil
+}

@@ -1,0 +1,199 @@
+package exp
+
+import (
+	"time"
+
+	"esp/internal/core"
+	"esp/internal/metrics"
+	"esp/internal/receptor"
+	"esp/internal/sim"
+	"esp/internal/stream"
+)
+
+// OutlierConfig parameterises the §5.1 fail-dirty experiment (Figure 7).
+type OutlierConfig struct {
+	Sim sim.OutlierConfig
+	// Duration is the trace length (2 days in Figure 7).
+	Duration time.Duration
+	// PointLimit is the Point-stage filter (50 °C in Query 4).
+	PointLimit float64
+	// Sigma is the Merge-stage outlier bound in standard deviations.
+	Sigma float64
+	// KeepTrace retains the per-epoch series for the figure.
+	KeepTrace bool
+}
+
+// DefaultOutlierConfig matches the paper.
+func DefaultOutlierConfig() OutlierConfig {
+	return OutlierConfig{
+		Sim:        sim.DefaultOutlierConfig(),
+		Duration:   48 * time.Hour,
+		PointLimit: 50,
+		Sigma:      1.0,
+		KeepTrace:  true,
+	}
+}
+
+// OutlierEpoch is one evaluation step of the outlier experiment.
+type OutlierEpoch struct {
+	T time.Duration
+	// Motes holds each mote's delivered reading (NaN when lost).
+	Motes []float64
+	// NaiveAvg averages all delivered readings, outlier included — the
+	// "Average" line of Figure 7.
+	NaiveAvg float64
+	// ESP is the pipeline output (NaN if none emitted this epoch).
+	ESP float64
+	// Truth is the room's true temperature.
+	Truth float64
+}
+
+// OutlierResult summarises the fail-dirty experiment.
+type OutlierResult struct {
+	// FirstEliminated is when the Merge stage first rejected the
+	// fail-dirty mote ("ESP begins to eliminate outlier" in Figure 7).
+	FirstEliminated time.Duration
+	// PointFirstFiltered is when the Point stage first dropped a reading
+	// (the outlier crossing 50 °C).
+	PointFirstFiltered time.Duration
+	// ESPWithin1C is the fraction of post-failure epochs where the ESP
+	// output stayed within 1 °C of the truth.
+	ESPWithin1C float64
+	// NaiveMaxErr / ESPMaxErr are the worst absolute errors after the
+	// failure begins.
+	NaiveMaxErr, ESPMaxErr float64
+	Trace                  []OutlierEpoch
+}
+
+// RunOutlier reproduces Figure 7: three motes in one proximity group, one
+// failing dirty; Point (temp < 50) plus Merge (reject beyond avg±σ·stdev,
+// then average) track the functioning motes while the naive average is
+// dragged away.
+func RunOutlier(cfg OutlierConfig) (*OutlierResult, error) {
+	sc, err := sim.NewOutlierScenario(cfg.Sim)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Unix(0, 0).UTC()
+
+	// Pre-generate delivered traces so the harness can compute the naive
+	// average from exactly the readings the pipeline saw.
+	epochs := int(cfg.Duration / cfg.Sim.Epoch)
+	delivered := make([][]float64, len(sc.Motes)) // NaN = lost
+	var replays []receptor.Receptor
+	for i, m := range sc.Motes {
+		delivered[i] = make([]float64, epochs)
+		var tuples []stream.Tuple
+		for e := 0; e < epochs; e++ {
+			now := start.Add(time.Duration(e+1) * cfg.Sim.Epoch)
+			t, ok := m.PollLogged(now)
+			if ok {
+				delivered[i][e] = t.Values[1].AsFloat()
+				tuples = append(tuples, t)
+			} else {
+				delivered[i][e] = nan()
+			}
+		}
+		replays = append(replays, receptor.NewReplay(m.ID(), receptor.TypeMote, m.Schema(), tuples))
+	}
+
+	dep := &core.Deployment{
+		Epoch:     cfg.Sim.Epoch,
+		Receptors: replays,
+		Groups:    sc.Groups,
+		Pipelines: map[receptor.Type]*core.Pipeline{
+			receptor.TypeMote: {
+				Type:  receptor.TypeMote,
+				Point: core.PointBelow("temp", cfg.PointLimit),
+				Merge: core.MergeOutlierAvg("temp", cfg.Sim.Epoch, cfg.Sigma),
+			},
+		},
+	}
+	p, err := core.NewProcessor(dep)
+	if err != nil {
+		return nil, err
+	}
+	sch, _ := p.TypeSchema(receptor.TypeMote)
+	tempIx := sch.MustIndex("temp")
+
+	esp := make([]float64, epochs)
+	for e := range esp {
+		esp[e] = nan()
+	}
+	curEpoch := 0
+	p.OnType(receptor.TypeMote, func(tu stream.Tuple) {
+		esp[curEpoch] = tu.Values[tempIx].AsFloat()
+	})
+
+	res := &OutlierResult{FirstEliminated: -1, PointFirstFiltered: -1}
+	var espVals, truthVals []float64
+	failStart := cfg.Sim.FailStart
+
+	for e := 0; e < epochs; e++ {
+		curEpoch = e
+		now := start.Add(time.Duration(e+1) * cfg.Sim.Epoch)
+		if err := p.Step(now); err != nil {
+			return nil, err
+		}
+		truth := sc.Truth(now)
+		naive, included := naiveAvg(delivered, e)
+		t := now.Sub(start)
+
+		if res.PointFirstFiltered < 0 && !isNaN(delivered[0][e]) && delivered[0][e] >= cfg.PointLimit {
+			res.PointFirstFiltered = t
+		}
+		// The outlier is "eliminated" once the pipeline output ignores a
+		// delivered outlier reading that the naive average includes.
+		if res.FirstEliminated < 0 && t > failStart && included && !isNaN(esp[e]) &&
+			abs(esp[e]-truth) < abs(naive-truth)-0.5 {
+			res.FirstEliminated = t
+		}
+		if t > failStart {
+			if !isNaN(esp[e]) {
+				espVals = append(espVals, esp[e])
+				truthVals = append(truthVals, truth)
+				if d := abs(esp[e] - truth); d > res.ESPMaxErr {
+					res.ESPMaxErr = d
+				}
+			}
+			if !isNaN(naive) {
+				if d := abs(naive - truth); d > res.NaiveMaxErr {
+					res.NaiveMaxErr = d
+				}
+			}
+		}
+		if cfg.KeepTrace {
+			row := OutlierEpoch{T: t, NaiveAvg: naive, ESP: esp[e], Truth: truth}
+			for i := range delivered {
+				row.Motes = append(row.Motes, delivered[i][e])
+			}
+			res.Trace = append(res.Trace, row)
+		}
+	}
+	if res.ESPWithin1C, err = metrics.WithinTolerance(espVals, truthVals, 1); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// naiveAvg averages the delivered readings of epoch e; included reports
+// whether the fail-dirty mote (index 0) contributed.
+func naiveAvg(delivered [][]float64, e int) (avg float64, outlierIncluded bool) {
+	var sum float64
+	n := 0
+	for i := range delivered {
+		v := delivered[i][e]
+		if isNaN(v) {
+			continue
+		}
+		sum += v
+		n++
+		if i == 0 {
+			outlierIncluded = true
+		}
+	}
+	if n == 0 {
+		return nan(), false
+	}
+	return sum / float64(n), outlierIncluded
+}

@@ -1,0 +1,207 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"esp/internal/core"
+	"esp/internal/metrics"
+	"esp/internal/receptor"
+	"esp/internal/sim"
+	"esp/internal/stream"
+)
+
+// RedwoodConfig parameterises the §5.2 epoch-yield experiment.
+type RedwoodConfig struct {
+	Sim sim.RedwoodConfig
+	// Duration is the trace length (3.5 days in the paper).
+	Duration time.Duration
+	// SmoothWindow is the Smooth stage's expanded aggregation window
+	// (30 minutes in the paper — §5.2.1's window expansion, because the
+	// collection interval equals the 5-minute temporal granule).
+	SmoothWindow time.Duration
+	// Tolerance is the accuracy bound (1 °C for trend analysis).
+	Tolerance float64
+}
+
+// DefaultRedwoodConfig matches the paper.
+func DefaultRedwoodConfig() RedwoodConfig {
+	return RedwoodConfig{
+		Sim:          sim.DefaultRedwoodConfig(),
+		Duration:     84 * time.Hour, // 3.5 days
+		SmoothWindow: 30 * time.Minute,
+		Tolerance:    1.0,
+	}
+}
+
+// RedwoodResult is the §5.2 table-in-text: epoch yield and accuracy at
+// each pipeline depth.
+type RedwoodResult struct {
+	// RawYield is the delivered fraction of requested readings (~40 %).
+	RawYield float64
+	// SmoothYield / SmoothWithinTol are after temporal aggregation
+	// (paper: 77 % yield, 99 % within 1 °C).
+	SmoothYield, SmoothWithinTol float64
+	// MergeYield / MergeWithinTol are after spatial aggregation
+	// (paper: 92 % yield, 94 % within 1 °C).
+	MergeYield, MergeWithinTol float64
+	// Motes and Epochs record the workload size.
+	Motes, Epochs int
+}
+
+// RunRedwoodYield reproduces the §5.2 numbers. One processor run
+// computes both levels: the Smooth tap observes per-mote temporal
+// aggregation and the type output observes the per-group Merge.
+func RunRedwoodYield(cfg RedwoodConfig) (*RedwoodResult, error) {
+	sc, err := sim.NewRedwoodScenario(cfg.Sim)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Unix(0, 0).UTC()
+	epochs := int(cfg.Duration / cfg.Sim.Epoch)
+
+	// Pre-generate each mote's logged trace (the accuracy ground truth —
+	// the real deployment's local flash log) and its delivered subset.
+	logged := make(map[string][]float64, len(sc.Motes))
+	var replays []receptor.Receptor
+	rawDelivered := 0
+	for _, m := range sc.Motes {
+		lg := make([]float64, epochs)
+		var tuples []stream.Tuple
+		for e := 0; e < epochs; e++ {
+			now := start.Add(time.Duration(e+1) * cfg.Sim.Epoch)
+			t, ok := m.PollLogged(now)
+			lg[e] = t.Values[1].AsFloat()
+			if ok {
+				rawDelivered++
+				tuples = append(tuples, t)
+			}
+		}
+		logged[m.ID()] = lg
+		replays = append(replays, receptor.NewReplay(m.ID(), receptor.TypeMote, m.Schema(), tuples))
+	}
+
+	dep := &core.Deployment{
+		Epoch:     cfg.Sim.Epoch,
+		Receptors: replays,
+		Groups:    sc.Groups,
+		Pipelines: map[receptor.Type]*core.Pipeline{
+			receptor.TypeMote: {
+				Type:   receptor.TypeMote,
+				Smooth: core.SmoothAvg("temp", cfg.SmoothWindow),
+				Merge:  core.MergeAvg("temp", cfg.Sim.Epoch),
+			},
+		},
+	}
+	p, err := core.NewProcessor(dep)
+	if err != nil {
+		return nil, err
+	}
+
+	// Group membership for attributing Merge output to member motes.
+	members := make(map[string][]string)
+	for _, g := range sc.Groups.Names() {
+		gr, _ := sc.Groups.Group(g)
+		members[g] = gr.Members
+	}
+
+	type obs struct {
+		mote string
+		val  float64
+	}
+	curEpoch := 0
+	smoothObs := make([][]obs, epochs)
+	mergeObs := make([][]obs, epochs)
+
+	p.Tap(receptor.TypeMote, core.StageSmooth, func(tu stream.Tuple) {
+		// Smooth-tap schema: (receptor_id, spatial_granule, temp).
+		smoothObs[curEpoch] = append(smoothObs[curEpoch], obs{
+			mote: tu.Values[0].AsString(),
+			val:  tu.Values[2].AsFloat(),
+		})
+	})
+	mergeSchema, _ := p.TypeSchema(receptor.TypeMote)
+	granIx := mergeSchema.MustIndex(core.ColGranule)
+	tempIx := mergeSchema.MustIndex("temp")
+	p.OnType(receptor.TypeMote, func(tu stream.Tuple) {
+		g := tu.Values[granIx].AsString()
+		v := tu.Values[tempIx].AsFloat()
+		for _, m := range members[g] {
+			mergeObs[curEpoch] = append(mergeObs[curEpoch], obs{mote: m, val: v})
+		}
+	})
+
+	for e := 0; e < epochs; e++ {
+		curEpoch = e
+		if err := p.Step(start.Add(time.Duration(e+1) * cfg.Sim.Epoch)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Score both levels against the logs, skipping the Smooth warmup.
+	warmupEpochs := int(cfg.SmoothWindow / cfg.Sim.Epoch)
+	score := func(rows [][]obs) (yield, within float64, err error) {
+		var rep, tru []float64
+		covered := 0
+		total := 0
+		for e := warmupEpochs; e < epochs; e++ {
+			total += len(sc.Motes)
+			seen := make(map[string]bool, len(rows[e]))
+			for _, o := range rows[e] {
+				if seen[o.mote] {
+					continue
+				}
+				seen[o.mote] = true
+				covered++
+				rep = append(rep, o.val)
+				tru = append(tru, logged[o.mote][e])
+			}
+		}
+		if yield, err = metrics.EpochYield(covered, total); err != nil {
+			return 0, 0, err
+		}
+		if within, err = metrics.WithinTolerance(rep, tru, cfg.Tolerance); err != nil {
+			return 0, 0, err
+		}
+		return yield, within, nil
+	}
+
+	res := &RedwoodResult{Motes: len(sc.Motes), Epochs: epochs - warmupEpochs}
+	if res.RawYield, err = metrics.EpochYield(rawDelivered, len(sc.Motes)*epochs); err != nil {
+		return nil, err
+	}
+	if res.SmoothYield, res.SmoothWithinTol, err = score(smoothObs); err != nil {
+		return nil, err
+	}
+	if res.MergeYield, res.MergeWithinTol, err = score(mergeObs); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SpatialPoint is one point of the §5.3.2 spatial-granule sweep.
+type SpatialPoint struct {
+	GroupSize  int
+	MergeYield float64
+	WithinTol  float64
+}
+
+// RunSpatialSweep reifies the §5.3.2 discussion: growing the spatial
+// granule (proximity-group size) raises the epoch yield but admits
+// readings from increasingly different micro-climates, reducing accuracy.
+func RunSpatialSweep(base RedwoodConfig, sizes []int) ([]SpatialPoint, error) {
+	if len(sizes) == 0 {
+		sizes = []int{1, 2, 4, 8}
+	}
+	var out []SpatialPoint
+	for _, k := range sizes {
+		cfg := base
+		cfg.Sim.GroupSize = k
+		r, err := RunRedwoodYield(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("exp: group size %d: %w", k, err)
+		}
+		out = append(out, SpatialPoint{GroupSize: k, MergeYield: r.MergeYield, WithinTol: r.MergeWithinTol})
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"time"
+
+	"esp/internal/core"
+	"esp/internal/metrics"
+	"esp/internal/receptor"
+	"esp/internal/sim"
+	"esp/internal/stream"
+)
+
+// RobustResult compares Merge-stage estimators on the §5.1 fail-dirty
+// scenario: the paper's avg±σ rejection (Query 5) vs. a median — the
+// robust-statistics member of the anticipated "suite of ESP Operators".
+type RobustResult struct {
+	Name string
+	// Within1C is the fraction of post-failure epochs within 1 °C of the
+	// room truth.
+	Within1C float64
+	// MaxErr is the worst post-failure absolute error.
+	MaxErr float64
+	// Coverage is the fraction of post-failure epochs with any output.
+	Coverage float64
+}
+
+// RunRobustMerge runs the outlier scenario once per estimator and scores
+// each against the room truth over the post-failure period.
+func RunRobustMerge(cfg OutlierConfig) ([]RobustResult, error) {
+	estimators := []struct {
+		name  string
+		merge core.Stage
+	}{
+		{"avg±1σ rejection (Query 5)", core.MergeOutlierAvg("temp", cfg.Sim.Epoch, cfg.Sigma)},
+		{"median", core.MergeMedian("temp", cfg.Sim.Epoch)},
+		{"plain average (no rejection)", core.MergeAvg("temp", cfg.Sim.Epoch)},
+	}
+	var out []RobustResult
+	for _, est := range estimators {
+		r, err := runRobustOnce(cfg, est.name, est.merge)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+func runRobustOnce(cfg OutlierConfig, name string, merge core.Stage) (*RobustResult, error) {
+	sc, err := sim.NewOutlierScenario(cfg.Sim)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]receptor.Receptor, len(sc.Motes))
+	for i, m := range sc.Motes {
+		recs[i] = m
+	}
+	p, err := core.NewProcessor(&core.Deployment{
+		Epoch:     cfg.Sim.Epoch,
+		Receptors: recs,
+		Groups:    sc.Groups,
+		Pipelines: map[receptor.Type]*core.Pipeline{
+			receptor.TypeMote: {
+				Type:  receptor.TypeMote,
+				Point: core.PointBelow("temp", cfg.PointLimit),
+				Merge: merge,
+			},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	sch, _ := p.TypeSchema(receptor.TypeMote)
+	tempIx := sch.MustIndex("temp")
+
+	var latest float64
+	var seen bool
+	p.OnType(receptor.TypeMote, func(tu stream.Tuple) {
+		latest = tu.Values[tempIx].AsFloat()
+		seen = true
+	})
+
+	res := &RobustResult{Name: name}
+	var rep, tru []float64
+	covered, total := 0, 0
+	start := time.Unix(0, 0).UTC()
+	for now := start.Add(cfg.Sim.Epoch); !now.After(start.Add(cfg.Duration)); now = now.Add(cfg.Sim.Epoch) {
+		seen = false
+		if err := p.Step(now); err != nil {
+			return nil, err
+		}
+		t := now.Sub(start)
+		if t <= cfg.Sim.FailStart {
+			continue
+		}
+		total++
+		if !seen {
+			continue
+		}
+		covered++
+		truth := sc.Truth(now)
+		rep = append(rep, latest)
+		tru = append(tru, truth)
+		if d := abs(latest - truth); d > res.MaxErr {
+			res.MaxErr = d
+		}
+	}
+	if res.Within1C, err = metrics.WithinTolerance(rep, tru, 1); err != nil {
+		return nil, err
+	}
+	if res.Coverage, err = metrics.EpochYield(covered, total); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShelfOrderingRobustAcrossSeeds guards against seed-cherry-picking:
+// the Figure 5 qualitative ordering must hold for several simulation
+// seeds, not just the default.
+func TestShelfOrderingRobustAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{2, 3, 5} {
+		cfg := shortShelf()
+		cfg.Sim.Seed = seed
+		raw := cfg
+		raw.Mode = ModeRaw
+		rawRes, err := RunShelf(raw)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		smooth := cfg
+		smooth.Mode = ModeSmoothOnly
+		smoothRes, err := RunShelf(smooth)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		full := cfg
+		full.Mode = ModeSmoothArbitrate
+		fullRes, err := RunShelf(full)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !(fullRes.AvgRelErr < smoothRes.AvgRelErr && smoothRes.AvgRelErr < rawRes.AvgRelErr) {
+			t.Errorf("seed %d: ordering broken: full %.3f, smooth %.3f, raw %.3f",
+				seed, fullRes.AvgRelErr, smoothRes.AvgRelErr, rawRes.AvgRelErr)
+		}
+	}
+}
+
+// TestRedwoodLadderRobustAcrossSeeds does the same for the §5.2 yield
+// ladder.
+func TestRedwoodLadderRobustAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{2, 9} {
+		cfg := DefaultRedwoodConfig()
+		cfg.Sim.Seed = seed
+		cfg.Sim.Motes = 10
+		cfg.Duration = 24 * time.Hour
+		res, err := RunRedwoodYield(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !(res.RawYield < res.SmoothYield && res.SmoothYield < res.MergeYield) {
+			t.Errorf("seed %d: yield ladder broken: %.3f, %.3f, %.3f",
+				seed, res.RawYield, res.SmoothYield, res.MergeYield)
+		}
+	}
+}
+
+// TestDigitalHomeRobustAcrossSeeds checks the detector stays in the
+// paper's regime for several seeds.
+func TestDigitalHomeRobustAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		cfg := DefaultHomeConfig()
+		cfg.Sim.Seed = seed
+		res, err := RunDigitalHome(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Accuracy < 0.8 {
+			t.Errorf("seed %d: accuracy collapsed to %.3f", seed, res.Accuracy)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package exp contains one self-contained runner per experiment in the
+// paper's evaluation: every figure and in-text number has a function here
+// that regenerates it (see DESIGN.md's experiment index). The runners are
+// shared by cmd/espbench, bench_test.go, and EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"esp/internal/core"
+	"esp/internal/cql"
+	"esp/internal/metrics"
+	"esp/internal/receptor"
+	"esp/internal/sim"
+	"esp/internal/stream"
+)
+
+// PipelineMode selects a Figure 5 ablation configuration.
+type PipelineMode int
+
+// The five configurations of Figure 5.
+const (
+	ModeRaw PipelineMode = iota
+	ModeSmoothOnly
+	ModeArbitrateOnly
+	ModeArbitrateSmooth
+	ModeSmoothArbitrate
+)
+
+// String names the mode as in Figure 5's x-axis.
+func (m PipelineMode) String() string {
+	switch m {
+	case ModeRaw:
+		return "Raw"
+	case ModeSmoothOnly:
+		return "Smooth Only"
+	case ModeArbitrateOnly:
+		return "Arbitrate Only"
+	case ModeArbitrateSmooth:
+		return "Arbitrate+Smooth"
+	case ModeSmoothArbitrate:
+		return "Smooth+Arbitrate"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// AllModes lists the Figure 5 configurations in presentation order.
+var AllModes = []PipelineMode{ModeRaw, ModeSmoothOnly, ModeArbitrateOnly, ModeArbitrateSmooth, ModeSmoothArbitrate}
+
+// ShelfConfig parameterises the §4 RFID shelf experiment.
+type ShelfConfig struct {
+	Sim sim.ShelfConfig
+	// Duration is the experiment length (700 s in the paper).
+	Duration time.Duration
+	// Granule is the temporal granule (5 s in the paper; swept by Fig 6).
+	Granule time.Duration
+	// Mode is the pipeline configuration.
+	Mode PipelineMode
+	// RestockThreshold triggers an alert when a shelf count drops below
+	// it (5 in the paper).
+	RestockThreshold int
+	// KeepTrace retains the per-epoch count series (Figure 3 traces).
+	KeepTrace bool
+}
+
+// DefaultShelfConfig is the paper's setup: 700 s, 5 s granule, full
+// Smooth+Arbitrate pipeline.
+func DefaultShelfConfig() ShelfConfig {
+	return ShelfConfig{
+		Sim:              sim.DefaultShelfConfig(),
+		Duration:         700 * time.Second,
+		Granule:          5 * time.Second,
+		Mode:             ModeSmoothArbitrate,
+		RestockThreshold: 5,
+	}
+}
+
+// ShelfEpoch is one evaluation step of the shelf experiment.
+type ShelfEpoch struct {
+	T        time.Duration // offset from start
+	Reported []int         // per shelf
+	Truth    []int         // per shelf
+}
+
+// ShelfResult is the outcome of one shelf run.
+type ShelfResult struct {
+	Mode PipelineMode
+	// AvgRelErr is the paper's Equation 1 over all (epoch, shelf) steps.
+	AvgRelErr float64
+	// AlertRate is restock alerts per second (count < threshold).
+	AlertRate float64
+	// Epochs counts evaluation steps per shelf.
+	Epochs int
+	Trace  []ShelfEpoch
+}
+
+// shelfPipeline builds the stage configuration for a mode.
+func shelfPipeline(mode PipelineMode, granule time.Duration) *core.Pipeline {
+	pl := &core.Pipeline{
+		Type: receptor.TypeRFID,
+		// The reader's built-in checksum filter: Point "out of the box".
+		Point: core.PointChecksum("checksum_ok"),
+	}
+	switch mode {
+	case ModeRaw:
+		// Point only.
+	case ModeSmoothOnly:
+		pl.Smooth = core.SmoothTagCount(granule)
+	case ModeArbitrateOnly:
+		// The literal Query 3 on raw readings: row counts per epoch.
+		pl.Arbitrate = core.ArbitrateMaxSum("tag_id", "")
+	case ModeArbitrateSmooth:
+		// The reversed ordering of Figure 5, packed into the type-level
+		// stage slot: per-epoch arbitration of raw readings, then
+		// temporal smoothing of the attributed stream.
+		pl.Arbitrate = core.Compose(
+			core.ArbitrateMaxSum("tag_id", ""),
+			core.CQLStage{Query: fmt.Sprintf(
+				`SELECT spatial_granule, tag_id, count(*) AS n
+				 FROM arb_out [Range By '%d ms'] GROUP BY spatial_granule, tag_id`,
+				granule.Milliseconds())},
+		)
+	case ModeSmoothArbitrate:
+		pl.Smooth = core.SmoothTagCount(granule)
+		pl.Arbitrate = core.ArbitrateMaxSum("tag_id", "n")
+	}
+	return pl
+}
+
+// countQuery is the application's Query 1, applied per epoch to the
+// cleaned stream (the temporal granule already lives in the Smooth
+// stage, so the application counts the current epoch's tags).
+const countQuery = `SELECT spatial_granule, count(distinct tag_id) AS cnt
+	FROM clean [Range By 'NOW'] GROUP BY spatial_granule`
+
+// RunShelf executes the shelf experiment in one configuration.
+func RunShelf(cfg ShelfConfig) (*ShelfResult, error) {
+	sc, err := sim.NewShelfScenario(cfg.Sim)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]receptor.Receptor, len(sc.Readers))
+	for i, r := range sc.Readers {
+		recs[i] = r
+	}
+	dep := &core.Deployment{
+		Epoch:     cfg.Sim.PollPeriod,
+		Receptors: recs,
+		Groups:    sc.Groups,
+		Pipelines: map[receptor.Type]*core.Pipeline{
+			receptor.TypeRFID: shelfPipeline(cfg.Mode, cfg.Granule),
+		},
+		// §4.3.1 crude calibration: ties go to the weaker antenna
+		// (shelf 1, read by the weaker port).
+		TieBreak: func(a, b stream.Tuple) bool {
+			return a.Values[0] == stream.String("shelf1")
+		},
+	}
+	p, err := core.NewProcessor(dep)
+	if err != nil {
+		return nil, err
+	}
+	cleanSchema, _ := p.TypeSchema(receptor.TypeRFID)
+	counter, err := cql.PlanString(countQuery, cql.Catalog{"clean": cleanSchema},
+		cql.PlanConfig{Slide: cfg.Sim.PollPeriod})
+	if err != nil {
+		return nil, err
+	}
+
+	var pending []stream.Tuple
+	p.OnType(receptor.TypeRFID, func(tu stream.Tuple) { pending = append(pending, tu) })
+
+	start := time.Unix(0, 0).UTC()
+	warmup := start.Add(cfg.Granule)
+	res := &ShelfResult{Mode: cfg.Mode}
+	var reported, truth []float64
+	var counts []float64
+
+	for now := start.Add(cfg.Sim.PollPeriod); !now.After(start.Add(cfg.Duration)); now = now.Add(cfg.Sim.PollPeriod) {
+		if err := p.Step(now); err != nil {
+			return nil, err
+		}
+		for _, tu := range pending {
+			if _, err := counter.Push("clean", tu); err != nil {
+				return nil, err
+			}
+		}
+		pending = pending[:0]
+		rows, err := counter.Advance(now)
+		if err != nil {
+			return nil, err
+		}
+		if now.Before(warmup) {
+			continue
+		}
+		byShelf := make(map[string]int, len(rows))
+		for _, r := range rows {
+			byShelf[r.Values[0].AsString()] = int(r.Values[1].AsInt())
+		}
+		epoch := ShelfEpoch{T: now.Sub(start)}
+		for shelf := 0; shelf < cfg.Sim.Shelves; shelf++ {
+			rep := byShelf[fmt.Sprintf("shelf%d", shelf)]
+			tru := sc.TrueCount(shelf, now)
+			reported = append(reported, float64(rep))
+			truth = append(truth, float64(tru))
+			counts = append(counts, float64(rep))
+			epoch.Reported = append(epoch.Reported, rep)
+			epoch.Truth = append(epoch.Truth, tru)
+		}
+		res.Epochs++
+		if cfg.KeepTrace {
+			res.Trace = append(res.Trace, epoch)
+		}
+	}
+	if res.AvgRelErr, err = metrics.AvgRelativeError(reported, truth); err != nil {
+		return nil, err
+	}
+	evalSeconds := (time.Duration(res.Epochs) * cfg.Sim.PollPeriod).Seconds()
+	if res.AlertRate, err = metrics.AlertRate(counts, float64(cfg.RestockThreshold), evalSeconds); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunShelfAblation reproduces Figure 5: the average relative error of
+// Query 1 under each pipeline configuration.
+func RunShelfAblation(base ShelfConfig) ([]ShelfResult, error) {
+	var out []ShelfResult
+	for _, mode := range AllModes {
+		cfg := base
+		cfg.Mode = mode
+		cfg.KeepTrace = false
+		r, err := RunShelf(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("exp: mode %s: %w", mode, err)
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+// GranulePoint is one point of the Figure 6 sweep.
+type GranulePoint struct {
+	Granule   time.Duration
+	AvgRelErr float64
+}
+
+// RunGranuleSweep reproduces Figure 6: average relative error of the full
+// pipeline as the temporal granule grows. Error is high for tiny granules
+// (no readings to interpolate from), minimal near 5 s, and rises again as
+// the window outlives tag relocations.
+func RunGranuleSweep(base ShelfConfig, granules []time.Duration) ([]GranulePoint, error) {
+	if len(granules) == 0 {
+		granules = []time.Duration{
+			200 * time.Millisecond, 600 * time.Millisecond, time.Second,
+			2 * time.Second, 5 * time.Second, 10 * time.Second,
+			15 * time.Second, 20 * time.Second, 30 * time.Second,
+		}
+	}
+	var out []GranulePoint
+	for _, g := range granules {
+		cfg := base
+		cfg.Mode = ModeSmoothArbitrate
+		cfg.Granule = g
+		cfg.KeepTrace = false
+		r, err := RunShelf(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("exp: granule %v: %w", g, err)
+		}
+		out = append(out, GranulePoint{Granule: g, AvgRelErr: r.AvgRelErr})
+	}
+	return out, nil
+}

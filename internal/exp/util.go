@@ -1,0 +1,9 @@
+package exp
+
+import "math"
+
+func nan() float64         { return math.NaN() }
+func isNaN(v float64) bool { return math.IsNaN(v) }
+func abs(v float64) float64 {
+	return math.Abs(v)
+}

@@ -1,0 +1,112 @@
+// Package metrics implements the evaluation metrics of the paper:
+// average relative error (Eq. 1), epoch yield, tolerance fractions,
+// restock-alert rate, and binary detector accuracy.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// AvgRelativeError is the paper's Equation 1: the mean over time steps of
+// |reported - truth| / truth. Both series must be aligned per time step;
+// truth values must be non-zero.
+func AvgRelativeError(reported, truth []float64) (float64, error) {
+	if len(reported) != len(truth) {
+		return 0, fmt.Errorf("metrics: series lengths differ: %d vs %d", len(reported), len(truth))
+	}
+	if len(reported) == 0 {
+		return 0, fmt.Errorf("metrics: empty series")
+	}
+	var sum float64
+	for i := range reported {
+		if truth[i] == 0 {
+			return 0, fmt.Errorf("metrics: truth is zero at step %d", i)
+		}
+		sum += math.Abs(reported[i]-truth[i]) / math.Abs(truth[i])
+	}
+	return sum / float64(len(reported)), nil
+}
+
+// EpochYield is the fraction of requested readings that reached the
+// application (paper §5.2): delivered / requested.
+func EpochYield(delivered, requested int) (float64, error) {
+	if requested <= 0 {
+		return 0, fmt.Errorf("metrics: requested must be positive, got %d", requested)
+	}
+	if delivered < 0 || delivered > requested {
+		return 0, fmt.Errorf("metrics: delivered %d out of range [0,%d]", delivered, requested)
+	}
+	return float64(delivered) / float64(requested), nil
+}
+
+// WithinTolerance is the fraction of aligned pairs with |a-b| <= tol —
+// the paper's "% of readings within 1°C of the logged data".
+func WithinTolerance(reported, truth []float64, tol float64) (float64, error) {
+	if len(reported) != len(truth) {
+		return 0, fmt.Errorf("metrics: series lengths differ: %d vs %d", len(reported), len(truth))
+	}
+	if len(reported) == 0 {
+		return 0, fmt.Errorf("metrics: empty series")
+	}
+	if tol < 0 {
+		return 0, fmt.Errorf("metrics: negative tolerance")
+	}
+	n := 0
+	for i := range reported {
+		if math.Abs(reported[i]-truth[i]) <= tol {
+			n++
+		}
+	}
+	return float64(n) / float64(len(reported)), nil
+}
+
+// AlertRate counts threshold crossings per second: the number of steps
+// where value < threshold, divided by the series duration in seconds —
+// the paper's "restock alerts 2.3 times per second".
+func AlertRate(values []float64, threshold, durationSeconds float64) (float64, error) {
+	if durationSeconds <= 0 {
+		return 0, fmt.Errorf("metrics: duration must be positive")
+	}
+	alerts := 0
+	for _, v := range values {
+		if v < threshold {
+			alerts++
+		}
+	}
+	return float64(alerts) / durationSeconds, nil
+}
+
+// BinaryAccuracy is the fraction of aligned boolean pairs that agree —
+// the paper's "correctly indicate that a person is in the room 92% of the
+// time".
+func BinaryAccuracy(pred, truth []bool) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("metrics: series lengths differ: %d vs %d", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, fmt.Errorf("metrics: empty series")
+	}
+	n := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(pred)), nil
+}
+
+// MeanAbsError is the mean of |reported - truth| over aligned pairs.
+func MeanAbsError(reported, truth []float64) (float64, error) {
+	if len(reported) != len(truth) {
+		return 0, fmt.Errorf("metrics: series lengths differ: %d vs %d", len(reported), len(truth))
+	}
+	if len(reported) == 0 {
+		return 0, fmt.Errorf("metrics: empty series")
+	}
+	var sum float64
+	for i := range reported {
+		sum += math.Abs(reported[i] - truth[i])
+	}
+	return sum / float64(len(reported)), nil
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAvgRelativeError(t *testing.T) {
+	got, err := AvgRelativeError([]float64{5, 15}, []float64{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Errorf("err = %v, want 0.5", got)
+	}
+	perfect, err := AvgRelativeError([]float64{10, 15}, []float64{10, 15})
+	if err != nil || perfect != 0 {
+		t.Errorf("perfect = %v, %v", perfect, err)
+	}
+}
+
+func TestAvgRelativeErrorErrors(t *testing.T) {
+	if _, err := AvgRelativeError([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := AvgRelativeError(nil, nil); err == nil {
+		t.Error("empty: want error")
+	}
+	if _, err := AvgRelativeError([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero truth: want error")
+	}
+}
+
+func TestEpochYield(t *testing.T) {
+	got, err := EpochYield(40, 100)
+	if err != nil || got != 0.4 {
+		t.Errorf("yield = %v, %v", got, err)
+	}
+	if _, err := EpochYield(1, 0); err == nil {
+		t.Error("zero requested: want error")
+	}
+	if _, err := EpochYield(-1, 10); err == nil {
+		t.Error("negative delivered: want error")
+	}
+	if _, err := EpochYield(11, 10); err == nil {
+		t.Error("delivered > requested: want error")
+	}
+}
+
+func TestWithinTolerance(t *testing.T) {
+	got, err := WithinTolerance([]float64{20, 21.5, 25}, []float64{20.5, 21, 20}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("within = %v, want 2/3", got)
+	}
+	if _, err := WithinTolerance([]float64{1}, []float64{1}, -1); err == nil {
+		t.Error("negative tolerance: want error")
+	}
+}
+
+func TestAlertRate(t *testing.T) {
+	// 3 alerts over 10 seconds.
+	got, err := AlertRate([]float64{4, 6, 3, 7, 2}, 5, 10)
+	if err != nil || got != 0.3 {
+		t.Errorf("rate = %v, %v", got, err)
+	}
+	if _, err := AlertRate(nil, 5, 0); err == nil {
+		t.Error("zero duration: want error")
+	}
+	// Exactly at threshold is not an alert.
+	got, _ = AlertRate([]float64{5}, 5, 1)
+	if got != 0 {
+		t.Errorf("threshold boundary alerted: %v", got)
+	}
+}
+
+func TestBinaryAccuracy(t *testing.T) {
+	got, err := BinaryAccuracy([]bool{true, false, true, true}, []bool{true, true, true, false})
+	if err != nil || got != 0.5 {
+		t.Errorf("accuracy = %v, %v", got, err)
+	}
+	if _, err := BinaryAccuracy(nil, nil); err == nil {
+		t.Error("empty: want error")
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	got, err := MeanAbsError([]float64{1, 3}, []float64{2, 1})
+	if err != nil || got != 1.5 {
+		t.Errorf("mae = %v, %v", got, err)
+	}
+}
+
+func TestQuickMetricsBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		rep := make([]float64, n)
+		tru := make([]float64, n)
+		pb := make([]bool, n)
+		tb := make([]bool, n)
+		for i := range rep {
+			rep[i] = r.Float64() * 100
+			tru[i] = 1 + r.Float64()*100
+			pb[i] = r.Intn(2) == 0
+			tb[i] = r.Intn(2) == 0
+		}
+		are, err := AvgRelativeError(rep, tru)
+		if err != nil || are < 0 {
+			return false
+		}
+		wt, err := WithinTolerance(rep, tru, r.Float64()*10)
+		if err != nil || wt < 0 || wt > 1 {
+			return false
+		}
+		acc, err := BinaryAccuracy(pb, tb)
+		if err != nil || acc < 0 || acc > 1 {
+			return false
+		}
+		// WithinTolerance is monotone in the tolerance.
+		w0, _ := WithinTolerance(rep, tru, 1)
+		w1, _ := WithinTolerance(rep, tru, 10)
+		return w1 >= w0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package model implements online regression models for model-based
+// receptor cleaning — the BBQ-style technique the paper sketches in
+// §6.3.1: "Such a function would build models of the receptor streams to
+// assist in cleaning the data", e.g. exploiting the correlation between a
+// mote's voltage and temperature sensors to detect fail-dirty readings
+// from a single device, without neighbours.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// OnlineLinear fits y ≈ a + b·x incrementally with exponential
+// forgetting: each Update first scales all sufficient statistics by
+// Lambda, so old observations fade with horizon ~1/(1-Lambda) updates.
+// The zero value with Lambda unset behaves as Lambda = 1 (no forgetting).
+type OnlineLinear struct {
+	// Lambda is the forgetting factor in (0, 1]; 0 is treated as 1.
+	Lambda float64
+
+	sw, sx, sy    float64
+	sxx, sxy, syy float64
+}
+
+// Update folds one (x, y) observation into the model.
+func (m *OnlineLinear) Update(x, y float64) {
+	l := m.Lambda
+	if l <= 0 || l > 1 {
+		l = 1
+	}
+	m.sw = l*m.sw + 1
+	m.sx = l*m.sx + x
+	m.sy = l*m.sy + y
+	m.sxx = l*m.sxx + x*x
+	m.sxy = l*m.sxy + x*y
+	m.syy = l*m.syy + y*y
+}
+
+// Weight is the effective number of observations in the model.
+func (m *OnlineLinear) Weight() float64 { return m.sw }
+
+// moments returns the centered second moments; ok is false until the
+// model has enough spread in x to identify a slope.
+func (m *OnlineLinear) moments() (mx, my, cxx, cxy, cyy float64, ok bool) {
+	if m.sw < 2 {
+		return 0, 0, 0, 0, 0, false
+	}
+	mx = m.sx / m.sw
+	my = m.sy / m.sw
+	cxx = m.sxx/m.sw - mx*mx
+	cxy = m.sxy/m.sw - mx*my
+	cyy = m.syy/m.sw - my*my
+	if cxx <= 1e-12 {
+		return mx, my, cxx, cxy, cyy, false
+	}
+	return mx, my, cxx, cxy, cyy, true
+}
+
+// Coeffs returns the fitted intercept and slope.
+func (m *OnlineLinear) Coeffs() (a, b float64, ok bool) {
+	mx, my, cxx, cxy, _, ok := m.moments()
+	if !ok {
+		return 0, 0, false
+	}
+	b = cxy / cxx
+	return my - b*mx, b, true
+}
+
+// Predict returns the model's estimate of y at x.
+func (m *OnlineLinear) Predict(x float64) (float64, bool) {
+	a, b, ok := m.Coeffs()
+	if !ok {
+		return 0, false
+	}
+	return a + b*x, true
+}
+
+// ResidualStd is the standard deviation of the fit residuals.
+func (m *OnlineLinear) ResidualStd() (float64, bool) {
+	_, _, cxx, cxy, cyy, ok := m.moments()
+	if !ok {
+		return 0, false
+	}
+	v := cyy - cxy*cxy/cxx
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v), true
+}
+
+// Score returns the absolute residual of an observation in units of the
+// residual standard deviation (a z-score), or false while the model is
+// not yet usable. MinStd floors the scale so a near-perfect fit doesn't
+// flag everything.
+func (m *OnlineLinear) Score(x, y, minStd float64) (float64, bool) {
+	pred, ok := m.Predict(x)
+	if !ok {
+		return 0, false
+	}
+	std, ok := m.ResidualStd()
+	if !ok {
+		return 0, false
+	}
+	if std < minStd {
+		std = minStd
+	}
+	if std == 0 {
+		return 0, false
+	}
+	return math.Abs(y-pred) / std, true
+}
+
+// String renders the fitted model for diagnostics.
+func (m *OnlineLinear) String() string {
+	a, b, ok := m.Coeffs()
+	if !ok {
+		return fmt.Sprintf("model(unfitted, w=%.1f)", m.sw)
+	}
+	return fmt.Sprintf("y = %.4g + %.4g*x (w=%.1f)", a, b, m.sw)
+}

@@ -1,0 +1,149 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnfittedModel(t *testing.T) {
+	var m OnlineLinear
+	if _, _, ok := m.Coeffs(); ok {
+		t.Error("empty model claims a fit")
+	}
+	m.Update(1, 1)
+	if _, ok := m.Predict(1); ok {
+		t.Error("single point claims a fit")
+	}
+	// Two identical x values: slope unidentifiable.
+	m.Update(1, 2)
+	if _, _, ok := m.Coeffs(); ok {
+		t.Error("zero x-variance claims a fit")
+	}
+	if !strings.Contains(m.String(), "unfitted") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestExactLinearFit(t *testing.T) {
+	var m OnlineLinear
+	for x := 0.0; x < 10; x++ {
+		m.Update(x, 3+2*x)
+	}
+	a, b, ok := m.Coeffs()
+	if !ok {
+		t.Fatal("no fit")
+	}
+	if math.Abs(a-3) > 1e-9 || math.Abs(b-2) > 1e-9 {
+		t.Errorf("fit = %v + %v x", a, b)
+	}
+	std, ok := m.ResidualStd()
+	if !ok || std > 1e-9 {
+		t.Errorf("residual std = %v on exact data", std)
+	}
+	pred, _ := m.Predict(20)
+	if math.Abs(pred-43) > 1e-9 {
+		t.Errorf("Predict(20) = %v, want 43", pred)
+	}
+}
+
+func TestNoisyFitAndScore(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var m OnlineLinear
+	for i := 0; i < 2000; i++ {
+		x := r.Float64() * 10
+		m.Update(x, 1+0.5*x+r.NormFloat64()*0.2)
+	}
+	a, b, _ := m.Coeffs()
+	if math.Abs(a-1) > 0.05 || math.Abs(b-0.5) > 0.02 {
+		t.Errorf("fit = %v + %v x, want ~1 + 0.5x", a, b)
+	}
+	std, _ := m.ResidualStd()
+	if std < 0.15 || std > 0.25 {
+		t.Errorf("residual std = %v, want ~0.2", std)
+	}
+	// A conforming point scores low; a wild one scores high.
+	if s, ok := m.Score(5, 3.5, 0); !ok || s > 3 {
+		t.Errorf("conforming score = %v, %v", s, ok)
+	}
+	if s, ok := m.Score(5, 13.5, 0); !ok || s < 10 {
+		t.Errorf("outlier score = %v, %v", s, ok)
+	}
+}
+
+func TestForgetting(t *testing.T) {
+	// With forgetting, the model tracks a regime change; without, it lags.
+	forget := OnlineLinear{Lambda: 0.9}
+	var rigid OnlineLinear
+	for x := 0.0; x < 50; x++ {
+		forget.Update(math.Mod(x, 5), 1*math.Mod(x, 5))
+		rigid.Update(math.Mod(x, 5), 1*math.Mod(x, 5))
+	}
+	for x := 0.0; x < 50; x++ {
+		forget.Update(math.Mod(x, 5), 10*math.Mod(x, 5))
+		rigid.Update(math.Mod(x, 5), 10*math.Mod(x, 5))
+	}
+	_, bF, _ := forget.Coeffs()
+	_, bR, _ := rigid.Coeffs()
+	if math.Abs(bF-10) > 0.5 {
+		t.Errorf("forgetting slope = %v, want ~10", bF)
+	}
+	if math.Abs(bR-10) < math.Abs(bF-10) {
+		t.Errorf("rigid model (b=%v) adapted faster than forgetting one (b=%v)", bR, bF)
+	}
+	if forget.Weight() > 11 {
+		t.Errorf("effective weight = %v, want ~1/(1-lambda)", forget.Weight())
+	}
+}
+
+func TestScoreMinStdFloor(t *testing.T) {
+	var m OnlineLinear
+	for x := 0.0; x < 10; x++ {
+		m.Update(x, 2*x) // perfect fit, residual std 0
+	}
+	if _, ok := m.Score(5, 10.5, 0); ok {
+		t.Error("zero residual std without floor should refuse to score")
+	}
+	s, ok := m.Score(5, 10.5, 0.1)
+	if !ok || math.Abs(s-5) > 1e-6 {
+		t.Errorf("floored score = %v, %v; want 5", s, ok)
+	}
+}
+
+func TestQuickFitRecoversLine(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := r.Float64()*20 - 10
+		b := r.Float64()*4 - 2
+		var m OnlineLinear
+		for i := 0; i < 200; i++ {
+			x := r.Float64() * 10
+			m.Update(x, a+b*x)
+		}
+		ga, gb, ok := m.Coeffs()
+		if !ok {
+			return false
+		}
+		return math.Abs(ga-a) < 1e-6 && math.Abs(gb-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickResidualStdNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := OnlineLinear{Lambda: 0.5 + r.Float64()/2}
+		for i := 0; i < 50; i++ {
+			m.Update(r.NormFloat64()*5, r.NormFloat64()*5)
+		}
+		std, ok := m.ResidualStd()
+		return !ok || (std >= 0 && !math.IsNaN(std))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

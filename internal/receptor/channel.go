@@ -1,0 +1,71 @@
+package receptor
+
+import (
+	"sync"
+	"time"
+
+	"esp/internal/stream"
+)
+
+// Channel is a receptor fed programmatically: upstream code publishes
+// tuples and a downstream processor polls them out. It is the glue for
+// hierarchical composition — the paper's ESP instances run "at the edge
+// of the HiFi network", and a higher-level node consumes their cleaned
+// outputs as if they were devices. Wire an edge processor's OnType sink
+// to Publish and hand the Channel to the parent deployment.
+//
+// Publish is safe for concurrent use; Poll drains every published tuple
+// whose timestamp has arrived.
+type Channel struct {
+	id     string
+	typ    Type
+	schema *stream.Schema
+
+	mu  sync.Mutex
+	buf []stream.Tuple
+}
+
+// NewChannel builds an empty channel receptor.
+func NewChannel(id string, typ Type, schema *stream.Schema) *Channel {
+	return &Channel{id: id, typ: typ, schema: schema}
+}
+
+// ID implements Receptor.
+func (c *Channel) ID() string { return c.id }
+
+// Type implements Receptor.
+func (c *Channel) Type() Type { return c.typ }
+
+// Schema implements Receptor.
+func (c *Channel) Schema() *stream.Schema { return c.schema }
+
+// Publish enqueues one tuple for the next Poll.
+func (c *Channel) Publish(t stream.Tuple) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf = append(c.buf, t)
+}
+
+// Poll implements Receptor: it drains the tuples published so far whose
+// Ts is at or before now, preserving publish order.
+func (c *Channel) Poll(now time.Time) []stream.Tuple {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out, keep []stream.Tuple
+	for _, t := range c.buf {
+		if t.Ts.After(now) {
+			keep = append(keep, t)
+			continue
+		}
+		out = append(out, t)
+	}
+	c.buf = keep
+	return out
+}
+
+// Pending reports how many published tuples await polling.
+func (c *Channel) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buf)
+}

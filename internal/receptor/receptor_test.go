@@ -1,0 +1,92 @@
+package receptor
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGroupsAddAndLookup(t *testing.T) {
+	g := NewGroups()
+	if err := g.Add(Group{Name: "shelf0", Type: TypeRFID, Members: []string{"reader0"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(Group{Name: "shelf1", Type: TypeRFID, Members: []string{"reader1"}}); err != nil {
+		t.Fatal(err)
+	}
+	gr, ok := g.Group("shelf0")
+	if !ok || gr.Members[0] != "reader0" {
+		t.Errorf("Group(shelf0) = %v, %v", gr, ok)
+	}
+	if _, ok := g.Group("nope"); ok {
+		t.Error("lookup of missing group succeeded")
+	}
+	if got := g.Names(); !reflect.DeepEqual(got, []string{"shelf0", "shelf1"}) {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestGroupsErrors(t *testing.T) {
+	g := NewGroups()
+	if err := g.Add(Group{Name: "", Members: []string{"x"}}); err == nil {
+		t.Error("empty name: want error")
+	}
+	if err := g.Add(Group{Name: "a", Members: nil}); err == nil {
+		t.Error("no members: want error")
+	}
+	if err := g.Add(Group{Name: "a", Members: []string{"x", "x"}}); err == nil {
+		t.Error("duplicate member: want error")
+	}
+	g.MustAdd(Group{Name: "a", Members: []string{"x"}})
+	if err := g.Add(Group{Name: "a", Members: []string{"y"}}); err == nil {
+		t.Error("duplicate group: want error")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustAdd on dup: want panic")
+			}
+		}()
+		g.MustAdd(Group{Name: "a", Members: []string{"z"}})
+	}()
+}
+
+func TestGroupsManyToMany(t *testing.T) {
+	// A receptor may watch several granules (paper §3.1.2).
+	g := NewGroups()
+	g.MustAdd(Group{Name: "roomA", Type: TypeMote, Members: []string{"m1", "m2"}})
+	g.MustAdd(Group{Name: "roomB", Type: TypeMote, Members: []string{"m2", "m3"}})
+	if got := g.Of("m2"); !reflect.DeepEqual(got, []string{"roomA", "roomB"}) {
+		t.Errorf("Of(m2) = %v", got)
+	}
+	if got := g.Of("m1"); !reflect.DeepEqual(got, []string{"roomA"}) {
+		t.Errorf("Of(m1) = %v", got)
+	}
+	if got := g.Of("unknown"); len(got) != 0 {
+		t.Errorf("Of(unknown) = %v", got)
+	}
+}
+
+func TestGroupsOfType(t *testing.T) {
+	g := NewGroups()
+	g.MustAdd(Group{Name: "shelf0", Type: TypeRFID, Members: []string{"r0"}})
+	g.MustAdd(Group{Name: "room", Type: TypeMote, Members: []string{"m0"}})
+	g.MustAdd(Group{Name: "hall", Type: TypeMotion, Members: []string{"x0"}})
+	if got := g.OfType(TypeRFID); !reflect.DeepEqual(got, []string{"shelf0"}) {
+		t.Errorf("OfType(rfid) = %v", got)
+	}
+	if got := g.OfType(TypeMote); !reflect.DeepEqual(got, []string{"room"}) {
+		t.Errorf("OfType(mote) = %v", got)
+	}
+}
+
+func TestGroupsMemberIsolation(t *testing.T) {
+	// Mutating the caller's slice after Add must not affect the registry.
+	members := []string{"r0"}
+	g := NewGroups()
+	g.MustAdd(Group{Name: "s", Type: TypeRFID, Members: members})
+	members[0] = "hacked"
+	gr, _ := g.Group("s")
+	if gr.Members[0] != "r0" {
+		t.Error("registry shares caller's member slice")
+	}
+}

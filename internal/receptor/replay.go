@@ -1,0 +1,49 @@
+package receptor
+
+import (
+	"time"
+
+	"esp/internal/stream"
+)
+
+// Replay is a receptor that replays a pre-recorded (or pre-generated)
+// trace: each Poll returns the queued tuples whose timestamps have
+// arrived. It is the trace-replay substrate experiment harnesses use to
+// evaluate pipelines against known ground truth, and what a user would
+// use to run ESP over a logged deployment trace.
+type Replay struct {
+	id     string
+	typ    Type
+	schema *stream.Schema
+	queue  []stream.Tuple
+	pos    int
+}
+
+// NewReplay builds a replay receptor over tuples sorted by timestamp.
+func NewReplay(id string, typ Type, schema *stream.Schema, tuples []stream.Tuple) *Replay {
+	return &Replay{id: id, typ: typ, schema: schema, queue: tuples}
+}
+
+// ID implements Receptor.
+func (r *Replay) ID() string { return r.id }
+
+// Type implements Receptor.
+func (r *Replay) Type() Type { return r.typ }
+
+// Schema implements Receptor.
+func (r *Replay) Schema() *stream.Schema { return r.schema }
+
+// Poll implements Receptor: it returns the queued tuples with Ts <= now.
+func (r *Replay) Poll(now time.Time) []stream.Tuple {
+	start := r.pos
+	for r.pos < len(r.queue) && !r.queue[r.pos].Ts.After(now) {
+		r.pos++
+	}
+	if r.pos == start {
+		return nil
+	}
+	return r.queue[start:r.pos]
+}
+
+// Remaining reports how many tuples have not yet been polled.
+func (r *Replay) Remaining() int { return len(r.queue) - r.pos }

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"esp/internal/receptor"
+)
+
+// HomeConfig parameterises the §6 digital-home scenario: an office with
+// two RFID readers (one proximity group), three sound-sensing motes, and
+// three X10 motion detectors, with one person — wearing an RFID badge and
+// talking — moving in and out of the office at one-minute intervals for
+// 600 seconds (Figure 9(a)).
+type HomeConfig struct {
+	Seed int64
+	// Epoch is the processing epoch (1 s).
+	Epoch time.Duration
+	// PresencePeriod is how long each in/out phase lasts (60 s).
+	PresencePeriod time.Duration
+
+	// BadgeDetectP is the per-poll probability a reader reads the badge
+	// of a present person; per reader (antenna imbalance again).
+	BadgeDetectP []float64
+	// GhostP is antenna 1's errant-tag rate (Figure 9(b) shows antenna 1
+	// occasionally reading a tag not part of the experiment).
+	GhostP float64
+
+	// Sound model: present speech vs. quiet room (Figure 9(c)); the
+	// Virtualize query thresholds noise at 525.
+	QuietNoise, SpeechNoise, SpeechSwing, SoundNoiseStd float64
+	// SoundDeliveryP is the motes' delivery rate (single hop, indoors).
+	SoundDeliveryP float64
+
+	// X10DetectP / X10FalseP are the motion detectors' per-epoch rates.
+	X10DetectP, X10FalseP float64
+}
+
+// DefaultHomeConfig matches the paper's setup and its 92 % detection
+// accuracy target.
+func DefaultHomeConfig() HomeConfig {
+	return HomeConfig{
+		Seed:           23,
+		Epoch:          time.Second,
+		PresencePeriod: time.Minute,
+		BadgeDetectP:   []float64{0.5, 0.35},
+		GhostP:         0.02,
+		QuietNoise:     500,
+		SpeechNoise:    760,
+		SpeechSwing:    140,
+		SoundNoiseStd:  18,
+		SoundDeliveryP: 0.85,
+		X10DetectP:     0.4,
+		X10FalseP:      0.01,
+	}
+}
+
+// BadgeTagID is the tag the person wears.
+const BadgeTagID = "badge-1"
+
+// HomeScenario wires the digital-home office.
+type HomeScenario struct {
+	Config    HomeConfig
+	Readers   []*RFIDReader
+	Motes     []*Mote
+	Detectors []*X10Detector
+	Groups    *receptor.Groups
+}
+
+// NewHomeScenario builds the scenario.
+func NewHomeScenario(cfg HomeConfig) (*HomeScenario, error) {
+	if cfg.Epoch <= 0 || cfg.PresencePeriod <= 0 {
+		return nil, fmt.Errorf("sim: home scenario needs positive Epoch and PresencePeriod")
+	}
+	if len(cfg.BadgeDetectP) == 0 {
+		return nil, fmt.Errorf("sim: home scenario needs at least one reader")
+	}
+	s := &HomeScenario{Config: cfg, Groups: receptor.NewGroups()}
+
+	var rfidMembers []string
+	for i, p := range cfg.BadgeDetectP {
+		detect := p
+		r := NewRFIDReader(cfg.Seed, fmt.Sprintf("office-reader%d", i), func(now time.Time) []TagInView {
+			if !s.Present(now) {
+				return nil
+			}
+			return []TagInView{{ID: BadgeTagID, Detect: detect}}
+		})
+		if i == 1 {
+			r.GhostP = cfg.GhostP
+			r.GhostID = "errant-tag"
+		}
+		s.Readers = append(s.Readers, r)
+		rfidMembers = append(rfidMembers, r.ID())
+	}
+	s.Groups.MustAdd(receptor.Group{Name: "office-rfid", Type: receptor.TypeRFID, Members: rfidMembers})
+
+	var moteMembers []string
+	for i := 0; i < 3; i++ {
+		phase := float64(i) * 0.7
+		m := NewMote(cfg.Seed, fmt.Sprintf("office-mote%d", i+1), cfg.SoundDeliveryP, SensorModel{
+			Name: "noise",
+			Truth: func(now time.Time) float64 {
+				if !s.Present(now) {
+					return cfg.QuietNoise
+				}
+				t := float64(now.UnixNano()) / float64(7*time.Second)
+				return cfg.SpeechNoise + cfg.SpeechSwing*math.Sin(2*math.Pi*t+phase)
+			},
+			NoiseStd: cfg.SoundNoiseStd,
+		})
+		s.Motes = append(s.Motes, m)
+		moteMembers = append(moteMembers, m.ID())
+	}
+	s.Groups.MustAdd(receptor.Group{Name: "office-sound", Type: receptor.TypeMote, Members: moteMembers})
+
+	var x10Members []string
+	for i := 0; i < 3; i++ {
+		d := NewX10Detector(cfg.Seed, fmt.Sprintf("office-x10-%d", i+1), s.Present)
+		d.DetectP = cfg.X10DetectP
+		d.FalseP = cfg.X10FalseP
+		s.Detectors = append(s.Detectors, d)
+		x10Members = append(x10Members, d.ID())
+	}
+	s.Groups.MustAdd(receptor.Group{Name: "office-motion", Type: receptor.TypeMotion, Members: x10Members})
+	return s, nil
+}
+
+// Present is the ground truth of Figure 9(a): the person is in the room
+// during even PresencePeriod phases (starting present at t=0).
+func (s *HomeScenario) Present(now time.Time) bool {
+	phase := now.Sub(time.Unix(0, 0)) / s.Config.PresencePeriod
+	return phase%2 == 0
+}

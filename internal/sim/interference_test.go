@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRFIDInterferenceScalesDetection(t *testing.T) {
+	mk := func(interf func(time.Time) float64) int {
+		r := NewRFIDReader(9, "r0", func(time.Time) []TagInView {
+			return []TagInView{{ID: "A", Detect: 0.8}}
+		})
+		r.Interference = interf
+		hits := 0
+		for i := 0; i < 4000; i++ {
+			hits += len(r.Poll(at(float64(i) * 0.2)))
+		}
+		return hits
+	}
+	clean := mk(nil)
+	halved := mk(func(time.Time) float64 { return 0.5 })
+	if float64(halved) > 0.6*float64(clean) {
+		t.Errorf("interference did not reduce reads: %d vs %d", halved, clean)
+	}
+	// Clamping: out-of-range factors behave as 0 and 1.
+	dead := mk(func(time.Time) float64 { return -2 })
+	if dead != 0 {
+		t.Errorf("negative interference read %d tags, want 0", dead)
+	}
+	boosted := mk(func(time.Time) float64 { return 9 })
+	if float64(boosted) < 0.9*float64(clean) {
+		t.Errorf("clamped interference = %d, clean = %d", boosted, clean)
+	}
+}
+
+func TestRFIDInterferenceTimeVarying(t *testing.T) {
+	// A metal cart parks in front of the reader for the second half of
+	// the run: reads must drop substantially during that period.
+	r := NewRFIDReader(9, "r0", func(time.Time) []TagInView {
+		return []TagInView{{ID: "A", Detect: 0.8}}
+	})
+	cartArrives := at(400)
+	r.Interference = func(now time.Time) float64 {
+		if now.Before(cartArrives) {
+			return 1
+		}
+		return 0.2
+	}
+	var before, after int
+	for i := 0; i < 4000; i++ {
+		now := at(float64(i) * 0.2)
+		n := len(r.Poll(now))
+		if now.Before(cartArrives) {
+			before += n
+		} else {
+			after += n
+		}
+	}
+	if float64(after) > 0.45*float64(before) {
+		t.Errorf("cart period reads %d vs %d before; want a sharp drop", after, before)
+	}
+}

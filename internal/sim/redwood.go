@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"esp/internal/receptor"
+)
+
+// RedwoodConfig parameterises the §5.2 environmental-monitoring scenario:
+// 33 motes along a redwood trunk sensing temperature every 5 minutes over
+// a lossy multi-hop network (40 % epoch yield), grouped into 2-node
+// proximity groups by height.
+type RedwoodConfig struct {
+	Seed  int64
+	Motes int
+	// GroupSize is the proximity-group size (2 in the paper; swept by the
+	// spatial-granule experiment).
+	GroupSize int
+	// Epoch is the sensing interval (5 minutes).
+	Epoch time.Duration
+	// DeliveryP is the per-epoch delivery probability (0.40 in the trace).
+	// Ignored when Loss is set.
+	DeliveryP float64
+	// Loss, if non-nil, uses bursty Markov loss instead of DeliveryP —
+	// the realistic multi-hop failure mode (see LossModel).
+	Loss *LossModel
+	// BaseTemp, DiurnalAmp and HeightStep shape the micro-climate:
+	// T(h, t) = BaseTemp + HeightStep·h + DiurnalAmp·sin(2πt/day).
+	BaseTemp, DiurnalAmp, HeightStep float64
+	// NoiseStd and BiasStd model per-reading noise and fixed per-mote
+	// calibration offsets.
+	NoiseStd, BiasStd float64
+	// FailDirty, if positive, makes that many motes fail dirty at
+	// FailStart with FailRampPerHour drift (the raw Sonoma trace had 8 of
+	// 33; they were removed by hand before the paper's experiment).
+	FailDirty       int
+	FailStart       time.Duration // offset from scenario start
+	FailRampPerHour float64
+}
+
+// DefaultRedwoodConfig matches the paper's trace parameters.
+func DefaultRedwoodConfig() RedwoodConfig {
+	return RedwoodConfig{
+		Seed:      7,
+		Motes:     33,
+		GroupSize: 2,
+		Epoch:     5 * time.Minute,
+		DeliveryP: 0.40,
+		// Bursty loss with a stationary yield of 0.40: links spend 26 %
+		// of epochs in ~2-hour total outages and deliver 54 % of samples
+		// otherwise.
+		Loss: &LossModel{
+			PGood: 0.54, PBad: 0,
+			GoodToBad: 0.0141, BadToGood: 0.04,
+		},
+		BaseTemp:   12,
+		DiurnalAmp: 6,
+		HeightStep: 0.4,
+		NoiseStd:   0.15,
+		BiasStd:    0.45,
+	}
+}
+
+// RedwoodScenario wires motes and proximity groups for the redwood tree.
+type RedwoodScenario struct {
+	Config RedwoodConfig
+	Motes  []*Mote
+	Groups *receptor.Groups
+}
+
+// MoteID names redwood mote i.
+func MoteID(i int) string { return fmt.Sprintf("mote%02d", i) }
+
+// NewRedwoodScenario builds the scenario. Motes at adjacent heights are
+// grouped into non-overlapping proximity groups of GroupSize (a trailing
+// smaller group absorbs the remainder).
+func NewRedwoodScenario(cfg RedwoodConfig) (*RedwoodScenario, error) {
+	if cfg.Motes < 1 {
+		return nil, fmt.Errorf("sim: redwood scenario needs motes")
+	}
+	if cfg.GroupSize < 1 {
+		return nil, fmt.Errorf("sim: GroupSize must be at least 1")
+	}
+	if cfg.Epoch <= 0 {
+		return nil, fmt.Errorf("sim: Epoch must be positive")
+	}
+	s := &RedwoodScenario{Config: cfg, Groups: receptor.NewGroups()}
+	day := float64(24 * time.Hour)
+	for i := 0; i < cfg.Motes; i++ {
+		height := i
+		truth := func(now time.Time) float64 {
+			t := float64(now.UnixNano())
+			return cfg.BaseTemp + cfg.HeightStep*float64(height) +
+				cfg.DiurnalAmp*math.Sin(2*math.Pi*t/day)
+		}
+		// Deterministic per-mote bias.
+		bias := cfg.BiasStd * newRng(cfg.Seed, MoteID(i)+"-bias").NormFloat64()
+		m := NewMote(cfg.Seed, MoteID(i), cfg.DeliveryP, SensorModel{
+			Name:     "temp",
+			Truth:    truth,
+			Bias:     bias,
+			NoiseStd: cfg.NoiseStd,
+		})
+		m.Loss = cfg.Loss
+		if i < cfg.FailDirty {
+			m.Fail = &FailDirty{
+				Sensor:      "temp",
+				Start:       time.Unix(0, 0).Add(cfg.FailStart),
+				RampPerHour: cfg.FailRampPerHour,
+			}
+		}
+		s.Motes = append(s.Motes, m)
+	}
+	for g := 0; g*cfg.GroupSize < cfg.Motes; g++ {
+		lo := g * cfg.GroupSize
+		hi := lo + cfg.GroupSize
+		if hi > cfg.Motes {
+			hi = cfg.Motes
+		}
+		// Absorb a dangling single mote into the previous group.
+		if hi-lo == 1 && g > 0 && cfg.GroupSize > 1 {
+			prev, _ := s.Groups.Group(fmt.Sprintf("height%02d", g-1))
+			members := append(append([]string(nil), prev.Members...), MoteID(lo))
+			s.Groups = rebuildGroups(s.Groups, prev.Name, members)
+			break
+		}
+		var members []string
+		for i := lo; i < hi; i++ {
+			members = append(members, MoteID(i))
+		}
+		s.Groups.MustAdd(receptor.Group{
+			Name:    fmt.Sprintf("height%02d", g),
+			Type:    receptor.TypeMote,
+			Members: members,
+		})
+	}
+	return s, nil
+}
+
+// rebuildGroups replaces one group's member list (Groups has no update
+// method by design — deployments are static once started).
+func rebuildGroups(old *receptor.Groups, name string, members []string) *receptor.Groups {
+	fresh := receptor.NewGroups()
+	for _, n := range old.Names() {
+		g, _ := old.Group(n)
+		if n == name {
+			fresh.MustAdd(receptor.Group{Name: n, Type: g.Type, Members: members})
+		} else {
+			fresh.MustAdd(*g)
+		}
+	}
+	return fresh
+}
+
+// OutlierConfig parameterises the §5.1 fail-dirty outlier experiment:
+// three motes in one room of the Intel Research Lab, one of which fails
+// dirty and ramps past 100 °C over the 2-day window of Figure 7.
+type OutlierConfig struct {
+	Seed      int64
+	Epoch     time.Duration
+	DeliveryP float64
+	// RoomTemp and DiurnalAmp shape the lab's true temperature.
+	RoomTemp, DiurnalAmp float64
+	NoiseStd             float64
+	// FailStart/FailRampPerHour control the fail-dirty mote (mote 1).
+	FailStart       time.Duration
+	FailRampPerHour float64
+}
+
+// DefaultOutlierConfig matches Figure 7: failure begins around day 0.4
+// and the reading passes 100 °C before day 2.
+func DefaultOutlierConfig() OutlierConfig {
+	return OutlierConfig{
+		Seed:            11,
+		Epoch:           5 * time.Minute,
+		DeliveryP:       0.9,
+		RoomTemp:        22,
+		DiurnalAmp:      2.5,
+		NoiseStd:        0.2,
+		FailStart:       10 * time.Hour,
+		FailRampPerHour: 3.0,
+	}
+}
+
+// OutlierScenario wires the three-mote room.
+type OutlierScenario struct {
+	Config OutlierConfig
+	Motes  []*Mote
+	Groups *receptor.Groups
+}
+
+// NewOutlierScenario builds the scenario; mote1 fails dirty.
+func NewOutlierScenario(cfg OutlierConfig) (*OutlierScenario, error) {
+	if cfg.Epoch <= 0 {
+		return nil, fmt.Errorf("sim: Epoch must be positive")
+	}
+	s := &OutlierScenario{Config: cfg, Groups: receptor.NewGroups()}
+	day := float64(24 * time.Hour)
+	truth := func(now time.Time) float64 {
+		t := float64(now.UnixNano())
+		return cfg.RoomTemp + cfg.DiurnalAmp*math.Sin(2*math.Pi*t/day)
+	}
+	var members []string
+	for i := 1; i <= 3; i++ {
+		id := fmt.Sprintf("mote%d", i)
+		m := NewMote(cfg.Seed, id, cfg.DeliveryP, SensorModel{
+			Name:     "temp",
+			Truth:    truth,
+			NoiseStd: cfg.NoiseStd,
+		})
+		if i == 1 {
+			m.Fail = &FailDirty{
+				Sensor:      "temp",
+				Start:       time.Unix(0, 0).Add(cfg.FailStart),
+				RampPerHour: cfg.FailRampPerHour,
+			}
+		}
+		s.Motes = append(s.Motes, m)
+		members = append(members, id)
+	}
+	s.Groups.MustAdd(receptor.Group{Name: "lab-room", Type: receptor.TypeMote, Members: members})
+	return s, nil
+}
+
+// Truth returns the room's true temperature at now.
+func (s *OutlierScenario) Truth(now time.Time) float64 {
+	v, _ := s.Motes[1].Truth("temp", now) // any healthy mote's truth
+	return v
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/stream"
+)
+
+// TagInView is one tag visible to a reader at some instant, with its
+// per-poll detection probability (distance, orientation, and antenna
+// efficiency already folded in by the world model).
+type TagInView struct {
+	ID     string
+	Detect float64
+}
+
+// RFIDReader simulates one RFID reader antenna. Each Poll models one
+// inventory cycle: every tag in view is detected independently with its
+// probability; detections occasionally fail the air-protocol checksum;
+// and the reader sporadically reports an errant ("ghost") tag that is not
+// part of the experiment — both behaviours the paper observed on Alien
+// hardware.
+type RFIDReader struct {
+	id  string
+	rng *rand.Rand
+	// View reports the tags currently in this reader's field, with
+	// detection probabilities.
+	View func(now time.Time) []TagInView
+	// ChecksumFailP is the probability a detection is corrupted.
+	ChecksumFailP float64
+	// GhostP is the per-poll probability of reporting GhostID.
+	GhostP  float64
+	GhostID string
+	// Interference, if non-nil, scales every detection probability at
+	// poll time — the paper's §1 observation that "RFID readers may drop
+	// more readings in an environment with metal present" and that error
+	// characteristics vary with the environment. Values are clamped to
+	// [0, 1].
+	Interference func(now time.Time) float64
+}
+
+// NewRFIDReader builds a reader with a deterministic per-device RNG.
+func NewRFIDReader(seed int64, id string, view func(time.Time) []TagInView) *RFIDReader {
+	return &RFIDReader{id: id, rng: newRng(seed, id), View: view, GhostID: "ghost-" + id}
+}
+
+// ID implements receptor.Receptor.
+func (r *RFIDReader) ID() string { return r.id }
+
+// Type implements receptor.Receptor.
+func (r *RFIDReader) Type() receptor.Type { return receptor.TypeRFID }
+
+// Schema implements receptor.Receptor.
+func (r *RFIDReader) Schema() *stream.Schema { return RFIDSchema }
+
+// Poll implements receptor.Receptor.
+func (r *RFIDReader) Poll(now time.Time) []stream.Tuple {
+	scale := 1.0
+	if r.Interference != nil {
+		scale = r.Interference(now)
+		if scale < 0 {
+			scale = 0
+		} else if scale > 1 {
+			scale = 1
+		}
+	}
+	var out []stream.Tuple
+	for _, tag := range r.View(now) {
+		if r.rng.Float64() >= tag.Detect*scale {
+			continue
+		}
+		ok := r.rng.Float64() >= r.ChecksumFailP
+		out = append(out, stream.NewTuple(now, stream.String(tag.ID), stream.Bool(ok)))
+	}
+	if r.GhostP > 0 && r.rng.Float64() < r.GhostP {
+		out = append(out, stream.NewTuple(now, stream.String(r.GhostID), stream.Bool(true)))
+	}
+	return out
+}

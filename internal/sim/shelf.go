@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"esp/internal/receptor"
+)
+
+// ShelfConfig parameterises the paper's §4 retail-shelf experiment
+// (Figure 2): two shelves, each with one reader and ten statically placed
+// tags (five at 3 ft, five at 6 ft), plus five tags at 9 ft relocated
+// between the shelves every 40 seconds, polled at 5 Hz for ~700 s.
+type ShelfConfig struct {
+	Seed int64
+	// Shelves is the number of shelves/readers (the paper uses 2).
+	Shelves int
+	// NearTags and FarTags are static tags per shelf at 3 ft and 6 ft.
+	NearTags, FarTags int
+	// RelocatingTags move between shelves every RelocateEvery.
+	RelocatingTags int
+	RelocateEvery  time.Duration
+	// PollPeriod is the reader sample period (200 ms = 5 Hz).
+	PollPeriod time.Duration
+
+	// Detection probabilities per poll at the three distances, before
+	// antenna efficiency is applied. RFID readers typically capture only
+	// 60–70 % of tags in view (paper §1).
+	DetectNear, DetectFar, DetectReloc float64
+	// AntennaEff scales each reader's detection rates — the paper's
+	// antenna-port discrepancy that left shelf 0 over-counted after
+	// Smooth (§4.1). Length must equal Shelves.
+	AntennaEff []float64
+	// CrossReloc is each reader's per-poll probability factor for reading
+	// the *other* shelf's relocating tags (they sit between the shelves,
+	// in view of both readers). It is per-reader and asymmetric: the
+	// paper found that "the reader for shelf 0 read the tags on shelf 1
+	// more than shelf 1's reader did" (§4.3.1). CrossStatic scales
+	// cross-shelf reads of static tags.
+	CrossReloc  []float64
+	CrossStatic float64
+	// ChecksumFailP corrupts a fraction of reads (filtered by Point).
+	ChecksumFailP float64
+}
+
+// DefaultShelfConfig returns the configuration calibrated to reproduce
+// the paper's Figure 3 numbers (raw avg rel err ≈ 0.41, Smooth ≈ 0.24,
+// Smooth+Arbitrate ≈ 0.04).
+func DefaultShelfConfig() ShelfConfig {
+	return ShelfConfig{
+		Seed:           1,
+		Shelves:        2,
+		NearTags:       5,
+		FarTags:        5,
+		RelocatingTags: 5,
+		RelocateEvery:  40 * time.Second,
+		PollPeriod:     200 * time.Millisecond,
+		DetectNear:     0.88,
+		DetectFar:      0.65,
+		DetectReloc:    0.35,
+		AntennaEff:     []float64{1.0, 0.62},
+		CrossReloc:     []float64{0.06, 0.005},
+		CrossStatic:    0.01,
+		ChecksumFailP:  0.005,
+	}
+}
+
+// ShelfScenario wires the shelf world: readers, proximity groups (one
+// reader per shelf, so one reader per group), and ground truth.
+type ShelfScenario struct {
+	Config  ShelfConfig
+	Readers []*RFIDReader
+	Groups  *receptor.Groups
+}
+
+// NewShelfScenario builds the scenario.
+func NewShelfScenario(cfg ShelfConfig) (*ShelfScenario, error) {
+	if cfg.Shelves < 1 {
+		return nil, fmt.Errorf("sim: shelf scenario needs at least one shelf")
+	}
+	if len(cfg.AntennaEff) != cfg.Shelves {
+		return nil, fmt.Errorf("sim: AntennaEff has %d entries for %d shelves", len(cfg.AntennaEff), cfg.Shelves)
+	}
+	if len(cfg.CrossReloc) != cfg.Shelves {
+		return nil, fmt.Errorf("sim: CrossReloc has %d entries for %d shelves", len(cfg.CrossReloc), cfg.Shelves)
+	}
+	if cfg.RelocateEvery <= 0 {
+		return nil, fmt.Errorf("sim: RelocateEvery must be positive")
+	}
+	s := &ShelfScenario{Config: cfg, Groups: receptor.NewGroups()}
+	for i := 0; i < cfg.Shelves; i++ {
+		shelf := i
+		reader := NewRFIDReader(cfg.Seed, fmt.Sprintf("reader%d", shelf), func(now time.Time) []TagInView {
+			return s.view(shelf, now)
+		})
+		reader.ChecksumFailP = cfg.ChecksumFailP
+		s.Readers = append(s.Readers, reader)
+		s.Groups.MustAdd(receptor.Group{
+			Name:    fmt.Sprintf("shelf%d", shelf),
+			Type:    receptor.TypeRFID,
+			Members: []string{reader.ID()},
+		})
+	}
+	return s, nil
+}
+
+// StaticTagID names static tag t of a shelf.
+func StaticTagID(shelf, t int) string { return fmt.Sprintf("s%d-t%d", shelf, t) }
+
+// RelocTagID names relocating tag t.
+func RelocTagID(t int) string { return fmt.Sprintf("reloc-t%d", t) }
+
+// RelocHome reports which shelf the relocating tags sit on at now: they
+// start on shelf 0 and switch every RelocateEvery.
+func (s *ShelfScenario) RelocHome(now time.Time) int {
+	period := int64(now.Sub(time.Unix(0, 0)) / s.Config.RelocateEvery)
+	return int(period % int64(s.Config.Shelves))
+}
+
+// TrueCount is the ground-truth number of items on a shelf at now —
+// what the paper's Figure 3(a) plots.
+func (s *ShelfScenario) TrueCount(shelf int, now time.Time) int {
+	n := s.Config.NearTags + s.Config.FarTags
+	if s.RelocHome(now) == shelf {
+		n += s.Config.RelocatingTags
+	}
+	return n
+}
+
+// view lists the tags reader `shelf` can see at now with detection
+// probabilities.
+func (s *ShelfScenario) view(shelf int, now time.Time) []TagInView {
+	cfg := s.Config
+	eff := cfg.AntennaEff[shelf]
+	var tags []TagInView
+	for sh := 0; sh < cfg.Shelves; sh++ {
+		factor := eff
+		if sh != shelf {
+			factor = eff * cfg.CrossStatic
+		}
+		for t := 0; t < cfg.NearTags; t++ {
+			tags = append(tags, TagInView{ID: StaticTagID(sh, t), Detect: factor * cfg.DetectNear})
+		}
+		for t := 0; t < cfg.FarTags; t++ {
+			tags = append(tags, TagInView{ID: StaticTagID(sh, cfg.NearTags+t), Detect: factor * cfg.DetectFar})
+		}
+	}
+	home := s.RelocHome(now)
+	relocDetect := eff * cfg.DetectReloc
+	if home != shelf {
+		relocDetect = cfg.CrossReloc[shelf]
+	}
+	for t := 0; t < cfg.RelocatingTags; t++ {
+		tags = append(tags, TagInView{ID: RelocTagID(t), Detect: relocDetect})
+	}
+	return tags
+}

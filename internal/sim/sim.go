@@ -1,0 +1,60 @@
+// Package sim provides deterministic simulators for the physical devices
+// the paper deployed: Alien RFID readers with EPC tags, wireless sensor
+// motes (Intel Lab / Sonoma redwood), and X10 motion detectors.
+//
+// The paper's experiments ran on real hardware and real traces we do not
+// have; these simulators are the documented substitution (see DESIGN.md).
+// They reproduce the error characteristics the ESP pipeline exists to
+// clean — dropped readings, antenna imbalance, cross-granule duplicate
+// reads, fail-dirty drift, lossy multi-hop delivery, and spurious motion
+// events — with rates taken from the paper, while keeping every run
+// reproducible from a seed.
+package sim
+
+import (
+	"math/rand"
+
+	"esp/internal/stream"
+)
+
+// Schemas of the raw streams the simulated receptors produce. The ESP
+// processor prepends receptor metadata (device ID, spatial granule) when
+// it routes these streams into a pipeline.
+
+// RFIDSchema is the raw RFID reader stream: one tuple per tag read per
+// poll. checksum_ok is false for reads corrupted in the air protocol; the
+// real Alien reader filters these "out of the box" (paper §4), which ESP
+// models as a built-in Point stage.
+var RFIDSchema = stream.MustSchema(
+	stream.Field{Name: "tag_id", Kind: stream.KindString},
+	stream.Field{Name: "checksum_ok", Kind: stream.KindBool},
+)
+
+// MoteSchemaFor builds the schema of a mote stream with the given sensor
+// field names (e.g. temp, noise, voltage), each a float.
+func MoteSchemaFor(sensors ...string) *stream.Schema {
+	fields := []stream.Field{{Name: "mote_id", Kind: stream.KindString}}
+	for _, s := range sensors {
+		fields = append(fields, stream.Field{Name: s, Kind: stream.KindFloat})
+	}
+	return stream.MustSchema(fields...)
+}
+
+// X10Schema is the motion detector stream: ON events only, like real X10
+// hardware.
+var X10Schema = stream.MustSchema(
+	stream.Field{Name: "detector_id", Kind: stream.KindString},
+	stream.Field{Name: "value", Kind: stream.KindString},
+)
+
+// newRng derives a deterministic per-device generator from a scenario
+// seed and the device ID, so adding a device never perturbs the readings
+// of existing ones.
+func newRng(seed int64, deviceID string) *rand.Rand {
+	h := int64(1469598103934665603) // FNV-1a offset basis
+	for _, b := range []byte(deviceID) {
+		h ^= int64(b)
+		h *= 1099511628211
+	}
+	return rand.New(rand.NewSource(seed ^ h))
+}

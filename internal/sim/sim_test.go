@@ -1,0 +1,414 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/stream"
+)
+
+func at(sec float64) time.Time {
+	return time.Unix(0, int64(sec*float64(time.Second))).UTC()
+}
+
+func TestRFIDReaderDetectionRate(t *testing.T) {
+	r := NewRFIDReader(1, "r0", func(time.Time) []TagInView {
+		return []TagInView{{ID: "A", Detect: 0.7}}
+	})
+	hits := 0
+	const polls = 5000
+	for i := 0; i < polls; i++ {
+		if len(r.Poll(at(float64(i)*0.2))) > 0 {
+			hits++
+		}
+	}
+	rate := float64(hits) / polls
+	if rate < 0.67 || rate > 0.73 {
+		t.Errorf("detection rate = %v, want ~0.7", rate)
+	}
+}
+
+func TestRFIDReaderChecksumAndGhost(t *testing.T) {
+	r := NewRFIDReader(1, "r0", func(time.Time) []TagInView {
+		return []TagInView{{ID: "A", Detect: 1.0}}
+	})
+	r.ChecksumFailP = 0.1
+	r.GhostP = 0.05
+	var reads, corrupt, ghosts int
+	for i := 0; i < 10000; i++ {
+		for _, tup := range r.Poll(at(float64(i) * 0.2)) {
+			if tup.Values[0].AsString() == r.GhostID {
+				ghosts++
+				continue
+			}
+			reads++
+			if !tup.Values[1].AsBool() {
+				corrupt++
+			}
+		}
+	}
+	if frac := float64(corrupt) / float64(reads); frac < 0.07 || frac > 0.13 {
+		t.Errorf("checksum failure rate = %v, want ~0.1", frac)
+	}
+	if frac := float64(ghosts) / 10000; frac < 0.03 || frac > 0.07 {
+		t.Errorf("ghost rate = %v, want ~0.05", frac)
+	}
+}
+
+func TestRFIDReaderDeterminism(t *testing.T) {
+	mk := func() []stream.Tuple {
+		r := NewRFIDReader(42, "r0", func(time.Time) []TagInView {
+			return []TagInView{{ID: "A", Detect: 0.5}, {ID: "B", Detect: 0.5}}
+		})
+		var all []stream.Tuple
+		for i := 0; i < 100; i++ {
+			all = append(all, r.Poll(at(float64(i)*0.2))...)
+		}
+		return all
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %d vs %d tuples", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Values[0] != b[i].Values[0] {
+			t.Fatalf("tuple %d differs", i)
+		}
+	}
+}
+
+func TestMoteDeliveryAndValues(t *testing.T) {
+	m := NewMote(3, "m1", 0.4, SensorModel{
+		Name:     "temp",
+		Truth:    func(time.Time) float64 { return 20 },
+		Bias:     1.0,
+		NoiseStd: 0.1,
+	})
+	delivered := 0
+	var sum float64
+	const epochs = 5000
+	for i := 0; i < epochs; i++ {
+		out := m.Poll(at(float64(i) * 300))
+		if len(out) == 0 {
+			continue
+		}
+		delivered++
+		if out[0].Values[0] != stream.String("m1") {
+			t.Fatalf("mote_id = %v", out[0].Values[0])
+		}
+		sum += out[0].Values[1].AsFloat()
+	}
+	yield := float64(delivered) / epochs
+	if yield < 0.37 || yield > 0.43 {
+		t.Errorf("epoch yield = %v, want ~0.40", yield)
+	}
+	mean := sum / float64(delivered)
+	if mean < 20.9 || mean > 21.1 {
+		t.Errorf("mean reading = %v, want ~21 (truth 20 + bias 1)", mean)
+	}
+}
+
+func TestMoteFailDirtyRamp(t *testing.T) {
+	m := NewMote(3, "m1", 1.0, SensorModel{
+		Name:  "temp",
+		Truth: func(time.Time) float64 { return 22 },
+	})
+	m.Fail = &FailDirty{Sensor: "temp", Start: at(3600), RampPerHour: 3}
+	before := m.Poll(at(0))[0].Values[1].AsFloat()
+	if before != 22 {
+		t.Errorf("pre-failure reading = %v", before)
+	}
+	atFail := m.Poll(at(3600))[0].Values[1].AsFloat()
+	tenHoursIn := m.Poll(at(3600 + 10*3600))[0].Values[1].AsFloat()
+	if got := tenHoursIn - atFail; got < 29.9 || got > 30.1 {
+		t.Errorf("ramp after 10h = %v, want 30", got)
+	}
+	// The failed sensor ignores the physical world entirely.
+	if tenHoursIn < 50 {
+		t.Errorf("fail-dirty mote still near room temperature: %v", tenHoursIn)
+	}
+}
+
+func TestMoteTruthLookup(t *testing.T) {
+	m := NewMote(3, "m1", 1.0, SensorModel{Name: "temp", Truth: func(time.Time) float64 { return 17 }})
+	if v, ok := m.Truth("temp", at(0)); !ok || v != 17 {
+		t.Errorf("Truth(temp) = %v, %v", v, ok)
+	}
+	if _, ok := m.Truth("humidity", at(0)); ok {
+		t.Error("Truth of unknown sensor should miss")
+	}
+}
+
+func TestX10DetectorRates(t *testing.T) {
+	present := func(now time.Time) bool { return now.Unix()%120 < 60 }
+	d := NewX10Detector(5, "x1", present)
+	d.DetectP = 0.4
+	d.FalseP = 0.02
+	var onPresent, onAbsent, nPresent, nAbsent int
+	for i := 0; i < 20000; i++ {
+		now := at(float64(i))
+		fired := len(d.Poll(now)) > 0
+		if present(now) {
+			nPresent++
+			if fired {
+				onPresent++
+			}
+		} else {
+			nAbsent++
+			if fired {
+				onAbsent++
+			}
+		}
+	}
+	if r := float64(onPresent) / float64(nPresent); r < 0.37 || r > 0.43 {
+		t.Errorf("detect rate = %v, want ~0.4", r)
+	}
+	if r := float64(onAbsent) / float64(nAbsent); r < 0.01 || r > 0.03 {
+		t.Errorf("false rate = %v, want ~0.02", r)
+	}
+}
+
+func TestLossModelStationaryYield(t *testing.T) {
+	l := LossModel{PGood: 0.54, PBad: 0, GoodToBad: 0.0141, BadToGood: 0.04}
+	want := l.StationaryYield()
+	if want < 0.38 || want > 0.42 {
+		t.Fatalf("stationary yield = %v, want ~0.40", want)
+	}
+	// Empirically: a long run's delivery fraction approaches it.
+	m := NewMote(3, "m", 0, SensorModel{Name: "temp", Truth: func(time.Time) float64 { return 20 }})
+	m.Loss = &l
+	delivered := 0
+	const epochs = 60000
+	for i := 0; i < epochs; i++ {
+		if len(m.Poll(at(float64(i)*300))) > 0 {
+			delivered++
+		}
+	}
+	got := float64(delivered) / epochs
+	if got < want-0.03 || got > want+0.03 {
+		t.Errorf("empirical yield = %v, stationary = %v", got, want)
+	}
+}
+
+func TestLossModelBursty(t *testing.T) {
+	// Losses must cluster: the number of delivery-state runs should be
+	// far below what i.i.d. loss at the same rate would produce.
+	l := LossModel{PGood: 0.9, PBad: 0, GoodToBad: 0.01, BadToGood: 0.02}
+	m := NewMote(3, "m", 0, SensorModel{Name: "temp", Truth: func(time.Time) float64 { return 20 }})
+	m.Loss = &l
+	const epochs = 20000
+	var outcomes []bool
+	for i := 0; i < epochs; i++ {
+		outcomes = append(outcomes, len(m.Poll(at(float64(i)*300))) > 0)
+	}
+	// Longest loss run should span many epochs (bad bursts ~50 epochs).
+	longest, cur := 0, 0
+	for _, ok := range outcomes {
+		if ok {
+			cur = 0
+			continue
+		}
+		cur++
+		if cur > longest {
+			longest = cur
+		}
+	}
+	if longest < 20 {
+		t.Errorf("longest outage = %d epochs; loss is not bursty", longest)
+	}
+}
+
+func TestShelfScenarioGroundTruth(t *testing.T) {
+	s, err := NewShelfScenario(DefaultShelfConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t=0: relocating tags on shelf 0.
+	if got := s.TrueCount(0, at(0)); got != 15 {
+		t.Errorf("TrueCount(0, t=0) = %d, want 15", got)
+	}
+	if got := s.TrueCount(1, at(0)); got != 10 {
+		t.Errorf("TrueCount(1, t=0) = %d, want 10", got)
+	}
+	// After 40s they switch.
+	if got := s.TrueCount(0, at(41)); got != 10 {
+		t.Errorf("TrueCount(0, t=41) = %d, want 10", got)
+	}
+	if got := s.TrueCount(1, at(41)); got != 15 {
+		t.Errorf("TrueCount(1, t=41) = %d, want 15", got)
+	}
+	// And back.
+	if got := s.TrueCount(0, at(81)); got != 15 {
+		t.Errorf("TrueCount(0, t=81) = %d, want 15", got)
+	}
+	if len(s.Readers) != 2 || len(s.Groups.Names()) != 2 {
+		t.Errorf("readers = %d, groups = %v", len(s.Readers), s.Groups.Names())
+	}
+}
+
+func TestShelfScenarioAntennaImbalance(t *testing.T) {
+	s, err := NewShelfScenario(DefaultShelfConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := [2]int{}
+	for i := 0; i < 5000; i++ {
+		now := at(float64(i) * 0.2)
+		for r := 0; r < 2; r++ {
+			counts[r] += len(s.Readers[r].Poll(now))
+		}
+	}
+	// Antenna 0 must read substantially more than antenna 1.
+	if counts[0] <= counts[1] {
+		t.Errorf("antenna imbalance missing: reader0=%d reader1=%d", counts[0], counts[1])
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if ratio < 0.4 || ratio > 0.85 {
+		t.Errorf("reader1/reader0 read ratio = %v, want imbalanced but overlapping", ratio)
+	}
+}
+
+func TestShelfScenarioConfigErrors(t *testing.T) {
+	cfg := DefaultShelfConfig()
+	cfg.AntennaEff = []float64{1.0}
+	if _, err := NewShelfScenario(cfg); err == nil {
+		t.Error("mismatched AntennaEff: want error")
+	}
+	cfg = DefaultShelfConfig()
+	cfg.Shelves = 0
+	if _, err := NewShelfScenario(cfg); err == nil {
+		t.Error("zero shelves: want error")
+	}
+	cfg = DefaultShelfConfig()
+	cfg.RelocateEvery = 0
+	if _, err := NewShelfScenario(cfg); err == nil {
+		t.Error("zero RelocateEvery: want error")
+	}
+}
+
+func TestRedwoodScenarioGroups(t *testing.T) {
+	s, err := NewRedwoodScenario(DefaultRedwoodConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Motes) != 33 {
+		t.Fatalf("motes = %d", len(s.Motes))
+	}
+	names := s.Groups.Names()
+	if len(names) != 16 {
+		t.Errorf("groups = %d (%v), want 16 (last absorbs the odd mote)", len(names), names)
+	}
+	total := 0
+	for _, n := range names {
+		g, _ := s.Groups.Group(n)
+		if g.Type != receptor.TypeMote {
+			t.Errorf("group %s type = %v", n, g.Type)
+		}
+		total += len(g.Members)
+	}
+	if total != 33 {
+		t.Errorf("group membership covers %d motes, want 33", total)
+	}
+	// Last group has 3 members (32,33rd pair plus leftover).
+	last, _ := s.Groups.Group("height15")
+	if len(last.Members) != 3 {
+		t.Errorf("last group = %v, want 3 members", last.Members)
+	}
+}
+
+func TestRedwoodDiurnalTruth(t *testing.T) {
+	cfg := DefaultRedwoodConfig()
+	s, err := NewRedwoodScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Motes[0]
+	noon, _ := m.Truth("temp", at(6*3600))      // sin peak at t=6h
+	midnight, _ := m.Truth("temp", at(18*3600)) // sin trough at t=18h
+	if noon-midnight < 10 {
+		t.Errorf("diurnal swing = %v, want ~2*amp", noon-midnight)
+	}
+	// Height gradient: top mote warmer than bottom.
+	top, _ := s.Motes[32].Truth("temp", at(0))
+	bottom, _ := s.Motes[0].Truth("temp", at(0))
+	if top <= bottom {
+		t.Errorf("height gradient missing: top=%v bottom=%v", top, bottom)
+	}
+}
+
+func TestOutlierScenario(t *testing.T) {
+	s, err := NewOutlierScenario(DefaultOutlierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Motes) != 3 {
+		t.Fatalf("motes = %d", len(s.Motes))
+	}
+	if s.Motes[0].Fail == nil || s.Motes[1].Fail != nil || s.Motes[2].Fail != nil {
+		t.Error("exactly mote1 should fail dirty")
+	}
+	// After two days the failed mote reads above 100C.
+	twoDays := at(2 * 24 * 3600)
+	vals := s.Motes[0].Sample(twoDays)
+	if got := vals[1].AsFloat(); got < 100 {
+		t.Errorf("failed mote at 2 days = %v, want > 100", got)
+	}
+	// Healthy motes stay near room temperature.
+	vals = s.Motes[1].Sample(twoDays)
+	if got := vals[1].AsFloat(); got < 15 || got > 30 {
+		t.Errorf("healthy mote = %v", got)
+	}
+}
+
+func TestHomeScenarioPresenceAndDevices(t *testing.T) {
+	s, err := NewHomeScenario(DefaultHomeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Present(at(10)) || s.Present(at(70)) || !s.Present(at(130)) {
+		t.Error("presence square wave wrong")
+	}
+	if len(s.Readers) != 2 || len(s.Motes) != 3 || len(s.Detectors) != 3 {
+		t.Errorf("devices = %d/%d/%d", len(s.Readers), len(s.Motes), len(s.Detectors))
+	}
+	want := []string{"office-motion", "office-rfid", "office-sound"}
+	got := s.Groups.Names()
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("groups = %v", got)
+	}
+}
+
+func TestHomeScenarioSoundSeparation(t *testing.T) {
+	s, err := NewHomeScenario(DefaultHomeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Motes[0]
+	present, _ := m.Truth("noise", at(10))
+	absent, _ := m.Truth("noise", at(70))
+	if present < 560 {
+		t.Errorf("speech noise = %v, want well above 525 threshold", present)
+	}
+	if absent >= 525 {
+		t.Errorf("quiet noise = %v, want below 525 threshold", absent)
+	}
+}
+
+func TestHomeScenarioBadgeOnlyWhenPresent(t *testing.T) {
+	s, err := NewHomeScenario(DefaultHomeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// During an absent phase the readers may only report the ghost tag.
+	for i := 0; i < 60; i++ {
+		now := at(60 + float64(i))
+		for _, r := range s.Readers {
+			for _, tup := range r.Poll(now) {
+				if tup.Values[0].AsString() == BadgeTagID {
+					t.Fatalf("badge read while absent at %v", now)
+				}
+			}
+		}
+	}
+}

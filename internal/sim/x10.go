@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/stream"
+)
+
+// X10Detector simulates an X10 motion detector: a stream of "ON" events
+// with limited sensing — it frequently fails to report motion and
+// sometimes reports motion when there is none (paper §6, Figure 9(d)).
+type X10Detector struct {
+	id  string
+	rng *rand.Rand
+	// Present reports the ground truth: is someone moving in the room?
+	Present func(now time.Time) bool
+	// DetectP is the per-epoch probability of an ON event given presence.
+	DetectP float64
+	// FalseP is the per-epoch probability of a spurious ON event.
+	FalseP float64
+}
+
+// NewX10Detector builds a detector with a deterministic per-device RNG.
+func NewX10Detector(seed int64, id string, present func(time.Time) bool) *X10Detector {
+	return &X10Detector{id: id, rng: newRng(seed, id), Present: present}
+}
+
+// ID implements receptor.Receptor.
+func (d *X10Detector) ID() string { return d.id }
+
+// Type implements receptor.Receptor.
+func (d *X10Detector) Type() receptor.Type { return receptor.TypeMotion }
+
+// Schema implements receptor.Receptor.
+func (d *X10Detector) Schema() *stream.Schema { return X10Schema }
+
+// Poll implements receptor.Receptor.
+func (d *X10Detector) Poll(now time.Time) []stream.Tuple {
+	p := d.FalseP
+	if d.Present(now) {
+		p = d.DetectP
+	}
+	if d.rng.Float64() >= p {
+		return nil
+	}
+	return []stream.Tuple{stream.NewTuple(now, stream.String(d.id), stream.String("ON"))}
+}

@@ -1,0 +1,312 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AggFunc enumerates the built-in aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions supported in windowed GROUP BY queries.
+const (
+	// AggCount counts rows (count(*)) or non-NULL argument values.
+	AggCount AggFunc = iota
+	// AggSum sums numeric argument values.
+	AggSum
+	// AggAvg averages numeric argument values.
+	AggAvg
+	// AggMin takes the minimum argument value.
+	AggMin
+	// AggMax takes the maximum argument value.
+	AggMax
+	// AggStdev computes the population standard deviation, as used by the
+	// paper's Merge-stage outlier detection (Query 5).
+	AggStdev
+	// AggMedian computes the median — the robust alternative to the
+	// avg±stdev rejection, immune to a single fail-dirty device in any
+	// group of three or more.
+	AggMedian
+	// AggPercentile computes the AggSpec.Param quantile (nearest-rank);
+	// median is percentile with Param 0.5.
+	AggPercentile
+)
+
+// String returns the CQL name of the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggStdev:
+		return "stdev"
+	case AggMedian:
+		return "median"
+	case AggPercentile:
+		return "percentile"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(f))
+	}
+}
+
+// LookupAggFunc maps a CQL function name to an AggFunc.
+func LookupAggFunc(name string) (AggFunc, bool) {
+	switch name {
+	case "count":
+		return AggCount, true
+	case "sum":
+		return AggSum, true
+	case "avg":
+		return AggAvg, true
+	case "min":
+		return AggMin, true
+	case "max":
+		return AggMax, true
+	case "stdev", "stddev":
+		return AggStdev, true
+	case "median":
+		return AggMedian, true
+	case "percentile":
+		return AggPercentile, true
+	}
+	return 0, false
+}
+
+// AggSpec describes one aggregate in a SELECT list.
+type AggSpec struct {
+	Name     string // output column name
+	Func     AggFunc
+	Arg      Expr // nil means count(*)
+	Distinct bool
+	// Param parameterises AggPercentile: the quantile in (0, 1).
+	Param float64
+}
+
+// holistic reports whether the aggregate must buffer its input values.
+func (a AggSpec) holistic() bool {
+	return (a.Func == AggMedian || a.Func == AggPercentile) && !a.Distinct
+}
+
+// quantile returns the aggregate's target quantile.
+func (a AggSpec) quantile() float64 {
+	if a.Func == AggMedian {
+		return 0.5
+	}
+	return a.Param
+}
+
+func (a AggSpec) String() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	if a.Distinct {
+		return fmt.Sprintf("%s(distinct %s)", a.Func, arg)
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, arg)
+}
+
+// resultKind computes the output kind of the aggregate given its bound
+// argument kind (KindNull for count(*)).
+func (a AggSpec) resultKind(argKind Kind) (Kind, error) {
+	switch a.Func {
+	case AggCount:
+		return KindInt, nil
+	case AggSum:
+		if !kindNumericOrNull(argKind) {
+			return KindNull, fmt.Errorf("stream: sum(%s): argument must be numeric", argKind)
+		}
+		if argKind == KindInt {
+			return KindInt, nil
+		}
+		return KindFloat, nil
+	case AggAvg, AggStdev, AggMedian, AggPercentile:
+		if !kindNumericOrNull(argKind) {
+			return KindNull, fmt.Errorf("stream: %s(%s): argument must be numeric", a.Func, argKind)
+		}
+		if a.Func == AggPercentile && (a.quantile() <= 0 || a.quantile() >= 1) {
+			return KindNull, fmt.Errorf("stream: percentile parameter %v out of (0,1)", a.quantile())
+		}
+		return KindFloat, nil
+	case AggMin, AggMax:
+		return argKind, nil
+	}
+	return KindNull, fmt.Errorf("stream: unknown aggregate %v", a.Func)
+}
+
+// accum is a mergeable partial aggregate for one (group, pane) cell.
+// Window results are produced by merging the accums of the panes that the
+// window spans, which makes sliding-window aggregation O(panes) instead of
+// O(tuples) per emission.
+type accum struct {
+	n        int64   // non-NULL observations (rows for count(*))
+	sum      float64 // running sum (numeric aggregates)
+	sumsq    float64 // running sum of squares (stdev)
+	isum     int64   // integer sum (integer-typed sum)
+	min, max Value
+	distinct map[Value]int64 // value -> multiplicity, for DISTINCT
+	vals     []float64       // buffered values, for holistic aggregates
+	holistic bool
+}
+
+func newAccum(spec AggSpec) *accum {
+	a := &accum{min: Null(), max: Null(), holistic: spec.holistic()}
+	if spec.Distinct {
+		a.distinct = make(map[Value]int64)
+	}
+	return a
+}
+
+// add folds one observation into the accumulator. v is Null only for
+// count(*) (which counts every row).
+func (a *accum) add(v Value, countStar bool) {
+	if countStar {
+		a.n++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	a.n++
+	if a.distinct != nil {
+		a.distinct[v]++
+	}
+	if v.Kind().Numeric() {
+		f := v.AsFloat()
+		a.sum += f
+		a.sumsq += f * f
+		if v.Kind() == KindInt {
+			a.isum += v.AsInt()
+		}
+		if a.holistic {
+			a.vals = append(a.vals, f)
+		}
+	}
+	if a.min.IsNull() {
+		a.min, a.max = v, v
+		return
+	}
+	if c, err := v.Compare(a.min); err == nil && c < 0 {
+		a.min = v
+	}
+	if c, err := v.Compare(a.max); err == nil && c > 0 {
+		a.max = v
+	}
+}
+
+// merge folds another accumulator into a.
+func (a *accum) merge(b *accum) {
+	a.n += b.n
+	a.sum += b.sum
+	a.sumsq += b.sumsq
+	a.isum += b.isum
+	if a.min.IsNull() {
+		a.min, a.max = b.min, b.max
+	} else if !b.min.IsNull() {
+		if c, err := b.min.Compare(a.min); err == nil && c < 0 {
+			a.min = b.min
+		}
+		if c, err := b.max.Compare(a.max); err == nil && c > 0 {
+			a.max = b.max
+		}
+	}
+	if a.distinct != nil && b.distinct != nil {
+		for v, n := range b.distinct {
+			a.distinct[v] += n
+		}
+	}
+	if a.holistic {
+		a.vals = append(a.vals, b.vals...)
+	}
+}
+
+// result finalises the accumulator into the aggregate's output value.
+// Empty groups yield NULL for all aggregates except count, which yields 0.
+func (a *accum) result(spec AggSpec, argKind Kind) Value {
+	if spec.Distinct {
+		switch spec.Func {
+		case AggCount:
+			return Int(int64(len(a.distinct)))
+		case AggSum, AggAvg, AggStdev:
+			var sum, sumsq float64
+			var isum int64
+			var n int64
+			for v := range a.distinct {
+				f := v.AsFloat()
+				sum += f
+				sumsq += f * f
+				if v.Kind() == KindInt {
+					isum += v.AsInt()
+				}
+				n++
+			}
+			return finishNumeric(spec, argKind, n, sum, sumsq, isum)
+		case AggMedian, AggPercentile:
+			vals := make([]float64, 0, len(a.distinct))
+			for v := range a.distinct {
+				vals = append(vals, v.AsFloat())
+			}
+			return quantileValue(vals, spec.quantile())
+		}
+		// min/max are unaffected by DISTINCT.
+	}
+	switch spec.Func {
+	case AggCount:
+		return Int(a.n)
+	case AggMin:
+		return a.min
+	case AggMax:
+		return a.max
+	case AggMedian, AggPercentile:
+		return quantileValue(append([]float64(nil), a.vals...), spec.quantile())
+	default:
+		return finishNumeric(spec, argKind, a.n, a.sum, a.sumsq, a.isum)
+	}
+}
+
+// quantileValue computes the nearest-rank quantile, consuming vals.
+func quantileValue(vals []float64, q float64) Value {
+	if len(vals) == 0 {
+		return Null()
+	}
+	sort.Float64s(vals)
+	rank := int(math.Ceil(q * float64(len(vals))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(vals) {
+		rank = len(vals)
+	}
+	return Float(vals[rank-1])
+}
+
+func finishNumeric(spec AggSpec, argKind Kind, n int64, sum, sumsq float64, isum int64) Value {
+	if n == 0 {
+		return Null()
+	}
+	switch spec.Func {
+	case AggSum:
+		if argKind == KindInt {
+			return Int(isum)
+		}
+		return Float(sum)
+	case AggAvg:
+		return Float(sum / float64(n))
+	case AggStdev:
+		mean := sum / float64(n)
+		variance := sumsq/float64(n) - mean*mean
+		if variance < 0 { // numeric noise
+			variance = 0
+		}
+		return Float(math.Sqrt(variance))
+	}
+	return Null()
+}

@@ -1,0 +1,243 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ArgMax resolves contention between groups: within each punctuation epoch,
+// for every distinct partition key (e.g. tag_id) it emits only the tuple
+// whose Score is maximal, attributing the key to the "winning" choice
+// column values (e.g. spatial_granule).
+//
+// This operator is the planner's rewrite target for the paper's Query 3
+//
+//	HAVING count(*) >= ALL (SELECT count(*) ... WHERE same tag GROUP BY spatial_granule)
+//
+// and implements the Arbitrate stage's de-duplication: a tag read by two
+// shelves' readers is attributed to the shelf that read it the most. Ties
+// are broken by the Tie comparator; the paper (§4.3.1) breaks ties toward
+// the weaker antenna as a crude calibration.
+type ArgMax struct {
+	// PartitionBy identifies the contended entity (tag_id).
+	PartitionBy []NamedExpr
+	// ChooseBy identifies the competing claimant (spatial_granule).
+	ChooseBy []NamedExpr
+	// Score is the quantity maximised (count of reads).
+	Score NamedExpr
+	// Tie returns true when candidate a is preferred over b given equal
+	// scores. If nil, the candidate with lexicographically smaller
+	// ChooseBy values wins, which keeps output deterministic.
+	Tie func(a, b Tuple) bool
+	// EmitAllTies, when set, emits every candidate achieving the maximal
+	// score instead of a single winner — the literal `>= ALL` semantics of
+	// Query 3 before tie-breaking calibration is applied.
+	EmitAllTies bool
+
+	in, out *Schema
+	nChoose int
+	best    map[GroupKey][]candidate
+	order   []GroupKey // insertion order of partitions, for determinism
+}
+
+type candidate struct {
+	score  Value
+	choose []Value
+	out    []Value
+}
+
+// Open implements Operator.
+func (a *ArgMax) Open(in *Schema) error {
+	a.in = in
+	if len(a.PartitionBy) == 0 {
+		return fmt.Errorf("stream: argmax: PartitionBy must not be empty")
+	}
+	if len(a.ChooseBy) == 0 {
+		return fmt.Errorf("stream: argmax: ChooseBy must not be empty")
+	}
+	fields := make([]Field, 0, len(a.ChooseBy)+len(a.PartitionBy)+1)
+	for _, ne := range a.ChooseBy {
+		k, err := ne.Expr.Bind(in)
+		if err != nil {
+			return fmt.Errorf("stream: argmax choose %q: %w", ne.Name, err)
+		}
+		fields = append(fields, Field{Name: ne.Name, Kind: k})
+	}
+	for _, ne := range a.PartitionBy {
+		k, err := ne.Expr.Bind(in)
+		if err != nil {
+			return fmt.Errorf("stream: argmax partition %q: %w", ne.Name, err)
+		}
+		fields = append(fields, Field{Name: ne.Name, Kind: k})
+	}
+	k, err := a.Score.Expr.Bind(in)
+	if err != nil {
+		return fmt.Errorf("stream: argmax score %q: %w", a.Score.Name, err)
+	}
+	if !kindNumericOrNull(k) {
+		return fmt.Errorf("stream: argmax score %q: kind %s, want numeric", a.Score.Name, k)
+	}
+	fields = append(fields, Field{Name: a.Score.Name, Kind: k})
+	out, err := NewSchema(fields...)
+	if err != nil {
+		return fmt.Errorf("stream: argmax: %w", err)
+	}
+	a.out = out
+	a.nChoose = len(a.ChooseBy)
+	a.best = make(map[GroupKey][]candidate)
+	return nil
+}
+
+// Schema implements Operator.
+func (a *ArgMax) Schema() *Schema { return a.out }
+
+// Process implements Operator.
+func (a *ArgMax) Process(t Tuple) ([]Tuple, error) {
+	partVals := make([]Value, len(a.PartitionBy))
+	for i, ne := range a.PartitionBy {
+		v, err := ne.Expr.Eval(t)
+		if err != nil {
+			return nil, fmt.Errorf("stream: argmax partition %q: %w", ne.Name, err)
+		}
+		partVals[i] = v
+	}
+	chooseVals := make([]Value, len(a.ChooseBy))
+	for i, ne := range a.ChooseBy {
+		v, err := ne.Expr.Eval(t)
+		if err != nil {
+			return nil, fmt.Errorf("stream: argmax choose %q: %w", ne.Name, err)
+		}
+		chooseVals[i] = v
+	}
+	score, err := a.Score.Expr.Eval(t)
+	if err != nil {
+		return nil, fmt.Errorf("stream: argmax score %q: %w", a.Score.Name, err)
+	}
+	if score.IsNull() {
+		return nil, nil // a NULL score never wins
+	}
+	outVals := make([]Value, 0, a.out.Len())
+	outVals = append(outVals, chooseVals...)
+	outVals = append(outVals, partVals...)
+	outVals = append(outVals, score)
+	cand := candidate{score: score, choose: chooseVals, out: outVals}
+
+	key := MakeGroupKey(partVals...)
+	cur, seen := a.best[key]
+	if !seen {
+		a.order = append(a.order, key)
+		a.best[key] = []candidate{cand}
+		return nil, nil
+	}
+	c, err := score.Compare(cur[0].score)
+	if err != nil {
+		return nil, fmt.Errorf("stream: argmax: %w", err)
+	}
+	switch {
+	case c > 0:
+		a.best[key] = append(cur[:0], cand)
+	case c == 0:
+		if a.EmitAllTies {
+			a.best[key] = append(cur, cand)
+		} else if a.prefer(cand, cur[0]) {
+			cur[0] = cand
+		}
+	}
+	return nil, nil
+}
+
+// prefer applies the tie-break between two equal-score candidates.
+func (a *ArgMax) prefer(x, y candidate) bool {
+	if a.Tie != nil {
+		return a.Tie(Tuple{Values: x.out}, Tuple{Values: y.out})
+	}
+	return lessValues(x.choose, y.choose)
+}
+
+// Advance implements Operator.
+func (a *ArgMax) Advance(now time.Time) ([]Tuple, error) {
+	if len(a.best) == 0 {
+		return nil, nil
+	}
+	out := make([]Tuple, 0, len(a.best))
+	for _, key := range a.order {
+		cands := a.best[key]
+		if a.EmitAllTies {
+			sort.Slice(cands, func(i, j int) bool { return lessValues(cands[i].choose, cands[j].choose) })
+		}
+		for _, c := range cands {
+			out = append(out, Tuple{Ts: now, Values: c.out})
+		}
+	}
+	a.best = make(map[GroupKey][]candidate)
+	a.order = a.order[:0]
+	return out, nil
+}
+
+// Close implements Operator.
+func (a *ArgMax) Close() ([]Tuple, error) {
+	// Remaining candidates are flushed with their partition's last
+	// observed semantics; use a zero time marker replaced by callers if
+	// needed. In practice the runner always punctuates before Close.
+	if len(a.best) == 0 {
+		return nil, nil
+	}
+	return a.Advance(time.Time{})
+}
+
+// Distinct suppresses duplicate tuples (by the On expressions, or whole
+// tuple if empty) within each punctuation epoch.
+type Distinct struct {
+	On []NamedExpr
+
+	in   *Schema
+	seen map[GroupKey]struct{}
+}
+
+// Open implements Operator.
+func (d *Distinct) Open(in *Schema) error {
+	d.in = in
+	if len(d.On) == 0 {
+		for _, f := range in.Fields() {
+			d.On = append(d.On, NamedExpr{Name: f.Name, Expr: NewCol(f.Name)})
+		}
+	}
+	for _, ne := range d.On {
+		if _, err := ne.Expr.Bind(in); err != nil {
+			return fmt.Errorf("stream: distinct %q: %w", ne.Name, err)
+		}
+	}
+	d.seen = make(map[GroupKey]struct{})
+	return nil
+}
+
+// Schema implements Operator.
+func (d *Distinct) Schema() *Schema { return d.in }
+
+// Process implements Operator.
+func (d *Distinct) Process(t Tuple) ([]Tuple, error) {
+	vals := make([]Value, len(d.On))
+	for i, ne := range d.On {
+		v, err := ne.Expr.Eval(t)
+		if err != nil {
+			return nil, fmt.Errorf("stream: distinct %q: %w", ne.Name, err)
+		}
+		vals[i] = v
+	}
+	key := MakeGroupKey(vals...)
+	if _, dup := d.seen[key]; dup {
+		return nil, nil
+	}
+	d.seen[key] = struct{}{}
+	return []Tuple{t}, nil
+}
+
+// Advance implements Operator.
+func (d *Distinct) Advance(time.Time) ([]Tuple, error) {
+	clear(d.seen)
+	return nil, nil
+}
+
+// Close implements Operator.
+func (d *Distinct) Close() ([]Tuple, error) { return nil, nil }

@@ -1,0 +1,209 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+// arbSchema mirrors the Smooth-stage output feeding Arbitrate: per-granule
+// per-tag read counts.
+var arbSchema = MustSchema(
+	Field{Name: "spatial_granule", Kind: KindInt},
+	Field{Name: "tag_id", Kind: KindString},
+	Field{Name: "n", Kind: KindInt},
+)
+
+func arbRead(granule int64, tag string, n int64) Tuple {
+	return NewTuple(at(0.5), Int(granule), String(tag), Int(n))
+}
+
+func newArbMax() *ArgMax {
+	return &ArgMax{
+		PartitionBy: []NamedExpr{{Name: "tag_id", Expr: NewCol("tag_id")}},
+		ChooseBy:    []NamedExpr{{Name: "spatial_granule", Expr: NewCol("spatial_granule")}},
+		Score:       NamedExpr{Name: "n", Expr: NewCol("n")},
+	}
+}
+
+func TestArgMaxAttributesTagToStrongestGranule(t *testing.T) {
+	a := newArbMax()
+	if err := a.Open(arbSchema); err != nil {
+		t.Fatal(err)
+	}
+	push := func(tu Tuple) {
+		t.Helper()
+		if _, err := a.Process(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tag X read 9 times by shelf 0 and 3 times by shelf 1 — shelf 0 wins.
+	push(arbRead(0, "X", 9))
+	push(arbRead(1, "X", 3))
+	// Tag Y read only by shelf 1.
+	push(arbRead(1, "Y", 4))
+	out, err := a.Advance(at(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+	got := map[string]int64{}
+	for _, o := range out {
+		got[o.Values[1].AsString()] = o.Values[0].AsInt()
+		if !o.Ts.Equal(at(1)) {
+			t.Errorf("emission Ts = %v, want punctuation time", o.Ts)
+		}
+	}
+	if got["X"] != 0 || got["Y"] != 1 {
+		t.Errorf("attribution = %v, want X->0, Y->1", got)
+	}
+}
+
+func TestArgMaxTieBreakDefaultAndCustom(t *testing.T) {
+	// Default: lexicographically smaller granule wins ties.
+	a := newArbMax()
+	if err := a.Open(arbSchema); err != nil {
+		t.Fatal(err)
+	}
+	a.Process(arbRead(1, "X", 5))
+	a.Process(arbRead(0, "X", 5))
+	out, _ := a.Advance(at(1))
+	if len(out) != 1 || out[0].Values[0] != Int(0) {
+		t.Errorf("default tie-break: %v, want granule 0", out)
+	}
+
+	// Custom: the paper's §4.3.1 calibration prefers the weaker antenna
+	// (here: granule 1).
+	b := newArbMax()
+	b.Tie = func(x, y Tuple) bool { return x.Values[0].AsInt() == 1 }
+	if err := b.Open(arbSchema); err != nil {
+		t.Fatal(err)
+	}
+	b.Process(arbRead(0, "X", 5))
+	b.Process(arbRead(1, "X", 5))
+	out, _ = b.Advance(at(1))
+	if len(out) != 1 || out[0].Values[0] != Int(1) {
+		t.Errorf("custom tie-break: %v, want granule 1", out)
+	}
+}
+
+func TestArgMaxEmitAllTies(t *testing.T) {
+	a := newArbMax()
+	a.EmitAllTies = true
+	if err := a.Open(arbSchema); err != nil {
+		t.Fatal(err)
+	}
+	a.Process(arbRead(0, "X", 5))
+	a.Process(arbRead(1, "X", 5))
+	a.Process(arbRead(2, "X", 3)) // loser, never emitted
+	out, _ := a.Advance(at(1))
+	if len(out) != 2 {
+		t.Fatalf("EmitAllTies out = %v, want both tied granules", out)
+	}
+	if out[0].Values[0] != Int(0) || out[1].Values[0] != Int(1) {
+		t.Errorf("tie emission order: %v", out)
+	}
+}
+
+func TestArgMaxEpochsIndependent(t *testing.T) {
+	a := newArbMax()
+	if err := a.Open(arbSchema); err != nil {
+		t.Fatal(err)
+	}
+	a.Process(arbRead(0, "X", 9))
+	out, _ := a.Advance(at(1))
+	if len(out) != 1 {
+		t.Fatalf("epoch1 = %v", out)
+	}
+	// New epoch: shelf 1 now reads X more.
+	a.Process(arbRead(0, "X", 2))
+	a.Process(arbRead(1, "X", 7))
+	out, _ = a.Advance(at(2))
+	if len(out) != 1 || out[0].Values[0] != Int(1) {
+		t.Errorf("epoch2 = %v, want X->1 (state must reset per epoch)", out)
+	}
+	// Empty epoch emits nothing.
+	out, _ = a.Advance(at(3))
+	if len(out) != 0 {
+		t.Errorf("empty epoch emitted %v", out)
+	}
+}
+
+func TestArgMaxNullScoreNeverWins(t *testing.T) {
+	a := newArbMax()
+	if err := a.Open(arbSchema); err != nil {
+		t.Fatal(err)
+	}
+	a.Process(NewTuple(at(0.5), Int(0), String("X"), Null()))
+	a.Process(arbRead(1, "X", 1))
+	out, _ := a.Advance(at(1))
+	if len(out) != 1 || out[0].Values[0] != Int(1) {
+		t.Errorf("NULL score beat a real score: %v", out)
+	}
+}
+
+func TestArgMaxOpenErrors(t *testing.T) {
+	bad := []*ArgMax{
+		{ChooseBy: []NamedExpr{{Name: "g", Expr: NewCol("spatial_granule")}}, Score: NamedExpr{Name: "n", Expr: NewCol("n")}},
+		{PartitionBy: []NamedExpr{{Name: "t", Expr: NewCol("tag_id")}}, Score: NamedExpr{Name: "n", Expr: NewCol("n")}},
+		{
+			PartitionBy: []NamedExpr{{Name: "t", Expr: NewCol("tag_id")}},
+			ChooseBy:    []NamedExpr{{Name: "g", Expr: NewCol("spatial_granule")}},
+			Score:       NamedExpr{Name: "s", Expr: NewCol("tag_id")}, // non-numeric score
+		},
+	}
+	for i, a := range bad {
+		if err := a.Open(arbSchema); err == nil {
+			t.Errorf("case %d: want Open error", i)
+		}
+	}
+}
+
+func TestDistinctWithinEpoch(t *testing.T) {
+	d := &Distinct{On: []NamedExpr{{Name: "tag_id", Expr: NewCol("tag_id")}}}
+	if err := d.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	out1, _ := d.Process(read(0.1, "A", 0))
+	out2, _ := d.Process(read(0.2, "A", 1)) // same tag, different shelf: dup
+	out3, _ := d.Process(read(0.3, "B", 0))
+	if len(out1) != 1 || len(out2) != 0 || len(out3) != 1 {
+		t.Errorf("distinct within epoch: %v %v %v", out1, out2, out3)
+	}
+	d.Advance(at(1))
+	out4, _ := d.Process(read(1.1, "A", 0))
+	if len(out4) != 1 {
+		t.Error("distinct state must reset at punctuation")
+	}
+}
+
+func TestDistinctWholeTupleDefault(t *testing.T) {
+	d := &Distinct{}
+	if err := d.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := d.Process(read(0.1, "A", 0))
+	b, _ := d.Process(read(0.2, "A", 0)) // same values: dup
+	c, _ := d.Process(read(0.3, "A", 1)) // differs in shelf: kept
+	if len(a) != 1 || len(b) != 0 || len(c) != 1 {
+		t.Errorf("whole-tuple distinct: %v %v %v", a, b, c)
+	}
+}
+
+func TestArgMaxCloseFlushes(t *testing.T) {
+	a := newArbMax()
+	if err := a.Open(arbSchema); err != nil {
+		t.Fatal(err)
+	}
+	a.Process(arbRead(0, "X", 1))
+	out, err := a.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Errorf("Close dropped pending winners: %v", out)
+	}
+	var zero time.Time
+	_ = zero
+}

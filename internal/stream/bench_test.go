@@ -1,0 +1,112 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func BenchmarkFilterThroughput(b *testing.B) {
+	f := NewFilter(NewBinary(OpEq, NewCol("shelf"), NewConst(Int(0))))
+	if err := f.Open(rfidSchema); err != nil {
+		b.Fatal(err)
+	}
+	t := read(0.1, "A", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Process(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWindowAggProcess(b *testing.B) {
+	w := &WindowAgg{
+		GroupBy: []NamedExpr{{Name: "tag_id", Expr: NewCol("tag_id")}},
+		Aggs:    []AggSpec{{Name: "n", Func: AggCount}},
+		Range:   5 * time.Second,
+		Slide:   time.Second,
+	}
+	if err := w.Open(rfidSchema); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Advance(at(0)); err != nil {
+		b.Fatal(err)
+	}
+	tags := make([]Tuple, 16)
+	for i := range tags {
+		tags[i] = read(0.5, fmt.Sprintf("tag%d", i), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := tags[i%len(tags)]
+		t.Ts = at(float64(i) * 0.001)
+		if _, err := w.Process(t); err != nil {
+			b.Fatal(err)
+		}
+		if i%1000 == 999 {
+			if _, err := w.Advance(at(float64(i) * 0.001)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkArgMaxEpoch(b *testing.B) {
+	a := &ArgMax{
+		PartitionBy: []NamedExpr{{Name: "tag_id", Expr: NewCol("tag_id")}},
+		ChooseBy:    []NamedExpr{{Name: "spatial_granule", Expr: NewCol("spatial_granule")}},
+		Score:       NamedExpr{Name: "n", Expr: NewCol("n")},
+	}
+	schema := MustSchema(
+		Field{Name: "spatial_granule", Kind: KindInt},
+		Field{Name: "tag_id", Kind: KindString},
+		Field{Name: "n", Kind: KindInt},
+	)
+	if err := a.Open(schema); err != nil {
+		b.Fatal(err)
+	}
+	candidates := make([]Tuple, 50)
+	for i := range candidates {
+		candidates[i] = NewTuple(at(0.5),
+			Int(int64(i%2)), String(fmt.Sprintf("tag%d", i/2)), Int(int64(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range candidates {
+			if _, err := a.Process(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := a.Advance(at(float64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinStaticLookup(b *testing.B) {
+	rows := make([]Tuple, 1000)
+	for i := range rows {
+		rows[i] = NewTuple(time.Time{}, String(fmt.Sprintf("tag%d", i)))
+	}
+	table := MustTable(MustSchema(Field{Name: "expected_tag", Kind: KindString}), rows)
+	j := &JoinStatic{Table: table, StreamCol: "tag_id", TableCol: "expected_tag", Mode: JoinSemi}
+	if err := j.Open(rfidSchema); err != nil {
+		b.Fatal(err)
+	}
+	t := read(0.1, "tag500", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := j.Process(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupKey(b *testing.B) {
+	vals := []Value{Int(7), String("shelf0"), String("tag42")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MakeGroupKey(vals...)
+	}
+}

@@ -1,0 +1,160 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// When is one branch of a CaseExpr.
+type When struct {
+	Cond Expr // boolean in searched form; compared to the operand otherwise
+	Then Expr
+}
+
+// CaseExpr implements SQL CASE in both forms:
+//
+//	CASE WHEN c1 THEN v1 WHEN c2 THEN v2 ELSE v3 END        (Operand nil)
+//	CASE x WHEN a THEN v1 WHEN b THEN v2 ELSE v3 END        (Operand set)
+//
+// A missing ELSE yields NULL. Branch result kinds must agree up to
+// numeric promotion (int branches promote to float if any branch is
+// float).
+type CaseExpr struct {
+	Operand Expr
+	Whens   []When
+	Else    Expr
+
+	kind    Kind
+	promote bool // promote int results to float
+}
+
+// Bind implements Expr.
+func (c *CaseExpr) Bind(s *Schema) (Kind, error) {
+	if len(c.Whens) == 0 {
+		return KindNull, fmt.Errorf("stream: CASE with no WHEN branches")
+	}
+	if c.Operand != nil {
+		if _, err := c.Operand.Bind(s); err != nil {
+			return KindNull, err
+		}
+	}
+	for i, w := range c.Whens {
+		k, err := w.Cond.Bind(s)
+		if err != nil {
+			return KindNull, err
+		}
+		if c.Operand == nil && k != KindBool && k != KindNull {
+			return KindNull, fmt.Errorf("stream: CASE WHEN %d: condition has kind %s, want bool", i, k)
+		}
+	}
+	// Result kind: the join of all branch kinds.
+	result := KindNull
+	sawFloat, sawInt := false, false
+	consider := func(k Kind) error {
+		switch {
+		case k == KindNull:
+			return nil
+		case k == KindFloat:
+			sawFloat = true
+		case k == KindInt:
+			sawInt = true
+		default:
+			if result != KindNull && result != k {
+				return fmt.Errorf("stream: CASE branches have kinds %s and %s", result, k)
+			}
+			result = k
+		}
+		return nil
+	}
+	for _, w := range c.Whens {
+		k, err := w.Then.Bind(s)
+		if err != nil {
+			return KindNull, err
+		}
+		if err := consider(k); err != nil {
+			return KindNull, err
+		}
+	}
+	if c.Else != nil {
+		k, err := c.Else.Bind(s)
+		if err != nil {
+			return KindNull, err
+		}
+		if err := consider(k); err != nil {
+			return KindNull, err
+		}
+	}
+	if sawFloat || sawInt {
+		if result != KindNull {
+			return KindNull, fmt.Errorf("stream: CASE mixes numeric and %s branches", result)
+		}
+		if sawFloat {
+			c.promote = sawInt
+			c.kind = KindFloat
+		} else {
+			c.kind = KindInt
+		}
+		return c.kind, nil
+	}
+	c.kind = result
+	return c.kind, nil
+}
+
+// Eval implements Expr.
+func (c *CaseExpr) Eval(t Tuple) (Value, error) {
+	var operand Value
+	if c.Operand != nil {
+		v, err := c.Operand.Eval(t)
+		if err != nil {
+			return Null(), err
+		}
+		operand = v
+	}
+	for _, w := range c.Whens {
+		v, err := w.Cond.Eval(t)
+		if err != nil {
+			return Null(), err
+		}
+		var matched bool
+		if c.Operand == nil {
+			matched = v.Truthy()
+		} else if !operand.IsNull() && !v.IsNull() {
+			cv, err := operand.Compare(v)
+			matched = err == nil && cv == 0
+		}
+		if matched {
+			return c.result(w.Then, t)
+		}
+	}
+	if c.Else == nil {
+		return Null(), nil
+	}
+	return c.result(c.Else, t)
+}
+
+func (c *CaseExpr) result(e Expr, t Tuple) (Value, error) {
+	v, err := e.Eval(t)
+	if err != nil || v.IsNull() {
+		return v, err
+	}
+	if c.promote && v.Kind() == KindInt {
+		return Float(v.AsFloat()), nil
+	}
+	return v, nil
+}
+
+func (c *CaseExpr) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	if c.Operand != nil {
+		sb.WriteString(" " + c.Operand.String())
+	}
+	for _, w := range c.Whens {
+		fmt.Fprintf(&sb, " WHEN %s THEN %s", w.Cond, w.Then)
+	}
+	if c.Else != nil {
+		sb.WriteString(" ELSE " + c.Else.String())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}

@@ -1,0 +1,147 @@
+package stream
+
+import (
+	"testing"
+)
+
+var caseSchema = MustSchema(
+	Field{Name: "status", Kind: KindString},
+	Field{Name: "raw", Kind: KindInt},
+)
+
+func caseTuple(status string, raw int64) Tuple {
+	return NewTuple(at(0), String(status), Int(raw))
+}
+
+func TestSearchedCase(t *testing.T) {
+	// Sensor status decoding: a classic Point-stage transform.
+	c := &CaseExpr{
+		Whens: []When{
+			{Cond: NewBinary(OpEq, NewCol("status"), NewConst(String("ok"))), Then: NewCol("raw")},
+			{Cond: NewBinary(OpEq, NewCol("status"), NewConst(String("stale"))), Then: NewConst(Int(-1))},
+		},
+		Else: NewConst(Int(-2)),
+	}
+	k, err := c.Bind(caseSchema)
+	if err != nil || k != KindInt {
+		t.Fatalf("bind = %v, %v", k, err)
+	}
+	if v, _ := c.Eval(caseTuple("ok", 42)); v != Int(42) {
+		t.Errorf("ok branch = %v", v)
+	}
+	if v, _ := c.Eval(caseTuple("stale", 42)); v != Int(-1) {
+		t.Errorf("stale branch = %v", v)
+	}
+	if v, _ := c.Eval(caseTuple("??", 42)); v != Int(-2) {
+		t.Errorf("else branch = %v", v)
+	}
+}
+
+func TestOperandCase(t *testing.T) {
+	c := &CaseExpr{
+		Operand: NewCol("status"),
+		Whens: []When{
+			{Cond: NewConst(String("on")), Then: NewConst(Int(1))},
+			{Cond: NewConst(String("off")), Then: NewConst(Int(0))},
+		},
+	}
+	if _, err := c.Bind(caseSchema); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.Eval(caseTuple("on", 0)); v != Int(1) {
+		t.Errorf("on = %v", v)
+	}
+	if v, _ := c.Eval(caseTuple("dim", 0)); !v.IsNull() {
+		t.Errorf("no ELSE should yield NULL, got %v", v)
+	}
+	// NULL operand matches nothing.
+	if v, _ := c.Eval(NewTuple(at(0), Null(), Int(0))); !v.IsNull() {
+		t.Errorf("NULL operand = %v", v)
+	}
+}
+
+func TestCaseNumericPromotion(t *testing.T) {
+	c := &CaseExpr{
+		Whens: []When{
+			{Cond: NewBinary(OpGt, NewCol("raw"), NewConst(Int(10))), Then: NewConst(Float(1.5))},
+		},
+		Else: NewConst(Int(2)),
+	}
+	k, err := c.Bind(caseSchema)
+	if err != nil || k != KindFloat {
+		t.Fatalf("bind = %v, %v", k, err)
+	}
+	if v, _ := c.Eval(caseTuple("x", 5)); v != Float(2) {
+		t.Errorf("promoted else = %v (%s)", v, v.Kind())
+	}
+}
+
+func TestCaseBindErrors(t *testing.T) {
+	cases := []*CaseExpr{
+		{}, // no whens
+		{Whens: []When{{Cond: NewCol("raw"), Then: NewConst(Int(1))}}},                                // non-bool cond in searched form
+		{Whens: []When{{Cond: NewConst(Bool(true)), Then: NewCol("status")}}, Else: NewConst(Int(1))}, // string vs int branches
+	}
+	for i, c := range cases {
+		if _, err := c.Bind(caseSchema); err == nil {
+			t.Errorf("case %d: want bind error", i)
+		}
+	}
+}
+
+func TestCaseFirstMatchWins(t *testing.T) {
+	c := &CaseExpr{
+		Whens: []When{
+			{Cond: NewBinary(OpGt, NewCol("raw"), NewConst(Int(0))), Then: NewConst(String("pos"))},
+			{Cond: NewBinary(OpGt, NewCol("raw"), NewConst(Int(10))), Then: NewConst(String("big"))},
+		},
+	}
+	if _, err := c.Bind(caseSchema); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.Eval(caseTuple("x", 50)); v != String("pos") {
+		t.Errorf("first match = %v", v)
+	}
+}
+
+func TestScalarCalibrationFunctions(t *testing.T) {
+	evalConst := func(e Expr) Value {
+		t.Helper()
+		if _, err := e.Bind(caseSchema); err != nil {
+			t.Fatal(err)
+		}
+		v, err := e.Eval(caseTuple("x", 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if v := evalConst(NewCall("round", NewConst(Float(2.5)))); v != Float(3) {
+		t.Errorf("round(2.5) = %v", v)
+	}
+	if v := evalConst(NewCall("floor", NewConst(Float(2.9)))); v != Float(2) {
+		t.Errorf("floor(2.9) = %v", v)
+	}
+	if v := evalConst(NewCall("ceil", NewConst(Float(2.1)))); v != Float(3) {
+		t.Errorf("ceil(2.1) = %v", v)
+	}
+	if v := evalConst(NewCall("least", NewConst(Int(3)), NewConst(Int(1)), NewConst(Int(2)))); v != Int(1) {
+		t.Errorf("least = %v", v)
+	}
+	if v := evalConst(NewCall("greatest", NewConst(Float(3)), NewConst(Int(5)))); v != Int(5) {
+		t.Errorf("greatest = %v", v)
+	}
+	if v := evalConst(NewCall("greatest", NewConst(Int(1)), NewConst(Null()))); !v.IsNull() {
+		t.Errorf("greatest with NULL = %v", v)
+	}
+	if v := evalConst(NewCall("clamp", NewConst(Float(120)), NewConst(Int(0)), NewConst(Int(100)))); v != Float(100) {
+		t.Errorf("clamp = %v", v)
+	}
+	bad := NewCall("clamp", NewConst(Int(1)), NewConst(Int(10)), NewConst(Int(0)))
+	if _, err := bad.Bind(caseSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Eval(caseTuple("x", 0)); err == nil {
+		t.Error("clamp with lo>hi: want eval error")
+	}
+}

@@ -1,0 +1,559 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Expr is a scalar expression evaluated against one tuple of a known
+// schema. Expressions are bound to a schema with Bind before evaluation;
+// binding resolves column names to positions once so that evaluation on
+// the hot path does no lookups.
+type Expr interface {
+	// Bind resolves column references against the schema and returns the
+	// result kind of the expression.
+	Bind(s *Schema) (Kind, error)
+	// Eval computes the expression over one tuple. Eval must only be
+	// called after a successful Bind.
+	Eval(t Tuple) (Value, error)
+	// String renders the expression in CQL-ish syntax.
+	String() string
+}
+
+// Col references a column by name.
+type Col struct {
+	Name string
+	idx  int
+	kind Kind
+}
+
+// NewCol returns a column reference expression.
+func NewCol(name string) *Col { return &Col{Name: name, idx: -1} }
+
+// Bind implements Expr.
+func (c *Col) Bind(s *Schema) (Kind, error) {
+	i, ok := s.Index(c.Name)
+	if !ok {
+		return KindNull, fmt.Errorf("stream: unknown column %q in %s", c.Name, s)
+	}
+	c.idx = i
+	c.kind = s.Field(i).Kind
+	return c.kind, nil
+}
+
+// Eval implements Expr.
+func (c *Col) Eval(t Tuple) (Value, error) {
+	if c.idx < 0 {
+		return Null(), fmt.Errorf("stream: column %q evaluated before Bind", c.Name)
+	}
+	if c.idx >= len(t.Values) {
+		return Null(), fmt.Errorf("stream: column %q index %d out of range for tuple arity %d", c.Name, c.idx, len(t.Values))
+	}
+	return t.Values[c.idx], nil
+}
+
+func (c *Col) String() string { return c.Name }
+
+// Const is a literal value.
+type Const struct{ Val Value }
+
+// NewConst returns a literal expression.
+func NewConst(v Value) *Const { return &Const{Val: v} }
+
+// Bind implements Expr.
+func (c *Const) Bind(*Schema) (Kind, error) { return c.Val.Kind(), nil }
+
+// Eval implements Expr.
+func (c *Const) Eval(Tuple) (Value, error) { return c.Val, nil }
+
+func (c *Const) String() string {
+	if c.Val.Kind() == KindString {
+		return "'" + c.Val.AsString() + "'"
+	}
+	return c.Val.String()
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators, in rough precedence order.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+func (op BinOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// Binary applies a binary operator to two subexpressions.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// NewBinary returns a binary expression.
+func NewBinary(op BinOp, l, r Expr) *Binary { return &Binary{Op: op, L: l, R: r} }
+
+// Bind implements Expr.
+func (b *Binary) Bind(s *Schema) (Kind, error) {
+	lk, err := b.L.Bind(s)
+	if err != nil {
+		return KindNull, err
+	}
+	rk, err := b.R.Bind(s)
+	if err != nil {
+		return KindNull, err
+	}
+	switch b.Op {
+	case OpAdd, OpSub, OpMul, OpDiv:
+		if !kindNumericOrNull(lk) || !kindNumericOrNull(rk) {
+			return KindNull, fmt.Errorf("stream: %s %s %s: operands must be numeric", lk, b.Op, rk)
+		}
+		if lk == KindInt && rk == KindInt {
+			return KindInt, nil
+		}
+		return KindFloat, nil
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return KindBool, nil
+	case OpAnd, OpOr:
+		if (lk != KindBool && lk != KindNull) || (rk != KindBool && rk != KindNull) {
+			return KindNull, fmt.Errorf("stream: %s %s %s: operands must be boolean", lk, b.Op, rk)
+		}
+		return KindBool, nil
+	}
+	return KindNull, fmt.Errorf("stream: unknown binary op %v", b.Op)
+}
+
+func kindNumericOrNull(k Kind) bool { return k.Numeric() || k == KindNull }
+
+// Eval implements Expr.
+func (b *Binary) Eval(t Tuple) (Value, error) {
+	// Short-circuit booleans first (three-valued logic).
+	if b.Op == OpAnd || b.Op == OpOr {
+		return b.evalLogical(t)
+	}
+	l, err := b.L.Eval(t)
+	if err != nil {
+		return Null(), err
+	}
+	r, err := b.R.Eval(t)
+	if err != nil {
+		return Null(), err
+	}
+	switch b.Op {
+	case OpAdd:
+		return l.Add(r)
+	case OpSub:
+		return l.Sub(r)
+	case OpMul:
+		return l.Mul(r)
+	case OpDiv:
+		return l.Div(r)
+	}
+	// Comparison with NULL propagation.
+	if l.IsNull() || r.IsNull() {
+		return Null(), nil
+	}
+	c, err := l.Compare(r)
+	if err != nil {
+		return Null(), err
+	}
+	switch b.Op {
+	case OpEq:
+		return Bool(c == 0), nil
+	case OpNe:
+		return Bool(c != 0), nil
+	case OpLt:
+		return Bool(c < 0), nil
+	case OpLe:
+		return Bool(c <= 0), nil
+	case OpGt:
+		return Bool(c > 0), nil
+	case OpGe:
+		return Bool(c >= 0), nil
+	}
+	return Null(), fmt.Errorf("stream: unknown binary op %v", b.Op)
+}
+
+// evalLogical implements SQL three-valued AND/OR with short-circuiting.
+func (b *Binary) evalLogical(t Tuple) (Value, error) {
+	l, err := b.L.Eval(t)
+	if err != nil {
+		return Null(), err
+	}
+	if b.Op == OpAnd {
+		if !l.IsNull() && !l.AsBool() {
+			return Bool(false), nil
+		}
+	} else {
+		if !l.IsNull() && l.AsBool() {
+			return Bool(true), nil
+		}
+	}
+	r, err := b.R.Eval(t)
+	if err != nil {
+		return Null(), err
+	}
+	if b.Op == OpAnd {
+		switch {
+		case !r.IsNull() && !r.AsBool():
+			return Bool(false), nil
+		case l.IsNull() || r.IsNull():
+			return Null(), nil
+		default:
+			return Bool(true), nil
+		}
+	}
+	switch {
+	case !r.IsNull() && r.AsBool():
+		return Bool(true), nil
+	case l.IsNull() || r.IsNull():
+		return Null(), nil
+	default:
+		return Bool(false), nil
+	}
+}
+
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Not negates a boolean subexpression with NULL propagation.
+type Not struct{ X Expr }
+
+// NewNot returns NOT x.
+func NewNot(x Expr) *Not { return &Not{X: x} }
+
+// Bind implements Expr.
+func (n *Not) Bind(s *Schema) (Kind, error) {
+	k, err := n.X.Bind(s)
+	if err != nil {
+		return KindNull, err
+	}
+	if k != KindBool && k != KindNull {
+		return KindNull, fmt.Errorf("stream: NOT %s: operand must be boolean", k)
+	}
+	return KindBool, nil
+}
+
+// Eval implements Expr.
+func (n *Not) Eval(t Tuple) (Value, error) {
+	v, err := n.X.Eval(t)
+	if err != nil || v.IsNull() {
+		return Null(), err
+	}
+	return Bool(!v.AsBool()), nil
+}
+
+func (n *Not) String() string { return fmt.Sprintf("(NOT %s)", n.X) }
+
+// Neg arithmetically negates a numeric subexpression.
+type Neg struct{ X Expr }
+
+// NewNeg returns -x.
+func NewNeg(x Expr) *Neg { return &Neg{X: x} }
+
+// Bind implements Expr.
+func (n *Neg) Bind(s *Schema) (Kind, error) {
+	k, err := n.X.Bind(s)
+	if err != nil {
+		return KindNull, err
+	}
+	if !kindNumericOrNull(k) {
+		return KindNull, fmt.Errorf("stream: -%s: operand must be numeric", k)
+	}
+	return k, nil
+}
+
+// Eval implements Expr.
+func (n *Neg) Eval(t Tuple) (Value, error) {
+	v, err := n.X.Eval(t)
+	if err != nil {
+		return Null(), err
+	}
+	return v.Neg()
+}
+
+func (n *Neg) String() string { return fmt.Sprintf("(-%s)", n.X) }
+
+// IsNullExpr tests x IS [NOT] NULL.
+type IsNullExpr struct {
+	X      Expr
+	Negate bool
+}
+
+// Bind implements Expr.
+func (e *IsNullExpr) Bind(s *Schema) (Kind, error) {
+	if _, err := e.X.Bind(s); err != nil {
+		return KindNull, err
+	}
+	return KindBool, nil
+}
+
+// Eval implements Expr.
+func (e *IsNullExpr) Eval(t Tuple) (Value, error) {
+	v, err := e.X.Eval(t)
+	if err != nil {
+		return Null(), err
+	}
+	return Bool(v.IsNull() != e.Negate), nil
+}
+
+func (e *IsNullExpr) String() string {
+	if e.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", e.X)
+	}
+	return fmt.Sprintf("(%s IS NULL)", e.X)
+}
+
+// InList tests x IN (e1, e2, ...) with SQL three-valued semantics:
+// true if any element equals x, NULL if no element matches but one of
+// the comparisons was NULL, false otherwise. Negate gives NOT IN.
+type InList struct {
+	X      Expr
+	List   []Expr
+	Negate bool
+}
+
+// Bind implements Expr.
+func (e *InList) Bind(s *Schema) (Kind, error) {
+	if len(e.List) == 0 {
+		return KindNull, fmt.Errorf("stream: IN with empty list")
+	}
+	if _, err := e.X.Bind(s); err != nil {
+		return KindNull, err
+	}
+	for _, el := range e.List {
+		if _, err := el.Bind(s); err != nil {
+			return KindNull, err
+		}
+	}
+	return KindBool, nil
+}
+
+// Eval implements Expr.
+func (e *InList) Eval(t Tuple) (Value, error) {
+	x, err := e.X.Eval(t)
+	if err != nil {
+		return Null(), err
+	}
+	if x.IsNull() {
+		return Null(), nil
+	}
+	sawNull := false
+	for _, el := range e.List {
+		v, err := el.Eval(t)
+		if err != nil {
+			return Null(), err
+		}
+		if v.IsNull() {
+			sawNull = true
+			continue
+		}
+		if c, err := x.Compare(v); err == nil && c == 0 {
+			return Bool(!e.Negate), nil
+		}
+	}
+	if sawNull {
+		return Null(), nil
+	}
+	return Bool(e.Negate), nil
+}
+
+func (e *InList) String() string {
+	parts := make([]string, len(e.List))
+	for i, el := range e.List {
+		parts[i] = el.String()
+	}
+	op := "IN"
+	if e.Negate {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("(%s %s (%s))", e.X, op, strings.Join(parts, ", "))
+}
+
+// ScalarFunc is the signature of registered scalar functions.
+type ScalarFunc struct {
+	Name string
+	// MinArgs/MaxArgs bound the accepted arity (MaxArgs<0 = variadic).
+	MinArgs, MaxArgs int
+	// Result computes the output kind from argument kinds.
+	Result func(args []Kind) (Kind, error)
+	// Call evaluates the function.
+	Call func(args []Value) (Value, error)
+}
+
+// scalarFuncs is the built-in scalar function registry.
+var scalarFuncs = map[string]*ScalarFunc{}
+
+// RegisterScalarFunc adds a scalar function to the registry. It is intended
+// to be called from init functions or before any queries are planned; it is
+// not safe for concurrent use with evaluation.
+func RegisterScalarFunc(f *ScalarFunc) {
+	scalarFuncs[strings.ToLower(f.Name)] = f
+}
+
+// LookupScalarFunc retrieves a registered function by name.
+func LookupScalarFunc(name string) (*ScalarFunc, bool) {
+	f, ok := scalarFuncs[strings.ToLower(name)]
+	return f, ok
+}
+
+func init() {
+	RegisterScalarFunc(&ScalarFunc{
+		Name: "abs", MinArgs: 1, MaxArgs: 1,
+		Result: func(args []Kind) (Kind, error) { return numericResult("abs", args[0]) },
+		Call: func(args []Value) (Value, error) {
+			v := args[0]
+			if v.IsNull() {
+				return Null(), nil
+			}
+			if v.Kind() == KindInt {
+				i := v.AsInt()
+				if i < 0 {
+					i = -i
+				}
+				return Int(i), nil
+			}
+			return Float(math.Abs(v.AsFloat())), nil
+		},
+	})
+	RegisterScalarFunc(&ScalarFunc{
+		Name: "sqrt", MinArgs: 1, MaxArgs: 1,
+		Result: func(args []Kind) (Kind, error) {
+			if _, err := numericResult("sqrt", args[0]); err != nil {
+				return KindNull, err
+			}
+			return KindFloat, nil
+		},
+		Call: func(args []Value) (Value, error) {
+			if args[0].IsNull() {
+				return Null(), nil
+			}
+			return Float(math.Sqrt(args[0].AsFloat())), nil
+		},
+	})
+	RegisterScalarFunc(&ScalarFunc{
+		Name: "coalesce", MinArgs: 1, MaxArgs: -1,
+		Result: func(args []Kind) (Kind, error) {
+			for _, k := range args {
+				if k != KindNull {
+					return k, nil
+				}
+			}
+			return KindNull, nil
+		},
+		Call: func(args []Value) (Value, error) {
+			for _, v := range args {
+				if !v.IsNull() {
+					return v, nil
+				}
+			}
+			return Null(), nil
+		},
+	})
+}
+
+func numericResult(fn string, k Kind) (Kind, error) {
+	if !kindNumericOrNull(k) {
+		return KindNull, fmt.Errorf("stream: %s(%s): argument must be numeric", fn, k)
+	}
+	if k == KindNull {
+		return KindFloat, nil
+	}
+	return k, nil
+}
+
+// Call invokes a registered scalar function.
+type Call struct {
+	Func string
+	Args []Expr
+	fn   *ScalarFunc
+}
+
+// NewCall returns a scalar function call expression.
+func NewCall(name string, args ...Expr) *Call { return &Call{Func: name, Args: args} }
+
+// Bind implements Expr.
+func (c *Call) Bind(s *Schema) (Kind, error) {
+	fn, ok := LookupScalarFunc(c.Func)
+	if !ok {
+		return KindNull, fmt.Errorf("stream: unknown function %q", c.Func)
+	}
+	if len(c.Args) < fn.MinArgs || (fn.MaxArgs >= 0 && len(c.Args) > fn.MaxArgs) {
+		return KindNull, fmt.Errorf("stream: %s: got %d args", c.Func, len(c.Args))
+	}
+	kinds := make([]Kind, len(c.Args))
+	for i, a := range c.Args {
+		k, err := a.Bind(s)
+		if err != nil {
+			return KindNull, err
+		}
+		kinds[i] = k
+	}
+	c.fn = fn
+	return fn.Result(kinds)
+}
+
+// Eval implements Expr.
+func (c *Call) Eval(t Tuple) (Value, error) {
+	if c.fn == nil {
+		return Null(), fmt.Errorf("stream: function %q evaluated before Bind", c.Func)
+	}
+	args := make([]Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := a.Eval(t)
+		if err != nil {
+			return Null(), err
+		}
+		args[i] = v
+	}
+	return c.fn.Call(args)
+}
+
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Func, strings.Join(parts, ", "))
+}

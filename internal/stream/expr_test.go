@@ -1,0 +1,212 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var exprTestSchema = MustSchema(
+	Field{Name: "temp", Kind: KindFloat},
+	Field{Name: "mote", Kind: KindInt},
+	Field{Name: "room", Kind: KindString},
+	Field{Name: "ok", Kind: KindBool},
+)
+
+func exprTuple(temp float64, mote int64, room string, ok bool) Tuple {
+	return NewTuple(time.Unix(0, 0), Float(temp), Int(mote), String(room), Bool(ok))
+}
+
+func mustBind(t *testing.T, e Expr, s *Schema) Kind {
+	t.Helper()
+	k, err := e.Bind(s)
+	if err != nil {
+		t.Fatalf("Bind(%s): %v", e, err)
+	}
+	return k
+}
+
+func mustEval(t *testing.T, e Expr, tup Tuple) Value {
+	t.Helper()
+	v, err := e.Eval(tup)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func TestColBindAndEval(t *testing.T) {
+	c := NewCol("temp")
+	if k := mustBind(t, c, exprTestSchema); k != KindFloat {
+		t.Errorf("kind = %v", k)
+	}
+	if v := mustEval(t, c, exprTuple(21.5, 1, "lab", true)); v != Float(21.5) {
+		t.Errorf("value = %v", v)
+	}
+	if _, err := NewCol("nope").Bind(exprTestSchema); err == nil {
+		t.Error("unknown column: want bind error")
+	}
+	if _, err := NewCol("temp").Eval(exprTuple(1, 1, "x", true)); err == nil {
+		t.Error("eval before bind: want error")
+	}
+}
+
+func TestBinaryArithmeticTyping(t *testing.T) {
+	// int + int stays int; float contaminates.
+	e := NewBinary(OpAdd, NewCol("mote"), NewConst(Int(1)))
+	if k := mustBind(t, e, exprTestSchema); k != KindInt {
+		t.Errorf("int+int kind = %v", k)
+	}
+	e2 := NewBinary(OpMul, NewCol("temp"), NewCol("mote"))
+	if k := mustBind(t, e2, exprTestSchema); k != KindFloat {
+		t.Errorf("float*int kind = %v", k)
+	}
+	if _, err := NewBinary(OpAdd, NewCol("room"), NewConst(Int(1))).Bind(exprTestSchema); err == nil {
+		t.Error("string + int should fail to bind")
+	}
+}
+
+func TestComparisonAndPredicate(t *testing.T) {
+	// temp < 50 — the paper's Query 4 Point filter.
+	e := NewBinary(OpLt, NewCol("temp"), NewConst(Float(50)))
+	mustBind(t, e, exprTestSchema)
+	if v := mustEval(t, e, exprTuple(21.5, 1, "lab", true)); !v.Truthy() {
+		t.Error("21.5 < 50 should be true")
+	}
+	if v := mustEval(t, e, exprTuple(103, 1, "lab", true)); v.Truthy() {
+		t.Error("103 < 50 should be false")
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	null := NewConst(Null())
+	tru := NewConst(Bool(true))
+	fls := NewConst(Bool(false))
+	cases := []struct {
+		e    Expr
+		want Value
+	}{
+		{NewBinary(OpAnd, tru, tru), Bool(true)},
+		{NewBinary(OpAnd, tru, fls), Bool(false)},
+		{NewBinary(OpAnd, fls, null), Bool(false)}, // short-circuit
+		{NewBinary(OpAnd, null, fls), Bool(false)},
+		{NewBinary(OpAnd, null, tru), Null()},
+		{NewBinary(OpOr, fls, fls), Bool(false)},
+		{NewBinary(OpOr, tru, null), Bool(true)}, // short-circuit
+		{NewBinary(OpOr, null, tru), Bool(true)},
+		{NewBinary(OpOr, null, fls), Null()},
+		{NewNot(null), Null()},
+		{NewNot(tru), Bool(false)},
+	}
+	for _, tc := range cases {
+		mustBind(t, tc.e, exprTestSchema)
+		got := mustEval(t, tc.e, exprTuple(0, 0, "", false))
+		if got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestComparisonNullPropagation(t *testing.T) {
+	e := NewBinary(OpEq, NewConst(Null()), NewConst(Int(1)))
+	mustBind(t, e, exprTestSchema)
+	if got := mustEval(t, e, exprTuple(0, 0, "", false)); !got.IsNull() {
+		t.Errorf("NULL = 1 evaluated to %v, want NULL", got)
+	}
+}
+
+func TestNegAndNot(t *testing.T) {
+	n := NewNeg(NewCol("mote"))
+	mustBind(t, n, exprTestSchema)
+	if v := mustEval(t, n, exprTuple(0, 7, "", false)); v != Int(-7) {
+		t.Errorf("-mote = %v", v)
+	}
+	if _, err := NewNeg(NewCol("room")).Bind(exprTestSchema); err == nil {
+		t.Error("-string should fail to bind")
+	}
+	if _, err := NewNot(NewCol("mote")).Bind(exprTestSchema); err == nil {
+		t.Error("NOT int should fail to bind")
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	e := &IsNullExpr{X: NewCol("room")}
+	mustBind(t, e, exprTestSchema)
+	withNull := NewTuple(time.Unix(0, 0), Float(1), Int(1), Null(), Bool(true))
+	if v := mustEval(t, e, withNull); !v.Truthy() {
+		t.Error("NULL IS NULL should be true")
+	}
+	if v := mustEval(t, e, exprTuple(1, 1, "lab", true)); v.Truthy() {
+		t.Error("'lab' IS NULL should be false")
+	}
+	neg := &IsNullExpr{X: NewCol("room"), Negate: true}
+	mustBind(t, neg, exprTestSchema)
+	if v := mustEval(t, neg, exprTuple(1, 1, "lab", true)); !v.Truthy() {
+		t.Error("'lab' IS NOT NULL should be true")
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	abs := NewCall("abs", NewNeg(NewCol("mote")))
+	if k := mustBind(t, abs, exprTestSchema); k != KindInt {
+		t.Errorf("abs(int) kind = %v", k)
+	}
+	if v := mustEval(t, abs, exprTuple(0, 5, "", false)); v != Int(5) {
+		t.Errorf("abs(-5) = %v", v)
+	}
+	sqrt := NewCall("sqrt", NewConst(Float(9)))
+	mustBind(t, sqrt, exprTestSchema)
+	if v := mustEval(t, sqrt, exprTuple(0, 0, "", false)); v != Float(3) {
+		t.Errorf("sqrt(9) = %v", v)
+	}
+	coalesce := NewCall("coalesce", NewConst(Null()), NewConst(Int(4)))
+	mustBind(t, coalesce, exprTestSchema)
+	if v := mustEval(t, coalesce, exprTuple(0, 0, "", false)); v != Int(4) {
+		t.Errorf("coalesce(NULL,4) = %v", v)
+	}
+}
+
+func TestScalarFunctionErrors(t *testing.T) {
+	if _, err := NewCall("no_such_fn").Bind(exprTestSchema); err == nil {
+		t.Error("unknown function: want bind error")
+	}
+	if _, err := NewCall("abs").Bind(exprTestSchema); err == nil {
+		t.Error("abs() arity: want bind error")
+	}
+	if _, err := NewCall("abs", NewCol("room")).Bind(exprTestSchema); err == nil {
+		t.Error("abs(string): want bind error")
+	}
+}
+
+func TestRegisterScalarFunc(t *testing.T) {
+	RegisterScalarFunc(&ScalarFunc{
+		Name: "test_double", MinArgs: 1, MaxArgs: 1,
+		Result: func(args []Kind) (Kind, error) { return KindFloat, nil },
+		Call: func(args []Value) (Value, error) {
+			if args[0].IsNull() {
+				return Null(), nil
+			}
+			return Float(2 * args[0].AsFloat()), nil
+		},
+	})
+	e := NewCall("TEST_DOUBLE", NewCol("temp"))
+	mustBind(t, e, exprTestSchema)
+	if v := mustEval(t, e, exprTuple(10, 0, "", false)); v != Float(20) {
+		t.Errorf("test_double(10) = %v", v)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := NewBinary(OpAnd,
+		NewBinary(OpGt, NewCol("temp"), NewConst(Int(50))),
+		NewNot(NewCol("ok")))
+	s := e.String()
+	for _, want := range []string{"temp", ">", "50", "AND", "NOT", "ok"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if got := NewConst(String("hi")).String(); got != "'hi'" {
+		t.Errorf("string const rendered %q", got)
+	}
+}

@@ -1,0 +1,104 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+)
+
+// Additional built-in scalar functions: the numeric conversions and
+// clamps that receptor calibration and unit conversion need (the paper's
+// Point-stage "corrections, transformation" — e.g. raw ADC counts to
+// degrees Celsius).
+func init() {
+	unary := func(name string, f func(float64) float64) {
+		RegisterScalarFunc(&ScalarFunc{
+			Name: name, MinArgs: 1, MaxArgs: 1,
+			Result: func(args []Kind) (Kind, error) {
+				if !kindNumericOrNull(args[0]) {
+					return KindNull, fmt.Errorf("stream: %s(%s): argument must be numeric", name, args[0])
+				}
+				return KindFloat, nil
+			},
+			Call: func(args []Value) (Value, error) {
+				if args[0].IsNull() {
+					return Null(), nil
+				}
+				return Float(f(args[0].AsFloat())), nil
+			},
+		})
+	}
+	unary("round", math.Round)
+	unary("floor", math.Floor)
+	unary("ceil", math.Ceil)
+
+	extremum := func(name string, better func(cmp int) bool) {
+		RegisterScalarFunc(&ScalarFunc{
+			Name: name, MinArgs: 2, MaxArgs: -1,
+			Result: func(args []Kind) (Kind, error) {
+				out := KindNull
+				for _, k := range args {
+					if k == KindNull {
+						continue
+					}
+					switch {
+					case out == KindNull:
+						out = k
+					case out == k:
+					case out.Numeric() && k.Numeric():
+						out = KindFloat
+					default:
+						return KindNull, fmt.Errorf("stream: %s: mixed kinds %s and %s", name, out, k)
+					}
+				}
+				return out, nil
+			},
+			Call: func(args []Value) (Value, error) {
+				// SQL semantics: NULL if any argument is NULL.
+				best := Null()
+				for _, v := range args {
+					if v.IsNull() {
+						return Null(), nil
+					}
+					if best.IsNull() {
+						best = v
+						continue
+					}
+					c, err := v.Compare(best)
+					if err != nil {
+						return Null(), err
+					}
+					if better(c) {
+						best = v
+					}
+				}
+				return best, nil
+			},
+		})
+	}
+	extremum("least", func(c int) bool { return c < 0 })
+	extremum("greatest", func(c int) bool { return c > 0 })
+
+	RegisterScalarFunc(&ScalarFunc{
+		Name: "clamp", MinArgs: 3, MaxArgs: 3,
+		Result: func(args []Kind) (Kind, error) {
+			for _, k := range args {
+				if !kindNumericOrNull(k) {
+					return KindNull, fmt.Errorf("stream: clamp(%s): arguments must be numeric", k)
+				}
+			}
+			return KindFloat, nil
+		},
+		Call: func(args []Value) (Value, error) {
+			for _, v := range args {
+				if v.IsNull() {
+					return Null(), nil
+				}
+			}
+			x, lo, hi := args[0].AsFloat(), args[1].AsFloat(), args[2].AsFloat()
+			if lo > hi {
+				return Null(), fmt.Errorf("stream: clamp: lo %g > hi %g", lo, hi)
+			}
+			return Float(math.Min(math.Max(x, lo), hi)), nil
+		},
+	})
+}

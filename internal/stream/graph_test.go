@@ -1,0 +1,389 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGraphSingleLeg(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddLeg("rfid", rfidSchema, NewChain(
+		NewFilter(NewBinary(OpEq, NewCol("shelf"), NewConst(Int(0)))),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Open(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Push("rfid", read(0.1, "A", 0))
+	if err != nil || len(out) != 1 {
+		t.Fatalf("push: %v, %v", out, err)
+	}
+	out, err = g.Push("rfid", read(0.2, "A", 1))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("filtered push: %v, %v", out, err)
+	}
+	if _, err := g.Push("nope", read(0.3, "A", 0)); err == nil {
+		t.Error("unknown input: want error")
+	}
+}
+
+func TestGraphUnionViaSharedLeg(t *testing.T) {
+	// Two readers in one proximity group share one Smooth chain — the
+	// Merge-stage union of the digital home deployment.
+	g := NewGraph()
+	count := &WindowAgg{
+		GroupBy: []NamedExpr{{Name: "tag_id", Expr: NewCol("tag_id")}},
+		Aggs:    []AggSpec{{Name: "n", Func: AggCount}},
+		Range:   2 * time.Second, Slide: time.Second,
+	}
+	if err := g.AddLeg("reader0", rfidSchema, NewChain(count)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ShareLeg("reader1", "reader0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Open(); err != nil {
+		t.Fatal(err)
+	}
+	g.Push("reader0", read(0.1, "A", 0))
+	g.Push("reader1", read(0.2, "A", 1))
+	out, err := g.Advance(at(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Values[1] != Int(2) {
+		t.Fatalf("union count = %v, want A:2", out)
+	}
+}
+
+func TestGraphShareLegErrors(t *testing.T) {
+	g := NewGraph()
+	g.AddLeg("a", rfidSchema, nil)
+	if err := g.ShareLeg("b", "missing"); err == nil {
+		t.Error("share of unknown leg: want error")
+	}
+	if err := g.ShareLeg("a", "a"); err == nil {
+		t.Error("duplicate leg name: want error")
+	}
+	if err := g.AddLeg("a", rfidSchema, nil); err == nil {
+		t.Error("duplicate AddLeg: want error")
+	}
+}
+
+func TestGraphCombinerVoting(t *testing.T) {
+	// Three vote inputs, absent ones default to 0; threshold 2 — the
+	// Query 6 person-detector shape.
+	voteSchema := MustSchema(Field{Name: "cnt", Kind: KindInt})
+	g := NewGraph()
+	for _, name := range []string{"rfid", "sensors", "motion"} {
+		if err := g.AddLeg(name, voteSchema, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comb := &EpochCombiner{Inputs: []CombineInput{
+		{Prefix: "rfid.", Default: []Value{Int(0)}},
+		{Prefix: "sensors.", Default: []Value{Int(0)}},
+		{Prefix: "motion.", Default: []Value{Int(0)}},
+	}}
+	if err := g.SetCombiner(comb, "rfid", "sensors", "motion"); err != nil {
+		t.Fatal(err)
+	}
+	sum := NewBinary(OpAdd, NewBinary(OpAdd, NewCol("rfid.cnt"), NewCol("sensors.cnt")), NewCol("motion.cnt"))
+	g.SetPost(NewChain(
+		NewFilter(NewBinary(OpGe, sum, NewConst(Int(2)))),
+		NewProject(NamedExpr{Name: "votes", Expr: sum}),
+	))
+	if err := g.Open(); err != nil {
+		t.Fatal(err)
+	}
+	vote := func(name string, sec float64) {
+		t.Helper()
+		if _, err := g.Push(name, NewTuple(at(sec), Int(1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Epoch 1: two votes -> person detected.
+	vote("rfid", 0.2)
+	vote("motion", 0.8)
+	out, err := g.Advance(at(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Values[0] != Int(2) {
+		t.Fatalf("epoch1 = %v, want 2 votes", out)
+	}
+	// Epoch 2: one vote -> below threshold.
+	vote("sensors", 1.5)
+	out, _ = g.Advance(at(2))
+	if len(out) != 0 {
+		t.Errorf("epoch2 = %v, want nothing", out)
+	}
+	// Epoch 3: silence -> no combined tuple at all.
+	out, _ = g.Advance(at(3))
+	if len(out) != 0 {
+		t.Errorf("silent epoch emitted %v", out)
+	}
+}
+
+func TestGraphCombinerNullDefaults(t *testing.T) {
+	s := MustSchema(Field{Name: "v", Kind: KindInt})
+	g := NewGraph()
+	g.AddLeg("a", s, nil)
+	g.AddLeg("b", s, nil)
+	comb := &EpochCombiner{Inputs: []CombineInput{{Prefix: "a."}, {Prefix: "b."}}}
+	if err := g.SetCombiner(comb, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Open(); err != nil {
+		t.Fatal(err)
+	}
+	g.Push("a", NewTuple(at(0.5), Int(7)))
+	out, err := g.Advance(at(1))
+	if err != nil || len(out) != 1 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+	if out[0].Values[0] != Int(7) || !out[0].Values[1].IsNull() {
+		t.Errorf("combined = %v, want (7, NULL)", out[0])
+	}
+}
+
+func TestGraphCombinerLastTupleWins(t *testing.T) {
+	s := MustSchema(Field{Name: "v", Kind: KindInt})
+	g := NewGraph()
+	g.AddLeg("a", s, nil)
+	comb := &EpochCombiner{Inputs: []CombineInput{{}}}
+	if err := g.SetCombiner(comb, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Open(); err != nil {
+		t.Fatal(err)
+	}
+	g.Push("a", NewTuple(at(0.2), Int(1)))
+	g.Push("a", NewTuple(at(0.8), Int(2)))
+	out, _ := g.Advance(at(1))
+	if len(out) != 1 || out[0].Values[0] != Int(2) {
+		t.Errorf("combined = %v, want last value 2", out)
+	}
+}
+
+func TestGraphOpenErrors(t *testing.T) {
+	if err := NewGraph().Open(); err == nil {
+		t.Error("graph with no legs: want error")
+	}
+	g := NewGraph()
+	g.AddLeg("a", rfidSchema, NewChain(NewFilter(NewCol("missing"))))
+	if err := g.Open(); err == nil {
+		t.Error("leg open failure must surface")
+	}
+	g2 := NewGraph()
+	g2.AddLeg("a", rfidSchema, nil)
+	if err := g2.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Open(); err == nil {
+		t.Error("double Open: want error")
+	}
+}
+
+func TestGraphCombinerPrefixCollision(t *testing.T) {
+	s := MustSchema(Field{Name: "v", Kind: KindInt})
+	g := NewGraph()
+	g.AddLeg("a", s, nil)
+	g.AddLeg("b", s, nil)
+	comb := &EpochCombiner{Inputs: []CombineInput{{}, {}}} // both unprefixed "v"
+	if err := g.SetCombiner(comb, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Open(); err == nil {
+		t.Error("colliding combined schema: want error")
+	}
+}
+
+func TestGraphCloseFlushesCombiner(t *testing.T) {
+	s := MustSchema(Field{Name: "v", Kind: KindInt})
+	g := NewGraph()
+	g.AddLeg("a", s, nil)
+	g.AddLeg("b", s, nil)
+	comb := &EpochCombiner{Inputs: []CombineInput{
+		{Prefix: "a.", Default: []Value{Int(0)}},
+		{Prefix: "b.", Default: []Value{Int(0)}},
+	}}
+	if err := g.SetCombiner(comb, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Open(); err != nil {
+		t.Fatal(err)
+	}
+	g.Push("a", NewTuple(at(0.5), Int(7)))
+	out, err := g.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Values[0] != Int(7) || out[0].Values[1] != Int(0) {
+		t.Errorf("Close flushed %v, want combined (7, 0)", out)
+	}
+}
+
+func TestGraphCloseFlushesWindows(t *testing.T) {
+	g := NewGraph()
+	w := &WindowAgg{
+		GroupBy: []NamedExpr{{Name: "tag_id", Expr: NewCol("tag_id")}},
+		Aggs:    []AggSpec{{Name: "n", Func: AggCount}},
+		Range:   time.Minute, Slide: time.Minute,
+	}
+	g.AddLeg("rfid", rfidSchema, NewChain(w))
+	if err := g.Open(); err != nil {
+		t.Fatal(err)
+	}
+	g.Push("rfid", read(0.5, "A", 0))
+	out, err := g.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Values[1] != Int(1) {
+		t.Errorf("Close = %v, want the pending window flushed", out)
+	}
+}
+
+func TestSortTuples(t *testing.T) {
+	ts := []Tuple{
+		NewTuple(at(2), String("b")),
+		NewTuple(at(1), String("z")),
+		NewTuple(at(1), String("a")),
+	}
+	SortTuples(ts)
+	if !ts[0].Ts.Equal(at(1)) || ts[0].Values[0] != String("a") {
+		t.Errorf("sorted[0] = %v", ts[0])
+	}
+	if ts[1].Values[0] != String("z") || !ts[2].Ts.Equal(at(2)) {
+		t.Errorf("sorted = %v", ts)
+	}
+}
+
+func TestSelfJoinOutlierDetection(t *testing.T) {
+	// Query 5 shape: join readings with their granule's avg/stdev, filter
+	// to within one stdev, average the survivors.
+	moteSchema := MustSchema(
+		Field{Name: "granule", Kind: KindInt},
+		Field{Name: "temp", Kind: KindFloat},
+	)
+	sj := &SelfJoin{
+		Range: time.Second, Slide: time.Second,
+		RawPrefix: "s.", AggPrefix: "a.",
+		GroupBy: []NamedExpr{{Name: "granule", Expr: NewCol("granule")}},
+		Aggs: []AggSpec{
+			{Name: "avg", Func: AggAvg, Arg: NewCol("temp")},
+			{Name: "stdev", Func: AggStdev, Arg: NewCol("temp")},
+		},
+	}
+	within := NewBinary(OpAnd,
+		NewBinary(OpLe, NewCol("s.temp"), NewBinary(OpAdd, NewCol("a.avg"), NewCol("a.stdev"))),
+		NewBinary(OpGe, NewCol("s.temp"), NewBinary(OpSub, NewCol("a.avg"), NewCol("a.stdev"))),
+	)
+	outer := &WindowAgg{
+		GroupBy: []NamedExpr{{Name: "granule", Expr: NewCol("s.granule")}},
+		Aggs:    []AggSpec{{Name: "avg_temp", Func: AggAvg, Arg: NewCol("s.temp")}},
+		Slide:   time.Second, // NOW window over the joined epoch
+	}
+	chain := NewChain(sj, NewFilter(within), outer)
+	if err := chain.Open(moteSchema); err != nil {
+		t.Fatal(err)
+	}
+	// Two healthy motes at ~20, one fail-dirty at 100.
+	for i, temp := range []float64{20, 21, 100} {
+		if _, err := chain.Process(NewTuple(at(0.1*float64(i+1)), Int(1), Float(temp))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := chain.Advance(at(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	got := out[0].Values[1].AsFloat()
+	if !almostEqual(got, 20.5) {
+		t.Errorf("outlier-filtered avg = %v, want 20.5 (100C mote excluded)", got)
+	}
+}
+
+func TestSelfJoinSchemaAndErrors(t *testing.T) {
+	moteSchema := MustSchema(
+		Field{Name: "granule", Kind: KindInt},
+		Field{Name: "temp", Kind: KindFloat},
+	)
+	sj := &SelfJoin{
+		Range: time.Second, Slide: time.Second,
+		RawPrefix: "s.", AggPrefix: "a.",
+		GroupBy: []NamedExpr{{Name: "granule", Expr: NewCol("granule")}},
+		Aggs:    []AggSpec{{Name: "avg", Func: AggAvg, Arg: NewCol("temp")}},
+	}
+	if err := sj.Open(moteSchema); err != nil {
+		t.Fatal(err)
+	}
+	want := "(s.granule int, s.temp float, a.granule int, a.avg float)"
+	if got := sj.Schema().String(); got != want {
+		t.Errorf("schema = %s, want %s", got, want)
+	}
+	// Colliding prefixes.
+	bad := &SelfJoin{
+		Range: time.Second, Slide: time.Second,
+		GroupBy: []NamedExpr{{Name: "granule", Expr: NewCol("granule")}},
+		Aggs:    []AggSpec{{Name: "temp", Func: AggAvg, Arg: NewCol("temp")}},
+	}
+	if err := bad.Open(moteSchema); err == nil {
+		t.Error("colliding names without prefixes: want error")
+	}
+	if err := (&SelfJoin{}).Open(moteSchema); err == nil {
+		t.Error("zero slide: want error")
+	}
+}
+
+func TestSelfJoinEviction(t *testing.T) {
+	moteSchema := MustSchema(
+		Field{Name: "granule", Kind: KindInt},
+		Field{Name: "temp", Kind: KindFloat},
+	)
+	sj := &SelfJoin{
+		Range: time.Second, Slide: time.Second,
+		RawPrefix: "s.", AggPrefix: "a.",
+		GroupBy: []NamedExpr{{Name: "granule", Expr: NewCol("granule")}},
+		Aggs:    []AggSpec{{Name: "n", Func: AggCount}},
+	}
+	if err := sj.Open(moteSchema); err != nil {
+		t.Fatal(err)
+	}
+	sj.Process(NewTuple(at(0.5), Int(1), Float(20)))
+	out, _ := sj.Advance(at(1))
+	if len(out) != 1 {
+		t.Fatalf("epoch1 = %v", out)
+	}
+	// Next epoch: old tuple evicted, nothing buffered -> nothing emitted.
+	out, _ = sj.Advance(at(2))
+	if len(out) != 0 {
+		t.Errorf("evicted tuple re-emitted: %v", out)
+	}
+}
+
+func TestSelfJoinCloseWithoutPunctuation(t *testing.T) {
+	moteSchema := MustSchema(
+		Field{Name: "granule", Kind: KindInt},
+		Field{Name: "temp", Kind: KindFloat},
+	)
+	sj := &SelfJoin{
+		Range: time.Second, Slide: time.Second,
+		RawPrefix: "s.", AggPrefix: "a.",
+		GroupBy: []NamedExpr{{Name: "granule", Expr: NewCol("granule")}},
+		Aggs:    []AggSpec{{Name: "n", Func: AggCount}},
+	}
+	if err := sj.Open(moteSchema); err != nil {
+		t.Fatal(err)
+	}
+	sj.Process(NewTuple(at(0.5), Int(1), Float(20)))
+	out, err := sj.Close()
+	if err != nil || len(out) != 1 {
+		t.Errorf("Close = %v, %v; want the buffered tuple joined", out, err)
+	}
+}

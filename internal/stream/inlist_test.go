@@ -1,0 +1,84 @@
+package stream
+
+import (
+	"testing"
+)
+
+func TestInListBasics(t *testing.T) {
+	e := &InList{
+		X:    NewCol("tag_id"),
+		List: []Expr{NewConst(String("A")), NewConst(String("B"))},
+	}
+	if k := mustBindStream(t, e, rfidSchema); k != KindBool {
+		t.Errorf("kind = %v", k)
+	}
+	hit, _ := e.Eval(read(0.1, "A", 0))
+	miss, _ := e.Eval(read(0.2, "Z", 0))
+	if !hit.Truthy() || miss.Truthy() {
+		t.Errorf("IN: hit=%v miss=%v", hit, miss)
+	}
+}
+
+func TestInListNegate(t *testing.T) {
+	e := &InList{
+		X:      NewCol("shelf"),
+		List:   []Expr{NewConst(Int(0)), NewConst(Int(1))},
+		Negate: true,
+	}
+	mustBindStream(t, e, rfidSchema)
+	keep, _ := e.Eval(read(0.1, "A", 3))
+	drop, _ := e.Eval(read(0.2, "A", 0))
+	if !keep.Truthy() || drop.Truthy() {
+		t.Errorf("NOT IN: keep=%v drop=%v", keep, drop)
+	}
+}
+
+func TestInListNullSemantics(t *testing.T) {
+	// NULL IN (...) is NULL.
+	e := &InList{X: NewCol("tag_id"), List: []Expr{NewConst(String("A"))}}
+	mustBindStream(t, e, rfidSchema)
+	v, _ := e.Eval(NewTuple(at(0.1), Null(), Int(0)))
+	if !v.IsNull() {
+		t.Errorf("NULL IN (...) = %v", v)
+	}
+	// x IN (no match, NULL) is NULL; a match still wins over a NULL.
+	e2 := &InList{X: NewCol("tag_id"), List: []Expr{NewConst(Null()), NewConst(String("Z"))}}
+	mustBindStream(t, e2, rfidSchema)
+	v, _ = e2.Eval(read(0.1, "A", 0))
+	if !v.IsNull() {
+		t.Errorf("A IN (NULL, Z) = %v, want NULL", v)
+	}
+	e3 := &InList{X: NewCol("tag_id"), List: []Expr{NewConst(Null()), NewConst(String("A"))}}
+	mustBindStream(t, e3, rfidSchema)
+	v, _ = e3.Eval(read(0.1, "A", 0))
+	if !v.Truthy() {
+		t.Errorf("A IN (NULL, A) = %v, want true", v)
+	}
+}
+
+func TestInListErrors(t *testing.T) {
+	empty := &InList{X: NewCol("tag_id")}
+	if _, err := empty.Bind(rfidSchema); err == nil {
+		t.Error("empty IN list: want bind error")
+	}
+	bad := &InList{X: NewCol("nope"), List: []Expr{NewConst(Int(1))}}
+	if _, err := bad.Bind(rfidSchema); err == nil {
+		t.Error("unknown column: want bind error")
+	}
+}
+
+func TestInListString(t *testing.T) {
+	e := &InList{X: NewCol("x"), List: []Expr{NewConst(Int(1)), NewConst(Int(2))}, Negate: true}
+	if got := e.String(); got != "(x NOT IN (1, 2))" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func mustBindStream(t *testing.T, e Expr, s *Schema) Kind {
+	t.Helper()
+	k, err := e.Bind(s)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	return k
+}

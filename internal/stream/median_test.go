@@ -1,0 +1,185 @@
+package stream
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func medianWindow(aggs ...AggSpec) *WindowAgg {
+	return &WindowAgg{Aggs: aggs, Range: time.Second, Slide: time.Second}
+}
+
+func runSingleWindow(t *testing.T, w *WindowAgg, vals []float64) Tuple {
+	t.Helper()
+	s := MustSchema(Field{Name: "v", Kind: KindFloat})
+	if err := w.Open(s); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		tu := NewTuple(at(0.01*float64(i+1)), Float(v))
+		if _, err := w.Process(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := w.Advance(at(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	return out[0]
+}
+
+func TestMedianAggregate(t *testing.T) {
+	w := medianWindow(AggSpec{Name: "m", Func: AggMedian, Arg: NewCol("v")})
+	row := runSingleWindow(t, w, []float64{22, 100, 21})
+	if got := row.Values[0].AsFloat(); got != 22 {
+		t.Errorf("median(21,22,100) = %v, want 22 (outlier-immune)", got)
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	// Nearest-rank: median of 4 values is the 2nd.
+	w := medianWindow(AggSpec{Name: "m", Func: AggMedian, Arg: NewCol("v")})
+	row := runSingleWindow(t, w, []float64{1, 2, 3, 4})
+	if got := row.Values[0].AsFloat(); got != 2 {
+		t.Errorf("median(1..4) = %v, want nearest-rank 2", got)
+	}
+}
+
+func TestPercentileAggregate(t *testing.T) {
+	w := medianWindow(AggSpec{Name: "p", Func: AggPercentile, Arg: NewCol("v"), Param: 0.9})
+	vals := make([]float64, 10)
+	for i := range vals {
+		vals[i] = float64(i + 1) // 1..10
+	}
+	row := runSingleWindow(t, w, vals)
+	if got := row.Values[0].AsFloat(); got != 9 {
+		t.Errorf("p90(1..10) = %v, want 9", got)
+	}
+}
+
+func TestMedianDistinct(t *testing.T) {
+	w := medianWindow(AggSpec{Name: "m", Func: AggMedian, Arg: NewCol("v"), Distinct: true})
+	// Duplicated outlier: distinct median ignores multiplicity.
+	row := runSingleWindow(t, w, []float64{100, 100, 100, 1, 2})
+	if got := row.Values[0].AsFloat(); got != 2 {
+		t.Errorf("distinct median = %v, want 2 (of {1,2,100})", got)
+	}
+}
+
+func TestPercentileValidation(t *testing.T) {
+	s := MustSchema(Field{Name: "v", Kind: KindFloat})
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		w := medianWindow(AggSpec{Name: "p", Func: AggPercentile, Arg: NewCol("v"), Param: p})
+		if err := w.Open(s); err == nil {
+			t.Errorf("percentile param %v: want Open error", p)
+		}
+	}
+	// Median over a string column is rejected.
+	w := &WindowAgg{
+		Aggs:  []AggSpec{{Name: "m", Func: AggMedian, Arg: NewCol("tag_id")}},
+		Range: time.Second, Slide: time.Second,
+	}
+	if err := w.Open(rfidSchema); err == nil {
+		t.Error("median(string): want Open error")
+	}
+}
+
+// TestQuickMedianPanesMatchNaive extends the pane/naive equivalence
+// property to the holistic aggregates, which merge by concatenation.
+func TestQuickMedianPanesMatchNaive(t *testing.T) {
+	s := MustSchema(Field{Name: "v", Kind: KindFloat})
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rangeDur := time.Duration(1+r.Intn(4)) * time.Second
+		var tuples []Tuple
+		sec := 0.0
+		for i := 0; i < r.Intn(80); i++ {
+			sec += r.Float64() * 0.5
+			tuples = append(tuples, NewTuple(at(sec), Float(float64(r.Intn(50)))))
+		}
+		mk := func(naive bool) *WindowAgg {
+			return &WindowAgg{
+				Aggs: []AggSpec{
+					{Name: "m", Func: AggMedian, Arg: NewCol("v")},
+					{Name: "p", Func: AggPercentile, Arg: NewCol("v"), Param: 0.75},
+				},
+				Range: rangeDur,
+				Slide: time.Second,
+				Naive: naive,
+			}
+		}
+		run := func(w *WindowAgg) []Tuple {
+			if err := w.Open(s); err != nil {
+				t.Fatal(err)
+			}
+			var out []Tuple
+			i := 0
+			for now := 1; now <= 12; now++ {
+				bound := at(float64(now))
+				for i < len(tuples) && !tuples[i].Ts.After(bound) {
+					w.Process(tuples[i])
+					i++
+				}
+				got, err := w.Advance(bound)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, got...)
+			}
+			return out
+		}
+		a := run(mk(false))
+		b := run(mk(true))
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			for j := range a[i].Values {
+				if a[i].Values[j] != b[i].Values[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMedianMatchesSort checks the nearest-rank definition directly.
+func TestQuickMedianMatchesSort(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(r.Intn(100))
+		}
+		w := medianWindow(AggSpec{Name: "m", Func: AggMedian, Arg: NewCol("v")})
+		s := MustSchema(Field{Name: "v", Kind: KindFloat})
+		if err := w.Open(s); err != nil {
+			return false
+		}
+		for i, v := range vals {
+			w.Process(NewTuple(at(0.001*float64(i+1)), Float(v)))
+		}
+		out, err := w.Advance(at(1))
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		want := sorted[(n+1)/2-1] // ceil(n/2)-th, 1-indexed
+		return out[0].Values[0].AsFloat() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

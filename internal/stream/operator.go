@@ -1,0 +1,266 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+)
+
+// Operator is a push-based, punctuation-driven streaming operator.
+//
+// The execution contract, enforced by Chain and by the ESP processor:
+//
+//  1. Open is called exactly once with the input schema before any tuples.
+//  2. Process is called for each input tuple; emitted tuples flow
+//     downstream immediately.
+//  3. Advance(now) is a punctuation: it promises every future input tuple
+//     has Ts > now. Windowed operators use it to close windows ending at
+//     or before now and emit their results (with Ts = the window end).
+//     Punctuation times are strictly increasing.
+//  4. Close flushes any remaining state at end of stream.
+//
+// This is the Fjord-style execution model the paper's ESP Processor uses:
+// sensors push tuples, and the processor injects heartbeat punctuation at
+// epoch boundaries so results are deterministic regardless of arrival
+// interleaving.
+type Operator interface {
+	// Open binds the operator to its input schema and fixes the output
+	// schema, which Schema reports afterwards.
+	Open(in *Schema) error
+	// Schema reports the output schema. Only valid after Open.
+	Schema() *Schema
+	// Process consumes one tuple and returns any tuples produced.
+	Process(t Tuple) ([]Tuple, error)
+	// Advance handles punctuation and returns tuples released by it.
+	Advance(now time.Time) ([]Tuple, error)
+	// Close ends the stream and returns any final tuples.
+	Close() ([]Tuple, error)
+}
+
+// Filter drops tuples for which Pred is not true (NULL drops, as in SQL
+// WHERE). Filter is stateless and passes punctuation through.
+type Filter struct {
+	Pred Expr
+	out  *Schema
+}
+
+// NewFilter returns a filter operator with the given predicate.
+func NewFilter(pred Expr) *Filter { return &Filter{Pred: pred} }
+
+// Open implements Operator.
+func (f *Filter) Open(in *Schema) error {
+	k, err := f.Pred.Bind(in)
+	if err != nil {
+		return fmt.Errorf("stream: filter: %w", err)
+	}
+	if k != KindBool && k != KindNull {
+		return fmt.Errorf("stream: filter: predicate has kind %s, want bool", k)
+	}
+	f.out = in
+	return nil
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *Schema { return f.out }
+
+// Process implements Operator.
+func (f *Filter) Process(t Tuple) ([]Tuple, error) {
+	v, err := f.Pred.Eval(t)
+	if err != nil {
+		return nil, fmt.Errorf("stream: filter: %w", err)
+	}
+	if v.Truthy() {
+		return []Tuple{t}, nil
+	}
+	return nil, nil
+}
+
+// Advance implements Operator.
+func (f *Filter) Advance(time.Time) ([]Tuple, error) { return nil, nil }
+
+// Close implements Operator.
+func (f *Filter) Close() ([]Tuple, error) { return nil, nil }
+
+// NamedExpr pairs an output column name with the expression producing it.
+type NamedExpr struct {
+	Name string
+	Expr Expr
+}
+
+// Project evaluates a list of expressions per input tuple (SELECT list
+// without aggregation).
+type Project struct {
+	Exprs []NamedExpr
+	out   *Schema
+}
+
+// NewProject returns a projection operator.
+func NewProject(exprs ...NamedExpr) *Project { return &Project{Exprs: exprs} }
+
+// Open implements Operator.
+func (p *Project) Open(in *Schema) error {
+	fields := make([]Field, len(p.Exprs))
+	for i, ne := range p.Exprs {
+		k, err := ne.Expr.Bind(in)
+		if err != nil {
+			return fmt.Errorf("stream: project %q: %w", ne.Name, err)
+		}
+		fields[i] = Field{Name: ne.Name, Kind: k}
+	}
+	out, err := NewSchema(fields...)
+	if err != nil {
+		return fmt.Errorf("stream: project: %w", err)
+	}
+	p.out = out
+	return nil
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *Schema { return p.out }
+
+// Process implements Operator.
+func (p *Project) Process(t Tuple) ([]Tuple, error) {
+	vals := make([]Value, len(p.Exprs))
+	for i, ne := range p.Exprs {
+		v, err := ne.Expr.Eval(t)
+		if err != nil {
+			return nil, fmt.Errorf("stream: project %q: %w", ne.Name, err)
+		}
+		vals[i] = v
+	}
+	return []Tuple{{Ts: t.Ts, Values: vals}}, nil
+}
+
+// Advance implements Operator.
+func (p *Project) Advance(time.Time) ([]Tuple, error) { return nil, nil }
+
+// Close implements Operator.
+func (p *Project) Close() ([]Tuple, error) { return nil, nil }
+
+// MapFunc adapts an arbitrary Go function into a stateless operator — the
+// paper's "arbitrary code" stage implementation path. The function may
+// return zero or more tuples per input; Out is the declared output schema
+// (nil means pass-through of the input schema).
+type MapFunc struct {
+	Out *Schema
+	Fn  func(t Tuple) ([]Tuple, error)
+	in  *Schema
+}
+
+// Open implements Operator.
+func (m *MapFunc) Open(in *Schema) error {
+	m.in = in
+	if m.Out == nil {
+		m.Out = in
+	}
+	if m.Fn == nil {
+		return fmt.Errorf("stream: MapFunc with nil Fn")
+	}
+	return nil
+}
+
+// Schema implements Operator.
+func (m *MapFunc) Schema() *Schema { return m.Out }
+
+// Process implements Operator.
+func (m *MapFunc) Process(t Tuple) ([]Tuple, error) { return m.Fn(t) }
+
+// Advance implements Operator.
+func (m *MapFunc) Advance(time.Time) ([]Tuple, error) { return nil, nil }
+
+// Close implements Operator.
+func (m *MapFunc) Close() ([]Tuple, error) { return nil, nil }
+
+// Chain composes operators into a linear pipeline that itself satisfies
+// Operator. Punctuation is cascaded correctly: tuples released by an
+// upstream operator's Advance are processed by downstream operators
+// before those operators see the same punctuation, so boundary tuples
+// (Ts = now) land in the windows that close at now.
+type Chain struct {
+	Ops []Operator
+	in  *Schema
+}
+
+// NewChain composes the given operators in order. An empty chain is the
+// identity.
+func NewChain(ops ...Operator) *Chain { return &Chain{Ops: ops} }
+
+// Open implements Operator.
+func (c *Chain) Open(in *Schema) error {
+	c.in = in
+	cur := in
+	for i, op := range c.Ops {
+		if err := op.Open(cur); err != nil {
+			return fmt.Errorf("stream: chain op %d: %w", i, err)
+		}
+		cur = op.Schema()
+	}
+	return nil
+}
+
+// Schema implements Operator.
+func (c *Chain) Schema() *Schema {
+	if len(c.Ops) == 0 {
+		return c.in
+	}
+	return c.Ops[len(c.Ops)-1].Schema()
+}
+
+// Process implements Operator.
+func (c *Chain) Process(t Tuple) ([]Tuple, error) {
+	return c.feed(0, []Tuple{t})
+}
+
+// feed pushes tuples through operators i..end and returns the pipeline
+// output.
+func (c *Chain) feed(i int, tuples []Tuple) ([]Tuple, error) {
+	cur := tuples
+	for j := i; j < len(c.Ops); j++ {
+		if len(cur) == 0 {
+			return nil, nil
+		}
+		var next []Tuple
+		for _, t := range cur {
+			out, err := c.Ops[j].Process(t)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, out...)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Advance implements Operator.
+func (c *Chain) Advance(now time.Time) ([]Tuple, error) {
+	var result []Tuple
+	for i, op := range c.Ops {
+		released, err := op.Advance(now)
+		if err != nil {
+			return nil, err
+		}
+		out, err := c.feed(i+1, released)
+		if err != nil {
+			return nil, err
+		}
+		result = append(result, out...)
+	}
+	return result, nil
+}
+
+// Close implements Operator.
+func (c *Chain) Close() ([]Tuple, error) {
+	var result []Tuple
+	for i, op := range c.Ops {
+		released, err := op.Close()
+		if err != nil {
+			return nil, err
+		}
+		out, err := c.feed(i+1, released)
+		if err != nil {
+			return nil, err
+		}
+		result = append(result, out...)
+	}
+	return result, nil
+}

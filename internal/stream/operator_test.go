@@ -1,0 +1,214 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFilterOperator(t *testing.T) {
+	f := NewFilter(NewBinary(OpEq, NewCol("shelf"), NewConst(Int(0))))
+	if err := f.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Schema().Equal(rfidSchema) {
+		t.Error("filter must preserve schema")
+	}
+	keep, _ := f.Process(read(0.1, "A", 0))
+	drop, _ := f.Process(read(0.2, "A", 1))
+	if len(keep) != 1 || len(drop) != 0 {
+		t.Errorf("filter: keep=%v drop=%v", keep, drop)
+	}
+}
+
+func TestFilterNullDrops(t *testing.T) {
+	f := NewFilter(NewBinary(OpLt, NewCol("shelf"), NewConst(Int(5))))
+	if err := f.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := f.Process(NewTuple(at(0.1), String("A"), Null()))
+	if len(out) != 0 {
+		t.Error("NULL predicate must drop tuple (SQL WHERE semantics)")
+	}
+}
+
+func TestFilterOpenErrors(t *testing.T) {
+	if err := NewFilter(NewCol("tag_id")).Open(rfidSchema); err == nil {
+		t.Error("non-boolean predicate: want error")
+	}
+	if err := NewFilter(NewCol("missing")).Open(rfidSchema); err == nil {
+		t.Error("unknown column: want error")
+	}
+}
+
+func TestProjectOperator(t *testing.T) {
+	p := NewProject(
+		NamedExpr{Name: "t", Expr: NewCol("tag_id")},
+		NamedExpr{Name: "double", Expr: NewBinary(OpMul, NewCol("shelf"), NewConst(Int(2)))},
+	)
+	if err := p.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema().String() != "(t string, double int)" {
+		t.Errorf("schema = %s", p.Schema())
+	}
+	out, err := p.Process(read(0.5, "A", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Values[1] != Int(6) {
+		t.Errorf("out = %v", out)
+	}
+	if !out[0].Ts.Equal(at(0.5)) {
+		t.Error("project must preserve tuple timestamp")
+	}
+}
+
+func TestMapFuncOperator(t *testing.T) {
+	m := &MapFunc{Fn: func(tu Tuple) ([]Tuple, error) {
+		if tu.Values[0].AsString() == "boom" {
+			return nil, errors.New("boom")
+		}
+		return []Tuple{tu, tu}, nil // duplicate each tuple
+	}}
+	if err := m.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Schema().Equal(rfidSchema) {
+		t.Error("nil Out must default to input schema")
+	}
+	out, err := m.Process(read(0.1, "A", 0))
+	if err != nil || len(out) != 2 {
+		t.Errorf("map out = %v, %v", out, err)
+	}
+	if _, err := m.Process(read(0.2, "boom", 0)); err == nil {
+		t.Error("map error must propagate")
+	}
+	bad := &MapFunc{}
+	if err := bad.Open(rfidSchema); err == nil {
+		t.Error("nil Fn: want Open error")
+	}
+}
+
+// TestChainPunctuationCascade verifies the critical ordering property:
+// tuples released by an upstream window's Advance must be Processed by a
+// downstream window before the downstream window handles the same
+// punctuation — otherwise boundary tuples miss the closing window.
+func TestChainPunctuationCascade(t *testing.T) {
+	smooth := &WindowAgg{
+		GroupBy: []NamedExpr{{Name: "tag_id", Expr: NewCol("tag_id")}},
+		Aggs:    []AggSpec{{Name: "n", Func: AggCount}},
+		Range:   2 * time.Second,
+		Slide:   time.Second,
+	}
+	// Downstream NOW-window count of smoothed tags (Query 1 shape).
+	count := &WindowAgg{
+		Aggs:  []AggSpec{{Name: "tags", Func: AggCount, Arg: NewCol("tag_id"), Distinct: true}},
+		Slide: time.Second,
+	}
+	chain := NewChain(smooth, count)
+	if err := chain.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.Process(read(0.5, "A", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.Process(read(0.7, "B", 0)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := chain.Advance(at(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// smooth emits A,B at t=1; count's epoch closing at t=1 must see them.
+	if len(out) != 1 || out[0].Values[0] != Int(2) {
+		t.Fatalf("cascade out = %v, want one row counting 2 tags", out)
+	}
+}
+
+func TestChainEmptyIsIdentity(t *testing.T) {
+	c := NewChain()
+	if err := c.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Schema().Equal(rfidSchema) {
+		t.Error("empty chain schema")
+	}
+	out, _ := c.Process(read(0.1, "A", 0))
+	if len(out) != 1 {
+		t.Errorf("empty chain out = %v", out)
+	}
+}
+
+func TestChainOpenError(t *testing.T) {
+	c := NewChain(NewFilter(NewCol("missing")))
+	if err := c.Open(rfidSchema); err == nil {
+		t.Error("chain must surface member Open errors")
+	}
+}
+
+func TestChainProcessStopsOnError(t *testing.T) {
+	div := NewProject(NamedExpr{Name: "bad", Expr: NewBinary(OpDiv, NewConst(Int(1)), NewCol("shelf"))})
+	c := NewChain(div)
+	if err := c.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Process(read(0.1, "A", 0)); err == nil {
+		t.Error("division by zero must propagate through chain")
+	}
+}
+
+func TestChainSchemaComposition(t *testing.T) {
+	c := NewChain(
+		NewFilter(NewBinary(OpEq, NewCol("shelf"), NewConst(Int(0)))),
+		NewProject(NamedExpr{Name: "tag", Expr: NewCol("tag_id")}),
+	)
+	if err := c.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	if c.Schema().String() != "(tag string)" {
+		t.Errorf("chain schema = %s", c.Schema())
+	}
+}
+
+func TestChainCloseCascades(t *testing.T) {
+	w := &WindowAgg{
+		GroupBy: []NamedExpr{{Name: "tag_id", Expr: NewCol("tag_id")}},
+		Aggs:    []AggSpec{{Name: "n", Func: AggCount}},
+		Range:   time.Minute, Slide: time.Minute,
+	}
+	c := NewChain(w, NewProject(NamedExpr{Name: "tag_id", Expr: NewCol("tag_id")}))
+	if err := c.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	c.Process(read(0.5, "A", 0))
+	c.Process(read(0.7, "B", 0))
+	// No punctuation ever arrives: Close alone must flush the pending
+	// window through the downstream projection.
+	out, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Errorf("Close must flush pending window through downstream ops: %v", out)
+	}
+}
+
+func TestWindowFirstPunctuationEmitsPartialWindow(t *testing.T) {
+	w := &WindowAgg{
+		GroupBy: []NamedExpr{{Name: "tag_id", Expr: NewCol("tag_id")}},
+		Aggs:    []AggSpec{{Name: "n", Func: AggCount}},
+		Range:   time.Minute, Slide: time.Minute,
+	}
+	if err := w.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	w.Process(read(0.5, "A", 0))
+	out, err := w.Advance(at(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Values[1] != Int(1) {
+		t.Errorf("first punctuation should close a window over prior data: %v", out)
+	}
+}

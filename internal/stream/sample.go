@@ -1,0 +1,67 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Sample passes a subset of tuples through — load shedding for the Point
+// stage, which the paper notes "may also be used to improve performance
+// through early elimination of data" (§3.2). Two modes:
+//
+//   - EveryN > 0: deterministic systematic sampling (every N-th tuple,
+//     starting with the first).
+//   - Fraction in (0, 1): Bernoulli sampling with a seeded generator, so
+//     runs are reproducible.
+//
+// Exactly one mode must be configured.
+type Sample struct {
+	EveryN   int
+	Fraction float64
+	Seed     int64
+
+	in    *Schema
+	count int64
+	rng   *rand.Rand
+}
+
+// Open implements Operator.
+func (s *Sample) Open(in *Schema) error {
+	switch {
+	case s.EveryN > 0 && s.Fraction != 0:
+		return fmt.Errorf("stream: sample: set EveryN or Fraction, not both")
+	case s.EveryN > 0:
+	case s.Fraction > 0 && s.Fraction < 1:
+		s.rng = rand.New(rand.NewSource(s.Seed))
+	default:
+		return fmt.Errorf("stream: sample: need EveryN > 0 or Fraction in (0,1)")
+	}
+	s.in = in
+	return nil
+}
+
+// Schema implements Operator.
+func (s *Sample) Schema() *Schema { return s.in }
+
+// Process implements Operator.
+func (s *Sample) Process(t Tuple) ([]Tuple, error) {
+	if s.EveryN > 0 {
+		keep := s.count%int64(s.EveryN) == 0
+		s.count++
+		if keep {
+			return []Tuple{t}, nil
+		}
+		return nil, nil
+	}
+	if s.rng.Float64() < s.Fraction {
+		return []Tuple{t}, nil
+	}
+	return nil, nil
+}
+
+// Advance implements Operator.
+func (s *Sample) Advance(time.Time) ([]Tuple, error) { return nil, nil }
+
+// Close implements Operator.
+func (s *Sample) Close() ([]Tuple, error) { return nil, nil }

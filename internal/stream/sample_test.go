@@ -1,0 +1,88 @@
+package stream
+
+import (
+	"testing"
+)
+
+func TestSampleEveryN(t *testing.T) {
+	s := &Sample{EveryN: 3}
+	if err := s.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for i := 0; i < 9; i++ {
+		out, err := s.Process(read(float64(i), "A", 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept += len(out)
+	}
+	if kept != 3 {
+		t.Errorf("kept %d of 9, want 3", kept)
+	}
+	// The first tuple is always kept.
+	s2 := &Sample{EveryN: 5}
+	s2.Open(rfidSchema)
+	out, _ := s2.Process(read(0, "A", 0))
+	if len(out) != 1 {
+		t.Error("first tuple dropped")
+	}
+}
+
+func TestSampleFraction(t *testing.T) {
+	s := &Sample{Fraction: 0.25, Seed: 7}
+	if err := s.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		out, _ := s.Process(read(float64(i), "A", 0))
+		kept += len(out)
+	}
+	frac := float64(kept) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Errorf("kept fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	runSample := func() int {
+		s := &Sample{Fraction: 0.5, Seed: 11}
+		s.Open(rfidSchema)
+		kept := 0
+		for i := 0; i < 100; i++ {
+			out, _ := s.Process(read(float64(i), "A", 0))
+			kept += len(out)
+		}
+		return kept
+	}
+	if runSample() != runSample() {
+		t.Error("seeded sampling not reproducible")
+	}
+}
+
+func TestSampleValidation(t *testing.T) {
+	cases := []*Sample{
+		{},                         // neither mode
+		{EveryN: 2, Fraction: 0.5}, // both
+		{Fraction: 1.5},            // out of range
+		{Fraction: -0.1},           // out of range
+		{EveryN: -1},               // negative
+	}
+	for i, s := range cases {
+		if err := s.Open(rfidSchema); err == nil {
+			t.Errorf("case %d: want Open error", i)
+		}
+	}
+}
+
+func TestSamplePreservesSchema(t *testing.T) {
+	s := &Sample{EveryN: 1}
+	if err := s.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Schema().Equal(rfidSchema) {
+		t.Error("sample changed the schema")
+	}
+}

@@ -1,0 +1,139 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickSelfJoinMatchesReference verifies SelfJoin against a direct
+// re-computation: at every boundary, each in-window tuple must appear
+// exactly once, joined with its group's window aggregates.
+func TestQuickSelfJoinMatchesReference(t *testing.T) {
+	schema := MustSchema(
+		Field{Name: "granule", Kind: KindInt},
+		Field{Name: "temp", Kind: KindFloat},
+	)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rangeSec := 1 + r.Intn(5)
+		sj := &SelfJoin{
+			Range:     time.Duration(rangeSec) * time.Second,
+			Slide:     time.Second,
+			RawPrefix: "s.", AggPrefix: "a.",
+			GroupBy: []NamedExpr{{Name: "granule", Expr: NewCol("granule")}},
+			Aggs: []AggSpec{
+				{Name: "n", Func: AggCount},
+				{Name: "avg", Func: AggAvg, Arg: NewCol("temp")},
+			},
+		}
+		if err := sj.Open(schema); err != nil {
+			t.Fatal(err)
+		}
+		type reading struct {
+			ts      time.Time
+			granule int64
+			temp    float64
+		}
+		var readings []reading
+		sec := 0.0
+		n := r.Intn(60)
+		for i := 0; i < n; i++ {
+			sec += r.Float64()
+			readings = append(readings, reading{
+				ts:      at(sec),
+				granule: int64(r.Intn(3)),
+				temp:    float64(r.Intn(40)),
+			})
+		}
+		i := 0
+		for now := 1; now <= 15; now++ {
+			bound := at(float64(now))
+			for i < len(readings) && !readings[i].ts.After(bound) {
+				if _, err := sj.Process(NewTuple(readings[i].ts, Int(readings[i].granule), Float(readings[i].temp))); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			}
+			out, err := sj.Advance(bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Reference: window (bound-range, bound].
+			lo := bound.Add(-time.Duration(rangeSec) * time.Second)
+			var window []reading
+			sums := map[int64]float64{}
+			counts := map[int64]int{}
+			for _, rd := range readings[:i] {
+				if rd.ts.After(lo) && !rd.ts.After(bound) {
+					window = append(window, rd)
+					sums[rd.granule] += rd.temp
+					counts[rd.granule]++
+				}
+			}
+			if len(out) != len(window) {
+				return false
+			}
+			// Each output row: (s.granule, s.temp, a.granule, a.n, a.avg).
+			used := make([]bool, len(window))
+			for _, row := range out {
+				g := row.Values[0].AsInt()
+				temp := row.Values[1].AsFloat()
+				found := false
+				for j, rd := range window {
+					if !used[j] && rd.granule == g && rd.temp == temp {
+						used[j] = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+				if row.Values[2].AsInt() != g {
+					return false
+				}
+				if row.Values[3].AsInt() != int64(counts[g]) {
+					return false
+				}
+				wantAvg := sums[g] / float64(counts[g])
+				if math.Abs(row.Values[4].AsFloat()-wantAvg) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSelfJoinNowWindow checks the [Range By 'NOW'] normalization.
+func TestSelfJoinNowWindow(t *testing.T) {
+	schema := MustSchema(
+		Field{Name: "granule", Kind: KindInt},
+		Field{Name: "temp", Kind: KindFloat},
+	)
+	sj := &SelfJoin{
+		Slide:     time.Second, // Range 0 => NOW => one epoch
+		RawPrefix: "s.", AggPrefix: "a.",
+		GroupBy: []NamedExpr{{Name: "granule", Expr: NewCol("granule")}},
+		Aggs:    []AggSpec{{Name: "n", Func: AggCount}},
+	}
+	if err := sj.Open(schema); err != nil {
+		t.Fatal(err)
+	}
+	sj.Process(NewTuple(at(0.5), Int(1), Float(20)))
+	out, _ := sj.Advance(at(1))
+	if len(out) != 1 {
+		t.Fatalf("epoch 1 = %v", out)
+	}
+	// Next epoch: the tuple has left the NOW window.
+	out, _ = sj.Advance(at(2))
+	if len(out) != 0 {
+		t.Errorf("NOW window retained a stale tuple: %v", out)
+	}
+}

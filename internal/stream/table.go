@@ -1,0 +1,169 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+)
+
+// Table is a static relation: the paper's "static table joins (e.g., for
+// inventory lookups)" and the expected-tag-ID relation of the digital-home
+// Point stage are Tables.
+type Table struct {
+	schema *Schema
+	rows   []Tuple
+}
+
+// NewTable builds a table, validating every row against the schema.
+func NewTable(schema *Schema, rows []Tuple) (*Table, error) {
+	for i, r := range rows {
+		if err := CheckTuple(schema, r); err != nil {
+			return nil, fmt.Errorf("stream: table row %d: %w", i, err)
+		}
+	}
+	return &Table{schema: schema, rows: rows}, nil
+}
+
+// MustTable is NewTable that panics on error.
+func MustTable(schema *Schema, rows []Tuple) *Table {
+	t, err := NewTable(schema, rows)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Rows returns the backing rows (not a copy; callers must not mutate).
+func (t *Table) Rows() []Tuple { return t.rows }
+
+// JoinMode selects the join semantics of JoinStatic.
+type JoinMode uint8
+
+const (
+	// JoinInner emits stream⋈table rows (stream columns then table
+	// columns) for every match.
+	JoinInner JoinMode = iota
+	// JoinSemi passes a stream tuple through unchanged if it has at least
+	// one match.
+	JoinSemi
+	// JoinAnti passes a stream tuple through unchanged if it has no match.
+	JoinAnti
+)
+
+func (m JoinMode) String() string {
+	switch m {
+	case JoinInner:
+		return "inner"
+	case JoinSemi:
+		return "semi"
+	case JoinAnti:
+		return "anti"
+	default:
+		return fmt.Sprintf("join(%d)", uint8(m))
+	}
+}
+
+// JoinStatic equi-joins the stream with a static Table on one column pair.
+// The table side is indexed once at Open; per-tuple lookup is O(matches).
+type JoinStatic struct {
+	Table     *Table
+	StreamCol string
+	TableCol  string
+	Mode      JoinMode
+
+	in, out  *Schema
+	streamIx int
+	index    map[Value][]int
+}
+
+// Open implements Operator.
+func (j *JoinStatic) Open(in *Schema) error {
+	j.in = in
+	ix, ok := in.Index(j.StreamCol)
+	if !ok {
+		return fmt.Errorf("stream: join: unknown stream column %q in %s", j.StreamCol, in)
+	}
+	j.streamIx = ix
+	tix, ok := j.Table.schema.Index(j.TableCol)
+	if !ok {
+		return fmt.Errorf("stream: join: unknown table column %q in %s", j.TableCol, j.Table.schema)
+	}
+	j.index = make(map[Value][]int, j.Table.Len())
+	for i, r := range j.Table.rows {
+		k := r.Values[tix]
+		if k.IsNull() {
+			continue // NULL never joins
+		}
+		k = normalizeJoinKey(k)
+		j.index[k] = append(j.index[k], i)
+	}
+	switch j.Mode {
+	case JoinInner:
+		out, err := in.Concat(j.Table.schema)
+		if err != nil {
+			return fmt.Errorf("stream: join: %w (alias overlapping columns)", err)
+		}
+		j.out = out
+	case JoinSemi, JoinAnti:
+		j.out = in
+	default:
+		return fmt.Errorf("stream: join: unknown mode %v", j.Mode)
+	}
+	return nil
+}
+
+// normalizeJoinKey promotes ints to floats so int/float key pairs match,
+// mirroring Value.Compare's numeric coercion.
+func normalizeJoinKey(v Value) Value {
+	if v.Kind() == KindInt {
+		return Float(v.AsFloat())
+	}
+	return v
+}
+
+// Schema implements Operator.
+func (j *JoinStatic) Schema() *Schema { return j.out }
+
+// Process implements Operator.
+func (j *JoinStatic) Process(t Tuple) ([]Tuple, error) {
+	k := t.Values[j.streamIx]
+	var matches []int
+	if !k.IsNull() {
+		matches = j.index[normalizeJoinKey(k)]
+	}
+	switch j.Mode {
+	case JoinSemi:
+		if len(matches) > 0 {
+			return []Tuple{t}, nil
+		}
+		return nil, nil
+	case JoinAnti:
+		if len(matches) == 0 {
+			return []Tuple{t}, nil
+		}
+		return nil, nil
+	}
+	if len(matches) == 0 {
+		return nil, nil
+	}
+	out := make([]Tuple, 0, len(matches))
+	for _, ri := range matches {
+		row := j.Table.rows[ri]
+		vals := make([]Value, 0, len(t.Values)+len(row.Values))
+		vals = append(vals, t.Values...)
+		vals = append(vals, row.Values...)
+		out = append(out, Tuple{Ts: t.Ts, Values: vals})
+	}
+	return out, nil
+}
+
+// Advance implements Operator.
+func (j *JoinStatic) Advance(time.Time) ([]Tuple, error) { return nil, nil }
+
+// Close implements Operator.
+func (j *JoinStatic) Close() ([]Tuple, error) { return nil, nil }

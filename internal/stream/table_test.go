@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+var expectedTags = MustTable(
+	MustSchema(Field{Name: "expected_tag", Kind: KindString}),
+	[]Tuple{
+		NewTuple(time.Time{}, String("A")),
+		NewTuple(time.Time{}, String("B")),
+	},
+)
+
+func TestTableValidation(t *testing.T) {
+	s := MustSchema(Field{Name: "x", Kind: KindInt})
+	if _, err := NewTable(s, []Tuple{NewTuple(time.Time{}, String("no"))}); err == nil {
+		t.Error("kind-mismatched row: want error")
+	}
+	if _, err := NewTable(s, []Tuple{NewTuple(time.Time{})}); err == nil {
+		t.Error("arity-mismatched row: want error")
+	}
+	tb, err := NewTable(s, []Tuple{NewTuple(time.Time{}, Int(1))})
+	if err != nil || tb.Len() != 1 {
+		t.Errorf("valid table rejected: %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustTable on bad rows: want panic")
+			}
+		}()
+		MustTable(s, []Tuple{NewTuple(time.Time{}, String("no"))})
+	}()
+}
+
+// TestJoinSemiExpectedTags mirrors the digital-home Point stage: filter
+// RFID readings through a static relation of expected tag IDs.
+func TestJoinSemiExpectedTags(t *testing.T) {
+	j := &JoinStatic{Table: expectedTags, StreamCol: "tag_id", TableCol: "expected_tag", Mode: JoinSemi}
+	if err := j.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Schema().Equal(rfidSchema) {
+		t.Errorf("semi-join must preserve the stream schema, got %s", j.Schema())
+	}
+	keep, _ := j.Process(read(0.1, "A", 0))
+	drop, _ := j.Process(read(0.2, "Z", 0)) // errant tag
+	if len(keep) != 1 || len(drop) != 0 {
+		t.Errorf("semi join: keep=%v drop=%v", keep, drop)
+	}
+}
+
+func TestJoinAnti(t *testing.T) {
+	j := &JoinStatic{Table: expectedTags, StreamCol: "tag_id", TableCol: "expected_tag", Mode: JoinAnti}
+	if err := j.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	keep, _ := j.Process(read(0.1, "Z", 0))
+	drop, _ := j.Process(read(0.2, "A", 0))
+	if len(keep) != 1 || len(drop) != 0 {
+		t.Errorf("anti join: keep=%v drop=%v", keep, drop)
+	}
+}
+
+func TestJoinInnerInventoryLookup(t *testing.T) {
+	inventory := MustTable(
+		MustSchema(
+			Field{Name: "inv_tag", Kind: KindString},
+			Field{Name: "product", Kind: KindString},
+		),
+		[]Tuple{
+			NewTuple(time.Time{}, String("A"), String("soap")),
+			NewTuple(time.Time{}, String("A"), String("soap-dup")), // multi-match
+		},
+	)
+	j := &JoinStatic{Table: inventory, StreamCol: "tag_id", TableCol: "inv_tag", Mode: JoinInner}
+	if err := j.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	if j.Schema().Len() != 4 {
+		t.Errorf("inner join schema = %s", j.Schema())
+	}
+	out, _ := j.Process(read(0.1, "A", 0))
+	if len(out) != 2 {
+		t.Fatalf("multi-match inner join: %v", out)
+	}
+	if out[0].Values[3] != String("soap") {
+		t.Errorf("joined row = %v", out[0])
+	}
+	miss, _ := j.Process(read(0.2, "Z", 0))
+	if len(miss) != 0 {
+		t.Errorf("inner join non-match should drop, got %v", miss)
+	}
+}
+
+func TestJoinNullNeverMatches(t *testing.T) {
+	j := &JoinStatic{Table: expectedTags, StreamCol: "tag_id", TableCol: "expected_tag", Mode: JoinSemi}
+	if err := j.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := j.Process(NewTuple(at(0.1), Null(), Int(0)))
+	if len(out) != 0 {
+		t.Error("NULL key must not join")
+	}
+	// Anti-join: NULL has no match, so it passes (SQL NOT IN would differ,
+	// but our anti-join is match-based).
+	ja := &JoinStatic{Table: expectedTags, StreamCol: "tag_id", TableCol: "expected_tag", Mode: JoinAnti}
+	if err := ja.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = ja.Process(NewTuple(at(0.1), Null(), Int(0)))
+	if len(out) != 1 {
+		t.Error("NULL key should pass anti-join")
+	}
+}
+
+func TestJoinNumericKeyCoercion(t *testing.T) {
+	ints := MustTable(
+		MustSchema(Field{Name: "k", Kind: KindInt}),
+		[]Tuple{NewTuple(time.Time{}, Int(5))},
+	)
+	s := MustSchema(Field{Name: "v", Kind: KindFloat})
+	j := &JoinStatic{Table: ints, StreamCol: "v", TableCol: "k", Mode: JoinSemi}
+	if err := j.Open(s); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := j.Process(NewTuple(at(0.1), Float(5.0)))
+	if len(out) != 1 {
+		t.Error("float 5.0 should join int 5")
+	}
+}
+
+func TestJoinOpenErrors(t *testing.T) {
+	j := &JoinStatic{Table: expectedTags, StreamCol: "nope", TableCol: "expected_tag"}
+	if err := j.Open(rfidSchema); err == nil {
+		t.Error("unknown stream column: want error")
+	}
+	j2 := &JoinStatic{Table: expectedTags, StreamCol: "tag_id", TableCol: "nope"}
+	if err := j2.Open(rfidSchema); err == nil {
+		t.Error("unknown table column: want error")
+	}
+	// Inner join with overlapping names must error.
+	overlap := MustTable(MustSchema(Field{Name: "tag_id", Kind: KindString}), nil)
+	j3 := &JoinStatic{Table: overlap, StreamCol: "tag_id", TableCol: "tag_id", Mode: JoinInner}
+	if err := j3.Open(rfidSchema); err == nil {
+		t.Error("overlapping output columns: want error")
+	}
+}

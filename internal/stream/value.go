@@ -1,0 +1,362 @@
+// Package stream implements the data model and streaming operator algebra
+// that underpin ESP: typed values, schemas, timestamped tuples, an
+// expression engine, and punctuation-driven windowed operators in the style
+// of Fjords (Madden & Franklin, ICDE 2002).
+//
+// The package is deliberately self-contained — it is the "stream query
+// processor" substrate the ESP paper assumes, built from scratch on the
+// standard library.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind enumerates the dynamic types a Value can hold.
+type Kind uint8
+
+const (
+	// KindNull is the type of the SQL NULL value and the zero Value.
+	KindNull Kind = iota
+	// KindBool holds true/false.
+	KindBool
+	// KindInt holds a 64-bit signed integer.
+	KindInt
+	// KindFloat holds a 64-bit IEEE float.
+	KindFloat
+	// KindString holds an immutable string.
+	KindString
+	// KindTime holds an absolute timestamp.
+	KindTime
+)
+
+// String returns the lower-case name of the kind as used in CQL type names.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindTime:
+		return "time"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Numeric reports whether values of this kind participate in arithmetic.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
+
+// Value is a dynamically typed scalar. The zero Value is NULL.
+//
+// Value is comparable (it contains no slices or maps), so it can be used
+// directly as a map key for grouping and duplicate elimination.
+type Value struct {
+	kind Kind
+	i    int64 // int storage; bool stored as 0/1
+	f    float64
+	s    string
+	t    time.Time
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	v := Value{kind: KindBool}
+	if b {
+		v.i = 1
+	}
+	return v
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// String returns a string value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Time returns a timestamp value.
+func Time(t time.Time) Value { return Value{kind: KindTime, t: t} }
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsBool returns the boolean held by v. It panics unless v is a bool.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic("stream: AsBool on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// AsInt returns the integer held by v. It panics unless v is an int.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic("stream: AsInt on " + v.kind.String())
+	}
+	return v.i
+}
+
+// AsFloat returns the numeric content of v as a float64, converting ints.
+// It panics unless v is numeric.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	default:
+		panic("stream: AsFloat on " + v.kind.String())
+	}
+}
+
+// AsString returns the string held by v. It panics unless v is a string.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic("stream: AsString on " + v.kind.String())
+	}
+	return v.s
+}
+
+// AsTime returns the timestamp held by v. It panics unless v is a time.
+func (v Value) AsTime() time.Time {
+	if v.kind != KindTime {
+		panic("stream: AsTime on " + v.kind.String())
+	}
+	return v.t
+}
+
+// Truthy reports whether v counts as true in a WHERE/HAVING context:
+// a true bool. NULL and every non-bool value are not truthy.
+func (v Value) Truthy() bool { return v.kind == KindBool && v.i != 0 }
+
+// Equal reports whether two values are equal. NULL equals nothing,
+// including NULL (SQL semantics); use v == w for raw structural equality.
+func (v Value) Equal(w Value) bool {
+	if v.kind == KindNull || w.kind == KindNull {
+		return false
+	}
+	c, err := v.Compare(w)
+	return err == nil && c == 0
+}
+
+// Compare orders two non-NULL values of compatible kinds:
+// -1 if v < w, 0 if equal, +1 if v > w. Ints and floats compare
+// numerically with each other. Comparing NULL or incompatible kinds
+// returns an error.
+func (v Value) Compare(w Value) (int, error) {
+	if v.kind == KindNull || w.kind == KindNull {
+		return 0, fmt.Errorf("stream: cannot compare NULL")
+	}
+	if v.kind.Numeric() && w.kind.Numeric() {
+		if v.kind == KindInt && w.kind == KindInt {
+			return cmpInt(v.i, w.i), nil
+		}
+		return cmpFloat(v.AsFloat(), w.AsFloat()), nil
+	}
+	if v.kind != w.kind {
+		return 0, fmt.Errorf("stream: cannot compare %s with %s", v.kind, w.kind)
+	}
+	switch v.kind {
+	case KindBool:
+		return cmpInt(v.i, w.i), nil
+	case KindString:
+		switch {
+		case v.s < w.s:
+			return -1, nil
+		case v.s > w.s:
+			return 1, nil
+		}
+		return 0, nil
+	case KindTime:
+		switch {
+		case v.t.Before(w.t):
+			return -1, nil
+		case v.t.After(w.t):
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("stream: cannot compare %s", v.kind)
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// String renders the value for display and CSV encoding.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindTime:
+		return v.t.Format(time.RFC3339Nano)
+	default:
+		return fmt.Sprintf("value(kind=%d)", uint8(v.kind))
+	}
+}
+
+// ParseValue parses s as a value of kind k (inverse of String for
+// non-NULL values).
+func ParseValue(k Kind, s string) (Value, error) {
+	switch k {
+	case KindNull:
+		return Null(), nil
+	case KindBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Null(), fmt.Errorf("stream: parse bool %q: %w", s, err)
+		}
+		return Bool(b), nil
+	case KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("stream: parse int %q: %w", s, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("stream: parse float %q: %w", s, err)
+		}
+		return Float(f), nil
+	case KindString:
+		return String(s), nil
+	case KindTime:
+		t, err := time.Parse(time.RFC3339Nano, s)
+		if err != nil {
+			return Null(), fmt.Errorf("stream: parse time %q: %w", s, err)
+		}
+		return Time(t), nil
+	default:
+		return Null(), fmt.Errorf("stream: parse: unknown kind %v", k)
+	}
+}
+
+// coerceNumeric promotes a pair of numeric values to a common kind for
+// arithmetic: int op int stays int, anything else becomes float.
+func coerceNumeric(a, b Value) (Value, Value, bool) {
+	if !a.kind.Numeric() || !b.kind.Numeric() {
+		return a, b, false
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		return a, b, true
+	}
+	return Float(a.AsFloat()), Float(b.AsFloat()), true
+}
+
+// Add returns v + w with SQL NULL propagation.
+func (v Value) Add(w Value) (Value, error) { return arith(v, w, "+") }
+
+// Sub returns v - w with SQL NULL propagation.
+func (v Value) Sub(w Value) (Value, error) { return arith(v, w, "-") }
+
+// Mul returns v * w with SQL NULL propagation.
+func (v Value) Mul(w Value) (Value, error) { return arith(v, w, "*") }
+
+// Div returns v / w with SQL NULL propagation. Integer division by zero
+// is an error; float division follows IEEE rules.
+func (v Value) Div(w Value) (Value, error) { return arith(v, w, "/") }
+
+func arith(v, w Value, op string) (Value, error) {
+	if v.IsNull() || w.IsNull() {
+		return Null(), nil
+	}
+	a, b, ok := coerceNumeric(v, w)
+	if !ok {
+		return Null(), fmt.Errorf("stream: %s %s %s: non-numeric operand", v.kind, op, w.kind)
+	}
+	if a.kind == KindInt {
+		switch op {
+		case "+":
+			return Int(a.i + b.i), nil
+		case "-":
+			return Int(a.i - b.i), nil
+		case "*":
+			return Int(a.i * b.i), nil
+		case "/":
+			if b.i == 0 {
+				return Null(), fmt.Errorf("stream: integer division by zero")
+			}
+			return Int(a.i / b.i), nil
+		}
+	}
+	switch op {
+	case "+":
+		return Float(a.f + b.f), nil
+	case "-":
+		return Float(a.f - b.f), nil
+	case "*":
+		return Float(a.f * b.f), nil
+	case "/":
+		return Float(a.f / b.f), nil
+	}
+	return Null(), fmt.Errorf("stream: unknown arithmetic op %q", op)
+}
+
+// Neg returns -v for numeric v, with NULL propagation.
+func (v Value) Neg() (Value, error) {
+	switch v.kind {
+	case KindNull:
+		return Null(), nil
+	case KindInt:
+		return Int(-v.i), nil
+	case KindFloat:
+		return Float(-v.f), nil
+	default:
+		return Null(), fmt.Errorf("stream: -%s: non-numeric operand", v.kind)
+	}
+}
+
+// almostEqual is used by tests and aggregate verification.
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	const eps = 1e-9
+	return math.Abs(a-b) <= eps*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

@@ -1,0 +1,316 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueZeroIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() || v.Kind() != KindNull {
+		t.Fatalf("zero Value = %v, want NULL", v)
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if got := Bool(true).AsBool(); !got {
+		t.Errorf("Bool(true).AsBool() = false")
+	}
+	if got := Int(-7).AsInt(); got != -7 {
+		t.Errorf("Int(-7).AsInt() = %d", got)
+	}
+	if got := Float(2.5).AsFloat(); got != 2.5 {
+		t.Errorf("Float(2.5).AsFloat() = %g", got)
+	}
+	if got := Int(3).AsFloat(); got != 3 {
+		t.Errorf("Int(3).AsFloat() = %g, want int->float promotion", got)
+	}
+	if got := String("x").AsString(); got != "x" {
+		t.Errorf("String(x).AsString() = %q", got)
+	}
+	ts := time.Date(2006, 4, 3, 0, 0, 0, 0, time.UTC)
+	if got := Time(ts).AsTime(); !got.Equal(ts) {
+		t.Errorf("Time().AsTime() = %v", got)
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	cases := []func(){
+		func() { Int(1).AsBool() },
+		func() { Bool(true).AsInt() },
+		func() { String("x").AsFloat() },
+		func() { Int(1).AsString() },
+		func() { Int(1).AsTime() },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestValueTruthy(t *testing.T) {
+	if !Bool(true).Truthy() {
+		t.Error("Bool(true) not truthy")
+	}
+	for _, v := range []Value{Bool(false), Null(), Int(1), String("true")} {
+		if v.Truthy() {
+			t.Errorf("%v should not be truthy", v)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(1), Float(1.5), -1},
+		{Float(2.0), Int(2), 0},
+		{String("a"), String("b"), -1},
+		{Bool(false), Bool(true), -1},
+		{Time(time.Unix(1, 0)), Time(time.Unix(2, 0)), -1},
+	}
+	for _, tc := range tests {
+		got, err := tc.a.Compare(tc.b)
+		if err != nil {
+			t.Errorf("Compare(%v,%v): %v", tc.a, tc.b, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestValueCompareErrors(t *testing.T) {
+	bad := [][2]Value{
+		{Null(), Int(1)},
+		{Int(1), Null()},
+		{Int(1), String("1")},
+		{Bool(true), Int(1)},
+		{Time(time.Unix(0, 0)), Int(0)},
+	}
+	for _, p := range bad {
+		if _, err := p[0].Compare(p[1]); err == nil {
+			t.Errorf("Compare(%v,%v): want error", p[0], p[1])
+		}
+	}
+}
+
+func TestValueEqualNullSemantics(t *testing.T) {
+	if Null().Equal(Null()) {
+		t.Error("NULL must not Equal NULL")
+	}
+	if Null().Equal(Int(0)) || Int(0).Equal(Null()) {
+		t.Error("NULL must not Equal anything")
+	}
+	if !Int(2).Equal(Float(2)) {
+		t.Error("2 should Equal 2.0")
+	}
+}
+
+func TestValueArithmetic(t *testing.T) {
+	check := func(got Value, err error, want Value) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if got != want {
+			t.Fatalf("got %v (%s), want %v (%s)", got, got.Kind(), want, want.Kind())
+		}
+	}
+	v, err := Int(2).Add(Int(3))
+	check(v, err, Int(5))
+	v, err = Int(2).Add(Float(0.5))
+	check(v, err, Float(2.5))
+	v, err = Int(7).Div(Int(2))
+	check(v, err, Int(3)) // integer division
+	v, err = Float(7).Div(Int(2))
+	check(v, err, Float(3.5))
+	v, err = Int(2).Mul(Int(-4))
+	check(v, err, Int(-8))
+	v, err = Int(2).Sub(Int(5))
+	check(v, err, Int(-3))
+
+	if _, err := Int(1).Div(Int(0)); err == nil {
+		t.Error("integer division by zero: want error")
+	}
+	v, err = Float(1).Div(Float(0))
+	if err != nil || !math.IsInf(v.AsFloat(), 1) {
+		t.Errorf("float 1/0 = %v, %v; want +Inf", v, err)
+	}
+	if _, err := String("a").Add(Int(1)); err == nil {
+		t.Error("string + int: want error")
+	}
+}
+
+func TestValueArithmeticNullPropagation(t *testing.T) {
+	ops := []func(Value, Value) (Value, error){
+		Value.Add, Value.Sub, Value.Mul, Value.Div,
+	}
+	for i, op := range ops {
+		v, err := op(Null(), Int(1))
+		if err != nil || !v.IsNull() {
+			t.Errorf("op %d: NULL op 1 = %v, %v; want NULL", i, v, err)
+		}
+		v, err = op(Int(1), Null())
+		if err != nil || !v.IsNull() {
+			t.Errorf("op %d: 1 op NULL = %v, %v; want NULL", i, v, err)
+		}
+	}
+	v, err := Null().Neg()
+	if err != nil || !v.IsNull() {
+		t.Errorf("-NULL = %v, %v; want NULL", v, err)
+	}
+}
+
+func TestValueNeg(t *testing.T) {
+	v, err := Int(4).Neg()
+	if err != nil || v != Int(-4) {
+		t.Errorf("-4 = %v, %v", v, err)
+	}
+	v, err = Float(1.5).Neg()
+	if err != nil || v != Float(-1.5) {
+		t.Errorf("-1.5 = %v, %v", v, err)
+	}
+	if _, err := String("x").Neg(); err == nil {
+		t.Error("-string: want error")
+	}
+}
+
+// randomValue draws a random non-NULL value; kinds weighted to exercise
+// numeric coercion.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Bool(r.Intn(2) == 0)
+	case 1:
+		return Int(int64(r.Intn(2001) - 1000))
+	case 2:
+		return Float(float64(r.Intn(2001)-1000) / 8)
+	case 3:
+		return String(string(rune('a' + r.Intn(26))))
+	default:
+		return Time(time.Unix(int64(r.Intn(100000)), 0).UTC())
+	}
+}
+
+func TestQuickParseStringRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r)
+		parsed, err := ParseValue(v.Kind(), v.String())
+		if err != nil {
+			return false
+		}
+		return parsed == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareAntisymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r), randomValue(r)
+		ab, err1 := a.Compare(b)
+		ba, err2 := b.Compare(a)
+		if (err1 == nil) != (err2 == nil) {
+			return false // comparability must be symmetric
+		}
+		if err1 != nil {
+			return true
+		}
+		return ab == -ba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareTransitivityViaSort(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Same-kind values to guarantee comparability.
+		kinds := []func() Value{
+			func() Value { return Int(int64(r.Intn(100))) },
+			func() Value { return Float(float64(r.Intn(100)) / 4) },
+			func() Value { return String(string(rune('a' + r.Intn(26)))) },
+		}
+		gen := kinds[r.Intn(len(kinds))]
+		vals := make([]Value, 20)
+		for i := range vals {
+			vals[i] = gen()
+		}
+		// lessValues must give a consistent total order: sorted sequence
+		// must be pairwise non-decreasing.
+		for i := 0; i < len(vals); i++ {
+			for j := i + 1; j < len(vals); j++ {
+				if lessValues([]Value{vals[j]}, []Value{vals[i]}) {
+					vals[i], vals[j] = vals[j], vals[i]
+				}
+			}
+		}
+		for i := 1; i < len(vals); i++ {
+			c, err := vals[i-1].Compare(vals[i])
+			if err != nil || c > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	cases := []struct {
+		k Kind
+		s string
+	}{
+		{KindInt, "abc"},
+		{KindFloat, "--1"},
+		{KindBool, "maybe"},
+		{KindTime, "not-a-time"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseValue(tc.k, tc.s); err == nil {
+			t.Errorf("ParseValue(%v, %q): want error", tc.k, tc.s)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindNull: "null", KindBool: "bool", KindInt: "int",
+		KindFloat: "float", KindString: "string", KindTime: "time",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !almostEqual(1, 1+1e-12) {
+		t.Error("1 ~ 1+1e-12 should hold")
+	}
+	if almostEqual(1, 1.01) {
+		t.Error("1 !~ 1.01")
+	}
+}

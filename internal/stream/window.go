@@ -1,0 +1,404 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// WindowAgg is a sliding-window GROUP BY aggregation: the workhorse behind
+// the paper's Smooth and Merge stages and behind every `[Range By 'd']`
+// CQL query.
+//
+// Window semantics: boundaries lie at origin + k*Slide, where origin is the
+// time of the first punctuation the operator receives. The window ending at
+// boundary b covers tuples with Ts in (b-Range, b]; results are emitted with
+// Ts = b. A Range of zero denotes the paper's `[Range By 'NOW']` window and
+// is interpreted as "the current epoch", i.e. Range = Slide.
+//
+// Implementation: tuples are folded into per-pane partial aggregates (panes
+// of size gcd(Range, Slide)); a window result merges the panes it spans, so
+// sliding emission costs O(groups × panes) instead of O(tuples). Setting
+// Naive re-aggregates the buffered tuples from scratch on each emission;
+// the two modes are verified equivalent by property tests and compared by
+// the BenchmarkAblationPanes benchmark.
+type WindowAgg struct {
+	GroupBy []NamedExpr
+	Aggs    []AggSpec
+	// Range is the window length (temporal granule); zero means NOW.
+	Range time.Duration
+	// Slide is the emission period. It must be positive.
+	Slide time.Duration
+	// Having, if non-nil, filters output rows; it is bound against the
+	// output schema.
+	Having Expr
+	// EmitEmpty controls whether a boundary with no live groups emits a
+	// row. It only applies to global aggregation (no GROUP BY), where SQL
+	// semantics produce one row even over empty input.
+	EmitEmpty bool
+	// Naive selects the re-aggregating implementation (for ablation).
+	Naive bool
+
+	in, out  *Schema
+	argKinds []Kind
+	pane     time.Duration
+	origin   time.Time
+	started  bool
+	nextEmit time.Time
+	pending  []Tuple // tuples seen before the first punctuation
+	panes    map[int64]map[GroupKey]*paneCell
+	buffer   []Tuple // Naive mode: live tuples
+	// Dropped counts late tuples discarded because their pane had already
+	// been emitted and evicted.
+	Dropped int64
+}
+
+type paneCell struct {
+	groupVals []Value
+	accums    []*accum
+}
+
+// Open implements Operator.
+func (w *WindowAgg) Open(in *Schema) error {
+	if w.Slide <= 0 {
+		return fmt.Errorf("stream: window: slide must be positive, got %v", w.Slide)
+	}
+	if w.Range < 0 {
+		return fmt.Errorf("stream: window: negative range %v", w.Range)
+	}
+	if w.Range == 0 { // [Range By 'NOW']
+		w.Range = w.Slide
+	}
+	w.pane = gcdDuration(w.Range, w.Slide)
+	w.in = in
+
+	fields := make([]Field, 0, len(w.GroupBy)+len(w.Aggs))
+	for _, g := range w.GroupBy {
+		k, err := g.Expr.Bind(in)
+		if err != nil {
+			return fmt.Errorf("stream: window group %q: %w", g.Name, err)
+		}
+		fields = append(fields, Field{Name: g.Name, Kind: k})
+	}
+	w.argKinds = make([]Kind, len(w.Aggs))
+	for i, a := range w.Aggs {
+		argKind := KindNull
+		if a.Arg != nil {
+			k, err := a.Arg.Bind(in)
+			if err != nil {
+				return fmt.Errorf("stream: window agg %s: %w", a, err)
+			}
+			argKind = k
+		} else if a.Func != AggCount {
+			return fmt.Errorf("stream: window agg %s: only count may omit its argument", a)
+		}
+		w.argKinds[i] = argKind
+		rk, err := a.resultKind(argKind)
+		if err != nil {
+			return err
+		}
+		fields = append(fields, Field{Name: a.Name, Kind: rk})
+	}
+	out, err := NewSchema(fields...)
+	if err != nil {
+		return fmt.Errorf("stream: window: %w", err)
+	}
+	w.out = out
+	if w.Having != nil {
+		k, err := w.Having.Bind(out)
+		if err != nil {
+			return fmt.Errorf("stream: window having: %w", err)
+		}
+		if k != KindBool && k != KindNull {
+			return fmt.Errorf("stream: window having: kind %s, want bool", k)
+		}
+	}
+	w.panes = make(map[int64]map[GroupKey]*paneCell)
+	return nil
+}
+
+// Schema implements Operator.
+func (w *WindowAgg) Schema() *Schema { return w.out }
+
+// Process implements Operator.
+func (w *WindowAgg) Process(t Tuple) ([]Tuple, error) {
+	if !w.started {
+		w.pending = append(w.pending, t)
+		return nil, nil
+	}
+	return nil, w.absorb(t)
+}
+
+func (w *WindowAgg) absorb(t Tuple) error {
+	if w.Naive {
+		w.buffer = append(w.buffer, t)
+		return nil
+	}
+	// Drop tuples whose window has entirely passed.
+	if w.started && !w.nextEmit.IsZero() && !t.Ts.After(w.nextEmit.Add(-w.Slide-w.Range)) {
+		w.Dropped++
+		return nil
+	}
+	j := w.paneIndex(t.Ts)
+	cells := w.panes[j]
+	if cells == nil {
+		cells = make(map[GroupKey]*paneCell)
+		w.panes[j] = cells
+	}
+	groupVals := make([]Value, len(w.GroupBy))
+	for i, g := range w.GroupBy {
+		v, err := g.Expr.Eval(t)
+		if err != nil {
+			return fmt.Errorf("stream: window group %q: %w", g.Name, err)
+		}
+		groupVals[i] = v
+	}
+	key := MakeGroupKey(groupVals...)
+	cell := cells[key]
+	if cell == nil {
+		cell = &paneCell{groupVals: groupVals, accums: make([]*accum, len(w.Aggs))}
+		for i, a := range w.Aggs {
+			cell.accums[i] = newAccum(a)
+		}
+		cells[key] = cell
+	}
+	for i, a := range w.Aggs {
+		if a.Arg == nil {
+			cell.accums[i].add(Null(), true)
+			continue
+		}
+		v, err := a.Arg.Eval(t)
+		if err != nil {
+			return fmt.Errorf("stream: window agg %s: %w", a, err)
+		}
+		cell.accums[i].add(v, false)
+	}
+	return nil
+}
+
+// paneIndex returns the index of the pane containing ts: pane j covers
+// (origin+(j-1)*pane, origin+j*pane].
+func (w *WindowAgg) paneIndex(ts time.Time) int64 {
+	d := ts.Sub(w.origin)
+	return ceilDiv(int64(d), int64(w.pane))
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b > 0 {
+		q++
+	}
+	return q
+}
+
+func gcdDuration(a, b time.Duration) time.Duration {
+	x, y := int64(a), int64(b)
+	for y != 0 {
+		x, y = y, x%y
+	}
+	return time.Duration(x)
+}
+
+// Advance implements Operator.
+func (w *WindowAgg) Advance(now time.Time) ([]Tuple, error) {
+	if !w.started {
+		w.started = true
+		w.origin = now
+		w.nextEmit = now
+		for _, t := range w.pending {
+			if err := w.absorb(t); err != nil {
+				return nil, err
+			}
+		}
+		w.pending = nil
+	}
+	var out []Tuple
+	for !w.nextEmit.After(now) {
+		emitted, err := w.emit(w.nextEmit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, emitted...)
+		w.nextEmit = w.nextEmit.Add(w.Slide)
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (w *WindowAgg) Close() ([]Tuple, error) {
+	// Emit one final window at the next boundary so trailing tuples are
+	// not lost when the stream ends between boundaries.
+	if !w.started {
+		// The stream ended before any punctuation: anchor the single
+		// closing window at the last tuple's timestamp.
+		if len(w.pending) == 0 {
+			return nil, nil
+		}
+		w.started = true
+		w.origin = w.pending[len(w.pending)-1].Ts
+		w.nextEmit = w.origin
+		for _, t := range w.pending {
+			if err := w.absorb(t); err != nil {
+				return nil, err
+			}
+		}
+		w.pending = nil
+	}
+	if len(w.panes) == 0 && len(w.buffer) == 0 {
+		return nil, nil
+	}
+	return w.emit(w.nextEmit)
+}
+
+// emit produces the window result for boundary b.
+func (w *WindowAgg) emit(b time.Time) ([]Tuple, error) {
+	if w.Naive {
+		return w.emitNaive(b)
+	}
+	jHi := int64(b.Sub(w.origin)) / int64(w.pane)
+	jLo := int64(b.Add(-w.Range).Sub(w.origin)) / int64(w.pane) // exclusive
+
+	merged := make(map[GroupKey]*paneCell)
+	for j := jLo + 1; j <= jHi; j++ {
+		for key, cell := range w.panes[j] {
+			m := merged[key]
+			if m == nil {
+				m = &paneCell{groupVals: cell.groupVals, accums: make([]*accum, len(w.Aggs))}
+				for i, a := range w.Aggs {
+					m.accums[i] = newAccum(a)
+				}
+				merged[key] = m
+			}
+			for i := range w.Aggs {
+				m.accums[i].merge(cell.accums[i])
+			}
+		}
+	}
+	// Evict panes at or before jLo: every later window starts after them.
+	for j := range w.panes {
+		if j <= jLo {
+			delete(w.panes, j)
+		}
+	}
+	return w.finish(b, merged)
+}
+
+func (w *WindowAgg) emitNaive(b time.Time) ([]Tuple, error) {
+	lo := b.Add(-w.Range)
+	live := w.buffer[:0]
+	for _, t := range w.buffer {
+		if t.Ts.After(lo) {
+			live = append(live, t)
+		}
+	}
+	w.buffer = live
+
+	merged := make(map[GroupKey]*paneCell)
+	for _, t := range w.buffer {
+		if t.Ts.After(b) {
+			continue
+		}
+		groupVals := make([]Value, len(w.GroupBy))
+		for i, g := range w.GroupBy {
+			v, err := g.Expr.Eval(t)
+			if err != nil {
+				return nil, err
+			}
+			groupVals[i] = v
+		}
+		key := MakeGroupKey(groupVals...)
+		cell := merged[key]
+		if cell == nil {
+			cell = &paneCell{groupVals: groupVals, accums: make([]*accum, len(w.Aggs))}
+			for i, a := range w.Aggs {
+				cell.accums[i] = newAccum(a)
+			}
+			merged[key] = cell
+		}
+		for i, a := range w.Aggs {
+			if a.Arg == nil {
+				cell.accums[i].add(Null(), true)
+				continue
+			}
+			v, err := a.Arg.Eval(t)
+			if err != nil {
+				return nil, err
+			}
+			cell.accums[i].add(v, false)
+		}
+	}
+	return w.finish(b, merged)
+}
+
+// finish converts merged group cells into output tuples, sorted by group
+// values for determinism, and applies HAVING.
+func (w *WindowAgg) finish(b time.Time, merged map[GroupKey]*paneCell) ([]Tuple, error) {
+	if len(merged) == 0 {
+		if len(w.GroupBy) == 0 && w.EmitEmpty {
+			empty := &paneCell{accums: make([]*accum, len(w.Aggs))}
+			for i, a := range w.Aggs {
+				empty.accums[i] = newAccum(a)
+			}
+			merged[MakeGroupKey()] = empty
+		} else {
+			return nil, nil
+		}
+	}
+	cells := make([]*paneCell, 0, len(merged))
+	for _, c := range merged {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool { return lessValues(cells[i].groupVals, cells[j].groupVals) })
+
+	out := make([]Tuple, 0, len(cells))
+	for _, cell := range cells {
+		vals := make([]Value, 0, len(w.GroupBy)+len(w.Aggs))
+		vals = append(vals, cell.groupVals...)
+		for i, a := range w.Aggs {
+			vals = append(vals, cell.accums[i].result(a, w.argKinds[i]))
+		}
+		t := Tuple{Ts: b, Values: vals}
+		if w.Having != nil {
+			v, err := w.Having.Eval(t)
+			if err != nil {
+				return nil, fmt.Errorf("stream: window having: %w", err)
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// lessValues orders value slices lexicographically; NULLs sort first and
+// incomparable pairs fall back to string order so the sort is total.
+func lessValues(a, b []Value) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		av, bv := a[i], b[i]
+		switch {
+		case av.IsNull() && bv.IsNull():
+			continue
+		case av.IsNull():
+			return true
+		case bv.IsNull():
+			return false
+		}
+		c, err := av.Compare(bv)
+		if err != nil {
+			as, bs := av.String(), bv.String()
+			if as == bs {
+				continue
+			}
+			return as < bs
+		}
+		if c != 0 {
+			return c < 0
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,406 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var rfidSchema = MustSchema(
+	Field{Name: "tag_id", Kind: KindString},
+	Field{Name: "shelf", Kind: KindInt},
+)
+
+func at(sec float64) time.Time {
+	return time.Unix(0, int64(sec*float64(time.Second))).UTC()
+}
+
+func read(sec float64, tag string, shelf int64) Tuple {
+	return NewTuple(at(sec), String(tag), Int(shelf))
+}
+
+// drive pushes tuples through op, punctuating at every multiple of epoch in
+// (0, end], and returns all output.
+func drive(t *testing.T, op Operator, in *Schema, tuples []Tuple, epoch, end time.Duration) []Tuple {
+	t.Helper()
+	if err := op.Open(in); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var out []Tuple
+	i := 0
+	for now := epoch; now <= end; now += epoch {
+		bound := at(now.Seconds())
+		for i < len(tuples) && !tuples[i].Ts.After(bound) {
+			got, err := op.Process(tuples[i])
+			if err != nil {
+				t.Fatalf("Process: %v", err)
+			}
+			out = append(out, got...)
+			i++
+		}
+		got, err := op.Advance(bound)
+		if err != nil {
+			t.Fatalf("Advance: %v", err)
+		}
+		out = append(out, got...)
+	}
+	got, err := op.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return append(out, got...)
+}
+
+// TestWindowCountPerTag mirrors the paper's Query 2 (Smooth): counting
+// reads per tag in a sliding window.
+func TestWindowCountPerTag(t *testing.T) {
+	w := &WindowAgg{
+		GroupBy: []NamedExpr{{Name: "tag_id", Expr: NewCol("tag_id")}},
+		Aggs:    []AggSpec{{Name: "n", Func: AggCount}},
+		Range:   5 * time.Second,
+		Slide:   time.Second,
+	}
+	// Tag A read at 0.5s, 1.5s, 2.5s; tag B only at 1.5s.
+	tuples := []Tuple{
+		read(0.5, "A", 0),
+		read(1.5, "A", 0), read(1.5, "B", 0),
+		read(2.5, "A", 0),
+	}
+	out := drive(t, w, rfidSchema, tuples, time.Second, 10*time.Second)
+
+	// Window ending at 3s must report A:3, B:1.
+	var at3 []Tuple
+	for _, o := range out {
+		if o.Ts.Equal(at(3)) {
+			at3 = append(at3, o)
+		}
+	}
+	if len(at3) != 2 {
+		t.Fatalf("at t=3s got %d rows (%v), want 2", len(at3), at3)
+	}
+	if at3[0].Values[0] != String("A") || at3[0].Values[1] != Int(3) {
+		t.Errorf("row A = %v", at3[0])
+	}
+	if at3[1].Values[0] != String("B") || at3[1].Values[1] != Int(1) {
+		t.Errorf("row B = %v", at3[1])
+	}
+	// After the window passes (ts > 5s + last read at 2.5 => from boundary
+	// 8s onward) nothing should be emitted.
+	for _, o := range out {
+		if o.Ts.After(at(7.5)) {
+			t.Errorf("stale emission at %v: %v", o.Ts, o)
+		}
+	}
+}
+
+func TestWindowCountDistinct(t *testing.T) {
+	// Query 1 shape: count(distinct tag_id) per shelf.
+	w := &WindowAgg{
+		GroupBy: []NamedExpr{{Name: "shelf", Expr: NewCol("shelf")}},
+		Aggs:    []AggSpec{{Name: "cnt", Func: AggCount, Arg: NewCol("tag_id"), Distinct: true}},
+		Range:   2 * time.Second,
+		Slide:   time.Second,
+	}
+	tuples := []Tuple{
+		read(0.2, "A", 0), read(0.4, "A", 0), read(0.6, "B", 0),
+		read(0.8, "C", 1),
+	}
+	out := drive(t, w, rfidSchema, tuples, time.Second, 2*time.Second)
+	var rows []Tuple
+	for _, o := range out {
+		if o.Ts.Equal(at(1)) {
+			rows = append(rows, o)
+		}
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows at t=1: %v", rows)
+	}
+	if rows[0].Values[0] != Int(0) || rows[0].Values[1] != Int(2) {
+		t.Errorf("shelf 0 = %v, want distinct count 2", rows[0])
+	}
+	if rows[1].Values[0] != Int(1) || rows[1].Values[1] != Int(1) {
+		t.Errorf("shelf 1 = %v, want distinct count 1", rows[1])
+	}
+}
+
+func TestWindowNowSemantics(t *testing.T) {
+	// Range 0 (NOW) = one epoch.
+	w := &WindowAgg{
+		GroupBy: []NamedExpr{{Name: "shelf", Expr: NewCol("shelf")}},
+		Aggs:    []AggSpec{{Name: "n", Func: AggCount}},
+		Slide:   time.Second,
+	}
+	tuples := []Tuple{read(0.5, "A", 0), read(1.5, "A", 0)}
+	out := drive(t, w, rfidSchema, tuples, time.Second, 3*time.Second)
+	// Each read should appear in exactly one epoch's count.
+	var total int64
+	for _, o := range out {
+		total += o.Values[1].AsInt()
+	}
+	if total != 2 {
+		t.Errorf("NOW windows double- or under-counted: total=%d, out=%v", total, out)
+	}
+}
+
+func TestWindowAggregates(t *testing.T) {
+	s := MustSchema(Field{Name: "v", Kind: KindFloat})
+	w := &WindowAgg{
+		Aggs: []AggSpec{
+			{Name: "n", Func: AggCount},
+			{Name: "sum", Func: AggSum, Arg: NewCol("v")},
+			{Name: "avg", Func: AggAvg, Arg: NewCol("v")},
+			{Name: "mn", Func: AggMin, Arg: NewCol("v")},
+			{Name: "mx", Func: AggMax, Arg: NewCol("v")},
+			{Name: "sd", Func: AggStdev, Arg: NewCol("v")},
+		},
+		Range: 10 * time.Second,
+		Slide: 10 * time.Second,
+	}
+	var tuples []Tuple
+	for i, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		tuples = append(tuples, NewTuple(at(float64(i)+0.5), Float(v)))
+	}
+	out := drive(t, w, s, tuples, 10*time.Second, 10*time.Second)
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	row := out[0]
+	if row.Values[0] != Int(8) {
+		t.Errorf("count = %v", row.Values[0])
+	}
+	if row.Values[1] != Float(40) {
+		t.Errorf("sum = %v", row.Values[1])
+	}
+	if row.Values[2] != Float(5) {
+		t.Errorf("avg = %v", row.Values[2])
+	}
+	if row.Values[3] != Float(2) || row.Values[4] != Float(9) {
+		t.Errorf("min/max = %v/%v", row.Values[3], row.Values[4])
+	}
+	if !almostEqual(row.Values[5].AsFloat(), 2) { // classic stdev example
+		t.Errorf("stdev = %v, want 2", row.Values[5])
+	}
+}
+
+func TestWindowIntSumStaysInt(t *testing.T) {
+	s := MustSchema(Field{Name: "v", Kind: KindInt})
+	w := &WindowAgg{
+		Aggs:  []AggSpec{{Name: "s", Func: AggSum, Arg: NewCol("v")}},
+		Range: time.Second, Slide: time.Second,
+	}
+	out := drive(t, w, s, []Tuple{NewTuple(at(0.5), Int(2)), NewTuple(at(0.6), Int(3))}, time.Second, time.Second)
+	if len(out) != 1 || out[0].Values[0] != Int(5) {
+		t.Fatalf("int sum = %v", out)
+	}
+}
+
+func TestWindowNullsIgnoredByAggs(t *testing.T) {
+	s := MustSchema(Field{Name: "v", Kind: KindFloat})
+	w := &WindowAgg{
+		Aggs: []AggSpec{
+			{Name: "n", Func: AggCount, Arg: NewCol("v")},
+			{Name: "star", Func: AggCount},
+			{Name: "avg", Func: AggAvg, Arg: NewCol("v")},
+		},
+		Range: time.Second, Slide: time.Second,
+	}
+	tuples := []Tuple{
+		NewTuple(at(0.2), Float(10)),
+		NewTuple(at(0.4), Null()),
+		NewTuple(at(0.6), Float(20)),
+	}
+	out := drive(t, w, s, tuples, time.Second, time.Second)
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	if out[0].Values[0] != Int(2) {
+		t.Errorf("count(v) = %v, want 2 (NULL ignored)", out[0].Values[0])
+	}
+	if out[0].Values[1] != Int(3) {
+		t.Errorf("count(*) = %v, want 3", out[0].Values[1])
+	}
+	if out[0].Values[2] != Float(15) {
+		t.Errorf("avg = %v, want 15", out[0].Values[2])
+	}
+}
+
+func TestWindowHaving(t *testing.T) {
+	w := &WindowAgg{
+		GroupBy: []NamedExpr{{Name: "tag_id", Expr: NewCol("tag_id")}},
+		Aggs:    []AggSpec{{Name: "n", Func: AggCount}},
+		Range:   time.Second, Slide: time.Second,
+		Having: NewBinary(OpGe, NewCol("n"), NewConst(Int(2))),
+	}
+	tuples := []Tuple{read(0.1, "A", 0), read(0.2, "A", 0), read(0.3, "B", 0)}
+	out := drive(t, w, rfidSchema, tuples, time.Second, time.Second)
+	if len(out) != 1 || out[0].Values[0] != String("A") {
+		t.Fatalf("HAVING kept %v, want only A", out)
+	}
+}
+
+func TestWindowEmitEmptyGlobal(t *testing.T) {
+	s := MustSchema(Field{Name: "v", Kind: KindFloat})
+	w := &WindowAgg{
+		Aggs:  []AggSpec{{Name: "n", Func: AggCount}},
+		Range: time.Second, Slide: time.Second,
+		EmitEmpty: true,
+	}
+	out := drive(t, w, s, nil, time.Second, 2*time.Second)
+	if len(out) != 2 {
+		t.Fatalf("out = %v, want a row per boundary", out)
+	}
+	for _, o := range out {
+		if o.Values[0] != Int(0) {
+			t.Errorf("empty-window count = %v", o.Values[0])
+		}
+	}
+}
+
+func TestWindowOpenErrors(t *testing.T) {
+	cases := []*WindowAgg{
+		{Slide: 0},
+		{Slide: time.Second, Range: -time.Second},
+		{Slide: time.Second, Aggs: []AggSpec{{Name: "s", Func: AggSum}}},                        // sum w/o arg
+		{Slide: time.Second, Aggs: []AggSpec{{Name: "s", Func: AggSum, Arg: NewCol("tag_id")}}}, // sum(string)
+		{Slide: time.Second, GroupBy: []NamedExpr{{Name: "x", Expr: NewCol("nope")}}},
+	}
+	for i, w := range cases {
+		if err := w.Open(rfidSchema); err == nil {
+			t.Errorf("case %d: want Open error", i)
+		}
+	}
+}
+
+func TestWindowLateTupleDropped(t *testing.T) {
+	w := &WindowAgg{
+		GroupBy: []NamedExpr{{Name: "tag_id", Expr: NewCol("tag_id")}},
+		Aggs:    []AggSpec{{Name: "n", Func: AggCount}},
+		Range:   time.Second, Slide: time.Second,
+	}
+	if err := w.Open(rfidSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Advance(at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Advance(at(10)); err != nil {
+		t.Fatal(err)
+	}
+	// A tuple from t=2 arrives after punctuation reached t=10; its windows
+	// have all closed.
+	if _, err := w.Process(read(2, "A", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if w.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", w.Dropped)
+	}
+	out, err := w.Advance(at(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("late tuple leaked into output: %v", out)
+	}
+}
+
+// TestQuickPanesMatchNaive is the central window correctness property:
+// the pane-merging implementation must agree exactly with from-scratch
+// re-aggregation for random streams, window shapes, and epochs.
+func TestQuickPanesMatchNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rangeSec := 1 + r.Intn(8)
+		slideSec := 1 + r.Intn(4)
+		mk := func(naive bool) *WindowAgg {
+			return &WindowAgg{
+				GroupBy: []NamedExpr{{Name: "shelf", Expr: NewCol("shelf")}},
+				Aggs: []AggSpec{
+					{Name: "n", Func: AggCount},
+					{Name: "d", Func: AggCount, Arg: NewCol("tag_id"), Distinct: true},
+					{Name: "mn", Func: AggMin, Arg: NewCol("tag_id")},
+					{Name: "mx", Func: AggMax, Arg: NewCol("tag_id")},
+				},
+				Range: time.Duration(rangeSec) * time.Second,
+				Slide: time.Duration(slideSec) * time.Second,
+				Naive: naive,
+			}
+		}
+		var tuples []Tuple
+		n := r.Intn(120)
+		sec := 0.0
+		for i := 0; i < n; i++ {
+			sec += r.Float64() * 0.8
+			tag := string(rune('A' + r.Intn(6)))
+			tuples = append(tuples, read(sec, tag, int64(r.Intn(3))))
+		}
+		run := func(w *WindowAgg) []Tuple {
+			if err := w.Open(rfidSchema); err != nil {
+				t.Fatal(err)
+			}
+			var out []Tuple
+			i := 0
+			for now := time.Second; now <= 30*time.Second; now += time.Second {
+				bound := at(now.Seconds())
+				for i < len(tuples) && !tuples[i].Ts.After(bound) {
+					got, err := w.Process(tuples[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					out = append(out, got...)
+					i++
+				}
+				got, err := w.Advance(bound)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, got...)
+			}
+			return out
+		}
+		a, b := run(mk(false)), run(mk(true))
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !a[i].Ts.Equal(b[i].Ts) || len(a[i].Values) != len(b[i].Values) {
+				return false
+			}
+			for j := range a[i].Values {
+				if a[i].Values[j] != b[i].Values[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCDDuration(t *testing.T) {
+	cases := []struct{ a, b, want time.Duration }{
+		{5 * time.Second, time.Second, time.Second},
+		{5 * time.Second, 2 * time.Second, time.Second},
+		{6 * time.Second, 4 * time.Second, 2 * time.Second},
+		{time.Second, time.Second, time.Second},
+		{1500 * time.Millisecond, time.Second, 500 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := gcdDuration(tc.a, tc.b); got != tc.want {
+			t.Errorf("gcd(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{4, 2, 2}, {5, 2, 3}, {0, 2, 0}, {-1, 2, 0}, {-2, 2, -1}, {-3, 2, -1},
+	}
+	for _, tc := range cases {
+		if got := ceilDiv(tc.a, tc.b); got != tc.want {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package trace records and replays receptor streams as CSV — the
+// substrate for logging a deployment's raw data and re-running cleaning
+// pipelines over it offline (espsim writes traces, espclean replays them).
+//
+// File format: a header row `receptor_id,ts,<field>...`, then one row per
+// reading with ts in RFC3339Nano. NULL values are empty cells.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/stream"
+)
+
+// Record is one reading attributed to a receptor.
+type Record struct {
+	Receptor string
+	Tuple    stream.Tuple
+}
+
+// Writer streams records of one schema to CSV.
+type Writer struct {
+	w      *csv.Writer
+	schema *stream.Schema
+}
+
+// NewWriter writes the header for schema and returns a Writer.
+func NewWriter(w io.Writer, schema *stream.Schema) (*Writer, error) {
+	cw := csv.NewWriter(w)
+	header := []string{"receptor_id", "ts"}
+	for _, f := range schema.Fields() {
+		header = append(header, f.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return nil, fmt.Errorf("trace: write header: %w", err)
+	}
+	return &Writer{w: cw, schema: schema}, nil
+}
+
+// Write appends one record, validating it against the schema.
+func (w *Writer) Write(rec Record) error {
+	if err := stream.CheckTuple(w.schema, rec.Tuple); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	row := make([]string, 0, 2+w.schema.Len())
+	row = append(row, rec.Receptor, rec.Tuple.Ts.UTC().Format(time.RFC3339Nano))
+	for _, v := range rec.Tuple.Values {
+		if v.IsNull() {
+			row = append(row, "")
+			continue
+		}
+		row = append(row, v.String())
+	}
+	if err := w.w.Write(row); err != nil {
+		return fmt.Errorf("trace: write record: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered rows and reports any write error.
+func (w *Writer) Flush() error {
+	w.w.Flush()
+	return w.w.Error()
+}
+
+// Read parses a whole trace against the expected schema.
+func Read(r io.Reader, schema *stream.Schema) ([]Record, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if len(header) != 2+schema.Len() || header[0] != "receptor_id" || header[1] != "ts" {
+		return nil, fmt.Errorf("trace: header %v does not match schema %s", header, schema)
+	}
+	for i, f := range schema.Fields() {
+		if header[2+i] != f.Name {
+			return nil, fmt.Errorf("trace: header column %q != schema field %q", header[2+i], f.Name)
+		}
+	}
+	var records []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return records, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		ts, err := time.Parse(time.RFC3339Nano, row[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad timestamp %q: %w", line, row[1], err)
+		}
+		vals := make([]stream.Value, schema.Len())
+		for i := 0; i < schema.Len(); i++ {
+			cell := row[2+i]
+			if cell == "" {
+				vals[i] = stream.Null()
+				continue
+			}
+			v, err := stream.ParseValue(schema.Field(i).Kind, cell)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d, column %s: %w", line, schema.Field(i).Name, err)
+			}
+			vals[i] = v
+		}
+		records = append(records, Record{Receptor: row[0], Tuple: stream.Tuple{Ts: ts, Values: vals}})
+	}
+}
+
+// Replays groups a trace's records by receptor into Replay receptors of
+// the given type, sorted by receptor ID for determinism. Records must be
+// time-ordered per receptor (as written by Writer from a live run).
+func Replays(records []Record, typ receptor.Type, schema *stream.Schema) []receptor.Receptor {
+	byID := make(map[string][]stream.Tuple)
+	for _, r := range records {
+		byID[r.Receptor] = append(byID[r.Receptor], r.Tuple)
+	}
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]receptor.Receptor, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, receptor.NewReplay(id, typ, schema, byID[id]))
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/stream"
+)
+
+var schema = stream.MustSchema(
+	stream.Field{Name: "tag_id", Kind: stream.KindString},
+	stream.Field{Name: "rssi", Kind: stream.KindFloat},
+	stream.Field{Name: "ok", Kind: stream.KindBool},
+)
+
+func at(sec float64) time.Time {
+	return time.Unix(0, int64(sec*float64(time.Second))).UTC()
+}
+
+func TestRoundTrip(t *testing.T) {
+	records := []Record{
+		{Receptor: "r0", Tuple: stream.NewTuple(at(0.2), stream.String("A"), stream.Float(-54.5), stream.Bool(true))},
+		{Receptor: "r1", Tuple: stream.NewTuple(at(0.4), stream.String("B"), stream.Null(), stream.Bool(false))},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range records {
+		if got[i].Receptor != records[i].Receptor || !got[i].Tuple.Ts.Equal(records[i].Tuple.Ts) {
+			t.Errorf("record %d = %+v", i, got[i])
+		}
+		for j := range records[i].Tuple.Values {
+			if got[i].Tuple.Values[j] != records[i].Tuple.Values[j] {
+				t.Errorf("record %d value %d = %v, want %v", i, j, got[i].Tuple.Values[j], records[i].Tuple.Values[j])
+			}
+		}
+	}
+}
+
+func TestWriteValidates(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Record{Receptor: "r0", Tuple: stream.NewTuple(at(0), stream.Int(5), stream.Float(1), stream.Bool(true))}
+	if err := w.Write(bad); err == nil {
+		t.Error("kind-mismatched record accepted")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",                                 // no header
+		"receptor_id,ts\n",                 // wrong arity
+		"receptor_id,ts,tag_id,wrong,ok\n", // wrong field name
+		"receptor_id,ts,tag_id,rssi,ok\nr0,not-a-time,A,1,true\n",
+		"receptor_id,ts,tag_id,rssi,ok\nr0,1970-01-01T00:00:00Z,A,abc,true\n",
+	}
+	for _, src := range cases {
+		if _, err := Read(strings.NewReader(src), schema); err == nil {
+			t.Errorf("Read(%q): want error", src)
+		}
+	}
+}
+
+func TestReplays(t *testing.T) {
+	records := []Record{
+		{Receptor: "r1", Tuple: stream.NewTuple(at(0.2), stream.String("A"), stream.Float(1), stream.Bool(true))},
+		{Receptor: "r0", Tuple: stream.NewTuple(at(0.1), stream.String("B"), stream.Float(2), stream.Bool(true))},
+		{Receptor: "r1", Tuple: stream.NewTuple(at(0.6), stream.String("C"), stream.Float(3), stream.Bool(true))},
+	}
+	reps := Replays(records, receptor.TypeRFID, schema)
+	if len(reps) != 2 {
+		t.Fatalf("replays = %d", len(reps))
+	}
+	if reps[0].ID() != "r0" || reps[1].ID() != "r1" {
+		t.Errorf("order = %s, %s", reps[0].ID(), reps[1].ID())
+	}
+	out := reps[1].Poll(at(0.5))
+	if len(out) != 1 || out[0].Values[0] != stream.String("A") {
+		t.Errorf("r1 poll = %v", out)
+	}
+	out = reps[1].Poll(at(1))
+	if len(out) != 1 || out[0].Values[0] != stream.String("C") {
+		t.Errorf("r1 second poll = %v", out)
+	}
+}
+
+func TestQuickRoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(20)
+		var records []Record
+		for i := 0; i < n; i++ {
+			var rssi stream.Value
+			if r.Intn(4) == 0 {
+				rssi = stream.Null()
+			} else {
+				rssi = stream.Float(float64(r.Intn(1000)) / 7)
+			}
+			records = append(records, Record{
+				Receptor: string(rune('a' + r.Intn(3))),
+				Tuple: stream.NewTuple(at(float64(i)),
+					stream.String(string(rune('A'+r.Intn(26)))), rssi, stream.Bool(r.Intn(2) == 0)),
+			})
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, schema)
+		if err != nil {
+			return false
+		}
+		for _, rec := range records {
+			if err := w.Write(rec); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := Read(&buf, schema)
+		if err != nil || len(got) != len(records) {
+			return false
+		}
+		for i := range records {
+			if got[i].Receptor != records[i].Receptor {
+				return false
+			}
+			for j := range records[i].Tuple.Values {
+				if got[i].Tuple.Values[j] != records[i].Tuple.Values[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
