@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+## check: everything CI needs — vet, build, full tests, race-detector pass
+## over the concurrent executor.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/...
+
+## bench: the full benchmark suite (one testing.B per experiment).
+bench:
+	$(GO) test -bench=. -benchmem ./...

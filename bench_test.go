@@ -289,3 +289,31 @@ func runnerBench(b *testing.B, concurrent bool) {
 // (Fjord-style) processor runners, which are output-identical.
 func BenchmarkAblationRunnerSync(b *testing.B)       { runnerBench(b, false) }
 func BenchmarkAblationRunnerConcurrent(b *testing.B) { runnerBench(b, true) }
+
+// BenchmarkSchedulerSeqVsParallel compares the two dataflow schedulers on
+// a wide deployment (48 legs, 12 merges — see exp.DefaultSchedConfig,
+// shortened here so the suite stays fast). Output is byte-identical
+// either way (TestSchedulerEquivalence); this measures only wall time.
+// Parallel gains require multiple cores: on GOMAXPROCS=1 the pool
+// degrades to sequential execution plus queuing overhead.
+func BenchmarkSchedulerSeqVsParallel(b *testing.B) {
+	cfg := exp.DefaultSchedConfig()
+	cfg.Duration = 2 * time.Hour
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := exp.RunWideSched(cfg, core.SeqScheduler{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		sched := core.NewParallelScheduler(0)
+		defer sched.Close()
+		b.ReportMetric(float64(sched.Workers()), "workers")
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := exp.RunWideSched(cfg, sched); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

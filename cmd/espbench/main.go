@@ -8,6 +8,7 @@
 //	espbench -exp yield    §5.2 redwood epoch yield / accuracy ladder
 //	espbench -exp spatial  §5.3.2 spatial-granule sweep
 //	espbench -exp fig9     §6  digital-home person detector
+//	espbench -exp sched    dataflow-scheduler comparison (seq vs parallel)
 //	espbench -exp all      everything above
 //
 // Add -trace to emit the per-epoch series behind the figure (CSV on
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment id: fig3, fig5, fig6, fig7, yield, spatial, fig9, actuation, model, robust, all")
+	expName := flag.String("exp", "all", "experiment id: fig3, fig5, fig6, fig7, yield, spatial, fig9, actuation, model, robust, sched, all")
 	trace := flag.Bool("trace", false, "emit per-epoch trace CSV after the summary")
 	seed := flag.Int64("seed", 0, "override the simulation seed (0 = calibrated defaults)")
 	flag.Parse()
@@ -40,8 +41,9 @@ func main() {
 		"actuation": runActuation,
 		"model":     runModel,
 		"robust":    runRobust,
+		"sched":     runSched,
 	}
-	order := []string{"fig3", "fig5", "fig6", "fig7", "yield", "spatial", "fig9", "actuation", "model", "robust"}
+	order := []string{"fig3", "fig5", "fig6", "fig7", "yield", "spatial", "fig9", "actuation", "model", "robust", "sched"}
 
 	if *expName == "all" {
 		for _, name := range order {
@@ -216,4 +218,18 @@ func b2i(b bool) int {
 		return 1
 	}
 	return 0
+}
+
+func runSched(bool) error {
+	fmt.Println("== sched: dataflow-scheduler comparison (wide deployment) ==")
+	fmt.Println("   SeqScheduler vs ParallelScheduler on 48 legs / 12 merges; identical output, wall time only")
+	res, err := exp.RunSchedulerComparison(exp.DefaultSchedConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %d receptors, %d groups, %d epochs, %d worker(s)\n",
+		res.Receptors, res.Groups, res.Epochs, res.Workers)
+	fmt.Printf("   sequential %v   parallel %v   speedup %.2fx   (%d output tuples, identical=%v)\n",
+		res.SeqWall, res.ParWall, res.Speedup, res.OutputTuples, res.Identical)
+	return nil
 }

@@ -1,40 +1,61 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"esp/internal/stream"
 )
 
-// RunConcurrent drives the deployment like Run, but polls every receptor
-// in its own goroutine each epoch — the Fjord-style push model the
-// paper's ESP Processor uses, where sensors deliver data asynchronously
-// and the processor merges them at epoch boundaries.
+// RunConcurrent drives the deployment like Run, but polls the receptors
+// concurrently each epoch — the Fjord-style push model the paper's ESP
+// Processor uses, where sensors deliver data asynchronously and the
+// processor merges them at epoch boundaries. Polling fan-out is bounded
+// by a worker pool sized to GOMAXPROCS (capped at the receptor count),
+// reused across epochs, rather than one goroutine per receptor per
+// epoch.
 //
-// Output is guaranteed identical to Run: batches are injected in receptor
-// order regardless of goroutine completion order (asserted by
+// Output is guaranteed identical to Run: batches are injected in
+// receptor order regardless of completion order (asserted by
 // TestRunConcurrentMatchesRun and exercised by BenchmarkAblationRunner).
 // Receptors must not share mutable state for concurrent polling to be
 // safe; all simulators in internal/sim satisfy this (per-device RNGs).
 func (p *Processor) RunConcurrent(start, end time.Time) error {
 	n := len(p.dep.Receptors)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
 	type polled struct {
 		idx    int
 		tuples []stream.Tuple
 	}
+	type job struct {
+		idx int
+		now time.Time
+	}
+	// Both channels are allocated once and reused for every epoch; the
+	// result buffer holds a full epoch so workers never block on send.
+	jobs := make(chan job, n)
+	results := make(chan polled, n)
+	defer close(jobs)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range jobs {
+				results <- polled{idx: j.idx, tuples: p.dep.Receptors[j.idx].Poll(j.now)}
+			}
+		}()
+	}
+	batches := make([][]stream.Tuple, n)
 	for now := start.Add(p.dep.Epoch); !now.After(end); now = now.Add(p.dep.Epoch) {
-		ch := make(chan polled, n)
-		for i, rec := range p.dep.Receptors {
-			go func() {
-				ch <- polled{idx: i, tuples: rec.Poll(now)}
-			}()
+		for i := 0; i < n; i++ {
+			jobs <- job{idx: i, now: now}
 		}
-		batches := make([][]stream.Tuple, n)
-		for range p.dep.Receptors {
-			b := <-ch
+		for i := 0; i < n; i++ {
+			b := <-results
 			batches[b.idx] = b.tuples
 		}
-		if err := p.step(now, batches); err != nil {
+		if err := p.stepBatches(now, batches); err != nil {
 			return err
 		}
 	}

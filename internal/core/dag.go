@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"esp/internal/stream"
+)
+
+// dag is the compiled dataflow graph of a Deployment: the nodes in a
+// fixed topological order (legs, merges, arbitrates, type outputs,
+// virtualize — the order every scheduler's determinism guarantee is
+// stated against), the downstream adjacency derived from the nodes'
+// declared upstream edges, the depth levels parallel execution exploits,
+// and the receptor→leg fan-out index.
+type dag struct {
+	p     *Processor
+	nodes []node
+	// down[i] lists node i's downstream edges in node-index order.
+	down [][]downEdge
+	// level[i] is node i's DAG depth; levels[d] lists the node indices at
+	// depth d in ascending order. Every edge goes from a lower level to a
+	// strictly higher one, so the nodes within one level are mutually
+	// independent — the invariant ParallelScheduler relies on.
+	level  []int
+	levels [][]int
+	// legsByReceptor[r] indexes the leg nodes fed by dep.Receptors[r], in
+	// leg construction order — built once at compile time so the per-epoch
+	// fan-out is O(legs) instead of O(receptors × legs).
+	legsByReceptor [][]int
+	stats          []nodeCounters
+}
+
+// downEdge routes a node's emitted tuples to a downstream input port.
+type downEdge struct {
+	to   int
+	port string
+}
+
+// nodeCounters is the live instrumentation state of one node. Counters
+// are written either by the scheduler goroutine or by the single worker
+// executing the node's level task, never both within one epoch.
+type nodeCounters struct {
+	tuplesIn, tuplesOut int64
+	advances            int64
+	advanceTime         time.Duration
+}
+
+// compileDag inverts the nodes' upstream declarations into the runnable
+// graph. The node slice must already be topologically ordered (the
+// builder constructs legs, then merges, then arbitrates, then outputs,
+// then virtualize, which guarantees it).
+func compileDag(p *Processor, nodes []node) (*dag, error) {
+	g := &dag{
+		p:     p,
+		nodes: nodes,
+		down:  make([][]downEdge, len(nodes)),
+		level: make([]int, len(nodes)),
+		stats: make([]nodeCounters, len(nodes)),
+	}
+	maxLevel := 0
+	for i, n := range nodes {
+		lvl := 0
+		for _, e := range n.upstream() {
+			if e.from < 0 || e.from >= i {
+				return nil, fmt.Errorf("core: dataflow graph is not topologically ordered: node %d (%s) reads node %d", i, n.label(), e.from)
+			}
+			g.down[e.from] = append(g.down[e.from], downEdge{to: i, port: e.port})
+			if g.level[e.from]+1 > lvl {
+				lvl = g.level[e.from] + 1
+			}
+		}
+		g.level[i] = lvl
+		if lvl > maxLevel {
+			maxLevel = lvl
+		}
+	}
+	g.levels = make([][]int, maxLevel+1)
+	for i := range nodes {
+		g.levels[g.level[i]] = append(g.levels[g.level[i]], i)
+	}
+	// Receptor fan-out index: receptor IDs are unique (buildLegs checks),
+	// and a receptor's legs appear consecutively in construction order.
+	byID := make(map[string]int, len(p.dep.Receptors))
+	for r, rec := range p.dep.Receptors {
+		byID[rec.ID()] = r
+	}
+	g.legsByReceptor = make([][]int, len(p.dep.Receptors))
+	for i, n := range nodes {
+		leg, ok := n.(*legNode)
+		if !ok {
+			continue
+		}
+		r, ok := byID[leg.rec.ID()]
+		if !ok {
+			return nil, fmt.Errorf("core: leg %s has no deployment receptor", leg.label())
+		}
+		g.legsByReceptor[r] = append(g.legsByReceptor[r], i)
+	}
+	return g, nil
+}
+
+// processInto delivers a batch to node i's input port and cascades its
+// effects and emissions depth-first — the sequential execution strategy,
+// which reproduces the classic Processor's call sequence exactly.
+func (g *dag) processInto(i int, port string, ts []stream.Tuple) error {
+	g.stats[i].tuplesIn += int64(len(ts))
+	var fx effects
+	if err := g.nodes[i].process(port, ts, &fx); err != nil {
+		return err
+	}
+	return g.flushCascade(i, &fx)
+}
+
+// advanceNode punctuates node i and cascades the released output.
+func (g *dag) advanceNode(i int, now time.Time) error {
+	st := &g.stats[i]
+	var fx effects
+	t0 := time.Now()
+	err := g.nodes[i].advance(now, &fx)
+	st.advanceTime += time.Since(t0)
+	st.advances++
+	if err != nil {
+		return err
+	}
+	return g.flushCascade(i, &fx)
+}
+
+// flushCascade runs node i's buffered effects (taps, sinks) and feeds
+// its emitted tuples to every downstream edge, recursively.
+func (g *dag) flushCascade(i int, fx *effects) error {
+	g.flushEvents(fx)
+	if len(fx.out) == 0 {
+		return nil
+	}
+	g.stats[i].tuplesOut += int64(len(fx.out))
+	for _, e := range g.down[i] {
+		if err := g.processInto(e.to, e.port, fx.out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushEvents invokes the buffered taps and sink deliveries in emission
+// order. Always called on the scheduler goroutine: user callbacks never
+// observe node concurrency.
+func (g *dag) flushEvents(fx *effects) {
+	for _, ev := range fx.events {
+		if !ev.sink {
+			g.p.tap(ev.typ, ev.stage, ev.ts)
+			continue
+		}
+		if ev.stage == StageVirtualize {
+			for _, t := range ev.ts {
+				for _, fn := range g.p.virtSinks {
+					fn(t)
+				}
+			}
+			continue
+		}
+		fns := g.p.typeSinks[ev.typ]
+		for _, t := range ev.ts {
+			for _, fn := range fns {
+				fn(t)
+			}
+		}
+	}
+}
+
+// NodeStats is a snapshot of one dataflow node's instrumentation
+// counters — the hook later observability layers attach to.
+type NodeStats struct {
+	// Label names the node instance; Kind is "leg", "merge", "arbitrate",
+	// "output", or "virtualize"; Level is the node's DAG depth.
+	Label string
+	Kind  string
+	Level int
+	// TuplesIn counts tuples delivered to the node (receptor batches for
+	// legs); TuplesOut counts tuples the node emitted downstream.
+	TuplesIn, TuplesOut int64
+	// Advances counts epoch punctuations; AdvanceTime is their summed
+	// latency.
+	Advances    int64
+	AdvanceTime time.Duration
+}
+
+// NodeStats reports per-node instrumentation in the graph's topological
+// node order. Not safe to call while a Step is executing.
+func (p *Processor) NodeStats() []NodeStats {
+	g := p.graph
+	out := make([]NodeStats, len(g.nodes))
+	for i, n := range g.nodes {
+		st := g.stats[i]
+		out[i] = NodeStats{
+			Label:       n.label(),
+			Kind:        n.kindName(),
+			Level:       g.level[i],
+			TuplesIn:    st.tuplesIn,
+			TuplesOut:   st.tuplesOut,
+			Advances:    st.advances,
+			AdvanceTime: st.advanceTime,
+		}
+	}
+	return out
+}

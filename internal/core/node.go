@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/stream"
+)
+
+// This file defines the dataflow-node abstraction the Processor compiles
+// a Deployment into. Every pipeline instance — a (receptor, proximity
+// group) leg, a group's Merge, a type's Arbitrate, a type's output
+// fan-out, and the cross-type Virtualize query — is one uniform vertex
+// in a DAG (dag.go); a Scheduler (scheduler.go) decides how the graph
+// executes. Adding a new stage kind means adding one node type, not
+// another hand-written loop in the epoch driver.
+
+// upEdge declares one of a node's upstream inputs: tuples emitted by the
+// node at index from arrive on this node's input port port. Ports only
+// matter for multi-input nodes (Virtualize binds one port per receptor
+// type); single-input nodes use "".
+type upEdge struct {
+	from int
+	port string
+}
+
+// node is one vertex of the compiled dataflow graph. Nodes never invoke
+// user callbacks (taps, sinks) or downstream nodes directly: they record
+// every externally observable side effect in the effects buffer, and the
+// scheduler flushes it on its own goroutine — immediately for
+// SeqScheduler, after the level barrier in deterministic node order for
+// ParallelScheduler. That contract is what lets independent nodes run
+// concurrently without user code ever seeing concurrency.
+type node interface {
+	// label names the node for instrumentation, e.g. "leg rfid r0@shelf0".
+	label() string
+	// kindName classifies the node for instrumentation.
+	kindName() string
+	// upstream declares the node's input edges; the compiler inverts them
+	// into the downstream adjacency and the DAG depth levels.
+	upstream() []upEdge
+	// process consumes a batch of tuples arriving on an input port.
+	process(port string, ts []stream.Tuple, fx *effects) error
+	// advance punctuates the node at the end of an epoch. Schedulers must
+	// advance a node only after all of its upstream nodes' epoch output
+	// has been delivered to it.
+	advance(now time.Time, fx *effects) error
+}
+
+// effects buffers the externally observable side effects of one node
+// invocation: tap events, sink deliveries, and the tuples emitted toward
+// downstream nodes.
+type effects struct {
+	events []effectEvent
+	out    []stream.Tuple
+}
+
+// effectEvent is one buffered tap call or sink delivery.
+type effectEvent struct {
+	typ   receptor.Type
+	stage StageKind
+	sink  bool // deliver to sinks instead of taps
+	ts    []stream.Tuple
+}
+
+func (fx *effects) tap(typ receptor.Type, stage StageKind, ts []stream.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	fx.events = append(fx.events, effectEvent{typ: typ, stage: stage, ts: ts})
+}
+
+func (fx *effects) sink(typ receptor.Type, stage StageKind, ts []stream.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	fx.events = append(fx.events, effectEvent{typ: typ, stage: stage, sink: true, ts: ts})
+}
+
+func (fx *effects) emit(ts []stream.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	fx.out = append(fx.out, ts...)
+}
+
+// legNode is one (receptor, proximity group) processing instance: the
+// per-receptor Point and Smooth stages plus the annotation fix-up. It is
+// a source node — the scheduler feeds its input port with the receptor's
+// polled batch each epoch, annotation columns not yet attached.
+type legNode struct {
+	rec    receptor.Receptor
+	group  string
+	typ    receptor.Type
+	inSch  *stream.Schema
+	point  stream.Operator // nil if skipped
+	smooth stream.Operator // nil if skipped
+	fix    *annotFix       // re-annotation after the per-receptor stages
+	out    *stream.Schema
+}
+
+func (n *legNode) label() string {
+	return fmt.Sprintf("leg %s %s@%s", n.typ, n.rec.ID(), n.group)
+}
+func (n *legNode) kindName() string   { return "leg" }
+func (n *legNode) upstream() []upEdge { return nil }
+
+func (n *legNode) process(_ string, ts []stream.Tuple, fx *effects) error {
+	for _, t := range ts {
+		annot := make([]stream.Value, 0, 2+len(t.Values))
+		annot = append(annot, stream.String(n.rec.ID()), stream.String(n.group))
+		annot = append(annot, t.Values...)
+		cur := []stream.Tuple{{Ts: t.Ts, Values: annot}}
+		var err error
+		if n.point != nil {
+			cur, err = processAll(n.point, cur)
+			if err != nil {
+				return fmt.Errorf("core: %s Point %q: %w", n.typ, n.rec.ID(), err)
+			}
+			fx.tap(n.typ, StagePoint, cur)
+		}
+		if n.smooth != nil {
+			cur, err = processAll(n.smooth, cur)
+			if err != nil {
+				return fmt.Errorf("core: %s Smooth %q: %w", n.typ, n.rec.ID(), err)
+			}
+		}
+		n.emit(cur, fx)
+	}
+	return nil
+}
+
+// advance punctuates the leg: Point's released tuples are processed by
+// Smooth before Smooth sees the same punctuation.
+func (n *legNode) advance(now time.Time, fx *effects) error {
+	var pending []stream.Tuple
+	if n.point != nil {
+		released, err := n.point.Advance(now)
+		if err != nil {
+			return fmt.Errorf("core: %s Point %q: %w", n.typ, n.rec.ID(), err)
+		}
+		fx.tap(n.typ, StagePoint, released)
+		pending = released
+	}
+	if n.smooth != nil {
+		if len(pending) > 0 {
+			out, err := processAll(n.smooth, pending)
+			if err != nil {
+				return fmt.Errorf("core: %s Smooth %q: %w", n.typ, n.rec.ID(), err)
+			}
+			n.emit(out, fx)
+		}
+		released, err := n.smooth.Advance(now)
+		if err != nil {
+			return fmt.Errorf("core: %s Smooth %q: %w", n.typ, n.rec.ID(), err)
+		}
+		n.emit(released, fx)
+		return nil
+	}
+	n.emit(pending, fx)
+	return nil
+}
+
+// emit re-annotates the per-receptor output and hands it downstream.
+func (n *legNode) emit(ts []stream.Tuple, fx *effects) {
+	if len(ts) == 0 {
+		return
+	}
+	fixed := n.fix.apply(ts)
+	fx.tap(n.typ, StageSmooth, fixed)
+	fx.emit(fixed)
+}
+
+// mergeNode is one proximity group's Merge instance; its upstream edges
+// are the group members' legs.
+type mergeNode struct {
+	group string
+	typ   receptor.Type
+	op    stream.Operator
+	fix   *annotFix
+	out   *stream.Schema
+	ups   []upEdge
+}
+
+func (n *mergeNode) label() string {
+	return fmt.Sprintf("merge %s %s", n.typ, n.group)
+}
+func (n *mergeNode) kindName() string   { return "merge" }
+func (n *mergeNode) upstream() []upEdge { return n.ups }
+
+func (n *mergeNode) process(_ string, ts []stream.Tuple, fx *effects) error {
+	out, err := processAll(n.op, ts)
+	if err != nil {
+		return fmt.Errorf("core: %s Merge %q: %w", n.typ, n.group, err)
+	}
+	n.emit(out, fx)
+	return nil
+}
+
+func (n *mergeNode) advance(now time.Time, fx *effects) error {
+	released, err := n.op.Advance(now)
+	if err != nil {
+		return fmt.Errorf("core: %s Merge %q: %w", n.typ, n.group, err)
+	}
+	n.emit(released, fx)
+	return nil
+}
+
+// emit re-annotates the Merge output and hands it downstream.
+func (n *mergeNode) emit(ts []stream.Tuple, fx *effects) {
+	if len(ts) == 0 {
+		return
+	}
+	fixed := n.fix.apply(ts)
+	fx.tap(n.typ, StageMerge, fixed)
+	fx.emit(fixed)
+}
+
+// arbNode is one type's Arbitrate instance; its upstream edges are the
+// type's Merge nodes (or its legs when the type has no Merge stage).
+type arbNode struct {
+	typ receptor.Type
+	op  stream.Operator
+	out *stream.Schema
+	ups []upEdge
+}
+
+func (n *arbNode) label() string     { return fmt.Sprintf("arbitrate %s", n.typ) }
+func (n *arbNode) kindName() string  { return "arbitrate" }
+func (n *arbNode) upstream() []upEdge { return n.ups }
+
+func (n *arbNode) process(_ string, ts []stream.Tuple, fx *effects) error {
+	out, err := processAll(n.op, ts)
+	if err != nil {
+		return fmt.Errorf("core: %s Arbitrate: %w", n.typ, err)
+	}
+	fx.emit(out)
+	return nil
+}
+
+func (n *arbNode) advance(now time.Time, fx *effects) error {
+	released, err := n.op.Advance(now)
+	if err != nil {
+		return fmt.Errorf("core: %s Arbitrate: %w", n.typ, err)
+	}
+	fx.emit(released)
+	return nil
+}
+
+// outNode is the terminal per-type vertex: it fans the type's cleaned
+// stream out to the registered sinks and forwards it to the Virtualize
+// node when the type is bound there. StageArbitrate taps fire here even
+// for types with no Arbitrate stage, preserving the classic emitType
+// contract.
+type outNode struct {
+	typ receptor.Type
+	ups []upEdge
+}
+
+func (n *outNode) label() string     { return fmt.Sprintf("output %s", n.typ) }
+func (n *outNode) kindName() string  { return "output" }
+func (n *outNode) upstream() []upEdge { return n.ups }
+
+func (n *outNode) process(_ string, ts []stream.Tuple, fx *effects) error {
+	fx.tap(n.typ, StageArbitrate, ts)
+	fx.sink(n.typ, StageArbitrate, ts)
+	fx.emit(ts)
+	return nil
+}
+
+func (n *outNode) advance(time.Time, *effects) error { return nil }
+
+// virtNode executes the deployment's Virtualize query; its upstream
+// edges are the output nodes of the bound types, one input port per
+// bound stream name.
+type virtNode struct {
+	g   *stream.Graph
+	ups []upEdge
+}
+
+func (n *virtNode) label() string     { return "virtualize" }
+func (n *virtNode) kindName() string  { return "virtualize" }
+func (n *virtNode) upstream() []upEdge { return n.ups }
+
+func (n *virtNode) process(port string, ts []stream.Tuple, fx *effects) error {
+	for _, t := range ts {
+		out, err := n.g.Push(port, t)
+		if err != nil {
+			return fmt.Errorf("core: Virtualize: %w", err)
+		}
+		n.emit(out, fx)
+	}
+	return nil
+}
+
+func (n *virtNode) advance(now time.Time, fx *effects) error {
+	out, err := n.g.Advance(now)
+	if err != nil {
+		return fmt.Errorf("core: Virtualize: %w", err)
+	}
+	n.emit(out, fx)
+	return nil
+}
+
+func (n *virtNode) emit(ts []stream.Tuple, fx *effects) {
+	if len(ts) == 0 {
+		return
+	}
+	fx.tap("", StageVirtualize, ts)
+	fx.sink("", StageVirtualize, ts)
+	fx.emit(ts)
+}
+
+func processAll(op stream.Operator, ts []stream.Tuple) ([]stream.Tuple, error) {
+	var out []stream.Tuple
+	for _, t := range ts {
+		got, err := op.Process(t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, got...)
+	}
+	return out, nil
+}

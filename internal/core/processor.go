@@ -55,23 +55,28 @@ type Deployment struct {
 	TieBreak func(a, b stream.Tuple) bool
 }
 
-// Processor executes a Deployment: it polls receptors once per epoch,
-// pushes readings through the per-receptor, per-group, per-type, and
-// cross-type stages, and punctuates everything in pipeline order so
-// results are deterministic.
+// Processor executes a Deployment. At construction it compiles the
+// deployment into an explicit dataflow DAG of uniform nodes (node.go) —
+// one leg per (receptor, proximity group), one Merge per group, one
+// Arbitrate and one output fan-out per type, one Virtualize — and each
+// epoch it polls the receptors and hands the batches to the configured
+// Scheduler, which pushes them through the graph and punctuates every
+// node in pipeline order so results are deterministic.
 type Processor struct {
 	dep *Deployment
 	env BuildEnv
 
-	legs     []*procLeg
-	merges   []*procMerge
-	arbs     map[receptor.Type]*procArb
-	arbOrder []receptor.Type
+	graph *dag
+	sched Scheduler
 
-	virt        *stream.Graph
+	// typeOrder lists receptor types in first-leg order — the order
+	// type-level nodes are constructed and punctuated in.
+	typeOrder  []receptor.Type
+	typeSchema map[receptor.Type]*stream.Schema
+
+	virt        *virtNode // nil if the deployment has no Virtualize stage
 	virtInputOf map[receptor.Type]string
 
-	typeSchema map[receptor.Type]*stream.Schema
 	taps       map[tapKey][]func(stream.Tuple)
 	typeSinks  map[receptor.Type][]func(stream.Tuple)
 	virtSinks  []func(stream.Tuple)
@@ -81,35 +86,6 @@ type Processor struct {
 type tapKey struct {
 	typ   receptor.Type
 	stage StageKind
-}
-
-// procLeg is one (receptor, proximity group) processing instance.
-type procLeg struct {
-	rec    receptor.Receptor
-	group  string
-	typ    receptor.Type
-	inSch  *stream.Schema
-	point  stream.Operator // nil if skipped
-	smooth stream.Operator // nil if skipped
-	fix    *annotFix       // re-annotation after the per-receptor stages
-	out    *stream.Schema
-	merge  *procMerge // destination, nil if type has no Merge stage
-}
-
-// procMerge is one proximity group's Merge instance.
-type procMerge struct {
-	group string
-	typ   receptor.Type
-	op    stream.Operator
-	fix   *annotFix
-	out   *stream.Schema
-}
-
-// procArb is one type's Arbitrate instance.
-type procArb struct {
-	typ receptor.Type
-	op  stream.Operator
-	out *stream.Schema
 }
 
 // annotFix re-attaches constant annotation columns a stage projected
@@ -193,9 +169,57 @@ func StripAnnotation(sch *stream.Schema) (*stream.Schema, func(stream.Tuple) str
 	return stripped, project, nil
 }
 
-// NewProcessor validates and builds a deployment: every stage instance is
-// constructed and opened, and all schema compatibility is checked, before
-// any data flows.
+// dagBuilder accumulates nodes during deployment compilation. Nodes are
+// appended in topological order — legs, merges, arbitrates, outputs,
+// virtualize — which is also the punctuation order schedulers honour.
+type dagBuilder struct {
+	nodes []node
+	// legs and merges are node indices in construction order.
+	legs   []int
+	merges []int
+	mergeOfGroup map[string]int
+	arbOf        map[receptor.Type]int
+	outOf        map[receptor.Type]int
+}
+
+func (b *dagBuilder) add(n node) int {
+	b.nodes = append(b.nodes, n)
+	return len(b.nodes) - 1
+}
+
+func (b *dagBuilder) leg(i int) *legNode     { return b.nodes[i].(*legNode) }
+func (b *dagBuilder) merge(i int) *mergeNode { return b.nodes[i].(*mergeNode) }
+
+// typeFeed reports the nodes feeding a type's type-level stage (the
+// type's Merge nodes if any, else its legs) and their shared schema.
+func (b *dagBuilder) typeFeed(t receptor.Type) ([]upEdge, *stream.Schema) {
+	var ups []upEdge
+	var sch *stream.Schema
+	for _, mi := range b.merges {
+		if m := b.merge(mi); m.typ == t {
+			ups = append(ups, upEdge{from: mi})
+			if sch == nil {
+				sch = m.out
+			}
+		}
+	}
+	if ups != nil {
+		return ups, sch
+	}
+	for _, li := range b.legs {
+		if leg := b.leg(li); leg.typ == t {
+			ups = append(ups, upEdge{from: li})
+			if sch == nil {
+				sch = leg.out
+			}
+		}
+	}
+	return ups, sch
+}
+
+// NewProcessor validates and compiles a deployment: every stage instance
+// is constructed and opened, all schema compatibility is checked, and
+// the dataflow graph is assembled, before any data flows.
 func NewProcessor(dep *Deployment) (*Processor, error) {
 	if dep.Epoch <= 0 {
 		return nil, fmt.Errorf("core: deployment epoch must be positive")
@@ -207,28 +231,48 @@ func NewProcessor(dep *Deployment) (*Processor, error) {
 		return nil, fmt.Errorf("core: deployment has no proximity groups")
 	}
 	p := &Processor{
-		dep: dep,
-		env: BuildEnv{Epoch: dep.Epoch, Tables: dep.Tables, TieBreak: dep.TieBreak},
+		dep:   dep,
+		env:   BuildEnv{Epoch: dep.Epoch, Tables: dep.Tables, TieBreak: dep.TieBreak},
+		sched: SeqScheduler{},
 
-		arbs:        make(map[receptor.Type]*procArb),
-		virtInputOf: make(map[receptor.Type]string),
 		typeSchema:  make(map[receptor.Type]*stream.Schema),
+		virtInputOf: make(map[receptor.Type]string),
 		taps:        make(map[tapKey][]func(stream.Tuple)),
 		typeSinks:   make(map[receptor.Type][]func(stream.Tuple)),
 	}
-	if err := p.buildLegs(); err != nil {
+	b := &dagBuilder{
+		mergeOfGroup: make(map[string]int),
+		arbOf:        make(map[receptor.Type]int),
+		outOf:        make(map[receptor.Type]int),
+	}
+	if err := p.buildLegs(b); err != nil {
 		return nil, err
 	}
-	if err := p.buildMerges(); err != nil {
+	if err := p.buildMerges(b); err != nil {
 		return nil, err
 	}
-	if err := p.buildArbitrates(); err != nil {
+	if err := p.buildArbitrates(b); err != nil {
 		return nil, err
 	}
-	if err := p.buildVirtualize(); err != nil {
+	p.buildOutputs(b)
+	if err := p.buildVirtualize(b); err != nil {
 		return nil, err
 	}
+	g, err := compileDag(p, b.nodes)
+	if err != nil {
+		return nil, err
+	}
+	p.graph = g
 	return p, nil
+}
+
+// SetScheduler selects the execution strategy for subsequent epochs (the
+// default is SeqScheduler). Only swap schedulers between Steps, never
+// while one is executing.
+func (p *Processor) SetScheduler(s Scheduler) {
+	if s != nil {
+		p.sched = s
+	}
 }
 
 func (p *Processor) pipelineFor(t receptor.Type) *Pipeline {
@@ -238,7 +282,7 @@ func (p *Processor) pipelineFor(t receptor.Type) *Pipeline {
 	return p.dep.Pipelines[t]
 }
 
-func (p *Processor) buildLegs() error {
+func (p *Processor) buildLegs(b *dagBuilder) error {
 	seen := make(map[string]bool)
 	for _, rec := range p.dep.Receptors {
 		if seen[rec.ID()] {
@@ -255,7 +299,7 @@ func (p *Processor) buildLegs() error {
 		}
 		pl := p.pipelineFor(rec.Type())
 		for _, g := range groups {
-			leg := &procLeg{rec: rec, group: g, typ: rec.Type(), inSch: inSch}
+			leg := &legNode{rec: rec, group: g, typ: rec.Type(), inSch: inSch}
 			cur := inSch
 			if pl != nil && pl.Point != nil {
 				op, err := pl.Point.Build(cur, p.env)
@@ -291,13 +335,14 @@ func (p *Processor) buildLegs() error {
 			}
 			leg.fix = fix
 			leg.out = fix.schema
-			p.legs = append(p.legs, leg)
+			b.legs = append(b.legs, b.add(leg))
 		}
 	}
 	// All legs of one type must agree on their output schema (their
 	// streams are unioned downstream).
 	byType := make(map[receptor.Type]*stream.Schema)
-	for _, leg := range p.legs {
+	for _, li := range b.legs {
+		leg := b.leg(li)
 		if prev, ok := byType[leg.typ]; ok {
 			if !prev.Equal(leg.out) {
 				return fmt.Errorf("core: %s legs produce differing schemas: %s vs %s", leg.typ, prev, leg.out)
@@ -309,14 +354,14 @@ func (p *Processor) buildLegs() error {
 	return nil
 }
 
-func (p *Processor) buildMerges() error {
-	merged := make(map[string]*procMerge)
-	for _, leg := range p.legs {
+func (p *Processor) buildMerges(b *dagBuilder) error {
+	for _, li := range b.legs {
+		leg := b.leg(li)
 		pl := p.pipelineFor(leg.typ)
 		if pl == nil || pl.Merge == nil {
 			continue
 		}
-		m, ok := merged[leg.group]
+		mi, ok := b.mergeOfGroup[leg.group]
 		if !ok {
 			op, err := pl.Merge.Build(leg.out, p.env)
 			if err != nil {
@@ -332,15 +377,18 @@ func (p *Processor) buildMerges() error {
 			if err != nil {
 				return fmt.Errorf("core: %s Merge for group %q: %w", leg.typ, leg.group, err)
 			}
-			m = &procMerge{group: leg.group, typ: leg.typ, op: op, fix: fix, out: fix.schema}
-			merged[leg.group] = m
-			p.merges = append(p.merges, m)
+			m := &mergeNode{group: leg.group, typ: leg.typ, op: op, fix: fix, out: fix.schema}
+			mi = b.add(m)
+			b.mergeOfGroup[leg.group] = mi
+			b.merges = append(b.merges, mi)
 		}
-		leg.merge = m
+		m := b.merge(mi)
+		m.ups = append(m.ups, upEdge{from: li})
 	}
 	// Merge outputs of one type must agree (unioned into Arbitrate).
 	byType := make(map[receptor.Type]*stream.Schema)
-	for _, m := range p.merges {
+	for _, mi := range b.merges {
+		m := b.merge(mi)
 		if prev, ok := byType[m.typ]; ok {
 			if !prev.Equal(m.out) {
 				return fmt.Errorf("core: %s Merge groups produce differing schemas: %s vs %s", m.typ, prev, m.out)
@@ -352,33 +400,17 @@ func (p *Processor) buildMerges() error {
 	return nil
 }
 
-// typeStageOut reports the schema flowing out of the last per-group stage
-// of a type (Merge output if present, else leg output).
-func (p *Processor) typeStageOut(t receptor.Type) *stream.Schema {
-	for _, m := range p.merges {
-		if m.typ == t {
-			return m.out
-		}
-	}
-	for _, leg := range p.legs {
-		if leg.typ == t {
-			return leg.out
-		}
-	}
-	return nil
-}
-
-func (p *Processor) buildArbitrates() error {
-	for _, leg := range p.legs {
-		t := leg.typ
+func (p *Processor) buildArbitrates(b *dagBuilder) error {
+	for _, li := range b.legs {
+		t := b.leg(li).typ
 		if _, done := p.typeSchema[t]; done {
 			continue
 		}
-		in := p.typeStageOut(t)
+		ups, in := b.typeFeed(t)
 		pl := p.pipelineFor(t)
 		if pl == nil || pl.Arbitrate == nil {
 			p.typeSchema[t] = in
-			p.arbOrder = append(p.arbOrder, t)
+			p.typeOrder = append(p.typeOrder, t)
 			continue
 		}
 		op, err := pl.Arbitrate.Build(in, p.env)
@@ -388,15 +420,29 @@ func (p *Processor) buildArbitrates() error {
 		if err := op.Open(in); err != nil {
 			return fmt.Errorf("core: %s Arbitrate: %w", t, err)
 		}
-		arb := &procArb{typ: t, op: op, out: op.Schema()}
-		p.arbs[t] = arb
+		arb := &arbNode{typ: t, op: op, out: op.Schema(), ups: ups}
+		b.arbOf[t] = b.add(arb)
 		p.typeSchema[t] = arb.out
-		p.arbOrder = append(p.arbOrder, t)
+		p.typeOrder = append(p.typeOrder, t)
 	}
 	return nil
 }
 
-func (p *Processor) buildVirtualize() error {
+// buildOutputs adds the terminal per-type fan-out nodes, fed by the
+// type's Arbitrate when present and by its Merge nodes or legs otherwise.
+func (p *Processor) buildOutputs(b *dagBuilder) {
+	for _, t := range p.typeOrder {
+		var ups []upEdge
+		if ai, ok := b.arbOf[t]; ok {
+			ups = []upEdge{{from: ai}}
+		} else {
+			ups, _ = b.typeFeed(t)
+		}
+		b.outOf[t] = b.add(&outNode{typ: t, ups: ups})
+	}
+}
+
+func (p *Processor) buildVirtualize(b *dagBuilder) error {
 	spec := p.dep.Virtualize
 	if spec == nil {
 		return nil
@@ -414,7 +460,16 @@ func (p *Processor) buildVirtualize() error {
 	if err != nil {
 		return fmt.Errorf("core: Virtualize: %w", err)
 	}
-	p.virt = g
+	var ups []upEdge
+	for _, t := range p.typeOrder {
+		name, ok := p.virtInputOf[t]
+		if !ok {
+			continue
+		}
+		ups = append(ups, upEdge{from: b.outOf[t], port: name})
+	}
+	p.virt = &virtNode{g: g, ups: ups}
+	b.add(p.virt)
 	return nil
 }
 
@@ -430,7 +485,7 @@ func (p *Processor) VirtualizeSchema() *stream.Schema {
 	if p.virt == nil {
 		return nil
 	}
-	return p.virt.Schema()
+	return p.virt.g.Schema()
 }
 
 // OnType registers a sink for a type's cleaned output stream.

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"esp/internal/cql"
-	"esp/internal/receptor"
 	"esp/internal/stream"
 )
 
@@ -20,226 +19,31 @@ func (p *Processor) Run(start, end time.Time) error {
 	return nil
 }
 
-// Step executes one epoch ending at now: it polls every receptor, pushes
-// the readings through the pipeline, and punctuates every stage in
-// pipeline order (legs, then merges, then arbitrates, then virtualize) so
-// windowed results cascade deterministically.
+// Step executes one epoch ending at now: it polls every receptor and
+// hands the batches to the configured Scheduler, which pushes them
+// through the dataflow graph and punctuates every node in an order
+// consistent with the pipeline (legs, then merges, then arbitrates, then
+// virtualize) so windowed results cascade deterministically.
 func (p *Processor) Step(now time.Time) error {
 	batches := make([][]stream.Tuple, len(p.dep.Receptors))
 	for i, rec := range p.dep.Receptors {
 		batches[i] = rec.Poll(now)
 	}
-	return p.step(now, batches)
+	return p.stepBatches(now, batches)
 }
 
-// step injects one epoch's polled batches (indexed like dep.Receptors)
-// and punctuates the pipeline. Injection order is the receptor order, so
-// output is deterministic regardless of how the batches were gathered.
-func (p *Processor) step(now time.Time, batches [][]stream.Tuple) error {
-	// Fan each receptor's readings out to its legs (a receptor in several
-	// proximity groups feeds several legs).
-	for i, rec := range p.dep.Receptors {
-		tuples := batches[i]
-		if len(tuples) == 0 {
-			continue
-		}
-		for _, leg := range p.legs {
-			if leg.rec != rec {
-				continue
-			}
-			for _, t := range tuples {
-				annot := make([]stream.Value, 0, 2+len(t.Values))
-				annot = append(annot, stream.String(rec.ID()), stream.String(leg.group))
-				annot = append(annot, t.Values...)
-				if err := p.legProcess(leg, stream.Tuple{Ts: t.Ts, Values: annot}); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	// Punctuate, cascading stage by stage.
-	for _, leg := range p.legs {
-		if err := p.legAdvance(leg, now); err != nil {
-			return err
-		}
-	}
-	for _, m := range p.merges {
-		released, err := m.op.Advance(now)
-		if err != nil {
-			return fmt.Errorf("core: %s Merge %q: %w", m.typ, m.group, err)
-		}
-		if err := p.mergeEmit(m, released); err != nil {
-			return err
-		}
-	}
-	for _, t := range p.arbOrder {
-		arb := p.arbs[t]
-		if arb == nil {
-			continue
-		}
-		released, err := arb.op.Advance(now)
-		if err != nil {
-			return fmt.Errorf("core: %s Arbitrate: %w", t, err)
-		}
-		if err := p.emitType(t, released); err != nil {
-			return err
-		}
-	}
-	if p.virt != nil {
-		out, err := p.virt.Advance(now)
-		if err != nil {
-			return fmt.Errorf("core: Virtualize: %w", err)
-		}
-		p.emitVirtualize(out)
+// stepBatches injects one epoch's polled batches (indexed like
+// dep.Receptors) through the scheduler and fires the epoch hooks.
+// Injection order is the receptor order, so output is deterministic
+// regardless of how the batches were gathered.
+func (p *Processor) stepBatches(now time.Time, batches [][]stream.Tuple) error {
+	if err := p.sched.step(p.graph, now, batches); err != nil {
+		return err
 	}
 	for _, fn := range p.epochSinks {
 		fn(now)
 	}
 	return nil
-}
-
-// legProcess pushes one annotated tuple through a leg's Point and Smooth
-// stages and routes whatever comes out.
-func (p *Processor) legProcess(leg *procLeg, t stream.Tuple) error {
-	cur := []stream.Tuple{t}
-	var err error
-	if leg.point != nil {
-		cur, err = processAll(leg.point, cur)
-		if err != nil {
-			return fmt.Errorf("core: %s Point %q: %w", leg.typ, leg.rec.ID(), err)
-		}
-		p.tap(leg.typ, StagePoint, cur)
-	}
-	if leg.smooth != nil {
-		cur, err = processAll(leg.smooth, cur)
-		if err != nil {
-			return fmt.Errorf("core: %s Smooth %q: %w", leg.typ, leg.rec.ID(), err)
-		}
-	}
-	return p.legEmit(leg, cur)
-}
-
-// legAdvance punctuates a leg: Point's released tuples are processed by
-// Smooth before Smooth sees the same punctuation.
-func (p *Processor) legAdvance(leg *procLeg, now time.Time) error {
-	var pending []stream.Tuple
-	if leg.point != nil {
-		released, err := leg.point.Advance(now)
-		if err != nil {
-			return fmt.Errorf("core: %s Point %q: %w", leg.typ, leg.rec.ID(), err)
-		}
-		p.tap(leg.typ, StagePoint, released)
-		pending = released
-	}
-	if leg.smooth != nil {
-		if len(pending) > 0 {
-			out, err := processAll(leg.smooth, pending)
-			if err != nil {
-				return fmt.Errorf("core: %s Smooth %q: %w", leg.typ, leg.rec.ID(), err)
-			}
-			if err := p.legEmit(leg, out); err != nil {
-				return err
-			}
-		}
-		released, err := leg.smooth.Advance(now)
-		if err != nil {
-			return fmt.Errorf("core: %s Smooth %q: %w", leg.typ, leg.rec.ID(), err)
-		}
-		return p.legEmit(leg, released)
-	}
-	return p.legEmit(leg, pending)
-}
-
-// legEmit re-annotates the per-receptor output and routes it to the
-// group's Merge (or onward when the type has no Merge stage).
-func (p *Processor) legEmit(leg *procLeg, ts []stream.Tuple) error {
-	if len(ts) == 0 {
-		return nil
-	}
-	fixed := leg.fix.apply(ts)
-	p.tap(leg.typ, StageSmooth, fixed)
-	if leg.merge != nil {
-		out, err := processAll(leg.merge.op, fixed)
-		if err != nil {
-			return fmt.Errorf("core: %s Merge %q: %w", leg.typ, leg.group, err)
-		}
-		return p.mergeEmit(leg.merge, out)
-	}
-	return p.routeType(leg.typ, fixed)
-}
-
-// mergeEmit re-annotates a Merge output and routes it onward.
-func (p *Processor) mergeEmit(m *procMerge, ts []stream.Tuple) error {
-	if len(ts) == 0 {
-		return nil
-	}
-	fixed := m.fix.apply(ts)
-	p.tap(m.typ, StageMerge, fixed)
-	return p.routeType(m.typ, fixed)
-}
-
-// routeType feeds a type's per-group stream into its Arbitrate stage, or
-// straight to the type output if there is none.
-func (p *Processor) routeType(t receptor.Type, ts []stream.Tuple) error {
-	if arb := p.arbs[t]; arb != nil {
-		out, err := processAll(arb.op, ts)
-		if err != nil {
-			return fmt.Errorf("core: %s Arbitrate: %w", t, err)
-		}
-		return p.emitType(t, out)
-	}
-	return p.emitType(t, ts)
-}
-
-// emitType delivers a type's cleaned output to sinks and the Virtualize
-// stage.
-func (p *Processor) emitType(t receptor.Type, ts []stream.Tuple) error {
-	if len(ts) == 0 {
-		return nil
-	}
-	p.tap(t, StageArbitrate, ts)
-	for _, tu := range ts {
-		for _, fn := range p.typeSinks[t] {
-			fn(tu)
-		}
-	}
-	if p.virt != nil {
-		input, ok := p.virtInputOf[t]
-		if ok {
-			for _, tu := range ts {
-				out, err := p.virt.Push(input, tu)
-				if err != nil {
-					return fmt.Errorf("core: Virtualize: %w", err)
-				}
-				p.emitVirtualize(out)
-			}
-		}
-	}
-	return nil
-}
-
-func (p *Processor) emitVirtualize(ts []stream.Tuple) {
-	if len(ts) == 0 {
-		return
-	}
-	p.tap("", StageVirtualize, ts)
-	for _, tu := range ts {
-		for _, fn := range p.virtSinks {
-			fn(tu)
-		}
-	}
-}
-
-func processAll(op stream.Operator, ts []stream.Tuple) ([]stream.Tuple, error) {
-	var out []stream.Tuple
-	for _, t := range ts {
-		got, err := op.Process(t)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, got...)
-	}
-	return out, nil
 }
 
 // planVirtualize plans the Virtualize query against the per-type output

@@ -42,15 +42,10 @@ func (p *Processor) EnableStats() func() Stats {
 		counts[key] = c
 		return func(stream.Tuple) { *c++ }
 	}
-	seen := make(map[receptor.Type]bool)
-	for _, leg := range p.legs {
-		if seen[leg.typ] {
-			continue
-		}
-		seen[leg.typ] = true
+	for _, t := range p.typeOrder {
 		for _, stage := range []StageKind{StagePoint, StageSmooth, StageMerge, StageArbitrate} {
-			key := fmt.Sprintf("%s/%s", leg.typ, stage)
-			p.Tap(leg.typ, stage, bump(key))
+			key := fmt.Sprintf("%s/%s", t, stage)
+			p.Tap(t, stage, bump(key))
 		}
 	}
 	if p.virt != nil {
@@ -70,12 +65,18 @@ func (p *Processor) EnableStats() func() Stats {
 // Virtualize bindings — for logs and operator inspection.
 func (p *Processor) Describe() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "ESP deployment: epoch %v, %d receptor(s), %d leg(s)\n",
-		p.dep.Epoch, len(p.dep.Receptors), len(p.legs))
 	byType := make(map[receptor.Type][]string)
-	for _, leg := range p.legs {
+	legCount := 0
+	for _, n := range p.graph.nodes {
+		leg, ok := n.(*legNode)
+		if !ok {
+			continue
+		}
+		legCount++
 		byType[leg.typ] = append(byType[leg.typ], fmt.Sprintf("%s@%s", leg.rec.ID(), leg.group))
 	}
+	fmt.Fprintf(&sb, "ESP deployment: epoch %v, %d receptor(s), %d leg(s)\n",
+		p.dep.Epoch, len(p.dep.Receptors), legCount)
 	types := make([]string, 0, len(byType))
 	for t := range byType {
 		types = append(types, string(t))
@@ -105,7 +106,7 @@ func (p *Processor) Describe() string {
 		sort.Strings(binds)
 		fmt.Fprintf(&sb, "  Virtualize: %s\n", strings.Join(binds, ", "))
 		if p.virt != nil {
-			fmt.Fprintf(&sb, "    output %s\n", p.virt.Schema())
+			fmt.Fprintf(&sb, "    output %s\n", p.virt.g.Schema())
 		}
 	}
 	return sb.String()
