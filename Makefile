@@ -1,10 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+# FUZZTIME bounds each fuzz target's round: short for the smoke pass
+# `make check` runs, longer via `make fuzz FUZZTIME=5m`.
+FUZZTIME ?= 10s
+
+.PHONY: check vet build test race diff fuzz-smoke fuzz bench
 
 ## check: everything CI needs — vet, build, full tests, race-detector pass
-## over the concurrent executor.
-check: vet build test race
+## over the concurrent executor, the differential oracle suite, and a
+## short fuzz round per target.
+check: vet build test race diff fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +22,22 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/...
+
+## diff: the differential correctness suite (internal/oracle) — every
+## generated case executed several ways, zero divergence required.
+diff:
+	$(GO) test ./internal/oracle -run 'TestDifferential|TestInjectedBugCaught' -count=1
+
+## fuzz-smoke: one short coverage-guided round per fuzz target, seeded
+## from the committed corpora under testdata/fuzz.
+fuzz-smoke:
+	$(GO) test ./internal/cql -run '^$$' -fuzz FuzzLexer -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cql -run '^$$' -fuzz FuzzParser -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/oracle -run '^$$' -fuzz FuzzWindowAlgebra -fuzztime $(FUZZTIME)
+
+## fuzz: longer fuzz rounds (override FUZZTIME, e.g. make fuzz FUZZTIME=10m).
+fuzz:
+	$(MAKE) fuzz-smoke FUZZTIME=$(if $(filter 10s,$(FUZZTIME)),2m,$(FUZZTIME))
 
 ## bench: the full benchmark suite (one testing.B per experiment).
 bench:

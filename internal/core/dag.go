@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"esp/internal/stream"
@@ -37,13 +38,15 @@ type downEdge struct {
 	port string
 }
 
-// nodeCounters is the live instrumentation state of one node. Counters
-// are written either by the scheduler goroutine or by the single worker
-// executing the node's level task, never both within one epoch.
+// nodeCounters is the live instrumentation state of one node. Within an
+// epoch each entry is written by a single goroutine (the scheduler, or
+// the one worker running the node's level task), but snapshots may be
+// taken from other goroutines while a run is in flight — so the fields
+// are atomics, with the advance latency kept in nanoseconds.
 type nodeCounters struct {
-	tuplesIn, tuplesOut int64
-	advances            int64
-	advanceTime         time.Duration
+	tuplesIn, tuplesOut atomic.Int64
+	advances            atomic.Int64
+	advanceTimeNs       atomic.Int64
 }
 
 // compileDag inverts the nodes' upstream declarations into the runnable
@@ -104,7 +107,7 @@ func compileDag(p *Processor, nodes []node) (*dag, error) {
 // effects and emissions depth-first — the sequential execution strategy,
 // which reproduces the classic Processor's call sequence exactly.
 func (g *dag) processInto(i int, port string, ts []stream.Tuple) error {
-	g.stats[i].tuplesIn += int64(len(ts))
+	g.stats[i].tuplesIn.Add(int64(len(ts)))
 	var fx effects
 	if err := g.nodes[i].process(port, ts, &fx); err != nil {
 		return err
@@ -118,8 +121,8 @@ func (g *dag) advanceNode(i int, now time.Time) error {
 	var fx effects
 	t0 := time.Now()
 	err := g.nodes[i].advance(now, &fx)
-	st.advanceTime += time.Since(t0)
-	st.advances++
+	st.advanceTimeNs.Add(int64(time.Since(t0)))
+	st.advances.Add(1)
 	if err != nil {
 		return err
 	}
@@ -133,7 +136,7 @@ func (g *dag) flushCascade(i int, fx *effects) error {
 	if len(fx.out) == 0 {
 		return nil
 	}
-	g.stats[i].tuplesOut += int64(len(fx.out))
+	g.stats[i].tuplesOut.Add(int64(len(fx.out)))
 	for _, e := range g.down[i] {
 		if err := g.processInto(e.to, e.port, fx.out); err != nil {
 			return err
@@ -186,20 +189,23 @@ type NodeStats struct {
 }
 
 // NodeStats reports per-node instrumentation in the graph's topological
-// node order. Not safe to call while a Step is executing.
+// node order. Safe to call from any goroutine, including while a Step is
+// executing: each counter is read atomically, so the snapshot is a
+// consistent point-in-time view of every individual counter (counters
+// may be mid-epoch relative to one another).
 func (p *Processor) NodeStats() []NodeStats {
 	g := p.graph
 	out := make([]NodeStats, len(g.nodes))
 	for i, n := range g.nodes {
-		st := g.stats[i]
+		st := &g.stats[i]
 		out[i] = NodeStats{
 			Label:       n.label(),
 			Kind:        n.kindName(),
 			Level:       g.level[i],
-			TuplesIn:    st.tuplesIn,
-			TuplesOut:   st.tuplesOut,
-			Advances:    st.advances,
-			AdvanceTime: st.advanceTime,
+			TuplesIn:    st.tuplesIn.Load(),
+			TuplesOut:   st.tuplesOut.Load(),
+			Advances:    st.advances.Load(),
+			AdvanceTime: time.Duration(st.advanceTimeNs.Load()),
 		}
 	}
 	return out

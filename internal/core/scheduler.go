@@ -174,19 +174,19 @@ func (s *ParallelScheduler) runNode(g *dag, i int, now time.Time) error {
 	n := g.nodes[i]
 	st := &g.stats[i]
 	for _, d := range s.in[i] {
-		st.tuplesIn += int64(len(d.ts))
+		st.tuplesIn.Add(int64(len(d.ts)))
 		if err := n.process(d.port, d.ts, fx); err != nil {
 			return err
 		}
 	}
 	t0 := time.Now()
 	err := n.advance(now, fx)
-	st.advanceTime += time.Since(t0)
-	st.advances++
+	st.advanceTimeNs.Add(int64(time.Since(t0)))
+	st.advances.Add(1)
 	if err != nil {
 		return err
 	}
-	st.tuplesOut += int64(len(fx.out))
+	st.tuplesOut.Add(int64(len(fx.out)))
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"esp/internal/receptor"
 	"esp/internal/stream"
@@ -34,13 +35,15 @@ func (s Stats) String() string {
 
 // EnableStats installs counting taps on every stage of every type (and
 // Virtualize) and returns a live view: call the returned function for a
-// snapshot. Must be called before Run.
+// snapshot. Must be called before Run; the snapshot function may be
+// called from any goroutine, including concurrently with a run (the
+// counters are atomics).
 func (p *Processor) EnableStats() func() Stats {
-	counts := make(map[string]*int64)
+	counts := make(map[string]*atomic.Int64)
 	bump := func(key string) func(stream.Tuple) {
-		c := new(int64)
+		c := new(atomic.Int64)
 		counts[key] = c
-		return func(stream.Tuple) { *c++ }
+		return func(stream.Tuple) { c.Add(1) }
 	}
 	for _, t := range p.typeOrder {
 		for _, stage := range []StageKind{StagePoint, StageSmooth, StageMerge, StageArbitrate} {
@@ -54,7 +57,7 @@ func (p *Processor) EnableStats() func() Stats {
 	return func() Stats {
 		out := make(Stats, len(counts))
 		for k, c := range counts {
-			out[k] = *c
+			out[k] = c.Load()
 		}
 		return out
 	}

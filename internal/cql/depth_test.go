@@ -1,0 +1,39 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseDepthLimited is the regression test for a fuzz-class crash:
+// the recursive-descent parser had no depth bound, so adversarial
+// nesting (millions of parentheses, NOT chains, unary-minus chains, or
+// nested subqueries) overflowed the goroutine stack — a fatal,
+// unrecoverable runtime error that kills the whole process. Each shape
+// must now fail with a parse error instead.
+func TestParseDepthLimited(t *testing.T) {
+	deep := maxParseDepth * 4
+	cases := map[string]string{
+		"parens":     "SELECT * FROM s WHERE a = " + strings.Repeat("(", deep) + "1" + strings.Repeat(")", deep),
+		"not-chain":  "SELECT * FROM s WHERE " + strings.Repeat("NOT ", deep) + "TRUE",
+		"neg-chain":  "SELECT * FROM s WHERE a = " + strings.Repeat("- ", deep) + "1",
+		"subqueries": "SELECT * FROM " + strings.Repeat("(SELECT * FROM ", deep) + "s" + strings.Repeat(") AS x", deep),
+	}
+	for name, q := range cases {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("%s: deeply nested input parsed without error", name)
+		} else if !strings.Contains(err.Error(), "nesting exceeds") {
+			t.Errorf("%s: unexpected error: %v", name, err)
+		}
+	}
+}
+
+// TestParseDepthAllowsReasonableNesting pins the limit well above any
+// realistic query so the guard cannot reject legitimate input.
+func TestParseDepthAllowsReasonableNesting(t *testing.T) {
+	q := "SELECT * FROM s WHERE a = " + strings.Repeat("(", 100) + "1" + strings.Repeat(")", 100) +
+		" AND " + strings.Repeat("NOT ", 100) + "TRUE"
+	if _, err := Parse(q); err != nil {
+		t.Fatalf("100-deep nesting should parse: %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+package cql
+
+import (
+	"testing"
+	"time"
+
+	"esp/internal/stream"
+)
+
+// Fuzz seed queries: the toolkit and paper queries, plus shapes that
+// exercise every clause the grammar knows.
+var fuzzSeeds = []string{
+	"SELECT * FROM point_input WHERE temp < 50",
+	"SELECT tag_id, count(*) AS n FROM smooth_input [Range By '5 sec'] GROUP BY tag_id",
+	"SELECT avg(temp) AS temp FROM merge_input [Range By '2000 ms']",
+	"SELECT median(temp) AS temp FROM merge_input [Range By 'NOW']",
+	"SELECT percentile(temp, 0.9) AS p FROM s [Range By '1 sec'] GROUP BY g HAVING count(*) >= 2",
+	"SELECT count(distinct tag_id) AS n FROM s [Range By 'NOW'] HAVING n >= 1",
+	`SELECT spatial_granule, tag_id FROM arbitrate_input ai1 [Range By 'NOW']
+	 GROUP BY spatial_granule, tag_id
+	 HAVING sum(n) >= ALL(SELECT sum(n) FROM arbitrate_input ai2 [Range By 'NOW']
+	                      WHERE ai1.tag_id = ai2.tag_id GROUP BY spatial_granule)`,
+	`SELECT 'Person-in-room' AS event
+	 FROM (SELECT 1 AS cnt FROM sensors_input [Range By 'NOW'] WHERE noise > 40) AS a,
+	      (SELECT 1 AS cnt FROM rfid_input [Range By 'NOW'] HAVING count(distinct tag_id) >= 1) AS b
+	 WHERE a.cnt + b.cnt >= 2`,
+	"SELECT s.temp AS t FROM s, tbl WHERE s.id = tbl.id AND NOT (s.temp >= 1.5e2 OR s.ok = FALSE)",
+	"SELECT -temp AS neg, 'x' AS lit FROM s [Range By '1 sec']",
+	"",
+	"SELECT",
+	"SELECT * FROM s [Range By '",
+	"SELECT * FROM s WHERE a = 'unterminated",
+	"SELECT * FROM s -- comment\nWHERE a = 1",
+}
+
+// FuzzLexer feeds arbitrary text to the lexer: it must never panic, must
+// terminate within one token per input byte (plus EOF), and must report
+// strictly increasing token positions — the invariant that guarantees
+// parser error messages point at real offsets and lexing always makes
+// progress.
+func FuzzLexer(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		lx := NewLexer(src)
+		prev := -1
+		for i := 0; i <= len(src)+1; i++ {
+			tok, err := lx.Next()
+			if err != nil {
+				return
+			}
+			if tok.Pos <= prev {
+				t.Fatalf("token %v at pos %d after pos %d: positions must strictly increase", tok, tok.Pos, prev)
+			}
+			if tok.Pos > len(src) {
+				t.Fatalf("token %v at pos %d beyond input length %d", tok, tok.Pos, len(src))
+			}
+			prev = tok.Pos
+			if tok.Kind == TokEOF {
+				return
+			}
+		}
+		t.Fatalf("lexer emitted more than %d tokens for a %d-byte input", len(src)+2, len(src))
+	})
+}
+
+// fuzzCatalog resolves the base stream names the seed queries use, so
+// syntactically valid fuzz inputs reach the planner as well.
+var fuzzCatalog = func() Catalog {
+	sch := stream.MustSchema(
+		stream.Field{Name: "receptor_id", Kind: stream.KindString},
+		stream.Field{Name: "spatial_granule", Kind: stream.KindString},
+		stream.Field{Name: "tag_id", Kind: stream.KindString},
+		stream.Field{Name: "ok", Kind: stream.KindBool},
+		stream.Field{Name: "id", Kind: stream.KindString},
+		stream.Field{Name: "g", Kind: stream.KindString},
+		stream.Field{Name: "temp", Kind: stream.KindFloat},
+		stream.Field{Name: "noise", Kind: stream.KindFloat},
+		stream.Field{Name: "n", Kind: stream.KindInt},
+	)
+	cat := Catalog{}
+	for _, name := range []string{"s", "point_input", "smooth_input", "merge_input",
+		"arbitrate_input", "sensors_input", "rfid_input", "motion_input"} {
+		cat[name] = sch
+	}
+	return cat
+}()
+
+// FuzzParser feeds arbitrary text to the parser and, when it parses, to
+// the planner: neither may panic or hang; errors are the expected outcome
+// for garbage.
+func FuzzParser(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if stmt == nil {
+			t.Fatal("Parse returned nil statement without error")
+		}
+		// Planning may fail (unknown streams, type errors) but not panic.
+		_, _ = Plan(stmt, fuzzCatalog, PlanConfig{Slide: time.Second})
+	})
+}

@@ -7,10 +7,28 @@ import (
 
 // Parser is a recursive-descent parser over the token stream.
 type Parser struct {
-	toks []Token
-	pos  int
-	src  string
+	toks  []Token
+	pos   int
+	src   string
+	depth int
 }
+
+// maxParseDepth bounds recursive productions (parenthesised expressions,
+// NOT/unary chains, subqueries) so adversarial input produces a parse
+// error instead of overflowing the goroutine stack, which is fatal to
+// the whole process.
+const maxParseDepth = 500
+
+// enter guards one level of grammar recursion; exit undoes it.
+func (p *Parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errf("expression or query nesting exceeds %d levels", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *Parser) exit() { p.depth-- }
 
 // Parse parses one SELECT statement and requires the whole input to be
 // consumed.
@@ -97,6 +115,10 @@ func (p *Parser) expectSymbol(sym string) error {
 }
 
 func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.exit()
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
@@ -294,7 +316,13 @@ func (p *Parser) tryParseWindow() (*WindowSpec, error) {
 
 // Expression grammar, lowest precedence first.
 
-func (p *Parser) parseExpr() (ExprNode, error) { return p.parseOr() }
+func (p *Parser) parseExpr() (ExprNode, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.exit()
+	return p.parseOr()
+}
 
 func (p *Parser) parseOr() (ExprNode, error) {
 	l, err := p.parseAnd()
@@ -328,6 +356,10 @@ func (p *Parser) parseAnd() (ExprNode, error) {
 
 func (p *Parser) parseNot() (ExprNode, error) {
 	if p.acceptKeyword("NOT") {
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
+		defer p.exit()
 		x, err := p.parseNot()
 		if err != nil {
 			return nil, err
@@ -477,6 +509,10 @@ func (p *Parser) parseMultiplicative() (ExprNode, error) {
 
 func (p *Parser) parseUnary() (ExprNode, error) {
 	if p.acceptSymbol("-") {
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
+		defer p.exit()
 		x, err := p.parseUnary()
 		if err != nil {
 			return nil, err

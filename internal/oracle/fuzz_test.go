@@ -1,0 +1,101 @@
+package oracle
+
+import (
+	"testing"
+	"time"
+
+	"esp/internal/stream"
+)
+
+// decodeWindowCase derives a window program from raw fuzz bytes — the
+// byte-driven counterpart of GenWindowCase, reaching event interleavings
+// a uniform RNG rarely produces (bursts, duplicates, adversarial late
+// arrivals). Values stay on the exact-arithmetic profiles so the
+// pane-vs-naive byte comparison remains sound.
+func decodeWindowCase(data []byte) WindowCase {
+	pop := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	c := WindowCase{Seed: -1}
+	c.Slide = []time.Duration{500 * time.Millisecond, time.Second, 2 * time.Second}[int(pop())%3]
+	switch int(pop()) % 5 {
+	case 0:
+		c.Range = 0
+	case 1:
+		c.Range = c.Slide
+	case 2:
+		c.Range = 3 * c.Slide
+	case 3:
+		c.Range = 2*c.Slide + c.Slide/2
+	case 4:
+		c.Range = c.Slide / 2
+	}
+	flags := pop()
+	c.GroupBy = flags&1 != 0
+	c.EmitEmpty = !c.GroupBy && flags&2 != 0
+	c.HavingMinN = int64(pop()) % 3
+	offset := 0.0
+	if flags&4 != 0 {
+		offset = 1e9
+	}
+
+	c.Aggs = append(c.Aggs, stream.AggSpec{Name: "n", Func: stream.AggCount})
+	col := func() stream.Expr { return stream.NewCol("v") }
+	pool := []stream.AggSpec{
+		{Name: "s", Func: stream.AggSum, Arg: col()},
+		{Name: "a", Func: stream.AggAvg, Arg: col()},
+		{Name: "sd", Func: stream.AggStdev, Arg: col()},
+		{Name: "mn", Func: stream.AggMin, Arg: col()},
+		{Name: "mx", Func: stream.AggMax, Arg: col()},
+		{Name: "md", Func: stream.AggMedian, Arg: col()},
+		{Name: "p", Func: stream.AggPercentile, Arg: col(), Param: 0.25 + 0.5*float64(pop()%3)/2},
+		{Name: "dn", Func: stream.AggCount, Arg: col(), Distinct: true},
+		{Name: "ds", Func: stream.AggSum, Arg: col(), Distinct: true},
+		{Name: "dsd", Func: stream.AggStdev, Arg: col(), Distinct: true},
+		{Name: "dmd", Func: stream.AggMedian, Arg: col(), Distinct: true},
+	}
+	mask := int(pop()) | int(pop())<<8
+	for i, a := range pool {
+		if mask&(1<<i) != 0 {
+			c.Aggs = append(c.Aggs, a)
+		}
+	}
+
+	// Remaining bytes drive events in 3-byte chunks: kind, time, value.
+	// Time quantises to sixteenths of a slide over an 8-slide horizon so
+	// events land on and around boundaries.
+	for len(data) >= 3 {
+		k, at, v := pop(), pop(), pop()
+		ev := WindowEvent{At: c.Slide / 16 * time.Duration(int(at)%129)}
+		if k%4 == 0 {
+			ev.Advance = true
+		} else {
+			ev.Group = []string{"a", "b", "c"}[int(k)%3]
+			ev.V = offset + float64(int(v)-128)
+			ev.Null = k%16 == 1
+		}
+		c.Events = append(c.Events, ev)
+	}
+	return c
+}
+
+// FuzzWindowAlgebra runs the full window cross-check (pane-vs-naive
+// byte-level, window-vs-reference with tolerance) over byte-derived
+// programs. Any divergence or panic is a finding.
+func FuzzWindowAlgebra(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 255, 255, 0, 8, 10, 130, 1, 16, 140, 4, 32, 120, 2, 48, 131, 0, 64, 0})
+	f.Add([]byte{0, 4, 5, 1, 255, 0, 0, 0, 200, 1, 0, 100, 0, 200, 0, 3, 3, 3, 17, 5, 129})
+	f.Add([]byte{2, 3, 7, 2, 0, 8, 4, 64, 128, 5, 64, 128, 0, 64, 0, 9, 64, 127, 0, 128, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := decodeWindowCase(data)
+		if d := CheckWindowCase(c, Config{}); d != nil {
+			t.Fatalf("window algebra diverged:\n%v", d)
+		}
+	})
+}

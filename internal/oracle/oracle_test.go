@@ -1,0 +1,91 @@
+package oracle
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestDifferential is the `make check` differential suite: every
+// cross-check over its generated case family, zero divergence expected.
+func TestDifferential(t *testing.T) {
+	cfg := DefaultConfig()
+	n, d := Run(cfg)
+	if d != nil {
+		t.Fatalf("differential suite diverged after %d cases:\n%v", n, d)
+	}
+	if n < 50 {
+		t.Fatalf("suite ran %d cases, want at least 50", n)
+	}
+}
+
+// legacyStdev is the catastrophically cancelling sum-of-squares formula
+// the pane accumulator used before the moments fix: sqrt(E[x²] − E[x]²).
+// At timestamp-scale magnitudes the subtraction wipes out the signal.
+func legacyStdev(vals []float64) float64 {
+	var s, ss float64
+	for _, v := range vals {
+		s += v
+		ss += v * v
+	}
+	n := float64(len(vals))
+	m := s / n
+	v := ss/n - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// TestInjectedBugCaught proves the harness detects a deliberately wrong
+// aggregate: with the legacy stdev formula injected into the reference,
+// the window check must report a divergence whose seed reproduces the
+// identical minimized counterexample on a fresh run.
+func TestInjectedBugCaught(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefStdev = legacyStdev
+	var caught *Divergence
+	for i := 0; i < 3*cfg.WindowCases && caught == nil; i++ {
+		caught = CheckWindowCase(GenWindowCase(cfg.Seed+int64(i)), cfg)
+	}
+	if caught == nil {
+		t.Fatal("injected stdev bug escaped the window cross-checks")
+	}
+	if caught.Check != "window-vs-reference" {
+		t.Fatalf("injected bug caught by %q, want window-vs-reference", caught.Check)
+	}
+	if !strings.Contains(caught.Case, "stdev") {
+		t.Fatalf("minimized case lost the faulty aggregate:\n%s", caught.Case)
+	}
+	// Seed-reproducibility: regenerate the case from the reported seed and
+	// get the identical minimized counterexample.
+	again := CheckWindowCase(GenWindowCase(caught.Seed), cfg)
+	if again == nil {
+		t.Fatalf("seed %d did not reproduce the divergence", caught.Seed)
+	}
+	if again.Error() != caught.Error() {
+		t.Fatalf("counterexample not reproducible from seed %d:\nfirst:\n%v\nagain:\n%v",
+			caught.Seed, caught, again)
+	}
+}
+
+// TestDivergenceReportsMinimizedCase asserts the minimizer actually
+// shrinks: the injected-bug counterexample must be far smaller than the
+// generated case it came from.
+func TestDivergenceReportsMinimizedCase(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefStdev = legacyStdev
+	var caught *Divergence
+	for i := 0; i < 3*cfg.WindowCases && caught == nil; i++ {
+		caught = CheckWindowCase(GenWindowCase(cfg.Seed+int64(i)), cfg)
+	}
+	if caught == nil {
+		t.Fatal("injected stdev bug escaped the window cross-checks")
+	}
+	full := GenWindowCase(caught.Seed)
+	fullLines := strings.Count(full.String(), "\n")
+	minLines := strings.Count(caught.Case, "\n")
+	if minLines >= fullLines {
+		t.Fatalf("minimizer did not shrink the case: %d lines vs original %d", minLines, fullLines)
+	}
+}

@@ -1,0 +1,256 @@
+package oracle
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"esp/internal/stream"
+)
+
+// This file is the reference implementation of windowed aggregation: a
+// direct, two-pass transcription of the documented WindowAgg contract —
+// boundaries at origin + k·Slide where origin is the first punctuation,
+// the window at boundary b covering (b−Range, b], late tuples dropped
+// once every window that could contain them has been emitted, one final
+// window on Close. It shares no code with the pane or naive paths and
+// recomputes every window from the full accepted-tuple list.
+
+// refRow is one accepted observation.
+type refRow struct {
+	ts time.Time
+	g  string
+	v  stream.Value
+}
+
+// refWindow executes the case against the reference semantics and
+// returns the emitted tuples and the dropped-tuple count.
+func refWindow(c WindowCase, cfg Config) ([]stream.Tuple, int64) {
+	rng := c.Range
+	if rng == 0 { // NOW ≡ one slide
+		rng = c.Slide
+	}
+	var (
+		started  bool
+		nextEmit time.Time
+		pending  []refRow
+		accepted []refRow
+		dropped  int64
+		out      []stream.Tuple
+	)
+	absorb := func(r refRow) {
+		if !nextEmit.IsZero() && !r.ts.After(nextEmit.Add(-rng)) {
+			dropped++
+			return
+		}
+		accepted = append(accepted, r)
+	}
+	emit := func(b time.Time) {
+		lo := b.Add(-rng)
+		var rows []refRow
+		for _, r := range accepted {
+			if r.ts.After(lo) && !r.ts.After(b) {
+				rows = append(rows, r)
+			}
+		}
+		out = append(out, refFinish(c, b, rows, cfg)...)
+	}
+	for _, ev := range c.Events {
+		if !ev.Advance {
+			v := stream.Float(ev.V)
+			if ev.Null {
+				v = stream.Null()
+			}
+			r := refRow{ts: epoch0.Add(ev.At), g: ev.Group, v: v}
+			if !started {
+				pending = append(pending, r)
+			} else {
+				absorb(r)
+			}
+			continue
+		}
+		now := epoch0.Add(ev.At)
+		if !started {
+			started = true
+			nextEmit = now
+			for _, r := range pending {
+				absorb(r)
+			}
+			pending = nil
+		}
+		for !nextEmit.After(now) {
+			emit(nextEmit)
+			nextEmit = nextEmit.Add(c.Slide)
+		}
+	}
+	// Close: one final window at the next boundary, skipped when no live
+	// state remains.
+	if !started {
+		if len(pending) == 0 {
+			return out, dropped
+		}
+		started = true
+		nextEmit = pending[len(pending)-1].ts
+		for _, r := range pending {
+			absorb(r)
+		}
+		pending = nil
+	}
+	lo := nextEmit.Add(-rng)
+	live := false
+	for _, r := range accepted {
+		if r.ts.After(lo) {
+			live = true
+			break
+		}
+	}
+	if live {
+		emit(nextEmit)
+	}
+	return out, dropped
+}
+
+// refFinish computes the window result at boundary b over rows, honoring
+// GROUP BY order, HAVING, and EmitEmpty exactly as documented.
+func refFinish(c WindowCase, b time.Time, rows []refRow, cfg Config) []stream.Tuple {
+	groups := make(map[string][]refRow)
+	var order []string
+	if c.GroupBy {
+		for _, r := range rows {
+			if _, ok := groups[r.g]; !ok {
+				order = append(order, r.g)
+			}
+			groups[r.g] = append(groups[r.g], r)
+		}
+		sort.Strings(order) // finish sorts output rows by group values
+	} else {
+		if len(rows) > 0 || c.EmitEmpty {
+			groups[""] = rows
+			order = []string{""}
+		}
+	}
+	var out []stream.Tuple
+	for _, g := range order {
+		grows := groups[g]
+		vals := make([]stream.Value, 0, len(c.Aggs)+1)
+		if c.GroupBy {
+			vals = append(vals, stream.String(g))
+		}
+		var n stream.Value // the count agg output, for HAVING
+		for _, spec := range c.Aggs {
+			v := refAgg(spec, grows, cfg)
+			if spec.Name == "n" {
+				n = v
+			}
+			vals = append(vals, v)
+		}
+		if c.HavingMinN > 0 && (n.IsNull() || n.AsInt() < c.HavingMinN) {
+			continue
+		}
+		out = append(out, stream.Tuple{Ts: b, Values: vals})
+	}
+	return out
+}
+
+// refAgg computes one aggregate over a group's rows, two-pass.
+func refAgg(spec stream.AggSpec, rows []refRow, cfg Config) stream.Value {
+	if spec.Func == stream.AggCount && spec.Arg == nil {
+		return stream.Int(int64(len(rows)))
+	}
+	// Non-NULL argument values in arrival order.
+	var vals []float64
+	for _, r := range rows {
+		if !r.v.IsNull() {
+			vals = append(vals, r.v.AsFloat())
+		}
+	}
+	if spec.Distinct {
+		seen := make(map[float64]bool)
+		var uniq []float64
+		for _, v := range vals {
+			if !seen[v] {
+				seen[v] = true
+				uniq = append(uniq, v)
+			}
+		}
+		sort.Float64s(uniq)
+		vals = uniq
+	}
+	if len(vals) == 0 {
+		if spec.Func == stream.AggCount {
+			return stream.Int(0)
+		}
+		return stream.Null()
+	}
+	switch spec.Func {
+	case stream.AggCount:
+		return stream.Int(int64(len(vals)))
+	case stream.AggSum:
+		return stream.Float(refSum(vals))
+	case stream.AggAvg:
+		return stream.Float(refSum(vals) / float64(len(vals)))
+	case stream.AggStdev:
+		if cfg.RefStdev != nil {
+			return stream.Float(cfg.RefStdev(vals))
+		}
+		return stream.Float(refStdev(vals))
+	case stream.AggMin:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return stream.Float(m)
+	case stream.AggMax:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return stream.Float(m)
+	case stream.AggMedian, stream.AggPercentile:
+		q := 0.5
+		if spec.Func == stream.AggPercentile {
+			q = spec.Param
+		}
+		return stream.Float(refQuantile(vals, q))
+	}
+	return stream.Null()
+}
+
+func refSum(vals []float64) float64 {
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// refStdev is the two-pass population standard deviation — the textbook
+// definition, immune to cancellation because it subtracts the mean
+// before squaring.
+func refStdev(vals []float64) float64 {
+	mean := refSum(vals) / float64(len(vals))
+	var ss float64
+	for _, v := range vals {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(vals)))
+}
+
+// refQuantile is the nearest-rank quantile over a copy of vals.
+func refQuantile(vals []float64, q float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(q * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}

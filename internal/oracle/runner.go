@@ -1,0 +1,31 @@
+package oracle
+
+// Run executes the full differential suite: WindowCases window-algebra
+// programs (pane-vs-naive, window-vs-reference), SchedCases deployments
+// (seq-vs-parallel, pipeline-vs-reference), and PlanCases paired
+// deployments (cql-vs-handbuilt). It returns the number of cases
+// executed and the first divergence found, minimized — or nil when every
+// cross-check agreed. Case i of each family uses seed cfg.Seed+i, so a
+// reported Divergence reproduces from its (Check, Seed) pair alone.
+func Run(cfg Config) (int, *Divergence) {
+	cases := 0
+	for i := 0; i < cfg.WindowCases; i++ {
+		cases++
+		if d := CheckWindowCase(GenWindowCase(cfg.Seed+int64(i)), cfg); d != nil {
+			return cases, d
+		}
+	}
+	for i := 0; i < cfg.SchedCases; i++ {
+		cases++
+		if d := CheckDeploymentCase(GenDeploymentCase(cfg.Seed + int64(i))); d != nil {
+			return cases, d
+		}
+	}
+	for i := 0; i < cfg.PlanCases; i++ {
+		cases++
+		if d := CheckPlanCase(GenPlanCase(cfg.Seed + int64(i))); d != nil {
+			return cases, d
+		}
+	}
+	return cases, nil
+}

@@ -1,0 +1,295 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"esp/internal/stream"
+)
+
+// epoch0 anchors every generated case at a fixed instant so runs are
+// reproducible from the seed alone.
+var epoch0 = time.Unix(0, 0).UTC()
+
+// WindowEvent is one step of a window program: either a tuple delivery
+// or an epoch punctuation.
+type WindowEvent struct {
+	Advance bool
+	// At is the event's offset from the case origin — the punctuation
+	// instant, or the tuple's timestamp (tuples may arrive out of order,
+	// exercising the late-arrival drop rule).
+	At time.Duration
+	// Group and V populate the tuple's (g, v) columns; Null makes v NULL.
+	Group string
+	V     float64
+	Null  bool
+}
+
+// WindowCase is one generated window-aggregation program over the fixed
+// schema (g string, v float).
+type WindowCase struct {
+	Seed       int64
+	Range      time.Duration // 0 means NOW (Range = Slide)
+	Slide      time.Duration
+	GroupBy    bool
+	EmitEmpty  bool
+	HavingMinN int64 // when > 0: HAVING n >= HavingMinN on the count agg
+	Aggs       []stream.AggSpec
+	Events     []WindowEvent
+}
+
+// GenWindowCase deterministically builds the case for a seed. Values are
+// integer-valued floats drawn from one of two profiles per case — small
+// (±100) or timestamp-scale (1e9 ± 100) — so every accumulator operation
+// is exact in float64 and the pane-vs-naive comparison can demand
+// byte-level equality; the large profile is what exposes catastrophic
+// cancellation in a wrong stdev.
+func GenWindowCase(seed int64) WindowCase {
+	r := rand.New(rand.NewSource(seed))
+	c := WindowCase{Seed: seed}
+
+	c.Slide = []time.Duration{500 * time.Millisecond, time.Second, 2 * time.Second}[r.Intn(3)]
+	switch r.Intn(5) {
+	case 0:
+		c.Range = 0 // NOW
+	case 1:
+		c.Range = c.Slide
+	case 2:
+		c.Range = 3 * c.Slide
+	case 3:
+		c.Range = 2*c.Slide + c.Slide/2 // non-multiple of slide
+	case 4:
+		c.Range = c.Slide / 2 // sub-slide: gaps between windows, late drops
+	}
+	c.GroupBy = r.Intn(2) == 0
+	if !c.GroupBy && r.Intn(3) == 0 {
+		c.EmitEmpty = true
+	}
+
+	c.Aggs = append(c.Aggs, stream.AggSpec{Name: "n", Func: stream.AggCount})
+	if r.Intn(2) == 0 {
+		c.HavingMinN = int64(1 + r.Intn(2))
+	}
+	col := func() stream.Expr { return stream.NewCol("v") }
+	pool := []stream.AggSpec{
+		{Name: "s", Func: stream.AggSum, Arg: col()},
+		{Name: "a", Func: stream.AggAvg, Arg: col()},
+		{Name: "sd", Func: stream.AggStdev, Arg: col()},
+		{Name: "mn", Func: stream.AggMin, Arg: col()},
+		{Name: "mx", Func: stream.AggMax, Arg: col()},
+		{Name: "md", Func: stream.AggMedian, Arg: col()},
+		{Name: "p", Func: stream.AggPercentile, Arg: col(), Param: []float64{0.25, 0.5, 0.9}[r.Intn(3)]},
+		{Name: "dn", Func: stream.AggCount, Arg: col(), Distinct: true},
+		{Name: "ds", Func: stream.AggSum, Arg: col(), Distinct: true},
+		{Name: "dsd", Func: stream.AggStdev, Arg: col(), Distinct: true},
+		{Name: "dmd", Func: stream.AggMedian, Arg: col(), Distinct: true},
+	}
+	for _, a := range pool {
+		if r.Intn(2) == 0 {
+			c.Aggs = append(c.Aggs, a)
+		}
+	}
+
+	offset := 0.0
+	if r.Intn(2) == 0 {
+		offset = 1e9
+	}
+	// A narrow value domain forces duplicate values for the DISTINCT aggs.
+	domain := []int{200, 8}[r.Intn(2)]
+
+	horizon := 8 * c.Slide
+	nAdv := 3 + r.Intn(5)
+	advAt := make([]time.Duration, 0, nAdv)
+	at := time.Duration(0)
+	for i := 0; i < nAdv; i++ {
+		at += time.Duration(r.Intn(int(horizon/time.Duration(nAdv)))) + time.Millisecond
+		advAt = append(advAt, at)
+	}
+	groups := []string{"a", "b", "c"}
+	nTup := r.Intn(40)
+	tuples := make([]WindowEvent, 0, nTup)
+	for i := 0; i < nTup; i++ {
+		ev := WindowEvent{
+			At:    time.Duration(r.Intn(int(horizon))),
+			Group: groups[r.Intn(len(groups))],
+			V:     offset + float64(r.Intn(domain)-domain/2),
+		}
+		if r.Intn(12) == 0 {
+			ev.Null = true
+		}
+		tuples = append(tuples, ev)
+	}
+	// Interleave: each tuple is delivered just before a random advance,
+	// so some arrive late relative to already-emitted boundaries.
+	slot := make([][]WindowEvent, nAdv+1)
+	for _, ev := range tuples {
+		i := r.Intn(nAdv + 1)
+		slot[i] = append(slot[i], ev)
+	}
+	for i, a := range advAt {
+		c.Events = append(c.Events, slot[i]...)
+		c.Events = append(c.Events, WindowEvent{Advance: true, At: a})
+	}
+	c.Events = append(c.Events, slot[nAdv]...)
+	return c
+}
+
+// window builds the production operator for the case.
+func (c WindowCase) window(naive bool) (*stream.WindowAgg, error) {
+	w := &stream.WindowAgg{
+		Aggs:      append([]stream.AggSpec(nil), c.Aggs...),
+		Range:     c.Range,
+		Slide:     c.Slide,
+		EmitEmpty: c.EmitEmpty,
+		Naive:     naive,
+	}
+	if c.GroupBy {
+		w.GroupBy = []stream.NamedExpr{{Name: "g", Expr: stream.NewCol("g")}}
+	}
+	if c.HavingMinN > 0 {
+		w.Having = stream.NewBinary(stream.OpGe, stream.NewCol("n"), stream.NewConst(stream.Int(c.HavingMinN)))
+	}
+	sch := stream.MustSchema(
+		stream.Field{Name: "g", Kind: stream.KindString},
+		stream.Field{Name: "v", Kind: stream.KindFloat},
+	)
+	if err := w.Open(sch); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// run drives one mode of the case and returns every emitted tuple (in
+// emission order, Close included) plus the Dropped counter.
+func (c WindowCase) run(naive bool) ([]stream.Tuple, int64, error) {
+	w, err := c.window(naive)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []stream.Tuple
+	for _, ev := range c.Events {
+		var got []stream.Tuple
+		if ev.Advance {
+			got, err = w.Advance(epoch0.Add(ev.At))
+		} else {
+			v := stream.Float(ev.V)
+			if ev.Null {
+				v = stream.Null()
+			}
+			got, err = w.Process(stream.NewTuple(epoch0.Add(ev.At), stream.String(ev.Group), v))
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, got...)
+	}
+	got, err := w.Close()
+	if err != nil {
+		return nil, 0, err
+	}
+	return append(out, got...), w.Dropped, nil
+}
+
+// String renders the case for divergence reports.
+func (c WindowCase) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seed=%d range=%v slide=%v groupBy=%v emitEmpty=%v havingMinN=%d\n",
+		c.Seed, c.Range, c.Slide, c.GroupBy, c.EmitEmpty, c.HavingMinN)
+	specs := make([]string, len(c.Aggs))
+	for i, a := range c.Aggs {
+		specs[i] = fmt.Sprintf("%s AS %s", a, a.Name)
+	}
+	fmt.Fprintf(&sb, "aggs: %s\nevents:\n", strings.Join(specs, ", "))
+	for _, ev := range c.Events {
+		if ev.Advance {
+			fmt.Fprintf(&sb, "  +%v advance\n", ev.At)
+			continue
+		}
+		if ev.Null {
+			fmt.Fprintf(&sb, "  +%v tuple g=%s v=NULL\n", ev.At, ev.Group)
+			continue
+		}
+		fmt.Fprintf(&sb, "  +%v tuple g=%s v=%v\n", ev.At, ev.Group, ev.V)
+	}
+	return sb.String()
+}
+
+// CheckWindowCase cross-checks one case three ways: pane-merge vs
+// emitNaive byte-level, and the pane path against the two-pass reference
+// within float tolerance. A non-nil result carries a minimized case.
+func CheckWindowCase(c WindowCase, cfg Config) *Divergence {
+	if d := checkPaneVsNaive(c); d != nil {
+		return minimizeWindow(c, d, cfg, func(t WindowCase) *Divergence { return checkPaneVsNaive(t) })
+	}
+	if d := checkWindowVsRef(c, cfg); d != nil {
+		return minimizeWindow(c, d, cfg, func(t WindowCase) *Divergence { return checkWindowVsRef(t, cfg) })
+	}
+	return nil
+}
+
+func checkPaneVsNaive(c WindowCase) *Divergence {
+	pane, dp, errP := c.run(false)
+	naive, dn, errN := c.run(true)
+	if errP != nil || errN != nil {
+		return &Divergence{Check: "pane-vs-naive", Seed: c.Seed, Case: c.String(),
+			Diff: fmt.Sprintf("errors: pane=%v naive=%v", errP, errN)}
+	}
+	rp, rn := renderTuples(pane), renderTuples(naive)
+	if rp != rn {
+		return &Divergence{Check: "pane-vs-naive", Seed: c.Seed, Case: c.String(), Diff: firstDiff(rp, rn)}
+	}
+	if dp != dn {
+		return &Divergence{Check: "pane-vs-naive", Seed: c.Seed, Case: c.String(),
+			Diff: fmt.Sprintf("Dropped: pane=%d naive=%d", dp, dn)}
+	}
+	return nil
+}
+
+func checkWindowVsRef(c WindowCase, cfg Config) *Divergence {
+	pane, dp, err := c.run(false)
+	if err != nil {
+		return &Divergence{Check: "window-vs-reference", Seed: c.Seed, Case: c.String(),
+			Diff: fmt.Sprintf("error: %v", err)}
+	}
+	ref, dr := refWindow(c, cfg)
+	if diff := compareToRef(pane, ref); diff != "" {
+		return &Divergence{Check: "window-vs-reference", Seed: c.Seed, Case: c.String(), Diff: diff}
+	}
+	if dp != dr {
+		return &Divergence{Check: "window-vs-reference", Seed: c.Seed, Case: c.String(),
+			Diff: fmt.Sprintf("Dropped: window=%d reference=%d", dp, dr)}
+	}
+	return nil
+}
+
+// minimizeWindow greedily shrinks a failing case — dropping events, then
+// aggregates — while the given check keeps failing, and returns the
+// divergence of the smallest still-failing case.
+func minimizeWindow(c WindowCase, orig *Divergence, cfg Config, check func(WindowCase) *Divergence) *Divergence {
+	best := orig
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(c.Events); i++ {
+			t := c
+			t.Events = append(append([]WindowEvent(nil), c.Events[:i]...), c.Events[i+1:]...)
+			if d := check(t); d != nil {
+				c, best, changed = t, d, true
+				i--
+			}
+		}
+		for i := 0; i < len(c.Aggs); i++ {
+			if c.HavingMinN > 0 && c.Aggs[i].Name == "n" {
+				continue // HAVING references it
+			}
+			t := c
+			t.Aggs = append(append([]stream.AggSpec(nil), c.Aggs[:i]...), c.Aggs[i+1:]...)
+			if d := check(t); d != nil {
+				c, best, changed = t, d, true
+				i--
+			}
+		}
+	}
+	return best
+}

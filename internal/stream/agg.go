@@ -142,15 +142,94 @@ func (a AggSpec) resultKind(argKind Kind) (Kind, error) {
 	return KindNull, fmt.Errorf("stream: unknown aggregate %v", a.Func)
 }
 
+// moments is the mergeable first/second-moment state behind avg and
+// stdev. Deviations are accumulated against a shift anchored at the
+// minimum value seen so far, which serves two purposes:
+//
+//   - Numerical stability: the textbook sumsq/n − mean² finish
+//     catastrophically cancels when the mean dwarfs the spread (e.g.
+//     unix-timestamp-scale readings), silently clamping the variance to
+//     zero. Deviations from the minimum stay on the scale of the data's
+//     spread, so no cancellation occurs.
+//   - Order canonicality: re-anchoring to the running minimum makes the
+//     accumulated state a function of the value multiset, not of arrival
+//     or pane-merge order, so the pane-merged and naively re-aggregated
+//     window paths finish bit-identically whenever the underlying float
+//     arithmetic is exact.
+//
+// Merging stays O(1): the higher-shifted side is rebased with the closed
+// forms Σ(d+e) = Σd + n·e and Σ(d+e)² = Σd² + 2eΣd + n·e².
+type moments struct {
+	n     int64   // numeric observations folded in
+	shift float64 // anchor: minimum value seen so far
+	sumd  float64 // Σ (x − shift)
+	sumd2 float64 // Σ (x − shift)²
+}
+
+func (m *moments) add(f float64) {
+	if m.n == 0 {
+		m.shift = f
+	} else if f < m.shift {
+		m.rebase(f)
+	}
+	d := f - m.shift
+	m.sumd += d
+	m.sumd2 += d * d
+	m.n++
+}
+
+// rebase re-anchors the accumulated deviations to a lower shift s.
+func (m *moments) rebase(s float64) {
+	e := m.shift - s
+	m.sumd2 += 2*e*m.sumd + float64(m.n)*e*e
+	m.sumd += float64(m.n) * e
+	m.shift = s
+}
+
+// merge folds b into m. b is passed by value: rebasing the copy leaves
+// the caller's accumulator untouched.
+func (m *moments) merge(b moments) {
+	if b.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = b
+		return
+	}
+	if b.shift < m.shift {
+		m.rebase(b.shift)
+	} else if b.shift > m.shift {
+		b.rebase(m.shift)
+	}
+	m.sumd += b.sumd
+	m.sumd2 += b.sumd2
+	m.n += b.n
+}
+
+// mean returns the arithmetic mean; only valid for n > 0.
+func (m *moments) mean() float64 { return m.shift + m.sumd/float64(m.n) }
+
+// variance returns the population variance; only valid for n > 0. The
+// clamp absorbs the last-ulp negative residue the subtraction can leave
+// on constant inputs.
+func (m *moments) variance() float64 {
+	md := m.sumd / float64(m.n)
+	v := m.sumd2/float64(m.n) - md*md
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
 // accum is a mergeable partial aggregate for one (group, pane) cell.
 // Window results are produced by merging the accums of the panes that the
 // window spans, which makes sliding-window aggregation O(panes) instead of
 // O(tuples) per emission.
 type accum struct {
 	n        int64   // non-NULL observations (rows for count(*))
-	sum      float64 // running sum (numeric aggregates)
-	sumsq    float64 // running sum of squares (stdev)
+	sum      float64 // running sum (integer/float sum)
 	isum     int64   // integer sum (integer-typed sum)
+	m        moments // shifted moments (avg, stdev)
 	min, max Value
 	distinct map[Value]int64 // value -> multiplicity, for DISTINCT
 	vals     []float64       // buffered values, for holistic aggregates
@@ -182,7 +261,7 @@ func (a *accum) add(v Value, countStar bool) {
 	if v.Kind().Numeric() {
 		f := v.AsFloat()
 		a.sum += f
-		a.sumsq += f * f
+		a.m.add(f)
 		if v.Kind() == KindInt {
 			a.isum += v.AsInt()
 		}
@@ -206,8 +285,8 @@ func (a *accum) add(v Value, countStar bool) {
 func (a *accum) merge(b *accum) {
 	a.n += b.n
 	a.sum += b.sum
-	a.sumsq += b.sumsq
 	a.isum += b.isum
+	a.m.merge(b.m)
 	if a.min.IsNull() {
 		a.min, a.max = b.min, b.max
 	} else if !b.min.IsNull() {
@@ -236,19 +315,21 @@ func (a *accum) result(spec AggSpec, argKind Kind) Value {
 		case AggCount:
 			return Int(int64(len(a.distinct)))
 		case AggSum, AggAvg, AggStdev:
-			var sum, sumsq float64
+			// Fold in sorted order: map iteration order is random, and
+			// float sums are order-dependent, so sorting is what makes
+			// DISTINCT results reproducible run to run.
+			var sum float64
 			var isum int64
-			var n int64
-			for v := range a.distinct {
+			var m moments
+			for _, v := range sortedDistinct(a.distinct) {
 				f := v.AsFloat()
 				sum += f
-				sumsq += f * f
+				m.add(f)
 				if v.Kind() == KindInt {
 					isum += v.AsInt()
 				}
-				n++
 			}
-			return finishNumeric(spec, argKind, n, sum, sumsq, isum)
+			return finishNumeric(spec, argKind, m.n, sum, isum, m)
 		case AggMedian, AggPercentile:
 			vals := make([]float64, 0, len(a.distinct))
 			for v := range a.distinct {
@@ -268,8 +349,19 @@ func (a *accum) result(spec AggSpec, argKind Kind) Value {
 	case AggMedian, AggPercentile:
 		return quantileValue(append([]float64(nil), a.vals...), spec.quantile())
 	default:
-		return finishNumeric(spec, argKind, a.n, a.sum, a.sumsq, a.isum)
+		return finishNumeric(spec, argKind, a.n, a.sum, a.isum, a.m)
 	}
+}
+
+// sortedDistinct returns the distinct values in a deterministic total
+// order (Compare where defined, string rendering otherwise).
+func sortedDistinct(distinct map[Value]int64) []Value {
+	vals := make([]Value, 0, len(distinct))
+	for v := range distinct {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return lessValue(vals[i], vals[j]) })
+	return vals
 }
 
 // quantileValue computes the nearest-rank quantile, consuming vals.
@@ -288,7 +380,7 @@ func quantileValue(vals []float64, q float64) Value {
 	return Float(vals[rank-1])
 }
 
-func finishNumeric(spec AggSpec, argKind Kind, n int64, sum, sumsq float64, isum int64) Value {
+func finishNumeric(spec AggSpec, argKind Kind, n int64, sum float64, isum int64, m moments) Value {
 	if n == 0 {
 		return Null()
 	}
@@ -298,15 +390,14 @@ func finishNumeric(spec AggSpec, argKind Kind, n int64, sum, sumsq float64, isum
 			return Int(isum)
 		}
 		return Float(sum)
-	case AggAvg:
-		return Float(sum / float64(n))
-	case AggStdev:
-		mean := sum / float64(n)
-		variance := sumsq/float64(n) - mean*mean
-		if variance < 0 { // numeric noise
-			variance = 0
+	case AggAvg, AggStdev:
+		if m.n == 0 { // non-NULL but non-numeric observations only
+			return Null()
 		}
-		return Float(math.Sqrt(variance))
+		if spec.Func == AggAvg {
+			return Float(m.mean())
+		}
+		return Float(math.Sqrt(m.variance()))
 	}
 	return Null()
 }

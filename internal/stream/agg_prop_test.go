@@ -1,0 +1,241 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestStdevLargeMagnitude is the regression test for the catastrophic
+// cancellation the old sumsq/n − mean² finish suffered on values whose
+// mean dwarfs their spread (unix-timestamp-scale readings): squares near
+// 1e18 are representable only to ~128 absolute, so a true variance of
+// 2/3 drowned in rounding noise and was silently clamped to 0. The
+// shifted-moment accumulator must recover it to full precision.
+func TestStdevLargeMagnitude(t *testing.T) {
+	want := math.Sqrt(2.0 / 3.0) // population stdev of {x, x+1, x+2}
+	for _, naive := range []bool{false, true} {
+		w := &WindowAgg{
+			Aggs:  []AggSpec{{Name: "sd", Func: AggStdev, Arg: NewCol("shelf")}},
+			Range: 3 * time.Second, Slide: 3 * time.Second,
+			Naive: naive,
+		}
+		sch := MustSchema(Field{Name: "shelf", Kind: KindFloat})
+		if err := w.Open(sch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Advance(at(0)); err != nil {
+			t.Fatal(err)
+		}
+		for i, sec := range []float64{0.5, 1.5, 2.5} {
+			if _, err := w.Process(NewTuple(at(sec), Float(1e9+float64(i)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out, err := w.Advance(at(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 1 {
+			t.Fatalf("naive=%v: got %d rows, want 1", naive, len(out))
+		}
+		got := out[0].Values[0].AsFloat()
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("naive=%v: stdev = %v, want %v (±1e-9)", naive, got, want)
+		}
+	}
+}
+
+// foldAccum builds an accumulator over vals for the given spec.
+func foldAccum(spec AggSpec, vals []Value) *accum {
+	a := newAccum(spec)
+	for _, v := range vals {
+		a.add(v, spec.Arg == nil && spec.Func == AggCount)
+	}
+	return a
+}
+
+// propSpecs are the aggregates whose merge algebra the property tests
+// exercise (holistic aggregates buffer values and are trivially exact).
+func propSpecs() []AggSpec {
+	return []AggSpec{
+		{Name: "n", Func: AggCount, Arg: NewCol("v")},
+		{Name: "s", Func: AggSum, Arg: NewCol("v")},
+		{Name: "a", Func: AggAvg, Arg: NewCol("v")},
+		{Name: "sd", Func: AggStdev, Arg: NewCol("v")},
+		{Name: "mn", Func: AggMin, Arg: NewCol("v")},
+		{Name: "mx", Func: AggMax, Arg: NewCol("v")},
+	}
+}
+
+// genPropValues draws integer-valued floats (occasionally NULL, and in
+// half the cases offset to timestamp scale) — inputs on which every
+// accumulator operation is exact in float64, so the algebraic laws can
+// be asserted bit for bit.
+func genPropValues(r *rand.Rand, n int) []Value {
+	offset := 0.0
+	if r.Intn(2) == 0 {
+		offset = 1e9
+	}
+	vals := make([]Value, n)
+	for i := range vals {
+		if r.Intn(10) == 0 {
+			vals[i] = Null()
+			continue
+		}
+		vals[i] = Float(offset + float64(r.Intn(200)-100))
+	}
+	return vals
+}
+
+// TestAccumMergeAssociativeCommutative asserts the merge algebra the
+// pane optimization depends on: folding a value multiset through any
+// split and any merge order must finish identically to a single
+// accumulator fed sequentially.
+func TestAccumMergeAssociativeCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		vals := genPropValues(r, 3+r.Intn(40))
+		i, j := len(vals)/3, 2*len(vals)/3
+		for _, spec := range propSpecs() {
+			whole := foldAccum(spec, vals).result(spec, KindFloat)
+
+			// (a ∪ b) ∪ c
+			ab := foldAccum(spec, vals[:i])
+			ab.merge(foldAccum(spec, vals[i:j]))
+			ab.merge(foldAccum(spec, vals[j:]))
+
+			// a ∪ (b ∪ c)
+			bc := foldAccum(spec, vals[i:j])
+			bc.merge(foldAccum(spec, vals[j:]))
+			a := foldAccum(spec, vals[:i])
+			a.merge(bc)
+
+			// c ∪ (b ∪ a): commuted order
+			ba := foldAccum(spec, vals[i:j])
+			ba.merge(foldAccum(spec, vals[:i]))
+			c := foldAccum(spec, vals[j:])
+			c.merge(ba)
+
+			for _, got := range []*accum{ab, a, c} {
+				if v := got.result(spec, KindFloat); v != whole {
+					t.Logf("seed %d, %s: merged %v, sequential %v", seed, spec, v, whole)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDistinctSplitMatchesSingle asserts that DISTINCT aggregates over
+// value sets split across panes (merged multiplicity maps) finish
+// identically to the single-pane fold — including the float aggregates,
+// whose DISTINCT folds iterate values in sorted order precisely so the
+// result cannot depend on map iteration order.
+func TestDistinctSplitMatchesSingle(t *testing.T) {
+	specs := []AggSpec{
+		{Name: "n", Func: AggCount, Arg: NewCol("v"), Distinct: true},
+		{Name: "s", Func: AggSum, Arg: NewCol("v"), Distinct: true},
+		{Name: "a", Func: AggAvg, Arg: NewCol("v"), Distinct: true},
+		{Name: "sd", Func: AggStdev, Arg: NewCol("v"), Distinct: true},
+		{Name: "md", Func: AggMedian, Arg: NewCol("v"), Distinct: true},
+		{Name: "p", Func: AggPercentile, Arg: NewCol("v"), Distinct: true, Param: 0.9},
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// A narrow domain guarantees duplicates across the split point.
+		vals := make([]Value, 5+r.Intn(30))
+		for i := range vals {
+			vals[i] = Float(1e9 + float64(r.Intn(8)))
+		}
+		i := r.Intn(len(vals))
+		for _, spec := range specs {
+			whole := foldAccum(spec, vals).result(spec, KindFloat)
+			split := foldAccum(spec, vals[:i])
+			split.merge(foldAccum(spec, vals[i:]))
+			if v := split.result(spec, KindFloat); v != whole {
+				t.Logf("seed %d, %s: split %v, single %v", seed, spec, v, whole)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuantileValueBounds pins the nearest-rank quantile at its edges:
+// q=0 clamps to the minimum, q=1 selects the maximum, and a single
+// element answers every quantile.
+func TestQuantileValueBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []float64
+		q    float64
+		want Value
+	}{
+		{"q0-min", []float64{3, 1, 2}, 0, Float(1)},
+		{"q1-max", []float64{3, 1, 2}, 1, Float(3)},
+		{"median-odd", []float64{3, 1, 2}, 0.5, Float(2)},
+		{"single-q0", []float64{7}, 0, Float(7)},
+		{"single-q1", []float64{7}, 1, Float(7)},
+		{"single-mid", []float64{7}, 0.5, Float(7)},
+		{"empty", nil, 0.5, Null()},
+	}
+	for _, c := range cases {
+		if got := quantileValue(append([]float64(nil), c.vals...), c.q); got != c.want {
+			t.Errorf("%s: quantileValue(%v, %v) = %v, want %v", c.name, c.vals, c.q, got, c.want)
+		}
+	}
+}
+
+// TestWindowLateEdgeBoundary audits the late-arrival drop condition at
+// the exact b−Range edge: pane semantics are (b−Range, b], so a tuple
+// timestamped exactly at the left edge of the earliest unemitted window
+// belongs to no live window and must be dropped (and counted), while a
+// tuple just inside the edge must survive and aggregate — in both modes.
+func TestWindowLateEdgeBoundary(t *testing.T) {
+	for _, naive := range []bool{false, true} {
+		w := &WindowAgg{
+			Aggs:  []AggSpec{{Name: "n", Func: AggCount}},
+			Range: 4 * time.Second, Slide: 2 * time.Second,
+			Naive: naive,
+		}
+		if err := w.Open(rfidSchema); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Advance(at(0)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Advance(at(6)); err != nil {
+			t.Fatal(err)
+		}
+		// nextEmit is now 8s; the earliest unemitted window is (4s, 8s].
+		if _, err := w.Process(read(4, "edge", 0)); err != nil {
+			t.Fatal(err)
+		}
+		if w.Dropped != 1 {
+			t.Errorf("naive=%v: tuple at exact edge b−Range: Dropped = %d, want 1", naive, w.Dropped)
+		}
+		if _, err := w.Process(read(4.5, "in", 0)); err != nil {
+			t.Fatal(err)
+		}
+		if w.Dropped != 1 {
+			t.Errorf("naive=%v: tuple inside window dropped (Dropped = %d)", naive, w.Dropped)
+		}
+		out, err := w.Advance(at(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 1 || out[0].Values[0] != Int(1) {
+			t.Errorf("naive=%v: window (4s, 8s] = %v, want one row counting only the in-window tuple", naive, out)
+		}
+	}
+}

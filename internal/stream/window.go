@@ -48,8 +48,9 @@ type WindowAgg struct {
 	pending  []Tuple // tuples seen before the first punctuation
 	panes    map[int64]map[GroupKey]*paneCell
 	buffer   []Tuple // Naive mode: live tuples
-	// Dropped counts late tuples discarded because their pane had already
-	// been emitted and evicted.
+	// Dropped counts late tuples discarded because every window that
+	// could contain them (boundary ≥ nextEmit, covering (b−Range, b])
+	// had already been emitted.
 	Dropped int64
 }
 
@@ -130,13 +131,17 @@ func (w *WindowAgg) Process(t Tuple) ([]Tuple, error) {
 }
 
 func (w *WindowAgg) absorb(t Tuple) error {
-	if w.Naive {
-		w.buffer = append(w.buffer, t)
+	// Drop tuples at or before the left edge of the earliest unemitted
+	// window (nextEmit−Range, nextEmit]: no window with boundary ≥
+	// nextEmit can contain them. The edge itself is excluded — pane
+	// semantics are (b−Range, b]. Both modes apply the same test so the
+	// Dropped counter agrees between them.
+	if !w.nextEmit.IsZero() && !t.Ts.After(w.nextEmit.Add(-w.Range)) {
+		w.Dropped++
 		return nil
 	}
-	// Drop tuples whose window has entirely passed.
-	if w.started && !w.nextEmit.IsZero() && !t.Ts.After(w.nextEmit.Add(-w.Slide-w.Range)) {
-		w.Dropped++
+	if w.Naive {
+		w.buffer = append(w.buffer, t)
 		return nil
 	}
 	j := w.paneIndex(t.Ts)
@@ -244,6 +249,24 @@ func (w *WindowAgg) Close() ([]Tuple, error) {
 		}
 		w.pending = nil
 	}
+	// Prune state the final window (nextEmit−Range, nextEmit] cannot
+	// observe before deciding whether anything is left to emit, so both
+	// modes agree on whether the closing window fires: panes at or left
+	// of the window's left edge, and buffered tuples at or before it.
+	lo := w.nextEmit.Add(-w.Range)
+	jLo := int64(lo.Sub(w.origin)) / int64(w.pane)
+	for j := range w.panes {
+		if j <= jLo {
+			delete(w.panes, j)
+		}
+	}
+	live := w.buffer[:0]
+	for _, t := range w.buffer {
+		if t.Ts.After(lo) {
+			live = append(live, t)
+		}
+	}
+	w.buffer = live
 	if len(w.panes) == 0 && len(w.buffer) == 0 {
 		return nil, nil
 	}
@@ -379,26 +402,28 @@ func lessValues(a, b []Value) bool {
 		if i >= len(b) {
 			return false
 		}
-		av, bv := a[i], b[i]
-		switch {
-		case av.IsNull() && bv.IsNull():
-			continue
-		case av.IsNull():
+		if lessValue(a[i], b[i]) {
 			return true
-		case bv.IsNull():
+		}
+		if lessValue(b[i], a[i]) {
 			return false
-		}
-		c, err := av.Compare(bv)
-		if err != nil {
-			as, bs := av.String(), bv.String()
-			if as == bs {
-				continue
-			}
-			return as < bs
-		}
-		if c != 0 {
-			return c < 0
 		}
 	}
 	return len(a) < len(b)
+}
+
+// lessValue totally orders two scalars: NULLs first, Compare where
+// defined, string rendering as the fallback for incomparable pairs.
+func lessValue(a, b Value) bool {
+	switch {
+	case a.IsNull():
+		return !b.IsNull()
+	case b.IsNull():
+		return false
+	}
+	c, err := a.Compare(b)
+	if err != nil {
+		return a.String() < b.String()
+	}
+	return c < 0
 }
