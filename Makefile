@@ -4,12 +4,12 @@ GO ?= go
 # `make check` runs, longer via `make fuzz FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race diff fuzz-smoke fuzz bench
+.PHONY: check vet build test race diff chaos fuzz-smoke fuzz bench
 
 ## check: everything CI needs — vet, build, full tests, race-detector pass
-## over the concurrent executor, the differential oracle suite, and a
-## short fuzz round per target.
-check: vet build test race diff fuzz-smoke
+## over the concurrent executor, the differential oracle suite, the chaos
+## (fault-injection) harness, and a short fuzz round per target.
+check: vet build test race diff chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,12 @@ race:
 ## generated case executed several ways, zero divergence required.
 diff:
 	$(GO) test ./internal/oracle -run 'TestDifferential|TestInjectedBugCaught' -count=1
+
+## chaos: the fault-injection harness — all three deployments under
+## seeded fault schedules with the supervised poller, run twice each,
+## asserting scheduled quarantine/readmission and deterministic output.
+chaos:
+	$(GO) test ./internal/exp -run 'TestChaos' -count=1
 
 ## fuzz-smoke: one short coverage-guided round per fuzz target, seeded
 ## from the committed corpora under testdata/fuzz.

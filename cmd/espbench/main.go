@@ -9,6 +9,7 @@
 //	espbench -exp spatial  §5.3.2 spatial-granule sweep
 //	espbench -exp fig9     §6  digital-home person detector
 //	espbench -exp sched    dataflow-scheduler comparison (seq vs parallel)
+//	espbench -exp chaos    fault-injection harness (supervised runtime)
 //	espbench -exp all      everything above
 //
 // Add -trace to emit the per-epoch series behind the figure (CSV on
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment id: fig3, fig5, fig6, fig7, yield, spatial, fig9, actuation, model, robust, sched, all")
+	expName := flag.String("exp", "all", "experiment id: fig3, fig5, fig6, fig7, yield, spatial, fig9, actuation, model, robust, sched, chaos, all")
 	trace := flag.Bool("trace", false, "emit per-epoch trace CSV after the summary")
 	seed := flag.Int64("seed", 0, "override the simulation seed (0 = calibrated defaults)")
 	flag.Parse()
@@ -42,8 +43,9 @@ func main() {
 		"model":     runModel,
 		"robust":    runRobust,
 		"sched":     runSched,
+		"chaos":     runChaos,
 	}
-	order := []string{"fig3", "fig5", "fig6", "fig7", "yield", "spatial", "fig9", "actuation", "model", "robust", "sched"}
+	order := []string{"fig3", "fig5", "fig6", "fig7", "yield", "spatial", "fig9", "actuation", "model", "robust", "sched", "chaos"}
 
 	if *expName == "all" {
 		for _, name := range order {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"time"
 
@@ -20,7 +21,15 @@ import (
 // TestRunConcurrentMatchesRun and exercised by BenchmarkAblationRunner).
 // Receptors must not share mutable state for concurrent polling to be
 // safe; all simulators in internal/sim satisfy this (per-device RNGs).
+// Supervision applies as in Run: each worker polls through the
+// supervisor, whose per-receptor state is independently locked.
 func (p *Processor) RunConcurrent(start, end time.Time) error {
+	return p.RunConcurrentContext(context.Background(), start, end)
+}
+
+// RunConcurrentContext is RunConcurrent with cancellation, checked at
+// every epoch boundary like RunContext.
+func (p *Processor) RunConcurrentContext(ctx context.Context, start, end time.Time) error {
 	n := len(p.dep.Receptors)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -42,12 +51,15 @@ func (p *Processor) RunConcurrent(start, end time.Time) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for j := range jobs {
-				results <- polled{idx: j.idx, tuples: p.dep.Receptors[j.idx].Poll(j.now)}
+				results <- polled{idx: j.idx, tuples: p.poll(j.idx, j.now)}
 			}
 		}()
 	}
 	batches := make([][]stream.Tuple, n)
 	for now := start.Add(p.dep.Epoch); !now.After(end); now = now.Add(p.dep.Epoch) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for i := 0; i < n; i++ {
 			jobs <- job{idx: i, now: now}
 		}

@@ -77,6 +77,12 @@ type BuildEnv struct {
 	// TieBreak resolves ties in Arbitrate's `>= ALL` rewrite — the
 	// paper's §4.3.1 weaker-antenna calibration.
 	TieBreak func(a, b stream.Tuple) bool
+	// Group is the proximity group a Merge stage instance serves (empty
+	// for Point/Smooth/Arbitrate/Virtualize instances).
+	Group string
+	// Live reports group live membership under receptor supervision —
+	// see Processor.EnableSupervision and MergeVoteLive.
+	Live LiveView
 }
 
 // Stage builds the operator implementing one pipeline stage for one

@@ -30,6 +30,11 @@ type dag struct {
 	// fan-out is O(legs) instead of O(receptors × legs).
 	legsByReceptor [][]int
 	stats          []nodeCounters
+	// quarantined[i] marks node i as permanently out of service after a
+	// panic under supervision: its input is dropped and it is no longer
+	// punctuated. Unlike receptors — external devices that may recover —
+	// a panicked node has corrupt operator state, so it never readmits.
+	quarantined []atomic.Bool
 }
 
 // downEdge routes a node's emitted tuples to a downstream input port.
@@ -47,6 +52,7 @@ type nodeCounters struct {
 	tuplesIn, tuplesOut atomic.Int64
 	advances            atomic.Int64
 	advanceTimeNs       atomic.Int64
+	panics              atomic.Int64
 }
 
 // compileDag inverts the nodes' upstream declarations into the runnable
@@ -60,6 +66,8 @@ func compileDag(p *Processor, nodes []node) (*dag, error) {
 		down:  make([][]downEdge, len(nodes)),
 		level: make([]int, len(nodes)),
 		stats: make([]nodeCounters, len(nodes)),
+
+		quarantined: make([]atomic.Bool, len(nodes)),
 	}
 	maxLevel := 0
 	for i, n := range nodes {
@@ -106,27 +114,63 @@ func compileDag(p *Processor, nodes []node) (*dag, error) {
 // processInto delivers a batch to node i's input port and cascades its
 // effects and emissions depth-first — the sequential execution strategy,
 // which reproduces the classic Processor's call sequence exactly.
+// Quarantined nodes swallow their input.
 func (g *dag) processInto(i int, port string, ts []stream.Tuple) error {
+	if g.quarantined[i].Load() {
+		return nil
+	}
 	g.stats[i].tuplesIn.Add(int64(len(ts)))
 	var fx effects
-	if err := g.nodes[i].process(port, ts, &fx); err != nil {
+	ok, err := g.guard(i, func() error { return g.nodes[i].process(port, ts, &fx) })
+	if err != nil {
 		return err
+	}
+	if !ok {
+		return nil // panicked under supervision: partial effects discarded
 	}
 	return g.flushCascade(i, &fx)
 }
 
 // advanceNode punctuates node i and cascades the released output.
+// Quarantined nodes are no longer punctuated.
 func (g *dag) advanceNode(i int, now time.Time) error {
+	if g.quarantined[i].Load() {
+		return nil
+	}
 	st := &g.stats[i]
 	var fx effects
 	t0 := time.Now()
-	err := g.nodes[i].advance(now, &fx)
+	ok, err := g.guard(i, func() error { return g.nodes[i].advance(now, &fx) })
 	st.advanceTimeNs.Add(int64(time.Since(t0)))
 	st.advances.Add(1)
 	if err != nil {
 		return err
 	}
+	if !ok {
+		return nil
+	}
 	return g.flushCascade(i, &fx)
+}
+
+// guard runs one node call with panic isolation. A panic increments the
+// node's panic counter; under supervision the node is quarantined and
+// the epoch continues (ok=false, nil error), otherwise the panic is
+// converted into a labelled error that aborts the Step.
+func (g *dag) guard(i int, fn func() error) (ok bool, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		g.stats[i].panics.Add(1)
+		if g.p.sup != nil {
+			g.quarantined[i].Store(true)
+			ok, err = false, nil
+			return
+		}
+		ok, err = false, fmt.Errorf("core: node %s panicked: %v", g.nodes[i].label(), r)
+	}()
+	return true, fn()
 }
 
 // flushCascade runs node i's buffered effects (taps, sinks) and feeds
@@ -186,6 +230,11 @@ type NodeStats struct {
 	// latency.
 	Advances    int64
 	AdvanceTime time.Duration
+	// Panics counts recovered panics in the node's process/advance
+	// calls; Quarantined reports whether a panic under supervision has
+	// taken the node permanently out of service.
+	Panics      int64
+	Quarantined bool
 }
 
 // NodeStats reports per-node instrumentation in the graph's topological
@@ -206,6 +255,8 @@ func (p *Processor) NodeStats() []NodeStats {
 			TuplesOut:   st.tuplesOut.Load(),
 			Advances:    st.advances.Load(),
 			AdvanceTime: time.Duration(st.advanceTimeNs.Load()),
+			Panics:      st.panics.Load(),
+			Quarantined: g.quarantined[i].Load(),
 		}
 	}
 	return out

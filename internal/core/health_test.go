@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var testRules = healthRules{
+	suspectAfter: 2,
+	backoffBase:  4 * time.Second,
+	backoffMax:   16 * time.Second,
+}
+
+// TestHealthTransitions drives the state machine through every edge with
+// a table of (event, expected transition) steps.
+func TestHealthTransitions(t *testing.T) {
+	type step struct {
+		fail       bool
+		wantFired  bool
+		wantFrom   HealthState
+		wantTo     HealthState
+		wantState  HealthState
+		wantStreak int
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{
+			name: "recover-from-suspect",
+			steps: []step{
+				{fail: true, wantFired: true, wantFrom: Healthy, wantTo: Suspect, wantState: Suspect, wantStreak: 1},
+				{fail: false, wantFired: true, wantFrom: Suspect, wantTo: Healthy, wantState: Healthy},
+				{fail: false, wantState: Healthy},
+			},
+		},
+		{
+			name: "quarantine-then-readmit",
+			steps: []step{
+				{fail: true, wantFired: true, wantFrom: Healthy, wantTo: Suspect, wantState: Suspect, wantStreak: 1},
+				{fail: true, wantFired: true, wantFrom: Suspect, wantTo: Quarantined, wantState: Quarantined, wantStreak: 2},
+				{fail: true, wantFired: true, wantFrom: Quarantined, wantTo: Quarantined, wantState: Quarantined, wantStreak: 3},
+				{fail: false, wantFired: true, wantFrom: Quarantined, wantTo: Healthy, wantState: Healthy},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := &receptorHealth{}
+			for i, s := range tc.steps {
+				var tr HealthTransition
+				var fired bool
+				if s.fail {
+					tr, fired = h.onFailure(at(float64(i)), testRules, "error")
+				} else {
+					tr, fired = h.onSuccess(at(float64(i)))
+				}
+				if fired != s.wantFired {
+					t.Fatalf("step %d: fired=%v, want %v", i, fired, s.wantFired)
+				}
+				if fired && (tr.From != s.wantFrom || tr.To != s.wantTo) {
+					t.Fatalf("step %d: transition %s→%s, want %s→%s", i, tr.From, tr.To, s.wantFrom, s.wantTo)
+				}
+				if h.state != s.wantState {
+					t.Fatalf("step %d: state %s, want %s", i, h.state, s.wantState)
+				}
+				if h.streak != s.wantStreak {
+					t.Fatalf("step %d: streak %d, want %d", i, h.streak, s.wantStreak)
+				}
+			}
+		})
+	}
+}
+
+// TestHealthSuspectAfterOne checks the degenerate config: with
+// suspectAfter 1 the first failure quarantines directly.
+func TestHealthSuspectAfterOne(t *testing.T) {
+	rules := testRules
+	rules.suspectAfter = 1
+	h := &receptorHealth{}
+	tr, fired := h.onFailure(at(0), rules, "panic")
+	if !fired || tr.From != Healthy || tr.To != Quarantined {
+		t.Fatalf("got %v fired=%v, want Healthy→Quarantined", tr, fired)
+	}
+}
+
+// TestHealthBackoffDoubling walks quarantine probes on a virtual clock
+// and checks the exponential schedule with its cap.
+func TestHealthBackoffDoubling(t *testing.T) {
+	h := &receptorHealth{}
+	h.onFailure(at(0), testRules, "timeout")
+	h.onFailure(at(1), testRules, "timeout") // quarantined at t=1
+	if h.state != Quarantined {
+		t.Fatalf("state %s, want quarantined", h.state)
+	}
+	if want := at(1).Add(4 * time.Second); !h.retryAt.Equal(want) {
+		t.Fatalf("first probe at %v, want %v", h.retryAt, want)
+	}
+	// Failed probes: backoff 8s, 16s, then capped at 16s.
+	wantBackoffs := []time.Duration{8 * time.Second, 16 * time.Second, 16 * time.Second}
+	for i, want := range wantBackoffs {
+		probeAt := h.retryAt
+		h.onFailure(probeAt, testRules, "timeout")
+		if h.backoff != want {
+			t.Fatalf("probe %d: backoff %v, want %v", i, h.backoff, want)
+		}
+		if wantAt := probeAt.Add(want); !h.retryAt.Equal(wantAt) {
+			t.Fatalf("probe %d: retryAt %v, want %v", i, h.retryAt, wantAt)
+		}
+	}
+	// A successful probe resets everything.
+	tr, fired := h.onSuccess(h.retryAt)
+	if !fired || tr.Cause != "probe-ok" {
+		t.Fatalf("readmit transition %v fired=%v", tr, fired)
+	}
+	if h.backoff != 0 || !h.retryAt.IsZero() || h.readmits.Load() != 1 {
+		t.Fatalf("readmit did not reset: backoff=%v retryAt=%v readmits=%d", h.backoff, h.retryAt, h.readmits.Load())
+	}
+}
+
+// TestHealthJitterDeterministicAndBounded checks that jitter stretches
+// the backoff by at most jitterFrac and is reproducible per seed.
+func TestHealthJitterDeterministicAndBounded(t *testing.T) {
+	rules := testRules
+	rules.jitterFrac = 0.5
+	probe := func(seed int64) time.Time {
+		h := &receptorHealth{rng: rand.New(rand.NewSource(seed))}
+		h.onFailure(at(0), rules, "timeout")
+		h.onFailure(at(1), rules, "timeout")
+		return h.retryAt
+	}
+	a, b := probe(7), probe(7)
+	if !a.Equal(b) {
+		t.Fatalf("jitter not deterministic per seed: %v vs %v", a, b)
+	}
+	lo, hi := at(1).Add(4*time.Second), at(1).Add(6*time.Second)
+	if a.Before(lo) || a.After(hi) {
+		t.Fatalf("jittered probe %v outside [%v, %v]", a, lo, hi)
+	}
+	if probe(8).Equal(a) {
+		t.Fatalf("different seeds produced identical jitter (suspicious)")
+	}
+}

@@ -68,6 +68,7 @@ type Processor struct {
 
 	graph *dag
 	sched Scheduler
+	sup   *supervisor // nil until EnableSupervision
 
 	// typeOrder lists receptor types in first-leg order — the order
 	// type-level nodes are constructed and punctuated in.
@@ -232,7 +233,6 @@ func NewProcessor(dep *Deployment) (*Processor, error) {
 	}
 	p := &Processor{
 		dep:   dep,
-		env:   BuildEnv{Epoch: dep.Epoch, Tables: dep.Tables, TieBreak: dep.TieBreak},
 		sched: SeqScheduler{},
 
 		typeSchema:  make(map[receptor.Type]*stream.Schema),
@@ -240,6 +240,9 @@ func NewProcessor(dep *Deployment) (*Processor, error) {
 		taps:        make(map[tapKey][]func(stream.Tuple)),
 		typeSinks:   make(map[receptor.Type][]func(stream.Tuple)),
 	}
+	// Live resolves through the processor at call time, so stages built
+	// now still see supervision enabled later.
+	p.env = BuildEnv{Epoch: dep.Epoch, Tables: dep.Tables, TieBreak: dep.TieBreak, Live: liveView{p: p}}
 	b := &dagBuilder{
 		mergeOfGroup: make(map[string]int),
 		arbOf:        make(map[receptor.Type]int),
@@ -363,7 +366,9 @@ func (p *Processor) buildMerges(b *dagBuilder) error {
 		}
 		mi, ok := b.mergeOfGroup[leg.group]
 		if !ok {
-			op, err := pl.Merge.Build(leg.out, p.env)
+			env := p.env
+			env.Group = leg.group
+			op, err := pl.Merge.Build(leg.out, env)
 			if err != nil {
 				return fmt.Errorf("core: %s Merge for group %q: %w", leg.typ, leg.group, err)
 			}

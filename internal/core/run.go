@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -11,7 +12,19 @@ import (
 // Run drives the deployment from start (exclusive) to end (inclusive):
 // one Step per epoch. Sinks and taps must be registered before Run.
 func (p *Processor) Run(start, end time.Time) error {
+	return p.RunContext(context.Background(), start, end)
+}
+
+// RunContext is Run with cancellation: ctx is checked at every epoch
+// boundary, so a long run stops within one epoch's work of
+// cancellation and returns ctx.Err(). Cancellation granularity is the
+// epoch — a Step in flight always completes, keeping every stage's
+// window state consistent (see DESIGN.md §3).
+func (p *Processor) RunContext(ctx context.Context, start, end time.Time) error {
 	for now := start.Add(p.dep.Epoch); !now.After(end); now = now.Add(p.dep.Epoch) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := p.Step(now); err != nil {
 			return err
 		}
@@ -26,10 +39,20 @@ func (p *Processor) Run(start, end time.Time) error {
 // virtualize) so windowed results cascade deterministically.
 func (p *Processor) Step(now time.Time) error {
 	batches := make([][]stream.Tuple, len(p.dep.Receptors))
-	for i, rec := range p.dep.Receptors {
-		batches[i] = rec.Poll(now)
+	for i := range p.dep.Receptors {
+		batches[i] = p.poll(i, now)
 	}
 	return p.stepBatches(now, batches)
+}
+
+// poll gathers one receptor's epoch batch, through the supervisor when
+// one is enabled (deadlines, panic isolation, quarantine) and directly
+// otherwise.
+func (p *Processor) poll(i int, now time.Time) []stream.Tuple {
+	if p.sup != nil {
+		return p.sup.poll(i, now)
+	}
+	return p.dep.Receptors[i].Poll(now)
 }
 
 // stepBatches injects one epoch's polled batches (indexed like

@@ -169,22 +169,38 @@ func (s *ParallelScheduler) step(g *dag, now time.Time, batches [][]stream.Tuple
 // the node's own state, its private effects buffer, and its own stats
 // entry.
 func (s *ParallelScheduler) runNode(g *dag, i int, now time.Time) error {
+	if g.quarantined[i].Load() {
+		return nil // fx[i] stays nil: nothing flushes at the barrier
+	}
 	fx := &effects{}
 	s.fx[i] = fx
 	n := g.nodes[i]
 	st := &g.stats[i]
 	for _, d := range s.in[i] {
 		st.tuplesIn.Add(int64(len(d.ts)))
-		if err := n.process(d.port, d.ts, fx); err != nil {
+		ok, err := g.guard(i, func() error { return n.process(d.port, d.ts, fx) })
+		if err != nil {
 			return err
+		}
+		if !ok {
+			// Panicked under supervision: quarantine the node and discard
+			// the whole epoch's buffered effects (the sequential path has
+			// already cascaded earlier deliveries by this point — the two
+			// strategies only agree while no node panics mid-epoch).
+			s.fx[i] = nil
+			return nil
 		}
 	}
 	t0 := time.Now()
-	err := n.advance(now, fx)
+	ok, err := g.guard(i, func() error { return n.advance(now, fx) })
 	st.advanceTimeNs.Add(int64(time.Since(t0)))
 	st.advances.Add(1)
 	if err != nil {
 		return err
+	}
+	if !ok {
+		s.fx[i] = nil
+		return nil
 	}
 	st.tuplesOut.Add(int64(len(fx.out)))
 	return nil

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/stream"
+)
+
+// SupervisorConfig tunes receptor supervision (EnableSupervision). The
+// zero value of every field has a sensible default, so
+// EnableSupervision(SupervisorConfig{}) yields panic isolation with no
+// poll deadline.
+type SupervisorConfig struct {
+	// PollTimeout is the per-receptor Poll deadline; zero disables the
+	// deadline (panics are still isolated).
+	PollTimeout time.Duration
+	// SuspectAfter is how many consecutive failures quarantine a
+	// receptor (default 2: first failure marks it suspect, the next
+	// quarantines).
+	SuspectAfter int
+	// BackoffBase is the first quarantine duration (default 4 epochs);
+	// each failed readmission probe doubles it up to BackoffMax
+	// (default 16 × BackoffBase).
+	BackoffBase, BackoffMax time.Duration
+	// JitterFrac stretches each backoff by up to this fraction, drawn
+	// from a per-receptor RNG seeded with Seed, so probes across
+	// receptors decorrelate without losing per-seed determinism.
+	JitterFrac float64
+	Seed       int64
+	// Now is the wall clock used to measure poll latency in VirtualTime
+	// mode (default time.Now). Tests and the chaos harness inject a fake
+	// clock shared with receptor.Faulty's SleepFn.
+	Now func() time.Time
+	// VirtualTime selects the deterministic guard: polls run inline
+	// (panic-isolated), latency is measured with Now, and late results
+	// are discarded after the fact. Without it the production watchdog
+	// runs each poll on a goroutine and abandons it at the deadline —
+	// protecting liveness, but leaving quarantine timing dependent on
+	// real scheduling. Chaos runs that assert byte-identical output must
+	// set VirtualTime.
+	VirtualTime bool
+	// OnTransition, if set, observes every health-state edge. Called on
+	// the polling goroutine with no supervisor locks held.
+	OnTransition func(HealthTransition)
+}
+
+// supervisor guards every receptor poll of one Processor: deadlines,
+// panic isolation, and the per-receptor health state machine.
+type supervisor struct {
+	p      *Processor
+	cfg    SupervisorConfig
+	rules  healthRules
+	health []*receptorHealth // parallel to dep.Receptors
+	index  map[string]int    // receptor ID -> health index
+}
+
+// EnableSupervision turns on the fault-tolerant poll path: Poll panics
+// and deadline overruns no longer crash or stall the run — the failing
+// receptor walks the healthy → suspect → quarantined state machine and
+// is readmitted by exponential-backoff probes (DESIGN.md §6). Node
+// panics likewise quarantine the node instead of aborting the Step.
+// Call before Run; calling again replaces the supervisor and resets all
+// health state.
+func (p *Processor) EnableSupervision(cfg SupervisorConfig) {
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 2
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 4 * p.dep.Epoch
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 16 * cfg.BackoffBase
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &supervisor{
+		p:   p,
+		cfg: cfg,
+		rules: healthRules{
+			suspectAfter: cfg.SuspectAfter,
+			backoffBase:  cfg.BackoffBase,
+			backoffMax:   cfg.BackoffMax,
+			jitterFrac:   cfg.JitterFrac,
+		},
+		index: make(map[string]int, len(p.dep.Receptors)),
+	}
+	for i, rec := range p.dep.Receptors {
+		h := &receptorHealth{}
+		if cfg.JitterFrac > 0 {
+			h.rng = rand.New(rand.NewSource(cfg.Seed + int64(i)))
+		}
+		s.health = append(s.health, h)
+		s.index[rec.ID()] = i
+	}
+	p.sup = s
+}
+
+// Supervised reports whether EnableSupervision has been called.
+func (p *Processor) Supervised() bool { return p.sup != nil }
+
+// poll is the supervised poll path for receptor r at sim-time now.
+func (s *supervisor) poll(r int, now time.Time) []stream.Tuple {
+	h := s.health[r]
+	h.mu.Lock()
+	if h.state == Quarantined && now.Before(h.retryAt) {
+		h.mu.Unlock()
+		h.skipped.Add(1)
+		return nil
+	}
+	h.mu.Unlock()
+	if h.inflight.Load() {
+		// An abandoned timed-out poll is still running; issuing another
+		// could violate the receptor's single-caller assumption.
+		h.skipped.Add(1)
+		s.record(h, r, now, pollStuck)
+		return nil
+	}
+	out, outcome := s.guardedPoll(r, now)
+	h.polls.Add(1)
+	if got := s.record(h, r, now, outcome); !got {
+		return nil
+	}
+	return out
+}
+
+// record applies one poll outcome to the state machine and fires the
+// transition callback; it reports whether the poll's data may be used.
+func (s *supervisor) record(h *receptorHealth, r int, now time.Time, outcome pollOutcome) bool {
+	var tr HealthTransition
+	var fired bool
+	h.mu.Lock()
+	if outcome == pollOK {
+		tr, fired = h.onSuccess(now)
+	} else {
+		h.failures.Add(1)
+		switch outcome {
+		case pollTimeout:
+			h.timeouts.Add(1)
+		case pollPanic:
+			h.panics.Add(1)
+		}
+		tr, fired = h.onFailure(now, s.rules, outcome.cause())
+	}
+	h.mu.Unlock()
+	if fired && s.cfg.OnTransition != nil {
+		tr.ReceptorID = s.p.dep.Receptors[r].ID()
+		s.cfg.OnTransition(tr)
+	}
+	return outcome == pollOK
+}
+
+// guardedPoll executes one Poll under the configured guard.
+func (s *supervisor) guardedPoll(r int, now time.Time) ([]stream.Tuple, pollOutcome) {
+	rec := s.p.dep.Receptors[r]
+	if s.cfg.VirtualTime || s.cfg.PollTimeout <= 0 {
+		// Inline, panic-isolated; in virtual mode a late result is
+		// discarded after the fact — same data loss as the watchdog, but
+		// decided by the injected clock, hence deterministic.
+		var t0 time.Time
+		deadline := s.cfg.VirtualTime && s.cfg.PollTimeout > 0
+		if deadline {
+			t0 = s.cfg.Now()
+		}
+		out, panicked := pollIsolated(rec, now)
+		if panicked {
+			return nil, pollPanic
+		}
+		if deadline && s.cfg.Now().Sub(t0) > s.cfg.PollTimeout {
+			return nil, pollTimeout
+		}
+		return out, pollOK
+	}
+	// Production watchdog: run the poll on its own goroutine and abandon
+	// it at the deadline. The abandoned goroutine keeps running until the
+	// receptor returns; the inflight flag stops further polls from piling
+	// up behind it, and is cleared when it finally finishes.
+	h := s.health[r]
+	type result struct {
+		ts       []stream.Tuple
+		panicked bool
+	}
+	done := make(chan result, 1)
+	h.inflight.Store(true)
+	go func() {
+		ts, panicked := pollIsolated(rec, now)
+		done <- result{ts: ts, panicked: panicked}
+	}()
+	select {
+	case res := <-done:
+		h.inflight.Store(false)
+		if res.panicked {
+			return nil, pollPanic
+		}
+		return res.ts, pollOK
+	case <-time.After(s.cfg.PollTimeout):
+		go func() {
+			<-done
+			h.inflight.Store(false)
+		}()
+		return nil, pollTimeout
+	}
+}
+
+// pollIsolated calls rec.Poll with recover-based panic isolation.
+func pollIsolated(rec receptor.Receptor, now time.Time) (ts []stream.Tuple, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ts, panicked = nil, true
+		}
+	}()
+	return rec.Poll(now), false
+}
+
+// HealthStats snapshots every receptor's supervision state in deployment
+// receptor order. Safe from any goroutine; nil when the processor is not
+// supervised.
+func (p *Processor) HealthStats() []ReceptorHealth {
+	s := p.sup
+	if s == nil {
+		return nil
+	}
+	out := make([]ReceptorHealth, len(s.health))
+	for i, h := range s.health {
+		h.mu.Lock()
+		state, retryAt := h.state, h.retryAt
+		h.mu.Unlock()
+		out[i] = ReceptorHealth{
+			ID:          p.dep.Receptors[i].ID(),
+			State:       state,
+			Polls:       h.polls.Load(),
+			Skipped:     h.skipped.Load(),
+			Failures:    h.failures.Load(),
+			Timeouts:    h.timeouts.Load(),
+			Panics:      h.panics.Load(),
+			Quarantines: h.quarantines.Load(),
+			Readmits:    h.readmits.Load(),
+			NextProbe:   retryAt,
+		}
+	}
+	return out
+}
+
+// LiveView exposes a proximity group's live membership — all members,
+// minus those the supervisor currently holds in quarantine. Stages that
+// scale thresholds to group size (MergeVoteLive) consult it at each
+// punctuation so denominators track device health (paper §3.1.2 spatial
+// granules, degraded per DESIGN.md §6).
+type LiveView interface {
+	// LiveCount reports the number of live members of the group.
+	LiveCount(group string) int
+	// LiveMembers lists the live members in registration order.
+	LiveMembers(group string) []string
+}
+
+// liveView implements LiveView against the processor, resolving the
+// supervisor at call time so EnableSupervision after NewProcessor (the
+// normal order) is still honoured. Unsupervised processors report full
+// membership.
+type liveView struct {
+	p *Processor
+}
+
+// LiveCount implements LiveView.
+func (v liveView) LiveCount(group string) int { return len(v.LiveMembers(group)) }
+
+// LiveMembers implements LiveView.
+func (v liveView) LiveMembers(group string) []string {
+	gr, ok := v.p.dep.Groups.Group(group)
+	if !ok {
+		return nil
+	}
+	s := v.p.sup
+	if s == nil {
+		return append([]string(nil), gr.Members...)
+	}
+	out := make([]string, 0, len(gr.Members))
+	for _, id := range gr.Members {
+		i, tracked := s.index[id]
+		if tracked {
+			h := s.health[i]
+			h.mu.Lock()
+			quarantined := h.state == Quarantined
+			h.mu.Unlock()
+			if quarantined {
+				continue
+			}
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Live returns the processor's live-membership view.
+func (p *Processor) Live() LiveView { return liveView{p: p} }

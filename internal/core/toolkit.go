@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"time"
 
@@ -279,6 +280,118 @@ func MergeVote(granule time.Duration, threshold int) Stage {
 	return CQLStage{Query: fmt.Sprintf(
 		"SELECT 'ON' AS value FROM merge_input [Range By '%s'] HAVING count(distinct receptor_id) >= %d",
 		durText(granule), threshold)}
+}
+
+// MergeVoteLive is MergeVote with a health-aware denominator: instead
+// of a fixed device count, the ON threshold is max(1, ceil(quorumFrac ×
+// live members)) recomputed at every punctuation from the supervisor's
+// live membership (BuildEnv.Live). When a device is quarantined the
+// quorum rescales — a group of three at frac 0.6 needs 2 of 3 votes
+// while whole, 2 of 2 with one device down, 1 of 1 with two down —
+// rather than silently under-reporting against dead voters. Without
+// supervision every member counts as live and (for frac ≈ k/n) the
+// stage behaves like MergeVote(granule, k). Output: (value).
+func MergeVoteLive(granule time.Duration, quorumFrac float64) Stage {
+	return FuncStage{
+		Name: fmt.Sprintf("merge-vote-live(%s)", floatText(quorumFrac)),
+		Fn: func(in *stream.Schema, env BuildEnv) (stream.Operator, error) {
+			if quorumFrac <= 0 || quorumFrac > 1 {
+				return nil, fmt.Errorf("core: MergeVoteLive: quorumFrac %v outside (0, 1]", quorumFrac)
+			}
+			if _, ok := in.Index(ColReceptorID); !ok {
+				return nil, fmt.Errorf("core: MergeVoteLive: input %s has no %s column", in, ColReceptorID)
+			}
+			if env.Live == nil || env.Group == "" {
+				return nil, fmt.Errorf("core: MergeVoteLive must run as a Merge stage (no group/live view in env)")
+			}
+			return &voteLiveOp{granule: granule, frac: quorumFrac, group: env.Group, live: env.Live}, nil
+		},
+	}
+}
+
+// voteLiveOp implements MergeVoteLive: a sliding distinct-receptor
+// counter over (b−granule, b] windows (the same boundaries WindowAgg
+// uses) whose HAVING threshold is re-derived from live membership at
+// each emission.
+type voteLiveOp struct {
+	granule time.Duration
+	frac    float64
+	group   string
+	live    LiveView
+
+	ridIx int
+	out   *stream.Schema
+	buf   []voteRead
+}
+
+// voteRead is one buffered (timestamp, receptor) observation.
+type voteRead struct {
+	ts  time.Time
+	rid string
+}
+
+// Open implements Operator.
+func (o *voteLiveOp) Open(in *stream.Schema) error {
+	ix, ok := in.Index(ColReceptorID)
+	if !ok {
+		return fmt.Errorf("core: MergeVoteLive: input %s has no %s column", in, ColReceptorID)
+	}
+	o.ridIx = ix
+	out, err := stream.NewSchema(stream.Field{Name: "value", Kind: stream.KindString})
+	if err != nil {
+		return err
+	}
+	o.out = out
+	return nil
+}
+
+// Schema implements Operator.
+func (o *voteLiveOp) Schema() *stream.Schema { return o.out }
+
+// Process implements Operator.
+func (o *voteLiveOp) Process(t stream.Tuple) ([]stream.Tuple, error) {
+	rid := t.Values[o.ridIx]
+	if rid.IsNull() {
+		return nil, nil
+	}
+	o.buf = append(o.buf, voteRead{ts: t.Ts, rid: rid.AsString()})
+	return nil, nil
+}
+
+// Advance implements Operator: the processor punctuates once per epoch,
+// and like WindowAgg with Slide = epoch the operator emits one window
+// (now−granule, now] per punctuation when the in-window
+// distinct-receptor count reaches the live quorum.
+func (o *voteLiveOp) Advance(now time.Time) ([]stream.Tuple, error) {
+	return o.emit(now), nil
+}
+
+// Close implements Operator.
+func (o *voteLiveOp) Close() ([]stream.Tuple, error) { return nil, nil }
+
+// emit evaluates the window (b−granule, b].
+func (o *voteLiveOp) emit(b time.Time) []stream.Tuple {
+	lo := b.Add(-o.granule)
+	live := o.buf[:0]
+	distinct := make(map[string]bool)
+	for _, r := range o.buf {
+		if !r.ts.After(lo) {
+			continue // slid out of every future window
+		}
+		live = append(live, r)
+		if !r.ts.After(b) {
+			distinct[r.rid] = true
+		}
+	}
+	o.buf = live
+	quorum := int(math.Ceil(o.frac * float64(o.live.LiveCount(o.group))))
+	if quorum < 1 {
+		quorum = 1
+	}
+	if len(distinct) < quorum {
+		return nil
+	}
+	return []stream.Tuple{{Ts: b, Values: []stream.Value{stream.String("ON")}}}
 }
 
 // MergeUnion passes the group's streams through unchanged (the

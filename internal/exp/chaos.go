@@ -1,0 +1,411 @@
+package exp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"esp/internal/core"
+	"esp/internal/receptor"
+	"esp/internal/sim"
+	"esp/internal/stream"
+)
+
+// ChaosConfig parameterises the chaos harness: the three example
+// deployments run under seeded, schedule-driven fault injection with
+// the supervised poller enabled, and every run is executed twice to
+// assert seed-determinism.
+type ChaosConfig struct {
+	// Seed drives every fault injector and the supervisor's probe
+	// jitter. The same seed always reproduces the same run.
+	Seed int64
+	// Short trims each deployment's duration (used by `go test -short`
+	// and `make chaos`); the fault schedules still fit inside it.
+	Short bool
+}
+
+// DefaultChaosConfig returns the seed the experiment binary uses.
+func DefaultChaosConfig() ChaosConfig { return ChaosConfig{Seed: 41} }
+
+// ChaosDeployment summarises one deployment's chaos run.
+type ChaosDeployment struct {
+	Name   string
+	Epochs int
+	// Outputs counts tuples emitted across all per-type outputs (and
+	// Virtualize where bound).
+	Outputs int
+	// Transitions is the rendered health-transition log, in order.
+	Transitions []string
+	// Quarantined / Readmitted list receptors that were quarantined /
+	// readmitted at least once; EndQuarantined those still out at the
+	// end.
+	Quarantined, Readmitted, EndQuarantined []string
+	// NodePanics counts operator panics isolated by the DAG guard.
+	NodePanics int64
+	// Fingerprint hashes the full output + transition log; two runs of
+	// the same seed must agree (asserted by RunChaos).
+	Fingerprint uint64
+}
+
+// ChaosResult is the harness outcome over all deployments.
+type ChaosResult struct {
+	Deployments []ChaosDeployment
+}
+
+// chaosClock is the virtual wall clock shared by the supervisor's
+// poll-latency guard and Faulty's SleepFn: a slow-poll fault advances
+// it past the deadline, so "hangs" are detected deterministically.
+type chaosClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *chaosClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *chaosClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// chaosCase is one deployment under one fault schedule, plus the
+// supervision outcome the schedule is engineered to produce.
+type chaosCase struct {
+	name string
+	// run builds the deployment from scratch and executes it once.
+	run func(cfg ChaosConfig) (*ChaosDeployment, error)
+	// expected supervision outcome (exact ID sets).
+	wantQuarantined, wantReadmitted, wantEndQuarantined []string
+}
+
+// RunChaos executes the chaos suite: every deployment runs twice under
+// its fault schedule, and the harness asserts (a) no run crashes or
+// stalls, (b) the scheduled quarantines and readmissions happened, and
+// (c) both runs produced byte-identical output. Any violation is an
+// error.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	res := &ChaosResult{}
+	for _, cs := range chaosCases() {
+		first, err := cs.run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("chaos %s: %w", cs.name, err)
+		}
+		second, err := cs.run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("chaos %s (rerun): %w", cs.name, err)
+		}
+		if first.Fingerprint != second.Fingerprint {
+			return nil, fmt.Errorf("chaos %s: nondeterministic output: %x vs %x",
+				cs.name, first.Fingerprint, second.Fingerprint)
+		}
+		if err := wantIDs(cs.name, "quarantined", first.Quarantined, cs.wantQuarantined); err != nil {
+			return nil, err
+		}
+		if err := wantIDs(cs.name, "readmitted", first.Readmitted, cs.wantReadmitted); err != nil {
+			return nil, err
+		}
+		if err := wantIDs(cs.name, "end-quarantined", first.EndQuarantined, cs.wantEndQuarantined); err != nil {
+			return nil, err
+		}
+		first.Name = cs.name
+		res.Deployments = append(res.Deployments, *first)
+	}
+	return res, nil
+}
+
+// wantIDs compares an observed ID set against the schedule's expectation.
+func wantIDs(name, what string, got, want []string) error {
+	g := append([]string(nil), got...)
+	w := append([]string(nil), want...)
+	sort.Strings(g)
+	sort.Strings(w)
+	if strings.Join(g, ",") != strings.Join(w, ",") {
+		return fmt.Errorf("chaos %s: %s = [%s], want [%s]",
+			name, what, strings.Join(g, ","), strings.Join(w, ","))
+	}
+	return nil
+}
+
+// chaosRecorder accumulates the output and transition log of one run
+// and folds them into a fingerprint.
+type chaosRecorder struct {
+	start  time.Time
+	lines  []string
+	trans  []string
+	tuples int
+}
+
+func (r *chaosRecorder) tuple(tag string, t stream.Tuple) {
+	r.tuples++
+	r.lines = append(r.lines, tag+":"+t.String())
+}
+
+func (r *chaosRecorder) transition(tr core.HealthTransition) {
+	line := fmt.Sprintf("t=%s %s %s>%s (%s)",
+		tr.At.Sub(r.start), tr.ReceptorID, tr.From, tr.To, tr.Cause)
+	r.trans = append(r.trans, line)
+	r.lines = append(r.lines, line)
+}
+
+func (r *chaosRecorder) fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, l := range r.lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+// summarize folds the processor's health and node stats into the
+// deployment report.
+func (r *chaosRecorder) summarize(p *core.Processor, epochs int) *ChaosDeployment {
+	d := &ChaosDeployment{
+		Epochs:      epochs,
+		Outputs:     r.tuples,
+		Transitions: r.trans,
+		Fingerprint: r.fingerprint(),
+	}
+	for _, h := range p.HealthStats() {
+		if h.Quarantines > 0 {
+			d.Quarantined = append(d.Quarantined, h.ID)
+		}
+		if h.Readmits > 0 {
+			d.Readmitted = append(d.Readmitted, h.ID)
+		}
+		if h.State == core.Quarantined {
+			d.EndQuarantined = append(d.EndQuarantined, h.ID)
+		}
+	}
+	for _, ns := range p.NodeStats() {
+		d.NodePanics += ns.Panics
+	}
+	return d
+}
+
+// chaosCases builds the suite. Fault times are offsets from the run
+// start (time.Unix(0,0)); each schedule is chosen so the quarantine /
+// readmission arithmetic (SuspectAfter 2, backoff 4 epochs doubling)
+// resolves well inside the run.
+func chaosCases() []chaosCase {
+	return []chaosCase{
+		{
+			name:               "shelf",
+			run:                runChaosShelf,
+			wantQuarantined:    []string{"reader1"},
+			wantReadmitted:     []string{"reader1"},
+			wantEndQuarantined: nil,
+		},
+		{
+			name:               "lab",
+			run:                runChaosLab,
+			wantQuarantined:    []string{"mote2"},
+			wantReadmitted:     nil,
+			wantEndQuarantined: []string{"mote2"},
+		},
+		{
+			name:               "home",
+			run:                runChaosHome,
+			wantQuarantined:    []string{"office-mote2", "office-x10-3"},
+			wantReadmitted:     []string{"office-mote2"},
+			wantEndQuarantined: []string{"office-x10-3"},
+		},
+	}
+}
+
+// chaosSupervise wires supervision + recorder with the harness's
+// standard knobs (VirtualTime for determinism, 50 ms poll deadline on
+// the injected clock, seeded probe jitter).
+func chaosSupervise(p *core.Processor, cfg ChaosConfig, clock *chaosClock, rec *chaosRecorder) {
+	p.EnableSupervision(core.SupervisorConfig{
+		PollTimeout:  50 * time.Millisecond,
+		SuspectAfter: 2,
+		JitterFrac:   0.2,
+		Seed:         cfg.Seed,
+		Now:          clock.Now,
+		VirtualTime:  true,
+		OnTransition: rec.transition,
+	})
+}
+
+// runChaosShelf: the §4 shelf deployment (2 readers, 200 ms epochs).
+// reader0 silently drops 30 % of reads for 20 s; reader1's driver
+// crashes on every poll for 5 s — it is quarantined after two panics
+// and readmitted by the third backoff probe once the window ends.
+func runChaosShelf(cfg ChaosConfig) (*ChaosDeployment, error) {
+	sc, err := sim.NewShelfScenario(sim.DefaultShelfConfig())
+	if err != nil {
+		return nil, err
+	}
+	start := time.Unix(0, 0).UTC()
+	at := func(d time.Duration) time.Time { return start.Add(d) }
+	recs := sc.Receptors()
+	recs[0] = receptor.NewFaulty(recs[0], cfg.Seed,
+		receptor.Fault{Kind: receptor.FaultDrop, P: 0.3, From: at(10 * time.Second), Until: at(30 * time.Second)})
+	recs[1] = receptor.NewFaulty(recs[1], cfg.Seed+1,
+		receptor.Fault{Kind: receptor.FaultPanic, From: at(20 * time.Second), Until: at(25 * time.Second)})
+
+	dep := &core.Deployment{
+		Epoch:     sc.Config.PollPeriod,
+		Receptors: recs,
+		Groups:    sc.Groups,
+		Pipelines: map[receptor.Type]*core.Pipeline{
+			receptor.TypeRFID: shelfPipeline(ModeSmoothArbitrate, 5*time.Second),
+		},
+		TieBreak: func(a, b stream.Tuple) bool {
+			return a.Values[0] == stream.String("shelf1")
+		},
+	}
+	duration := 60 * time.Second
+	if cfg.Short {
+		duration = 40 * time.Second
+	}
+	return runChaosDeployment(dep, cfg, start, duration, nil)
+}
+
+// runChaosLab: the §5.1 lab-room deployment (3 motes, 5 min epochs).
+// mote2's battery dies for good at hour 4 (permanent quarantine: every
+// backoff probe panics again); mote3 fails dirty — stuck at 85 °C —
+// for three hours, which the supervisor must NOT flag (data faults are
+// the cleaning stages' job, not the poller's).
+func runChaosLab(cfg ChaosConfig) (*ChaosDeployment, error) {
+	sc, err := sim.NewOutlierScenario(sim.DefaultOutlierConfig())
+	if err != nil {
+		return nil, err
+	}
+	start := time.Unix(0, 0).UTC()
+	at := func(d time.Duration) time.Time { return start.Add(d) }
+	recs := sc.Receptors()
+	recs[1] = receptor.NewFaulty(recs[1], cfg.Seed+2,
+		receptor.Fault{Kind: receptor.FaultDie, From: at(4 * time.Hour)})
+	recs[2] = receptor.NewFaulty(recs[2], cfg.Seed+3,
+		receptor.Fault{Kind: receptor.FaultStuck, Field: "temp", Value: stream.Float(85),
+			From: at(2 * time.Hour), Until: at(5 * time.Hour)})
+
+	dep := &core.Deployment{
+		Epoch:     sc.Config.Epoch,
+		Receptors: recs,
+		Groups:    sc.Groups,
+		Pipelines: map[receptor.Type]*core.Pipeline{
+			receptor.TypeMote: {
+				Type:  receptor.TypeMote,
+				Point: core.PointBelow("temp", 50),
+				Merge: core.MergeOutlierAvg("temp", sc.Config.Epoch, 1.0),
+			},
+		},
+	}
+	duration := 9 * time.Hour
+	if cfg.Short {
+		duration = 6 * time.Hour
+	}
+	return runChaosDeployment(dep, cfg, start, duration, nil)
+}
+
+// runChaosHome: the §6 digital home (2 RFID readers, 3 sound motes,
+// 3 motion detectors, 1 s epochs) with the full Virtualize person
+// detector. reader1 duplicates half its reads for a minute; mote2's
+// driver wedges (80 ms polls against a 50 ms deadline) for 30 s —
+// quarantined, then readmitted; x10-3 dies for good, and the motion
+// Merge runs MergeVoteLive so the voting quorum rescales from 2-of-3
+// to 2-of-2 instead of starving against the dead detector.
+func runChaosHome(cfg ChaosConfig) (*ChaosDeployment, error) {
+	sc, err := sim.NewHomeScenario(sim.DefaultHomeConfig())
+	if err != nil {
+		return nil, err
+	}
+	start := time.Unix(0, 0).UTC()
+	at := func(d time.Duration) time.Time { return start.Add(d) }
+	clock := &chaosClock{t: start}
+	recs := sc.Receptors()
+	recs[1] = receptor.NewFaulty(recs[1], cfg.Seed+4,
+		receptor.Fault{Kind: receptor.FaultDuplicate, P: 0.5, From: at(60 * time.Second), Until: at(120 * time.Second)})
+	slow := receptor.NewFaulty(recs[3], cfg.Seed+5,
+		receptor.Fault{Kind: receptor.FaultSlowPoll, Sleep: 80 * time.Millisecond,
+			From: at(120 * time.Second), Until: at(150 * time.Second)})
+	slow.SleepFn = clock.Sleep
+	recs[3] = slow
+	recs[7] = receptor.NewFaulty(recs[7], cfg.Seed+6,
+		receptor.Fault{Kind: receptor.FaultDie, From: at(200 * time.Second)})
+
+	granule := 10 * time.Second
+	expectedTags := stream.MustTable(
+		stream.MustSchema(stream.Field{Name: "expected_tag", Kind: stream.KindString}),
+		[]stream.Tuple{stream.NewTuple(time.Time{}, stream.String(sim.BadgeTagID))},
+	)
+	dep := &core.Deployment{
+		Epoch:     sc.Config.Epoch,
+		Receptors: recs,
+		Groups:    sc.Groups,
+		Tables:    map[string]*stream.Table{"expected_tags": expectedTags},
+		Pipelines: map[receptor.Type]*core.Pipeline{
+			receptor.TypeRFID: {
+				Type:   receptor.TypeRFID,
+				Point:  core.Compose(core.PointChecksum("checksum_ok"), core.PointExpectedTags("tag_id", "expected_tags", "expected_tag")),
+				Smooth: core.SmoothTagCount(granule),
+				Merge:  core.MergeUnion(),
+			},
+			receptor.TypeMote: {
+				Type:   receptor.TypeMote,
+				Smooth: core.SmoothAvg("noise", granule),
+				Merge:  core.MergeAvg("noise", sc.Config.Epoch),
+			},
+			receptor.TypeMotion: {
+				Type:   receptor.TypeMotion,
+				Smooth: core.SmoothEvents(granule, 1),
+				// Health-aware quorum: 0.6 of live members ≈ 2-of-3 while
+				// the group is whole, 2-of-2 once x10-3 is quarantined.
+				Merge: core.MergeVoteLive(sc.Config.Epoch, 0.6),
+			},
+		},
+		Virtualize: &core.VirtualizeSpec{
+			Query: core.PersonDetectorQuery(525, 2),
+			Bind: map[string]receptor.Type{
+				"sensors_input": receptor.TypeMote,
+				"rfid_input":    receptor.TypeRFID,
+				"motion_input":  receptor.TypeMotion,
+			},
+		},
+	}
+	duration := 400 * time.Second
+	if cfg.Short {
+		duration = 300 * time.Second
+	}
+	return runChaosDeployment(dep, cfg, start, duration, clock)
+}
+
+// runChaosDeployment builds, supervises, runs, and summarises one
+// deployment. A nil clock gets a private one (no slow-poll fault needs
+// to share it).
+func runChaosDeployment(dep *core.Deployment, cfg ChaosConfig, start time.Time, duration time.Duration, clock *chaosClock) (*ChaosDeployment, error) {
+	if clock == nil {
+		clock = &chaosClock{t: start}
+	}
+	p, err := core.NewProcessor(dep)
+	if err != nil {
+		return nil, err
+	}
+	rec := &chaosRecorder{start: start}
+	chaosSupervise(p, cfg, clock, rec)
+	for _, t := range []receptor.Type{receptor.TypeRFID, receptor.TypeMote, receptor.TypeMotion} {
+		if _, ok := p.TypeSchema(t); !ok {
+			continue
+		}
+		tag := string(t)
+		p.OnType(t, func(tp stream.Tuple) { rec.tuple(tag, tp) })
+	}
+	if dep.Virtualize != nil {
+		p.OnVirtualize(func(tp stream.Tuple) { rec.tuple("virt", tp) })
+	}
+	epochs := 0
+	p.OnEpoch(func(time.Time) { epochs++ })
+	if err := p.Run(start, start.Add(duration)); err != nil {
+		return nil, err
+	}
+	return rec.summarize(p, epochs), nil
+}

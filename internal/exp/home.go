@@ -63,16 +63,7 @@ func RunDigitalHome(cfg HomeConfig) (*HomeResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var recs []receptor.Receptor
-	for _, r := range sc.Readers {
-		recs = append(recs, r)
-	}
-	for _, m := range sc.Motes {
-		recs = append(recs, m)
-	}
-	for _, d := range sc.Detectors {
-		recs = append(recs, d)
-	}
+	recs := sc.Receptors()
 
 	expectedTags := stream.MustTable(
 		stream.MustSchema(stream.Field{Name: "expected_tag", Kind: stream.KindString}),

@@ -51,10 +51,7 @@ func runRobustOnce(cfg OutlierConfig, name string, merge core.Stage) (*RobustRes
 	if err != nil {
 		return nil, err
 	}
-	recs := make([]receptor.Receptor, len(sc.Motes))
-	for i, m := range sc.Motes {
-		recs[i] = m
-	}
+	recs := sc.Receptors()
 	p, err := core.NewProcessor(&core.Deployment{
 		Epoch:     cfg.Sim.Epoch,
 		Receptors: recs,

@@ -141,10 +141,7 @@ func RunShelf(cfg ShelfConfig) (*ShelfResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	recs := make([]receptor.Receptor, len(sc.Readers))
-	for i, r := range sc.Readers {
-		recs[i] = r
-	}
+	recs := sc.Receptors()
 	dep := &core.Deployment{
 		Epoch:     cfg.Sim.PollPeriod,
 		Receptors: recs,

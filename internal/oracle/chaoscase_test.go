@@ -1,0 +1,39 @@
+package oracle
+
+import "testing"
+
+// TestChaosDropCommute runs the chaos differential over a seed range —
+// online injection must equal offline thinning on every case.
+func TestChaosDropCommute(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		if d := CheckChaosCase(GenDeploymentCase(seed)); d != nil {
+			t.Fatalf("seed %d: %v", seed, d)
+		}
+	}
+}
+
+// TestChaosDropCommuteHasTeeth thins with the WRONG injector seed and
+// demands the comparison notices: if mismatched fault realisations
+// still render identically for every probed seed, the check compares
+// nothing.
+func TestChaosDropCommuteHasTeeth(t *testing.T) {
+	caught := false
+	for seed := int64(1); seed <= 8 && !caught; seed++ {
+		c := GenDeploymentCase(seed)
+		faults := genChaosFaults(&c)
+		online, err := runChaosOnline(c, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrong, err := runChaosThinned(c, faults, func(i int) int64 { return chaosFaultSeed(&c, i) + 1 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if online.rendered != wrong.rendered {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatal("wrong-seed thinning was never distinguishable from online injection")
+	}
+}

@@ -309,6 +309,13 @@ func (c *DeploymentCase) runWith(sched core.Scheduler, hand bool) (*depOutput, e
 	if err != nil {
 		return nil, err
 	}
+	return c.runDep(dep, sched)
+}
+
+// runDep executes an already-built deployment (possibly with wrapped
+// receptors — the chaos check injects fault wrappers) and collects its
+// observable output.
+func (c *DeploymentCase) runDep(dep *core.Deployment, sched core.Scheduler) (*depOutput, error) {
 	p, err := core.NewProcessor(dep)
 	if err != nil {
 		return nil, err

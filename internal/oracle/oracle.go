@@ -21,6 +21,8 @@
 //     tolerance.
 //   - cql-vs-handbuilt: stages compiled from CQL against hand-built
 //     operator graphs over identical receptor traces, byte-level.
+//   - chaos-drop-commute: online drop-fault injection (receptor.Faulty)
+//     against offline trace thinning (receptor.ThinTrace), byte-level.
 //
 // Byte-level comparison is sound only between execution paths that fold
 // the same value multiset in the same order through the same accumulator
@@ -43,8 +45,9 @@ type Config struct {
 	// from it, so any reported counterexample is reproducible from the
 	// (check, seed) pair alone.
 	Seed int64
-	// WindowCases, SchedCases and PlanCases size the three generators.
-	WindowCases, SchedCases, PlanCases int
+	// WindowCases, SchedCases, PlanCases and ChaosCases size the four
+	// generators.
+	WindowCases, SchedCases, PlanCases, ChaosCases int
 	// RefStdev, when non-nil, replaces the reference implementation's
 	// standard-deviation finisher. The harness's own tests use it to
 	// inject a deliberately wrong aggregate (the legacy catastrophically
@@ -56,7 +59,7 @@ type Config struct {
 // DefaultConfig sizes a run for `make check`: every check exercised,
 // ≥ 50 cases total, a few seconds of wall clock.
 func DefaultConfig() Config {
-	return Config{Seed: 1, WindowCases: 40, SchedCases: 8, PlanCases: 10}
+	return Config{Seed: 1, WindowCases: 40, SchedCases: 8, PlanCases: 10, ChaosCases: 8}
 }
 
 // Divergence is one caught disagreement between two execution paths of

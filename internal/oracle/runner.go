@@ -2,8 +2,9 @@ package oracle
 
 // Run executes the full differential suite: WindowCases window-algebra
 // programs (pane-vs-naive, window-vs-reference), SchedCases deployments
-// (seq-vs-parallel, pipeline-vs-reference), and PlanCases paired
-// deployments (cql-vs-handbuilt). It returns the number of cases
+// (seq-vs-parallel, pipeline-vs-reference), PlanCases paired
+// deployments (cql-vs-handbuilt), and ChaosCases fault-injected
+// deployments (chaos-drop-commute). It returns the number of cases
 // executed and the first divergence found, minimized — or nil when every
 // cross-check agreed. Case i of each family uses seed cfg.Seed+i, so a
 // reported Divergence reproduces from its (Check, Seed) pair alone.
@@ -24,6 +25,12 @@ func Run(cfg Config) (int, *Divergence) {
 	for i := 0; i < cfg.PlanCases; i++ {
 		cases++
 		if d := CheckPlanCase(GenPlanCase(cfg.Seed + int64(i))); d != nil {
+			return cases, d
+		}
+	}
+	for i := 0; i < cfg.ChaosCases; i++ {
+		cases++
+		if d := CheckChaosCase(GenDeploymentCase(cfg.Seed + int64(i))); d != nil {
 			return cases, d
 		}
 	}

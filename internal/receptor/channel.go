@@ -2,10 +2,17 @@ package receptor
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"esp/internal/stream"
 )
+
+// DefaultChannelCap is the buffer bound a new Channel starts with —
+// generous enough that a healthy parent polling once per epoch never
+// hits it, small enough that a stalled or quarantined parent cannot run
+// the process out of memory.
+const DefaultChannelCap = 1 << 16
 
 // Channel is a receptor fed programmatically: upstream code publishes
 // tuples and a downstream processor polls them out. It is the glue for
@@ -14,6 +21,11 @@ import (
 // outputs as if they were devices. Wire an edge processor's OnType sink
 // to Publish and hand the Channel to the parent deployment.
 //
+// The internal buffer is bounded (SetCap; DefaultChannelCap initially):
+// when a parent polls slower than children publish, the oldest unpolled
+// tuples are dropped first — matching real receptor behaviour, where a
+// reader's FIFO overwrites stale readings — and counted in Dropped.
+//
 // Publish is safe for concurrent use; Poll drains every published tuple
 // whose timestamp has arrived.
 type Channel struct {
@@ -21,13 +33,16 @@ type Channel struct {
 	typ    Type
 	schema *stream.Schema
 
-	mu  sync.Mutex
-	buf []stream.Tuple
+	mu      sync.Mutex
+	buf     []stream.Tuple
+	cap     int
+	dropped atomic.Int64
 }
 
-// NewChannel builds an empty channel receptor.
+// NewChannel builds an empty channel receptor with the default buffer
+// bound.
 func NewChannel(id string, typ Type, schema *stream.Schema) *Channel {
-	return &Channel{id: id, typ: typ, schema: schema}
+	return &Channel{id: id, typ: typ, schema: schema, cap: DefaultChannelCap}
 }
 
 // ID implements Receptor.
@@ -39,11 +54,46 @@ func (c *Channel) Type() Type { return c.typ }
 // Schema implements Receptor.
 func (c *Channel) Schema() *stream.Schema { return c.schema }
 
-// Publish enqueues one tuple for the next Poll.
+// SetCap bounds the unpolled buffer to n tuples (n <= 0 restores the
+// default). Shrinking below the current backlog drops the oldest tuples
+// immediately.
+func (c *Channel) SetCap(n int) {
+	if n <= 0 {
+		n = DefaultChannelCap
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = n
+	c.evictLocked()
+}
+
+// Cap reports the buffer bound.
+func (c *Channel) Cap() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cap
+}
+
+// Dropped reports how many published tuples were evicted unpolled. Safe
+// from any goroutine.
+func (c *Channel) Dropped() int64 { return c.dropped.Load() }
+
+// Publish enqueues one tuple for the next Poll, evicting the oldest
+// buffered tuple when the bound is reached.
 func (c *Channel) Publish(t stream.Tuple) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.buf = append(c.buf, t)
+	c.evictLocked()
+}
+
+// evictLocked enforces the bound, dropping from the front (oldest
+// publish order).
+func (c *Channel) evictLocked() {
+	if over := len(c.buf) - c.cap; over > 0 {
+		c.dropped.Add(int64(over))
+		c.buf = append(c.buf[:0], c.buf[over:]...)
+	}
 }
 
 // Poll implements Receptor: it drains the tuples published so far whose

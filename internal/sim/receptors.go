@@ -1,0 +1,48 @@
+package sim
+
+import "esp/internal/receptor"
+
+// Receptors flattens the scenario's devices into the deployment order
+// used by every experiment: readers, then motes, then detectors. The
+// chaos harness relies on this ordering to wrap individual devices in
+// fault injectors by index.
+func (s *HomeScenario) Receptors() []receptor.Receptor {
+	var recs []receptor.Receptor
+	for _, r := range s.Readers {
+		recs = append(recs, r)
+	}
+	for _, m := range s.Motes {
+		recs = append(recs, m)
+	}
+	for _, d := range s.Detectors {
+		recs = append(recs, d)
+	}
+	return recs
+}
+
+// Receptors returns the shelf readers in scenario order.
+func (s *ShelfScenario) Receptors() []receptor.Receptor {
+	recs := make([]receptor.Receptor, len(s.Readers))
+	for i, r := range s.Readers {
+		recs[i] = r
+	}
+	return recs
+}
+
+// Receptors returns the lab motes in scenario order.
+func (s *OutlierScenario) Receptors() []receptor.Receptor {
+	recs := make([]receptor.Receptor, len(s.Motes))
+	for i, m := range s.Motes {
+		recs[i] = m
+	}
+	return recs
+}
+
+// Receptors returns the redwood motes in scenario order.
+func (s *RedwoodScenario) Receptors() []receptor.Receptor {
+	recs := make([]receptor.Receptor, len(s.Motes))
+	for i, m := range s.Motes {
+		recs[i] = m
+	}
+	return recs
+}
