@@ -4,7 +4,7 @@ GO ?= go
 # `make check` runs, longer via `make fuzz FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race diff chaos fuzz-smoke fuzz bench
+.PHONY: check vet build test race diff chaos fuzz-smoke fuzz bench bench-json
 
 ## check: everything CI needs — vet, build, full tests, race-detector pass
 ## over the concurrent executor, the differential oracle suite, the chaos
@@ -48,3 +48,10 @@ fuzz:
 ## bench: the full benchmark suite (one testing.B per experiment).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+## bench-json: regenerate the committed perf snapshots at the repo root —
+## BENCH_baseline.json (telemetry-off wall-time profile) and
+## BENCH_obs.json (telemetry overhead matrix; see EXPERIMENTS.md §obs).
+bench-json:
+	$(GO) run ./cmd/espbench -exp baseline
+	$(GO) run ./cmd/espbench -exp obs

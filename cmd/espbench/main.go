@@ -10,6 +10,8 @@
 //	espbench -exp fig9     §6  digital-home person detector
 //	espbench -exp sched    dataflow-scheduler comparison (seq vs parallel)
 //	espbench -exp chaos    fault-injection harness (supervised runtime)
+//	espbench -exp baseline telemetry-off wall-time profile (BENCH_baseline.json)
+//	espbench -exp obs      runtime-telemetry overhead matrix (BENCH_obs.json)
 //	espbench -exp all      everything above
 //
 // Add -trace to emit the per-epoch series behind the figure (CSV on
@@ -25,7 +27,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment id: fig3, fig5, fig6, fig7, yield, spatial, fig9, actuation, model, robust, sched, chaos, all")
+	expName := flag.String("exp", "all", "experiment id: fig3, fig5, fig6, fig7, yield, spatial, fig9, actuation, model, robust, sched, chaos, baseline, obs, all")
 	trace := flag.Bool("trace", false, "emit per-epoch trace CSV after the summary")
 	seed := flag.Int64("seed", 0, "override the simulation seed (0 = calibrated defaults)")
 	flag.Parse()
@@ -44,8 +46,10 @@ func main() {
 		"robust":    runRobust,
 		"sched":     runSched,
 		"chaos":     runChaos,
+		"baseline":  runBaseline,
+		"obs":       runObs,
 	}
-	order := []string{"fig3", "fig5", "fig6", "fig7", "yield", "spatial", "fig9", "actuation", "model", "robust", "sched", "chaos"}
+	order := []string{"fig3", "fig5", "fig6", "fig7", "yield", "spatial", "fig9", "actuation", "model", "robust", "sched", "chaos", "baseline", "obs"}
 
 	if *expName == "all" {
 		for _, name := range order {

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"esp/internal/exp"
+)
+
+// writeJSON marshals v indented into path (committed at the repo root
+// by `make bench-json`).
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// runObs measures the telemetry overhead matrix (off vs counters vs
+// counters+lineage) on the three paper deployments and writes
+// BENCH_obs.json.
+func runObs(bool) error {
+	fmt.Println("== obs: runtime-telemetry overhead (off vs counters vs counters+lineage) ==")
+	cfg := exp.DefaultObsConfig()
+	if seedOverride != 0 {
+		cfg.Seed = seedOverride
+	}
+	res, err := exp.RunObs(cfg)
+	if err != nil {
+		return err
+	}
+	for _, d := range res.Deployments {
+		fmt.Printf("   %-6s %d receptors, %d epochs   disabled overhead %+.2f%%\n",
+			d.Name, d.Receptors, d.Epochs, 100*d.DisabledOverhead)
+		for _, m := range d.Modes {
+			extra := ""
+			if m.Mode == "lineage" {
+				extra = fmt.Sprintf("   (%d traces)", m.LineageTraces)
+			}
+			fmt.Printf("     %-9s %8d ns/epoch   overhead %+.2f%%%s\n",
+				m.Mode, m.NsPerEpoch, 100*m.Overhead, extra)
+		}
+	}
+	if err := writeJSON("BENCH_obs.json", res); err != nil {
+		return err
+	}
+	fmt.Println("   wrote BENCH_obs.json")
+	return nil
+}
+
+// runBaseline measures the telemetry-off reference profile and writes
+// BENCH_baseline.json.
+func runBaseline(bool) error {
+	fmt.Println("== baseline: telemetry-off wall-time profile of the paper deployments ==")
+	cfg := exp.DefaultObsConfig()
+	if seedOverride != 0 {
+		cfg.Seed = seedOverride
+	}
+	res, err := exp.RunObsBaseline(cfg)
+	if err != nil {
+		return err
+	}
+	for _, d := range res.Deployments {
+		fmt.Printf("   %-6s %d receptors, %d epochs   %8d ns/epoch\n",
+			d.Name, d.Receptors, d.Epochs, d.NsPerEpoch)
+	}
+	if err := writeJSON("BENCH_baseline.json", res); err != nil {
+		return err
+	}
+	fmt.Println("   wrote BENCH_baseline.json")
+	return nil
+}

@@ -145,3 +145,67 @@ func TestRunRejectsBadQuery(t *testing.T) {
 		t.Error("bad stage query: want error")
 	}
 }
+
+// TestObservabilityFlags reruns the end-to-end cleaning with -metrics
+// and -lineage enabled and checks the lineage dump on stderr lists the
+// five pipeline stages in order.
+func TestObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "raw.csv")
+	content := "receptor_id,ts,tag_id,checksum_ok\n" +
+		"reader0,1970-01-01T00:00:00.2Z,X,true\n" +
+		"reader0,1970-01-01T00:00:00.4Z,X,true\n" +
+		"reader1,1970-01-01T00:00:00.5Z,X,true\n"
+	if err := os.WriteFile(in, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	obs.metrics = ":0"
+	obs.lineage = 1
+	obs.lineageSeed = 1
+	defer func() { obs.metrics = ""; obs.lineage = 0 }()
+
+	// Capture stderr: cleanTrace prints the endpoint URL and the
+	// lineage dump there.
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStderr := os.Stderr
+	os.Stderr = w
+	var out bytes.Buffer
+	runErr := run(&out, in, "tag_id:string,checksum_ok:bool", receptor.TypeRFID,
+		"shelf0=reader0;shelf1=reader1", time.Second,
+		"SELECT tag_id FROM point_input WHERE checksum_ok = TRUE",
+		"SELECT tag_id, count(*) AS n FROM smooth_input [Range By '2 sec'] GROUP BY tag_id",
+		"", "")
+	w.Close()
+	os.Stderr = oldStderr
+	var errOut bytes.Buffer
+	if _, err := errOut.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run with observability flags: %v\nstderr:\n%s", runErr, errOut.String())
+	}
+
+	text := errOut.String()
+	if !strings.Contains(text, "telemetry on http://") {
+		t.Errorf("stderr missing endpoint URL:\n%s", text)
+	}
+	if !strings.Contains(text, "lineage traces:") {
+		t.Errorf("stderr missing lineage dump:\n%s", text)
+	}
+	// Spans appear per-trace in pipeline order.
+	last := -1
+	for _, stage := range []string{`"Point"`, `"Smooth"`, `"Merge"`, `"Arbitrate"`, `"Virtualize"`} {
+		i := strings.Index(text, stage)
+		if i < 0 {
+			t.Fatalf("lineage dump missing %s span:\n%s", stage, text)
+		}
+		if i < last {
+			t.Errorf("%s span out of order", stage)
+		}
+		last = i
+	}
+}

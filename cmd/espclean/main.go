@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -26,8 +27,19 @@ import (
 	"esp/internal/core"
 	"esp/internal/receptor"
 	"esp/internal/stream"
+	"esp/internal/telemetry"
 	"esp/internal/trace"
 )
+
+// obs holds the observability flags; zero values mean fully off (the
+// per-tuple hot path stays allocation-free). Package-level so
+// cleanTrace sees them without threading extra parameters through
+// every run variant.
+var obs struct {
+	metrics     string // exposition endpoint addr ("" = off, ":0" = any port)
+	lineage     int    // sample ~1/N readings for lineage (0 = off)
+	lineageSeed int64
+}
 
 func main() {
 	in := flag.String("in", "", "input trace CSV (required)")
@@ -40,6 +52,9 @@ func main() {
 	mergeQ := flag.String("merge", "", "Merge stage CQL (optional)")
 	arbQ := flag.String("arbitrate", "", "Arbitrate stage CQL (optional)")
 	configPath := flag.String("config", "", "deployment config JSON (alternative to -groups/-epoch/stage flags)")
+	flag.StringVar(&obs.metrics, "metrics", "", "serve telemetry on this addr during the run (e.g. ':9090'; ':0' picks a free port)")
+	flag.IntVar(&obs.lineage, "lineage", 0, "sample ~1/N readings for tuple lineage; dump traces as JSON on stderr after the run (0 = off)")
+	flag.Int64Var(&obs.lineageSeed, "lineage-seed", 1, "lineage sampler seed")
 	flag.Parse()
 
 	var err error
@@ -139,11 +154,30 @@ func run(out io.Writer, in, schemaSpec string, typ receptor.Type, groupSpec stri
 }
 
 // cleanTrace runs the deployment over the trace's time span and writes
-// the cleaned stream as CSV.
+// the cleaned stream as CSV. Observability (obs flags): -metrics serves
+// the live exposition endpoint for the duration of the run; -lineage N
+// samples ~1/N readings and dumps their stage-by-stage traces on stderr
+// afterwards.
 func cleanTrace(out io.Writer, dep *core.Deployment, typ receptor.Type, records []trace.Record) error {
 	p, err := core.NewProcessor(dep)
 	if err != nil {
 		return err
+	}
+	if obs.metrics != "" || obs.lineage > 0 {
+		p.EnableTelemetry()
+		p.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
+	var lin *telemetry.Lineage
+	if obs.lineage > 0 {
+		lin = p.EnableLineage(obs.lineage, obs.lineageSeed)
+	}
+	if obs.metrics != "" {
+		srv, err := telemetry.Serve(obs.metrics, telemetry.ServerConfig{Registry: p.Telemetry(), Lineage: lin})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintln(os.Stderr, "espclean: telemetry on", srv.URL())
 	}
 	outSchema, _ := p.TypeSchema(typ)
 	w, err := trace.NewWriter(out, outSchema)
@@ -170,6 +204,13 @@ func cleanTrace(out io.Writer, dep *core.Deployment, typ receptor.Type, records 
 	}
 	if writeErr != nil {
 		return writeErr
+	}
+	if lin != nil {
+		fmt.Fprintf(os.Stderr, "espclean: %d lineage traces:\n", lin.Len())
+		if err := lin.DumpJSON(os.Stderr); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 	return w.Flush()
 }

@@ -16,14 +16,20 @@ import (
 
 	"esp/internal/receptor"
 	"esp/internal/sim"
+	"esp/internal/telemetry"
 	"esp/internal/trace"
 )
+
+// metricsAddr, when non-empty, serves generator telemetry (per-receptor
+// tuple counters, poll-latency histograms) over HTTP during the run.
+var metricsAddr string
 
 func main() {
 	scenario := flag.String("scenario", "shelf", "shelf, redwood, outlier, or home")
 	duration := flag.Duration("duration", 700*time.Second, "trace length")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	typ := flag.String("type", "", "receptor type for multi-type scenarios (rfid, mote, motion)")
+	flag.StringVar(&metricsAddr, "metrics", "", "serve generator telemetry on this addr (e.g. ':9090'; ':0' picks a free port)")
 	flag.Parse()
 
 	if err := run(os.Stdout, *scenario, *duration, *seed, receptor.Type(*typ)); err != nil {
@@ -113,10 +119,36 @@ func run(w io.Writer, scenario string, duration time.Duration, seed int64, typ r
 	if err != nil {
 		return err
 	}
+
+	// Optional live telemetry: per-receptor tuple counters, a wall-clock
+	// poll-latency histogram, and an epochs-generated counter, served on
+	// the standard exposition endpoint while the trace is written.
+	reg := telemetry.NewRegistry()
+	reg.SetEnabled(metricsAddr != "")
+	if metricsAddr != "" {
+		srv, err := telemetry.Serve(metricsAddr, telemetry.ServerConfig{Registry: reg, ExpvarName: "espsim"})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintln(os.Stderr, "espsim: telemetry on", srv.URL())
+	}
+	epochs := reg.Counter("sim.epochs")
+	pollLat := reg.Histogram("sim.poll_ns")
+	perRec := make(map[string]*telemetry.Counter, len(recs))
+	for _, r := range recs {
+		perRec[r.ID()] = reg.Counter("sim." + r.ID() + ".tuples")
+	}
+
 	start := time.Unix(0, 0).UTC()
 	for now := start.Add(epoch); !now.After(start.Add(duration)); now = now.Add(epoch) {
 		for _, r := range recs { // poll all receptors to keep RNG streams aligned
+			t0 := time.Now()
 			tuples := r.Poll(now)
+			if reg.Enabled() {
+				pollLat.Observe(time.Since(t0))
+				perRec[r.ID()].Add(int64(len(tuples)))
+			}
 			if typ != "" && r.Type() != typ {
 				continue
 			}
@@ -126,6 +158,7 @@ func run(w io.Writer, scenario string, duration time.Duration, seed int64, typ r
 				}
 			}
 		}
+		epochs.Add(1)
 	}
 	return tw.Flush()
 }

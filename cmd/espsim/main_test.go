@@ -80,3 +80,17 @@ func TestRunErrors(t *testing.T) {
 		t.Error("type with no receptors: want error")
 	}
 }
+
+// TestRunWithMetrics exercises the -metrics wiring: the exposition
+// endpoint binds, serves during generation, and the run completes.
+func TestRunWithMetrics(t *testing.T) {
+	metricsAddr = ":0"
+	defer func() { metricsAddr = "" }()
+	var buf bytes.Buffer
+	if err := run(&buf, "shelf", 10*time.Second, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "reader0") {
+		t.Errorf("metrics-enabled run produced no trace:\n%s", buf.String())
+	}
+}

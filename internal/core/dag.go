@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"esp/internal/stream"
+	"esp/internal/telemetry"
 )
 
 // dag is the compiled dataflow graph of a Deployment: the nodes in a
@@ -43,16 +44,18 @@ type downEdge struct {
 	port string
 }
 
-// nodeCounters is the live instrumentation state of one node. Within an
-// epoch each entry is written by a single goroutine (the scheduler, or
-// the one worker running the node's level task), but snapshots may be
-// taken from other goroutines while a run is in flight — so the fields
-// are atomics, with the advance latency kept in nanoseconds.
+// nodeCounters is the live instrumentation state of one node: handles
+// into the processor's telemetry registry, resolved once at wiring time
+// so the hot path never does a name lookup. Within an epoch each entry
+// is written by a single goroutine (the scheduler, or the one worker
+// running the node's level task), but snapshots may be taken from other
+// goroutines while a run is in flight — the handles are atomics inside.
+// The advance histogram doubles as the per-stage latency distribution
+// (p50/p90/p99/max) in the unified snapshot.
 type nodeCounters struct {
-	tuplesIn, tuplesOut atomic.Int64
-	advances            atomic.Int64
-	advanceTimeNs       atomic.Int64
-	panics              atomic.Int64
+	tuplesIn, tuplesOut *telemetry.Counter
+	panics              *telemetry.Counter
+	advance             *telemetry.Histogram
 }
 
 // compileDag inverts the nodes' upstream declarations into the runnable
@@ -141,8 +144,7 @@ func (g *dag) advanceNode(i int, now time.Time) error {
 	var fx effects
 	t0 := time.Now()
 	ok, err := g.guard(i, func() error { return g.nodes[i].advance(now, &fx) })
-	st.advanceTimeNs.Add(int64(time.Since(t0)))
-	st.advances.Add(1)
+	st.advance.Observe(time.Since(t0))
 	if err != nil {
 		return err
 	}
@@ -195,6 +197,10 @@ func (g *dag) flushCascade(i int, fx *effects) error {
 func (g *dag) flushEvents(fx *effects) {
 	for _, ev := range fx.events {
 		if !ev.sink {
+			// Stage accounting keys off the non-sink (tap) event only:
+			// outNode and virtNode fire both a tap and a sink event for
+			// the same tuples, and counting both would double-count.
+			g.p.countStage(ev.typ, ev.stage, len(ev.ts))
 			g.p.tap(ev.typ, ev.stage, ev.ts)
 			continue
 		}
@@ -227,9 +233,11 @@ type NodeStats struct {
 	// legs); TuplesOut counts tuples the node emitted downstream.
 	TuplesIn, TuplesOut int64
 	// Advances counts epoch punctuations; AdvanceTime is their summed
-	// latency.
+	// latency and AdvanceP99 the 99th-percentile single-punctuation
+	// latency (upper log-bucket bound, clamped to the observed max).
 	Advances    int64
 	AdvanceTime time.Duration
+	AdvanceP99  time.Duration
 	// Panics counts recovered panics in the node's process/advance
 	// calls; Quarantined reports whether a panic under supervision has
 	// taken the node permanently out of service.
@@ -247,14 +255,16 @@ func (p *Processor) NodeStats() []NodeStats {
 	out := make([]NodeStats, len(g.nodes))
 	for i, n := range g.nodes {
 		st := &g.stats[i]
+		adv := st.advance.Snapshot()
 		out[i] = NodeStats{
 			Label:       n.label(),
 			Kind:        n.kindName(),
 			Level:       g.level[i],
 			TuplesIn:    st.tuplesIn.Load(),
 			TuplesOut:   st.tuplesOut.Load(),
-			Advances:    st.advances.Load(),
-			AdvanceTime: time.Duration(st.advanceTimeNs.Load()),
+			Advances:    adv.Count,
+			AdvanceTime: time.Duration(adv.Sum),
+			AdvanceP99:  time.Duration(adv.P99),
 			Panics:      st.panics.Load(),
 			Quarantined: g.quarantined[i].Load(),
 		}

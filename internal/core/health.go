@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"esp/internal/telemetry"
 )
 
 // HealthState is one receptor's position in the supervision state
@@ -81,8 +83,10 @@ func (o pollOutcome) cause() string {
 
 // receptorHealth is the live supervision state of one receptor. The
 // mutex guards the state machine (poll decisions may come from
-// RunConcurrent worker goroutines); the counters are atomics so
-// HealthStats can snapshot concurrently with a run.
+// RunConcurrent worker goroutines); the counters are registry handles
+// (atomics inside) so HealthStats and Telemetry snapshots can read
+// concurrently with a run. The handles are nil in bare FSM unit tests —
+// every telemetry method is a nil-safe no-op.
 type receptorHealth struct {
 	mu      sync.Mutex
 	state   HealthState
@@ -93,9 +97,25 @@ type receptorHealth struct {
 
 	inflight atomic.Bool // an abandoned timed-out poll is still running
 
-	polls, failures, timeouts, panics atomic.Int64
-	skipped                           atomic.Int64 // polls suppressed by quarantine or in-flight guard
-	quarantines, readmits             atomic.Int64
+	polls, failures, timeouts, panics *telemetry.Counter
+	skipped                           *telemetry.Counter // polls suppressed by quarantine or in-flight guard
+	quarantines, readmits             *telemetry.Counter
+	pollLat                           *telemetry.Histogram // guarded-poll wall latency (telemetry enabled only)
+}
+
+// newReceptorHealth wires a health record's counters into the registry
+// under the given prefix ("receptor.<id>.").
+func newReceptorHealth(tel *telemetry.Registry, pfx string) *receptorHealth {
+	return &receptorHealth{
+		polls:       tel.Counter(pfx + "polls"),
+		failures:    tel.Counter(pfx + "failures"),
+		timeouts:    tel.Counter(pfx + "timeouts"),
+		panics:      tel.Counter(pfx + "panics"),
+		skipped:     tel.Counter(pfx + "skipped"),
+		quarantines: tel.Counter(pfx + "quarantines"),
+		readmits:    tel.Counter(pfx + "readmits"),
+		pollLat:     tel.Histogram(pfx + "poll_ns"),
+	}
 }
 
 // healthRules bundles the FSM tuning so transitions are testable

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"time"
+
+	"esp/internal/telemetry"
 )
 
 var testRules = healthRules{
@@ -88,7 +90,9 @@ func TestHealthSuspectAfterOne(t *testing.T) {
 // TestHealthBackoffDoubling walks quarantine probes on a virtual clock
 // and checks the exponential schedule with its cap.
 func TestHealthBackoffDoubling(t *testing.T) {
-	h := &receptorHealth{}
+	// Wired counters so the readmit assertion below sees the increment;
+	// the other FSM tests use bare records (nil-safe handles).
+	h := newReceptorHealth(telemetry.NewRegistry(), "receptor.test.")
 	h.onFailure(at(0), testRules, "timeout")
 	h.onFailure(at(1), testRules, "timeout") // quarantined at t=1
 	if h.state != Quarantined {

@@ -46,6 +46,24 @@ type node interface {
 	// advance a node only after all of its upstream nodes' epoch output
 	// has been delivered to it.
 	advance(now time.Time, fx *effects) error
+	// windowSources lists the node's window-state telemetry sources, for
+	// pane-occupancy and late-drop gauges. nil for windowless nodes.
+	windowSources() []stream.WindowTelemetrySource
+}
+
+// probeWindows collects the window-telemetry sources among ops (nil
+// operators are skipped).
+func probeWindows(ops ...stream.Operator) []stream.WindowTelemetrySource {
+	var out []stream.WindowTelemetrySource
+	for _, op := range ops {
+		if op == nil {
+			continue
+		}
+		if src, ok := op.(stream.WindowTelemetrySource); ok {
+			out = append(out, src)
+		}
+	}
+	return out
 }
 
 // effects buffers the externally observable side effects of one node
@@ -105,6 +123,9 @@ func (n *legNode) label() string {
 }
 func (n *legNode) kindName() string   { return "leg" }
 func (n *legNode) upstream() []upEdge { return nil }
+func (n *legNode) windowSources() []stream.WindowTelemetrySource {
+	return probeWindows(n.point, n.smooth)
+}
 
 func (n *legNode) process(_ string, ts []stream.Tuple, fx *effects) error {
 	for _, t := range ts {
@@ -188,6 +209,9 @@ func (n *mergeNode) label() string {
 }
 func (n *mergeNode) kindName() string   { return "merge" }
 func (n *mergeNode) upstream() []upEdge { return n.ups }
+func (n *mergeNode) windowSources() []stream.WindowTelemetrySource {
+	return probeWindows(n.op)
+}
 
 func (n *mergeNode) process(_ string, ts []stream.Tuple, fx *effects) error {
 	out, err := processAll(n.op, ts)
@@ -229,6 +253,9 @@ type arbNode struct {
 func (n *arbNode) label() string     { return fmt.Sprintf("arbitrate %s", n.typ) }
 func (n *arbNode) kindName() string  { return "arbitrate" }
 func (n *arbNode) upstream() []upEdge { return n.ups }
+func (n *arbNode) windowSources() []stream.WindowTelemetrySource {
+	return probeWindows(n.op)
+}
 
 func (n *arbNode) process(_ string, ts []stream.Tuple, fx *effects) error {
 	out, err := processAll(n.op, ts)
@@ -261,6 +288,7 @@ type outNode struct {
 func (n *outNode) label() string     { return fmt.Sprintf("output %s", n.typ) }
 func (n *outNode) kindName() string  { return "output" }
 func (n *outNode) upstream() []upEdge { return n.ups }
+func (n *outNode) windowSources() []stream.WindowTelemetrySource { return nil }
 
 func (n *outNode) process(_ string, ts []stream.Tuple, fx *effects) error {
 	fx.tap(n.typ, StageArbitrate, ts)
@@ -282,6 +310,9 @@ type virtNode struct {
 func (n *virtNode) label() string     { return "virtualize" }
 func (n *virtNode) kindName() string  { return "virtualize" }
 func (n *virtNode) upstream() []upEdge { return n.ups }
+func (n *virtNode) windowSources() []stream.WindowTelemetrySource {
+	return []stream.WindowTelemetrySource{n.g}
+}
 
 func (n *virtNode) process(port string, ts []stream.Tuple, fx *effects) error {
 	for _, t := range ts {

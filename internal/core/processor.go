@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"esp/internal/receptor"
 	"esp/internal/stream"
+	"esp/internal/telemetry"
 )
 
 // Pipeline configures the cleaning stages for one receptor type. Any
@@ -82,6 +84,16 @@ type Processor struct {
 	typeSinks  map[receptor.Type][]func(stream.Tuple)
 	virtSinks  []func(stream.Tuple)
 	epochSinks []func(time.Time)
+
+	// Unified telemetry (telemetry.go): the registry holds every node
+	// counter, stage counter, latency histogram, and gauge; lin records
+	// sampled tuple lineage; logger receives structured runtime events.
+	tel       *telemetry.Registry
+	lin       *telemetry.Lineage
+	logger    *slog.Logger
+	typeStage map[receptor.Type]*stageCounters
+	virtOut   *telemetry.Counter
+	recTypes  []receptor.Type
 }
 
 type tapKey struct {
@@ -234,6 +246,7 @@ func NewProcessor(dep *Deployment) (*Processor, error) {
 	p := &Processor{
 		dep:   dep,
 		sched: SeqScheduler{},
+		tel:   telemetry.NewRegistry(),
 
 		typeSchema:  make(map[receptor.Type]*stream.Schema),
 		virtInputOf: make(map[receptor.Type]string),
@@ -266,6 +279,7 @@ func NewProcessor(dep *Deployment) (*Processor, error) {
 		return nil, err
 	}
 	p.graph = g
+	p.initTelemetry()
 	return p, nil
 }
 

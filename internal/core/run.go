@@ -60,8 +60,20 @@ func (p *Processor) poll(i int, now time.Time) []stream.Tuple {
 // Injection order is the receptor order, so output is deterministic
 // regardless of how the batches were gathered.
 func (p *Processor) stepBatches(now time.Time, batches [][]stream.Tuple) error {
+	var ls *lineageStep
+	if p.tel.Enabled() {
+		// Lineage snapshots the stage counters before this epoch's polled
+		// tuples are accounted, so span deltas cover the whole epoch.
+		if p.lin != nil {
+			ls = p.beginLineage(now, batches)
+		}
+		p.countPolled(batches)
+	}
 	if err := p.sched.step(p.graph, now, batches); err != nil {
 		return err
+	}
+	if ls != nil {
+		p.finishLineage(ls)
 	}
 	for _, fn := range p.epochSinks {
 		fn(now)

@@ -193,8 +193,7 @@ func (s *ParallelScheduler) runNode(g *dag, i int, now time.Time) error {
 	}
 	t0 := time.Now()
 	ok, err := g.guard(i, func() error { return n.advance(now, fx) })
-	st.advanceTimeNs.Add(int64(time.Since(t0)))
-	st.advances.Add(1)
+	st.advance.Observe(time.Since(t0))
 	if err != nil {
 		return err
 	}

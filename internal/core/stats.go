@@ -4,10 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync/atomic"
 
 	"esp/internal/receptor"
-	"esp/internal/stream"
 )
 
 // Stats is a snapshot of tuple counts through the pipeline, keyed
@@ -33,31 +31,25 @@ func (s Stats) String() string {
 	return sb.String()
 }
 
-// EnableStats installs counting taps on every stage of every type (and
-// Virtualize) and returns a live view: call the returned function for a
-// snapshot. Must be called before Run; the snapshot function may be
+// EnableStats turns on stage accounting (a view over the unified
+// telemetry registry — see telemetry.go) and returns a live snapshot
+// function. Must be called before Run; the snapshot function may be
 // called from any goroutine, including concurrently with a run (the
-// counters are atomics).
+// counters are atomics). The same counts appear in Telemetry() under
+// "stage.<type>/<Stage>.tuples" and "stage.virtualize.tuples".
 func (p *Processor) EnableStats() func() Stats {
-	counts := make(map[string]*atomic.Int64)
-	bump := func(key string) func(stream.Tuple) {
-		c := new(atomic.Int64)
-		counts[key] = c
-		return func(stream.Tuple) { c.Add(1) }
-	}
-	for _, t := range p.typeOrder {
-		for _, stage := range []StageKind{StagePoint, StageSmooth, StageMerge, StageArbitrate} {
-			key := fmt.Sprintf("%s/%s", t, stage)
-			p.Tap(t, stage, bump(key))
-		}
-	}
-	if p.virt != nil {
-		p.Tap("", StageVirtualize, bump("virtualize"))
-	}
+	p.EnableTelemetry()
+	stages := []StageKind{StagePoint, StageSmooth, StageMerge, StageArbitrate}
 	return func() Stats {
-		out := make(Stats, len(counts))
-		for k, c := range counts {
-			out[k] = c.Load()
+		out := make(Stats, len(p.typeOrder)*len(stages)+1)
+		for _, t := range p.typeOrder {
+			sc := p.typeStage[t]
+			for _, stage := range stages {
+				out[fmt.Sprintf("%s/%s", t, stage)] = sc.out[stage].Load()
+			}
+		}
+		if p.virt != nil {
+			out["virtualize"] = p.virtOut.Load()
 		}
 		return out
 	}

@@ -88,10 +88,20 @@ func (p *Processor) EnableSupervision(cfg SupervisorConfig) {
 		index: make(map[string]int, len(p.dep.Receptors)),
 	}
 	for i, rec := range p.dep.Receptors {
-		h := &receptorHealth{}
+		pfx := "receptor." + rec.ID() + "."
+		h := newReceptorHealth(p.tel, pfx)
 		if cfg.JitterFrac > 0 {
 			h.rng = rand.New(rand.NewSource(cfg.Seed + int64(i)))
 		}
+		// Health-FSM state as a gauge (0 healthy, 1 suspect, 2
+		// quarantined). Re-registering on a second EnableSupervision
+		// rebinds the gauge to the fresh health object.
+		hh := h
+		p.tel.GaugeFunc(pfx+"state", func() int64 {
+			hh.mu.Lock()
+			defer hh.mu.Unlock()
+			return int64(hh.state)
+		})
 		s.health = append(s.health, h)
 		s.index[rec.ID()] = i
 	}
@@ -118,7 +128,17 @@ func (s *supervisor) poll(r int, now time.Time) []stream.Tuple {
 		s.record(h, r, now, pollStuck)
 		return nil
 	}
+	// Poll latency is extended telemetry: timed only when the gate is on,
+	// so the disabled path stays clock-call-free.
+	timed := s.p.tel.Enabled()
+	var t0 time.Time
+	if timed {
+		t0 = s.cfg.Now()
+	}
 	out, outcome := s.guardedPoll(r, now)
+	if timed {
+		h.pollLat.Observe(s.cfg.Now().Sub(t0))
+	}
 	h.polls.Add(1)
 	if got := s.record(h, r, now, outcome); !got {
 		return nil
@@ -145,9 +165,23 @@ func (s *supervisor) record(h *receptorHealth, r int, now time.Time, outcome pol
 		tr, fired = h.onFailure(now, s.rules, outcome.cause())
 	}
 	h.mu.Unlock()
-	if fired && s.cfg.OnTransition != nil {
+	if fired {
 		tr.ReceptorID = s.p.dep.Receptors[r].ID()
-		s.cfg.OnTransition(tr)
+		if s.cfg.OnTransition != nil {
+			s.cfg.OnTransition(tr)
+		}
+	}
+	if lg := s.p.logger; lg != nil {
+		id := s.p.dep.Receptors[r].ID()
+		if outcome == pollTimeout {
+			lg.Warn("esp: poll deadline missed",
+				"receptor", id, "timeout", s.cfg.PollTimeout, "epoch", now)
+		}
+		if fired {
+			lg.Info("esp: receptor health transition",
+				"receptor", id, "from", tr.From.String(), "to", tr.To.String(),
+				"cause", tr.Cause, "epoch", now)
+		}
 	}
 	return outcome == pollOK
 }

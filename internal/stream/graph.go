@@ -217,6 +217,26 @@ func (g *Graph) Advance(now time.Time) ([]Tuple, error) {
 	return append(result, out...), nil
 }
 
+// WindowTelemetry implements WindowTelemetrySource by summing over the
+// graph's leg chains and post chain.
+func (g *Graph) WindowTelemetry() (panes, lateDrops int64) {
+	for _, name := range g.legOrder {
+		leg := g.legs[name]
+		if !leg.primary {
+			continue
+		}
+		p, d := leg.chain.WindowTelemetry()
+		panes += p
+		lateDrops += d
+	}
+	if g.post != nil {
+		p, d := g.post.WindowTelemetry()
+		panes += p
+		lateDrops += d
+	}
+	return panes, lateDrops
+}
+
 // Close flushes all legs, the combiner, and the post chain.
 func (g *Graph) Close() ([]Tuple, error) {
 	var result []Tuple

@@ -248,6 +248,19 @@ func (c *Chain) Advance(now time.Time) ([]Tuple, error) {
 	return result, nil
 }
 
+// WindowTelemetry implements WindowTelemetrySource by summing over the
+// chain's window operators.
+func (c *Chain) WindowTelemetry() (panes, lateDrops int64) {
+	for _, op := range c.Ops {
+		if src, ok := op.(WindowTelemetrySource); ok {
+			p, d := src.WindowTelemetry()
+			panes += p
+			lateDrops += d
+		}
+	}
+	return panes, lateDrops
+}
+
 // Close implements Operator.
 func (c *Chain) Close() ([]Tuple, error) {
 	var result []Tuple

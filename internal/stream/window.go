@@ -3,8 +3,19 @@ package stream
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 )
+
+// WindowTelemetrySource exposes a window operator's live state for
+// telemetry snapshots: the number of open panes and the count of late
+// tuples dropped. Implementations must make both values safe to read
+// from a goroutine other than the one processing tuples (the processor
+// polls them via gauge functions while a run is in flight). Chain and
+// Graph implement it by summing over their contained operators.
+type WindowTelemetrySource interface {
+	WindowTelemetry() (panes, lateDrops int64)
+}
 
 // WindowAgg is a sliding-window GROUP BY aggregation: the workhorse behind
 // the paper's Smooth and Merge stages and behind every `[Range By 'd']`
@@ -52,6 +63,16 @@ type WindowAgg struct {
 	// could contain them (boundary ≥ nextEmit, covering (b−Range, b])
 	// had already been emitted.
 	Dropped int64
+	// livePanes and lateDrops mirror len(panes) and Dropped atomically so
+	// telemetry gauges can read them mid-run without racing the operator.
+	livePanes atomic.Int64
+	lateDrops atomic.Int64
+}
+
+// WindowTelemetry implements WindowTelemetrySource. In Naive mode the
+// pane count is always zero (tuples are buffered whole, not paned).
+func (w *WindowAgg) WindowTelemetry() (panes, lateDrops int64) {
+	return w.livePanes.Load(), w.lateDrops.Load()
 }
 
 type paneCell struct {
@@ -138,6 +159,7 @@ func (w *WindowAgg) absorb(t Tuple) error {
 	// Dropped counter agrees between them.
 	if !w.nextEmit.IsZero() && !t.Ts.After(w.nextEmit.Add(-w.Range)) {
 		w.Dropped++
+		w.lateDrops.Add(1)
 		return nil
 	}
 	if w.Naive {
@@ -149,6 +171,7 @@ func (w *WindowAgg) absorb(t Tuple) error {
 	if cells == nil {
 		cells = make(map[GroupKey]*paneCell)
 		w.panes[j] = cells
+		w.livePanes.Add(1)
 	}
 	groupVals := make([]Value, len(w.GroupBy))
 	for i, g := range w.GroupBy {
@@ -258,6 +281,7 @@ func (w *WindowAgg) Close() ([]Tuple, error) {
 	for j := range w.panes {
 		if j <= jLo {
 			delete(w.panes, j)
+			w.livePanes.Add(-1)
 		}
 	}
 	live := w.buffer[:0]
@@ -301,6 +325,7 @@ func (w *WindowAgg) emit(b time.Time) ([]Tuple, error) {
 	for j := range w.panes {
 		if j <= jLo {
 			delete(w.panes, j)
+			w.livePanes.Add(-1)
 		}
 	}
 	return w.finish(b, merged)

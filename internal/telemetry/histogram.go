@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets. Bucket i
+// (i ≥ 1) covers [2^(i-1), 2^i) nanoseconds; bucket 0 holds zero (and
+// negative, which are clamped) observations. 2^39 ns ≈ 9 minutes, far
+// beyond any stage or poll latency worth bucketing precisely — larger
+// observations land in the last bucket and are still exact in Sum/Max.
+const histBuckets = 40
+
+// Histogram is a log-bucketed latency histogram: fixed memory, atomic
+// recording, and p50/p90/p99/max estimation from the bucket counts.
+// Observe costs four uncontended atomic operations and never allocates.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one latency sample. Nil-safe no-op.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketOf(ns)].Add(1)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// bucketOf maps a non-negative nanosecond latency to its bucket index.
+func bucketOf(ns int64) int {
+	b := bits.Len64(uint64(ns)) // 0 for 0, k for [2^(k-1), 2^k)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper is the exclusive upper bound of bucket i in nanoseconds.
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1) << uint(i)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the summed latency in nanoseconds.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistogramSnapshot is a point-in-time digest of a histogram. Latency
+// fields are nanoseconds; quantiles are upper-bound estimates from the
+// log buckets (within a factor of two of the true value, clamped to the
+// observed maximum).
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum_ns"`
+	Max   int64 `json:"max_ns"`
+	P50   int64 `json:"p50_ns"`
+	P90   int64 `json:"p90_ns"`
+	P99   int64 `json:"p99_ns"`
+}
+
+// Mean reports the average observation as a duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}
+
+// Snapshot digests the histogram atomically. Counts recorded while the
+// snapshot runs may or may not be included (same point-in-time contract
+// as the rest of the registry).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{
+		Count: total,
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	s.P50 = quantile(counts[:], total, 0.50, s.Max)
+	s.P90 = quantile(counts[:], total, 0.90, s.Max)
+	s.P99 = quantile(counts[:], total, 0.99, s.Max)
+	return s
+}
+
+// quantile estimates the q-quantile as the upper bound of the bucket
+// holding the target rank, clamped to the observed max.
+func quantile(counts []int64, total int64, q float64, max int64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			ub := bucketUpper(i)
+			if ub > max && max > 0 {
+				return max
+			}
+			return ub
+		}
+	}
+	return max
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServerConfig bundles what the exposition endpoint serves.
+type ServerConfig struct {
+	// Registry is the metric source (required).
+	Registry *Registry
+	// Lineage, when non-nil, is dumped at /lineage.
+	Lineage *Lineage
+	// ExpvarName is the name the registry is published under in
+	// /debug/vars (default "esp").
+	ExpvarName string
+}
+
+// Handler builds the exposition mux:
+//
+//	/metrics       Prometheus text format
+//	/metrics.json  full snapshot as JSON
+//	/lineage       sampled tuple-lineage dump (JSON array)
+//	/debug/vars    expvar JSON (registry published as ExpvarName)
+//	/debug/pprof/  stdlib profiling endpoints
+//	/              plain-text index of the above
+func Handler(cfg ServerConfig) http.Handler {
+	name := cfg.ExpvarName
+	if name == "" {
+		name = "esp"
+	}
+	PublishExpvar(name, cfg.Registry)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = cfg.Registry.WritePrometheus(w, "esp_")
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = cfg.Registry.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/lineage", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if cfg.Lineage == nil {
+			fmt.Fprintln(w, "[]")
+			return
+		}
+		_ = cfg.Lineage.DumpJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ESP runtime telemetry")
+		fmt.Fprintln(w, "  /metrics       Prometheus text")
+		fmt.Fprintln(w, "  /metrics.json  snapshot JSON")
+		fmt.Fprintln(w, "  /lineage       sampled tuple lineage")
+		fmt.Fprintln(w, "  /debug/vars    expvar JSON")
+		fmt.Fprintln(w, "  /debug/pprof/  profiling")
+	})
+	return mux
+}
+
+// Server is a live exposition endpoint. Close releases the listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr reports the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL reports the base URL of the endpoint.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve binds addr (e.g. ":9090" or ":0") and serves the exposition
+// handler in a background goroutine until Close.
+func Serve(addr string, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(cfg)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("node.output rfid.tuples_in").Add(11)
+	r.Histogram("node.output rfid.advance").Observe(time.Millisecond)
+	l := NewLineage(1, 0)
+	l.Record(Trace{Receptor: "r0", Type: "rfid", Spans: []Span{
+		{Stage: "Point", Decision: "pass"},
+		{Stage: "Smooth", Decision: "merge"},
+		{Stage: "Merge", Decision: "pass-through"},
+		{Stage: "Arbitrate", Decision: "pass"},
+		{Stage: "Virtualize", Decision: "pass-through"},
+	}})
+
+	srv, err := Serve(":0", ServerConfig{Registry: r, Lineage: l, ExpvarName: "esp-http-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "esp_node_output_rfid_tuples_in 11") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v", err)
+	}
+	if snap.Counters["node.output rfid.tuples_in"] != 11 || !snap.Enabled {
+		t.Errorf("/metrics.json snapshot = %+v", snap)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, "esp-http-test") {
+		t.Errorf("/debug/vars missing published registry:\n%.300s", out)
+	}
+	var traces []Trace
+	if err := json.Unmarshal([]byte(get("/lineage")), &traces); err != nil {
+		t.Fatalf("/lineage not valid JSON: %v", err)
+	}
+	if len(traces) != 1 || len(traces[0].Spans) != 5 {
+		t.Errorf("/lineage = %+v", traces)
+	}
+	if out := get("/debug/pprof/cmdline"); len(out) == 0 {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+	if out := get("/"); !strings.Contains(out, "/metrics") {
+		t.Errorf("index = %q", out)
+	}
+}

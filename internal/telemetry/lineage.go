@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Lineage is the sampled tuple-lineage recorder: a seeded, deterministic
+// sampler tags roughly 1/N input readings, and the runtime records an
+// epoch-stamped span per pipeline stage (Point → Smooth → Merge →
+// Arbitrate → Virtualize) for each tagged reading, showing what every
+// stage did to the reading's epoch cohort — the debugging view "what
+// happened to this reading on its way through the pipeline".
+//
+// Sampling is a pure function of (seed, receptor ID, timestamp,
+// batch position), so two runs over the same trace tag the same
+// readings — lineage dumps are reproducible and diffable.
+//
+// Completed traces live in a bounded ring (newest win); Traces and
+// DumpJSON snapshot it safely while a run is recording.
+type Lineage struct {
+	sampleN uint64
+	seed    uint64
+
+	mu     sync.Mutex
+	cap    int
+	nextID int64
+	ring   []Trace
+	start  int // index of the oldest trace in ring when full
+}
+
+// DefaultLineageCap bounds the completed-trace ring.
+const DefaultLineageCap = 256
+
+// NewLineage returns a recorder sampling ~1/sampleN readings
+// (sampleN <= 1 samples everything) with the given seed.
+func NewLineage(sampleN int, seed int64) *Lineage {
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	return &Lineage{
+		sampleN: uint64(sampleN),
+		seed:    uint64(seed),
+		cap:     DefaultLineageCap,
+	}
+}
+
+// SetCap bounds the completed-trace ring (minimum 1).
+func (l *Lineage) SetCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cap = n
+	if len(l.ring) > n {
+		// Keep the newest n traces.
+		trimmed := make([]Trace, 0, n)
+		for i := 0; i < n; i++ {
+			trimmed = append(trimmed, l.at(len(l.ring)-n+i))
+		}
+		l.ring, l.start = trimmed, 0
+	}
+}
+
+// at reads the i-th oldest trace. Caller holds l.mu.
+func (l *Lineage) at(i int) Trace {
+	return l.ring[(l.start+i)%len(l.ring)]
+}
+
+// SampleN reports the sampling divisor.
+func (l *Lineage) SampleN() int {
+	if l == nil {
+		return 0
+	}
+	return int(l.sampleN)
+}
+
+// Sample reports whether the reading identified by (receptor, ts, seq)
+// is tagged for lineage. Deterministic per seed; allocation-free.
+func (l *Lineage) Sample(receptorID string, ts time.Time, seq int) bool {
+	if l == nil {
+		return false
+	}
+	if l.sampleN <= 1 {
+		return true
+	}
+	// FNV-1a over the seed, receptor ID, timestamp, and batch position.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	mix(l.seed)
+	for i := 0; i < len(receptorID); i++ {
+		h ^= uint64(receptorID[i])
+		h *= prime64
+	}
+	mix(uint64(ts.UnixNano()))
+	mix(uint64(seq))
+	return h%l.sampleN == 0
+}
+
+// Span is one pipeline stage's epoch-stamped record within a trace:
+// how many tuples the stage saw and released for the tagged reading's
+// epoch cohort, and the decision that implies.
+type Span struct {
+	// Stage is "Point", "Smooth", "Merge", "Arbitrate", or "Virtualize".
+	Stage string `json:"stage"`
+	// Epoch is the punctuation time of the epoch the span covers.
+	Epoch time.Time `json:"epoch"`
+	// In and Out count the stage's input and released tuples over the
+	// epoch, for the tagged reading's receptor type.
+	In  int64 `json:"tuples_in"`
+	Out int64 `json:"tuples_out"`
+	// Decision classifies the stage's effect: "pass" (all through),
+	// "transform" (released a different number than it saw, windowed
+	// aggregation or expansion), "merge" (many in, fewer out), "drop"
+	// (saw input, released nothing), "idle" (no input this epoch), or
+	// "pass-through" (stage not configured for this type).
+	Decision string `json:"decision"`
+	// Note carries stage-specific detail (operator description etc.).
+	Note string `json:"note,omitempty"`
+}
+
+// Trace is one sampled reading's journey: identity, the epoch it was
+// injected in, and one span per pipeline stage in execution order.
+type Trace struct {
+	ID       int64     `json:"id"`
+	Receptor string    `json:"receptor"`
+	Type     string    `json:"type"`
+	Ts       time.Time `json:"ts"`
+	Epoch    time.Time `json:"epoch"`
+	Value    string    `json:"value"`
+	Spans    []Span    `json:"spans"`
+}
+
+// Record stores a completed trace in the ring, assigning and returning
+// its ID.
+func (l *Lineage) Record(t Trace) int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextID++
+	t.ID = l.nextID
+	if len(l.ring) < l.cap {
+		l.ring = append(l.ring, t)
+	} else {
+		l.ring[l.start] = t
+		l.start = (l.start + 1) % len(l.ring)
+	}
+	return t.ID
+}
+
+// Traces snapshots the completed traces, oldest first.
+func (l *Lineage) Traces() []Trace {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Trace, len(l.ring))
+	for i := range l.ring {
+		out[i] = l.at(i)
+	}
+	return out
+}
+
+// Len reports the number of completed traces currently held.
+func (l *Lineage) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ring)
+}
+
+// DumpJSON writes the completed traces as an indented JSON array —
+// the lineage dump format served at /lineage and emitted by
+// `espclean -lineage`.
+func (l *Lineage) DumpJSON(w io.Writer) error {
+	traces := l.Traces()
+	if traces == nil {
+		traces = []Trace{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(traces)
+}
+
+// Decide classifies a stage's epoch effect for a lineage span. The
+// configured flag reports whether the deployment actually installs the
+// stage for the reading's type.
+func Decide(configured bool, in, out int64) string {
+	switch {
+	case !configured:
+		return "pass-through"
+	case in == 0 && out == 0:
+		return "idle"
+	case out == 0:
+		return "drop"
+	case out == in:
+		return "pass"
+	case out < in:
+		return "merge"
+	default:
+		return "transform"
+	}
+}

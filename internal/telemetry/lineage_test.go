@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestLineageSamplingDeterministic(t *testing.T) {
+	l1 := NewLineage(8, 42)
+	l2 := NewLineage(8, 42)
+	l3 := NewLineage(8, 7) // different seed
+
+	base := time.Unix(0, 0).UTC()
+	var hits, diff int
+	for i := 0; i < 4096; i++ {
+		ts := base.Add(time.Duration(i) * time.Millisecond)
+		a := l1.Sample("mote03", ts, i%16)
+		b := l2.Sample("mote03", ts, i%16)
+		if a != b {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+		if a {
+			hits++
+		}
+		if a != l3.Sample("mote03", ts, i%16) {
+			diff++
+		}
+	}
+	// ~1/8 of 4096 = 512; allow wide slack, but it must be a sample.
+	if hits < 256 || hits > 1024 {
+		t.Fatalf("sampled %d of 4096 at 1/8, outside [256,1024]", hits)
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical sampling")
+	}
+	if !NewLineage(1, 0).Sample("x", base, 0) {
+		t.Fatal("sampleN=1 must sample everything")
+	}
+	if NewLineage(0, 0).SampleN() != 1 {
+		t.Fatal("sampleN<1 must clamp to 1")
+	}
+}
+
+func TestLineageRingAndDump(t *testing.T) {
+	l := NewLineage(1, 0)
+	l.SetCap(3)
+	base := time.Unix(100, 0).UTC()
+	for i := 0; i < 5; i++ {
+		l.Record(Trace{
+			Receptor: "r0",
+			Type:     "rfid",
+			Epoch:    base,
+			Spans: []Span{
+				{Stage: "Point", Epoch: base, In: 2, Out: 1, Decision: "merge"},
+			},
+		})
+	}
+	traces := l.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("ring holds %d traces, want 3", len(traces))
+	}
+	// Newest three survive, oldest first.
+	if traces[0].ID != 3 || traces[2].ID != 5 {
+		t.Fatalf("ring IDs = %d..%d, want 3..5", traces[0].ID, traces[2].ID)
+	}
+
+	var buf bytes.Buffer
+	if err := l.DumpJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Trace
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 3 || decoded[1].Spans[0].Stage != "Point" {
+		t.Fatalf("decoded dump = %+v", decoded)
+	}
+}
+
+func TestDecide(t *testing.T) {
+	cases := []struct {
+		configured bool
+		in, out    int64
+		want       string
+	}{
+		{false, 5, 5, "pass-through"},
+		{true, 0, 0, "idle"},
+		{true, 4, 0, "drop"},
+		{true, 4, 4, "pass"},
+		{true, 4, 1, "merge"},
+		{true, 1, 3, "transform"},
+	}
+	for _, c := range cases {
+		if got := Decide(c.configured, c.in, c.out); got != c.want {
+			t.Errorf("Decide(%v,%d,%d) = %q, want %q", c.configured, c.in, c.out, got, c.want)
+		}
+	}
+}

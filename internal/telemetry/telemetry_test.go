@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Add(3)
+	c.Add(4)
+	if got := c.Load(); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("Counter not idempotent per name")
+	}
+	g := r.Gauge("g")
+	g.Set(9)
+	g.Add(-2)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	r.GaugeFunc("fn", func() int64 { return 42 })
+
+	s := r.Snapshot()
+	if s.Counters["a.b"] != 7 || s.Gauges["g"] != 7 || s.Gauges["fn"] != 42 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Enabled {
+		t.Fatal("new registry should be disabled")
+	}
+	r.SetEnabled(true)
+	if !r.Enabled() || !r.Snapshot().Enabled {
+		t.Fatal("SetEnabled(true) not reflected")
+	}
+}
+
+func TestNilHandlesAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	var l *Lineage
+	c.Add(1)
+	g.Set(1)
+	h.Observe(time.Second)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if r.Enabled() {
+		t.Fatal("nil registry must be disabled")
+	}
+	if l.Sample("x", time.Time{}, 0) || l.SampleN() != 0 || l.Len() != 0 {
+		t.Fatal("nil lineage must never sample")
+	}
+	if hs := h.Snapshot(); hs.Count != 0 {
+		t.Fatal("nil histogram snapshot must be zero")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// 90 fast observations (~1µs), 9 medium (~1ms), 1 slow (~100ms).
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(100 * time.Millisecond)
+
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Max != int64(100*time.Millisecond) {
+		t.Fatalf("max = %d", s.Max)
+	}
+	// Log buckets bound quantiles within a factor of two.
+	if s.P50 < int64(time.Microsecond) || s.P50 > int64(2*time.Microsecond) {
+		t.Errorf("p50 = %v", time.Duration(s.P50))
+	}
+	if s.P90 < int64(time.Microsecond) || s.P90 > int64(2*time.Microsecond) {
+		t.Errorf("p90 = %v (90th of 100 is still the fast bucket)", time.Duration(s.P90))
+	}
+	if s.P99 < int64(time.Millisecond) || s.P99 > int64(2*time.Millisecond) {
+		t.Errorf("p99 = %v", time.Duration(s.P99))
+	}
+	if got := s.Mean(); got <= 0 {
+		t.Errorf("mean = %v", got)
+	}
+	// Negative observations clamp instead of corrupting buckets.
+	h.Observe(-time.Second)
+	if h.Snapshot().Count != 101 {
+		t.Error("negative observation not recorded")
+	}
+}
+
+func TestSnapshotConcurrentWithRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot")
+	h := r.Histogram("lat")
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					c.Add(1)
+					h.Observe(time.Microsecond)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		s := r.Snapshot()
+		if s.Counters["hot"] < 0 || s.Histograms["lat"].Count < 0 {
+			t.Error("negative value in concurrent snapshot")
+		}
+		// Metric registration concurrent with snapshots must be safe too.
+		r.Counter("late").Add(1)
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("node.leg rfid r0@shelf0.tuples_in").Add(5)
+	r.Gauge("receptor.r0.channel_occupancy").Set(3)
+	r.Histogram("poll.r0.latency").Observe(time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b, "esp_"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE esp_node_leg_rfid_r0_shelf0_tuples_in counter",
+		"esp_node_leg_rfid_r0_shelf0_tuples_in 5",
+		"esp_receptor_r0_channel_occupancy 3",
+		"esp_poll_r0_latency{quantile=\"0.5\"}",
+		"esp_poll_r0_latency_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpvarString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(1)
+	if s := r.String(); !strings.Contains(s, "\"x\":1") {
+		t.Fatalf("expvar String = %s", s)
+	}
+	// Re-publishing under the same name must not panic and must rebind.
+	PublishExpvar("esp-test", r)
+	r2 := NewRegistry()
+	r2.Counter("y").Add(2)
+	PublishExpvar("esp-test", r2)
+}
+
+func TestAllocFreeRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot")
+	h := r.Histogram("lat")
+	var nilC *Counter
+	var nilH *Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		h.Observe(time.Microsecond)
+		nilC.Add(1)
+		nilH.Observe(time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("recording allocates %v times per op, want 0", allocs)
+	}
+}
