@@ -39,6 +39,7 @@ chaos:
 fuzz-smoke:
 	$(GO) test ./internal/cql -run '^$$' -fuzz FuzzLexer -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cql -run '^$$' -fuzz FuzzParser -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stream -run '^$$' -fuzz FuzzCompileExpr -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/oracle -run '^$$' -fuzz FuzzWindowAlgebra -fuzztime $(FUZZTIME)
 
 ## fuzz: longer fuzz rounds (override FUZZTIME, e.g. make fuzz FUZZTIME=10m).
@@ -50,8 +51,10 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 ## bench-json: regenerate the committed perf snapshots at the repo root —
-## BENCH_baseline.json (telemetry-off wall-time profile) and
-## BENCH_obs.json (telemetry overhead matrix; see EXPERIMENTS.md §obs).
+## BENCH_baseline.json (telemetry-off wall-time profile), BENCH_obs.json
+## (telemetry overhead matrix) and BENCH_batch.json (columnar-vs-tuple
+## execution comparison; see EXPERIMENTS.md).
 bench-json:
 	$(GO) run ./cmd/espbench -exp baseline
 	$(GO) run ./cmd/espbench -exp obs
+	$(GO) run ./cmd/espbench -exp batch

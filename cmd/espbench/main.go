@@ -12,6 +12,7 @@
 //	espbench -exp chaos    fault-injection harness (supervised runtime)
 //	espbench -exp baseline telemetry-off wall-time profile (BENCH_baseline.json)
 //	espbench -exp obs      runtime-telemetry overhead matrix (BENCH_obs.json)
+//	espbench -exp batch    columnar-vs-tuple execution comparison (BENCH_batch.json)
 //	espbench -exp all      everything above
 //
 // Add -trace to emit the per-epoch series behind the figure (CSV on
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment id: fig3, fig5, fig6, fig7, yield, spatial, fig9, actuation, model, robust, sched, chaos, baseline, obs, all")
+	expName := flag.String("exp", "all", "experiment id: fig3, fig5, fig6, fig7, yield, spatial, fig9, actuation, model, robust, sched, chaos, baseline, obs, batch, all")
 	trace := flag.Bool("trace", false, "emit per-epoch trace CSV after the summary")
 	seed := flag.Int64("seed", 0, "override the simulation seed (0 = calibrated defaults)")
 	flag.Parse()
@@ -48,8 +49,9 @@ func main() {
 		"chaos":     runChaos,
 		"baseline":  runBaseline,
 		"obs":       runObs,
+		"batch":     runBatch,
 	}
-	order := []string{"fig3", "fig5", "fig6", "fig7", "yield", "spatial", "fig9", "actuation", "model", "robust", "sched", "chaos", "baseline", "obs"}
+	order := []string{"fig3", "fig5", "fig6", "fig7", "yield", "spatial", "fig9", "actuation", "model", "robust", "sched", "chaos", "baseline", "obs", "batch"}
 
 	if *expName == "all" {
 		for _, name := range order {

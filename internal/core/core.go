@@ -83,6 +83,10 @@ type BuildEnv struct {
 	// Live reports group live membership under receptor supervision —
 	// see Processor.EnableSupervision and MergeVoteLive.
 	Live LiveView
+	// NoOptimize disables the CQL plan-rewrite pass for stages built in
+	// this deployment (Deployment.DisableOptimizer; the oracle's
+	// optimized-vs-unoptimized differential runs both settings).
+	NoOptimize bool
 }
 
 // Stage builds the operator implementing one pipeline stage for one
@@ -116,9 +120,10 @@ func (s CQLStage) Build(in *stream.Schema, env BuildEnv) (stream.Operator, error
 		return nil, fmt.Errorf("core: stage query must read one stream, found %v", inputs)
 	}
 	g, err := cql.Plan(stmt, cql.Catalog{inputs[0]: in}, cql.PlanConfig{
-		Slide:    env.Epoch,
-		Tables:   env.Tables,
-		TieBreak: env.TieBreak,
+		Slide:      env.Epoch,
+		Tables:     env.Tables,
+		TieBreak:   env.TieBreak,
+		NoOptimize: env.NoOptimize,
 	})
 	if err != nil {
 		return nil, err
@@ -204,6 +209,12 @@ func (o *graphOp) Schema() *stream.Schema { return o.g.Schema() }
 // Process implements Operator.
 func (o *graphOp) Process(t stream.Tuple) ([]stream.Tuple, error) {
 	return o.g.Push(o.input, t)
+}
+
+// ProcessBatch implements stream.BatchOperator: the batch stays columnar
+// through the planned graph as far as its operators allow.
+func (o *graphOp) ProcessBatch(b *stream.Batch) (*stream.Batch, []stream.Tuple, error) {
+	return o.g.PushBatch(o.input, b)
 }
 
 // Advance implements Operator.

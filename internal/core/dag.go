@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -36,6 +37,27 @@ type dag struct {
 	// punctuated. Unlike receptors — external devices that may recover —
 	// a panicked node has corrupt operator state, so it never readmits.
 	quarantined []atomic.Bool
+	// fxPool recycles effects buffers across node invocations (the graph
+	// runs tens of thousands per second; steady state their event and
+	// emission slices reach capacity and the hot path stops allocating).
+	fxPool sync.Pool
+}
+
+// getFx returns an empty effects buffer, reusing a pooled one.
+func (g *dag) getFx() *effects {
+	if v := g.fxPool.Get(); v != nil {
+		return v.(*effects)
+	}
+	return &effects{}
+}
+
+// putFx resets and pools an effects buffer. Callers must be done with
+// its emissions: delivered slices and batches are safe (reset only drops
+// the buffer's own references), but the buffer itself must not be read
+// again.
+func (g *dag) putFx(fx *effects) {
+	fx.reset()
+	g.fxPool.Put(fx)
 }
 
 // downEdge routes a node's emitted tuples to a downstream input port.
@@ -56,6 +78,11 @@ type nodeCounters struct {
 	tuplesIn, tuplesOut *telemetry.Counter
 	panics              *telemetry.Counter
 	advance             *telemetry.Histogram
+	// batchesIn/batchRows count columnar deliveries (rows also count in
+	// tuplesIn, so tuple totals stay representation-independent);
+	// batchFallbacks counts deliveries that degraded to the tuple path.
+	batchesIn, batchRows *telemetry.Counter
+	batchFallbacks       *telemetry.Counter
 }
 
 // compileDag inverts the nodes' upstream declarations into the runnable
@@ -123,15 +150,44 @@ func (g *dag) processInto(i int, port string, ts []stream.Tuple) error {
 		return nil
 	}
 	g.stats[i].tuplesIn.Add(int64(len(ts)))
-	var fx effects
-	ok, err := g.guard(i, func() error { return g.nodes[i].process(port, ts, &fx) })
+	fx := g.getFx()
+	ok, err := g.guard(i, func() error { return g.nodes[i].process(port, ts, fx) })
 	if err != nil {
 		return err
 	}
 	if !ok {
+		g.putFx(fx)
 		return nil // panicked under supervision: partial effects discarded
 	}
-	return g.flushCascade(i, &fx)
+	err = g.flushCascade(i, fx)
+	g.putFx(fx)
+	return err
+}
+
+// processIntoB delivers a columnar batch to node i's input port and
+// cascades like processInto. The batch is owned by the upstream operator
+// that produced it; the depth-first cascade completes before that
+// operator can be invoked again, so no copy is needed.
+func (g *dag) processIntoB(i int, port string, b *stream.Batch) error {
+	if g.quarantined[i].Load() {
+		return nil
+	}
+	st := &g.stats[i]
+	st.batchesIn.Add(1)
+	st.batchRows.Add(int64(b.Len()))
+	st.tuplesIn.Add(int64(b.Len()))
+	fx := g.getFx()
+	ok, err := g.guard(i, func() error { return g.nodes[i].processBatch(port, b, fx) })
+	if err != nil {
+		return err
+	}
+	if !ok {
+		g.putFx(fx)
+		return nil
+	}
+	err = g.flushCascade(i, fx)
+	g.putFx(fx)
+	return err
 }
 
 // advanceNode punctuates node i and cascades the released output.
@@ -141,17 +197,20 @@ func (g *dag) advanceNode(i int, now time.Time) error {
 		return nil
 	}
 	st := &g.stats[i]
-	var fx effects
+	fx := g.getFx()
 	t0 := time.Now()
-	ok, err := g.guard(i, func() error { return g.nodes[i].advance(now, &fx) })
+	ok, err := g.guard(i, func() error { return g.nodes[i].advance(now, fx) })
 	st.advance.Observe(time.Since(t0))
 	if err != nil {
 		return err
 	}
 	if !ok {
+		g.putFx(fx)
 		return nil
 	}
-	return g.flushCascade(i, &fx)
+	err = g.flushCascade(i, fx)
+	g.putFx(fx)
+	return err
 }
 
 // guard runs one node call with panic isolation. A panic increments the
@@ -176,16 +235,30 @@ func (g *dag) guard(i int, fn func() error) (ok bool, err error) {
 }
 
 // flushCascade runs node i's buffered effects (taps, sinks) and feeds
-// its emitted tuples to every downstream edge, recursively.
+// its emissions — columnar or tuple-form, in emission order — to every
+// downstream edge, recursively.
 func (g *dag) flushCascade(i int, fx *effects) error {
 	g.flushEvents(fx)
-	if len(fx.out) == 0 {
-		return nil
+	st := &g.stats[i]
+	if fx.fallbacks != 0 {
+		st.batchFallbacks.Add(fx.fallbacks)
 	}
-	g.stats[i].tuplesOut.Add(int64(len(fx.out)))
-	for _, e := range g.down[i] {
-		if err := g.processInto(e.to, e.port, fx.out); err != nil {
-			return err
+	for _, e := range fx.outs {
+		rows := e.rows()
+		if rows == 0 {
+			continue
+		}
+		st.tuplesOut.Add(int64(rows))
+		for _, d := range g.down[i] {
+			var err error
+			if e.b != nil {
+				err = g.processIntoB(d.to, d.port, e.b)
+			} else {
+				err = g.processInto(d.to, d.port, e.ts)
+			}
+			if err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -195,16 +268,31 @@ func (g *dag) flushCascade(i int, fx *effects) error {
 // order. Always called on the scheduler goroutine: user callbacks never
 // observe node concurrency.
 func (g *dag) flushEvents(fx *effects) {
-	for _, ev := range fx.events {
+	for i := range fx.events {
+		ev := &fx.events[i]
 		if !ev.sink {
 			// Stage accounting keys off the non-sink (tap) event only:
 			// outNode and virtNode fire both a tap and a sink event for
 			// the same tuples, and counting both would double-count.
-			g.p.countStage(ev.typ, ev.stage, len(ev.ts))
+			g.p.countStage(ev.typ, ev.stage, ev.rows())
+			if ev.b != nil {
+				// Materialize the columnar event lazily: only when a tap is
+				// actually registered for this (type, stage).
+				if len(g.p.taps[tapKey{typ: ev.typ, stage: ev.stage}]) == 0 {
+					continue
+				}
+				ev.ts, ev.b = ev.b.Tuples(), nil
+			}
 			g.p.tap(ev.typ, ev.stage, ev.ts)
 			continue
 		}
 		if ev.stage == StageVirtualize {
+			if len(g.p.virtSinks) == 0 {
+				continue
+			}
+			if ev.b != nil {
+				ev.ts, ev.b = ev.b.Tuples(), nil
+			}
 			for _, t := range ev.ts {
 				for _, fn := range g.p.virtSinks {
 					fn(t)
@@ -213,6 +301,12 @@ func (g *dag) flushEvents(fx *effects) {
 			continue
 		}
 		fns := g.p.typeSinks[ev.typ]
+		if len(fns) == 0 {
+			continue
+		}
+		if ev.b != nil {
+			ev.ts, ev.b = ev.b.Tuples(), nil
+		}
 		for _, t := range ev.ts {
 			for _, fn := range fns {
 				fn(t)
@@ -232,6 +326,10 @@ type NodeStats struct {
 	// TuplesIn counts tuples delivered to the node (receptor batches for
 	// legs); TuplesOut counts tuples the node emitted downstream.
 	TuplesIn, TuplesOut int64
+	// BatchesIn counts columnar deliveries, BatchRows their summed rows
+	// (those rows are also in TuplesIn), and BatchFallbacks deliveries
+	// that degraded to the tuple path (column-heterogeneous input).
+	BatchesIn, BatchRows, BatchFallbacks int64
 	// Advances counts epoch punctuations; AdvanceTime is their summed
 	// latency and AdvanceP99 the 99th-percentile single-punctuation
 	// latency (upper log-bucket bound, clamped to the observed max).
@@ -257,16 +355,19 @@ func (p *Processor) NodeStats() []NodeStats {
 		st := &g.stats[i]
 		adv := st.advance.Snapshot()
 		out[i] = NodeStats{
-			Label:       n.label(),
-			Kind:        n.kindName(),
-			Level:       g.level[i],
-			TuplesIn:    st.tuplesIn.Load(),
-			TuplesOut:   st.tuplesOut.Load(),
-			Advances:    adv.Count,
-			AdvanceTime: time.Duration(adv.Sum),
-			AdvanceP99:  time.Duration(adv.P99),
-			Panics:      st.panics.Load(),
-			Quarantined: g.quarantined[i].Load(),
+			Label:          n.label(),
+			Kind:           n.kindName(),
+			Level:          g.level[i],
+			TuplesIn:       st.tuplesIn.Load(),
+			TuplesOut:      st.tuplesOut.Load(),
+			BatchesIn:      st.batchesIn.Load(),
+			BatchRows:      st.batchRows.Load(),
+			BatchFallbacks: st.batchFallbacks.Load(),
+			Advances:       adv.Count,
+			AdvanceTime:    time.Duration(adv.Sum),
+			AdvanceP99:     time.Duration(adv.P99),
+			Panics:         st.panics.Load(),
+			Quarantined:    g.quarantined[i].Load(),
 		}
 	}
 	return out

@@ -42,6 +42,11 @@ type node interface {
 	upstream() []upEdge
 	// process consumes a batch of tuples arriving on an input port.
 	process(port string, ts []stream.Tuple, fx *effects) error
+	// processBatch consumes a columnar batch arriving on an input port —
+	// the hot path between stages. Implementations fall back to the tuple
+	// representation internally whenever an operator is not batch-capable
+	// (stream.ProcessBatchOp), so every node accepts both forms.
+	processBatch(port string, b *stream.Batch, fx *effects) error
 	// advance punctuates the node at the end of an epoch. Schedulers must
 	// advance a node only after all of its upstream nodes' epoch output
 	// has been delivered to it.
@@ -67,19 +72,50 @@ func probeWindows(ops ...stream.Operator) []stream.WindowTelemetrySource {
 }
 
 // effects buffers the externally observable side effects of one node
-// invocation: tap events, sink deliveries, and the tuples emitted toward
-// downstream nodes.
+// invocation: tap events, sink deliveries, and the tuples or batches
+// emitted toward downstream nodes.
 type effects struct {
 	events []effectEvent
-	out    []stream.Tuple
+	outs   []emission
+	// fallbacks counts batch-path degradations inside this invocation
+	// (a polled batch that was not column-homogeneous); the scheduler
+	// folds it into the node's batch_fallbacks counter.
+	fallbacks int64
 }
 
-// effectEvent is one buffered tap call or sink delivery.
+// emission is one downstream hand-off: either a columnar batch or a
+// tuple run, never both. Emission order is preserved — it is the
+// delivery order downstream nodes observe.
+type emission struct {
+	b  *stream.Batch
+	ts []stream.Tuple
+}
+
+// rows reports the tuple count of the emission.
+func (e *emission) rows() int {
+	if e.b != nil {
+		return e.b.Len()
+	}
+	return len(e.ts)
+}
+
+// effectEvent is one buffered tap call or sink delivery. The tuples may
+// be carried columnar (b non-nil) and are only materialized at flush
+// time, and only when a matching tap or sink is actually registered.
 type effectEvent struct {
 	typ   receptor.Type
 	stage StageKind
 	sink  bool // deliver to sinks instead of taps
 	ts    []stream.Tuple
+	b     *stream.Batch
+}
+
+// rows reports the event's tuple count without materializing a batch.
+func (ev *effectEvent) rows() int {
+	if ev.b != nil {
+		return ev.b.Len()
+	}
+	return len(ev.ts)
 }
 
 func (fx *effects) tap(typ receptor.Type, stage StageKind, ts []stream.Tuple) {
@@ -89,6 +125,13 @@ func (fx *effects) tap(typ receptor.Type, stage StageKind, ts []stream.Tuple) {
 	fx.events = append(fx.events, effectEvent{typ: typ, stage: stage, ts: ts})
 }
 
+func (fx *effects) tapBatch(typ receptor.Type, stage StageKind, b *stream.Batch) {
+	if b == nil || b.Len() == 0 {
+		return
+	}
+	fx.events = append(fx.events, effectEvent{typ: typ, stage: stage, b: b})
+}
+
 func (fx *effects) sink(typ receptor.Type, stage StageKind, ts []stream.Tuple) {
 	if len(ts) == 0 {
 		return
@@ -96,11 +139,59 @@ func (fx *effects) sink(typ receptor.Type, stage StageKind, ts []stream.Tuple) {
 	fx.events = append(fx.events, effectEvent{typ: typ, stage: stage, sink: true, ts: ts})
 }
 
+func (fx *effects) sinkBatch(typ receptor.Type, stage StageKind, b *stream.Batch) {
+	if b == nil || b.Len() == 0 {
+		return
+	}
+	fx.events = append(fx.events, effectEvent{typ: typ, stage: stage, sink: true, b: b})
+}
+
 func (fx *effects) emit(ts []stream.Tuple) {
 	if len(ts) == 0 {
 		return
 	}
-	fx.out = append(fx.out, ts...)
+	// Consecutive tuple emissions coalesce, preserving the classic
+	// single-delivery cascade whenever no batch is interleaved.
+	if n := len(fx.outs); n > 0 && fx.outs[n-1].b == nil {
+		fx.outs[n-1].ts = append(fx.outs[n-1].ts, ts...)
+		return
+	}
+	fx.outs = append(fx.outs, emission{ts: ts})
+}
+
+func (fx *effects) emitBatch(b *stream.Batch) {
+	if b == nil || b.Len() == 0 {
+		return
+	}
+	fx.outs = append(fx.outs, emission{b: b})
+}
+
+// reset empties the buffers for reuse, dropping element references so a
+// pooled effects never pins tuple or batch memory.
+func (fx *effects) reset() {
+	clear(fx.events)
+	fx.events = fx.events[:0]
+	clear(fx.outs)
+	fx.outs = fx.outs[:0]
+	fx.fallbacks = 0
+}
+
+// materialize converts every buffered batch (events and emissions) into
+// owned tuples. The parallel scheduler calls it between deliveries to a
+// multi-input node: a queued batch is owned by the operator that
+// produced it and would be invalidated by that operator's next
+// invocation.
+func (fx *effects) materialize() {
+	for i := range fx.events {
+		if ev := &fx.events[i]; ev.b != nil {
+			ev.ts, ev.b = ev.b.Tuples(), nil
+		}
+	}
+	for i := range fx.outs {
+		if e := &fx.outs[i]; e.b != nil {
+			e.ts, e.b = e.b.Tuples(), nil
+		}
+	}
 }
 
 // legNode is one (receptor, proximity group) processing instance: the
@@ -116,6 +207,18 @@ type legNode struct {
 	smooth stream.Operator // nil if skipped
 	fix    *annotFix       // re-annotation after the per-receptor stages
 	out    *stream.Schema
+
+	// prefix holds the constant annotation values [receptor_id, granule]
+	// prepended to every polled tuple; inBatch is the reused columnar
+	// batch the polled epoch is packed into, and advBatch the reused
+	// batch the punctuation output is re-annotated into (separate
+	// buffers: process emissions may still be queued when advance runs).
+	// noBatch pins the leg to the tuple path (Deployment.DisableBatching
+	// — batches originate only at leg and merge nodes, all gated by it).
+	prefix   []stream.Value
+	inBatch  *stream.Batch
+	advBatch *stream.Batch
+	noBatch  bool
 }
 
 func (n *legNode) label() string {
@@ -128,6 +231,62 @@ func (n *legNode) windowSources() []stream.WindowTelemetrySource {
 }
 
 func (n *legNode) process(_ string, ts []stream.Tuple, fx *effects) error {
+	if n.noBatch || len(n.prefix) == 0 || len(ts) == 0 {
+		return n.processTuples(ts, fx)
+	}
+	if n.inBatch == nil {
+		n.inBatch = stream.NewBatch(n.inSch)
+	} else {
+		n.inBatch.Reset(n.inSch)
+	}
+	if !n.inBatch.AppendRun(n.prefix, ts) {
+		// The polled epoch is not column-homogeneous: degrade the whole
+		// delivery to the tuple path (the batch was left unmodified).
+		fx.fallbacks++
+		return n.processTuples(ts, fx)
+	}
+	cur, curT := n.inBatch, []stream.Tuple(nil)
+	var err error
+	if n.point != nil {
+		cur, curT, err = stream.ProcessBatchOp(n.point, cur)
+		if err != nil {
+			return fmt.Errorf("core: %s Point %q: %w", n.typ, n.rec.ID(), err)
+		}
+		if cur != nil {
+			fx.tapBatch(n.typ, StagePoint, cur)
+		} else {
+			fx.tap(n.typ, StagePoint, curT)
+		}
+	}
+	if n.smooth != nil {
+		if cur != nil {
+			cur, curT, err = stream.ProcessBatchOp(n.smooth, cur)
+		} else if len(curT) > 0 {
+			curT, err = processAll(n.smooth, curT)
+		}
+		if err != nil {
+			return fmt.Errorf("core: %s Smooth %q: %w", n.typ, n.rec.ID(), err)
+		}
+	}
+	if cur != nil {
+		n.emitB(cur, fx)
+	} else {
+		n.emit(curT, fx)
+	}
+	return nil
+}
+
+// processBatch implements node. Legs are source nodes — the scheduler
+// injects polled tuples, never batches — so this only exists to satisfy
+// the interface and simply materializes.
+func (n *legNode) processBatch(_ string, b *stream.Batch, fx *effects) error {
+	return n.process("", b.Tuples(), fx)
+}
+
+// processTuples is the classic row-at-a-time path, kept bit-compatible
+// with the pre-columnar processor: it is the fallback for disabled
+// batching and for polled epochs that cannot be packed columnar.
+func (n *legNode) processTuples(ts []stream.Tuple, fx *effects) error {
 	for _, t := range ts {
 		annot := make([]stream.Value, 0, 2+len(t.Values))
 		annot = append(annot, stream.String(n.rec.ID()), stream.String(n.group))
@@ -165,21 +324,27 @@ func (n *legNode) advance(now time.Time, fx *effects) error {
 		pending = released
 	}
 	if n.smooth != nil {
+		var out []stream.Tuple
 		if len(pending) > 0 {
-			out, err := processAll(n.smooth, pending)
+			processed, err := processAll(n.smooth, pending)
 			if err != nil {
 				return fmt.Errorf("core: %s Smooth %q: %w", n.typ, n.rec.ID(), err)
 			}
-			n.emit(out, fx)
+			out = processed
 		}
 		released, err := n.smooth.Advance(now)
 		if err != nil {
 			return fmt.Errorf("core: %s Smooth %q: %w", n.typ, n.rec.ID(), err)
 		}
-		n.emit(released, fx)
+		if len(out) == 0 {
+			out = released
+		} else {
+			out = append(out, released...)
+		}
+		n.emitAdv(out, fx)
 		return nil
 	}
-	n.emit(pending, fx)
+	n.emitAdv(pending, fx)
 	return nil
 }
 
@@ -193,6 +358,47 @@ func (n *legNode) emit(ts []stream.Tuple, fx *effects) {
 	fx.emit(fixed)
 }
 
+// emitAdv is emit for the punctuation output: the re-annotation is
+// packed columnar into a reused batch instead of allocating annotated
+// tuples. Called at most once per advance, so the emitted batch stays
+// valid until the leg's next invocation.
+func (n *legNode) emitAdv(ts []stream.Tuple, fx *effects) {
+	if len(ts) == 0 {
+		return
+	}
+	if n.noBatch || len(n.fix.prepend) == 0 {
+		n.emit(ts, fx)
+		return
+	}
+	if n.advBatch == nil {
+		n.advBatch = stream.NewBatch(n.fix.schema)
+	} else {
+		n.advBatch.Reset(n.fix.schema)
+	}
+	if !n.advBatch.AppendRun(n.fix.prepend, ts) {
+		fx.fallbacks++
+		n.emit(ts, fx)
+		return
+	}
+	fx.tapBatch(n.typ, StageSmooth, n.advBatch)
+	fx.emitBatch(n.advBatch)
+}
+
+// emitB is emit for a still-columnar output. When re-annotation would
+// change the row arity the batch is materialized and takes the tuple
+// path; otherwise it is handed downstream columnar.
+func (n *legNode) emitB(b *stream.Batch, fx *effects) {
+	if b == nil || b.Len() == 0 {
+		return
+	}
+	if len(n.fix.prepend) != 0 {
+		n.emit(b.Tuples(), fx)
+		return
+	}
+	fx.tapBatch(n.typ, StageSmooth, b)
+	fx.emitBatch(b)
+}
+
 // mergeNode is one proximity group's Merge instance; its upstream edges
 // are the group members' legs.
 type mergeNode struct {
@@ -202,6 +408,11 @@ type mergeNode struct {
 	fix   *annotFix
 	out   *stream.Schema
 	ups   []upEdge
+
+	// advBatch re-annotates the punctuation output columnar (see
+	// legNode.emitAdv); noBatch mirrors Deployment.DisableBatching.
+	advBatch *stream.Batch
+	noBatch  bool
 }
 
 func (n *mergeNode) label() string {
@@ -222,13 +433,50 @@ func (n *mergeNode) process(_ string, ts []stream.Tuple, fx *effects) error {
 	return nil
 }
 
+func (n *mergeNode) processBatch(_ string, b *stream.Batch, fx *effects) error {
+	ob, ot, err := stream.ProcessBatchOp(n.op, b)
+	if err != nil {
+		return fmt.Errorf("core: %s Merge %q: %w", n.typ, n.group, err)
+	}
+	if ob != nil {
+		n.emitB(ob, fx)
+		return nil
+	}
+	n.emit(ot, fx)
+	return nil
+}
+
 func (n *mergeNode) advance(now time.Time, fx *effects) error {
 	released, err := n.op.Advance(now)
 	if err != nil {
 		return fmt.Errorf("core: %s Merge %q: %w", n.typ, n.group, err)
 	}
-	n.emit(released, fx)
+	n.emitAdv(released, fx)
 	return nil
+}
+
+// emitAdv packs the punctuation output's re-annotation columnar into a
+// reused batch. Called at most once per advance (see legNode.emitAdv).
+func (n *mergeNode) emitAdv(ts []stream.Tuple, fx *effects) {
+	if len(ts) == 0 {
+		return
+	}
+	if n.noBatch || len(n.fix.prepend) == 0 {
+		n.emit(ts, fx)
+		return
+	}
+	if n.advBatch == nil {
+		n.advBatch = stream.NewBatch(n.fix.schema)
+	} else {
+		n.advBatch.Reset(n.fix.schema)
+	}
+	if !n.advBatch.AppendRun(n.fix.prepend, ts) {
+		fx.fallbacks++
+		n.emit(ts, fx)
+		return
+	}
+	fx.tapBatch(n.typ, StageMerge, n.advBatch)
+	fx.emitBatch(n.advBatch)
 }
 
 // emit re-annotates the Merge output and hands it downstream.
@@ -241,6 +489,20 @@ func (n *mergeNode) emit(ts []stream.Tuple, fx *effects) {
 	fx.emit(fixed)
 }
 
+// emitB is emit for a still-columnar Merge output; re-annotation forces
+// the tuple path (it changes the row arity).
+func (n *mergeNode) emitB(b *stream.Batch, fx *effects) {
+	if b == nil || b.Len() == 0 {
+		return
+	}
+	if len(n.fix.prepend) != 0 {
+		n.emit(b.Tuples(), fx)
+		return
+	}
+	fx.tapBatch(n.typ, StageMerge, b)
+	fx.emitBatch(b)
+}
+
 // arbNode is one type's Arbitrate instance; its upstream edges are the
 // type's Merge nodes (or its legs when the type has no Merge stage).
 type arbNode struct {
@@ -250,8 +512,8 @@ type arbNode struct {
 	ups []upEdge
 }
 
-func (n *arbNode) label() string     { return fmt.Sprintf("arbitrate %s", n.typ) }
-func (n *arbNode) kindName() string  { return "arbitrate" }
+func (n *arbNode) label() string      { return fmt.Sprintf("arbitrate %s", n.typ) }
+func (n *arbNode) kindName() string   { return "arbitrate" }
 func (n *arbNode) upstream() []upEdge { return n.ups }
 func (n *arbNode) windowSources() []stream.WindowTelemetrySource {
 	return probeWindows(n.op)
@@ -263,6 +525,16 @@ func (n *arbNode) process(_ string, ts []stream.Tuple, fx *effects) error {
 		return fmt.Errorf("core: %s Arbitrate: %w", n.typ, err)
 	}
 	fx.emit(out)
+	return nil
+}
+
+func (n *arbNode) processBatch(_ string, b *stream.Batch, fx *effects) error {
+	ob, ot, err := stream.ProcessBatchOp(n.op, b)
+	if err != nil {
+		return fmt.Errorf("core: %s Arbitrate: %w", n.typ, err)
+	}
+	fx.emitBatch(ob)
+	fx.emit(ot)
 	return nil
 }
 
@@ -285,15 +557,22 @@ type outNode struct {
 	ups []upEdge
 }
 
-func (n *outNode) label() string     { return fmt.Sprintf("output %s", n.typ) }
-func (n *outNode) kindName() string  { return "output" }
-func (n *outNode) upstream() []upEdge { return n.ups }
+func (n *outNode) label() string                                 { return fmt.Sprintf("output %s", n.typ) }
+func (n *outNode) kindName() string                              { return "output" }
+func (n *outNode) upstream() []upEdge                            { return n.ups }
 func (n *outNode) windowSources() []stream.WindowTelemetrySource { return nil }
 
 func (n *outNode) process(_ string, ts []stream.Tuple, fx *effects) error {
 	fx.tap(n.typ, StageArbitrate, ts)
 	fx.sink(n.typ, StageArbitrate, ts)
 	fx.emit(ts)
+	return nil
+}
+
+func (n *outNode) processBatch(_ string, b *stream.Batch, fx *effects) error {
+	fx.tapBatch(n.typ, StageArbitrate, b)
+	fx.sinkBatch(n.typ, StageArbitrate, b)
+	fx.emitBatch(b)
 	return nil
 }
 
@@ -307,8 +586,8 @@ type virtNode struct {
 	ups []upEdge
 }
 
-func (n *virtNode) label() string     { return "virtualize" }
-func (n *virtNode) kindName() string  { return "virtualize" }
+func (n *virtNode) label() string      { return "virtualize" }
+func (n *virtNode) kindName() string   { return "virtualize" }
 func (n *virtNode) upstream() []upEdge { return n.ups }
 func (n *virtNode) windowSources() []stream.WindowTelemetrySource {
 	return []stream.WindowTelemetrySource{n.g}
@@ -322,6 +601,21 @@ func (n *virtNode) process(port string, ts []stream.Tuple, fx *effects) error {
 		}
 		n.emit(out, fx)
 	}
+	return nil
+}
+
+func (n *virtNode) processBatch(port string, b *stream.Batch, fx *effects) error {
+	ob, ot, err := n.g.PushBatch(port, b)
+	if err != nil {
+		return fmt.Errorf("core: Virtualize: %w", err)
+	}
+	if ob != nil && ob.Len() > 0 {
+		fx.tapBatch("", StageVirtualize, ob)
+		fx.sinkBatch("", StageVirtualize, ob)
+		fx.emitBatch(ob)
+		return nil
+	}
+	n.emit(ot, fx)
 	return nil
 }
 

@@ -55,6 +55,15 @@ type Deployment struct {
 	Tables map[string]*stream.Table
 	// TieBreak resolves Arbitrate ties (paper §4.3.1).
 	TieBreak func(a, b stream.Tuple) bool
+	// DisableBatching pins every leg to the row-at-a-time path. Columnar
+	// batches originate only at legs, so this single gate disables batch
+	// execution deployment-wide; the oracle's batched-vs-tuple
+	// differential runs both settings and demands identical output.
+	DisableBatching bool
+	// DisableOptimizer turns off the CQL plan-rewrite pass for every
+	// stage built in this deployment (the optimizer's kill switch; the
+	// oracle's optimized-vs-unoptimized differential runs both settings).
+	DisableOptimizer bool
 }
 
 // Processor executes a Deployment. At construction it compiles the
@@ -188,8 +197,8 @@ func StripAnnotation(sch *stream.Schema) (*stream.Schema, func(stream.Tuple) str
 type dagBuilder struct {
 	nodes []node
 	// legs and merges are node indices in construction order.
-	legs   []int
-	merges []int
+	legs         []int
+	merges       []int
 	mergeOfGroup map[string]int
 	arbOf        map[receptor.Type]int
 	outOf        map[receptor.Type]int
@@ -255,7 +264,7 @@ func NewProcessor(dep *Deployment) (*Processor, error) {
 	}
 	// Live resolves through the processor at call time, so stages built
 	// now still see supervision enabled later.
-	p.env = BuildEnv{Epoch: dep.Epoch, Tables: dep.Tables, TieBreak: dep.TieBreak, Live: liveView{p: p}}
+	p.env = BuildEnv{Epoch: dep.Epoch, Tables: dep.Tables, TieBreak: dep.TieBreak, Live: liveView{p: p}, NoOptimize: dep.DisableOptimizer}
 	b := &dagBuilder{
 		mergeOfGroup: make(map[string]int),
 		arbOf:        make(map[receptor.Type]int),
@@ -316,7 +325,11 @@ func (p *Processor) buildLegs(b *dagBuilder) error {
 		}
 		pl := p.pipelineFor(rec.Type())
 		for _, g := range groups {
-			leg := &legNode{rec: rec, group: g, typ: rec.Type(), inSch: inSch}
+			leg := &legNode{
+				rec: rec, group: g, typ: rec.Type(), inSch: inSch,
+				prefix:  []stream.Value{stream.String(rec.ID()), stream.String(g)},
+				noBatch: p.dep.DisableBatching,
+			}
 			cur := inSch
 			if pl != nil && pl.Point != nil {
 				op, err := pl.Point.Build(cur, p.env)
@@ -396,7 +409,7 @@ func (p *Processor) buildMerges(b *dagBuilder) error {
 			if err != nil {
 				return fmt.Errorf("core: %s Merge for group %q: %w", leg.typ, leg.group, err)
 			}
-			m := &mergeNode{group: leg.group, typ: leg.typ, op: op, fix: fix, out: fix.schema}
+			m := &mergeNode{group: leg.group, typ: leg.typ, op: op, fix: fix, out: fix.schema, noBatch: p.dep.DisableBatching}
 			mi = b.add(m)
 			b.mergeOfGroup[leg.group] = mi
 			b.merges = append(b.merges, mi)

@@ -93,8 +93,9 @@ func planVirtualize(query string, cat map[string]*stream.Schema, env BuildEnv) (
 		catalog[name] = sch
 	}
 	g, err := cql.Plan(stmt, catalog, cql.PlanConfig{
-		Slide:  env.Epoch,
-		Tables: env.Tables,
+		Slide:      env.Epoch,
+		Tables:     env.Tables,
+		NoOptimize: env.NoOptimize,
 	})
 	if err != nil {
 		return nil, err

@@ -61,18 +61,20 @@ func (SeqScheduler) step(g *dag, now time.Time, batches [][]stream.Tuple) error 
 type ParallelScheduler struct {
 	workers int
 
-	start     sync.Once
-	stop      sync.Once
-	tasks     chan func()
+	start sync.Once
+	stop  sync.Once
+	tasks chan func()
 	// Per-step state, sized to the graph on first use.
 	in   [][]delivery
 	fx   []*effects
 	errs []error
 }
 
-// delivery is one queued input batch for a node.
+// delivery is one queued input for a node: a columnar batch (b non-nil)
+// or a tuple run.
 type delivery struct {
 	port string
+	b    *stream.Batch
 	ts   []stream.Tuple
 }
 
@@ -153,12 +155,17 @@ func (s *ParallelScheduler) step(g *dag, now time.Time, batches [][]stream.Tuple
 				continue
 			}
 			g.flushEvents(fx)
-			if len(fx.out) == 0 {
-				continue
+			for _, e := range fx.outs {
+				if e.rows() == 0 {
+					continue
+				}
+				for _, d := range g.down[i] {
+					s.in[d.to] = append(s.in[d.to], delivery{port: d.port, b: e.b, ts: e.ts})
+				}
 			}
-			for _, e := range g.down[i] {
-				s.in[e.to] = append(s.in[e.to], delivery{port: e.port, ts: fx.out})
-			}
+			// The emissions are copied into downstream queues; the buffer
+			// itself is done.
+			g.putFx(fx)
 		}
 	}
 	return nil
@@ -172,13 +179,29 @@ func (s *ParallelScheduler) runNode(g *dag, i int, now time.Time) error {
 	if g.quarantined[i].Load() {
 		return nil // fx[i] stays nil: nothing flushes at the barrier
 	}
-	fx := &effects{}
+	fx := g.getFx()
 	s.fx[i] = fx
 	n := g.nodes[i]
 	st := &g.stats[i]
-	for _, d := range s.in[i] {
-		st.tuplesIn.Add(int64(len(d.ts)))
-		ok, err := g.guard(i, func() error { return n.process(d.port, d.ts, fx) })
+	for di, d := range s.in[i] {
+		d := d
+		if di > 0 {
+			// Batches buffered from earlier deliveries are owned by
+			// operators this delivery may reinvoke: materialize them
+			// before they can be invalidated.
+			fx.materialize()
+		}
+		var ok bool
+		var err error
+		if d.b != nil {
+			st.batchesIn.Add(1)
+			st.batchRows.Add(int64(d.b.Len()))
+			st.tuplesIn.Add(int64(d.b.Len()))
+			ok, err = g.guard(i, func() error { return n.processBatch(d.port, d.b, fx) })
+		} else {
+			st.tuplesIn.Add(int64(len(d.ts)))
+			ok, err = g.guard(i, func() error { return n.process(d.port, d.ts, fx) })
+		}
 		if err != nil {
 			return err
 		}
@@ -201,7 +224,14 @@ func (s *ParallelScheduler) runNode(g *dag, i int, now time.Time) error {
 		s.fx[i] = nil
 		return nil
 	}
-	st.tuplesOut.Add(int64(len(fx.out)))
+	var outRows int64
+	for j := range fx.outs {
+		outRows += int64(fx.outs[j].rows())
+	}
+	st.tuplesOut.Add(outRows)
+	if fx.fallbacks != 0 {
+		st.batchFallbacks.Add(fx.fallbacks)
+	}
 	return nil
 }
 

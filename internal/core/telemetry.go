@@ -66,6 +66,9 @@ func (p *Processor) initTelemetry() {
 		st := &g.stats[i]
 		st.tuplesIn = p.tel.Counter(prefix + "tuples_in")
 		st.tuplesOut = p.tel.Counter(prefix + "tuples_out")
+		st.batchesIn = p.tel.Counter(prefix + "batches_in")
+		st.batchRows = p.tel.Counter(prefix + "batch_rows")
+		st.batchFallbacks = p.tel.Counter(prefix + "batch_fallbacks")
 		st.panics = p.tel.Counter(prefix + "panics")
 		st.advance = p.tel.Histogram(prefix + "advance_ns")
 		q := &g.quarantined[i]

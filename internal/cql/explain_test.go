@@ -1,0 +1,188 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"esp/internal/stream"
+)
+
+func explain(t *testing.T, src string, cfg PlanConfig) *PlanExplain {
+	t.Helper()
+	pe, err := ExplainString(src, testCatalog, cfg)
+	if err != nil {
+		t.Fatalf("ExplainString(%q): %v", src, err)
+	}
+	return pe
+}
+
+func wantRewrite(t *testing.T, pe *PlanExplain, substr string) {
+	t.Helper()
+	for _, r := range pe.Rewrites {
+		if strings.Contains(r, substr) {
+			return
+		}
+	}
+	t.Fatalf("no rewrite containing %q; got %v\nplan:\n%s", substr, pe.Rewrites, pe)
+}
+
+// TestExplainNoOptimize checks the kill switch: no rewrites fire and the
+// naive operator order is preserved.
+func TestExplainNoOptimize(t *testing.T) {
+	src := "SELECT tag_id, count(*) AS n FROM smooth_input [Range By '30s'] GROUP BY tag_id"
+	pe := explain(t, src, PlanConfig{NoOptimize: true})
+	if len(pe.Rewrites) != 0 {
+		t.Fatalf("NoOptimize plan has rewrites: %v", pe.Rewrites)
+	}
+	if len(pe.Legs) != 1 || len(pe.Legs[0].Ops) != 2 {
+		t.Fatalf("naive plan should be [WindowAgg, Project], got %v", pe.Legs)
+	}
+	if !strings.HasPrefix(pe.Legs[0].Ops[0], "WindowAgg") || !strings.HasPrefix(pe.Legs[0].Ops[1], "Project") {
+		t.Fatalf("unexpected naive ops: %v", pe.Legs[0].Ops)
+	}
+}
+
+// TestExplainShelfTagCount covers the shelf deployment's Smooth stage
+// (toolkit SmoothTagCount): the trailing identity projection over the
+// aggregation is elided.
+func TestExplainShelfTagCount(t *testing.T) {
+	src := "SELECT tag_id, count(*) AS n FROM smooth_input [Range By '30s'] GROUP BY tag_id"
+	pe := explain(t, src, PlanConfig{})
+	wantRewrite(t, pe, "elide identity projection")
+	if len(pe.Legs[0].Ops) != 1 || !strings.HasPrefix(pe.Legs[0].Ops[0], "WindowAgg") {
+		t.Fatalf("optimized plan should be a lone WindowAgg, got %v", pe.Legs[0].Ops)
+	}
+}
+
+// TestExplainRedwoodOutlier covers the redwood deployment's Merge stage
+// (toolkit MergeOutlierAvg, the paper's Query 5): the residual ±σ filter
+// between the self-join and the outer aggregation fuses into the
+// aggregation's WHERE, and the identity projection is elided.
+func TestExplainRedwoodOutlier(t *testing.T) {
+	src := `
+		SELECT s.spatial_granule AS spatial_granule, avg(s.temp) AS temp
+		FROM merge_input s [Range By '30s'],
+		     (SELECT spatial_granule, avg(temp) AS a, stdev(temp) AS sd
+		      FROM merge_input [Range By '30s'] GROUP BY spatial_granule) AS m
+		WHERE m.spatial_granule = s.spatial_granule
+		  AND s.temp <= m.a + 2 * m.sd + 0.000001
+		  AND s.temp >= m.a - 2 * m.sd - 0.000001
+		GROUP BY s.spatial_granule`
+	pe := explain(t, src, PlanConfig{Slide: 5 * time.Second})
+	wantRewrite(t, pe, "elide identity projection")
+	wantRewrite(t, pe, "fuse filter")
+	ops := pe.Legs[0].Ops
+	if len(ops) != 2 || !strings.HasPrefix(ops[0], "SelfJoin") || !strings.HasPrefix(ops[1], "WindowAgg") {
+		t.Fatalf("optimized plan should be [SelfJoin, WindowAgg], got %v", ops)
+	}
+	if !strings.Contains(ops[1], "where") {
+		t.Fatalf("residual filter not fused into aggregation: %v", ops)
+	}
+}
+
+// TestExplainHomePersonDetector covers the digital-home deployment's
+// virtualized Query 6: the sensor and motion legs and the post-combine
+// chain each fuse their filter+projection pair.
+func TestExplainHomePersonDetector(t *testing.T) {
+	src := `
+		SELECT 'Person-in-room' AS event
+		FROM (SELECT 1 AS cnt FROM sensors_input [Range By 'NOW'] WHERE noise > 0.4) AS sensor_count,
+		     (SELECT 1 AS cnt FROM rfid_input [Range By 'NOW'] HAVING count(distinct tag_id) >= 1) AS rfid_count,
+		     (SELECT 1 AS cnt FROM motion_input [Range By 'NOW'] WHERE value = 'ON') AS motion_count
+		WHERE sensor_count.cnt + rfid_count.cnt + motion_count.cnt >= 2`
+	pe := explain(t, src, PlanConfig{Slide: time.Second})
+	fusions := 0
+	for _, r := range pe.Rewrites {
+		if strings.Contains(r, "fuse filter and projection") {
+			fusions++
+		}
+	}
+	if fusions != 3 {
+		t.Fatalf("want 3 filter+projection fusions (sensor leg, motion leg, post), got %d: %v", fusions, pe.Rewrites)
+	}
+	if len(pe.Post) != 1 || !strings.HasPrefix(pe.Post[0], "FilterProject") {
+		t.Fatalf("post chain should be one FilterProject, got %v", pe.Post)
+	}
+	for _, lg := range pe.Legs {
+		switch lg.Input {
+		case "sensors_input", "motion_input":
+			if len(lg.Ops) != 1 || !strings.HasPrefix(lg.Ops[0], "FilterProject") {
+				t.Fatalf("leg %s should be one FilterProject, got %v", lg.Input, lg.Ops)
+			}
+		}
+	}
+}
+
+// TestExplainPushdownThroughProjection covers predicate pushdown below a
+// projection (the filter is substituted with the projected expression)
+// plus projection collapse.
+func TestExplainPushdownThroughProjection(t *testing.T) {
+	src := "SELECT t2 FROM (SELECT temp * 2 AS t2 FROM point_input) AS q WHERE t2 > 4"
+	pe := explain(t, src, PlanConfig{})
+	wantRewrite(t, pe, "push filter ((temp * 2) > 4) below projection")
+	wantRewrite(t, pe, "collapse adjacent projections")
+	ops := pe.Legs[0].Ops
+	if len(ops) != 1 || !strings.HasPrefix(ops[0], "FilterProject") {
+		t.Fatalf("optimized plan should be one FilterProject, got %v", ops)
+	}
+}
+
+// TestExplainGroupFilterPushdown covers pushing a group-key filter below
+// the aggregation: the whole cascade ends in a single WindowAgg whose
+// WHERE prunes foreign groups before they build any window state.
+func TestExplainGroupFilterPushdown(t *testing.T) {
+	src := `SELECT tag_id, n
+		FROM (SELECT tag_id, count(*) AS n FROM smooth_input [Range By '30s'] GROUP BY tag_id) AS q
+		WHERE tag_id = 'a'`
+	pe := explain(t, src, PlanConfig{})
+	wantRewrite(t, pe, "push group filter (tag_id = 'a') below aggregation")
+	ops := pe.Legs[0].Ops
+	if len(ops) != 1 || !strings.HasPrefix(ops[0], "WindowAgg") || !strings.Contains(ops[0], "where (tag_id = 'a')") {
+		t.Fatalf("optimized plan should be a lone WindowAgg with a where clause, got %v", ops)
+	}
+}
+
+// TestExplainProjectionPruning covers narrowing an inner projection to
+// the columns the downstream aggregation references.
+func TestExplainProjectionPruning(t *testing.T) {
+	src := "SELECT avg(temp) AS m FROM (SELECT temp, mote, temp * 2 AS t2 FROM point_input) AS q [Range By '30s']"
+	pe := explain(t, src, PlanConfig{})
+	wantRewrite(t, pe, "prune unused projection columns [mote t2]")
+	ops := pe.Legs[0].Ops
+	if len(ops) != 2 || ops[0] != "Project(temp)" {
+		t.Fatalf("inner projection should be pruned to (temp), got %v", ops)
+	}
+}
+
+// TestOptimizedPlanEquivalence runs a representative query both ways over
+// the same input and demands identical output — the in-package version of
+// the oracle's optimized-vs-unoptimized differential.
+func TestOptimizedPlanEquivalence(t *testing.T) {
+	src := `SELECT tag_id, n
+		FROM (SELECT tag_id, count(*) AS n FROM smooth_input [Range By '30s'] GROUP BY tag_id) AS q
+		WHERE tag_id = 'a'`
+	feeds := []feed{
+		{"smooth_input", stream.NewTuple(at(1), stream.String("a"))},
+		{"smooth_input", stream.NewTuple(at(2), stream.String("b"))},
+		{"smooth_input", stream.NewTuple(at(12), stream.String("a"))},
+		{"smooth_input", stream.NewTuple(at(40), stream.String("a"))},
+		{"smooth_input", stream.NewTuple(at(55), stream.String("b"))},
+	}
+	run := func(noOpt bool) []stream.Tuple {
+		g, err := PlanString(src, testCatalog, PlanConfig{Slide: 10 * time.Second, NoOptimize: noOpt})
+		if err != nil {
+			t.Fatalf("plan (noOpt=%v): %v", noOpt, err)
+		}
+		return runPlan(t, g, feeds, 10*time.Second, 60*time.Second)
+	}
+	opt, naive := run(false), run(true)
+	if len(opt) != len(naive) {
+		t.Fatalf("optimized %d tuples, naive %d", len(opt), len(naive))
+	}
+	for i := range opt {
+		if !opt[i].Ts.Equal(naive[i].Ts) || stream.Tuple.String(opt[i]) != stream.Tuple.String(naive[i]) {
+			t.Fatalf("tuple %d diverges: optimized %v, naive %v", i, opt[i], naive[i])
+		}
+	}
+}

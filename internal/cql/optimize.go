@@ -1,0 +1,604 @@
+package cql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"esp/internal/stream"
+)
+
+// This file implements the plan optimizer: a catalog of peephole rewrites
+// over the linear operator lists the planner emits, applied before the
+// graph is opened. Every rewrite must preserve the query's observable
+// output exactly (the oracle's optimized-vs-unoptimized differential
+// enforces this byte-for-byte); rewrites that change how often or on
+// which rows an expression is evaluated therefore only fire on pure
+// expressions (stream.ExprPure), so an optimized plan can never surface
+// an evaluation error the unoptimized plan would not also have hit.
+//
+// The catalog, in application order:
+//
+//	swap       [Project, Filter]    -> [Filter', Project]   (predicate pushdown)
+//	push       [WindowAgg, Filter]  -> [Filter'', WindowAgg] (group-key pushdown)
+//	collapse   [Project, Project]   -> [Project']            (projection merge)
+//	merge      [Filter, Filter]     -> [Filter AND]          (total preds only)
+//	prune      Project columns unused downstream             (projection pruning)
+//	elide      identity Project over WindowAgg/ArgMax
+//	fuseAgg    [Filter, WindowAgg]  -> WindowAgg{Where}      (filter fusion)
+//	fuse       [Filter, Project]    -> FusedFilterProject
+//
+// The first four run to a fixpoint (each either shrinks the list or moves
+// a filter strictly closer to the source, so the loop terminates); the
+// fusions run last so pushdown has already moved filters next to their
+// fusion partners.
+
+// optimize rewrites one operator list in place and logs what fired. site
+// names the list for the rewrite log ("leg <stream>" or "post").
+func (p *planner) optimize(site string, ops []stream.Operator) []stream.Operator {
+	if p.cfg.NoOptimize {
+		return ops
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i+1 < len(ops); i++ {
+			if desc, ok := swapProjectFilter(ops, i); ok {
+				p.logRewrite(site, desc)
+				changed = true
+				break
+			}
+			if desc, ok := pushFilterBelowAgg(ops, i); ok {
+				p.logRewrite(site, desc)
+				changed = true
+				break
+			}
+			if out, desc, ok := collapseProjects(ops, i); ok {
+				ops = out
+				p.logRewrite(site, desc)
+				changed = true
+				break
+			}
+			if out, desc, ok := mergeFilters(ops, i); ok {
+				ops = out
+				p.logRewrite(site, desc)
+				changed = true
+				break
+			}
+		}
+	}
+	for i := 0; i+1 < len(ops); i++ {
+		if desc, ok := pruneProject(ops, i); ok {
+			p.logRewrite(site, desc)
+		}
+	}
+	if out, desc, ok := elideIdentityProject(ops); ok {
+		ops = out
+		p.logRewrite(site, desc)
+	}
+	for i := 0; i+1 < len(ops); i++ {
+		if out, desc, ok := fuseFilterIntoAgg(ops, i); ok {
+			ops = out
+			p.logRewrite(site, desc)
+		}
+	}
+	for i := 0; i+1 < len(ops); i++ {
+		if out, desc, ok := fuseFilterProject(ops, i); ok {
+			ops = out
+			p.logRewrite(site, desc)
+		}
+	}
+	return ops
+}
+
+func (p *planner) logRewrite(site, desc string) {
+	p.rewrites = append(p.rewrites, site+": "+desc)
+}
+
+// swapProjectFilter rewrites [Project, Filter] into [Filter', Project],
+// substituting the projection's expressions into the predicate so the
+// filter reads the projection's input. Rows are dropped before the
+// projection computes anything for them.
+func swapProjectFilter(ops []stream.Operator, i int) (string, bool) {
+	proj, ok := ops[i].(*stream.Project)
+	if !ok {
+		return "", false
+	}
+	f, ok := ops[i+1].(*stream.Filter)
+	if !ok {
+		return "", false
+	}
+	if !stream.ExprPure(f.Pred) {
+		return "", false
+	}
+	byName := make(map[string]stream.Expr, len(proj.Exprs))
+	for _, ne := range proj.Exprs {
+		byName[ne.Name] = ne.Expr
+	}
+	refs := make(map[string]struct{})
+	if !stream.ExprColumns(f.Pred, refs) {
+		return "", false
+	}
+	for name := range refs {
+		e, ok := byName[name]
+		if !ok || !stream.ExprPure(e) {
+			return "", false
+		}
+	}
+	pred, ok := stream.SubstituteCols(f.Pred, func(name string) (stream.Expr, bool) {
+		e, ok := byName[name]
+		return e, ok
+	})
+	if !ok {
+		return "", false
+	}
+	ops[i] = stream.NewFilter(pred)
+	ops[i+1] = proj
+	return fmt.Sprintf("push filter %s below projection", pred), true
+}
+
+// pushFilterBelowAgg rewrites [WindowAgg, Filter] into [Filter”,
+// WindowAgg] when the predicate references only the aggregation's group
+// output columns: a group excluded after aggregation can be excluded
+// before it, shrinking every pane's state.
+func pushFilterBelowAgg(ops []stream.Operator, i int) (string, bool) {
+	w, ok := ops[i].(*stream.WindowAgg)
+	if !ok {
+		return "", false
+	}
+	f, ok := ops[i+1].(*stream.Filter)
+	if !ok {
+		return "", false
+	}
+	if len(w.GroupBy) == 0 || w.Having != nil || w.Where != nil || !stream.ExprPure(f.Pred) {
+		return "", false
+	}
+	byName := make(map[string]stream.Expr, len(w.GroupBy))
+	for _, ne := range w.GroupBy {
+		if !stream.ExprPure(ne.Expr) {
+			return "", false
+		}
+		byName[ne.Name] = ne.Expr
+	}
+	for _, a := range w.Aggs {
+		// A name collision between a group column and an aggregate output
+		// would make the substitution ambiguous.
+		if _, clash := byName[a.Name]; clash {
+			return "", false
+		}
+	}
+	refs := make(map[string]struct{})
+	if !stream.ExprColumns(f.Pred, refs) {
+		return "", false
+	}
+	for name := range refs {
+		if _, ok := byName[name]; !ok {
+			return "", false
+		}
+	}
+	pred, ok := stream.SubstituteCols(f.Pred, func(name string) (stream.Expr, bool) {
+		e, ok := byName[name]
+		return e, ok
+	})
+	if !ok {
+		return "", false
+	}
+	ops[i] = stream.NewFilter(pred)
+	ops[i+1] = w
+	return fmt.Sprintf("push group filter %s below aggregation", pred), true
+}
+
+// collapseProjects merges [Project, Project] into one projection by
+// substituting the inner expressions into the outer ones.
+func collapseProjects(ops []stream.Operator, i int) ([]stream.Operator, string, bool) {
+	inner, ok := ops[i].(*stream.Project)
+	if !ok {
+		return nil, "", false
+	}
+	outer, ok := ops[i+1].(*stream.Project)
+	if !ok {
+		return nil, "", false
+	}
+	byName := make(map[string]stream.Expr, len(inner.Exprs))
+	for _, ne := range inner.Exprs {
+		if !stream.ExprPure(ne.Expr) {
+			return nil, "", false
+		}
+		byName[ne.Name] = ne.Expr
+	}
+	merged := make([]stream.NamedExpr, len(outer.Exprs))
+	for j, ne := range outer.Exprs {
+		e, ok := stream.SubstituteCols(ne.Expr, func(name string) (stream.Expr, bool) {
+			x, ok := byName[name]
+			return x, ok
+		})
+		if !ok {
+			return nil, "", false
+		}
+		merged[j] = stream.NamedExpr{Name: ne.Name, Expr: e}
+	}
+	out := append(ops[:i], ops[i+1:]...)
+	out[i] = stream.NewProject(merged...)
+	return out, "collapse adjacent projections", true
+}
+
+// mergeFilters combines [Filter, Filter] into one conjunction. Because
+// AND evaluates its right side even when the left is NULL, the merge only
+// fires when neither predicate can error (stream.ExprTotal), so the
+// changed evaluation order is unobservable.
+func mergeFilters(ops []stream.Operator, i int) ([]stream.Operator, string, bool) {
+	f1, ok := ops[i].(*stream.Filter)
+	if !ok {
+		return nil, "", false
+	}
+	f2, ok := ops[i+1].(*stream.Filter)
+	if !ok {
+		return nil, "", false
+	}
+	if !stream.ExprTotal(f1.Pred) || !stream.ExprTotal(f2.Pred) {
+		return nil, "", false
+	}
+	out := append(ops[:i], ops[i+1:]...)
+	out[i] = stream.NewFilter(stream.NewBinary(stream.OpAnd, f1.Pred, f2.Pred))
+	return out, "merge adjacent filters", true
+}
+
+// pruneProject narrows a non-final projection to the columns its
+// downstream operators actually reference.
+func pruneProject(ops []stream.Operator, i int) (string, bool) {
+	proj, ok := ops[i].(*stream.Project)
+	if !ok || i+1 >= len(ops) {
+		return "", false
+	}
+	req, ok := requiredDownstream(ops[i+1:])
+	if !ok {
+		return "", false
+	}
+	var kept []stream.NamedExpr
+	var dropped []string
+	for _, ne := range proj.Exprs {
+		if _, used := req[ne.Name]; used || !stream.ExprPure(ne.Expr) {
+			kept = append(kept, ne)
+		} else {
+			dropped = append(dropped, ne.Name)
+		}
+	}
+	if len(dropped) == 0 {
+		return "", false
+	}
+	if len(kept) == 0 {
+		// Keep one column so the projection still produces rows.
+		kept = proj.Exprs[:1]
+		dropped = dropped[1:]
+		if len(dropped) == 0 {
+			return "", false
+		}
+	}
+	ops[i] = stream.NewProject(kept...)
+	sort.Strings(dropped)
+	return fmt.Sprintf("prune unused projection columns %v", dropped), true
+}
+
+// requiredDownstream walks the operators after a projection and collects
+// every input column they reference, stopping at the first operator that
+// re-derives its output (another projection or an aggregation). It
+// reports false when the tail ends without such a terminator (the leg's
+// full output is consumed externally) or contains an operator it cannot
+// analyse — both mean "everything is required".
+func requiredDownstream(ops []stream.Operator) (map[string]struct{}, bool) {
+	req := make(map[string]struct{})
+	for _, op := range ops {
+		switch o := op.(type) {
+		case *stream.Filter:
+			if !stream.ExprColumns(o.Pred, req) {
+				return nil, false
+			}
+		case *stream.Sample:
+			// Passes rows through untouched.
+		case *stream.Distinct:
+			if len(o.On) == 0 {
+				return nil, false // keys on the whole tuple
+			}
+			for _, ne := range o.On {
+				if !stream.ExprColumns(ne.Expr, req) {
+					return nil, false
+				}
+			}
+		case *stream.Project:
+			for _, ne := range o.Exprs {
+				if !stream.ExprColumns(ne.Expr, req) {
+					return nil, false
+				}
+			}
+			return req, true
+		case *stream.FusedFilterProject:
+			if !stream.ExprColumns(o.Pred, req) {
+				return nil, false
+			}
+			for _, ne := range o.Exprs {
+				if !stream.ExprColumns(ne.Expr, req) {
+					return nil, false
+				}
+			}
+			return req, true
+		case *stream.WindowAgg:
+			if o.Where != nil && !stream.ExprColumns(o.Where, req) {
+				return nil, false
+			}
+			for _, ne := range o.GroupBy {
+				if !stream.ExprColumns(ne.Expr, req) {
+					return nil, false
+				}
+			}
+			for _, a := range o.Aggs {
+				if a.Arg != nil && !stream.ExprColumns(a.Arg, req) {
+					return nil, false
+				}
+			}
+			// Having binds against the aggregation's output, not ours.
+			return req, true
+		case *stream.ArgMax:
+			for _, ne := range o.PartitionBy {
+				if !stream.ExprColumns(ne.Expr, req) {
+					return nil, false
+				}
+			}
+			for _, ne := range o.ChooseBy {
+				if !stream.ExprColumns(ne.Expr, req) {
+					return nil, false
+				}
+			}
+			if !stream.ExprColumns(o.Score.Expr, req) {
+				return nil, false
+			}
+			return req, true
+		default:
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// elideIdentityProject removes a trailing projection that reproduces a
+// WindowAgg's or ArgMax's output verbatim (same columns, names, order) —
+// the common `SELECT g, agg(x) AS a ... GROUP BY g` tail.
+func elideIdentityProject(ops []stream.Operator) ([]stream.Operator, string, bool) {
+	n := len(ops)
+	if n < 2 {
+		return nil, "", false
+	}
+	proj, ok := ops[n-1].(*stream.Project)
+	if !ok {
+		return nil, "", false
+	}
+	switch ops[n-2].(type) {
+	case *stream.WindowAgg, *stream.ArgMax:
+	default:
+		return nil, "", false
+	}
+	upNames, err := outputNames(ops[n-2])
+	if err != nil || len(upNames) != len(proj.Exprs) {
+		return nil, "", false
+	}
+	for i, ne := range proj.Exprs {
+		col, ok := stream.ColName(ne.Expr)
+		if !ok || col != upNames[i] || ne.Name != upNames[i] {
+			return nil, "", false
+		}
+	}
+	return ops[:n-1], "elide identity projection", true
+}
+
+// fuseFilterIntoAgg folds [Filter, WindowAgg] into the aggregation's
+// Where clause: the predicate runs per input row before any window state
+// is touched, exactly as the standalone filter did.
+func fuseFilterIntoAgg(ops []stream.Operator, i int) ([]stream.Operator, string, bool) {
+	f, ok := ops[i].(*stream.Filter)
+	if !ok {
+		return nil, "", false
+	}
+	w, ok := ops[i+1].(*stream.WindowAgg)
+	if !ok || w.Where != nil {
+		return nil, "", false
+	}
+	w.Where = f.Pred
+	out := append(ops[:i], ops[i+1:]...)
+	return out, fmt.Sprintf("fuse filter %s into aggregation", f.Pred), true
+}
+
+// fuseFilterProject folds [Filter, Project] into one FusedFilterProject
+// operator: the predicate is evaluated first and the projection only for
+// passing rows, exactly as the separate operators behaved.
+func fuseFilterProject(ops []stream.Operator, i int) ([]stream.Operator, string, bool) {
+	f, ok := ops[i].(*stream.Filter)
+	if !ok {
+		return nil, "", false
+	}
+	proj, ok := ops[i+1].(*stream.Project)
+	if !ok {
+		return nil, "", false
+	}
+	out := append(ops[:i], ops[i+1:]...)
+	out[i] = &stream.FusedFilterProject{Pred: f.Pred, Exprs: proj.Exprs}
+	return out, "fuse filter and projection", true
+}
+
+// ---------------------------------------------------------------------------
+// Plan explanation
+
+// LegExplain describes one input leg of a plan.
+type LegExplain struct {
+	// Input is the base stream the leg reads.
+	Input string
+	// Ops renders the leg's operators in execution order.
+	Ops []string
+}
+
+// PlanExplain is a human-readable rendering of a planned query, including
+// the optimizer rewrites that fired. Produced by Explain/ExplainString.
+type PlanExplain struct {
+	Legs []LegExplain
+	// Post renders the post-combine chain of a multi-leg plan.
+	Post []string
+	// Rewrites lists the optimizer rewrites in application order, each
+	// prefixed with the site ("leg <stream>" or "post") it fired at.
+	Rewrites []string
+}
+
+// String renders the explanation, one operator per line.
+func (pe *PlanExplain) String() string {
+	var b strings.Builder
+	for _, lg := range pe.Legs {
+		fmt.Fprintf(&b, "leg %s:\n", lg.Input)
+		if len(lg.Ops) == 0 {
+			b.WriteString("  (pass-through)\n")
+		}
+		for _, op := range lg.Ops {
+			fmt.Fprintf(&b, "  %s\n", op)
+		}
+	}
+	if len(pe.Legs) > 1 || len(pe.Post) > 0 {
+		b.WriteString("post:\n")
+		if len(pe.Post) == 0 {
+			b.WriteString("  (combine only)\n")
+		}
+		for _, op := range pe.Post {
+			fmt.Fprintf(&b, "  %s\n", op)
+		}
+	}
+	if len(pe.Rewrites) > 0 {
+		b.WriteString("rewrites:\n")
+		for _, r := range pe.Rewrites {
+			fmt.Fprintf(&b, "  %s\n", r)
+		}
+	}
+	return b.String()
+}
+
+// Explain plans stmt without opening the resulting graph and reports the
+// physical plan plus the optimizer rewrites that fired. Set
+// cfg.NoOptimize to see the naive plan.
+func Explain(stmt *SelectStmt, cat Catalog, cfg PlanConfig) (*PlanExplain, error) {
+	p := &planner{cat: cat, cfg: cfg, explain: &PlanExplain{}}
+	if _, err := p.plan(stmt); err != nil {
+		return nil, err
+	}
+	p.explain.Rewrites = p.rewrites
+	return p.explain, nil
+}
+
+// ExplainString parses and explains src in one step.
+func ExplainString(src string, cat Catalog, cfg PlanConfig) (*PlanExplain, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Explain(stmt, cat, cfg)
+}
+
+// noteLeg records a finished leg in the explanation under construction.
+func (p *planner) noteLeg(lg *leg) {
+	if p.explain == nil {
+		return
+	}
+	p.explain.Legs = append(p.explain.Legs, LegExplain{Input: lg.input, Ops: describeOps(lg.ops)})
+}
+
+func describeOps(ops []stream.Operator) []string {
+	out := make([]string, len(ops))
+	for i, op := range ops {
+		out[i] = describeOp(op)
+	}
+	return out
+}
+
+// describeOp renders one operator for EXPLAIN output.
+func describeOp(op stream.Operator) string {
+	switch o := op.(type) {
+	case *stream.Filter:
+		return fmt.Sprintf("Filter(%s)", o.Pred)
+	case *stream.Project:
+		return fmt.Sprintf("Project(%s)", describeNamed(o.Exprs))
+	case *stream.FusedFilterProject:
+		return fmt.Sprintf("FilterProject(%s -> %s)", o.Pred, describeNamed(o.Exprs))
+	case *stream.WindowAgg:
+		var b strings.Builder
+		b.WriteString("WindowAgg[")
+		if o.Range > 0 {
+			fmt.Fprintf(&b, "range %s slide %s", o.Range, o.Slide)
+		} else {
+			fmt.Fprintf(&b, "now slide %s", o.Slide)
+		}
+		b.WriteString("](")
+		var parts []string
+		if o.Where != nil {
+			parts = append(parts, fmt.Sprintf("where %s", o.Where))
+		}
+		if len(o.GroupBy) > 0 {
+			parts = append(parts, "group by "+describeNamed(o.GroupBy))
+		}
+		aggs := make([]string, len(o.Aggs))
+		for i, a := range o.Aggs {
+			aggs[i] = describeAgg(a)
+		}
+		parts = append(parts, strings.Join(aggs, ", "))
+		if o.Having != nil {
+			parts = append(parts, fmt.Sprintf("having %s", o.Having))
+		}
+		b.WriteString(strings.Join(parts, "; "))
+		b.WriteString(")")
+		return b.String()
+	case *stream.ArgMax:
+		return fmt.Sprintf("ArgMax(partition %s; choose %s; score %s)",
+			describeNamed(o.PartitionBy), describeNamed(o.ChooseBy), o.Score.Name)
+	case *stream.SelfJoin:
+		aggs := make([]string, len(o.Aggs))
+		for i, a := range o.Aggs {
+			aggs[i] = describeAgg(a)
+		}
+		return fmt.Sprintf("SelfJoin(group by %s; %s)", describeNamed(o.GroupBy), strings.Join(aggs, ", "))
+	case *stream.JoinStatic:
+		mode := "inner"
+		if o.Mode == stream.JoinSemi {
+			mode = "semi"
+		}
+		return fmt.Sprintf("JoinStatic(%s = %s, %s)", o.StreamCol, o.TableCol, mode)
+	case *stream.Sample:
+		if o.EveryN > 0 {
+			return fmt.Sprintf("Sample(every %d)", o.EveryN)
+		}
+		return fmt.Sprintf("Sample(fraction %g)", o.Fraction)
+	case *stream.Distinct:
+		if len(o.On) == 0 {
+			return "Distinct(*)"
+		}
+		return fmt.Sprintf("Distinct(%s)", describeNamed(o.On))
+	default:
+		return fmt.Sprintf("%T", op)
+	}
+}
+
+func describeNamed(exprs []stream.NamedExpr) string {
+	parts := make([]string, len(exprs))
+	for i, ne := range exprs {
+		if col, ok := stream.ColName(ne.Expr); ok && col == ne.Name {
+			parts[i] = ne.Name
+		} else {
+			parts[i] = fmt.Sprintf("%s AS %s", ne.Expr, ne.Name)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+func describeAgg(a stream.AggSpec) string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	if a.Distinct {
+		arg = "distinct " + arg
+	}
+	if a.Func == stream.AggPercentile {
+		return fmt.Sprintf("percentile(%s, %g) AS %s", arg, a.Param, a.Name)
+	}
+	return fmt.Sprintf("%s(%s) AS %s", a.Func, arg, a.Name)
+}

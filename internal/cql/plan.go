@@ -26,6 +26,10 @@ type PlanConfig struct {
 	// rewrites — the paper's §4.3.1 weaker-antenna calibration. The
 	// tuples passed have the ArgMax output schema.
 	TieBreak func(a, b stream.Tuple) bool
+	// NoOptimize disables the plan-rewrite pass (optimize.go), keeping
+	// the naive operator order the query text implies. Used by the
+	// oracle's optimized-vs-unoptimized differential and for debugging.
+	NoOptimize bool
 }
 
 // Plan compiles a parsed statement into an executable multi-input Graph.
@@ -54,6 +58,10 @@ func PlanString(src string, cat Catalog, cfg PlanConfig) (*stream.Graph, error) 
 type planner struct {
 	cat Catalog
 	cfg PlanConfig
+	// rewrites logs the optimizer rewrites that fired, in order.
+	rewrites []string
+	// explain, when non-nil, accumulates the plan rendering (Explain).
+	explain *PlanExplain
 }
 
 // aggFuncs names the aggregate functions; anything else in call position
@@ -117,6 +125,8 @@ func (p *planner) planSingle(stmt *SelectStmt, item *FromItem) (*stream.Graph, e
 	if err != nil {
 		return nil, err
 	}
+	lg.ops = p.optimize("leg "+lg.input, lg.ops)
+	p.noteLeg(lg)
 	g := stream.NewGraph()
 	in, ok := p.cat[lg.input]
 	if !ok {

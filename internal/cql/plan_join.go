@@ -16,6 +16,8 @@ func (p *planner) planStreamTableJoin(stmt *SelectStmt, si, ti *FromItem) (*stre
 	if err != nil {
 		return nil, err
 	}
+	lg.ops = p.optimize("leg "+lg.input, lg.ops)
+	p.noteLeg(lg)
 	g := stream.NewGraph()
 	in, ok := p.cat[lg.input]
 	if !ok {
@@ -228,6 +230,8 @@ func (p *planner) planSelfAggJoin(stmt *SelectStmt, items []FromItem) (*stream.G
 	if err := p.applySelect(lg, outer, &WindowSpec{Now: true, Raw: "NOW"}, combinedRes); err != nil {
 		return nil, err
 	}
+	lg.ops = p.optimize("leg "+lg.input, lg.ops)
+	p.noteLeg(lg)
 
 	g := stream.NewGraph()
 	if err := g.AddLeg(raw.Stream, base, stream.NewChain(lg.ops...)); err != nil {
@@ -256,6 +260,8 @@ func (p *planner) planCombine(stmt *SelectStmt, items []FromItem) (*stream.Graph
 		if err := p.applyLegSelectForCombine(lg, it); err != nil {
 			return nil, err
 		}
+		lg.ops = p.optimize("leg "+lg.input, lg.ops)
+		p.noteLeg(lg)
 		if seen[lg.input] {
 			return nil, fmt.Errorf("cql: combined subqueries must read distinct streams (%q repeated)", lg.input)
 		}
@@ -294,6 +300,10 @@ func (p *planner) planCombine(stmt *SelectStmt, items []FromItem) (*stream.Graph
 		return nil, err
 	}
 	post = append(post, proj)
+	post = p.optimize("post", post)
+	if p.explain != nil {
+		p.explain.Post = describeOps(post)
+	}
 	g.SetPost(stream.NewChain(post...))
 	return g, nil
 }

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"esp/internal/core"
@@ -101,9 +102,19 @@ func BuildWideDeployment(cfg SchedConfig) (*core.Deployment, error) {
 // scheduler and returns the sink-output fingerprint (tuple count and a
 // positional checksum of every emitted value) plus the wall time.
 func RunWideSched(cfg SchedConfig, sched core.Scheduler) (count int, checksum float64, wall time.Duration, err error) {
+	return runWideSched(cfg, sched, nil)
+}
+
+// runWideSched is RunWideSched with a deployment hook: tune (when
+// non-nil) adjusts the built deployment before the processor is
+// constructed — the batch experiment uses it to pin the tuple path.
+func runWideSched(cfg SchedConfig, sched core.Scheduler, tune func(*core.Deployment)) (count int, checksum float64, wall time.Duration, err error) {
 	dep, err := BuildWideDeployment(cfg)
 	if err != nil {
 		return 0, 0, 0, err
+	}
+	if tune != nil {
+		tune(dep)
 	}
 	p, err := core.NewProcessor(dep)
 	if err != nil {
@@ -119,6 +130,10 @@ func RunWideSched(cfg SchedConfig, sched core.Scheduler) (count int, checksum fl
 		}
 	})
 	start := time.Unix(0, 0).UTC()
+	// Collect the build-phase garbage (the replayed samples alone are
+	// megabytes) so the timed section measures the pipeline's own
+	// allocation behaviour, not the deployment builder's.
+	runtime.GC()
 	t0 := time.Now()
 	if err := p.Run(start, start.Add(cfg.Duration)); err != nil {
 		return 0, 0, 0, err

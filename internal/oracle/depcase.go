@@ -430,6 +430,75 @@ func CheckPlanCase(c DeploymentCase) *Divergence {
 	return nil
 }
 
+// runToggled builds the CQL-compiled variant of the case, applies adjust
+// to the built deployment (the execution-mode toggles: DisableBatching,
+// DisableOptimizer), and runs it under the sequential scheduler.
+func (c *DeploymentCase) runToggled(adjust func(*core.Deployment)) (*depOutput, error) {
+	dep, err := c.build(false)
+	if err != nil {
+		return nil, err
+	}
+	adjust(dep)
+	return c.runDep(dep, core.SeqScheduler{})
+}
+
+// CheckBatchCase runs the same deployment with columnar batch exchange on
+// (the default) and off (Deployment.DisableBatching) and demands
+// byte-identical output on every observable stream: batching is an
+// execution-layer representation change and must never alter results.
+func CheckBatchCase(c DeploymentCase) *Divergence {
+	check := func(t DeploymentCase) *Divergence {
+		fail := func(diff string) *Divergence {
+			return &Divergence{Check: "batched-vs-tuple", Seed: t.Seed, Case: t.String(), Diff: diff}
+		}
+		batched, err := t.runWith(core.SeqScheduler{}, false)
+		if err != nil {
+			return fail(fmt.Sprintf("batched error: %v", err))
+		}
+		tuple, err := t.runToggled(func(d *core.Deployment) { d.DisableBatching = true })
+		if err != nil {
+			return fail(fmt.Sprintf("tuple error: %v", err))
+		}
+		if batched.rendered != tuple.rendered {
+			return fail(firstDiff(batched.rendered, tuple.rendered))
+		}
+		return nil
+	}
+	if d := check(c); d != nil {
+		return minimizeDeployment(c, d, check)
+	}
+	return nil
+}
+
+// CheckOptCase runs the same deployment with the CQL plan-rewrite pass on
+// (the default) and off (Deployment.DisableOptimizer) and demands
+// byte-identical output: every rewrite in the catalog (predicate
+// pushdown, projection pruning, operator fusion) must preserve semantics
+// exactly, including fold order.
+func CheckOptCase(c DeploymentCase) *Divergence {
+	check := func(t DeploymentCase) *Divergence {
+		fail := func(diff string) *Divergence {
+			return &Divergence{Check: "optimized-vs-unoptimized", Seed: t.Seed, Case: t.String(), Diff: diff}
+		}
+		optimized, err := t.runWith(core.SeqScheduler{}, false)
+		if err != nil {
+			return fail(fmt.Sprintf("optimized error: %v", err))
+		}
+		plain, err := t.runToggled(func(d *core.Deployment) { d.DisableOptimizer = true })
+		if err != nil {
+			return fail(fmt.Sprintf("unoptimized error: %v", err))
+		}
+		if optimized.rendered != plain.rendered {
+			return fail(firstDiff(optimized.rendered, plain.rendered))
+		}
+		return nil
+	}
+	if d := check(c); d != nil {
+		return minimizeDeployment(c, d, check)
+	}
+	return nil
+}
+
 // GenPlanCase builds a deployment for the cql-vs-handbuilt check: the
 // mote or shelf family with every hand-twinned stage forced on.
 func GenPlanCase(seed int64) DeploymentCase {

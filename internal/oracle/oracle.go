@@ -21,6 +21,12 @@
 //     tolerance.
 //   - cql-vs-handbuilt: stages compiled from CQL against hand-built
 //     operator graphs over identical receptor traces, byte-level.
+//   - batched-vs-tuple: a deployment with columnar batch exchange (the
+//     default) against the same deployment pinned to the row-at-a-time
+//     path (Deployment.DisableBatching), byte-level.
+//   - optimized-vs-unoptimized: a deployment planned with the CQL
+//     rewrite pass (the default) against the same deployment planned
+//     naively (Deployment.DisableOptimizer), byte-level.
 //   - chaos-drop-commute: online drop-fault injection (receptor.Faulty)
 //     against offline trace thinning (receptor.ThinTrace), byte-level.
 //
@@ -45,9 +51,9 @@ type Config struct {
 	// from it, so any reported counterexample is reproducible from the
 	// (check, seed) pair alone.
 	Seed int64
-	// WindowCases, SchedCases, PlanCases and ChaosCases size the four
-	// generators.
-	WindowCases, SchedCases, PlanCases, ChaosCases int
+	// WindowCases, SchedCases, PlanCases, BatchCases, OptCases and
+	// ChaosCases size the case generators, one per check family.
+	WindowCases, SchedCases, PlanCases, BatchCases, OptCases, ChaosCases int
 	// RefStdev, when non-nil, replaces the reference implementation's
 	// standard-deviation finisher. The harness's own tests use it to
 	// inject a deliberately wrong aggregate (the legacy catastrophically
@@ -59,7 +65,7 @@ type Config struct {
 // DefaultConfig sizes a run for `make check`: every check exercised,
 // ≥ 50 cases total, a few seconds of wall clock.
 func DefaultConfig() Config {
-	return Config{Seed: 1, WindowCases: 40, SchedCases: 8, PlanCases: 10, ChaosCases: 8}
+	return Config{Seed: 1, WindowCases: 40, SchedCases: 8, PlanCases: 10, BatchCases: 8, OptCases: 8, ChaosCases: 8}
 }
 
 // Divergence is one caught disagreement between two execution paths of

@@ -3,7 +3,9 @@ package oracle
 // Run executes the full differential suite: WindowCases window-algebra
 // programs (pane-vs-naive, window-vs-reference), SchedCases deployments
 // (seq-vs-parallel, pipeline-vs-reference), PlanCases paired
-// deployments (cql-vs-handbuilt), and ChaosCases fault-injected
+// deployments (cql-vs-handbuilt), BatchCases execution-mode pairs
+// (batched-vs-tuple), OptCases planning-mode pairs
+// (optimized-vs-unoptimized), and ChaosCases fault-injected
 // deployments (chaos-drop-commute). It returns the number of cases
 // executed and the first divergence found, minimized — or nil when every
 // cross-check agreed. Case i of each family uses seed cfg.Seed+i, so a
@@ -25,6 +27,18 @@ func Run(cfg Config) (int, *Divergence) {
 	for i := 0; i < cfg.PlanCases; i++ {
 		cases++
 		if d := CheckPlanCase(GenPlanCase(cfg.Seed + int64(i))); d != nil {
+			return cases, d
+		}
+	}
+	for i := 0; i < cfg.BatchCases; i++ {
+		cases++
+		if d := CheckBatchCase(GenDeploymentCase(cfg.Seed + int64(i))); d != nil {
+			return cases, d
+		}
+	}
+	for i := 0; i < cfg.OptCases; i++ {
+		cases++
+		if d := CheckOptCase(GenPlanCase(cfg.Seed + int64(i))); d != nil {
 			return cases, d
 		}
 	}

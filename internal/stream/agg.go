@@ -234,14 +234,34 @@ type accum struct {
 	distinct map[Value]int64 // value -> multiplicity, for DISTINCT
 	vals     []float64       // buffered values, for holistic aggregates
 	holistic bool
+	// Per-observation maintenance is gated on what the aggregate's result
+	// actually reads: an avg cell skips the min/max comparisons, a min
+	// cell skips the moment updates, and so on. The untracked state stays
+	// zero/NULL, which merge and result treat as empty.
+	trackSum, trackMoments, trackMinMax bool
 }
 
-func newAccum(spec AggSpec) *accum {
-	a := &accum{min: Null(), max: Null(), holistic: spec.holistic()}
+// mkAccum initialises an accumulator by value — cells hold accums inline
+// so one cell costs one allocation regardless of aggregate count.
+func mkAccum(spec AggSpec) accum {
+	a := accum{min: Null(), max: Null(), holistic: spec.holistic()}
+	switch spec.Func {
+	case AggSum:
+		a.trackSum = true
+	case AggAvg, AggStdev:
+		a.trackMoments = true
+	case AggMin, AggMax:
+		a.trackMinMax = true
+	}
 	if spec.Distinct {
 		a.distinct = make(map[Value]int64)
 	}
 	return a
+}
+
+func newAccum(spec AggSpec) *accum {
+	a := mkAccum(spec)
+	return &a
 }
 
 // add folds one observation into the accumulator. v is Null only for
@@ -259,15 +279,21 @@ func (a *accum) add(v Value, countStar bool) {
 		a.distinct[v]++
 	}
 	if v.Kind().Numeric() {
-		f := v.AsFloat()
-		a.sum += f
-		a.m.add(f)
-		if v.Kind() == KindInt {
-			a.isum += v.AsInt()
+		if a.trackSum {
+			a.sum += v.AsFloat()
+			if v.Kind() == KindInt {
+				a.isum += v.AsInt()
+			}
+		}
+		if a.trackMoments {
+			a.m.add(v.AsFloat())
 		}
 		if a.holistic {
-			a.vals = append(a.vals, f)
+			a.vals = append(a.vals, v.AsFloat())
 		}
+	}
+	if !a.trackMinMax {
+		return
 	}
 	if a.min.IsNull() {
 		a.min, a.max = v, v
@@ -278,6 +304,23 @@ func (a *accum) add(v Value, countStar bool) {
 	}
 	if c, err := v.Compare(a.max); err == nil && c > 0 {
 		a.max = v
+	}
+}
+
+// addFloat folds one non-NULL float observation without boxing it — the
+// columnar kernel path, valid only for non-DISTINCT accumulators that do
+// not track min/max (those need the Value form; the batch kernel gate
+// checks). Identical to add(Float(f), false) for the eligible specs.
+func (a *accum) addFloat(f float64) {
+	a.n++
+	if a.trackSum {
+		a.sum += f
+	}
+	if a.trackMoments {
+		a.m.add(f)
+	}
+	if a.holistic {
+		a.vals = append(a.vals, f)
 	}
 }
 

@@ -39,6 +39,13 @@ type ArgMax struct {
 	nChoose int
 	best    map[GroupKey][]candidate
 	order   []GroupKey // insertion order of partitions, for determinism
+
+	partFns    []EvalFunc
+	chooseFns  []EvalFunc
+	scoreFn    EvalFunc
+	partBuf    []Value
+	chooseBuf  []Value
+	rowScratch []Value
 }
 
 type candidate struct {
@@ -57,19 +64,23 @@ func (a *ArgMax) Open(in *Schema) error {
 		return fmt.Errorf("stream: argmax: ChooseBy must not be empty")
 	}
 	fields := make([]Field, 0, len(a.ChooseBy)+len(a.PartitionBy)+1)
-	for _, ne := range a.ChooseBy {
+	a.chooseFns = make([]EvalFunc, len(a.ChooseBy))
+	for i, ne := range a.ChooseBy {
 		k, err := ne.Expr.Bind(in)
 		if err != nil {
 			return fmt.Errorf("stream: argmax choose %q: %w", ne.Name, err)
 		}
 		fields = append(fields, Field{Name: ne.Name, Kind: k})
+		a.chooseFns[i] = CompileExpr(ne.Expr)
 	}
-	for _, ne := range a.PartitionBy {
+	a.partFns = make([]EvalFunc, len(a.PartitionBy))
+	for i, ne := range a.PartitionBy {
 		k, err := ne.Expr.Bind(in)
 		if err != nil {
 			return fmt.Errorf("stream: argmax partition %q: %w", ne.Name, err)
 		}
 		fields = append(fields, Field{Name: ne.Name, Kind: k})
+		a.partFns[i] = CompileExpr(ne.Expr)
 	}
 	k, err := a.Score.Expr.Bind(in)
 	if err != nil {
@@ -79,6 +90,7 @@ func (a *ArgMax) Open(in *Schema) error {
 		return fmt.Errorf("stream: argmax score %q: kind %s, want numeric", a.Score.Name, k)
 	}
 	fields = append(fields, Field{Name: a.Score.Name, Kind: k})
+	a.scoreFn = CompileExpr(a.Score.Expr)
 	out, err := NewSchema(fields...)
 	if err != nil {
 		return fmt.Errorf("stream: argmax: %w", err)
@@ -92,42 +104,39 @@ func (a *ArgMax) Open(in *Schema) error {
 // Schema implements Operator.
 func (a *ArgMax) Schema() *Schema { return a.out }
 
-// Process implements Operator.
+// Process implements Operator. Partition, choose, and score expressions
+// are evaluated into reused scratch buffers; a candidate's value slice is
+// only allocated when it is actually retained or tie-compared.
 func (a *ArgMax) Process(t Tuple) ([]Tuple, error) {
-	partVals := make([]Value, len(a.PartitionBy))
+	a.partBuf = a.partBuf[:0]
 	for i, ne := range a.PartitionBy {
-		v, err := ne.Expr.Eval(t)
+		v, err := a.partFns[i](t)
 		if err != nil {
 			return nil, fmt.Errorf("stream: argmax partition %q: %w", ne.Name, err)
 		}
-		partVals[i] = v
+		a.partBuf = append(a.partBuf, v)
 	}
-	chooseVals := make([]Value, len(a.ChooseBy))
+	a.chooseBuf = a.chooseBuf[:0]
 	for i, ne := range a.ChooseBy {
-		v, err := ne.Expr.Eval(t)
+		v, err := a.chooseFns[i](t)
 		if err != nil {
 			return nil, fmt.Errorf("stream: argmax choose %q: %w", ne.Name, err)
 		}
-		chooseVals[i] = v
+		a.chooseBuf = append(a.chooseBuf, v)
 	}
-	score, err := a.Score.Expr.Eval(t)
+	score, err := a.scoreFn(t)
 	if err != nil {
 		return nil, fmt.Errorf("stream: argmax score %q: %w", a.Score.Name, err)
 	}
 	if score.IsNull() {
 		return nil, nil // a NULL score never wins
 	}
-	outVals := make([]Value, 0, a.out.Len())
-	outVals = append(outVals, chooseVals...)
-	outVals = append(outVals, partVals...)
-	outVals = append(outVals, score)
-	cand := candidate{score: score, choose: chooseVals, out: outVals}
 
-	key := MakeGroupKey(partVals...)
+	key := MakeGroupKey(a.partBuf...)
 	cur, seen := a.best[key]
 	if !seen {
 		a.order = append(a.order, key)
-		a.best[key] = []candidate{cand}
+		a.best[key] = []candidate{a.newCandidate(score)}
 		return nil, nil
 	}
 	c, err := score.Compare(cur[0].score)
@@ -136,15 +145,25 @@ func (a *ArgMax) Process(t Tuple) ([]Tuple, error) {
 	}
 	switch {
 	case c > 0:
-		a.best[key] = append(cur[:0], cand)
+		a.best[key] = append(cur[:0], a.newCandidate(score))
 	case c == 0:
 		if a.EmitAllTies {
-			a.best[key] = append(cur, cand)
-		} else if a.prefer(cand, cur[0]) {
+			a.best[key] = append(cur, a.newCandidate(score))
+		} else if cand := a.newCandidate(score); a.prefer(cand, cur[0]) {
 			cur[0] = cand
 		}
 	}
 	return nil, nil
+}
+
+// newCandidate clones the scratch buffers into an owned candidate. The
+// choose slice aliases the output slice's prefix, saving an allocation.
+func (a *ArgMax) newCandidate(score Value) candidate {
+	out := make([]Value, 0, a.out.Len())
+	out = append(out, a.chooseBuf...)
+	out = append(out, a.partBuf...)
+	out = append(out, score)
+	return candidate{score: score, choose: out[:a.nChoose:a.nChoose], out: out}
 }
 
 // prefer applies the tie-break between two equal-score candidates.
@@ -191,8 +210,13 @@ func (a *ArgMax) Close() ([]Tuple, error) {
 type Distinct struct {
 	On []NamedExpr
 
-	in   *Schema
-	seen map[GroupKey]struct{}
+	in      *Schema
+	seen    map[GroupKey]struct{}
+	fns     []EvalFunc
+	vals    []Value
+	scratch []Value
+	keep    []bool
+	obatch  *Batch
 }
 
 // Open implements Operator.
@@ -203,10 +227,12 @@ func (d *Distinct) Open(in *Schema) error {
 			d.On = append(d.On, NamedExpr{Name: f.Name, Expr: NewCol(f.Name)})
 		}
 	}
-	for _, ne := range d.On {
+	d.fns = make([]EvalFunc, len(d.On))
+	for i, ne := range d.On {
 		if _, err := ne.Expr.Bind(in); err != nil {
 			return fmt.Errorf("stream: distinct %q: %w", ne.Name, err)
 		}
+		d.fns[i] = CompileExpr(ne.Expr)
 	}
 	d.seen = make(map[GroupKey]struct{})
 	return nil
@@ -217,15 +243,15 @@ func (d *Distinct) Schema() *Schema { return d.in }
 
 // Process implements Operator.
 func (d *Distinct) Process(t Tuple) ([]Tuple, error) {
-	vals := make([]Value, len(d.On))
-	for i, ne := range d.On {
-		v, err := ne.Expr.Eval(t)
+	d.vals = d.vals[:0]
+	for i, fn := range d.fns {
+		v, err := fn(t)
 		if err != nil {
-			return nil, fmt.Errorf("stream: distinct %q: %w", ne.Name, err)
+			return nil, fmt.Errorf("stream: distinct %q: %w", d.On[i].Name, err)
 		}
-		vals[i] = v
+		d.vals = append(d.vals, v)
 	}
-	key := MakeGroupKey(vals...)
+	key := MakeGroupKey(d.vals...)
 	if _, dup := d.seen[key]; dup {
 		return nil, nil
 	}

@@ -1,0 +1,402 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+)
+
+// Column is one typed column of a Batch: values are stored unboxed in the
+// slice matching the column's established kind, with NULLs tracked in a
+// validity bitmap. A column's kind is dynamic — it is fixed by the first
+// non-NULL value appended, not by the schema — so an int-valued column
+// under a float-declared field stays columnar.
+type Column struct {
+	// Kind is the value kind of the non-NULL entries; KindNull until the
+	// first non-NULL value is appended.
+	Kind   Kind
+	Bools  []bool
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Times  []time.Time
+	// valid is the validity bitmap (bit i set = row i non-NULL). nil means
+	// every row so far is valid.
+	valid []uint64
+	n     int
+}
+
+func (c *Column) reset() {
+	c.Kind = KindNull
+	c.Bools = c.Bools[:0]
+	c.Ints = c.Ints[:0]
+	c.Floats = c.Floats[:0]
+	c.Strs = c.Strs[:0]
+	c.Times = c.Times[:0]
+	c.valid = c.valid[:0]
+	c.n = 0
+}
+
+// markNull records validity for the next row (index c.n before the typed
+// append). The bitmap is materialized lazily on the first NULL.
+func (c *Column) mark(isNull bool) {
+	if c.valid == nil {
+		if !isNull {
+			c.n++
+			return
+		}
+		words := c.n/64 + 1
+		c.valid = append(c.valid[:0], make([]uint64, words)...)
+		for i := 0; i < c.n; i++ {
+			c.valid[i/64] |= 1 << (uint(i) % 64)
+		}
+	}
+	for len(c.valid) <= c.n/64 {
+		c.valid = append(c.valid, 0)
+	}
+	if !isNull {
+		c.valid[c.n/64] |= 1 << (uint(c.n) % 64)
+	}
+	c.n++
+}
+
+// noNulls reports that every row appended so far is non-NULL (no
+// validity bitmap was ever materialized) — the precondition for kernels
+// that read the typed slice directly.
+func (c *Column) noNulls() bool { return c.valid == nil && c.Kind != KindNull }
+
+// IsNull reports whether row i of the column is NULL.
+func (c *Column) IsNull(i int) bool {
+	if c.valid == nil {
+		return c.Kind == KindNull
+	}
+	return c.valid[i/64]&(1<<(uint(i)%64)) == 0
+}
+
+// append adds v to the column; it reports false when v's kind conflicts
+// with the column's established kind (the batch must then be abandoned
+// and the tuple path used instead).
+func (c *Column) append(v Value) bool {
+	if v.kind == KindNull {
+		if c.Kind == KindNull && c.valid == nil {
+			// all-NULL column so far: no typed storage needed
+			c.n++
+			return true
+		}
+		c.mark(true)
+		c.appendZero()
+		return true
+	}
+	if c.Kind == KindNull {
+		if c.n > 0 && c.valid == nil {
+			// first rows were the all-NULL fast path: build the bitmap
+			n := c.n
+			c.n = 0
+			for i := 0; i < n; i++ {
+				c.mark(true)
+			}
+		}
+		c.Kind = v.kind
+		for i := 0; i < c.n; i++ {
+			c.appendZero()
+		}
+	} else if c.Kind != v.kind {
+		return false
+	}
+	c.mark(false)
+	switch v.kind {
+	case KindBool:
+		c.Bools = append(c.Bools, v.i != 0)
+	case KindInt:
+		c.Ints = append(c.Ints, v.i)
+	case KindFloat:
+		c.Floats = append(c.Floats, v.f)
+	case KindString:
+		c.Strs = append(c.Strs, v.s)
+	case KindTime:
+		c.Times = append(c.Times, v.t)
+	}
+	return true
+}
+
+func (c *Column) appendZero() {
+	switch c.Kind {
+	case KindBool:
+		c.Bools = append(c.Bools, false)
+	case KindInt:
+		c.Ints = append(c.Ints, 0)
+	case KindFloat:
+		c.Floats = append(c.Floats, 0)
+	case KindString:
+		c.Strs = append(c.Strs, "")
+	case KindTime:
+		c.Times = append(c.Times, time.Time{})
+	}
+}
+
+// Value reboxes row i of the column.
+func (c *Column) Value(i int) Value {
+	if c.IsNull(i) {
+		return Value{}
+	}
+	switch c.Kind {
+	case KindBool:
+		v := Value{kind: KindBool}
+		if c.Bools[i] {
+			v.i = 1
+		}
+		return v
+	case KindInt:
+		return Value{kind: KindInt, i: c.Ints[i]}
+	case KindFloat:
+		return Value{kind: KindFloat, f: c.Floats[i]}
+	case KindString:
+		return Value{kind: KindString, s: c.Strs[i]}
+	case KindTime:
+		return Value{kind: KindTime, t: c.Times[i]}
+	}
+	return Value{}
+}
+
+// Batch is a column-oriented run of tuples sharing one schema: per-column
+// typed slices plus a shared timestamp column. Operators exchange batches
+// on the hot path and fall back to the tuple representation whenever a
+// value's dynamic kind breaks column homogeneity.
+//
+// A batch returned by an operator is owned by that operator and is only
+// valid until its next invocation; consumers must copy (CopyRow, Tuples)
+// anything they retain.
+type Batch struct {
+	schema *Schema
+	ts     []time.Time
+	cols   []Column
+	n      int
+}
+
+// NewBatch returns an empty batch for the given schema.
+func NewBatch(s *Schema) *Batch {
+	b := &Batch{}
+	b.Reset(s)
+	return b
+}
+
+// Reset clears the batch for reuse under the given schema, retaining the
+// column storage.
+func (b *Batch) Reset(s *Schema) {
+	b.schema = s
+	b.ts = b.ts[:0]
+	if cap(b.cols) < s.Len() {
+		b.cols = make([]Column, s.Len())
+	} else {
+		b.cols = b.cols[:s.Len()]
+	}
+	for i := range b.cols {
+		b.cols[i].reset()
+	}
+	b.n = 0
+}
+
+// Schema reports the batch's schema.
+func (b *Batch) Schema() *Schema { return b.schema }
+
+// Len reports the number of rows.
+func (b *Batch) Len() int { return b.n }
+
+// RowTs reports row i's timestamp.
+func (b *Batch) RowTs(i int) time.Time { return b.ts[i] }
+
+// Col returns the i-th column for kernel-style access.
+func (b *Batch) Col(i int) *Column { return &b.cols[i] }
+
+// Append adds one tuple as a row. It reports false — leaving the batch
+// unusable until the next Reset — when the tuple's arity doesn't match or
+// a value's kind conflicts with its column's established kind.
+func (b *Batch) Append(t Tuple) bool {
+	return b.AppendPrefixed(nil, t)
+}
+
+// AppendPrefixed adds a row formed by prefix followed by the tuple's
+// values (the processor's annotation columns ride in prefix without an
+// intermediate tuple allocation). The append is atomic: on a kind
+// conflict it returns false with the batch unmodified, so callers can
+// fall back to the tuple path mid-batch.
+func (b *Batch) AppendPrefixed(prefix []Value, t Tuple) bool {
+	if len(prefix)+len(t.Values) != len(b.cols) {
+		return false
+	}
+	for i, v := range prefix {
+		if !b.cols[i].kindOK(v) {
+			return false
+		}
+	}
+	off := len(prefix)
+	for i, v := range t.Values {
+		if !b.cols[off+i].kindOK(v) {
+			return false
+		}
+	}
+	for i, v := range prefix {
+		b.cols[i].append(v)
+	}
+	for i, v := range t.Values {
+		b.cols[off+i].append(v)
+	}
+	b.ts = append(b.ts, t.Ts)
+	b.n++
+	return true
+}
+
+// kindOK reports whether v can be appended without breaking column
+// homogeneity.
+func (c *Column) kindOK(v Value) bool {
+	return v.kind == KindNull || c.Kind == KindNull || c.Kind == v.kind
+}
+
+// appendFast appends a non-NULL v of the column's established kind with
+// no validity bitmap in play; it reports false to route the slow cases
+// (NULLs, kind establishment, bitmap maintenance) to append.
+func (c *Column) appendFast(v Value) bool {
+	if v.kind != c.Kind || c.valid != nil {
+		return false
+	}
+	switch v.kind {
+	case KindBool:
+		c.Bools = append(c.Bools, v.i != 0)
+	case KindInt:
+		c.Ints = append(c.Ints, v.i)
+	case KindFloat:
+		c.Floats = append(c.Floats, v.f)
+	case KindString:
+		c.Strs = append(c.Strs, v.s)
+	case KindTime:
+		c.Times = append(c.Times, v.t)
+	default:
+		return false
+	}
+	c.n++
+	return true
+}
+
+// AppendRun appends every tuple as a row under one shared prefix — the
+// leg node's whole-epoch fill. Kind compatibility is verified up front
+// (the constant prefix once, then each value column simulating kind
+// establishment in row order), so on false the batch is unmodified and
+// the caller can fall back to the tuple path. The fill itself runs
+// column-major.
+func (b *Batch) AppendRun(prefix []Value, ts []Tuple) bool {
+	if len(ts) == 0 {
+		return true
+	}
+	off := len(prefix)
+	for i := range ts {
+		if off+len(ts[i].Values) != len(b.cols) {
+			return false
+		}
+	}
+	for j := range prefix {
+		if !b.cols[j].kindOK(prefix[j]) {
+			return false
+		}
+	}
+	for j := off; j < len(b.cols); j++ {
+		ekind := b.cols[j].Kind
+		for i := range ts {
+			k := ts[i].Values[j-off].kind
+			if k == KindNull {
+				continue
+			}
+			if ekind == KindNull {
+				ekind = k
+			} else if ekind != k {
+				return false
+			}
+		}
+	}
+	n := len(ts)
+	for j := range prefix {
+		c := &b.cols[j]
+		for i := 0; i < n; i++ {
+			if !c.appendFast(prefix[j]) {
+				c.append(prefix[j])
+			}
+		}
+	}
+	for j := off; j < len(b.cols); j++ {
+		c := &b.cols[j]
+		for i := range ts {
+			v := ts[i].Values[j-off]
+			if !c.appendFast(v) {
+				c.append(v)
+			}
+		}
+	}
+	for i := range ts {
+		b.ts = append(b.ts, ts[i].Ts)
+	}
+	b.n += n
+	return true
+}
+
+// AppendValues adds a row from a timestamp and value slice. Same failure
+// contract as Append.
+func (b *Batch) AppendValues(ts time.Time, vals []Value) bool {
+	return b.AppendPrefixed(vals, Tuple{Ts: ts})
+}
+
+// AppendFrom copies row i of src (which must have the same arity) into b.
+func (b *Batch) AppendFrom(src *Batch, i int) bool {
+	if len(src.cols) != len(b.cols) {
+		return false
+	}
+	for j := range src.cols {
+		if !b.cols[j].append(src.cols[j].Value(i)) {
+			return false
+		}
+	}
+	b.ts = append(b.ts, src.ts[i])
+	b.n++
+	return true
+}
+
+// Value reboxes the value at (row, col).
+func (b *Batch) Value(row, col int) Value { return b.cols[col].Value(row) }
+
+// CopyRow appends row i's values to buf and returns it — the scratch-
+// tuple bridge by which row-wise operators consume a batch without
+// allocating.
+func (b *Batch) CopyRow(i int, buf []Value) []Value {
+	for j := range b.cols {
+		buf = append(buf, b.cols[j].Value(i))
+	}
+	return buf
+}
+
+// Tuples materializes the batch as freshly allocated tuples, safe to
+// retain.
+func (b *Batch) Tuples() []Tuple {
+	out := make([]Tuple, b.n)
+	vals := make([]Value, 0, b.n*len(b.cols))
+	for i := 0; i < b.n; i++ {
+		start := len(vals)
+		vals = b.CopyRow(i, vals)
+		out[i] = Tuple{Ts: b.ts[i], Values: vals[start:len(vals):len(vals)]}
+	}
+	return out
+}
+
+// BuildBatch packs tuples into a fresh batch over the given schema; ok is
+// false when the rows are not column-homogeneous (callers then keep the
+// tuple path).
+func BuildBatch(s *Schema, tuples []Tuple) (*Batch, bool) {
+	b := NewBatch(s)
+	for _, t := range tuples {
+		if !b.Append(t) {
+			return nil, false
+		}
+	}
+	return b, true
+}
+
+// String renders a compact description for debugging.
+func (b *Batch) String() string {
+	return fmt.Sprintf("batch(%d rows, %d cols)", b.n, len(b.cols))
+}

@@ -1,0 +1,293 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+)
+
+var batchTestSchema = MustSchema(
+	Field{Name: "temp", Kind: KindFloat},
+	Field{Name: "id", Kind: KindString},
+)
+
+func batchRow(sec float64, temp float64, id string) Tuple {
+	return NewTuple(at(sec), Float(temp), String(id))
+}
+
+func TestBatchAppendAndValue(t *testing.T) {
+	b := NewBatch(batchTestSchema)
+	rows := []Tuple{
+		batchRow(1, 20.5, "m0"),
+		batchRow(2, 21.5, "m1"),
+		batchRow(3, 22.5, "m0"),
+	}
+	for _, r := range rows {
+		if !b.Append(r) {
+			t.Fatalf("Append(%v) = false", r)
+		}
+	}
+	if b.Len() != len(rows) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(rows))
+	}
+	for i, r := range rows {
+		if !b.RowTs(i).Equal(r.Ts) {
+			t.Errorf("row %d ts = %v, want %v", i, b.RowTs(i), r.Ts)
+		}
+		for j, want := range r.Values {
+			if got := b.Value(i, j); got != want {
+				t.Errorf("value (%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	if c := b.Col(0); c.Kind != KindFloat || !c.noNulls() {
+		t.Errorf("col 0: kind %v noNulls %v, want float/true", c.Kind, c.noNulls())
+	}
+}
+
+func TestBatchValidityBitmap(t *testing.T) {
+	b := NewBatch(batchTestSchema)
+	// NULL before the kind is established, then values, then NULL again:
+	// exercises the lazy bitmap materialization both ways.
+	rows := []Tuple{
+		NewTuple(at(1), Null(), String("m0")),
+		batchRow(2, 21.5, "m1"),
+		NewTuple(at(3), Null(), Null()),
+		batchRow(4, 23.5, "m3"),
+	}
+	for _, r := range rows {
+		if !b.Append(r) {
+			t.Fatalf("Append(%v) = false", r)
+		}
+	}
+	for i, r := range rows {
+		for j, want := range r.Values {
+			if got := b.Col(j).IsNull(i); got != want.IsNull() {
+				t.Errorf("IsNull(%d,%d) = %v, want %v", i, j, got, want.IsNull())
+			}
+			if got := b.Value(i, j); got != want {
+				t.Errorf("value (%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	if b.Col(0).noNulls() {
+		t.Error("col 0 noNulls() = true after NULL rows")
+	}
+}
+
+func TestBatchAppendPrefixedAtomic(t *testing.T) {
+	wide := MustSchema(
+		Field{Name: "src", Kind: KindString},
+		Field{Name: "temp", Kind: KindFloat},
+	)
+	b := NewBatch(wide)
+	prefix := []Value{String("leg0")}
+	if !b.AppendPrefixed(prefix, NewTuple(at(1), Float(20))) {
+		t.Fatal("first AppendPrefixed = false")
+	}
+	// Kind conflict in the tuple part must reject the row and leave the
+	// batch untouched.
+	if b.AppendPrefixed(prefix, NewTuple(at(2), String("oops"))) {
+		t.Fatal("conflicting AppendPrefixed = true")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d after rejected append, want 1", b.Len())
+	}
+	// Arity mismatch likewise.
+	if b.AppendPrefixed(prefix, NewTuple(at(2), Float(21), Float(22))) {
+		t.Fatal("wrong-arity AppendPrefixed = true")
+	}
+	// The batch must still accept compatible rows.
+	if !b.AppendPrefixed(prefix, NewTuple(at(3), Float(22))) {
+		t.Fatal("append after rejection = false")
+	}
+	if b.Len() != 2 || b.Value(1, 1) != Float(22) {
+		t.Fatalf("batch corrupted after rejection: len %d row1 %v", b.Len(), b.Value(1, 1))
+	}
+}
+
+func TestBatchAppendRun(t *testing.T) {
+	wide := MustSchema(
+		Field{Name: "src", Kind: KindString},
+		Field{Name: "temp", Kind: KindFloat},
+	)
+	b := NewBatch(wide)
+	prefix := []Value{String("leg0")}
+	run := []Tuple{
+		NewTuple(at(1), Null()), // kind established mid-run
+		NewTuple(at(2), Float(21)),
+		NewTuple(at(3), Float(22)),
+	}
+	if !b.AppendRun(prefix, run) {
+		t.Fatal("AppendRun = false")
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	for i, r := range run {
+		if got := b.Value(i, 0); got != prefix[0] {
+			t.Errorf("row %d prefix = %v", i, got)
+		}
+		if got := b.Value(i, 1); got != r.Values[0] {
+			t.Errorf("row %d value = %v, want %v", i, got, r.Values[0])
+		}
+	}
+	// A second run lands behind the first.
+	if !b.AppendRun(prefix, []Tuple{NewTuple(at(4), Float(23))}) {
+		t.Fatal("second AppendRun = false")
+	}
+	if b.Len() != 4 || b.Value(3, 1) != Float(23) {
+		t.Fatalf("second run misplaced: len %d last %v", b.Len(), b.Value(3, 1))
+	}
+}
+
+func TestBatchAppendRunAtomic(t *testing.T) {
+	b := NewBatch(batchTestSchema)
+	if !b.Append(batchRow(1, 20, "m0")) {
+		t.Fatal("seed Append = false")
+	}
+	// A run whose later row conflicts (string into the float column) must
+	// be rejected wholesale with the batch unmodified — including runs
+	// whose conflict is internal (null, float, then string).
+	bad := [][]Tuple{
+		{NewTuple(at(2), Float(21), String("m1")), NewTuple(at(3), String("oops"), String("m2"))},
+		{NewTuple(at(2), Null(), String("m1")), NewTuple(at(3), Float(21), String("m2")), NewTuple(at(4), Bool(true), String("m3"))},
+		{NewTuple(at(2), Float(21), String("m1"), String("extra"))},
+	}
+	for _, run := range bad {
+		if b.AppendRun(nil, run) {
+			t.Fatalf("AppendRun(%v) = true, want rejection", run)
+		}
+		if b.Len() != 1 || b.Value(0, 0) != Float(20) {
+			t.Fatalf("batch modified by rejected run: len %d", b.Len())
+		}
+	}
+	if !b.AppendRun(nil, []Tuple{batchRow(2, 21, "m1")}) {
+		t.Fatal("valid AppendRun after rejections = false")
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+}
+
+func TestBatchTuplesRoundtrip(t *testing.T) {
+	rows := []Tuple{
+		batchRow(1, 20.5, "m0"),
+		NewTuple(at(2), Null(), String("m1")),
+		batchRow(3, 22.5, "m2"),
+	}
+	b, ok := BuildBatch(batchTestSchema, rows)
+	if !ok {
+		t.Fatal("BuildBatch = false")
+	}
+	got := b.Tuples()
+	if len(got) != len(rows) {
+		t.Fatalf("Tuples() len = %d, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if !got[i].Ts.Equal(rows[i].Ts) {
+			t.Errorf("tuple %d ts = %v", i, got[i].Ts)
+		}
+		for j := range rows[i].Values {
+			if got[i].Values[j] != rows[i].Values[j] {
+				t.Errorf("tuple %d value %d = %v, want %v", i, j, got[i].Values[j], rows[i].Values[j])
+			}
+		}
+	}
+}
+
+// BenchmarkBatchVsTuple measures one epoch of rows fed through Process
+// versus ProcessBatch — the columnar speedup EXPERIMENTS.md records. The
+// chain pair covers the row-shim operators (Filter+Project, where the
+// win is allocation elimination); the window pair covers the windowed
+// aggregation kernel (absorbBatch's unboxed float path, where the win is
+// wall time too).
+func BenchmarkBatchVsTuple(b *testing.B) {
+	const rowsPerEpoch = 64
+	rows := make([]Tuple, rowsPerEpoch)
+	for i := range rows {
+		rows[i] = batchRow(float64(i), 18+float64(i%12), fmt.Sprintf("m%02d", i%8))
+	}
+
+	mkChain := func() *Chain {
+		c := NewChain(
+			NewFilter(NewBinary(OpLt, NewCol("temp"), NewConst(Float(28)))),
+			NewProject(
+				NamedExpr{Name: "temp", Expr: NewCol("temp")},
+				NamedExpr{Name: "hot", Expr: NewBinary(OpGt, NewCol("temp"), NewConst(Float(24)))},
+			),
+		)
+		if err := c.Open(batchTestSchema); err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	b.Run("chain/tuple", func(b *testing.B) {
+		c := mkChain()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range rows {
+				if _, err := c.Process(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("chain/batch", func(b *testing.B) {
+		c := mkChain()
+		in := NewBatch(batchTestSchema)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			in.Reset(batchTestSchema)
+			if !in.AppendRun(nil, rows) {
+				b.Fatal("AppendRun = false")
+			}
+			if _, _, err := c.ProcessBatch(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	mkWindow := func() *WindowAgg {
+		w := &WindowAgg{
+			GroupBy: []NamedExpr{{Name: "id", Expr: NewCol("id")}},
+			Aggs: []AggSpec{
+				{Name: "avg_temp", Func: AggAvg, Arg: NewCol("temp")},
+				{Name: "n", Func: AggCount},
+			},
+			Range: 30 * 60 * 1e9,
+			Slide: 5 * 60 * 1e9,
+		}
+		if err := w.Open(batchTestSchema); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Advance(at(0)); err != nil {
+			b.Fatal(err)
+		}
+		return w
+	}
+	b.Run("window/tuple", func(b *testing.B) {
+		w := mkWindow()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range rows {
+				if _, err := w.Process(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("window/batch", func(b *testing.B) {
+		w := mkWindow()
+		in := NewBatch(batchTestSchema)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			in.Reset(batchTestSchema)
+			if !in.AppendRun(nil, rows) {
+				b.Fatal("AppendRun = false")
+			}
+			if _, _, err := w.ProcessBatch(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

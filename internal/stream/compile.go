@@ -1,0 +1,350 @@
+package stream
+
+import "fmt"
+
+// EvalFunc is a compiled expression evaluator: the closure form of
+// Expr.Eval with column offsets, constants, and operator kernels resolved
+// at compile time instead of re-discovered on every call.
+type EvalFunc func(t Tuple) (Value, error)
+
+// CompileExpr compiles a bound expression into a closure evaluator.
+// It must be called after a successful Bind against the schema the
+// returned function will be evaluated over.
+//
+// The compiled function is semantically identical to e.Eval — same
+// values, same NULL propagation, same error messages — which the oracle
+// differentials and FuzzCompileExpr verify. Subtrees whose operands are
+// all constants are folded to their value at compile time (unless folding
+// would raise an error, in which case evaluation is deferred so the error
+// surfaces at the same point it would have under tree walking).
+//
+// A compiled function borrows no state from the tuple it is given, but it
+// may reuse internal scratch buffers across calls, so a single compiled
+// function must not be invoked concurrently from multiple goroutines.
+func CompileExpr(e Expr) EvalFunc {
+	fn, _ := compileNode(e)
+	return fn
+}
+
+// constFunc wraps a fixed value as an EvalFunc.
+func constFunc(v Value) EvalFunc {
+	return func(Tuple) (Value, error) { return v, nil }
+}
+
+// compileNode compiles e and reports whether the result is a constant
+// (same value for every tuple, no error).
+func compileNode(e Expr) (EvalFunc, bool) {
+	fn, maybeConst := compileTree(e)
+	if !maybeConst {
+		return fn, false
+	}
+	// All inputs are constants: evaluate once now. If evaluation errors,
+	// keep the closure so the error is raised per-call exactly as the
+	// tree-walking evaluator would.
+	v, err := fn(Tuple{})
+	if err != nil {
+		return fn, false
+	}
+	return constFunc(v), true
+}
+
+// compileTree builds the evaluator for one node. The returned bool is
+// true when every operand is constant (the node is fold-eligible).
+func compileTree(e Expr) (EvalFunc, bool) {
+	switch e := e.(type) {
+	case *Const:
+		return constFunc(e.Val), true
+
+	case *Col:
+		if e.idx < 0 {
+			return e.Eval, false
+		}
+		idx, name := e.idx, e.Name
+		return func(t Tuple) (Value, error) {
+			if idx >= len(t.Values) {
+				return Null(), fmt.Errorf("stream: column %q index %d out of range for tuple arity %d", name, idx, len(t.Values))
+			}
+			return t.Values[idx], nil
+		}, false
+
+	case *Binary:
+		return compileBinary(e)
+
+	case *Not:
+		xf, xc := compileNode(e.X)
+		return func(t Tuple) (Value, error) {
+			v, err := xf(t)
+			if err != nil || v.IsNull() {
+				return Null(), err
+			}
+			return Bool(!v.AsBool()), nil
+		}, xc
+
+	case *Neg:
+		xf, xc := compileNode(e.X)
+		return func(t Tuple) (Value, error) {
+			v, err := xf(t)
+			if err != nil {
+				return Null(), err
+			}
+			return v.Neg()
+		}, xc
+
+	case *IsNullExpr:
+		xf, xc := compileNode(e.X)
+		negate := e.Negate
+		return func(t Tuple) (Value, error) {
+			v, err := xf(t)
+			if err != nil {
+				return Null(), err
+			}
+			return Bool(v.IsNull() != negate), nil
+		}, xc
+
+	case *InList:
+		return compileInList(e)
+
+	case *Call:
+		return compileCall(e)
+
+	default:
+		// CaseExpr and any externally defined Expr fall back to the tree
+		// walker; they are not on the measured hot paths.
+		return e.Eval, false
+	}
+}
+
+func compileBinary(e *Binary) (EvalFunc, bool) {
+	lf, lc := compileNode(e.L)
+	rf, rc := compileNode(e.R)
+	bothConst := lc && rc
+
+	switch e.Op {
+	case OpAnd:
+		return func(t Tuple) (Value, error) {
+			l, err := lf(t)
+			if err != nil {
+				return Null(), err
+			}
+			if !l.IsNull() && !l.AsBool() {
+				return Bool(false), nil
+			}
+			r, err := rf(t)
+			if err != nil {
+				return Null(), err
+			}
+			switch {
+			case !r.IsNull() && !r.AsBool():
+				return Bool(false), nil
+			case l.IsNull() || r.IsNull():
+				return Null(), nil
+			default:
+				return Bool(true), nil
+			}
+		}, bothConst
+	case OpOr:
+		return func(t Tuple) (Value, error) {
+			l, err := lf(t)
+			if err != nil {
+				return Null(), err
+			}
+			if !l.IsNull() && l.AsBool() {
+				return Bool(true), nil
+			}
+			r, err := rf(t)
+			if err != nil {
+				return Null(), err
+			}
+			switch {
+			case !r.IsNull() && r.AsBool():
+				return Bool(true), nil
+			case l.IsNull() || r.IsNull():
+				return Null(), nil
+			default:
+				return Bool(false), nil
+			}
+		}, bothConst
+
+	case OpAdd:
+		return func(t Tuple) (Value, error) {
+			l, err := lf(t)
+			if err != nil {
+				return Null(), err
+			}
+			r, err := rf(t)
+			if err != nil {
+				return Null(), err
+			}
+			if l.kind == KindFloat && r.kind == KindFloat {
+				return Value{kind: KindFloat, f: l.f + r.f}, nil
+			}
+			if l.kind == KindInt && r.kind == KindInt {
+				return Value{kind: KindInt, i: l.i + r.i}, nil
+			}
+			return l.Add(r)
+		}, bothConst
+	case OpSub:
+		return func(t Tuple) (Value, error) {
+			l, err := lf(t)
+			if err != nil {
+				return Null(), err
+			}
+			r, err := rf(t)
+			if err != nil {
+				return Null(), err
+			}
+			if l.kind == KindFloat && r.kind == KindFloat {
+				return Value{kind: KindFloat, f: l.f - r.f}, nil
+			}
+			if l.kind == KindInt && r.kind == KindInt {
+				return Value{kind: KindInt, i: l.i - r.i}, nil
+			}
+			return l.Sub(r)
+		}, bothConst
+	case OpMul:
+		return func(t Tuple) (Value, error) {
+			l, err := lf(t)
+			if err != nil {
+				return Null(), err
+			}
+			r, err := rf(t)
+			if err != nil {
+				return Null(), err
+			}
+			if l.kind == KindFloat && r.kind == KindFloat {
+				return Value{kind: KindFloat, f: l.f * r.f}, nil
+			}
+			if l.kind == KindInt && r.kind == KindInt {
+				return Value{kind: KindInt, i: l.i * r.i}, nil
+			}
+			return l.Mul(r)
+		}, bothConst
+	case OpDiv:
+		return func(t Tuple) (Value, error) {
+			l, err := lf(t)
+			if err != nil {
+				return Null(), err
+			}
+			r, err := rf(t)
+			if err != nil {
+				return Null(), err
+			}
+			if l.kind == KindFloat && r.kind == KindFloat {
+				return Value{kind: KindFloat, f: l.f / r.f}, nil
+			}
+			return l.Div(r)
+		}, bothConst
+
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		op := e.Op
+		return func(t Tuple) (Value, error) {
+			l, err := lf(t)
+			if err != nil {
+				return Null(), err
+			}
+			r, err := rf(t)
+			if err != nil {
+				return Null(), err
+			}
+			if l.kind == KindNull || r.kind == KindNull {
+				return Null(), nil
+			}
+			var c int
+			switch {
+			case l.kind == KindFloat && r.kind == KindFloat:
+				c = cmpFloat(l.f, r.f)
+			case l.kind == KindInt && r.kind == KindInt:
+				c = cmpInt(l.i, r.i)
+			case l.kind == KindString && r.kind == KindString:
+				switch {
+				case l.s < r.s:
+					c = -1
+				case l.s > r.s:
+					c = 1
+				}
+			default:
+				c, err = l.Compare(r)
+				if err != nil {
+					return Null(), err
+				}
+			}
+			switch op {
+			case OpEq:
+				return Bool(c == 0), nil
+			case OpNe:
+				return Bool(c != 0), nil
+			case OpLt:
+				return Bool(c < 0), nil
+			case OpLe:
+				return Bool(c <= 0), nil
+			case OpGt:
+				return Bool(c > 0), nil
+			default:
+				return Bool(c >= 0), nil
+			}
+		}, bothConst
+	}
+	return e.Eval, false
+}
+
+func compileInList(e *InList) (EvalFunc, bool) {
+	xf, allConst := compileNode(e.X)
+	elems := make([]EvalFunc, len(e.List))
+	for i, el := range e.List {
+		fn, c := compileNode(el)
+		elems[i] = fn
+		allConst = allConst && c
+	}
+	negate := e.Negate
+	return func(t Tuple) (Value, error) {
+		x, err := xf(t)
+		if err != nil {
+			return Null(), err
+		}
+		if x.IsNull() {
+			return Null(), nil
+		}
+		sawNull := false
+		for _, el := range elems {
+			v, err := el(t)
+			if err != nil {
+				return Null(), err
+			}
+			if v.IsNull() {
+				sawNull = true
+				continue
+			}
+			if c, err := x.Compare(v); err == nil && c == 0 {
+				return Bool(!negate), nil
+			}
+		}
+		if sawNull {
+			return Null(), nil
+		}
+		return Bool(negate), nil
+	}, allConst
+}
+
+func compileCall(e *Call) (EvalFunc, bool) {
+	if e.fn == nil {
+		return e.Eval, false
+	}
+	args := make([]EvalFunc, len(e.Args))
+	for i, a := range e.Args {
+		args[i], _ = compileNode(a)
+	}
+	call := e.fn.Call
+	// Scalar functions are never folded: the registry is extensible and
+	// registered implementations are not required to be pure.
+	scratch := make([]Value, len(args))
+	return func(t Tuple) (Value, error) {
+		for i, a := range args {
+			v, err := a(t)
+			if err != nil {
+				return Null(), err
+			}
+			scratch[i] = v
+		}
+		return call(scratch)
+	}, false
+}

@@ -1,0 +1,193 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzCompileExpr cross-checks the compiled evaluator against the
+// tree-walking one: the fuzz input drives a small expression generator
+// plus a row of input values, and CompileExpr's closure must agree with
+// Expr.Eval on the value, the NULL-ness, and the error for every
+// generated (expression, tuple) pair — the contract CompileExpr's doc
+// comment promises.
+func FuzzCompileExpr(f *testing.F) {
+	f.Add([]byte{0, 0})
+	f.Add([]byte{2, 0, 1, 3, 0, 0, 1, 4, 9})
+	f.Add([]byte{2, 8, 1, 2, 7, 1, 2, 3})
+	f.Add([]byte{6, 2, 0, 1, 1, 3, 1, 4, 250, 251})
+	f.Add([]byte{7, 5, 0, 0, 0, 1, 1, 2, 1, 3, 16, 32, 64})
+	f.Add([]byte{5, 1, 3, 0, 2, 4, 0, 3, 0, 4, 128})
+	f.Add([]byte{2, 11, 1, 3, 200, 1, 3, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := &exprGen{data: data}
+		e := g.expr(0)
+		if _, err := e.Bind(fuzzSchema); err != nil {
+			t.Skip()
+		}
+		compiled := CompileExpr(e)
+		for range [3]int{} {
+			tu := g.tuple()
+			wantV, wantErr := e.Eval(tu)
+			gotV, gotErr := compiled(tu)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("expr %s on %v: tree err %v, compiled err %v", e, tu.Values, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("expr %s on %v: tree err %q, compiled err %q", e, tu.Values, wantErr, gotErr)
+				}
+				continue
+			}
+			if !fuzzValueEq(wantV, gotV) {
+				t.Fatalf("expr %s on %v: tree %v, compiled %v", e, tu.Values, wantV, gotV)
+			}
+		}
+	})
+}
+
+var fuzzSchema = MustSchema(
+	Field{Name: "b", Kind: KindBool},
+	Field{Name: "i", Kind: KindInt},
+	Field{Name: "f", Kind: KindFloat},
+	Field{Name: "s", Kind: KindString},
+	Field{Name: "t", Kind: KindTime},
+)
+
+var fuzzCols = []string{"b", "i", "f", "s", "t"}
+
+// fuzzValueEq is exact equality except that two float NaNs agree (NaN
+// compares unequal to itself, but both evaluators producing NaN is
+// agreement).
+func fuzzValueEq(a, b Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	if a.Kind() == KindFloat {
+		af, bf := a.AsFloat(), b.AsFloat()
+		return af == bf || (math.IsNaN(af) && math.IsNaN(bf))
+	}
+	return a == b
+}
+
+// exprGen consumes fuzz bytes as a little construction program: each
+// byte picks a node type, an operator, a constant, or a column. Running
+// out of bytes degrades to zeros, which terminate every production.
+type exprGen struct {
+	data []byte
+	pos  int
+}
+
+func (g *exprGen) next() byte {
+	if g.pos >= len(g.data) {
+		return 0
+	}
+	b := g.data[g.pos]
+	g.pos++
+	return b
+}
+
+const maxExprDepth = 5
+
+func (g *exprGen) expr(depth int) Expr {
+	b := g.next()
+	if depth >= maxExprDepth {
+		b %= 2 // leaves only
+	}
+	switch b % 9 {
+	case 0: // column
+		return NewCol(fuzzCols[int(g.next())%len(fuzzCols)])
+	case 1: // constant
+		return NewConst(g.value())
+	case 2: // binary
+		op := BinOp(int(g.next()) % (int(OpOr) + 1))
+		return NewBinary(op, g.expr(depth+1), g.expr(depth+1))
+	case 3:
+		return NewNot(g.expr(depth + 1))
+	case 4:
+		return NewNeg(g.expr(depth + 1))
+	case 5:
+		return &IsNullExpr{X: g.expr(depth + 1), Negate: g.next()%2 == 1}
+	case 6:
+		n := 1 + int(g.next())%3
+		list := make([]Expr, n)
+		for i := range list {
+			list[i] = g.expr(depth + 1)
+		}
+		return &InList{X: g.expr(depth + 1), List: list, Negate: g.next()%2 == 1}
+	case 7:
+		switch g.next() % 3 {
+		case 0:
+			name := []string{"round", "floor", "ceil"}[int(g.next())%3]
+			return NewCall(name, g.expr(depth+1))
+		case 1:
+			name := []string{"least", "greatest"}[int(g.next())%2]
+			return NewCall(name, g.expr(depth+1), g.expr(depth+1))
+		default:
+			return NewCall("clamp", g.expr(depth+1), g.expr(depth+1), g.expr(depth+1))
+		}
+	default: // CASE — exercises the compiler's tree-walk fallback
+		c := &CaseExpr{}
+		if g.next()%2 == 1 {
+			c.Operand = g.expr(depth + 1)
+		}
+		for i, n := 0, 1+int(g.next())%2; i < n; i++ {
+			c.Whens = append(c.Whens, When{Cond: g.expr(depth + 1), Then: g.expr(depth + 1)})
+		}
+		if g.next()%2 == 1 {
+			c.Else = g.expr(depth + 1)
+		}
+		return c
+	}
+}
+
+func (g *exprGen) value() Value {
+	switch g.next() % 6 {
+	case 0:
+		return Null()
+	case 1:
+		return Bool(g.next()%2 == 1)
+	case 2:
+		return Int(int64(g.next()) - 128)
+	case 3:
+		// A byte-derived float, occasionally special.
+		switch b := g.next(); b {
+		case 250:
+			return Float(math.NaN())
+		case 251:
+			return Float(math.Inf(1))
+		default:
+			return Float(float64(b)/8 - 15)
+		}
+	case 4:
+		return String(string(rune('a' + g.next()%4)))
+	default:
+		return Time(time.Unix(int64(g.next()), 0).UTC())
+	}
+}
+
+// tuple builds one row matching fuzzSchema's kinds (with NULLs mixed
+// in), so Bind-time kind checks hold at evaluation time too.
+func (g *exprGen) tuple() Tuple {
+	vals := make([]Value, len(fuzzCols))
+	for i := range vals {
+		if g.next()%4 == 0 {
+			vals[i] = Null()
+			continue
+		}
+		switch i {
+		case 0:
+			vals[i] = Bool(g.next()%2 == 1)
+		case 1:
+			vals[i] = Int(int64(g.next()) - 128)
+		case 2:
+			vals[i] = Float(float64(g.next())/4 - 31)
+		case 3:
+			vals[i] = String(string(rune('a' + g.next()%4)))
+		default:
+			vals[i] = Time(time.Unix(int64(g.next()), 0).UTC())
+		}
+	}
+	return Tuple{Ts: time.Unix(0, 0).UTC(), Values: vals}
+}

@@ -174,7 +174,11 @@ func (g *Graph) route(leg *graphLeg, tuples []Tuple) ([]Tuple, error) {
 		if err != nil {
 			return nil, err
 		}
-		result = append(result, out...)
+		if result == nil {
+			result = out
+		} else {
+			result = append(result, out...)
+		}
 	}
 	return result, nil
 }
@@ -195,7 +199,11 @@ func (g *Graph) Advance(now time.Time) ([]Tuple, error) {
 		if err != nil {
 			return nil, err
 		}
-		result = append(result, out...)
+		if result == nil {
+			result = out
+		} else {
+			result = append(result, out...)
+		}
 	}
 	if g.combiner != nil {
 		combined, err := g.combiner.advance(now)
@@ -213,6 +221,9 @@ func (g *Graph) Advance(now time.Time) ([]Tuple, error) {
 	out, err := g.post.Advance(now)
 	if err != nil {
 		return nil, err
+	}
+	if result == nil {
+		return out, nil
 	}
 	return append(result, out...), nil
 }
@@ -253,7 +264,11 @@ func (g *Graph) Close() ([]Tuple, error) {
 		if err != nil {
 			return nil, err
 		}
-		result = append(result, out...)
+		if result == nil {
+			result = out
+		} else {
+			result = append(result, out...)
+		}
 	}
 	if g.combiner != nil {
 		combined, err := g.combiner.advance(time.Time{})

@@ -41,6 +41,11 @@ type Operator interface {
 type Filter struct {
 	Pred Expr
 	out  *Schema
+
+	pred    EvalFunc
+	scratch []Value
+	keep    []bool
+	obatch  *Batch
 }
 
 // NewFilter returns a filter operator with the given predicate.
@@ -55,6 +60,7 @@ func (f *Filter) Open(in *Schema) error {
 	if k != KindBool && k != KindNull {
 		return fmt.Errorf("stream: filter: predicate has kind %s, want bool", k)
 	}
+	f.pred = CompileExpr(f.Pred)
 	f.out = in
 	return nil
 }
@@ -64,7 +70,7 @@ func (f *Filter) Schema() *Schema { return f.out }
 
 // Process implements Operator.
 func (f *Filter) Process(t Tuple) ([]Tuple, error) {
-	v, err := f.Pred.Eval(t)
+	v, err := f.pred(t)
 	if err != nil {
 		return nil, fmt.Errorf("stream: filter: %w", err)
 	}
@@ -91,6 +97,11 @@ type NamedExpr struct {
 type Project struct {
 	Exprs []NamedExpr
 	out   *Schema
+
+	fns     []EvalFunc
+	scratch []Value
+	rowbuf  []Value
+	obatch  *Batch
 }
 
 // NewProject returns a projection operator.
@@ -99,12 +110,14 @@ func NewProject(exprs ...NamedExpr) *Project { return &Project{Exprs: exprs} }
 // Open implements Operator.
 func (p *Project) Open(in *Schema) error {
 	fields := make([]Field, len(p.Exprs))
+	p.fns = make([]EvalFunc, len(p.Exprs))
 	for i, ne := range p.Exprs {
 		k, err := ne.Expr.Bind(in)
 		if err != nil {
 			return fmt.Errorf("stream: project %q: %w", ne.Name, err)
 		}
 		fields[i] = Field{Name: ne.Name, Kind: k}
+		p.fns[i] = CompileExpr(ne.Expr)
 	}
 	out, err := NewSchema(fields...)
 	if err != nil {
@@ -120,10 +133,10 @@ func (p *Project) Schema() *Schema { return p.out }
 // Process implements Operator.
 func (p *Project) Process(t Tuple) ([]Tuple, error) {
 	vals := make([]Value, len(p.Exprs))
-	for i, ne := range p.Exprs {
-		v, err := ne.Expr.Eval(t)
+	for i, fn := range p.fns {
+		v, err := fn(t)
 		if err != nil {
-			return nil, fmt.Errorf("stream: project %q: %w", ne.Name, err)
+			return nil, fmt.Errorf("stream: project %q: %w", p.Exprs[i].Name, err)
 		}
 		vals[i] = v
 	}
@@ -224,7 +237,14 @@ func (c *Chain) feed(i int, tuples []Tuple) ([]Tuple, error) {
 			if err != nil {
 				return nil, err
 			}
-			next = append(next, out...)
+			// Adopt the first operator output instead of copying it — the
+			// operator handed over ownership, and the single-output case
+			// then completes without an append allocation.
+			if next == nil {
+				next = out
+			} else {
+				next = append(next, out...)
+			}
 		}
 		cur = next
 	}
@@ -243,7 +263,11 @@ func (c *Chain) Advance(now time.Time) ([]Tuple, error) {
 		if err != nil {
 			return nil, err
 		}
-		result = append(result, out...)
+		if result == nil {
+			result = out
+		} else {
+			result = append(result, out...)
+		}
 	}
 	return result, nil
 }

@@ -1,0 +1,228 @@
+package stream
+
+// Expression-rewrite helpers used by the CQL plan optimizer. They live in
+// this package because they need structural knowledge of every Expr node;
+// keeping the type switches next to the node definitions means a new node
+// type fails conservatively (rewrites refuse) instead of silently
+// mis-rewriting.
+
+// ColName reports the referenced column when e is a bare column
+// reference.
+func ColName(e Expr) (string, bool) {
+	if c, ok := e.(*Col); ok {
+		return c.Name, true
+	}
+	return "", false
+}
+
+// ExprColumns accumulates into cols every column name referenced by e.
+// It returns false — and the accumulated set must be discarded — when the
+// expression contains a node type it does not understand, so callers
+// treat unknown expressions as referencing everything.
+func ExprColumns(e Expr, cols map[string]struct{}) bool {
+	switch x := e.(type) {
+	case *Col:
+		cols[x.Name] = struct{}{}
+		return true
+	case *Const:
+		return true
+	case *Binary:
+		return ExprColumns(x.L, cols) && ExprColumns(x.R, cols)
+	case *Not:
+		return ExprColumns(x.X, cols)
+	case *Neg:
+		return ExprColumns(x.X, cols)
+	case *IsNullExpr:
+		return ExprColumns(x.X, cols)
+	case *InList:
+		if !ExprColumns(x.X, cols) {
+			return false
+		}
+		for _, el := range x.List {
+			if !ExprColumns(el, cols) {
+				return false
+			}
+		}
+		return true
+	case *Call:
+		for _, a := range x.Args {
+			if !ExprColumns(a, cols) {
+				return false
+			}
+		}
+		return true
+	case *CaseExpr:
+		if x.Operand != nil && !ExprColumns(x.Operand, cols) {
+			return false
+		}
+		for _, w := range x.Whens {
+			if !ExprColumns(w.Cond, cols) || !ExprColumns(w.Then, cols) {
+				return false
+			}
+		}
+		if x.Else != nil && !ExprColumns(x.Else, cols) {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// ExprPure reports whether evaluating e can be reordered freely: no node
+// that can fail at runtime for data-dependent reasons (division, function
+// calls, CASE lowering) and no node type unknown to this package.
+// Rewrites that change how often or on which rows an expression runs
+// (pushdown, swap, collapse) must only fire on pure expressions, so an
+// optimized plan can never surface an evaluation error the unoptimized
+// plan would not have hit.
+func ExprPure(e Expr) bool {
+	switch x := e.(type) {
+	case *Col, *Const:
+		return true
+	case *Binary:
+		if x.Op == OpDiv {
+			return false
+		}
+		return ExprPure(x.L) && ExprPure(x.R)
+	case *Not:
+		return ExprPure(x.X)
+	case *Neg:
+		return ExprPure(x.X)
+	case *IsNullExpr:
+		return ExprPure(x.X)
+	case *InList:
+		if !ExprPure(x.X) {
+			return false
+		}
+		for _, el := range x.List {
+			if !ExprPure(el) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// ExprTotal reports whether evaluating e can never return an error at
+// all, under any input. It is far stricter than ExprPure (comparisons and
+// arithmetic are excluded because Value.Compare/Add can reject operand
+// kinds) and guards rewrites that merge two predicates into one, where
+// even an error the original plan would also hit could surface in a
+// different order.
+func ExprTotal(e Expr) bool {
+	switch x := e.(type) {
+	case *Col, *Const:
+		return true
+	case *Not:
+		return ExprTotal(x.X)
+	case *IsNullExpr:
+		return ExprTotal(x.X)
+	case *Binary:
+		if x.Op != OpAnd && x.Op != OpOr {
+			return false
+		}
+		return ExprTotal(x.L) && ExprTotal(x.R)
+	}
+	return false
+}
+
+// SubstituteCols returns a copy of e in which every column reference
+// named n with repl(n) = (r, true) is replaced by r. Replacement
+// subexpressions are shared, not cloned — callers must ensure they are
+// (re)bound against the same schema everywhere they appear. Nodes along
+// rewritten paths are freshly allocated, so the input expression is never
+// mutated. The second result is false when e contains a node type this
+// package cannot walk; the caller must then abandon the rewrite.
+func SubstituteCols(e Expr, repl func(name string) (Expr, bool)) (Expr, bool) {
+	switch x := e.(type) {
+	case *Col:
+		if r, ok := repl(x.Name); ok {
+			return r, true
+		}
+		return NewCol(x.Name), true
+	case *Const:
+		return NewConst(x.Val), true
+	case *Binary:
+		l, ok := SubstituteCols(x.L, repl)
+		if !ok {
+			return nil, false
+		}
+		r, ok := SubstituteCols(x.R, repl)
+		if !ok {
+			return nil, false
+		}
+		return NewBinary(x.Op, l, r), true
+	case *Not:
+		in, ok := SubstituteCols(x.X, repl)
+		if !ok {
+			return nil, false
+		}
+		return NewNot(in), true
+	case *Neg:
+		in, ok := SubstituteCols(x.X, repl)
+		if !ok {
+			return nil, false
+		}
+		return NewNeg(in), true
+	case *IsNullExpr:
+		in, ok := SubstituteCols(x.X, repl)
+		if !ok {
+			return nil, false
+		}
+		return &IsNullExpr{X: in, Negate: x.Negate}, true
+	case *InList:
+		in, ok := SubstituteCols(x.X, repl)
+		if !ok {
+			return nil, false
+		}
+		list := make([]Expr, len(x.List))
+		for i, el := range x.List {
+			el2, ok := SubstituteCols(el, repl)
+			if !ok {
+				return nil, false
+			}
+			list[i] = el2
+		}
+		return &InList{X: in, List: list, Negate: x.Negate}, true
+	case *Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			a2, ok := SubstituteCols(a, repl)
+			if !ok {
+				return nil, false
+			}
+			args[i] = a2
+		}
+		return NewCall(x.Func, args...), true
+	case *CaseExpr:
+		out := &CaseExpr{Whens: make([]When, len(x.Whens))}
+		if x.Operand != nil {
+			op, ok := SubstituteCols(x.Operand, repl)
+			if !ok {
+				return nil, false
+			}
+			out.Operand = op
+		}
+		for i, w := range x.Whens {
+			cond, ok := SubstituteCols(w.Cond, repl)
+			if !ok {
+				return nil, false
+			}
+			then, ok := SubstituteCols(w.Then, repl)
+			if !ok {
+				return nil, false
+			}
+			out.Whens[i] = When{Cond: cond, Then: then}
+		}
+		if x.Else != nil {
+			el, ok := SubstituteCols(x.Else, repl)
+			if !ok {
+				return nil, false
+			}
+			out.Else = el
+		}
+		return out, true
+	}
+	return nil, false
+}

@@ -21,9 +21,11 @@ type Sample struct {
 	Fraction float64
 	Seed     int64
 
-	in    *Schema
-	count int64
-	rng   *rand.Rand
+	in     *Schema
+	count  int64
+	rng    *rand.Rand
+	keep   []bool
+	obatch *Batch
 }
 
 // Open implements Operator.

@@ -162,9 +162,9 @@ func (s *SelfJoin) emit(b time.Time) ([]Tuple, error) {
 		key := MakeGroupKey(groups...)
 		cell := cells[key]
 		if cell == nil {
-			cell = &paneCell{groupVals: groups, accums: make([]*accum, len(s.Aggs))}
+			cell = &paneCell{groupVals: groups, accums: make([]accum, len(s.Aggs))}
 			for i, a := range s.Aggs {
-				cell.accums[i] = newAccum(a)
+				cell.accums[i] = mkAccum(a)
 			}
 			cells[key] = cell
 		}

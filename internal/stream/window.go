@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,12 @@ type WindowAgg struct {
 	// Having, if non-nil, filters output rows; it is bound against the
 	// output schema.
 	Having Expr
+	// Where, if non-nil, filters input rows before they touch any window
+	// state — the optimizer's fusion target for a Filter immediately
+	// preceding the aggregation. It is bound against the input schema and
+	// applied before pre-punctuation buffering, so Close's origin anchor
+	// (the last pending tuple's timestamp) matches the unfused plan.
+	Where Expr
 	// EmitEmpty controls whether a boundary with no live groups emits a
 	// row. It only applies to global aggregation (no GROUP BY), where SQL
 	// semantics produce one row even over empty input.
@@ -57,8 +64,35 @@ type WindowAgg struct {
 	started  bool
 	nextEmit time.Time
 	pending  []Tuple // tuples seen before the first punctuation
-	panes    map[int64]map[GroupKey]*paneCell
+	panes    map[int64]*cellStore
 	buffer   []Tuple // Naive mode: live tuples
+
+	groupFns   []EvalFunc
+	argFns     []EvalFunc // nil entries for count(*)
+	havingFn   EvalFunc
+	whereFn    EvalFunc
+	gscratch   []Value // reused per-tuple group-value buffer
+	rowScratch []Value // reused batch-row buffer
+	// Columnar fast path: when every GROUP BY expression and aggregate
+	// argument is a bare column reference, rows of a Batch are absorbed
+	// straight off the columns — no scratch tuple, no EvalFunc call.
+	// groupCols/argCols hold the resolved column indexes (-1 for
+	// count(*)); colsOK reports the precondition holds.
+	groupCols []int
+	argCols   []int
+	colsOK    bool
+	// aggFloatable[k] marks aggregate k eligible for the unboxed float
+	// kernel (non-DISTINCT and not min/max); batchArgs is the per-call
+	// scratch of resolved argument columns.
+	aggFloatable []bool
+	batchArgs    []batchArg
+	// Recycling: evicted pane stores/cells and the per-emit merged store
+	// go on free lists instead of to the garbage collector, so the
+	// steady-state absorb/emit cycle allocates only output tuples. Every
+	// pooled cell owns its groupVals backing (newCell always clones), so
+	// reuse can never alias live group values.
+	freeStores []*cellStore
+	freeCells  []*paneCell
 	// Dropped counts late tuples discarded because every window that
 	// could contain them (boundary ≥ nextEmit, covering (b−Range, b])
 	// had already been emitted.
@@ -77,7 +111,105 @@ func (w *WindowAgg) WindowTelemetry() (panes, lateDrops int64) {
 
 type paneCell struct {
 	groupVals []Value
-	accums    []*accum
+	accums    []accum
+}
+
+// cellStore maps group values to pane cells, specialized by group arity:
+// global aggregation (no GROUP BY) needs no map at all, grouping on one
+// expression keys a map on the Value itself (far cheaper to hash than a
+// composite GroupKey), and wider groupings keep the GroupKey map. Cells
+// are also kept in insertion order so iteration is deterministic.
+type cellStore struct {
+	single *paneCell
+	byOne  map[Value]*paneCell
+	byKey  map[GroupKey]*paneCell
+	cells  []*paneCell
+}
+
+func newCellStore(nGroups int) *cellStore {
+	s := &cellStore{}
+	switch nGroups {
+	case 0:
+	case 1:
+		s.byOne = make(map[Value]*paneCell)
+	default:
+		s.byKey = make(map[GroupKey]*paneCell)
+	}
+	return s
+}
+
+func (s *cellStore) get(groupVals []Value) *paneCell {
+	switch {
+	case s.byOne != nil:
+		return s.byOne[groupVals[0]]
+	case s.byKey != nil:
+		return s.byKey[MakeGroupKey(groupVals...)]
+	default:
+		return s.single
+	}
+}
+
+func (s *cellStore) put(c *paneCell) {
+	switch {
+	case s.byOne != nil:
+		s.byOne[c.groupVals[0]] = c
+	case s.byKey != nil:
+		s.byKey[MakeGroupKey(c.groupVals...)] = c
+	default:
+		s.single = c
+	}
+	s.cells = append(s.cells, c)
+}
+
+// reset empties a store for reuse, keeping its maps and cell slice
+// capacity.
+func (s *cellStore) reset() {
+	s.single = nil
+	clear(s.byOne)
+	clear(s.byKey)
+	s.cells = s.cells[:0]
+}
+
+// newCell returns a cell for the given (borrowed) group values, cloning
+// them into owned storage. Recycled cells are reused when available.
+func (w *WindowAgg) newCell(groupVals []Value) *paneCell {
+	if n := len(w.freeCells); n > 0 {
+		cell := w.freeCells[n-1]
+		w.freeCells = w.freeCells[:n-1]
+		cell.groupVals = append(cell.groupVals[:0], groupVals...)
+		for i, a := range w.Aggs {
+			cell.accums[i] = mkAccum(a)
+		}
+		return cell
+	}
+	cell := &paneCell{
+		groupVals: append([]Value(nil), groupVals...),
+		accums:    make([]accum, len(w.Aggs)),
+	}
+	for i, a := range w.Aggs {
+		cell.accums[i] = mkAccum(a)
+	}
+	return cell
+}
+
+// takeStore returns an empty cellStore for this operator's group arity,
+// reusing a recycled one when available.
+func (w *WindowAgg) takeStore() *cellStore {
+	if n := len(w.freeStores); n > 0 {
+		s := w.freeStores[n-1]
+		w.freeStores = w.freeStores[:n-1]
+		return s
+	}
+	return newCellStore(len(w.GroupBy))
+}
+
+// recycleStore moves a store and its cells to the free lists. Callers
+// must be done reading the cells' state (evicted panes, a finished merge
+// scratch); output tuples are safe because finish copies every value.
+func (w *WindowAgg) recycleStore(s *cellStore) {
+	w.freeCells = append(w.freeCells, s.cells...)
+	s.reset()
+	w.freeStores = append(w.freeStores, s)
 }
 
 // Open implements Operator.
@@ -94,23 +226,56 @@ func (w *WindowAgg) Open(in *Schema) error {
 	w.pane = gcdDuration(w.Range, w.Slide)
 	w.in = in
 
+	if w.Where != nil {
+		// Bind and report errors exactly as the standalone Filter the
+		// optimizer fused away would have, so diagnostics are unchanged.
+		k, err := w.Where.Bind(in)
+		if err != nil {
+			return fmt.Errorf("stream: filter: %w", err)
+		}
+		if k != KindBool && k != KindNull {
+			return fmt.Errorf("stream: filter: predicate has kind %s, want bool", k)
+		}
+		w.whereFn = CompileExpr(w.Where)
+	}
+
 	fields := make([]Field, 0, len(w.GroupBy)+len(w.Aggs))
-	for _, g := range w.GroupBy {
+	w.groupFns = make([]EvalFunc, len(w.GroupBy))
+	w.groupCols = make([]int, len(w.GroupBy))
+	w.colsOK = true
+	for i, g := range w.GroupBy {
 		k, err := g.Expr.Bind(in)
 		if err != nil {
 			return fmt.Errorf("stream: window group %q: %w", g.Name, err)
 		}
 		fields = append(fields, Field{Name: g.Name, Kind: k})
+		w.groupFns[i] = CompileExpr(g.Expr)
+		if c, ok := g.Expr.(*Col); ok {
+			w.groupCols[i] = c.idx
+		} else {
+			w.colsOK = false
+		}
 	}
 	w.argKinds = make([]Kind, len(w.Aggs))
+	w.argFns = make([]EvalFunc, len(w.Aggs))
+	w.argCols = make([]int, len(w.Aggs))
+	w.aggFloatable = make([]bool, len(w.Aggs))
 	for i, a := range w.Aggs {
 		argKind := KindNull
+		w.argCols[i] = -1
+		w.aggFloatable[i] = !a.Distinct && a.Func != AggMin && a.Func != AggMax
 		if a.Arg != nil {
 			k, err := a.Arg.Bind(in)
 			if err != nil {
 				return fmt.Errorf("stream: window agg %s: %w", a, err)
 			}
 			argKind = k
+			w.argFns[i] = CompileExpr(a.Arg)
+			if c, ok := a.Arg.(*Col); ok {
+				w.argCols[i] = c.idx
+			} else {
+				w.colsOK = false
+			}
 		} else if a.Func != AggCount {
 			return fmt.Errorf("stream: window agg %s: only count may omit its argument", a)
 		}
@@ -134,8 +299,9 @@ func (w *WindowAgg) Open(in *Schema) error {
 		if k != KindBool && k != KindNull {
 			return fmt.Errorf("stream: window having: kind %s, want bool", k)
 		}
+		w.havingFn = CompileExpr(w.Having)
 	}
-	w.panes = make(map[int64]map[GroupKey]*paneCell)
+	w.panes = make(map[int64]*cellStore)
 	return nil
 }
 
@@ -144,6 +310,15 @@ func (w *WindowAgg) Schema() *Schema { return w.out }
 
 // Process implements Operator.
 func (w *WindowAgg) Process(t Tuple) ([]Tuple, error) {
+	if w.whereFn != nil {
+		v, err := w.whereFn(t)
+		if err != nil {
+			return nil, fmt.Errorf("stream: filter: %w", err)
+		}
+		if !v.Truthy() {
+			return nil, nil
+		}
+	}
 	if !w.started {
 		w.pending = append(w.pending, t)
 		return nil, nil
@@ -169,39 +344,125 @@ func (w *WindowAgg) absorb(t Tuple) error {
 	j := w.paneIndex(t.Ts)
 	cells := w.panes[j]
 	if cells == nil {
-		cells = make(map[GroupKey]*paneCell)
+		cells = w.takeStore()
 		w.panes[j] = cells
 		w.livePanes.Add(1)
 	}
-	groupVals := make([]Value, len(w.GroupBy))
+	w.gscratch = w.gscratch[:0]
 	for i, g := range w.GroupBy {
-		v, err := g.Expr.Eval(t)
+		v, err := w.groupFns[i](t)
 		if err != nil {
 			return fmt.Errorf("stream: window group %q: %w", g.Name, err)
 		}
-		groupVals[i] = v
+		w.gscratch = append(w.gscratch, v)
 	}
-	key := MakeGroupKey(groupVals...)
-	cell := cells[key]
+	cell := cells.get(w.gscratch)
 	if cell == nil {
-		cell = &paneCell{groupVals: groupVals, accums: make([]*accum, len(w.Aggs))}
-		for i, a := range w.Aggs {
-			cell.accums[i] = newAccum(a)
-		}
-		cells[key] = cell
+		cell = w.newCell(w.gscratch)
+		cells.put(cell)
 	}
 	for i, a := range w.Aggs {
 		if a.Arg == nil {
 			cell.accums[i].add(Null(), true)
 			continue
 		}
-		v, err := a.Arg.Eval(t)
+		v, err := w.argFns[i](t)
 		if err != nil {
 			return fmt.Errorf("stream: window agg %s: %w", a, err)
 		}
 		cell.accums[i].add(v, false)
 	}
 	return nil
+}
+
+// absorbBatch folds every row of a batch into the pane accumulators
+// straight off the columns — the columnar analogue of absorb, valid only
+// when colsOK (bare-column groups/args), the operator is started, no
+// WHERE is fused, and the mode is not Naive. Per row it performs the same
+// late-drop test, pane lookup, group lookup, and accumulator updates as
+// absorb, so the two paths are observationally identical.
+func (w *WindowAgg) absorbBatch(b *Batch) error {
+	n := b.Len()
+	var lateEdge time.Time
+	checkLate := !w.nextEmit.IsZero()
+	if checkLate {
+		lateEdge = w.nextEmit.Add(-w.Range)
+	}
+	global := len(w.GroupBy) == 0
+	// Resolve each aggregate's argument column once per batch; fast marks
+	// the unboxed float kernel (float column, no NULLs, eligible spec).
+	if cap(w.batchArgs) < len(w.Aggs) {
+		w.batchArgs = make([]batchArg, len(w.Aggs))
+	}
+	args := w.batchArgs[:len(w.Aggs)]
+	for k := range w.Aggs {
+		if ci := w.argCols[k]; ci >= 0 {
+			c := b.Col(ci)
+			args[k] = batchArg{col: c, fast: w.aggFloatable[k] && c.Kind == KindFloat && c.noNulls()}
+		} else {
+			args[k] = batchArg{}
+		}
+	}
+	lastJ := int64(math.MinInt64)
+	var cells *cellStore
+	var cell *paneCell // cached across rows for global aggregation only
+	for i := 0; i < n; i++ {
+		ts := b.RowTs(i)
+		if checkLate && !ts.After(lateEdge) {
+			w.Dropped++
+			w.lateDrops.Add(1)
+			continue
+		}
+		if j := w.paneIndex(ts); j != lastJ {
+			lastJ = j
+			cells = w.panes[j]
+			if cells == nil {
+				cells = w.takeStore()
+				w.panes[j] = cells
+				w.livePanes.Add(1)
+			}
+			cell = nil
+		}
+		if global {
+			if cell == nil {
+				cell = cells.single
+				if cell == nil {
+					cell = w.newCell(nil)
+					cells.put(cell)
+				}
+			}
+		} else {
+			w.gscratch = w.gscratch[:0]
+			for _, ci := range w.groupCols {
+				w.gscratch = append(w.gscratch, b.Col(ci).Value(i))
+			}
+			c := cells.get(w.gscratch)
+			if c == nil {
+				c = w.newCell(w.gscratch)
+				cells.put(c)
+			}
+			cell = c
+		}
+		for k := range args {
+			a := &args[k]
+			if a.col == nil {
+				cell.accums[k].add(Null(), true)
+				continue
+			}
+			if a.fast {
+				cell.accums[k].addFloat(a.col.Floats[i])
+				continue
+			}
+			cell.accums[k].add(a.col.Value(i), false)
+		}
+	}
+	return nil
+}
+
+// batchArg is absorbBatch's resolved view of one aggregate argument.
+type batchArg struct {
+	col  *Column // nil for count(*)
+	fast bool    // unboxed float kernel applies
 }
 
 // paneIndex returns the index of the pane containing ts: pane j covers
@@ -246,7 +507,11 @@ func (w *WindowAgg) Advance(now time.Time) ([]Tuple, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, emitted...)
+		if out == nil {
+			out = emitted
+		} else {
+			out = append(out, emitted...)
+		}
 		w.nextEmit = w.nextEmit.Add(w.Slide)
 	}
 	return out, nil
@@ -278,10 +543,11 @@ func (w *WindowAgg) Close() ([]Tuple, error) {
 	// of the window's left edge, and buffered tuples at or before it.
 	lo := w.nextEmit.Add(-w.Range)
 	jLo := int64(lo.Sub(w.origin)) / int64(w.pane)
-	for j := range w.panes {
+	for j, st := range w.panes {
 		if j <= jLo {
 			delete(w.panes, j)
 			w.livePanes.Add(-1)
+			w.recycleStore(st)
 		}
 	}
 	live := w.buffer[:0]
@@ -305,30 +571,34 @@ func (w *WindowAgg) emit(b time.Time) ([]Tuple, error) {
 	jHi := int64(b.Sub(w.origin)) / int64(w.pane)
 	jLo := int64(b.Add(-w.Range).Sub(w.origin)) / int64(w.pane) // exclusive
 
-	merged := make(map[GroupKey]*paneCell)
+	merged := w.takeStore()
 	for j := jLo + 1; j <= jHi; j++ {
-		for key, cell := range w.panes[j] {
-			m := merged[key]
+		st := w.panes[j]
+		if st == nil {
+			continue
+		}
+		for _, cell := range st.cells {
+			m := merged.get(cell.groupVals)
 			if m == nil {
-				m = &paneCell{groupVals: cell.groupVals, accums: make([]*accum, len(w.Aggs))}
-				for i, a := range w.Aggs {
-					m.accums[i] = newAccum(a)
-				}
-				merged[key] = m
+				m = w.newCell(cell.groupVals)
+				merged.put(m)
 			}
 			for i := range w.Aggs {
-				m.accums[i].merge(cell.accums[i])
+				m.accums[i].merge(&cell.accums[i])
 			}
 		}
 	}
 	// Evict panes at or before jLo: every later window starts after them.
-	for j := range w.panes {
+	for j, st := range w.panes {
 		if j <= jLo {
 			delete(w.panes, j)
 			w.livePanes.Add(-1)
+			w.recycleStore(st)
 		}
 	}
-	return w.finish(b, merged)
+	out, err := w.finish(b, merged)
+	w.recycleStore(merged)
+	return out, err
 }
 
 func (w *WindowAgg) emitNaive(b time.Time) ([]Tuple, error) {
@@ -341,60 +611,55 @@ func (w *WindowAgg) emitNaive(b time.Time) ([]Tuple, error) {
 	}
 	w.buffer = live
 
-	merged := make(map[GroupKey]*paneCell)
+	merged := w.takeStore()
 	for _, t := range w.buffer {
 		if t.Ts.After(b) {
 			continue
 		}
-		groupVals := make([]Value, len(w.GroupBy))
-		for i, g := range w.GroupBy {
-			v, err := g.Expr.Eval(t)
+		w.gscratch = w.gscratch[:0]
+		for i := range w.GroupBy {
+			v, err := w.groupFns[i](t)
 			if err != nil {
 				return nil, err
 			}
-			groupVals[i] = v
+			w.gscratch = append(w.gscratch, v)
 		}
-		key := MakeGroupKey(groupVals...)
-		cell := merged[key]
+		cell := merged.get(w.gscratch)
 		if cell == nil {
-			cell = &paneCell{groupVals: groupVals, accums: make([]*accum, len(w.Aggs))}
-			for i, a := range w.Aggs {
-				cell.accums[i] = newAccum(a)
-			}
-			merged[key] = cell
+			cell = w.newCell(w.gscratch)
+			merged.put(cell)
 		}
 		for i, a := range w.Aggs {
 			if a.Arg == nil {
 				cell.accums[i].add(Null(), true)
 				continue
 			}
-			v, err := a.Arg.Eval(t)
+			v, err := w.argFns[i](t)
 			if err != nil {
 				return nil, err
 			}
 			cell.accums[i].add(v, false)
 		}
 	}
-	return w.finish(b, merged)
+	out, err := w.finish(b, merged)
+	w.recycleStore(merged)
+	return out, err
 }
 
 // finish converts merged group cells into output tuples, sorted by group
 // values for determinism, and applies HAVING.
-func (w *WindowAgg) finish(b time.Time, merged map[GroupKey]*paneCell) ([]Tuple, error) {
-	if len(merged) == 0 {
+func (w *WindowAgg) finish(b time.Time, merged *cellStore) ([]Tuple, error) {
+	cells := merged.cells
+	if len(cells) == 0 {
 		if len(w.GroupBy) == 0 && w.EmitEmpty {
-			empty := &paneCell{accums: make([]*accum, len(w.Aggs))}
+			empty := &paneCell{accums: make([]accum, len(w.Aggs))}
 			for i, a := range w.Aggs {
-				empty.accums[i] = newAccum(a)
+				empty.accums[i] = mkAccum(a)
 			}
-			merged[MakeGroupKey()] = empty
+			cells = []*paneCell{empty}
 		} else {
 			return nil, nil
 		}
-	}
-	cells := make([]*paneCell, 0, len(merged))
-	for _, c := range merged {
-		cells = append(cells, c)
 	}
 	sort.Slice(cells, func(i, j int) bool { return lessValues(cells[i].groupVals, cells[j].groupVals) })
 
@@ -406,8 +671,8 @@ func (w *WindowAgg) finish(b time.Time, merged map[GroupKey]*paneCell) ([]Tuple,
 			vals = append(vals, cell.accums[i].result(a, w.argKinds[i]))
 		}
 		t := Tuple{Ts: b, Values: vals}
-		if w.Having != nil {
-			v, err := w.Having.Eval(t)
+		if w.havingFn != nil {
+			v, err := w.havingFn(t)
 			if err != nil {
 				return nil, fmt.Errorf("stream: window having: %w", err)
 			}
