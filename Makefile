@@ -4,12 +4,13 @@ GO ?= go
 # `make check` runs, longer via `make fuzz FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race diff chaos fuzz-smoke fuzz bench bench-json
+.PHONY: check vet build test race diff chaos serve-smoke fuzz-smoke fuzz bench bench-json
 
 ## check: everything CI needs — vet, build, full tests, race-detector pass
 ## over the concurrent executor, the differential oracle suite, the chaos
-## (fault-injection) harness, and a short fuzz round per target.
-check: vet build test race diff chaos fuzz-smoke
+## (fault-injection) harness, the serving-layer smoke (loadgen vs the
+## in-process oracle), and a short fuzz round per target.
+check: vet build test race diff chaos serve-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +35,13 @@ diff:
 chaos:
 	$(GO) test ./internal/exp -run 'TestChaos' -count=1
 
+## serve-smoke: replay simulated motes through a self-hosted espd over
+## TCP and require byte-identical output to the in-process oracle run,
+## ending with a graceful drain (see cmd/esploadgen).
+serve-smoke:
+	$(GO) run ./cmd/esploadgen -motes 200 -epochs 10 -out /dev/null
+	$(GO) test ./internal/server -race -count=1
+
 ## fuzz-smoke: one short coverage-guided round per fuzz target, seeded
 ## from the committed corpora under testdata/fuzz.
 fuzz-smoke:
@@ -41,6 +49,7 @@ fuzz-smoke:
 	$(GO) test ./internal/cql -run '^$$' -fuzz FuzzParser -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stream -run '^$$' -fuzz FuzzCompileExpr -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/oracle -run '^$$' -fuzz FuzzWindowAlgebra -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzFrame -fuzztime $(FUZZTIME)
 
 ## fuzz: longer fuzz rounds (override FUZZTIME, e.g. make fuzz FUZZTIME=10m).
 fuzz:

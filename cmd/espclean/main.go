@@ -217,30 +217,7 @@ func cleanTrace(out io.Writer, dep *core.Deployment, typ receptor.Type, records 
 
 // parseSchema parses "name:kind,name:kind".
 func parseSchema(spec string) (*stream.Schema, error) {
-	var fields []stream.Field
-	for _, part := range strings.Split(spec, ",") {
-		nk := strings.SplitN(strings.TrimSpace(part), ":", 2)
-		if len(nk) != 2 {
-			return nil, fmt.Errorf("bad schema entry %q (want name:kind)", part)
-		}
-		var kind stream.Kind
-		switch strings.ToLower(nk[1]) {
-		case "string":
-			kind = stream.KindString
-		case "int":
-			kind = stream.KindInt
-		case "float":
-			kind = stream.KindFloat
-		case "bool":
-			kind = stream.KindBool
-		case "time":
-			kind = stream.KindTime
-		default:
-			return nil, fmt.Errorf("unknown kind %q in schema entry %q", nk[1], part)
-		}
-		fields = append(fields, stream.Field{Name: nk[0], Kind: kind})
-	}
-	return stream.NewSchema(fields...)
+	return stream.ParseSchemaSpec(spec)
 }
 
 // parseGroups parses "group=member,member;group=member".

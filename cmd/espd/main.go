@@ -1,0 +1,95 @@
+// Command espd is the ESP serving daemon: it hosts many independent
+// cleaning pipelines (one per tenant) behind a length-prefixed binary
+// wire protocol (with a JSON debug fallback) on TCP.
+//
+// Clients create or alter pipelines by submitting a spec — the same
+// deployment JSON espclean accepts (CQL stage queries plus granule
+// groups) wrapped with receptor declarations and quotas — then publish
+// readings, advance the epoch clock, and subscribe to cleaned output
+// streams. See internal/server for the spec and protocol.
+//
+//	espd -addr :5599 -metrics :9131
+//	espd -spec acme=deploy.json               # preload a tenant at boot
+//
+// On SIGINT/SIGTERM espd drains gracefully: in-flight epochs are
+// committed and flushed, subscribers receive a Drain frame carrying the
+// final committed epoch, and the telemetry endpoint stays up until
+// everything else is down.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"esp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":5599", "wire protocol listen address")
+	metrics := flag.String("metrics", "", "telemetry exposition address (empty = disabled)")
+	maxTenants := flag.Int("max-tenants", server.DefaultMaxTenants, "maximum hosted pipelines")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+	var preloads []string
+	flag.Func("spec", "preload a tenant at boot as name=specfile (repeatable)", func(v string) error {
+		preloads = append(preloads, v)
+		return nil
+	})
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	s, err := server.Listen(server.Config{
+		Addr:        *addr,
+		MetricsAddr: *metrics,
+		MaxTenants:  *maxTenants,
+		Logger:      log,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "espd:", err)
+		os.Exit(1)
+	}
+	for _, pl := range preloads {
+		name, file, ok := strings.Cut(pl, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "espd: -spec %q: want name=specfile\n", pl)
+			os.Exit(2)
+		}
+		spec, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "espd:", err)
+			os.Exit(1)
+		}
+		if _, err := s.Engine().Create(name, spec); err != nil {
+			fmt.Fprintf(os.Stderr, "espd: preload %q: %v\n", name, err)
+			os.Exit(1)
+		}
+		log.Info("tenant preloaded", "tenant", name, "spec", file)
+	}
+	log.Info("espd listening", "addr", s.Addr(), "metrics", s.MetricsURL())
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		log.Info("draining", "signal", got.String(), "timeout", drainTimeout.String())
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "espd: drain:", err)
+			os.Exit(1)
+		}
+		log.Info("drained")
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "espd:", err)
+		os.Exit(1)
+	}
+}

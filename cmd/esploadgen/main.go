@@ -1,0 +1,418 @@
+// Command esploadgen replays a simulated sensor-network deployment —
+// by default 1000 motes with lossy radios — against a live espd and
+// measures serving throughput. The identical workload is also driven
+// through an in-process Engine (no sockets), and the two output streams
+// must be byte-identical: the serving layer adds framing, not
+// semantics.
+//
+//	esploadgen                       # self-hosted espd on a loopback port
+//	esploadgen -addr host:5599       # replay against an external espd
+//	esploadgen -out BENCH_serve.json
+//
+// The self-hosted run finishes with a graceful Shutdown, so the
+// subscriber's Drain frame (final committed epoch) is part of what is
+// verified.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"esp/internal/receptor"
+	"esp/internal/server"
+	"esp/internal/sim"
+	"esp/internal/stream"
+)
+
+type options struct {
+	addr       string
+	motes      int
+	groupSize  int
+	epochs     int
+	epoch      time.Duration
+	publishers int
+	delivery   float64
+	faultEvery int
+	seed       int64
+	tenant     string
+	out        string
+	skipOracle bool
+}
+
+// step is one epoch of pre-generated workload: the per-receptor
+// readings to publish, then the boundary to advance to.
+type step struct {
+	pubs map[string][]stream.Tuple
+	now  time.Time
+}
+
+type report struct {
+	Experiment      string  `json:"experiment"`
+	Motes           int     `json:"motes"`
+	Groups          int     `json:"groups"`
+	Epochs          int     `json:"epochs"`
+	Epoch           string  `json:"epoch"`
+	Publishers      int     `json:"publishers"`
+	TuplesPublished int     `json:"tuples_published"`
+	TuplesDropped   int64   `json:"tuples_dropped"`
+	WallNs          int64   `json:"wall_ns"`
+	TuplesPerSec    float64 `json:"tuples_per_sec"`
+	NsPerEpoch      int64   `json:"ns_per_epoch"`
+	DataFrames      int     `json:"data_frames"`
+	OutputTuples    int     `json:"output_tuples"`
+	FinalEpoch      int64   `json:"final_epoch"`
+	Fingerprint     string  `json:"fingerprint"`
+	OracleMatch     *bool   `json:"oracle_match,omitempty"`
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "", "espd address (empty = self-host on a loopback port)")
+	flag.IntVar(&o.motes, "motes", 1000, "simulated motes (concurrent receptors)")
+	flag.IntVar(&o.groupSize, "group-size", 8, "motes per spatial granule")
+	flag.IntVar(&o.epochs, "epochs", 30, "epochs to replay")
+	flag.DurationVar(&o.epoch, "epoch", time.Second, "epoch length (simulated time)")
+	flag.IntVar(&o.publishers, "publishers", 8, "concurrent publisher connections")
+	flag.Float64Var(&o.delivery, "delivery", 0.9, "per-epoch radio delivery probability")
+	flag.IntVar(&o.faultEvery, "fault-every", 10, "give every Nth mote a fault schedule (0 = none)")
+	flag.Int64Var(&o.seed, "seed", 1, "workload RNG seed")
+	flag.StringVar(&o.tenant, "tenant", "loadgen", "tenant name to create")
+	flag.StringVar(&o.out, "out", "", "write the JSON report here (empty = stdout)")
+	flag.BoolVar(&o.skipOracle, "skip-oracle", false, "skip the in-process differential check")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "esploadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	spec := buildSpec(o)
+	steps, published := buildWorkload(o)
+
+	// Oracle first: the same spec and workload through an in-process
+	// Engine, no sockets. Its fingerprint is what the served run must hit.
+	var oracle *server.Fingerprint
+	if !o.skipOracle {
+		var err error
+		if oracle, err = runOracle(o, spec, steps); err != nil {
+			return fmt.Errorf("oracle run: %w", err)
+		}
+	}
+
+	rep, fp, err := runServed(o, spec, steps)
+	if err != nil {
+		return err
+	}
+	rep.Experiment = "serve"
+	rep.Motes = o.motes
+	rep.Groups = (o.motes + o.groupSize - 1) / o.groupSize
+	rep.Epochs = o.epochs
+	rep.Epoch = o.epoch.String()
+	rep.Publishers = o.publishers
+	rep.TuplesPublished = published
+	rep.TuplesPerSec = float64(published) / (float64(rep.WallNs) / float64(time.Second))
+	rep.NsPerEpoch = rep.WallNs / int64(o.epochs)
+	rep.DataFrames = fp.Frames()
+	rep.OutputTuples = fp.Tuples()
+	rep.Fingerprint = fmt.Sprintf("%016x", fp.Sum())
+	if oracle != nil {
+		match := fp.Sum() == oracle.Sum() && fp.Frames() == oracle.Frames()
+		rep.OracleMatch = &match
+		if !match {
+			return fmt.Errorf("served output %v diverged from in-process oracle %v", fp, oracle)
+		}
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if o.out == "" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(o.out, out, 0o644)
+}
+
+// buildSpec assembles the tenant spec: motes partitioned into spatial
+// granules of group-size, a smooth/merge averaging pipeline, and a
+// channel cap sized for one epoch of readings.
+func buildSpec(o options) []byte {
+	groups := map[string]any{}
+	var members []string
+	gi := 0
+	flush := func() {
+		if len(members) > 0 {
+			groups[fmt.Sprintf("cell-%03d", gi)] = map[string]any{"type": "mote", "members": members}
+			members = nil
+			gi++
+		}
+	}
+	recs := make([]map[string]any, 0, o.motes)
+	for i := 0; i < o.motes; i++ {
+		id := moteID(i)
+		recs = append(recs, map[string]any{"id": id, "type": "mote", "schema": "mote_id:string,temp:float"})
+		members = append(members, id)
+		if len(members) == o.groupSize {
+			flush()
+		}
+	}
+	flush()
+
+	smoothWin := 5 * o.epoch
+	spec := map[string]any{
+		"deployment": map[string]any{
+			"epoch":  o.epoch.String(),
+			"groups": groups,
+			"pipelines": map[string]any{
+				"mote": map[string]any{
+					"smooth": fmt.Sprintf("SELECT avg(temp) AS temp FROM smooth_input [Range By '%s']", smoothWin),
+					"merge":  fmt.Sprintf("SELECT avg(temp) AS temp FROM merge_input [Range By '%s']", o.epoch),
+				},
+			},
+		},
+		"receptors": recs,
+		"quota":     map[string]any{"channel_cap": 4 * o.motes},
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func moteID(i int) string { return fmt.Sprintf("mote-%04d", i) }
+
+// buildWorkload pre-generates every epoch's readings so the oracle and
+// the served run replay byte-identical input. Each mote samples a
+// diurnal temperature field with per-mote bias and Gaussian noise
+// through a lossy radio (sim.Mote), once per epoch at mid-epoch; every
+// fault-every'th mote is additionally wrapped in a seeded
+// receptor.Faulty data-fault schedule (drops, link-layer duplicates,
+// and a fail-dirty stuck sensor) so the replayed population misbehaves
+// the way the paper's deployments did.
+func buildWorkload(o options) (steps []step, published int) {
+	base := time.Unix(0, 0).UTC()
+	motes := make([]receptor.Receptor, o.motes)
+	for i := range motes {
+		bias := float64(i%17)*0.1 - 0.8
+		m := sim.NewMote(o.seed, moteID(i), o.delivery, sim.SensorModel{
+			Name: "temp",
+			Truth: func(now time.Time) float64 {
+				day := float64(now.UnixNano()) / float64(24*time.Hour)
+				return 18 + 8*math.Sin(2*math.Pi*day)
+			},
+			Bias:     bias,
+			NoiseStd: 0.3,
+		})
+		if o.faultEvery > 0 && i%o.faultEvery == o.faultEvery-1 {
+			quarter := time.Duration(o.epochs) * o.epoch / 4
+			motes[i] = receptor.NewFaulty(m, o.seed+int64(i),
+				receptor.Fault{Kind: receptor.FaultDrop, P: 0.5,
+					From: base.Add(quarter), Until: base.Add(2 * quarter)},
+				receptor.Fault{Kind: receptor.FaultDuplicate, P: 0.3,
+					From: base.Add(2 * quarter), Until: base.Add(3 * quarter)},
+				receptor.Fault{Kind: receptor.FaultStuck, Field: "temp", Value: stream.Float(120),
+					From: base.Add(3 * quarter)},
+			)
+		} else {
+			motes[i] = m
+		}
+	}
+	for e := 1; e <= o.epochs; e++ {
+		st := step{pubs: make(map[string][]stream.Tuple), now: base.Add(time.Duration(e) * o.epoch)}
+		sample := st.now.Add(-o.epoch / 2)
+		for i, m := range motes {
+			ts := m.Poll(sample)
+			if len(ts) > 0 {
+				st.pubs[moteID(i)] = ts
+				published += len(ts)
+			}
+		}
+		steps = append(steps, st)
+	}
+	return steps, published
+}
+
+// runOracle drives the workload through an in-process Engine and
+// digests the merged output stream.
+func runOracle(o options, spec []byte, steps []step) (*server.Fingerprint, error) {
+	eng := server.NewEngine(0)
+	ten, err := eng.Create(o.tenant, spec)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := ten.Subscribe("mote")
+	if err != nil {
+		return nil, err
+	}
+	fp := server.NewFingerprint()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for d := range sub.C() {
+			fp.Add(d)
+		}
+	}()
+	for _, st := range steps {
+		for rec, ts := range st.pubs {
+			if _, err := ten.Publish(rec, ts); err != nil {
+				return nil, err
+			}
+		}
+		if err := ten.Advance(st.now); err != nil {
+			return nil, err
+		}
+	}
+	if err := eng.DrainAll(); err != nil {
+		return nil, err
+	}
+	wg.Wait()
+	return fp, nil
+}
+
+// runServed replays the workload over TCP: publisher connections fan
+// the motes out, a control connection drives the epoch clock, and a
+// subscriber digests the output stream.
+func runServed(o options, spec []byte, steps []step) (report, *server.Fingerprint, error) {
+	var rep report
+
+	addr := o.addr
+	var hosted *server.Server
+	if addr == "" {
+		s, err := server.Listen(server.Config{Addr: "127.0.0.1:0"})
+		if err != nil {
+			return rep, nil, err
+		}
+		go s.Serve() //nolint:errcheck
+		hosted = s
+		addr = s.Addr()
+	}
+
+	ctl, err := server.Dial(addr)
+	if err != nil {
+		return rep, nil, err
+	}
+	defer ctl.Close()
+	if err := ctl.Create(o.tenant, spec); err != nil {
+		return rep, nil, err
+	}
+
+	subc, err := server.Dial(addr)
+	if err != nil {
+		return rep, nil, err
+	}
+	defer subc.Close()
+	if err := subc.Subscribe(o.tenant, "mote"); err != nil {
+		return rep, nil, err
+	}
+	final := steps[len(steps)-1].now.UnixNano()
+	fp := server.NewFingerprint()
+	subErr := make(chan error, 1)
+	go func() {
+		subErr <- collect(subc, fp, final, hosted != nil, &rep)
+	}()
+
+	// Publisher fan-out: each connection owns a stable slice of the
+	// mote population.
+	pubs := make([]*server.Client, o.publishers)
+	for i := range pubs {
+		c, err := server.Dial(addr)
+		if err != nil {
+			return rep, nil, err
+		}
+		defer c.Close()
+		if err := c.Hello(o.tenant, "pub"); err != nil {
+			return rep, nil, err
+		}
+		pubs[i] = c
+	}
+
+	start := time.Now()
+	for _, st := range steps {
+		recs := make([]string, 0, len(st.pubs))
+		for rec := range st.pubs {
+			recs = append(recs, rec)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(pubs))
+		for w := range pubs {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for ri, rec := range recs {
+					if ri%len(pubs) != w {
+						continue
+					}
+					if _, err := pubs[w].Publish(rec, st.pubs[rec]); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return rep, nil, err
+			}
+		}
+		if err := ctl.Advance(st.now); err != nil {
+			return rep, nil, err
+		}
+	}
+	rep.WallNs = time.Since(start).Nanoseconds()
+
+	st, err := ctl.Stats()
+	if err != nil {
+		return rep, nil, err
+	}
+	rep.TuplesDropped = st.Dropped
+
+	if hosted != nil {
+		// Graceful drain: flushes the subscriber's Drain frame (final
+		// committed epoch) before its socket closes.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hosted.Shutdown(ctx); err != nil {
+			return rep, nil, err
+		}
+	} else {
+		// An external daemon keeps running; bound the tail read instead.
+		_ = subc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	}
+	if err := <-subErr; err != nil {
+		return rep, nil, err
+	}
+	return rep, fp, nil
+}
+
+// collect digests Data frames until the stream drains (self-hosted) or
+// the final workload epoch has been seen (external daemon).
+func collect(subc *server.Client, fp *server.Fingerprint, final int64, wantDrain bool, rep *report) error {
+	for {
+		d, f, done, err := subc.Next()
+		if err != nil {
+			return fmt.Errorf("subscriber: %w", err)
+		}
+		if done {
+			rep.FinalEpoch = f
+			return nil
+		}
+		fp.Add(d)
+		if !wantDrain && d.Epoch >= final {
+			rep.FinalEpoch = d.Epoch
+			return nil
+		}
+	}
+}

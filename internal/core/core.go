@@ -217,6 +217,10 @@ func (o *graphOp) ProcessBatch(b *stream.Batch) (*stream.Batch, []stream.Tuple, 
 	return o.g.PushBatch(o.input, b)
 }
 
+// LastBatchDegraded implements stream.BatchDegradeReporter, surfacing the
+// planned graph's internal degradations to the node fallback accounting.
+func (o *graphOp) LastBatchDegraded() bool { return o.g.LastBatchDegraded() }
+
 // Advance implements Operator.
 func (o *graphOp) Advance(now time.Time) ([]stream.Tuple, error) {
 	return o.g.Advance(now)

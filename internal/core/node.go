@@ -438,6 +438,9 @@ func (n *mergeNode) processBatch(_ string, b *stream.Batch, fx *effects) error {
 	if err != nil {
 		return fmt.Errorf("core: %s Merge %q: %w", n.typ, n.group, err)
 	}
+	if shimDegraded(n.op, ot) {
+		fx.fallbacks++
+	}
 	if ob != nil {
 		n.emitB(ob, fx)
 		return nil
@@ -533,6 +536,9 @@ func (n *arbNode) processBatch(_ string, b *stream.Batch, fx *effects) error {
 	if err != nil {
 		return fmt.Errorf("core: %s Arbitrate: %w", n.typ, err)
 	}
+	if shimDegraded(n.op, ot) {
+		fx.fallbacks++
+	}
 	fx.emitBatch(ob)
 	fx.emit(ot)
 	return nil
@@ -609,6 +615,9 @@ func (n *virtNode) processBatch(port string, b *stream.Batch, fx *effects) error
 	if err != nil {
 		return fmt.Errorf("core: Virtualize: %w", err)
 	}
+	if ot != nil || n.g.LastBatchDegraded() {
+		fx.fallbacks++
+	}
 	if ob != nil && ob.Len() > 0 {
 		fx.tapBatch("", StageVirtualize, ob)
 		fx.sinkBatch("", StageVirtualize, ob)
@@ -635,6 +644,27 @@ func (n *virtNode) emit(ts []stream.Tuple, fx *effects) {
 	fx.tap("", StageVirtualize, ts)
 	fx.sink("", StageVirtualize, ts)
 	fx.emit(ts)
+}
+
+// shimDegraded reports whether one columnar delivery to op left the
+// batch path: op has no batch implementation at all (the row-at-a-time
+// ProcessBatchOp shim ran), the delivery's output came back in tuple
+// form, or a composite op latched an internal degradation (degrade-then-
+// absorb, invisible in the return values). Callers increment the
+// fallback counter AT MOST ONCE per delivery off this single predicate —
+// the operators themselves never touch the counter, so a chain that
+// degrades once cannot be counted again by the node that owns it, and a
+// delivery that degrades at one node is never re-counted downstream
+// (downstream sees a tuple delivery, which takes the tuple path).
+func shimDegraded(op stream.Operator, ot []stream.Tuple) bool {
+	if _, ok := op.(stream.BatchOperator); !ok {
+		return true
+	}
+	if ot != nil {
+		return true
+	}
+	r, ok := op.(stream.BatchDegradeReporter)
+	return ok && r.LastBatchDegraded()
 }
 
 func processAll(op stream.Operator, ts []stream.Tuple) ([]stream.Tuple, error) {

@@ -19,12 +19,19 @@ const DefaultChannelCap = 1 << 16
 // hierarchical composition — the paper's ESP instances run "at the edge
 // of the HiFi network", and a higher-level node consumes their cleaned
 // outputs as if they were devices. Wire an edge processor's OnType sink
-// to Publish and hand the Channel to the parent deployment.
+// to Publish and hand the Channel to the parent deployment. It is also
+// the ingestion buffer of the espd serving layer: one Channel per
+// connected receptor, with SetCap as the per-tenant quota knob.
 //
 // The internal buffer is bounded (SetCap; DefaultChannelCap initially):
 // when a parent polls slower than children publish, the oldest unpolled
 // tuples are dropped first — matching real receptor behaviour, where a
 // reader's FIFO overwrites stale readings — and counted in Dropped.
+// Every evicted tuple is counted exactly once, whether it was evicted by
+// a Publish at the bound or by a SetCap shrink below the current
+// backlog, and eviction is O(1) amortized: the buffer advances a head
+// index instead of shifting, so a saturated channel does not pay a
+// per-publish copy of the whole backlog.
 //
 // Publish is safe for concurrent use; Poll drains every published tuple
 // whose timestamp has arrived.
@@ -33,8 +40,12 @@ type Channel struct {
 	typ    Type
 	schema *stream.Schema
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// The live backlog is buf[head:]; evicted and polled slots are
+	// cleared so the backing array never pins tuple memory the channel
+	// no longer owns.
 	buf     []stream.Tuple
+	head    int
 	cap     int
 	dropped atomic.Int64
 }
@@ -56,7 +67,7 @@ func (c *Channel) Schema() *stream.Schema { return c.schema }
 
 // SetCap bounds the unpolled buffer to n tuples (n <= 0 restores the
 // default). Shrinking below the current backlog drops the oldest tuples
-// immediately.
+// immediately, counting each exactly once in Dropped.
 func (c *Channel) SetCap(n int) {
 	if n <= 0 {
 		n = DefaultChannelCap
@@ -87,12 +98,37 @@ func (c *Channel) Publish(t stream.Tuple) {
 	c.evictLocked()
 }
 
-// evictLocked enforces the bound, dropping from the front (oldest
-// publish order).
+// PublishAll enqueues a batch under one lock acquisition — the serving
+// layer's frame-ingest path, where a publish frame carries an epoch's
+// readings at once.
+func (c *Channel) PublishAll(ts []stream.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf = append(c.buf, ts...)
+	c.evictLocked()
+}
+
+// evictLocked enforces the bound by advancing the head index past the
+// oldest tuples (publish order). Evicted slots are cleared immediately —
+// Dropped is the single accounting point, so an eviction is never
+// observable twice (not in Pending, not in a later Poll, not re-counted
+// by a subsequent shrink).
 func (c *Channel) evictLocked() {
-	if over := len(c.buf) - c.cap; over > 0 {
+	if over := len(c.buf) - c.head - c.cap; over > 0 {
 		c.dropped.Add(int64(over))
-		c.buf = append(c.buf[:0], c.buf[over:]...)
+		clear(c.buf[c.head : c.head+over])
+		c.head += over
+	}
+	// Compact once the dead prefix dominates, so the backing array stays
+	// proportional to the backlog rather than growing with total traffic.
+	if c.head > len(c.buf)/2 && c.head >= 64 {
+		n := copy(c.buf, c.buf[c.head:])
+		clear(c.buf[n:])
+		c.buf = c.buf[:n]
+		c.head = 0
 	}
 }
 
@@ -102,14 +138,16 @@ func (c *Channel) Poll(now time.Time) []stream.Tuple {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var out, keep []stream.Tuple
-	for _, t := range c.buf {
+	for _, t := range c.buf[c.head:] {
 		if t.Ts.After(now) {
 			keep = append(keep, t)
 			continue
 		}
 		out = append(out, t)
 	}
+	clear(c.buf[c.head:])
 	c.buf = keep
+	c.head = 0
 	return out
 }
 
@@ -117,5 +155,5 @@ func (c *Channel) Poll(now time.Time) []stream.Tuple {
 func (c *Channel) Pending() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.buf)
+	return len(c.buf) - c.head
 }

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"esp/internal/stream"
+	"esp/internal/wire"
+)
+
+// Client is a wire-protocol client for espd: the loadgen's and the
+// tests' view of the daemon. One client wraps one connection; use
+// separate clients for publishing and subscribing (a subscribed
+// connection switches to server-push).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	seq  uint64
+	json bool // encode publishes with the JSON debug fallback
+}
+
+// Dial connects to an espd address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// SetJSON switches publish encoding to the JSON debug fallback (the
+// server accepts both; used to exercise the fallback path).
+func (c *Client) SetJSON(on bool) { c.json = on }
+
+// SetReadDeadline bounds blocking reads (zero time clears it) — used by
+// consumers of an external daemon that cannot force a drain.
+func (c *Client) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+// roundTrip sends one frame and reads the reply, surfacing protocol
+// errors as Go errors.
+func (c *Client) roundTrip(f wire.Frame) (wire.Frame, error) {
+	if err := wire.WriteFrame(c.bw, f); err != nil {
+		return wire.Frame{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return wire.Frame{}, err
+	}
+	r, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	if r.Type == wire.TypeError {
+		em, derr := wire.DecodeError(r)
+		if derr != nil {
+			return wire.Frame{}, fmt.Errorf("server error (undecodable: %v)", derr)
+		}
+		return wire.Frame{}, fmt.Errorf("server: %s", em.Msg)
+	}
+	return r, nil
+}
+
+// Hello binds the connection to a tenant.
+func (c *Client) Hello(tenant, role string) error {
+	_, err := c.roundTrip(wire.Hello{Tenant: tenant, Role: role}.Frame())
+	return err
+}
+
+// Create submits a pipeline spec and binds the connection to the new
+// tenant.
+func (c *Client) Create(tenant string, spec []byte) error {
+	_, err := c.roundTrip(wire.Create{Tenant: tenant, Spec: spec}.Frame())
+	return err
+}
+
+// Publish delivers readings for one receptor and returns the server's
+// backpressure ack.
+func (c *Client) Publish(receptorID string, ts []stream.Tuple) (wire.Ack, error) {
+	c.seq++
+	m := wire.Publish{Receptor: receptorID, Seq: c.seq, Tuples: ts}
+	f := m.Frame()
+	if c.json {
+		f = m.FrameJSON()
+	}
+	r, err := c.roundTrip(f)
+	if err != nil {
+		return wire.Ack{}, err
+	}
+	ack, err := wire.DecodeAck(r)
+	if err != nil {
+		return wire.Ack{}, err
+	}
+	if ack.Seq != c.seq {
+		return ack, fmt.Errorf("server acked seq %d, want %d", ack.Seq, c.seq)
+	}
+	return ack, nil
+}
+
+// Advance commits every epoch boundary up to now and returns once the
+// server has flushed them — the client-side epoch barrier.
+func (c *Client) Advance(now time.Time) error {
+	c.seq++
+	r, err := c.roundTrip(wire.Advance{Seq: c.seq, Now: now.UnixNano()}.Frame())
+	if err != nil {
+		return err
+	}
+	ack, err := wire.DecodeAck(r)
+	if err != nil {
+		return err
+	}
+	if ack.Seq != c.seq {
+		return fmt.Errorf("server acked seq %d, want %d", ack.Seq, c.seq)
+	}
+	return nil
+}
+
+// Stats fetches the tenant's stats snapshot.
+func (c *Client) Stats() (Stats, error) {
+	r, err := c.roundTrip(wire.Frame{Type: wire.TypeStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	if err := json.Unmarshal(r.Payload, &st); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+// Subscribe attaches the connection to a tenant output stream. After a
+// successful subscribe the connection is server-push: consume with
+// Next until it reports done.
+func (c *Client) Subscribe(tenant, streamName string) error {
+	_, err := c.roundTrip(wire.Subscribe{Tenant: tenant, Stream: streamName}.Frame())
+	return err
+}
+
+// Next reads the next Data frame on a subscribed connection. done
+// reports a graceful end of stream (Drain received; final is its
+// committed epoch).
+func (c *Client) Next() (d wire.Data, final int64, done bool, err error) {
+	for {
+		f, rerr := wire.ReadFrame(c.br)
+		if rerr != nil {
+			return wire.Data{}, 0, false, rerr
+		}
+		switch f.Type {
+		case wire.TypeData:
+			d, err := wire.DecodeData(f)
+			return d, 0, false, err
+		case wire.TypeDrain:
+			dr, derr := wire.DecodeDrain(f)
+			return wire.Data{}, dr.FinalEpoch, true, derr
+		case wire.TypeError:
+			em, derr := wire.DecodeError(f)
+			if derr != nil {
+				return wire.Data{}, 0, false, fmt.Errorf("server error (undecodable: %v)", derr)
+			}
+			return wire.Data{}, 0, false, fmt.Errorf("server: %s", em.Msg)
+		default:
+			// Ignore unexpected frame types on the push stream.
+		}
+	}
+}

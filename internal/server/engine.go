@@ -1,0 +1,130 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"esp/internal/telemetry"
+)
+
+// Engine is the tenant registry: create/alter/drain pipelines, route
+// publishes and subscriptions. It is the serving layer minus the
+// socket — the in-process oracle and the loadgen smoke mode drive an
+// Engine directly, so a server-hosted pipeline can be proven
+// byte-identical to an in-process run of the same spec and input.
+type Engine struct {
+	maxTenants int
+
+	mu      sync.Mutex
+	tenants map[string]*Tenant
+	drained bool
+}
+
+// DefaultMaxTenants bounds how many pipelines one engine hosts.
+const DefaultMaxTenants = 256
+
+// NewEngine builds an empty engine. maxTenants <= 0 means the default.
+func NewEngine(maxTenants int) *Engine {
+	if maxTenants <= 0 {
+		maxTenants = DefaultMaxTenants
+	}
+	return &Engine{maxTenants: maxTenants, tenants: make(map[string]*Tenant)}
+}
+
+// Create compiles a spec and starts a tenant pipeline under name. If
+// the name is taken, the existing tenant is drained first and replaced
+// — the "alter" path: resubmitting a spec swaps the pipeline without
+// losing the old one's committed epochs.
+func (e *Engine) Create(name string, spec []byte) (*Tenant, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: tenant name required")
+	}
+	ps, err := parseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if e.drained {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("server: engine is draining")
+	}
+	old := e.tenants[name]
+	if old == nil && len(e.tenants) >= e.maxTenants {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("server: tenant limit (%d) reached", e.maxTenants)
+	}
+	e.mu.Unlock()
+	if old != nil {
+		if err := old.Drain(); err != nil {
+			return nil, fmt.Errorf("server: draining replaced tenant %q: %w", name, err)
+		}
+	}
+	t, err := newTenant(name, ps)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.drained {
+		_ = t.Drain()
+		return nil, fmt.Errorf("server: engine is draining")
+	}
+	e.tenants[name] = t
+	return t, nil
+}
+
+// Tenant looks up a tenant by name.
+func (e *Engine) Tenant(name string) (*Tenant, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tenants[name]
+	return t, ok
+}
+
+// Tenants lists the live tenants in name order.
+func (e *Engine) Tenants() []*Tenant {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.tenants))
+	for n := range e.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Tenant, len(names))
+	for i, n := range names {
+		out[i] = e.tenants[n]
+	}
+	return out
+}
+
+// Registries exposes every tenant's telemetry registry under its name —
+// the hook the /metrics exposition mounts via ServerConfig.More.
+func (e *Engine) Registries() []telemetry.NamedRegistry {
+	ts := e.Tenants()
+	out := make([]telemetry.NamedRegistry, len(ts))
+	for i, t := range ts {
+		out[i] = telemetry.NamedRegistry{Name: "tenant_" + t.Name(), Registry: t.Registry()}
+	}
+	return out
+}
+
+// DrainAll gracefully drains every tenant (committing in-flight
+// readings and closing subscribers) and refuses new creations. The
+// first error is returned but every tenant is drained regardless.
+func (e *Engine) DrainAll() error {
+	e.mu.Lock()
+	e.drained = true
+	ts := make([]*Tenant, 0, len(e.tenants))
+	for _, t := range e.tenants {
+		ts = append(ts, t)
+	}
+	e.mu.Unlock()
+	var first error
+	for _, t := range ts {
+		if err := t.Drain(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

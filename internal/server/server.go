@@ -1,0 +1,416 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"esp/internal/telemetry"
+	"esp/internal/wire"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the TCP listen address (":0" picks a free port).
+	Addr string
+	// MetricsAddr, if non-empty, serves the telemetry exposition
+	// endpoint (/metrics with per-tenant registries, /metrics.json,
+	// pprof) on this address.
+	MetricsAddr string
+	// MaxTenants bounds hosted pipelines (default DefaultMaxTenants).
+	MaxTenants int
+	// Logger receives connection lifecycle events (nil = silent).
+	Logger *slog.Logger
+}
+
+// Server fronts an Engine with the wire protocol over TCP.
+type Server struct {
+	eng    *Engine
+	ln     net.Listener
+	log    *slog.Logger
+	reg    *telemetry.Registry
+	tsrv   *telemetry.Server
+	conns  *telemetry.Counter
+	active *telemetry.Counter
+
+	mu       sync.Mutex
+	open     map[net.Conn]struct{}
+	draining bool
+
+	wg     sync.WaitGroup // all connection handlers
+	pushWG sync.WaitGroup // handlers streaming to a subscriber
+}
+
+// Listen binds the listener (and the metrics endpoint, if configured)
+// and returns a Server ready to Serve.
+func Listen(cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &Server{
+		eng:  NewEngine(cfg.MaxTenants),
+		ln:   ln,
+		log:  log,
+		reg:  telemetry.NewRegistry(),
+		open: make(map[net.Conn]struct{}),
+	}
+	s.conns = s.reg.Counter("server_conns_total")
+	s.active = s.reg.Counter("server_conns_active")
+	s.reg.GaugeFunc("server_tenants", func() int64 {
+		return int64(len(s.eng.Tenants()))
+	})
+	if cfg.MetricsAddr != "" {
+		tsrv, err := telemetry.Serve(cfg.MetricsAddr, telemetry.ServerConfig{
+			Registry: s.reg,
+			More:     s.eng.Registries,
+		})
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.tsrv = tsrv
+	}
+	return s, nil
+}
+
+// Engine exposes the underlying engine (tests and embedded use).
+func (s *Server) Engine() *Engine { return s.eng }
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// MetricsURL reports the telemetry endpoint base URL ("" if disabled).
+func (s *Server) MetricsURL() string {
+	if s.tsrv == nil {
+		return ""
+	}
+	return s.tsrv.URL()
+}
+
+// Serve accepts connections until Shutdown (or a fatal listener
+// error). It always returns a non-nil error; after Shutdown the error
+// is net.ErrClosed.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.open[conn] = struct{}{}
+		s.mu.Unlock()
+		s.conns.Add(1)
+		s.active.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.active.Add(-1)
+			s.handle(conn)
+		}()
+	}
+}
+
+// Shutdown drains the daemon gracefully: stop accepting, drain every
+// tenant (committing in-flight epochs and sending subscribers their
+// Drain frames), close remaining connections, and stop the telemetry
+// endpoint last — in that order, so committed output reaches
+// subscribers before their sockets die and the final counters stay
+// scrapeable until everything else is down. ctx bounds the wait for
+// connection handlers to finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	s.ln.Close()
+	drainErr := s.eng.DrainAll()
+
+	// Tenant drains closed every subscription channel; subscriber
+	// handlers flush their buffered epochs and Drain frames, then exit.
+	// Wait for those (bounded by ctx) BEFORE touching any socket, so
+	// committed output is never cut off by the close below.
+	pushed := make(chan struct{})
+	go func() {
+		s.pushWG.Wait()
+		close(pushed)
+	}()
+	select {
+	case <-pushed:
+	case <-ctx.Done():
+	}
+
+	// The rest are idle control connections parked in ReadFrame (or
+	// subscribers past their deadline): close their sockets to unblock
+	// the handlers, then wait for all of them.
+	s.mu.Lock()
+	for c := range s.open {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+
+	if s.tsrv != nil {
+		if err := s.tsrv.Shutdown(ctx); err != nil && drainErr == nil {
+			drainErr = err
+		}
+	}
+	return drainErr
+}
+
+// forget removes a finished connection from the open set.
+func (s *Server) forget(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.open, conn)
+	s.mu.Unlock()
+}
+
+// handle runs one connection's frame loop.
+func (s *Server) handle(conn net.Conn) {
+	defer s.forget(conn)
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var tenant *Tenant // bound by hello (or per-frame tenant fields)
+
+	reply := func(f wire.Frame) bool {
+		if err := wire.WriteFrame(bw, f); err != nil {
+			return false
+		}
+		return bw.Flush() == nil
+	}
+	fail := func(format string, args ...any) bool {
+		return reply(wire.Errorf(format, args...))
+	}
+
+	for {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.log.Debug("conn closed", "err", err)
+			}
+			return
+		}
+		switch f.Type {
+		case wire.TypeHello:
+			h, err := wire.DecodeHello(f)
+			if err != nil {
+				fail("bad hello: %v", err)
+				return
+			}
+			if h.Tenant != "" {
+				t, ok := s.eng.Tenant(h.Tenant)
+				if !ok {
+					if !fail("no such tenant %q", h.Tenant) {
+						return
+					}
+					continue
+				}
+				tenant = t
+			}
+			if !reply(wire.Ack{}.Frame()) {
+				return
+			}
+
+		case wire.TypeCreate:
+			m, err := wire.DecodeCreate(f)
+			if err != nil {
+				fail("bad create: %v", err)
+				return
+			}
+			t, err := s.eng.Create(m.Tenant, m.Spec)
+			if err != nil {
+				if !fail("%v", err) {
+					return
+				}
+				continue
+			}
+			tenant = t
+			s.log.Info("tenant created", "tenant", m.Tenant)
+			if !reply(wire.Ack{}.Frame()) {
+				return
+			}
+
+		case wire.TypePublish:
+			m, err := wire.DecodePublish(f)
+			if err != nil {
+				fail("bad publish: %v", err)
+				return
+			}
+			if tenant == nil {
+				if !fail("publish before hello") {
+					return
+				}
+				continue
+			}
+			ack, err := tenant.Publish(m.Receptor, m.Tuples)
+			if err != nil {
+				if !fail("%v", err) {
+					return
+				}
+				continue
+			}
+			ack.Seq = m.Seq
+			if !reply(ack.Frame()) {
+				return
+			}
+
+		case wire.TypeAdvance:
+			m, err := wire.DecodeAdvance(f)
+			if err != nil {
+				fail("bad advance: %v", err)
+				return
+			}
+			if tenant == nil {
+				if !fail("advance before hello") {
+					return
+				}
+				continue
+			}
+			if err := tenant.Advance(time.Unix(0, m.Now).UTC()); err != nil {
+				if !fail("%v", err) {
+					return
+				}
+				continue
+			}
+			if !reply(wire.Ack{Seq: m.Seq}.Frame()) {
+				return
+			}
+
+		case wire.TypeSubscribe:
+			m, err := wire.DecodeSubscribe(f)
+			if err != nil {
+				fail("bad subscribe: %v", err)
+				return
+			}
+			t := tenant
+			if m.Tenant != "" {
+				tt, ok := s.eng.Tenant(m.Tenant)
+				if !ok {
+					if !fail("no such tenant %q", m.Tenant) {
+						return
+					}
+					continue
+				}
+				t = tt
+			}
+			if t == nil {
+				if !fail("subscribe before hello") {
+					return
+				}
+				continue
+			}
+			sub, err := t.Subscribe(m.Stream)
+			if err != nil {
+				if !fail("%v", err) {
+					return
+				}
+				continue
+			}
+			if !reply(wire.Ack{}.Frame()) {
+				sub.Close()
+				return
+			}
+			// Register as a pushing handler so Shutdown lets this
+			// connection flush before closing sockets. If a shutdown is
+			// already past its pushWG.Wait, skip registration (Add would
+			// race the Wait) — the stream is cut short, which is fine for
+			// a subscription that raced the shutdown itself.
+			s.mu.Lock()
+			tracked := !s.draining
+			if tracked {
+				s.pushWG.Add(1)
+			}
+			s.mu.Unlock()
+			s.push(conn, br, bw, t, sub)
+			if tracked {
+				s.pushWG.Done()
+			}
+			return
+
+		case wire.TypeStats:
+			if tenant == nil {
+				if !fail("stats before hello") {
+					return
+				}
+				continue
+			}
+			b, _ := json.Marshal(tenant.Stats())
+			if !reply(wire.Frame{Type: wire.TypeStats, Flags: wire.FlagJSON, Payload: b}) {
+				return
+			}
+
+		default:
+			if !fail("unexpected frame %s", f.Type) {
+				return
+			}
+		}
+	}
+}
+
+// push streams a subscription's Data frames until the subscription
+// closes (drain or kicked) or the client goes away. The reader side is
+// watched concurrently so a dropped client releases its subscriber
+// slot instead of buffering until kicked.
+func (s *Server) push(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, t *Tenant, sub *Subscription) {
+	gone := make(chan struct{})
+	go func() {
+		defer close(gone)
+		for {
+			if _, err := wire.ReadFrame(br); err != nil {
+				return
+			}
+			// Frames from a subscriber are ignored.
+		}
+	}()
+	defer sub.Close()
+	for {
+		select {
+		case d, ok := <-sub.C():
+			if !ok {
+				if sub.Lost() {
+					_ = wire.WriteFrame(bw, wire.Errorf("subscriber fell behind; kicked"))
+				} else {
+					_ = wire.WriteFrame(bw, wire.Drain{FinalEpoch: sub.Final()}.Frame())
+				}
+				_ = bw.Flush()
+				return
+			}
+			if err := wire.WriteFrame(bw, d.Frame()); err != nil {
+				return
+			}
+			if len(sub.C()) == 0 {
+				if err := bw.Flush(); err != nil {
+					return
+				}
+			}
+		case <-gone:
+			return
+		}
+	}
+}
+
+// String describes the server.
+func (s *Server) String() string {
+	return fmt.Sprintf("espd on %s (%d tenants)", s.Addr(), len(s.eng.Tenants()))
+}

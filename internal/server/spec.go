@@ -1,0 +1,142 @@
+// Package server implements the espd serving layer: a daemon hosting
+// many independent ESP pipelines — one core.Processor per tenant —
+// behind the wire protocol. The Engine owns tenant lifecycle and is
+// fully usable in-process (the oracle differential and the loadgen
+// smoke mode run it without a socket); Server fronts an Engine with
+// TCP.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"esp/internal/core"
+	"esp/internal/receptor"
+	"esp/internal/stream"
+)
+
+// Spec is the document a control client submits to create a tenant
+// pipeline: a deployment config (the same JSON espclean -config
+// accepts) plus the receptor channels to provision and resource quotas.
+//
+//	{
+//	  "deployment": {"epoch": "1s", "groups": {...}, "pipelines": {...}},
+//	  "receptors": [{"id": "reader0", "type": "rfid",
+//	                 "schema": "tag_id:string,checksum_ok:bool"}],
+//	  "start": "1970-01-01T00:00:00Z",
+//	  "quota": {"channel_cap": 4096, "max_publish_tuples": 8192}
+//	}
+type Spec struct {
+	// Deployment is the core.DeploymentConfig JSON document.
+	Deployment json.RawMessage `json:"deployment"`
+	// Receptors declares the tenant's ingest channels.
+	Receptors []ReceptorSpec `json:"receptors"`
+	// Start anchors the tenant's epoch clock (RFC3339; default Unix
+	// zero). Advance frames commit the boundaries in (start, now].
+	Start string `json:"start,omitempty"`
+	// Quota bounds the tenant's resource usage.
+	Quota Quota `json:"quota,omitempty"`
+}
+
+// ReceptorSpec declares one ingest channel.
+type ReceptorSpec struct {
+	ID   string `json:"id"`
+	Type string `json:"type"`
+	// Schema is the device schema in "name:kind,..." form.
+	Schema string `json:"schema"`
+	// Cap overrides the quota's channel cap for this receptor.
+	Cap int `json:"cap,omitempty"`
+}
+
+// Quota bounds a tenant's resource usage. Zero values mean the default.
+type Quota struct {
+	// ChannelCap bounds each receptor channel's unpolled backlog
+	// (default receptor.DefaultChannelCap). The channel evicts oldest
+	// readings past the cap — intake backpressure is reported, never
+	// unbounded buffering.
+	ChannelCap int `json:"channel_cap,omitempty"`
+	// MaxPublishTuples bounds one publish frame's tuple count (default
+	// 65536); larger frames are rejected.
+	MaxPublishTuples int `json:"max_publish_tuples,omitempty"`
+	// MaxSubscribers bounds concurrent subscribers (default 64).
+	MaxSubscribers int `json:"max_subscribers,omitempty"`
+}
+
+// Quota defaults.
+const (
+	DefaultMaxPublishTuples = 1 << 16
+	DefaultMaxSubscribers   = 64
+)
+
+func (q Quota) maxPublishTuples() int {
+	if q.MaxPublishTuples > 0 {
+		return q.MaxPublishTuples
+	}
+	return DefaultMaxPublishTuples
+}
+
+func (q Quota) maxSubscribers() int {
+	if q.MaxSubscribers > 0 {
+		return q.MaxSubscribers
+	}
+	return DefaultMaxSubscribers
+}
+
+// parsedSpec is a Spec compiled into runtime objects.
+type parsedSpec struct {
+	dep   *core.Deployment
+	chans map[string]*receptor.Channel
+	start time.Time
+	quota Quota
+}
+
+// parseSpec validates and compiles a spec document.
+func parseSpec(data []byte) (*parsedSpec, error) {
+	var spec Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("server: spec: %w", err)
+	}
+	if len(spec.Deployment) == 0 {
+		return nil, fmt.Errorf("server: spec: missing deployment")
+	}
+	if len(spec.Receptors) == 0 {
+		return nil, fmt.Errorf("server: spec: no receptors")
+	}
+	dep, err := core.ParseDeploymentConfig(spec.Deployment)
+	if err != nil {
+		return nil, fmt.Errorf("server: spec: %w", err)
+	}
+	ps := &parsedSpec{dep: dep, chans: make(map[string]*receptor.Channel, len(spec.Receptors)), quota: spec.Quota}
+	for _, rs := range spec.Receptors {
+		if rs.ID == "" || rs.Type == "" || rs.Schema == "" {
+			return nil, fmt.Errorf("server: spec: receptor needs id, type, and schema (got %+v)", rs)
+		}
+		if _, dup := ps.chans[rs.ID]; dup {
+			return nil, fmt.Errorf("server: spec: duplicate receptor %q", rs.ID)
+		}
+		schema, err := stream.ParseSchemaSpec(rs.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("server: spec: receptor %q: %w", rs.ID, err)
+		}
+		ch := receptor.NewChannel(rs.ID, receptor.Type(rs.Type), schema)
+		if cap := rs.Cap; cap > 0 {
+			ch.SetCap(cap)
+		} else if spec.Quota.ChannelCap > 0 {
+			ch.SetCap(spec.Quota.ChannelCap)
+		}
+		ps.chans[rs.ID] = ch
+		dep.Receptors = append(dep.Receptors, ch)
+	}
+	if spec.Start != "" {
+		t, err := time.Parse(time.RFC3339Nano, spec.Start)
+		if err != nil {
+			return nil, fmt.Errorf("server: spec: bad start: %w", err)
+		}
+		ps.start = t.UTC()
+	} else {
+		ps.start = time.Unix(0, 0).UTC()
+	}
+	ps.start = ps.start.Truncate(dep.Epoch)
+	return ps, nil
+}

@@ -1,0 +1,431 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"esp/internal/core"
+	"esp/internal/receptor"
+	"esp/internal/stream"
+	"esp/internal/telemetry"
+	"esp/internal/wire"
+)
+
+// VirtualizeStream is the subscribe name of the cross-type Virtualize
+// output (type streams subscribe under their type name).
+const VirtualizeStream = "virtualize"
+
+// Tenant hosts one deployment: a core.Processor, its receptor channels,
+// an epoch clock driven by Advance frames, and the tenant's
+// subscribers. A single actor goroutine owns the processor — publishes
+// go straight to the (thread-safe) channels, but every Step and every
+// subscriber mutation is serialized through the mailbox, which is what
+// makes a tenant's output deterministic no matter how many connections
+// feed it.
+type Tenant struct {
+	name  string
+	epoch time.Duration
+	proc  *core.Processor
+	chans map[string]*receptor.Channel
+	quota Quota
+	reg   *telemetry.Registry
+
+	cmds chan func()
+	quit chan struct{} // closed by the drain command; tells loop to exit
+	done chan struct{} // closed when loop has exited
+
+	// Actor-owned state (touched only inside mailbox commands).
+	last    time.Time                 // latest committed epoch boundary
+	pending map[string][]stream.Tuple // per-stream output buffered during a Step
+	subs    []*subscriber
+	drained bool
+
+	// Telemetry counters (atomic; readable from any goroutine).
+	tuplesIn  *telemetry.Counter
+	framesIn  *telemetry.Counter
+	epochs    *telemetry.Counter
+	dataOut   *telemetry.Counter
+	subKicked *telemetry.Counter
+}
+
+// subscriber is one attached output consumer. Its channel is bounded: a
+// consumer that stops reading is kicked (closed with lost=true) rather
+// than allowed to stall the tenant's epoch clock.
+type subscriber struct {
+	stream string
+	ch     chan wire.Data
+	final  int64 // set before ch is closed on drain: last committed epoch
+	lost   bool  // kicked for falling behind
+}
+
+// subscriberBuffer is the per-subscriber frame buffer; a consumer more
+// than this many Data frames behind is kicked.
+const subscriberBuffer = 1024
+
+// newTenant compiles a spec and starts the tenant actor. The tenant's
+// registry is the processor's own, extended with the serve_* counters,
+// so one exposition block carries both pipeline and serving telemetry.
+func newTenant(name string, ps *parsedSpec) (*Tenant, error) {
+	proc, err := core.NewProcessor(ps.dep)
+	if err != nil {
+		return nil, err
+	}
+	proc.EnableTelemetry()
+	t := &Tenant{
+		name:    name,
+		epoch:   ps.dep.Epoch,
+		proc:    proc,
+		chans:   ps.chans,
+		quota:   ps.quota,
+		reg:     proc.Telemetry(),
+		cmds:    make(chan func()),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		last:    ps.start,
+		pending: make(map[string][]stream.Tuple),
+	}
+	t.tuplesIn = t.reg.Counter("serve_tuples_in")
+	t.framesIn = t.reg.Counter("serve_publish_frames")
+	t.epochs = t.reg.Counter("serve_epochs")
+	t.dataOut = t.reg.Counter("serve_data_frames")
+	t.subKicked = t.reg.Counter("serve_subscribers_kicked")
+	t.reg.GaugeFunc("serve_backlog", func() int64 {
+		var n int64
+		for _, ch := range t.chans {
+			n += int64(ch.Pending())
+		}
+		return n
+	})
+
+	// Deterministic sink registration order: sorted type names, then
+	// virtualize. Sinks run inside Step (actor goroutine), appending to
+	// the per-stream buffers the actor flushes after the Step returns.
+	seen := make(map[string]bool)
+	var types []string
+	for _, gn := range ps.dep.Groups.Names() {
+		g, _ := ps.dep.Groups.Group(gn)
+		if tn := string(g.Type); !seen[tn] {
+			seen[tn] = true
+			types = append(types, tn)
+		}
+	}
+	sort.Strings(types)
+	for _, tn := range types {
+		tn := tn
+		proc.OnType(receptor.Type(tn), func(tu stream.Tuple) {
+			t.pending[tn] = append(t.pending[tn], tu)
+		})
+	}
+	if ps.dep.Virtualize != nil {
+		proc.OnVirtualize(func(tu stream.Tuple) {
+			t.pending[VirtualizeStream] = append(t.pending[VirtualizeStream], tu)
+		})
+	}
+
+	go t.loop()
+	return t, nil
+}
+
+func (t *Tenant) loop() {
+	defer close(t.done)
+	for {
+		// quit is closed synchronously by the drain command (below, on
+		// this goroutine), so this check deterministically stops the
+		// loop before any command that raced with the drain can run.
+		select {
+		case <-t.quit:
+			return
+		default:
+		}
+		select {
+		case fn := <-t.cmds:
+			fn()
+		case <-t.quit:
+			return
+		}
+	}
+}
+
+// do runs fn on the actor goroutine and waits for it. The mailbox is
+// never closed — after drain the loop has exited (done is closed) and
+// senders fall through to the error arm; a command that slipped in just
+// before the drain is rejected by the drained check on the actor.
+func (t *Tenant) do(fn func() error) error {
+	drainedErr := fmt.Errorf("server: tenant %q is drained", t.name)
+	errc := make(chan error, 1)
+	select {
+	case t.cmds <- func() {
+		if t.drained {
+			errc <- drainedErr
+			return
+		}
+		errc <- fn()
+	}:
+		// A successful send means the loop received the closure and will
+		// run it before it can exit.
+		return <-errc
+	case <-t.done:
+		return drainedErr
+	}
+}
+
+// Name reports the tenant name.
+func (t *Tenant) Name() string { return t.name }
+
+// Epoch reports the tenant's punctuation period.
+func (t *Tenant) Epoch() time.Duration { return t.epoch }
+
+// Registry exposes the tenant's telemetry registry (the processor's own
+// registry plus the serve_* counters) for exposition.
+func (t *Tenant) Registry() *telemetry.Registry { return t.reg }
+
+// Publish appends readings to one receptor channel and reports the
+// channel's backpressure state. It does not pass through the actor —
+// channels are thread-safe and eviction at the cap bounds memory — so
+// publishers on many connections never serialize behind a Step.
+func (t *Tenant) Publish(rec string, ts []stream.Tuple) (wire.Ack, error) {
+	ch, ok := t.chans[rec]
+	if !ok {
+		return wire.Ack{}, fmt.Errorf("server: tenant %q has no receptor %q", t.name, rec)
+	}
+	if max := t.quota.maxPublishTuples(); len(ts) > max {
+		return wire.Ack{}, fmt.Errorf("server: publish of %d tuples exceeds tenant quota %d", len(ts), max)
+	}
+	ch.PublishAll(ts)
+	t.framesIn.Add(1)
+	t.tuplesIn.Add(int64(len(ts)))
+	return wire.Ack{
+		Pending: int64(ch.Pending()),
+		Cap:     int64(ch.Cap()),
+		Dropped: ch.Dropped(),
+	}, nil
+}
+
+// Advance commits every epoch boundary in (last, now]: for each one the
+// processor polls the channels and steps the pipeline, and the
+// boundary's output is flushed to subscribers before the next boundary
+// runs. Advance returns after the last boundary has committed — it is
+// the client-visible epoch barrier.
+func (t *Tenant) Advance(now time.Time) error {
+	return t.do(func() error { return t.advanceLocked(now.UTC()) })
+}
+
+// advanceLocked runs on the actor goroutine.
+func (t *Tenant) advanceLocked(now time.Time) error {
+	for b := t.last.Add(t.epoch); !b.After(now); b = b.Add(t.epoch) {
+		if err := t.stepLocked(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stepLocked commits one epoch boundary and flushes its output.
+func (t *Tenant) stepLocked(b time.Time) error {
+	if err := t.proc.Step(b); err != nil {
+		return fmt.Errorf("server: tenant %q: %w", t.name, err)
+	}
+	t.last = b
+	t.epochs.Add(1)
+	t.flushLocked(b)
+	return nil
+}
+
+// flushLocked hands the epoch's buffered output to the subscribers.
+func (t *Tenant) flushLocked(b time.Time) {
+	if len(t.pending) == 0 {
+		return
+	}
+	epoch := b.UnixNano()
+	keep := t.subs[:0]
+	for _, sub := range t.subs {
+		out := t.pending[sub.stream]
+		if len(out) == 0 {
+			keep = append(keep, sub)
+			continue
+		}
+		d := wire.Data{Stream: sub.stream, Epoch: epoch, Tuples: append([]stream.Tuple(nil), out...)}
+		select {
+		case sub.ch <- d:
+			t.dataOut.Add(1)
+			keep = append(keep, sub)
+		default:
+			// The consumer is subscriberBuffer frames behind: kick it
+			// rather than stall the tenant's epoch clock.
+			sub.lost = true
+			close(sub.ch)
+			t.subKicked.Add(1)
+		}
+	}
+	t.subs = keep
+	for k := range t.pending {
+		t.pending[k] = t.pending[k][:0]
+	}
+}
+
+// Subscribe attaches a consumer to one of the tenant's output streams
+// (a receptor type name, or VirtualizeStream). The returned channel
+// delivers one Data frame per committed epoch with output; it is closed
+// after drain (Final reports the final committed epoch) or when the
+// consumer is kicked for falling behind (Lost).
+func (t *Tenant) Subscribe(streamName string) (*Subscription, error) {
+	sub := &subscriber{stream: streamName, ch: make(chan wire.Data, subscriberBuffer)}
+	err := t.do(func() error {
+		if t.drained {
+			return fmt.Errorf("server: tenant %q is drained", t.name)
+		}
+		if len(t.subs) >= t.quota.maxSubscribers() {
+			return fmt.Errorf("server: tenant %q subscriber quota (%d) exhausted", t.name, t.quota.maxSubscribers())
+		}
+		t.subs = append(t.subs, sub)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Subscription{t: t, sub: sub}, nil
+}
+
+// Unsubscribe detaches a subscriber (consumer-initiated close).
+func (t *Tenant) unsubscribe(target *subscriber) {
+	_ = t.do(func() error {
+		for i, sub := range t.subs {
+			if sub == target {
+				t.subs = append(t.subs[:i], t.subs[i+1:]...)
+				close(sub.ch)
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+// Drain gracefully stops the tenant: every reading already published is
+// committed (the clock advances past the newest pending timestamp), the
+// final epoch is flushed, subscribers are closed with the final epoch
+// recorded, and the actor exits. No committed epoch is lost: drain runs
+// through the same mailbox as Advance, so it cannot overtake an epoch
+// in flight. Idempotent.
+func (t *Tenant) Drain() error {
+	var err error
+	t.drainOnce(func() {
+		err = t.drainLocked()
+	})
+	return err
+}
+
+// drainOnce runs fn on the actor and stops the loop, exactly once.
+func (t *Tenant) drainOnce(fn func()) {
+	done := make(chan struct{})
+	select {
+	case t.cmds <- func() {
+		defer close(done)
+		if !t.drained {
+			t.drained = true
+			fn()
+			close(t.quit)
+		}
+	}:
+		<-done
+		<-t.done
+	case <-t.done:
+	}
+}
+
+// maxDrainEpochs bounds how many boundaries a drain will commit while
+// chasing pending readings, so a hostile far-future timestamp cannot
+// spin the drain forever. Readings beyond the bound are abandoned
+// (still counted in the channels' Pending at exit).
+const maxDrainEpochs = 4096
+
+// drainLocked flushes all in-flight readings on the actor goroutine:
+// boundaries are committed one epoch at a time until every published
+// reading has been polled (Poll is timestamp-gated, so each boundary
+// consumes everything at or before it).
+func (t *Tenant) drainLocked() error {
+	for i := 0; i < maxDrainEpochs; i++ {
+		pending := 0
+		for _, ch := range t.chans {
+			pending += ch.Pending()
+		}
+		if pending == 0 {
+			break
+		}
+		if err := t.stepLocked(t.last.Add(t.epoch)); err != nil {
+			return err
+		}
+	}
+	final := t.last.UnixNano()
+	for _, sub := range t.subs {
+		sub.final = final
+		close(sub.ch)
+	}
+	t.subs = nil
+	return nil
+}
+
+// Last reports the latest committed epoch boundary.
+func (t *Tenant) Last() time.Time {
+	var last time.Time
+	err := t.do(func() error { last = t.last; return nil })
+	if err != nil {
+		return t.last // drained: actor state is frozen and safe to read
+	}
+	return last
+}
+
+// Subscription is a consumer handle on one tenant output stream.
+type Subscription struct {
+	t   *Tenant
+	sub *subscriber
+}
+
+// C is the frame channel; closed on drain or when kicked.
+func (s *Subscription) C() <-chan wire.Data { return s.sub.ch }
+
+// Final reports the final committed epoch (valid once C is closed by a
+// drain).
+func (s *Subscription) Final() int64 { return s.sub.final }
+
+// Lost reports whether the subscriber was kicked for falling behind.
+func (s *Subscription) Lost() bool { return s.sub.lost }
+
+// Close detaches the subscription.
+func (s *Subscription) Close() { s.t.unsubscribe(s.sub) }
+
+// Stats is a tenant stats snapshot (JSON for the stats frame).
+type Stats struct {
+	Tenant      string `json:"tenant"`
+	Epoch       string `json:"epoch"`
+	LastEpoch   int64  `json:"last_epoch"`
+	TuplesIn    int64  `json:"tuples_in"`
+	Frames      int64  `json:"publish_frames"`
+	Epochs      int64  `json:"epochs"`
+	DataFrames  int64  `json:"data_frames"`
+	Subscribers int    `json:"subscribers"`
+	Backlog     int    `json:"backlog"`
+	Dropped     int64  `json:"dropped"`
+}
+
+// Stats snapshots the tenant's counters.
+func (t *Tenant) Stats() Stats {
+	st := Stats{
+		Tenant:     t.name,
+		Epoch:      t.epoch.String(),
+		TuplesIn:   t.tuplesIn.Load(),
+		Frames:     t.framesIn.Load(),
+		Epochs:     t.epochs.Load(),
+		DataFrames: t.dataOut.Load(),
+	}
+	for _, ch := range t.chans {
+		st.Backlog += ch.Pending()
+		st.Dropped += ch.Dropped()
+	}
+	_ = t.do(func() error {
+		st.LastEpoch = t.last.UnixNano()
+		st.Subscribers = len(t.subs)
+		return nil
+	})
+	return st
+}

@@ -20,6 +20,18 @@ type BatchOperator interface {
 	ProcessBatch(b *Batch) (outB *Batch, outT []Tuple, err error)
 }
 
+// BatchDegradeReporter is implemented by composite batch operators
+// (Chain, Graph) that may leave the columnar representation internally
+// without it being visible in their return values — e.g. a chain whose
+// middle operator degrades to tuples and whose final window absorbs
+// them, returning (nil, nil, nil). LastBatchDegraded reports whether the
+// most recent ProcessBatch/PushBatch invocation degraded anywhere
+// inside. It is what lets the executor count batch_fallbacks exactly
+// once per columnar delivery, with no blind spots and no double counts.
+type BatchDegradeReporter interface {
+	LastBatchDegraded() bool
+}
+
 // ProcessBatchOp pushes a batch through any operator: the columnar path
 // when op implements BatchOperator, otherwise row-at-a-time via Process
 // with the rows materialized once.
@@ -38,10 +50,16 @@ func ProcessBatchOp(op Operator, b *Batch) (*Batch, []Tuple, error) {
 	return nil, out, nil
 }
 
+// LastBatchDegraded implements BatchDegradeReporter.
+func (c *Chain) LastBatchDegraded() bool { return c.degraded }
+
 // ProcessBatch implements BatchOperator for Chain: the batch stays
 // columnar through consecutive batch-capable operators and degrades to
-// the tuple path at the first operator that isn't.
+// the tuple path at the first operator that isn't. Degradation is
+// latched in c.degraded even when the tuple tail is absorbed and the
+// call returns (nil, nil, nil).
 func (c *Chain) ProcessBatch(b *Batch) (*Batch, []Tuple, error) {
+	c.degraded = false
 	cur := b
 	for j, op := range c.Ops {
 		if cur == nil || cur.Len() == 0 {
@@ -49,6 +67,7 @@ func (c *Chain) ProcessBatch(b *Batch) (*Batch, []Tuple, error) {
 		}
 		bop, ok := op.(BatchOperator)
 		if !ok {
+			c.degraded = true
 			out, err := c.feed(j, cur.Tuples())
 			return nil, out, err
 		}
@@ -57,8 +76,12 @@ func (c *Chain) ProcessBatch(b *Batch) (*Batch, []Tuple, error) {
 			return nil, nil, err
 		}
 		if nt != nil {
+			c.degraded = true
 			out, err := c.feed(j+1, nt)
 			return nil, out, err
+		}
+		if r, ok := op.(BatchDegradeReporter); ok && r.LastBatchDegraded() {
+			c.degraded = true
 		}
 		cur = nb
 	}
@@ -264,16 +287,27 @@ func (a *ArgMax) ProcessBatch(b *Batch) (*Batch, []Tuple, error) {
 	return nil, nil, nil
 }
 
+// LastBatchDegraded implements BatchDegradeReporter.
+func (g *Graph) LastBatchDegraded() bool { return g.degraded }
+
 // PushBatch feeds a batch into the named input leg, keeping it columnar
 // as far as the operators allow. Output follows the BatchOperator
 // contract; tuples routed into an epoch combiner are retained, so they
-// are materialized as owned copies.
+// are materialized as owned copies. Internal degradation — the leg chain
+// or post chain leaving the columnar representation, even when the
+// tuples are then absorbed — is latched for LastBatchDegraded. Pushing
+// a columnar batch into a combiner leg materializes rows by design
+// (combiners retain punctuation-scoped tuples) and does not count.
 func (g *Graph) PushBatch(input string, b *Batch) (*Batch, []Tuple, error) {
+	g.degraded = false
 	leg, ok := g.legs[input]
 	if !ok {
 		return nil, nil, fmt.Errorf("stream: graph: unknown input %q", input)
 	}
 	nb, nt, err := leg.chain.ProcessBatch(b)
+	if leg.chain.LastBatchDegraded() {
+		g.degraded = true
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -293,7 +327,11 @@ func (g *Graph) PushBatch(input string, b *Batch) (*Batch, []Tuple, error) {
 	if len(g.post.Ops) == 0 {
 		return nb, nil, nil
 	}
-	return g.post.ProcessBatch(nb)
+	ob, ot, err := g.post.ProcessBatch(nb)
+	if g.post.LastBatchDegraded() {
+		g.degraded = true
+	}
+	return ob, ot, err
 }
 
 // FusedFilterProject is the optimizer's fusion of an adjacent Filter and

@@ -21,6 +21,9 @@ type Graph struct {
 	combiner *EpochCombiner
 	post     *Chain
 	opened   bool
+	// degraded latches whether the last PushBatch left the columnar
+	// representation anywhere inside (see BatchDegradeReporter).
+	degraded bool
 }
 
 type graphLeg struct {

@@ -191,6 +191,9 @@ func (m *MapFunc) Close() ([]Tuple, error) { return nil, nil }
 type Chain struct {
 	Ops []Operator
 	in  *Schema
+	// degraded latches whether the last ProcessBatch left the columnar
+	// representation anywhere inside (see BatchDegradeReporter).
+	degraded bool
 }
 
 // NewChain composes the given operators in order. An empty chain is the

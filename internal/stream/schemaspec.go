@@ -1,0 +1,43 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseKind parses a lower-case kind name as used in CQL type names and
+// config files.
+func ParseKind(name string) (Kind, error) {
+	switch strings.ToLower(name) {
+	case "string":
+		return KindString, nil
+	case "int":
+		return KindInt, nil
+	case "float":
+		return KindFloat, nil
+	case "bool":
+		return KindBool, nil
+	case "time":
+		return KindTime, nil
+	default:
+		return KindNull, fmt.Errorf("stream: unknown kind %q", name)
+	}
+}
+
+// ParseSchemaSpec parses the compact "name:kind,name:kind" schema syntax
+// shared by the espclean flags and the espd tenant specs.
+func ParseSchemaSpec(spec string) (*Schema, error) {
+	var fields []Field
+	for _, part := range strings.Split(spec, ",") {
+		nk := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(nk) != 2 {
+			return nil, fmt.Errorf("stream: bad schema entry %q (want name:kind)", part)
+		}
+		kind, err := ParseKind(nk[1])
+		if err != nil {
+			return nil, fmt.Errorf("stream: schema entry %q: %w", part, err)
+		}
+		fields = append(fields, Field{Name: nk[0], Kind: kind})
+	}
+	return NewSchema(fields...)
+}

@@ -1,12 +1,21 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 )
+
+// NamedRegistry labels a secondary registry exposed alongside the main
+// one — e.g. one per tenant in a multi-tenant server. The name becomes a
+// metric-name prefix segment, so it is sanitized for Prometheus.
+type NamedRegistry struct {
+	Name     string
+	Registry *Registry
+}
 
 // ServerConfig bundles what the exposition endpoint serves.
 type ServerConfig struct {
@@ -17,6 +26,12 @@ type ServerConfig struct {
 	// ExpvarName is the name the registry is published under in
 	// /debug/vars (default "esp").
 	ExpvarName string
+	// More, when non-nil, is called per scrape and its registries are
+	// appended to /metrics (prefix esp_<name>_) and /metrics.json (one
+	// JSON object keyed by name). It lets a multi-tenant server surface
+	// per-tenant registries through the one exposition endpoint while
+	// tenants come and go.
+	More func() []NamedRegistry
 }
 
 // Handler builds the exposition mux:
@@ -38,10 +53,33 @@ func Handler(cfg ServerConfig) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = cfg.Registry.WritePrometheus(w, "esp_")
+		if cfg.More == nil {
+			return
+		}
+		for _, nr := range cfg.More() {
+			if nr.Registry == nil {
+				continue
+			}
+			_ = nr.Registry.WritePrometheus(w, "esp_"+sanitizeProm(nr.Name)+"_")
+		}
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if cfg.More == nil {
+			_ = cfg.Registry.Snapshot().WriteJSON(w)
+			return
+		}
+		// One object: the main registry under "", secondaries by name.
+		fmt.Fprint(w, `{"":`)
 		_ = cfg.Registry.Snapshot().WriteJSON(w)
+		for _, nr := range cfg.More() {
+			if nr.Registry == nil {
+				continue
+			}
+			fmt.Fprintf(w, ",%q:", nr.Name)
+			_ = nr.Registry.Snapshot().WriteJSON(w)
+		}
+		fmt.Fprint(w, "}")
 	})
 	mux.HandleFunc("/lineage", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -73,7 +111,8 @@ func Handler(cfg ServerConfig) http.Handler {
 	return mux
 }
 
-// Server is a live exposition endpoint. Close releases the listener.
+// Server is a live exposition endpoint. Shutdown drains it gracefully;
+// Close releases the listener immediately.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
@@ -85,11 +124,19 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // URL reports the base URL of the endpoint.
 func (s *Server) URL() string { return "http://" + s.Addr() }
 
-// Close shuts the endpoint down.
+// Close shuts the endpoint down immediately, aborting in-flight scrapes.
 func (s *Server) Close() error { return s.srv.Close() }
 
+// Shutdown stops the endpoint gracefully: the listener closes at once so
+// no new scrape is accepted, and in-flight requests run to completion
+// (or until ctx expires, whichever is first). A daemon's drain sequence
+// calls this last, after pipelines have flushed, so a scrape racing the
+// shutdown still observes the final counter state instead of a reset
+// connection.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
 // Serve binds addr (e.g. ":9090" or ":0") and serves the exposition
-// handler in a background goroutine until Close.
+// handler in a background goroutine until Shutdown or Close.
 func Serve(addr string, cfg ServerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

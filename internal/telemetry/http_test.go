@@ -1,10 +1,12 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -71,5 +73,143 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if out := get("/"); !strings.Contains(out, "/metrics") {
 		t.Errorf("index = %q", out)
+	}
+}
+
+// TestShutdownCompletesInflightScrape pins the graceful-stop contract a
+// draining daemon relies on: a scrape already being served when Shutdown
+// is called runs to completion with a full body, and Shutdown does not
+// return until it has.
+func TestShutdownCompletesInflightScrape(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("drain.test").Add(7)
+	// A GaugeFunc that blocks mid-scrape: the /metrics handler calls it
+	// while rendering, so parking inside it holds a request in flight at
+	// a deterministic point.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	r.GaugeFunc("drain.block", func() int64 {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+		return 1
+	})
+
+	srv, err := Serve(":0", ServerConfig{Registry: r, ExpvarName: "esp-shutdown-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body := make(chan string, 1)
+	scrapeErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(srv.URL() + "/metrics")
+		if err != nil {
+			scrapeErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			scrapeErr <- err
+			return
+		}
+		body <- string(b)
+	}()
+
+	<-entered // the scrape is now mid-handler
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	// Shutdown must wait for the in-flight request, not race past it.
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned (%v) while a scrape was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not return after the scrape completed")
+	}
+	select {
+	case got := <-body:
+		if !strings.Contains(got, "esp_drain_test 7") {
+			t.Errorf("in-flight scrape body truncated:\n%s", got)
+		}
+	case err := <-scrapeErr:
+		t.Fatalf("in-flight scrape failed: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight scrape never completed")
+	}
+
+	// The listener is closed: new scrapes must be refused.
+	if _, err := http.Get(srv.URL() + "/metrics"); err == nil {
+		t.Error("scrape accepted after Shutdown")
+	}
+}
+
+// TestMetricsMultiRegistry covers the per-tenant exposition path: extra
+// registries render into the same /metrics page under their own prefix
+// and into /metrics.json keyed by name.
+func TestMetricsMultiRegistry(t *testing.T) {
+	base := NewRegistry()
+	base.SetEnabled(true)
+	base.Counter("server.conns").Add(3)
+	t0 := NewRegistry()
+	t0.SetEnabled(true)
+	t0.Counter("poll.tuples").Add(42)
+
+	srv, err := Serve(":0", ServerConfig{
+		Registry:   base,
+		ExpvarName: "esp-multi-test",
+		More: func() []NamedRegistry {
+			return []NamedRegistry{{Name: "tenant-0", Registry: t0}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	out := get("/metrics")
+	if !strings.Contains(out, "esp_server_conns 3") {
+		t.Errorf("/metrics missing base counter:\n%s", out)
+	}
+	if !strings.Contains(out, "esp_tenant_0_poll_tuples 42") {
+		t.Errorf("/metrics missing tenant counter:\n%s", out)
+	}
+	var multi map[string]Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &multi); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v", err)
+	}
+	if multi[""].Counters["server.conns"] != 3 || multi["tenant-0"].Counters["poll.tuples"] != 42 {
+		t.Errorf("/metrics.json = %+v", multi)
 	}
 }

@@ -1,0 +1,176 @@
+// Package wire implements the espd client/server protocol: a
+// length-prefixed binary frame format carrying tuple batches, pipeline
+// control messages, and backpressure acks over a plain TCP stream.
+//
+// Every frame is
+//
+//	magic(2) | type(1) | flags(1) | length(4, big-endian) | payload
+//
+// The payload encoding is binary by default; setting FlagJSON marks the
+// payload as the JSON encoding of the same message, which keeps the
+// protocol debuggable with nothing but netcat and eyeballs. Decoders
+// accept both forms for every message type.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame header constants.
+const (
+	magic0 = 0xE5
+	magic1 = 0x9D
+	// HeaderLen is the fixed frame header size in bytes.
+	HeaderLen = 8
+	// MaxPayload bounds a single frame's payload; a peer announcing more
+	// is protocol-corrupt and the connection is dropped rather than
+	// letting a length field drive an allocation.
+	MaxPayload = 8 << 20
+)
+
+// FlagJSON marks the payload as JSON-encoded (debug fallback).
+const FlagJSON = 0x01
+
+// Type identifies a frame's message type.
+type Type uint8
+
+// Protocol frame types.
+const (
+	// TypeHello opens a connection: tenant + role.
+	TypeHello Type = 1
+	// TypeCreate submits a pipeline spec (deployment config JSON) for a
+	// tenant — the control-plane message.
+	TypeCreate Type = 2
+	// TypePublish delivers a batch of readings for one receptor channel.
+	TypePublish Type = 3
+	// TypeAdvance drives the tenant's epoch clock to a timestamp
+	// (external punctuation — deterministic replay).
+	TypeAdvance Type = 4
+	// TypeSubscribe attaches the connection to a tenant's cleaned
+	// output stream.
+	TypeSubscribe Type = 5
+	// TypeData carries cleaned output tuples to a subscriber.
+	TypeData Type = 6
+	// TypeAck acknowledges a Publish/Advance, reporting backpressure.
+	TypeAck Type = 7
+	// TypeError reports a failure; the connection stays usable unless
+	// the peer closes it.
+	TypeError Type = 8
+	// TypeDrain tells a subscriber the stream is complete (graceful
+	// shutdown); no further Data frames follow.
+	TypeDrain Type = 9
+	// TypeStats requests / carries a tenant stats snapshot (JSON).
+	TypeStats Type = 10
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeCreate:
+		return "create"
+	case TypePublish:
+		return "publish"
+	case TypeAdvance:
+		return "advance"
+	case TypeSubscribe:
+		return "subscribe"
+	case TypeData:
+		return "data"
+	case TypeAck:
+		return "ack"
+	case TypeError:
+		return "error"
+	case TypeDrain:
+		return "drain"
+	case TypeStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Type    Type
+	Flags   uint8
+	Payload []byte
+}
+
+// JSON reports whether the payload is the JSON fallback encoding.
+func (f Frame) JSON() bool { return f.Flags&FlagJSON != 0 }
+
+// Frame decoding errors.
+var (
+	// ErrBadMagic means the stream is not speaking the esp protocol.
+	ErrBadMagic = errors.New("wire: bad frame magic")
+	// ErrTooLarge means the announced payload exceeds MaxPayload.
+	ErrTooLarge = errors.New("wire: frame payload exceeds limit")
+	// ErrShort means the buffer ends before the announced payload does.
+	ErrShort = errors.New("wire: short frame")
+)
+
+// AppendFrame appends the encoded frame to dst and returns the extended
+// slice.
+func AppendFrame(dst []byte, f Frame) []byte {
+	dst = append(dst, magic0, magic1, byte(f.Type), f.Flags)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Payload)))
+	return append(dst, f.Payload...)
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the frame
+// and the number of bytes consumed. The returned payload aliases b.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	if len(b) < HeaderLen {
+		return Frame{}, 0, ErrShort
+	}
+	if b[0] != magic0 || b[1] != magic1 {
+		return Frame{}, 0, ErrBadMagic
+	}
+	n := binary.BigEndian.Uint32(b[4:8])
+	if n > MaxPayload {
+		return Frame{}, 0, ErrTooLarge
+	}
+	end := HeaderLen + int(n)
+	if len(b) < end {
+		return Frame{}, 0, ErrShort
+	}
+	return Frame{Type: Type(b[2]), Flags: b[3], Payload: b[HeaderLen:end:end]}, end, nil
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxPayload {
+		return ErrTooLarge
+	}
+	_, err := w.Write(AppendFrame(nil, f))
+	return err
+}
+
+// ReadFrame reads exactly one frame from r. The header is validated
+// before the payload is allocated, so a corrupt length cannot drive a
+// huge allocation.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return Frame{}, ErrBadMagic
+	}
+	n := binary.BigEndian.Uint32(hdr[4:8])
+	if n > MaxPayload {
+		return Frame{}, ErrTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return Frame{Type: Type(hdr[2]), Flags: hdr[3], Payload: payload}, nil
+}

@@ -1,0 +1,363 @@
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"esp/internal/stream"
+)
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// decodeString decodes a length-prefixed string from the front of b.
+func decodeString(b []byte) (string, int, error) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 || n > uint64(len(b)-w) {
+		return "", 0, ErrShort
+	}
+	return string(b[w : w+int(n)]), w + int(n), nil
+}
+
+// Hello opens a connection, naming the tenant the connection serves and
+// the role it plays ("publish", "subscribe", or "control").
+type Hello struct {
+	Tenant string `json:"tenant"`
+	Role   string `json:"role"`
+}
+
+// Frame encodes the message binary.
+func (m Hello) Frame() Frame {
+	p := appendString(nil, m.Tenant)
+	p = appendString(p, m.Role)
+	return Frame{Type: TypeHello, Payload: p}
+}
+
+// DecodeHello decodes a hello frame (binary or JSON).
+func DecodeHello(f Frame) (Hello, error) {
+	var m Hello
+	if f.JSON() {
+		return m, json.Unmarshal(f.Payload, &m)
+	}
+	t, w, err := decodeString(f.Payload)
+	if err != nil {
+		return m, err
+	}
+	r, _, err := decodeString(f.Payload[w:])
+	if err != nil {
+		return m, err
+	}
+	m.Tenant, m.Role = t, r
+	return m, nil
+}
+
+// Create submits a pipeline for a tenant. Spec is a deployment config
+// document (the same JSON espclean -config accepts, minus receptors —
+// the server provisions receptor channels from the Receptors list).
+type Create struct {
+	Tenant string `json:"tenant"`
+	// Spec is the deployment spec JSON (epoch, schema, groups,
+	// pipelines, virtualize).
+	Spec []byte `json:"spec"`
+}
+
+// Frame encodes the message binary.
+func (m Create) Frame() Frame {
+	p := appendString(nil, m.Tenant)
+	p = binary.AppendUvarint(p, uint64(len(m.Spec)))
+	p = append(p, m.Spec...)
+	return Frame{Type: TypeCreate, Payload: p}
+}
+
+// DecodeCreate decodes a create frame (binary or JSON).
+func DecodeCreate(f Frame) (Create, error) {
+	var m Create
+	if f.JSON() {
+		return m, json.Unmarshal(f.Payload, &m)
+	}
+	t, w, err := decodeString(f.Payload)
+	if err != nil {
+		return m, err
+	}
+	rest := f.Payload[w:]
+	n, vw := binary.Uvarint(rest)
+	if vw <= 0 || n > uint64(len(rest)-vw) {
+		return m, ErrShort
+	}
+	m.Tenant = t
+	m.Spec = append([]byte(nil), rest[vw:vw+int(n)]...)
+	return m, nil
+}
+
+// Publish delivers a batch of raw readings for one receptor channel.
+// Seq identifies the frame for its Ack.
+type Publish struct {
+	Receptor string         `json:"receptor"`
+	Seq      uint64         `json:"seq"`
+	Tuples   []stream.Tuple `json:"-"`
+}
+
+type jsonPublish struct {
+	Receptor string      `json:"receptor"`
+	Seq      uint64      `json:"seq"`
+	Tuples   []jsonTuple `json:"tuples"`
+}
+
+// Frame encodes the message binary.
+func (m Publish) Frame() Frame {
+	p := appendString(nil, m.Receptor)
+	p = binary.BigEndian.AppendUint64(p, m.Seq)
+	p = AppendTuples(p, m.Tuples)
+	return Frame{Type: TypePublish, Payload: p}
+}
+
+// FrameJSON encodes the message with the JSON debug fallback.
+func (m Publish) FrameJSON() Frame {
+	b, _ := json.Marshal(jsonPublish{Receptor: m.Receptor, Seq: m.Seq, Tuples: toJSONTuples(m.Tuples)})
+	return Frame{Type: TypePublish, Flags: FlagJSON, Payload: b}
+}
+
+// DecodePublish decodes a publish frame (binary or JSON).
+func DecodePublish(f Frame) (Publish, error) {
+	var m Publish
+	if f.JSON() {
+		var jm jsonPublish
+		if err := json.Unmarshal(f.Payload, &jm); err != nil {
+			return m, err
+		}
+		ts, err := fromJSONTuples(jm.Tuples)
+		if err != nil {
+			return m, err
+		}
+		return Publish{Receptor: jm.Receptor, Seq: jm.Seq, Tuples: ts}, nil
+	}
+	r, w, err := decodeString(f.Payload)
+	if err != nil {
+		return m, err
+	}
+	rest := f.Payload[w:]
+	if len(rest) < 8 {
+		return m, ErrShort
+	}
+	seq := binary.BigEndian.Uint64(rest)
+	ts, _, err := DecodeTuples(rest[8:])
+	if err != nil {
+		return m, err
+	}
+	return Publish{Receptor: r, Seq: seq, Tuples: ts}, nil
+}
+
+// Advance drives the tenant's epoch clock to Now (UnixNano): the server
+// punctuates every granule boundary up to and including it. Seq
+// identifies the frame for its Ack, which is sent only after every
+// boundary has committed — the client-visible epoch barrier.
+type Advance struct {
+	Seq uint64 `json:"seq"`
+	Now int64  `json:"now"`
+}
+
+// Frame encodes the message binary.
+func (m Advance) Frame() Frame {
+	p := binary.BigEndian.AppendUint64(nil, m.Seq)
+	p = binary.BigEndian.AppendUint64(p, uint64(m.Now))
+	return Frame{Type: TypeAdvance, Payload: p}
+}
+
+// DecodeAdvance decodes an advance frame (binary or JSON).
+func DecodeAdvance(f Frame) (Advance, error) {
+	var m Advance
+	if f.JSON() {
+		return m, json.Unmarshal(f.Payload, &m)
+	}
+	if len(f.Payload) < 16 {
+		return m, ErrShort
+	}
+	m.Seq = binary.BigEndian.Uint64(f.Payload)
+	m.Now = int64(binary.BigEndian.Uint64(f.Payload[8:]))
+	return m, nil
+}
+
+// Subscribe attaches the connection to one of a tenant's cleaned output
+// streams: a receptor type name, or "virtualize" for the cross-type
+// stream.
+type Subscribe struct {
+	Tenant string `json:"tenant"`
+	Stream string `json:"stream"`
+}
+
+// Frame encodes the message binary.
+func (m Subscribe) Frame() Frame {
+	p := appendString(nil, m.Tenant)
+	p = appendString(p, m.Stream)
+	return Frame{Type: TypeSubscribe, Payload: p}
+}
+
+// DecodeSubscribe decodes a subscribe frame (binary or JSON).
+func DecodeSubscribe(f Frame) (Subscribe, error) {
+	var m Subscribe
+	if f.JSON() {
+		return m, json.Unmarshal(f.Payload, &m)
+	}
+	t, w, err := decodeString(f.Payload)
+	if err != nil {
+		return m, err
+	}
+	s, _, err := decodeString(f.Payload[w:])
+	if err != nil {
+		return m, err
+	}
+	m.Tenant, m.Stream = t, s
+	return m, nil
+}
+
+// Data carries one epoch's cleaned output tuples for a subscribed
+// stream. Epoch is the punctuation boundary (UnixNano) that released
+// them.
+type Data struct {
+	Stream string         `json:"stream"`
+	Epoch  int64          `json:"epoch"`
+	Tuples []stream.Tuple `json:"-"`
+}
+
+type jsonData struct {
+	Stream string      `json:"stream"`
+	Epoch  int64       `json:"epoch"`
+	Tuples []jsonTuple `json:"tuples"`
+}
+
+// Frame encodes the message binary.
+func (m Data) Frame() Frame {
+	p := appendString(nil, m.Stream)
+	p = binary.BigEndian.AppendUint64(p, uint64(m.Epoch))
+	p = AppendTuples(p, m.Tuples)
+	return Frame{Type: TypeData, Payload: p}
+}
+
+// FrameJSON encodes the message with the JSON debug fallback.
+func (m Data) FrameJSON() Frame {
+	b, _ := json.Marshal(jsonData{Stream: m.Stream, Epoch: m.Epoch, Tuples: toJSONTuples(m.Tuples)})
+	return Frame{Type: TypeData, Flags: FlagJSON, Payload: b}
+}
+
+// DecodeData decodes a data frame (binary or JSON).
+func DecodeData(f Frame) (Data, error) {
+	var m Data
+	if f.JSON() {
+		var jm jsonData
+		if err := json.Unmarshal(f.Payload, &jm); err != nil {
+			return m, err
+		}
+		ts, err := fromJSONTuples(jm.Tuples)
+		if err != nil {
+			return m, err
+		}
+		return Data{Stream: jm.Stream, Epoch: jm.Epoch, Tuples: ts}, nil
+	}
+	s, w, err := decodeString(f.Payload)
+	if err != nil {
+		return m, err
+	}
+	rest := f.Payload[w:]
+	if len(rest) < 8 {
+		return m, ErrShort
+	}
+	epoch := int64(binary.BigEndian.Uint64(rest))
+	ts, _, err := DecodeTuples(rest[8:])
+	if err != nil {
+		return m, err
+	}
+	return Data{Stream: s, Epoch: epoch, Tuples: ts}, nil
+}
+
+// Ack acknowledges a Publish or Advance. Pending/Cap report the
+// receptor channel's backlog after the operation — the client's
+// backpressure signal — and Dropped the channel's lifetime eviction
+// count.
+type Ack struct {
+	Seq     uint64 `json:"seq"`
+	Pending int64  `json:"pending"`
+	Cap     int64  `json:"cap"`
+	Dropped int64  `json:"dropped"`
+}
+
+// Frame encodes the message binary.
+func (m Ack) Frame() Frame {
+	p := binary.BigEndian.AppendUint64(nil, m.Seq)
+	p = binary.BigEndian.AppendUint64(p, uint64(m.Pending))
+	p = binary.BigEndian.AppendUint64(p, uint64(m.Cap))
+	p = binary.BigEndian.AppendUint64(p, uint64(m.Dropped))
+	return Frame{Type: TypeAck, Payload: p}
+}
+
+// DecodeAck decodes an ack frame (binary or JSON).
+func DecodeAck(f Frame) (Ack, error) {
+	var m Ack
+	if f.JSON() {
+		return m, json.Unmarshal(f.Payload, &m)
+	}
+	if len(f.Payload) < 32 {
+		return m, ErrShort
+	}
+	m.Seq = binary.BigEndian.Uint64(f.Payload)
+	m.Pending = int64(binary.BigEndian.Uint64(f.Payload[8:]))
+	m.Cap = int64(binary.BigEndian.Uint64(f.Payload[16:]))
+	m.Dropped = int64(binary.BigEndian.Uint64(f.Payload[24:]))
+	return m, nil
+}
+
+// ErrorMsg reports a failure to the peer.
+type ErrorMsg struct {
+	Msg string `json:"msg"`
+}
+
+// Frame encodes the message binary.
+func (m ErrorMsg) Frame() Frame {
+	return Frame{Type: TypeError, Payload: appendString(nil, m.Msg)}
+}
+
+// DecodeError decodes an error frame (binary or JSON).
+func DecodeError(f Frame) (ErrorMsg, error) {
+	var m ErrorMsg
+	if f.JSON() {
+		return m, json.Unmarshal(f.Payload, &m)
+	}
+	s, _, err := decodeString(f.Payload)
+	if err != nil {
+		return m, err
+	}
+	m.Msg = s
+	return m, nil
+}
+
+// Errorf builds an error frame from a format string.
+func Errorf(format string, args ...any) Frame {
+	return ErrorMsg{Msg: fmt.Sprintf(format, args...)}.Frame()
+}
+
+// Drain tells a subscriber the stream is complete; the payload carries
+// the final committed epoch (UnixNano), 0 if none.
+type Drain struct {
+	FinalEpoch int64 `json:"final_epoch"`
+}
+
+// Frame encodes the message binary.
+func (m Drain) Frame() Frame {
+	return Frame{Type: TypeDrain, Payload: binary.BigEndian.AppendUint64(nil, uint64(m.FinalEpoch))}
+}
+
+// DecodeDrain decodes a drain frame (binary or JSON).
+func DecodeDrain(f Frame) (Drain, error) {
+	var m Drain
+	if f.JSON() {
+		return m, json.Unmarshal(f.Payload, &m)
+	}
+	if len(f.Payload) < 8 {
+		return m, ErrShort
+	}
+	m.FinalEpoch = int64(binary.BigEndian.Uint64(f.Payload))
+	return m, nil
+}

@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"esp/internal/stream"
+)
+
+func sampleTuples() []stream.Tuple {
+	return []stream.Tuple{
+		{Ts: time.Unix(3, 141592653).UTC(), Values: []stream.Value{
+			stream.String("r0"), stream.String("shelf"), stream.Int(-42),
+			stream.Float(math.Pi), stream.Bool(true), stream.Null(),
+			stream.Time(time.Unix(99, 7).UTC()),
+		}},
+		{Ts: time.Unix(4, 0).UTC(), Values: nil},
+		{Ts: time.Unix(5, 5).UTC(), Values: []stream.Value{stream.String("")}},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: TypeHello, Payload: []byte("x")},
+		{Type: TypeData, Flags: FlagJSON, Payload: []byte(`{"stream":"rfid"}`)},
+		{Type: TypeDrain, Payload: nil},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Flags != want.Flags || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("trailing read = %v, want EOF", err)
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	if _, _, err := DecodeFrame([]byte{0xde, 0xad, 0, 0, 0, 0, 0, 0}); err != ErrBadMagic {
+		t.Errorf("bad magic: %v", err)
+	}
+	huge := AppendFrame(nil, Frame{Type: TypeData})
+	huge[4], huge[5], huge[6], huge[7] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := DecodeFrame(huge); err != ErrTooLarge {
+		t.Errorf("huge length: %v", err)
+	}
+	ok := AppendFrame(nil, Frame{Type: TypeData, Payload: []byte("hello")})
+	if _, _, err := DecodeFrame(ok[:len(ok)-1]); err != ErrShort {
+		t.Errorf("truncated: %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(ok[:len(ok)-1])); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated stream: %v", err)
+	}
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	want := sampleTuples()
+	enc := AppendTuples(nil, want)
+	got, n, err := DecodeTuples(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", n, len(enc))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %v\nwant %v", got, want)
+	}
+	// Canonical: re-encoding the decoded tuples is byte-identical.
+	if re := AppendTuples(nil, got); !bytes.Equal(re, enc) {
+		t.Fatal("re-encoding is not canonical")
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	pub := Publish{Receptor: "mote-17", Seq: 9, Tuples: sampleTuples()}
+	for name, f := range map[string]Frame{"binary": pub.Frame(), "json": pub.FrameJSON()} {
+		got, err := DecodePublish(f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Receptor != pub.Receptor || got.Seq != pub.Seq || !reflect.DeepEqual(got.Tuples, pub.Tuples) {
+			t.Fatalf("%s publish mismatch: %+v", name, got)
+		}
+	}
+
+	data := Data{Stream: "rfid", Epoch: 123456789, Tuples: sampleTuples()}
+	for name, f := range map[string]Frame{"binary": data.Frame(), "json": data.FrameJSON()} {
+		got, err := DecodeData(f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Stream != data.Stream || got.Epoch != data.Epoch || !reflect.DeepEqual(got.Tuples, data.Tuples) {
+			t.Fatalf("%s data mismatch: %+v", name, got)
+		}
+	}
+
+	hello := Hello{Tenant: "lab", Role: "publish"}
+	if got, err := DecodeHello(hello.Frame()); err != nil || got != hello {
+		t.Fatalf("hello: %+v, %v", got, err)
+	}
+	create := Create{Tenant: "lab", Spec: []byte(`{"epoch":"1s"}`)}
+	if got, err := DecodeCreate(create.Frame()); err != nil || got.Tenant != create.Tenant || !bytes.Equal(got.Spec, create.Spec) {
+		t.Fatalf("create: %+v, %v", got, err)
+	}
+	adv := Advance{Seq: 3, Now: -62135596800000000}
+	if got, err := DecodeAdvance(adv.Frame()); err != nil || got != adv {
+		t.Fatalf("advance: %+v, %v", got, err)
+	}
+	sub := Subscribe{Tenant: "lab", Stream: "virtualize"}
+	if got, err := DecodeSubscribe(sub.Frame()); err != nil || got != sub {
+		t.Fatalf("subscribe: %+v, %v", got, err)
+	}
+	ack := Ack{Seq: 7, Pending: 12, Cap: 1024, Dropped: 3}
+	if got, err := DecodeAck(ack.Frame()); err != nil || got != ack {
+		t.Fatalf("ack: %+v, %v", got, err)
+	}
+	em := ErrorMsg{Msg: "no such tenant"}
+	if got, err := DecodeError(em.Frame()); err != nil || got != em {
+		t.Fatalf("error: %+v, %v", got, err)
+	}
+	dr := Drain{FinalEpoch: 42}
+	if got, err := DecodeDrain(dr.Frame()); err != nil || got != dr {
+		t.Fatalf("drain: %+v, %v", got, err)
+	}
+}
+
+// TestDecodeTuplesHostileCounts pins the allocation guards: length and
+// count fields larger than the buffer must error, not allocate.
+func TestDecodeTuplesHostileCounts(t *testing.T) {
+	// Tuple count 2^60 with no data behind it.
+	hostile := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f}
+	if _, _, err := DecodeTuples(hostile); err == nil {
+		t.Fatal("hostile tuple count decoded")
+	}
+	// String length past the end of the buffer.
+	enc := AppendTuple(nil, stream.Tuple{Ts: time.Unix(0, 0), Values: []stream.Value{stream.String("abcdef")}})
+	if _, _, err := decodeTuple(enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncated string decoded")
+	}
+}
