@@ -4,13 +4,14 @@ GO ?= go
 # `make check` runs, longer via `make fuzz FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race diff chaos serve-smoke fuzz-smoke fuzz bench bench-json
+.PHONY: check vet build test race diff chaos serve-smoke wal-smoke fuzz-smoke fuzz bench bench-json
 
 ## check: everything CI needs — vet, build, full tests, race-detector pass
 ## over the concurrent executor, the differential oracle suite, the chaos
 ## (fault-injection) harness, the serving-layer smoke (loadgen vs the
-## in-process oracle), and a short fuzz round per target.
-check: vet build test race diff chaos serve-smoke fuzz-smoke
+## in-process oracle), the WAL crash-recovery smoke, and a short fuzz
+## round per target.
+check: vet build test race diff chaos serve-smoke wal-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +43,13 @@ serve-smoke:
 	$(GO) run ./cmd/esploadgen -motes 200 -epochs 10 -out /dev/null
 	$(GO) test ./internal/server -race -count=1
 
+## wal-smoke: the torn-write/corruption battery (crash injection across
+## the three example deployments) and the recovery-replay-commute
+## differential, both under -race.
+wal-smoke:
+	$(GO) test ./internal/wal/... -race -count=1
+	$(GO) test ./internal/oracle -race -run 'TestRecoveryCaseClean' -count=1
+
 ## fuzz-smoke: one short coverage-guided round per fuzz target, seeded
 ## from the committed corpora under testdata/fuzz.
 fuzz-smoke:
@@ -50,6 +58,7 @@ fuzz-smoke:
 	$(GO) test ./internal/stream -run '^$$' -fuzz FuzzCompileExpr -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/oracle -run '^$$' -fuzz FuzzWindowAlgebra -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzFrame -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzSegment -fuzztime $(FUZZTIME)
 
 ## fuzz: longer fuzz rounds (override FUZZTIME, e.g. make fuzz FUZZTIME=10m).
 fuzz:
@@ -61,9 +70,11 @@ bench:
 
 ## bench-json: regenerate the committed perf snapshots at the repo root —
 ## BENCH_baseline.json (telemetry-off wall-time profile), BENCH_obs.json
-## (telemetry overhead matrix) and BENCH_batch.json (columnar-vs-tuple
-## execution comparison; see EXPERIMENTS.md).
+## (telemetry overhead matrix), BENCH_batch.json (columnar-vs-tuple
+## execution comparison) and BENCH_wal.json (journalling overhead +
+## crash-recovery time; see EXPERIMENTS.md).
 bench-json:
 	$(GO) run ./cmd/espbench -exp baseline
 	$(GO) run ./cmd/espbench -exp obs
 	$(GO) run ./cmd/espbench -exp batch
+	$(GO) run ./cmd/espbench -exp wal

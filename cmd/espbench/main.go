@@ -13,6 +13,7 @@
 //	espbench -exp baseline telemetry-off wall-time profile (BENCH_baseline.json)
 //	espbench -exp obs      runtime-telemetry overhead matrix (BENCH_obs.json)
 //	espbench -exp batch    columnar-vs-tuple execution comparison (BENCH_batch.json)
+//	espbench -exp wal      WAL append overhead + crash-recovery time (BENCH_wal.json)
 //	espbench -exp all      everything above
 //
 // Add -trace to emit the per-epoch series behind the figure (CSV on
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment id: fig3, fig5, fig6, fig7, yield, spatial, fig9, actuation, model, robust, sched, chaos, baseline, obs, batch, all")
+	expName := flag.String("exp", "all", "experiment id: fig3, fig5, fig6, fig7, yield, spatial, fig9, actuation, model, robust, sched, chaos, baseline, obs, batch, wal, all")
 	trace := flag.Bool("trace", false, "emit per-epoch trace CSV after the summary")
 	seed := flag.Int64("seed", 0, "override the simulation seed (0 = calibrated defaults)")
 	flag.Parse()
@@ -50,8 +51,9 @@ func main() {
 		"baseline":  runBaseline,
 		"obs":       runObs,
 		"batch":     runBatch,
+		"wal":       runWAL,
 	}
-	order := []string{"fig3", "fig5", "fig6", "fig7", "yield", "spatial", "fig9", "actuation", "model", "robust", "sched", "chaos", "baseline", "obs", "batch"}
+	order := []string{"fig3", "fig5", "fig6", "fig7", "yield", "spatial", "fig9", "actuation", "model", "robust", "sched", "chaos", "baseline", "obs", "batch", "wal"}
 
 	if *expName == "all" {
 		for _, name := range order {

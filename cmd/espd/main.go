@@ -10,11 +10,21 @@
 //
 //	espd -addr :5599 -metrics :9131
 //	espd -spec acme=deploy.json               # preload a tenant at boot
+//	espd -wal-dir /var/lib/espd/wal           # durable: journal + recovery
+//
+// With -wal-dir every tenant journals its publishes and epoch barriers
+// to <wal-dir>/<tenant>/ (fsync at each committed epoch), archives its
+// cleaned output beside the journal, and a restart replays each
+// journal's committed history through a fresh pipeline before serving
+// — exactly-once resume from the last committed epoch. Readings
+// published after the last committed epoch are discarded at recovery
+// (they were never acked as durable); clients re-send them.
 //
 // On SIGINT/SIGTERM espd drains gracefully: in-flight epochs are
 // committed and flushed, subscribers receive a Drain frame carrying the
 // final committed epoch, and the telemetry endpoint stays up until
-// everything else is down.
+// everything else is down. A drained journal's catalog is stamped
+// completed, so the next boot skips replay.
 package main
 
 import (
@@ -35,6 +45,7 @@ func main() {
 	addr := flag.String("addr", ":5599", "wire protocol listen address")
 	metrics := flag.String("metrics", "", "telemetry exposition address (empty = disabled)")
 	maxTenants := flag.Int("max-tenants", server.DefaultMaxTenants, "maximum hosted pipelines")
+	walDir := flag.String("wal-dir", "", "write-ahead log root: journal publishes, fsync epoch barriers, recover tenants at boot (empty = in-memory only)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
 	var preloads []string
 	flag.Func("spec", "preload a tenant at boot as name=specfile (repeatable)", func(v string) error {
@@ -48,11 +59,25 @@ func main() {
 		Addr:        *addr,
 		MetricsAddr: *metrics,
 		MaxTenants:  *maxTenants,
+		WALDir:      *walDir,
 		Logger:      log,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "espd:", err)
 		os.Exit(1)
+	}
+	reports, err := s.Engine().Recover()
+	if err != nil {
+		// Tenants that recovered cleanly keep running; the failures are
+		// fatal so an operator never silently serves with lost history.
+		fmt.Fprintln(os.Stderr, "espd: recovery:", err)
+		os.Exit(1)
+	}
+	for _, rep := range reports {
+		log.Info("tenant recovered", "tenant", rep.Tenant,
+			"epochs", rep.Epochs, "last", rep.Last.Format(time.RFC3339Nano),
+			"discarded_publishes", rep.TailPublishes, "discarded_bytes", rep.Discarded,
+			"corruption", rep.Corruption)
 	}
 	for _, pl := range preloads {
 		name, file, ok := strings.Cut(pl, "=")
@@ -64,6 +89,12 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "espd:", err)
 			os.Exit(1)
+		}
+		if _, ok := s.Engine().Tenant(name); ok {
+			// Creating over a recovered tenant would reset its journal;
+			// a boot-time preload must never cost recovered history.
+			log.Info("tenant already recovered; skipping preload", "tenant", name, "spec", file)
+			continue
 		}
 		if _, err := s.Engine().Create(name, spec); err != nil {
 			fmt.Fprintf(os.Stderr, "espd: preload %q: %v\n", name, err)

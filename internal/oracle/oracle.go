@@ -29,6 +29,9 @@
 //     naively (Deployment.DisableOptimizer), byte-level.
 //   - chaos-drop-commute: online drop-fault injection (receptor.Faulty)
 //     against offline trace thinning (receptor.ThinTrace), byte-level.
+//   - recovery-replay-commute: a served deployment killed at a random
+//     epoch and recovered from its write-ahead log against an
+//     uninterrupted run, byte-level by output fingerprint.
 //
 // Byte-level comparison is sound only between execution paths that fold
 // the same value multiset in the same order through the same accumulator
@@ -51,9 +54,10 @@ type Config struct {
 	// from it, so any reported counterexample is reproducible from the
 	// (check, seed) pair alone.
 	Seed int64
-	// WindowCases, SchedCases, PlanCases, BatchCases, OptCases and
-	// ChaosCases size the case generators, one per check family.
-	WindowCases, SchedCases, PlanCases, BatchCases, OptCases, ChaosCases int
+	// WindowCases, SchedCases, PlanCases, BatchCases, OptCases,
+	// ChaosCases and RecoveryCases size the case generators, one per
+	// check family.
+	WindowCases, SchedCases, PlanCases, BatchCases, OptCases, ChaosCases, RecoveryCases int
 	// RefStdev, when non-nil, replaces the reference implementation's
 	// standard-deviation finisher. The harness's own tests use it to
 	// inject a deliberately wrong aggregate (the legacy catastrophically
@@ -65,7 +69,7 @@ type Config struct {
 // DefaultConfig sizes a run for `make check`: every check exercised,
 // ≥ 50 cases total, a few seconds of wall clock.
 func DefaultConfig() Config {
-	return Config{Seed: 1, WindowCases: 40, SchedCases: 8, PlanCases: 10, BatchCases: 8, OptCases: 8, ChaosCases: 8}
+	return Config{Seed: 1, WindowCases: 40, SchedCases: 8, PlanCases: 10, BatchCases: 8, OptCases: 8, ChaosCases: 8, RecoveryCases: 6}
 }
 
 // Divergence is one caught disagreement between two execution paths of

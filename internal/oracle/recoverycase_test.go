@@ -1,0 +1,14 @@
+package oracle
+
+import "testing"
+
+// TestRecoveryCaseClean runs the crash-recovery differential directly
+// over a seed spread wide enough to hit every battery deployment and a
+// variety of crash epochs.
+func TestRecoveryCaseClean(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		if d := CheckRecoveryCase(seed); d != nil {
+			t.Fatalf("seed %d:\n%v", seed, d)
+		}
+	}
+}

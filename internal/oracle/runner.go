@@ -5,8 +5,9 @@ package oracle
 // (seq-vs-parallel, pipeline-vs-reference), PlanCases paired
 // deployments (cql-vs-handbuilt), BatchCases execution-mode pairs
 // (batched-vs-tuple), OptCases planning-mode pairs
-// (optimized-vs-unoptimized), and ChaosCases fault-injected
-// deployments (chaos-drop-commute). It returns the number of cases
+// (optimized-vs-unoptimized), ChaosCases fault-injected deployments
+// (chaos-drop-commute), and RecoveryCases crash-recovery differentials
+// (recovery-replay-commute). It returns the number of cases
 // executed and the first divergence found, minimized — or nil when every
 // cross-check agreed. Case i of each family uses seed cfg.Seed+i, so a
 // reported Divergence reproduces from its (Check, Seed) pair alone.
@@ -45,6 +46,12 @@ func Run(cfg Config) (int, *Divergence) {
 	for i := 0; i < cfg.ChaosCases; i++ {
 		cases++
 		if d := CheckChaosCase(GenDeploymentCase(cfg.Seed + int64(i))); d != nil {
+			return cases, d
+		}
+	}
+	for i := 0; i < cfg.RecoveryCases; i++ {
+		cases++
+		if d := CheckRecoveryCase(cfg.Seed + int64(i)); d != nil {
 			return cases, d
 		}
 	}

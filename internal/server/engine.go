@@ -2,6 +2,8 @@ package server
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -15,6 +17,8 @@ import (
 // byte-identical to an in-process run of the same spec and input.
 type Engine struct {
 	maxTenants int
+	walDir     string
+	walNoSync  bool
 
 	mu      sync.Mutex
 	tenants map[string]*Tenant
@@ -32,13 +36,38 @@ func NewEngine(maxTenants int) *Engine {
 	return &Engine{maxTenants: maxTenants, tenants: make(map[string]*Tenant)}
 }
 
+// SetWALDir enables per-tenant write-ahead logging under dir: every
+// tenant created afterwards journals its publishes and epoch barriers
+// in dir/<name>/, and Recover rebuilds tenants from those directories
+// at boot. Call before Create/Recover; not safe concurrently with
+// them.
+func (e *Engine) SetWALDir(dir string) { e.walDir = dir }
+
+// WALDir reports the engine's WAL root ("" = journalling off).
+func (e *Engine) WALDir() string { return e.walDir }
+
+// SetWALNoSync disables the per-commit fdatasync on every tenant
+// created afterwards. It voids the durability contract (a machine
+// crash can lose acked epochs; a process crash cannot) — only for the
+// bench's overhead decomposition and tests. Same call discipline as
+// SetWALDir.
+func (e *Engine) SetWALNoSync(on bool) { e.walNoSync = on }
+
 // Create compiles a spec and starts a tenant pipeline under name. If
 // the name is taken, the existing tenant is drained first and replaced
 // — the "alter" path: resubmitting a spec swaps the pipeline without
-// losing the old one's committed epochs.
+// losing the old one's committed epochs. With a WAL dir set, creating
+// a tenant RESETS its journal directory (an altered pipeline cannot
+// replay the old pipeline's history); resuming a journal is Recover's
+// job, not Create's.
 func (e *Engine) Create(name string, spec []byte) (*Tenant, error) {
 	if name == "" {
 		return nil, fmt.Errorf("server: tenant name required")
+	}
+	if e.walDir != "" {
+		if err := checkTenantDirName(name); err != nil {
+			return nil, err
+		}
 	}
 	ps, err := parseSpec(spec)
 	if err != nil {
@@ -60,7 +89,25 @@ func (e *Engine) Create(name string, spec []byte) (*Tenant, error) {
 			return nil, fmt.Errorf("server: draining replaced tenant %q: %w", name, err)
 		}
 	}
-	t, err := newTenant(name, ps)
+	walDir := ""
+	if e.walDir != "" {
+		walDir = filepath.Join(e.walDir, name)
+		// A fresh create (or an alter) starts a fresh history: the old
+		// journal was written under a different pipeline and must not
+		// be replayed into this one.
+		if err := os.RemoveAll(walDir); err != nil {
+			return nil, fmt.Errorf("server: resetting wal dir for %q: %w", name, err)
+		}
+		if err := os.MkdirAll(walDir, 0o755); err != nil {
+			return nil, err
+		}
+		// Persist the spec beside the journal so Recover can rebuild
+		// the pipeline without any out-of-band state.
+		if err := os.WriteFile(filepath.Join(walDir, specFile), spec, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	t, err := newTenant(name, ps, walDir, e.walNoSync)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// specFile is the spec document persisted beside each tenant's journal
+// — everything Recover needs to rebuild the pipeline.
+const specFile = "spec.json"
+
+// checkTenantDirName rejects tenant names that cannot double as a
+// journal directory name: path separators or traversal in a name would
+// let a hostile create frame escape the WAL root.
+func checkTenantDirName(name string) error {
+	if name == "" || name == "." || name == ".." ||
+		name != filepath.Base(name) || strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("server: tenant name %q is not filesystem-safe (WAL is enabled)", name)
+	}
+	return nil
+}
+
+// RecoveryReport summarises one tenant's boot recovery.
+type RecoveryReport struct {
+	// Tenant is the recovered tenant's name.
+	Tenant string
+	// Epochs is how many committed epochs were replayed.
+	Epochs int
+	// Last is the last committed barrier the tenant resumed from.
+	Last time.Time
+	// TailPublishes counts valid publishes journalled after the last
+	// barrier — never acked as durable, so discarded: their senders
+	// must re-send everything after Last.
+	TailPublishes int
+	// Corruption describes why the journal scan stopped early ("" for
+	// a clean tail); everything after the stop point was truncated.
+	Corruption string
+	// Discarded is how many journal bytes truncation dropped.
+	Discarded int64
+}
+
+// Recover scans the engine's WAL root and rebuilds a tenant from every
+// journal directory found: the persisted spec recompiles the pipeline,
+// the journal's committed epochs replay through it (byte-identical
+// state, by the replay-commute property), and the tenant resumes
+// accepting publishes and advances exactly after its last committed
+// epoch. Tenants that recovered cleanly keep running even when others
+// fail; the joined error reports every failure. Call once at boot,
+// before serving traffic.
+func (e *Engine) Recover() ([]RecoveryReport, error) {
+	if e.walDir == "" {
+		return nil, nil
+	}
+	ents, err := os.ReadDir(e.walDir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var reports []RecoveryReport
+	var errs []error
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		dir := filepath.Join(e.walDir, name)
+		spec, err := os.ReadFile(filepath.Join(dir, specFile))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("server: recover %q: %w", name, err))
+			continue
+		}
+		ps, err := parseSpec(spec)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("server: recover %q: %w", name, err))
+			continue
+		}
+		e.mu.Lock()
+		if e.drained {
+			e.mu.Unlock()
+			errs = append(errs, fmt.Errorf("server: recover %q: engine is draining", name))
+			break
+		}
+		if _, taken := e.tenants[name]; taken {
+			e.mu.Unlock()
+			errs = append(errs, fmt.Errorf("server: recover %q: tenant already exists", name))
+			continue
+		}
+		if len(e.tenants) >= e.maxTenants {
+			e.mu.Unlock()
+			errs = append(errs, fmt.Errorf("server: recover %q: tenant limit (%d) reached", name, e.maxTenants))
+			continue
+		}
+		e.mu.Unlock()
+		t, err := newTenant(name, ps, dir, e.walNoSync)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("server: recover %q: %w", name, err))
+			continue
+		}
+		e.mu.Lock()
+		e.tenants[name] = t
+		e.mu.Unlock()
+		rep := RecoveryReport{Tenant: name, Last: t.Last()}
+		if rec := t.Recovered(); rec != nil {
+			rep.Epochs = len(rec.Epochs)
+			rep.TailPublishes = len(rec.Tail)
+			rep.Corruption = rec.Corruption
+			rep.Discarded = rec.Discarded
+		}
+		reports = append(reports, rep)
+	}
+	return reports, errors.Join(errs...)
+}

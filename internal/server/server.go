@@ -26,6 +26,10 @@ type Config struct {
 	MetricsAddr string
 	// MaxTenants bounds hosted pipelines (default DefaultMaxTenants).
 	MaxTenants int
+	// WALDir, if non-empty, enables per-tenant write-ahead logging
+	// under this directory (see Engine.SetWALDir). The caller decides
+	// when to run boot recovery via Engine().Recover().
+	WALDir string
 	// Logger receives connection lifecycle events (nil = silent).
 	Logger *slog.Logger
 }
@@ -65,6 +69,9 @@ func Listen(cfg Config) (*Server, error) {
 		log:  log,
 		reg:  telemetry.NewRegistry(),
 		open: make(map[net.Conn]struct{}),
+	}
+	if cfg.WALDir != "" {
+		s.eng.SetWALDir(cfg.WALDir)
 	}
 	s.conns = s.reg.Counter("server_conns_total")
 	s.active = s.reg.Counter("server_conns_active")

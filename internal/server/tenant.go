@@ -9,6 +9,7 @@ import (
 	"esp/internal/receptor"
 	"esp/internal/stream"
 	"esp/internal/telemetry"
+	"esp/internal/wal"
 	"esp/internal/wire"
 )
 
@@ -35,11 +36,19 @@ type Tenant struct {
 	quit chan struct{} // closed by the drain command; tells loop to exit
 	done chan struct{} // closed when loop has exited
 
+	// jl, when non-nil, is the tenant's write-ahead log: publishes are
+	// journalled before they are acked, and every committed epoch ends
+	// with a fsynced barrier. recovered carries what Open found in an
+	// existing journal (nil when the tenant started fresh).
+	jl        *wal.Log
+	recovered *wal.Recovery
+
 	// Actor-owned state (touched only inside mailbox commands).
-	last    time.Time                 // latest committed epoch boundary
-	pending map[string][]stream.Tuple // per-stream output buffered during a Step
-	subs    []*subscriber
-	drained bool
+	last      time.Time                 // latest committed epoch boundary
+	pending   map[string][]stream.Tuple // per-stream output buffered during a Step
+	subs      []*subscriber
+	drained   bool
+	replaying bool // inside boot replay: suppress re-journalling
 
 	// Telemetry counters (atomic; readable from any goroutine).
 	tuplesIn  *telemetry.Counter
@@ -66,7 +75,14 @@ const subscriberBuffer = 1024
 // newTenant compiles a spec and starts the tenant actor. The tenant's
 // registry is the processor's own, extended with the serve_* counters,
 // so one exposition block carries both pipeline and serving telemetry.
-func newTenant(name string, ps *parsedSpec) (*Tenant, error) {
+//
+// walDir, when non-empty, is this tenant's log directory: the journal
+// in it is scanned (truncating any torn or uncommitted tail), its
+// committed epochs are replayed through the fresh processor before the
+// actor starts — rebuilding window state exactly, by the
+// replay-commute property the oracle proves — and the log stays open
+// for the tenant's own journalling.
+func newTenant(name string, ps *parsedSpec, walDir string, walNoSync bool) (*Tenant, error) {
 	proc, err := core.NewProcessor(ps.dep)
 	if err != nil {
 		return nil, err
@@ -123,9 +139,57 @@ func newTenant(name string, ps *parsedSpec) (*Tenant, error) {
 		})
 	}
 
+	if walDir != "" {
+		jl, rec, err := wal.Open(wal.Options{Dir: walDir, Source: name, Registry: t.reg, NoSync: walNoSync})
+		if err != nil {
+			return nil, fmt.Errorf("server: tenant %q: wal: %w", name, err)
+		}
+		t.jl = jl
+		if !rec.Empty() {
+			t.recovered = rec
+			if err := t.replay(rec); err != nil {
+				jl.Crash() // leave the catalog uncompleted; the journal is untouched
+				return nil, err
+			}
+		}
+	}
+
 	go t.loop()
 	return t, nil
 }
+
+// replay drives the recovered history through the processor before the
+// actor starts (no concurrency yet, so the actor-owned state is safe
+// to touch directly). Publishes go to the same channels in journal
+// order and every barrier commits through the same stepLocked path, so
+// the rebuilt state is byte-identical to the pre-crash run's — only
+// re-journalling and the fsync are suppressed, and with no subscribers
+// attached yet nothing is delivered twice.
+func (t *Tenant) replay(rec *wal.Recovery) error {
+	replayedEpochs := t.reg.Counter("wal_replayed_epochs")
+	replayedTuples := t.reg.Counter("wal_replayed_tuples")
+	t.replaying = true
+	defer func() { t.replaying = false }()
+	for _, ep := range rec.Epochs {
+		for _, p := range ep.Publishes {
+			ch, ok := t.chans[p.Receptor]
+			if !ok {
+				return fmt.Errorf("server: tenant %q: journal names unknown receptor %q (spec drift?)", t.name, p.Receptor)
+			}
+			ch.PublishAll(p.Tuples)
+			replayedTuples.Add(int64(len(p.Tuples)))
+		}
+		if err := t.stepLocked(ep.Boundary); err != nil {
+			return fmt.Errorf("server: tenant %q: replay: %w", t.name, err)
+		}
+		replayedEpochs.Add(1)
+	}
+	return nil
+}
+
+// Recovered reports what boot recovery replayed (nil when the tenant
+// started fresh or journalling is off).
+func (t *Tenant) Recovered() *wal.Recovery { return t.recovered }
 
 func (t *Tenant) loop() {
 	defer close(t.done)
@@ -192,7 +256,19 @@ func (t *Tenant) Publish(rec string, ts []stream.Tuple) (wire.Ack, error) {
 	if max := t.quota.maxPublishTuples(); len(ts) > max {
 		return wire.Ack{}, fmt.Errorf("server: publish of %d tuples exceeds tenant quota %d", len(ts), max)
 	}
-	ch.PublishAll(ts)
+	if t.jl != nil {
+		// Journal before ack. The channel publish runs under the log's
+		// lock so journal order and channel order agree even with
+		// concurrent publishers — what makes replay byte-identical.
+		// The record is durable at the next commit barrier; a crash
+		// before then loses it, which is the documented contract:
+		// clients re-send everything after the last committed epoch.
+		if err := t.jl.Journal(rec, ts, func() { ch.PublishAll(ts) }); err != nil {
+			return wire.Ack{}, fmt.Errorf("server: tenant %q: journal: %w", t.name, err)
+		}
+	} else {
+		ch.PublishAll(ts)
+	}
 	t.framesIn.Add(1)
 	t.tuplesIn.Add(int64(len(ts)))
 	return wire.Ack{
@@ -221,13 +297,29 @@ func (t *Tenant) advanceLocked(now time.Time) error {
 	return nil
 }
 
-// stepLocked commits one epoch boundary and flushes its output.
+// stepLocked commits one epoch boundary and flushes its output. With a
+// WAL attached the barrier is made durable (archive the epoch's
+// output, append the journal barrier, fsync) before subscribers see
+// the epoch — an advance ack therefore guarantees the epoch survives
+// a crash. During boot replay the barrier already exists on disk, so
+// only lost archive records are regenerated.
 func (t *Tenant) stepLocked(b time.Time) error {
 	if err := t.proc.Step(b); err != nil {
 		return fmt.Errorf("server: tenant %q: %w", t.name, err)
 	}
 	t.last = b
 	t.epochs.Add(1)
+	if t.jl != nil {
+		var err error
+		if t.replaying {
+			err = t.jl.ReplayCommit(b, t.pending)
+		} else {
+			err = t.jl.Commit(b, t.pending)
+		}
+		if err != nil {
+			return fmt.Errorf("server: tenant %q: wal: %w", t.name, err)
+		}
+	}
 	t.flushLocked(b)
 	return nil
 }
@@ -356,13 +448,38 @@ func (t *Tenant) drainLocked() error {
 			return err
 		}
 	}
+	var err error
+	if t.jl != nil {
+		// Clean shutdown: sync both files and stamp the catalog
+		// completed, so the next boot knows no recovery is needed.
+		err = t.jl.Close()
+	}
 	final := t.last.UnixNano()
 	for _, sub := range t.subs {
 		sub.final = final
 		close(sub.ch)
 	}
 	t.subs = nil
-	return nil
+	return err
+}
+
+// Crash abandons the tenant the way a process kill would: the actor
+// stops without draining, subscribers close without a final epoch, and
+// the WAL drops its userspace buffers without flushing — on disk,
+// exactly the committed (fsynced) epochs survive. Test support for the
+// crash-recovery harnesses; a real process kill is strictly harsher
+// only in ways the torn-write battery covers by mutating the files.
+func (t *Tenant) Crash() {
+	t.drainOnce(func() {
+		if t.jl != nil {
+			t.jl.Crash()
+		}
+		for _, sub := range t.subs {
+			sub.lost = true
+			close(sub.ch)
+		}
+		t.subs = nil
+	})
 }
 
 // Last reports the latest committed epoch boundary.

@@ -1,0 +1,68 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// catalogFile is the catalog's filename inside a log directory.
+const catalogFile = "catalog.json"
+
+// Catalog summarises what a log directory holds: which source produced
+// it, the committed epoch range, record counts, and whether the writer
+// closed cleanly. It is advisory — the segments are ground truth and a
+// recovery scan rebuilds it — but it lets an operator (or a future
+// historical-query planner) answer "what is in here?" without reading
+// the segments. Completed=false on disk means the writer is live or
+// died: the recovery path.
+type Catalog struct {
+	// Source names the producer (the tenant name).
+	Source string `json:"source"`
+	// StartEpoch and EndEpoch bound the committed epochs (UnixNano;
+	// zero when no epoch has committed).
+	StartEpoch int64 `json:"start_epoch"`
+	EndEpoch   int64 `json:"end_epoch"`
+	// Epochs counts committed barriers.
+	Epochs int64 `json:"epochs"`
+	// PublishRecords/PublishTuples count journalled raw readings.
+	PublishRecords int64 `json:"publish_records"`
+	PublishTuples  int64 `json:"publish_tuples"`
+	// OutputRecords/OutputTuples count archived cleaned output.
+	OutputRecords int64 `json:"output_records"`
+	OutputTuples  int64 `json:"output_tuples"`
+	// JournalSegments and ArchiveSegments count segment files.
+	JournalSegments int `json:"journal_segments"`
+	ArchiveSegments int `json:"archive_segments"`
+	// Completed reports a clean close (drain): false on disk while the
+	// writer is live, and after a crash.
+	Completed bool `json:"completed"`
+}
+
+// ReadCatalog loads a log directory's catalog.
+func ReadCatalog(dir string) (Catalog, error) {
+	var c Catalog
+	b, err := os.ReadFile(filepath.Join(dir, catalogFile))
+	if err != nil {
+		return c, err
+	}
+	if err := json.Unmarshal(b, &c); err != nil {
+		return c, fmt.Errorf("wal: catalog: %w", err)
+	}
+	return c, nil
+}
+
+// writeCatalog atomically replaces the catalog file (write to a temp
+// name, then rename), so a crash mid-write never leaves a torn catalog.
+func writeCatalog(dir string, c Catalog) error {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, catalogFile+".tmp")
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, catalogFile))
+}

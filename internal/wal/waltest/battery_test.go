@@ -1,0 +1,177 @@
+package waltest
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"esp/internal/server"
+	"esp/internal/wal"
+)
+
+// trials is how many randomized offsets each (deployment, injector)
+// cell runs.
+const trials = 3
+
+// smallSegments forces multi-segment journals out of the battery's toy
+// workloads so injectors hit middle segments, not just the tail.
+func smallSegments(t *testing.T) {
+	t.Helper()
+	old := wal.DefaultSegmentBytes
+	wal.DefaultSegmentBytes = 512
+	t.Cleanup(func() { wal.DefaultSegmentBytes = old })
+}
+
+// TestCrashRecoveryFingerprint is the battery's core contract, run for
+// every (deployment, corruption, seed) cell:
+//
+//  1. recovery never panics and never errors — corruption is truncated,
+//     not fatal;
+//  2. the recovered clock stands exactly at the last barrier the
+//     injector's cut left intact (recovery stops at the last valid
+//     record);
+//  3. the recovered epoch cannot be re-committed (exactly-once resume);
+//  4. re-sending the discarded epochs yields output byte-identical
+//     (fingerprint, frame and tuple counts) to the uninterrupted
+//     reference run — window state spanning the cut was rebuilt
+//     exactly.
+func TestCrashRecoveryFingerprint(t *testing.T) {
+	smallSegments(t)
+	injectors := []struct {
+		name string
+		fn   Injector
+	}{
+		{"torn-tail", TornTail},
+		{"truncated-length-prefix", TruncateLengthPrefix},
+		{"flipped-crc-byte", FlipCRCByte},
+		{"duplicated-segment", DuplicateSegment},
+	}
+	for _, d := range Deployments() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			in := d.Workload(42)
+			ref, err := Reference(d, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if Fold(ref).Frames() == 0 {
+				t.Fatal("reference run produced no output")
+			}
+
+			pristine := t.TempDir()
+			crashed, err := RunCrashed(d, in, pristine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := Fold(crashed).Sum(), Fold(ref).Sum(); got != want {
+				t.Fatalf("journalled run diverged before any crash: %016x != %016x", got, want)
+			}
+			jdir := filepath.Join(pristine, d.Name)
+			commits, err := wal.Commits(jdir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(commits) != d.Epochs {
+				t.Fatalf("pristine journal has %d barriers, want %d", len(commits), d.Epochs)
+			}
+			if segs, err := wal.JournalSegments(jdir); err != nil || len(segs) < 3 {
+				t.Fatalf("want a multi-segment journal, got %d segments (err=%v)", len(segs), err)
+			}
+
+			for _, inj := range injectors {
+				inj := inj
+				t.Run(inj.name, func(t *testing.T) {
+					for trial := 0; trial < trials; trial++ {
+						r := rand.New(rand.NewSource(int64(trial)<<8 + int64(len(d.Name)+len(inj.name))))
+						root := t.TempDir()
+						if err := CopyDir(pristine, root); err != nil {
+							t.Fatal(err)
+						}
+						cut, desc, err := inj.fn(filepath.Join(root, d.Name), r)
+						if err != nil {
+							t.Fatal(err)
+						}
+
+						// Predict the surviving history from the pristine
+						// barrier positions and the injector's cut.
+						survive := 0
+						for _, c := range commits {
+							if cut.Survives(c) {
+								survive++
+							} else {
+								break
+							}
+						}
+						t.Logf("trial %d: %s -> expect %d/%d epochs", trial, desc, survive, d.Epochs)
+
+						eng := server.NewEngine(0)
+						eng.SetWALDir(root)
+						reports, err := eng.Recover()
+						if err != nil {
+							t.Fatalf("%s: recover: %v", desc, err)
+						}
+						if len(reports) != 1 {
+							t.Fatalf("%s: %d recovery reports", desc, len(reports))
+						}
+						rep := reports[0]
+						if rep.Epochs != survive {
+							t.Fatalf("%s: recovered %d epochs, want %d (corruption=%q)",
+								desc, rep.Epochs, survive, rep.Corruption)
+						}
+						ten, ok := eng.Tenant(d.Name)
+						if !ok {
+							t.Fatalf("%s: tenant missing after recovery", desc)
+						}
+						if survive > 0 && !ten.Last().Equal(d.Boundary(survive)) {
+							t.Fatalf("%s: clock at %v, want %v", desc, ten.Last(), d.Boundary(survive))
+						}
+
+						// Exactly-once: re-advancing to the recovered barrier
+						// commits nothing.
+						before := ten.Stats().Epochs
+						if err := ten.Advance(d.Boundary(survive)); err != nil {
+							t.Fatal(err)
+						}
+						if ten.Stats().Epochs != before {
+							t.Fatalf("%s: recovered epoch was re-committed", desc)
+						}
+
+						// Re-send the discarded epochs; their output must be
+						// byte-identical to the reference run's.
+						got, err := Resume(ten, d, in, survive)
+						if err != nil {
+							t.Fatalf("%s: resume: %v", desc, err)
+						}
+						gfp, rfp := Fold(got), Fold(ref[survive:])
+						if gfp.Sum() != rfp.Sum() || gfp.Frames() != rfp.Frames() || gfp.Tuples() != rfp.Tuples() {
+							t.Fatalf("%s: recovered output %v diverges from reference %v", desc, gfp, rfp)
+						}
+						if err := ten.Drain(); err != nil {
+							t.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestBatteryDeploymentsDiffer guards the battery against silently
+// degenerating: each deployment must produce distinct output shapes.
+func TestBatteryDeploymentsDiffer(t *testing.T) {
+	sums := map[uint64]string{}
+	for _, d := range Deployments() {
+		ref, err := Reference(d, d.Workload(7))
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		fp := Fold(ref)
+		if fp.Frames() == 0 {
+			t.Errorf("%s: no output", d.Name)
+		}
+		if prev, dup := sums[fp.Sum()]; dup {
+			t.Errorf("%s and %s fingerprint identically", d.Name, prev)
+		}
+		sums[fp.Sum()] = d.Name
+	}
+}

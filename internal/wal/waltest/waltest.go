@@ -1,0 +1,545 @@
+// Package waltest is the crash-recovery battery harness for the
+// write-ahead log: example deployments with seeded workload generators,
+// runners that produce pristine crashed journals, and corruption
+// injectors (torn tail, truncated length prefix, flipped CRC byte,
+// duplicated segment) that each predict exactly how much committed
+// history must survive recovery.
+package waltest
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"esp/internal/server"
+	"esp/internal/stream"
+	"esp/internal/wal"
+	"esp/internal/wire"
+)
+
+// EpochInput is one epoch's publishes: receptor id → readings.
+type EpochInput map[string][]stream.Tuple
+
+// Deployment is one battery deployment: a tenant spec, its output
+// streams (the fingerprint fold order), and a seeded workload shape.
+type Deployment struct {
+	Name    string
+	Spec    []byte
+	Streams []string
+	Epochs  int
+	Epoch   time.Duration
+
+	gen func(r *rand.Rand, epoch int) EpochInput
+}
+
+// Workload builds the deployment's deterministic input: out[e] holds
+// epoch e+1's publishes. The same seed always yields the same readings,
+// so a reference run, a crashed run, and a post-recovery re-send all
+// see identical input.
+func (d Deployment) Workload(seed int64) []EpochInput {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]EpochInput, d.Epochs)
+	for e := range out {
+		out[e] = d.gen(r, e+1)
+	}
+	return out
+}
+
+// Boundary is epoch e's commit barrier (the tenant clock starts at Unix
+// zero — the specs set no explicit start).
+func (d Deployment) Boundary(e int) time.Time {
+	return time.Unix(0, 0).UTC().Add(time.Duration(e) * d.Epoch)
+}
+
+func at(epoch time.Duration, e int, frac float64) time.Time {
+	off := time.Duration(float64(e-1)*float64(epoch) + frac*float64(epoch))
+	return time.Unix(0, 0).UTC().Add(off)
+}
+
+// Deployments returns the battery's three example deployments: the
+// paper's RFID shelf (§4), a redwood-style environmental lab (§5), and
+// the digital home with a static relation and a Virtualize detector
+// (§6).
+func Deployments() []Deployment {
+	return []Deployment{shelf(), lab(), home()}
+}
+
+// shelf is the two-reader RFID shelf: Point drops bad checksums, Smooth
+// counts per tag over 5 s, Arbitrate attributes each tag to one shelf.
+func shelf() Deployment {
+	spec := []byte(`{
+	  "deployment": {
+	    "epoch": "1s",
+	    "groups": {
+	      "shelf0": {"type": "rfid", "members": ["reader0"]},
+	      "shelf1": {"type": "rfid", "members": ["reader1"]}
+	    },
+	    "pipelines": {
+	      "rfid": {
+	        "point": "SELECT tag_id FROM point_input WHERE checksum_ok = TRUE",
+	        "smooth": "SELECT tag_id, count(*) AS n FROM smooth_input [Range By '5 sec'] GROUP BY tag_id",
+	        "arbitrate": "SELECT spatial_granule, tag_id FROM arb ai1 [Range By 'NOW'] GROUP BY spatial_granule, tag_id HAVING sum(n) >= ALL(SELECT sum(n) FROM arb ai2 [Range By 'NOW'] WHERE ai1.tag_id = ai2.tag_id GROUP BY spatial_granule)"
+	      }
+	    }
+	  },
+	  "receptors": [
+	    {"id": "reader0", "type": "rfid", "schema": "tag_id:string,checksum_ok:bool"},
+	    {"id": "reader1", "type": "rfid", "schema": "tag_id:string,checksum_ok:bool"}
+	  ]
+	}`)
+	tags := []string{"book-a", "book-b", "book-c", "book-d"}
+	d := Deployment{Name: "shelf", Spec: spec, Streams: []string{"rfid"}, Epochs: 12, Epoch: time.Second}
+	d.gen = func(r *rand.Rand, e int) EpochInput {
+		in := EpochInput{}
+		for _, reader := range []string{"reader0", "reader1"} {
+			n := 1 + r.Intn(3)
+			var ts []stream.Tuple
+			for i := 0; i < n; i++ {
+				ts = append(ts, stream.Tuple{
+					Ts: at(d.Epoch, e, float64(i+1)/float64(n+1)),
+					Values: []stream.Value{
+						stream.String(tags[r.Intn(len(tags))]),
+						stream.Bool(r.Float64() < 0.85),
+					},
+				})
+			}
+			in[reader] = ts
+		}
+		return in
+	}
+	return d
+}
+
+// lab is a redwood-style environmental deployment: two 3-mote proximity
+// groups, Point range filter, Smooth temporal average over an expanded
+// window, Merge spatial average per granule.
+func lab() Deployment {
+	spec := []byte(`{
+	  "deployment": {
+	    "epoch": "1s",
+	    "groups": {
+	      "bench0": {"type": "mote", "members": ["m0", "m1", "m2"]},
+	      "bench1": {"type": "mote", "members": ["m3", "m4", "m5"]}
+	    },
+	    "pipelines": {
+	      "mote": {
+	        "point": "SELECT * FROM point_input WHERE temp < 50",
+	        "smooth": "SELECT avg(temp) AS temp FROM smooth_input [Range By '4 sec']",
+	        "merge": "SELECT avg(temp) AS temp FROM merge_input [Range By '1 sec']"
+	      }
+	    }
+	  },
+	  "receptors": [
+	    {"id": "m0", "type": "mote", "schema": "mote_id:string,temp:float"},
+	    {"id": "m1", "type": "mote", "schema": "mote_id:string,temp:float"},
+	    {"id": "m2", "type": "mote", "schema": "mote_id:string,temp:float"},
+	    {"id": "m3", "type": "mote", "schema": "mote_id:string,temp:float"},
+	    {"id": "m4", "type": "mote", "schema": "mote_id:string,temp:float"},
+	    {"id": "m5", "type": "mote", "schema": "mote_id:string,temp:float"}
+	  ]
+	}`)
+	d := Deployment{Name: "lab", Spec: spec, Streams: []string{"mote"}, Epochs: 12, Epoch: time.Second}
+	d.gen = func(r *rand.Rand, e int) EpochInput {
+		in := EpochInput{}
+		for i := 0; i < 6; i++ {
+			if r.Float64() > 0.7 { // lossy radio: ~70 % delivery
+				continue
+			}
+			id := fmt.Sprintf("m%d", i)
+			temp := 18 + 4*math.Sin(float64(e)/3) + r.NormFloat64()*0.3
+			if r.Float64() < 0.05 {
+				temp = 120 // fail-dirty spike for the Point filter
+			}
+			in[id] = []stream.Tuple{{
+				Ts:     at(d.Epoch, e, 0.5),
+				Values: []stream.Value{stream.String(id), stream.Float(temp)},
+			}}
+		}
+		return in
+	}
+	return d
+}
+
+// home is the digital-home office: RFID readers joined against a static
+// expected-tags relation, sound motes, an X10 motion detector, and a
+// Virtualize person-detector voting across all three cleaned streams.
+func home() Deployment {
+	spec := []byte(`{
+	  "deployment": {
+	    "epoch": "1s",
+	    "groups": {
+	      "office-rfid":   {"type": "rfid", "members": ["r0", "r1"]},
+	      "office-sound":  {"type": "mote", "members": ["s0", "s1", "s2"]},
+	      "office-motion": {"type": "motion", "members": ["x0"]}
+	    },
+	    "tables": {
+	      "expected_tags": {
+	        "columns": {"expected_tag": "string"},
+	        "rows": [{"expected_tag": "badge-1"}, {"expected_tag": "badge-2"}]
+	      }
+	    },
+	    "pipelines": {
+	      "rfid": {
+	        "point": "SELECT tag_id FROM point_input, expected_tags WHERE checksum_ok = TRUE AND tag_id = expected_tag",
+	        "smooth": "SELECT tag_id, count(*) AS n FROM smooth_input [Range By '2 sec'] GROUP BY tag_id"
+	      },
+	      "mote": {
+	        "smooth": "SELECT avg(noise) AS noise FROM smooth_input [Range By '2 sec']",
+	        "merge": "SELECT avg(noise) AS noise FROM merge_input [Range By '1 sec']"
+	      },
+	      "motion": {
+	        "smooth": "SELECT 'ON' AS value FROM smooth_input [Range By '2 sec'] HAVING count(*) >= 1"
+	      }
+	    },
+	    "virtualize": {
+	      "query": "SELECT 'Person-in-room' AS event FROM (SELECT 1 AS cnt FROM sensors_input [Range By 'NOW'] WHERE noise > 525) AS a, (SELECT 1 AS cnt FROM rfid_input [Range By 'NOW'] HAVING count(distinct tag_id) >= 1) AS b, (SELECT 1 AS cnt FROM motion_input [Range By 'NOW'] WHERE value = 'ON') AS c WHERE a.cnt + b.cnt + c.cnt >= 2",
+	      "bind": {"sensors_input": "mote", "rfid_input": "rfid", "motion_input": "motion"}
+	    }
+	  },
+	  "receptors": [
+	    {"id": "r0", "type": "rfid", "schema": "tag_id:string,checksum_ok:bool"},
+	    {"id": "r1", "type": "rfid", "schema": "tag_id:string,checksum_ok:bool"},
+	    {"id": "s0", "type": "mote", "schema": "mote_id:string,noise:float"},
+	    {"id": "s1", "type": "mote", "schema": "mote_id:string,noise:float"},
+	    {"id": "s2", "type": "mote", "schema": "mote_id:string,noise:float"},
+	    {"id": "x0", "type": "motion", "schema": "detector_id:string,value:string"}
+	  ]
+	}`)
+	d := Deployment{
+		Name:    "home",
+		Spec:    spec,
+		Streams: []string{"mote", "motion", "rfid", server.VirtualizeStream},
+		Epochs:  12,
+		Epoch:   time.Second,
+	}
+	d.gen = func(r *rand.Rand, e int) EpochInput {
+		in := EpochInput{}
+		present := e%4 != 0 // the person leaves every fourth epoch
+		for _, reader := range []string{"r0", "r1"} {
+			if !present || r.Float64() > 0.8 {
+				continue
+			}
+			tag := "badge-1"
+			if r.Float64() < 0.3 {
+				tag = "stray-" + reader // errant read, filtered by the join
+			}
+			in[reader] = []stream.Tuple{{
+				Ts:     at(d.Epoch, e, r.Float64()),
+				Values: []stream.Value{stream.String(tag), stream.Bool(r.Float64() < 0.9)},
+			}}
+		}
+		for i := 0; i < 3; i++ {
+			noise := 480 + r.NormFloat64()*10
+			if present {
+				noise = 560 + r.NormFloat64()*15
+			}
+			id := fmt.Sprintf("s%d", i)
+			in[id] = []stream.Tuple{{
+				Ts:     at(d.Epoch, e, 0.4),
+				Values: []stream.Value{stream.String(id), stream.Float(noise)},
+			}}
+		}
+		if present && r.Float64() < 0.9 {
+			in["x0"] = []stream.Tuple{{
+				Ts:     at(d.Epoch, e, 0.6),
+				Values: []stream.Value{stream.String("x0"), stream.String("ON")},
+			}}
+		}
+		return in
+	}
+	return d
+}
+
+// EpochFrames is one epoch's delivered output frames, in subscribe
+// order (0 or 1 frames per stream per epoch).
+type EpochFrames []wire.Data
+
+// Fold digests per-epoch frames into one fingerprint — fold the same
+// epochs of two runs and equal sums mean byte-identical output.
+func Fold(frames []EpochFrames) *server.Fingerprint {
+	fp := server.NewFingerprint()
+	for _, ef := range frames {
+		for _, d := range ef {
+			fp.Add(d)
+		}
+	}
+	return fp
+}
+
+// run drives epochs (from, to] of the workload through ten, draining
+// each epoch's output from the subscriptions after its advance.
+func run(ten *server.Tenant, d Deployment, in []EpochInput, from, to int, subs []*server.Subscription) ([]EpochFrames, error) {
+	var out []EpochFrames
+	for e := from + 1; e <= to; e++ {
+		recs := make([]string, 0, len(in[e-1]))
+		for rec := range in[e-1] {
+			recs = append(recs, rec)
+		}
+		sort.Strings(recs)
+		for _, rec := range recs {
+			if _, err := ten.Publish(rec, in[e-1][rec]); err != nil {
+				return nil, err
+			}
+		}
+		if err := ten.Advance(d.Boundary(e)); err != nil {
+			return nil, err
+		}
+		var ef EpochFrames
+		for _, sub := range subs {
+			select {
+			case f := <-sub.C():
+				ef = append(ef, f)
+			default:
+			}
+		}
+		out = append(out, ef)
+	}
+	return out, nil
+}
+
+// start creates the tenant (journalled when walRoot != "") with one
+// subscription per output stream.
+func start(eng *server.Engine, d Deployment) (*server.Tenant, []*server.Subscription, error) {
+	ten, err := eng.Create(d.Name, d.Spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	subs, err := subscribe(ten, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ten, subs, nil
+}
+
+func subscribe(ten *server.Tenant, d Deployment) ([]*server.Subscription, error) {
+	subs := make([]*server.Subscription, len(d.Streams))
+	for i, s := range d.Streams {
+		sub, err := ten.Subscribe(s)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = sub
+	}
+	return subs, nil
+}
+
+// Reference runs the full workload uninterrupted with no WAL and
+// returns per-epoch output — the oracle every recovery is checked
+// against.
+func Reference(d Deployment, in []EpochInput) ([]EpochFrames, error) {
+	eng := server.NewEngine(0)
+	ten, subs, err := start(eng, d)
+	if err != nil {
+		return nil, err
+	}
+	defer ten.Drain() //nolint:errcheck
+	return run(ten, d, in, 0, d.Epochs, subs)
+}
+
+// RunCrashed runs the full workload journalled under walRoot and then
+// crashes the tenant — no drain, no catalog completion. The directory
+// left behind is the pristine crashed journal the injectors mutate
+// copies of.
+func RunCrashed(d Deployment, in []EpochInput, walRoot string) ([]EpochFrames, error) {
+	return RunCrashedAt(d, in, walRoot, d.Epochs)
+}
+
+// RunCrashedAt runs epochs 1..k journalled under walRoot, then crashes
+// the tenant mid-workload.
+func RunCrashedAt(d Deployment, in []EpochInput, walRoot string, k int) ([]EpochFrames, error) {
+	eng := server.NewEngine(0)
+	eng.SetWALDir(walRoot)
+	ten, subs, err := start(eng, d)
+	if err != nil {
+		return nil, err
+	}
+	frames, err := run(ten, d, in, 0, k, subs)
+	ten.Crash()
+	return frames, err
+}
+
+// Resume re-sends epochs (from, Epochs] through a recovered tenant and
+// returns their delivered output.
+func Resume(ten *server.Tenant, d Deployment, in []EpochInput, from int) ([]EpochFrames, error) {
+	subs, err := subscribe(ten, d)
+	if err != nil {
+		return nil, err
+	}
+	return run(ten, d, in, from, d.Epochs, subs)
+}
+
+// Cut is the first journal byte a corruption invalidates. Commit
+// barriers wholly before the cut survive recovery; everything at or
+// after it is truncated. The zero Cut means the mutation left all
+// committed history intact.
+type Cut struct {
+	Segment string // "" = nothing invalidated
+	Off     int64
+}
+
+// Survives reports whether the barrier at p outlives the cut.
+func (c Cut) Survives(p wal.CommitPos) bool {
+	if c.Segment == "" {
+		return true
+	}
+	return p.Segment < c.Segment || (p.Segment == c.Segment && p.End <= c.Off)
+}
+
+// Injector mutates one journal directory and predicts the cut.
+type Injector func(dir string, r *rand.Rand) (Cut, string, error)
+
+// segments lists dir's journal segments, failing on an empty journal.
+func segments(dir string) ([]wal.Segment, error) {
+	segs, err := wal.JournalSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("waltest: no journal segments in %s", dir)
+	}
+	return segs, nil
+}
+
+// pickRecorded picks a random segment that holds at least one record
+// (a freshly rotated tail can be header-only).
+func pickRecorded(dir string, segs []wal.Segment, r *rand.Rand) (wal.Segment, []wal.RecordPos, error) {
+	for _, i := range r.Perm(len(segs)) {
+		recs, err := wal.SegmentRecords(filepath.Join(dir, segs[i].Name))
+		if err != nil {
+			return wal.Segment{}, nil, err
+		}
+		if len(recs) > 0 {
+			return segs[i], recs, nil
+		}
+	}
+	return wal.Segment{}, nil, fmt.Errorf("waltest: no segment with records in %s", dir)
+}
+
+// TornTail truncates the last journal segment at a uniformly random
+// byte offset — the classic torn write: the machine died with the tail
+// partially flushed.
+func TornTail(dir string, r *rand.Rand) (Cut, string, error) {
+	segs, err := segments(dir)
+	if err != nil {
+		return Cut{}, "", err
+	}
+	last := segs[len(segs)-1]
+	if last.Size <= wal.SegHeaderLen {
+		last = segs[len(segs)-2] // header-only tail: tear the one before
+	}
+	off := wal.SegHeaderLen + r.Int63n(last.Size-wal.SegHeaderLen)
+	if err := os.Truncate(filepath.Join(dir, last.Name), off); err != nil {
+		return Cut{}, "", err
+	}
+	return Cut{Segment: last.Name, Off: off},
+		fmt.Sprintf("torn %s at %d/%d", last.Name, off, last.Size), nil
+}
+
+// TruncateLengthPrefix cuts a random record's length prefix in half —
+// the scan sees a frame header it cannot even size.
+func TruncateLengthPrefix(dir string, r *rand.Rand) (Cut, string, error) {
+	segs, err := segments(dir)
+	if err != nil {
+		return Cut{}, "", err
+	}
+	seg, recs, err := pickRecorded(dir, segs, r)
+	if err != nil {
+		return Cut{}, "", err
+	}
+	rec := recs[r.Intn(len(recs))]
+	off := rec.Start + 1 + r.Int63n(3) // 1..3 bytes into the u32 length
+	if err := os.Truncate(filepath.Join(dir, seg.Name), off); err != nil {
+		return Cut{}, "", err
+	}
+	return Cut{Segment: seg.Name, Off: rec.Start},
+		fmt.Sprintf("length prefix of %s@%d cut at +%d", seg.Name, rec.Start, off-rec.Start), nil
+}
+
+// FlipCRCByte flips one random byte inside a random record's CRC field
+// — silent media corruption the checksum must catch.
+func FlipCRCByte(dir string, r *rand.Rand) (Cut, string, error) {
+	segs, err := segments(dir)
+	if err != nil {
+		return Cut{}, "", err
+	}
+	seg, recs, err := pickRecorded(dir, segs, r)
+	if err != nil {
+		return Cut{}, "", err
+	}
+	rec := recs[r.Intn(len(recs))]
+	path := filepath.Join(dir, seg.Name)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return Cut{}, "", err
+	}
+	defer f.Close()
+	pos := rec.Start + 4 + r.Int63n(4) // the CRC32C field
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], pos); err != nil {
+		return Cut{}, "", err
+	}
+	b[0] ^= byte(1 + r.Intn(255))
+	if _, err := f.WriteAt(b[:], pos); err != nil {
+		return Cut{}, "", err
+	}
+	return Cut{Segment: seg.Name, Off: rec.Start},
+		fmt.Sprintf("crc byte of %s@%d flipped", seg.Name, rec.Start), nil
+}
+
+// DuplicateSegment copies a random segment to the next sequence number
+// — a botched copy-restore. Its commits are non-monotonic (or its
+// publishes an unacked tail), so recovery must drop the duplicate and
+// keep every original barrier.
+func DuplicateSegment(dir string, r *rand.Rand) (Cut, string, error) {
+	segs, err := segments(dir)
+	if err != nil {
+		return Cut{}, "", err
+	}
+	src := segs[r.Intn(len(segs))]
+	dupName := wal.JournalSegmentName(segs[len(segs)-1].Seq + 1)
+	if err := copyFile(filepath.Join(dir, src.Name), filepath.Join(dir, dupName)); err != nil {
+		return Cut{}, "", err
+	}
+	return Cut{}, fmt.Sprintf("%s duplicated as %s", src.Name, dupName), nil
+}
+
+// CopyDir clones a journal tree so each injector mutates a private
+// copy of the pristine crashed run.
+func CopyDir(src, dst string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		return copyFile(path, target)
+	})
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
