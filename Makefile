@@ -4,14 +4,14 @@ GO ?= go
 # `make check` runs, longer via `make fuzz FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race diff chaos serve-smoke wal-smoke fuzz-smoke fuzz bench bench-json
+.PHONY: check vet build test race diff chaos serve-smoke wal-smoke netchaos-smoke fuzz-smoke fuzz bench bench-json
 
 ## check: everything CI needs — vet, build, full tests, race-detector pass
 ## over the concurrent executor, the differential oracle suite, the chaos
 ## (fault-injection) harness, the serving-layer smoke (loadgen vs the
-## in-process oracle), the WAL crash-recovery smoke, and a short fuzz
-## round per target.
-check: vet build test race diff chaos serve-smoke wal-smoke fuzz-smoke
+## in-process oracle), the WAL crash-recovery smoke, the network-chaos
+## resilient-session smoke, and a short fuzz round per target.
+check: vet build test race diff chaos serve-smoke wal-smoke netchaos-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,16 @@ wal-smoke:
 	$(GO) test ./internal/wal/... -race -count=1
 	$(GO) test ./internal/oracle -race -run 'TestRecoveryCaseClean' -count=1
 
+## netchaos-smoke: the resilient-session battery under -race — the
+## network-chaos proxy's own tests, the session/resume/deadline server
+## tests, and a scaled-down end-to-end chaos run (resilient clients
+## through the fault-injecting proxy, byte-identical resumed output
+## required; see internal/exp/netchaos.go).
+netchaos-smoke:
+	$(GO) test ./internal/netchaos -race -count=1
+	$(GO) test ./internal/server -race -count=1 -run 'TestSession|TestSubscribeResume|TestIdleKill|TestSlowSubscriber|TestHalfOpen|TestResilientBackoff'
+	$(GO) test ./internal/exp -race -count=1 -run 'TestNetChaosSmoke'
+
 ## fuzz-smoke: one short coverage-guided round per fuzz target, seeded
 ## from the committed corpora under testdata/fuzz.
 fuzz-smoke:
@@ -71,10 +81,12 @@ bench:
 ## bench-json: regenerate the committed perf snapshots at the repo root —
 ## BENCH_baseline.json (telemetry-off wall-time profile), BENCH_obs.json
 ## (telemetry overhead matrix), BENCH_batch.json (columnar-vs-tuple
-## execution comparison) and BENCH_wal.json (journalling overhead +
-## crash-recovery time; see EXPERIMENTS.md).
+## execution comparison), BENCH_wal.json (journalling overhead +
+## crash-recovery time) and BENCH_netchaos.json (resilient sessions
+## under link faults; see EXPERIMENTS.md).
 bench-json:
 	$(GO) run ./cmd/espbench -exp baseline
 	$(GO) run ./cmd/espbench -exp obs
 	$(GO) run ./cmd/espbench -exp batch
 	$(GO) run ./cmd/espbench -exp wal
+	$(GO) run ./cmd/espbench -exp netchaos

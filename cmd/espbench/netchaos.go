@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"esp/internal/exp"
+)
+
+// runNetChaos drives the 1000-mote served workload through the
+// network-chaos proxy with resilient session clients, verifies
+// exactly-once resume end to end, and writes BENCH_netchaos.json.
+func runNetChaos(bool) error {
+	fmt.Println("== netchaos: resilient sessions under link faults ==")
+	cfg := exp.DefaultNetChaosConfig()
+	if seedOverride != 0 {
+		cfg.Seed = seedOverride
+	}
+	res, err := exp.RunNetChaos(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %d motes × %d epochs via %d resilient publishers, one fault per boundary\n",
+		res.Motes, res.Epochs, res.Publishers)
+	fmt.Printf("   faults %v   links opened %d killed %d\n",
+		res.Faults, res.LinksOpened, res.LinksKilled)
+	fmt.Printf("   reconnects: client %d server %d   resumes %d   dedup drops %d   idle kills %d\n",
+		res.Reconnects, res.ServerReconn, res.Resumes, res.DedupDrops, res.IdleKills)
+	fmt.Printf("   exactly-once %v (%d/%d tuples)   fingerprint match %v (%s)\n",
+		res.ExactlyOnce, res.TuplesApplied, res.TuplesPublished, res.FingerprintMatch, res.FingerprintChaos)
+	fmt.Printf("   resume latency p50 %s p99 %s max %s (%d faults recovered)\n",
+		time.Duration(res.ResumeLatency.P50), time.Duration(res.ResumeLatency.P99),
+		time.Duration(res.ResumeLatency.Max), res.ResumeLatency.Count)
+	fmt.Printf("   deadline overhead %+.2f%% (off %s, on %s)   chaos wall %s\n",
+		res.DeadlineOverheadPct,
+		time.Duration(res.WallNsNoDeadlines), time.Duration(res.WallNsDeadlines),
+		time.Duration(res.WallNsChaos))
+	if err := writeJSON("BENCH_netchaos.json", res); err != nil {
+		return err
+	}
+	fmt.Println("   wrote BENCH_netchaos.json")
+	return nil
+}

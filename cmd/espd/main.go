@@ -46,6 +46,8 @@ func main() {
 	metrics := flag.String("metrics", "", "telemetry exposition address (empty = disabled)")
 	maxTenants := flag.Int("max-tenants", server.DefaultMaxTenants, "maximum hosted pipelines")
 	walDir := flag.String("wal-dir", "", "write-ahead log root: journal publishes, fsync epoch barriers, recover tenants at boot (empty = in-memory only)")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "kill control connections silent for this long (0 = never)")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "disconnect clients whose sockets stop draining for this long (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
 	var preloads []string
 	flag.Func("spec", "preload a tenant at boot as name=specfile (repeatable)", func(v string) error {
@@ -56,11 +58,13 @@ func main() {
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	s, err := server.Listen(server.Config{
-		Addr:        *addr,
-		MetricsAddr: *metrics,
-		MaxTenants:  *maxTenants,
-		WALDir:      *walDir,
-		Logger:      log,
+		Addr:         *addr,
+		MetricsAddr:  *metrics,
+		MaxTenants:   *maxTenants,
+		WALDir:       *walDir,
+		IdleTimeout:  *idleTimeout,
+		WriteTimeout: *writeTimeout,
+		Logger:       log,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "espd:", err)

@@ -19,15 +19,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"sync"
 	"time"
 
-	"esp/internal/receptor"
+	"esp/internal/exp"
 	"esp/internal/server"
-	"esp/internal/sim"
-	"esp/internal/stream"
 )
 
 type options struct {
@@ -43,13 +40,6 @@ type options struct {
 	tenant     string
 	out        string
 	skipOracle bool
-}
-
-// step is one epoch of pre-generated workload: the per-receptor
-// readings to publish, then the boundary to advance to.
-type step struct {
-	pubs map[string][]stream.Tuple
-	now  time.Time
 }
 
 type report struct {
@@ -94,8 +84,13 @@ func main() {
 }
 
 func run(o options) error {
-	spec := buildSpec(o)
-	steps, published := buildWorkload(o)
+	lo := exp.LoadgenOptions{
+		Motes: o.motes, GroupSize: o.groupSize, Epochs: o.epochs,
+		Epoch: o.epoch, Delivery: o.delivery, FaultEvery: o.faultEvery,
+		Seed: o.seed,
+	}
+	spec := exp.LoadgenSpec(lo)
+	steps, published := exp.LoadgenWorkload(lo)
 
 	// Oracle first: the same spec and workload through an in-process
 	// Engine, no sockets. Its fingerprint is what the served run must hit.
@@ -143,109 +138,9 @@ func run(o options) error {
 	return os.WriteFile(o.out, out, 0o644)
 }
 
-// buildSpec assembles the tenant spec: motes partitioned into spatial
-// granules of group-size, a smooth/merge averaging pipeline, and a
-// channel cap sized for one epoch of readings.
-func buildSpec(o options) []byte {
-	groups := map[string]any{}
-	var members []string
-	gi := 0
-	flush := func() {
-		if len(members) > 0 {
-			groups[fmt.Sprintf("cell-%03d", gi)] = map[string]any{"type": "mote", "members": members}
-			members = nil
-			gi++
-		}
-	}
-	recs := make([]map[string]any, 0, o.motes)
-	for i := 0; i < o.motes; i++ {
-		id := moteID(i)
-		recs = append(recs, map[string]any{"id": id, "type": "mote", "schema": "mote_id:string,temp:float"})
-		members = append(members, id)
-		if len(members) == o.groupSize {
-			flush()
-		}
-	}
-	flush()
-
-	smoothWin := 5 * o.epoch
-	spec := map[string]any{
-		"deployment": map[string]any{
-			"epoch":  o.epoch.String(),
-			"groups": groups,
-			"pipelines": map[string]any{
-				"mote": map[string]any{
-					"smooth": fmt.Sprintf("SELECT avg(temp) AS temp FROM smooth_input [Range By '%s']", smoothWin),
-					"merge":  fmt.Sprintf("SELECT avg(temp) AS temp FROM merge_input [Range By '%s']", o.epoch),
-				},
-			},
-		},
-		"receptors": recs,
-		"quota":     map[string]any{"channel_cap": 4 * o.motes},
-	}
-	b, err := json.Marshal(spec)
-	if err != nil {
-		panic(err)
-	}
-	return b
-}
-
-func moteID(i int) string { return fmt.Sprintf("mote-%04d", i) }
-
-// buildWorkload pre-generates every epoch's readings so the oracle and
-// the served run replay byte-identical input. Each mote samples a
-// diurnal temperature field with per-mote bias and Gaussian noise
-// through a lossy radio (sim.Mote), once per epoch at mid-epoch; every
-// fault-every'th mote is additionally wrapped in a seeded
-// receptor.Faulty data-fault schedule (drops, link-layer duplicates,
-// and a fail-dirty stuck sensor) so the replayed population misbehaves
-// the way the paper's deployments did.
-func buildWorkload(o options) (steps []step, published int) {
-	base := time.Unix(0, 0).UTC()
-	motes := make([]receptor.Receptor, o.motes)
-	for i := range motes {
-		bias := float64(i%17)*0.1 - 0.8
-		m := sim.NewMote(o.seed, moteID(i), o.delivery, sim.SensorModel{
-			Name: "temp",
-			Truth: func(now time.Time) float64 {
-				day := float64(now.UnixNano()) / float64(24*time.Hour)
-				return 18 + 8*math.Sin(2*math.Pi*day)
-			},
-			Bias:     bias,
-			NoiseStd: 0.3,
-		})
-		if o.faultEvery > 0 && i%o.faultEvery == o.faultEvery-1 {
-			quarter := time.Duration(o.epochs) * o.epoch / 4
-			motes[i] = receptor.NewFaulty(m, o.seed+int64(i),
-				receptor.Fault{Kind: receptor.FaultDrop, P: 0.5,
-					From: base.Add(quarter), Until: base.Add(2 * quarter)},
-				receptor.Fault{Kind: receptor.FaultDuplicate, P: 0.3,
-					From: base.Add(2 * quarter), Until: base.Add(3 * quarter)},
-				receptor.Fault{Kind: receptor.FaultStuck, Field: "temp", Value: stream.Float(120),
-					From: base.Add(3 * quarter)},
-			)
-		} else {
-			motes[i] = m
-		}
-	}
-	for e := 1; e <= o.epochs; e++ {
-		st := step{pubs: make(map[string][]stream.Tuple), now: base.Add(time.Duration(e) * o.epoch)}
-		sample := st.now.Add(-o.epoch / 2)
-		for i, m := range motes {
-			ts := m.Poll(sample)
-			if len(ts) > 0 {
-				st.pubs[moteID(i)] = ts
-				published += len(ts)
-			}
-		}
-		steps = append(steps, st)
-	}
-	return steps, published
-}
-
 // runOracle drives the workload through an in-process Engine and
 // digests the merged output stream.
-func runOracle(o options, spec []byte, steps []step) (*server.Fingerprint, error) {
+func runOracle(o options, spec []byte, steps []exp.Step) (*server.Fingerprint, error) {
 	eng := server.NewEngine(0)
 	ten, err := eng.Create(o.tenant, spec)
 	if err != nil {
@@ -265,12 +160,12 @@ func runOracle(o options, spec []byte, steps []step) (*server.Fingerprint, error
 		}
 	}()
 	for _, st := range steps {
-		for rec, ts := range st.pubs {
+		for rec, ts := range st.Pubs {
 			if _, err := ten.Publish(rec, ts); err != nil {
 				return nil, err
 			}
 		}
-		if err := ten.Advance(st.now); err != nil {
+		if err := ten.Advance(st.Now); err != nil {
 			return nil, err
 		}
 	}
@@ -284,7 +179,7 @@ func runOracle(o options, spec []byte, steps []step) (*server.Fingerprint, error
 // runServed replays the workload over TCP: publisher connections fan
 // the motes out, a control connection drives the epoch clock, and a
 // subscriber digests the output stream.
-func runServed(o options, spec []byte, steps []step) (report, *server.Fingerprint, error) {
+func runServed(o options, spec []byte, steps []exp.Step) (report, *server.Fingerprint, error) {
 	var rep report
 
 	addr := o.addr
@@ -316,7 +211,7 @@ func runServed(o options, spec []byte, steps []step) (report, *server.Fingerprin
 	if err := subc.Subscribe(o.tenant, "mote"); err != nil {
 		return rep, nil, err
 	}
-	final := steps[len(steps)-1].now.UnixNano()
+	final := steps[len(steps)-1].Now.UnixNano()
 	fp := server.NewFingerprint()
 	subErr := make(chan error, 1)
 	go func() {
@@ -340,8 +235,8 @@ func runServed(o options, spec []byte, steps []step) (report, *server.Fingerprin
 
 	start := time.Now()
 	for _, st := range steps {
-		recs := make([]string, 0, len(st.pubs))
-		for rec := range st.pubs {
+		recs := make([]string, 0, len(st.Pubs))
+		for rec := range st.Pubs {
 			recs = append(recs, rec)
 		}
 		var wg sync.WaitGroup
@@ -354,7 +249,7 @@ func runServed(o options, spec []byte, steps []step) (report, *server.Fingerprin
 					if ri%len(pubs) != w {
 						continue
 					}
-					if _, err := pubs[w].Publish(rec, st.pubs[rec]); err != nil {
+					if _, err := pubs[w].Publish(rec, st.Pubs[rec]); err != nil {
 						errs[w] = err
 						return
 					}
@@ -367,7 +262,7 @@ func runServed(o options, spec []byte, steps []step) (report, *server.Fingerprin
 				return rep, nil, err
 			}
 		}
-		if err := ctl.Advance(st.now); err != nil {
+		if err := ctl.Advance(st.Now); err != nil {
 			return rep, nil, err
 		}
 	}

@@ -21,19 +21,32 @@ type Client struct {
 	bw   *bufio.Writer
 	seq  uint64
 	json bool // encode publishes with the JSON debug fallback
+
+	// subscribedConn marks a connection that has switched to
+	// server-push (set by ResilientClient to know whether a fresh
+	// connection still needs its subscription replayed).
+	subscribedConn bool
 }
 
-// Dial connects to an espd address.
+// Dial connects to an espd address with TCP keepalive armed.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	setKeepAlive(conn)
 	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// ServerError is a protocol-level Error frame from the daemon. It is
+// deterministic — resending the same frame gets the same answer — so
+// retry layers must not treat it as a transport fault.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "server: " + e.Msg }
 
 // SetJSON switches publish encoding to the JSON debug fallback (the
 // server accepts both; used to exercise the fallback path).
@@ -42,6 +55,10 @@ func (c *Client) SetJSON(on bool) { c.json = on }
 // SetReadDeadline bounds blocking reads (zero time clears it) — used by
 // consumers of an external daemon that cannot force a drain.
 func (c *Client) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+// SetDeadline bounds both directions of the next I/O (zero time clears
+// it) — the per-call timeout hook for retry layers.
+func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
 
 // roundTrip sends one frame and reads the reply, surfacing protocol
 // errors as Go errors.
@@ -61,15 +78,41 @@ func (c *Client) roundTrip(f wire.Frame) (wire.Frame, error) {
 		if derr != nil {
 			return wire.Frame{}, fmt.Errorf("server error (undecodable: %v)", derr)
 		}
-		return wire.Frame{}, fmt.Errorf("server: %s", em.Msg)
+		return wire.Frame{}, &ServerError{Msg: em.Msg}
 	}
 	return r, nil
 }
 
-// Hello binds the connection to a tenant.
+// Hello binds the connection to a tenant. On failure the underlying
+// connection is closed — a client that cannot complete its handshake
+// has no protocol state worth keeping, and callers that bail on the
+// error would otherwise leak the socket.
 func (c *Client) Hello(tenant, role string) error {
 	_, err := c.roundTrip(wire.Hello{Tenant: tenant, Role: role}.Frame())
+	if err != nil {
+		c.conn.Close()
+	}
 	return err
+}
+
+// HelloSession binds the connection to a tenant under a resumable
+// session identity. The ack carries the server's view of the session —
+// Seq is the last publish seq the server applied for it, Epoch the
+// tenant's last committed epoch — which is what a reconnecting client
+// needs to decide what to re-send. Closes the connection on failure,
+// like Hello.
+func (c *Client) HelloSession(tenant, role, session string, resumeEpoch int64) (wire.Ack, error) {
+	r, err := c.roundTrip(wire.Hello{Tenant: tenant, Role: role, Session: session, ResumeEpoch: resumeEpoch}.Frame())
+	if err != nil {
+		c.conn.Close()
+		return wire.Ack{}, err
+	}
+	ack, err := wire.DecodeAck(r)
+	if err != nil {
+		c.conn.Close()
+		return wire.Ack{}, err
+	}
+	return ack, nil
 }
 
 // Create submits a pipeline spec and binds the connection to the new
@@ -83,7 +126,14 @@ func (c *Client) Create(tenant string, spec []byte) error {
 // backpressure ack.
 func (c *Client) Publish(receptorID string, ts []stream.Tuple) (wire.Ack, error) {
 	c.seq++
-	m := wire.Publish{Receptor: receptorID, Seq: c.seq, Tuples: ts}
+	return c.PublishSeq(receptorID, c.seq, ts)
+}
+
+// PublishSeq is Publish with a caller-chosen sequence number — the
+// resume hook: a reconnecting session re-sends its in-flight publish
+// under the same seq so the server can deduplicate it.
+func (c *Client) PublishSeq(receptorID string, seq uint64, ts []stream.Tuple) (wire.Ack, error) {
+	m := wire.Publish{Receptor: receptorID, Seq: seq, Tuples: ts}
 	f := m.Frame()
 	if c.json {
 		f = m.FrameJSON()
@@ -96,8 +146,8 @@ func (c *Client) Publish(receptorID string, ts []stream.Tuple) (wire.Ack, error)
 	if err != nil {
 		return wire.Ack{}, err
 	}
-	if ack.Seq != c.seq {
-		return ack, fmt.Errorf("server acked seq %d, want %d", ack.Seq, c.seq)
+	if ack.Seq != seq {
+		return ack, fmt.Errorf("server acked seq %d, want %d", ack.Seq, seq)
 	}
 	return ack, nil
 }
@@ -106,7 +156,15 @@ func (c *Client) Publish(receptorID string, ts []stream.Tuple) (wire.Ack, error)
 // server has flushed them — the client-side epoch barrier.
 func (c *Client) Advance(now time.Time) error {
 	c.seq++
-	r, err := c.roundTrip(wire.Advance{Seq: c.seq, Now: now.UnixNano()}.Frame())
+	return c.AdvanceSeq(c.seq, now)
+}
+
+// AdvanceSeq is Advance with a caller-chosen sequence number (see
+// PublishSeq). Advancing is naturally idempotent — boundaries at or
+// before the last committed epoch are no-ops — so replaying one after
+// a reconnect is safe regardless of whether the original landed.
+func (c *Client) AdvanceSeq(seq uint64, now time.Time) error {
+	r, err := c.roundTrip(wire.Advance{Seq: seq, Now: now.UnixNano()}.Frame())
 	if err != nil {
 		return err
 	}
@@ -114,8 +172,8 @@ func (c *Client) Advance(now time.Time) error {
 	if err != nil {
 		return err
 	}
-	if ack.Seq != c.seq {
-		return fmt.Errorf("server acked seq %d, want %d", ack.Seq, c.seq)
+	if ack.Seq != seq {
+		return fmt.Errorf("server acked seq %d, want %d", ack.Seq, seq)
 	}
 	return nil
 }
@@ -137,8 +195,26 @@ func (c *Client) Stats() (Stats, error) {
 // successful subscribe the connection is server-push: consume with
 // Next until it reports done.
 func (c *Client) Subscribe(tenant, streamName string) error {
-	_, err := c.roundTrip(wire.Subscribe{Tenant: tenant, Stream: streamName}.Frame())
+	_, err := c.SubscribeFrom(tenant, streamName, 0)
 	return err
+}
+
+// SubscribeFrom subscribes with a resume cursor: committed epochs
+// strictly after fromEpoch are replayed before live frames. fromEpoch 0
+// is a plain live-only subscribe; negative resumes from genesis. The
+// returned epoch is the attach point — the tenant's last committed
+// epoch at the instant the subscription took effect — which is the
+// cursor to resume from while no Data frame has arrived yet.
+func (c *Client) SubscribeFrom(tenant, streamName string, fromEpoch int64) (int64, error) {
+	r, err := c.roundTrip(wire.Subscribe{Tenant: tenant, Stream: streamName, FromEpoch: fromEpoch}.Frame())
+	if err != nil {
+		return 0, err
+	}
+	ack, err := wire.DecodeAck(r)
+	if err != nil {
+		return 0, err
+	}
+	return ack.Epoch, nil
 }
 
 // Next reads the next Data frame on a subscribed connection. done
@@ -162,7 +238,7 @@ func (c *Client) Next() (d wire.Data, final int64, done bool, err error) {
 			if derr != nil {
 				return wire.Data{}, 0, false, fmt.Errorf("server error (undecodable: %v)", derr)
 			}
-			return wire.Data{}, 0, false, fmt.Errorf("server: %s", em.Msg)
+			return wire.Data{}, 0, false, &ServerError{Msg: em.Msg}
 		default:
 			// Ignore unexpected frame types on the push stream.
 		}

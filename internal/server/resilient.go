@@ -1,0 +1,366 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"esp/internal/stream"
+	"esp/internal/wire"
+)
+
+// Clock abstracts the resilient client's view of time so retry and
+// backoff behavior is deterministic under test: a fake clock records
+// the sleeps instead of taking them.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// RetryPolicy bounds the resilient client's reconnect behavior. Zero
+// values mean the default.
+type RetryPolicy struct {
+	// MaxAttempts bounds connection attempts per call (default 8); the
+	// call fails with the last transport error after that.
+	MaxAttempts int
+	// BaseBackoff is the first retry delay (default 50ms); successive
+	// delays double up to MaxBackoff (default 2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed seeds the backoff jitter — each delay is scaled by a factor
+	// in [0.5, 1.0) — so two clients never reconnect in lockstep, yet a
+	// fixed seed replays the exact delay sequence.
+	Seed int64
+	// CallTimeout bounds one request/reply round trip (default 10s); a
+	// call that exceeds it is treated as a transport fault and retried
+	// on a fresh connection.
+	CallTimeout time.Duration
+	// ReadTimeout bounds one Next wait (0 = wait forever). Set it when
+	// a stalled link must be detected between epochs — a half-open
+	// subscriber socket delivers nothing and times out instead of
+	// hanging.
+	ReadTimeout time.Duration
+	// Clock supplies time (default: the real clock).
+	Clock Clock
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return 8
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseBackoff > 0 {
+		return p.BaseBackoff
+	}
+	return 50 * time.Millisecond
+}
+
+func (p RetryPolicy) backoffCap() time.Duration {
+	if p.MaxBackoff > 0 {
+		return p.MaxBackoff
+	}
+	return 2 * time.Second
+}
+
+func (p RetryPolicy) clock() Clock {
+	if p.Clock != nil {
+		return p.Clock
+	}
+	return realClock{}
+}
+
+// ResilientClient is a Client that survives its connection: transport
+// faults are retried on a fresh connection with capped exponential
+// backoff, and the session protocol makes the retries exactly-once —
+// publishes are replayed under their original seq (the server dedups),
+// advances are idempotent, and a subscriber resumes from its last
+// delivered epoch. Not safe for concurrent use, like Client.
+type ResilientClient struct {
+	addr    string
+	tenant  string
+	session string
+	pol     RetryPolicy
+	clk     Clock
+	rng     *rand.Rand
+
+	c   *Client // live connection, nil while down
+	seq uint64  // session seq: strictly increasing across publishes and advances
+
+	// Subscriber state (set by Subscribe; drives resume on reconnect).
+	stream        string
+	subscribed    bool
+	lastDelivered int64
+
+	reconnects int64
+}
+
+// DialResilient connects to an espd address under a resumable session
+// identity. The session name is the client's identity across
+// reconnects: pick one stable name per logical publisher. An empty
+// session is allowed for subscribe-only clients (resume then rides on
+// the subscribe cursor alone).
+func DialResilient(addr, tenant, session string, pol RetryPolicy) (*ResilientClient, error) {
+	r := &ResilientClient{
+		addr:    addr,
+		tenant:  tenant,
+		session: session,
+		pol:     pol,
+		clk:     pol.clock(),
+		rng:     rand.New(rand.NewSource(pol.Seed)),
+	}
+	if err := r.withRetry("connect", func() error { return nil }); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Close closes the live connection, if any.
+func (r *ResilientClient) Close() error {
+	if r.c == nil {
+		return nil
+	}
+	err := r.c.Close()
+	r.c = nil
+	return err
+}
+
+// Reconnects reports how many times the client has replaced a dead
+// connection.
+func (r *ResilientClient) Reconnects() int64 { return r.reconnects }
+
+// LastDelivered reports the subscriber resume cursor: the epoch of the
+// last Data frame Next returned.
+func (r *ResilientClient) LastDelivered() int64 { return r.lastDelivered }
+
+// connect establishes a fresh connection and replays the session
+// handshake (and the subscription, when this client is a subscriber).
+func (r *ResilientClient) connect() error {
+	c, err := Dial(r.addr)
+	if err != nil {
+		return err
+	}
+	r.armDeadline(c)
+	if r.session != "" {
+		ack, err := c.HelloSession(r.tenant, "pub", r.session, r.lastDelivered)
+		if err != nil {
+			return err // HelloSession closed the conn
+		}
+		if ack.Seq > r.seq {
+			// The server knows more of this session than we do (a
+			// predecessor process wrote under the same name): continue
+			// above its high-water mark instead of colliding with it.
+			r.seq = ack.Seq
+		}
+	} else if err := c.Hello(r.tenant, "sub"); err != nil {
+		return err // Hello closed the conn
+	}
+	if r.subscribed {
+		if _, err := c.SubscribeFrom(r.tenant, r.stream, r.cursor()); err != nil {
+			c.Close()
+			return err
+		}
+		c.subscribedConn = true
+	}
+	r.clearDeadline(c)
+	r.c = c
+	return nil
+}
+
+// drop discards a connection the transport gave up on.
+func (r *ResilientClient) drop() {
+	if r.c != nil {
+		r.c.Close()
+		r.c = nil
+	}
+}
+
+// backoff sleeps before retry attempt k (1-based): base doubling per
+// attempt, capped, scaled by seeded jitter in [0.5, 1.0).
+func (r *ResilientClient) backoff(attempt int) {
+	d := r.pol.base() << (attempt - 1)
+	if cap := r.pol.backoffCap(); d <= 0 || d > cap {
+		d = cap
+	}
+	jitter := 0.5 + 0.5*r.rng.Float64()
+	r.clk.Sleep(time.Duration(float64(d) * jitter))
+}
+
+func (r *ResilientClient) callTimeout() time.Duration {
+	if r.pol.CallTimeout > 0 {
+		return r.pol.CallTimeout
+	}
+	return 10 * time.Second
+}
+
+func (r *ResilientClient) armDeadline(c *Client)   { _ = c.SetDeadline(r.clk.Now().Add(r.callTimeout())) }
+func (r *ResilientClient) clearDeadline(c *Client) { _ = c.SetDeadline(time.Time{}) }
+
+// withRetry runs op against a live connection, reconnecting (with
+// backoff) on transport faults until it succeeds or attempts run out.
+// Protocol errors from the server are returned immediately: the server
+// answered, so resending the same frame would get the same answer.
+func (r *ResilientClient) withRetry(what string, op func() error) error {
+	var lastErr error
+	for attempt := 0; attempt < r.pol.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			r.backoff(attempt)
+		}
+		if r.c == nil {
+			if err := r.connect(); err != nil {
+				var se *ServerError
+				if errors.As(err, &se) {
+					return err
+				}
+				lastErr = err
+				continue
+			}
+			if attempt > 0 {
+				r.reconnects++
+			}
+		}
+		err := op()
+		if err == nil {
+			return nil
+		}
+		var se *ServerError
+		if errors.As(err, &se) {
+			return err
+		}
+		lastErr = err
+		r.drop()
+	}
+	return fmt.Errorf("server: %s: giving up after %d attempts: %w", what, r.pol.maxAttempts(), lastErr)
+}
+
+// Publish delivers readings for one receptor, surviving connection
+// loss: the frame is replayed under the same seq until a live server
+// acks it, and the server's session dedup guarantees at most one
+// application no matter how many replays it took.
+func (r *ResilientClient) Publish(receptorID string, ts []stream.Tuple) (wire.Ack, error) {
+	r.seq++
+	seq := r.seq
+	var ack wire.Ack
+	err := r.withRetry(fmt.Sprintf("publish seq %d", seq), func() error {
+		r.armDeadline(r.c)
+		a, err := r.c.PublishSeq(receptorID, seq, ts)
+		r.clearDeadline(r.c)
+		if err == nil {
+			ack = a
+		}
+		return err
+	})
+	return ack, err
+}
+
+// Advance commits epoch boundaries up to now, surviving connection
+// loss (replayed advances are idempotent server-side).
+func (r *ResilientClient) Advance(now time.Time) error {
+	r.seq++
+	seq := r.seq
+	return r.withRetry(fmt.Sprintf("advance seq %d", seq), func() error {
+		r.armDeadline(r.c)
+		err := r.c.AdvanceSeq(seq, now)
+		r.clearDeadline(r.c)
+		return err
+	})
+}
+
+// Stats fetches the tenant's stats snapshot, surviving connection loss.
+func (r *ResilientClient) Stats() (Stats, error) {
+	var st Stats
+	err := r.withRetry("stats", func() error {
+		r.armDeadline(r.c)
+		s, err := r.c.Stats()
+		r.clearDeadline(r.c)
+		if err == nil {
+			st = s
+		}
+		return err
+	})
+	return st, err
+}
+
+// cursor is the resume position for a reconnecting subscriber: the
+// last delivered epoch, or the from-genesis sentinel when the
+// subscription attached at genesis and nothing has been delivered yet
+// (0 on the wire would mean "live only" and open a gap).
+func (r *ResilientClient) cursor() int64 {
+	if r.lastDelivered == 0 {
+		return -1
+	}
+	return r.lastDelivered
+}
+
+// Subscribe attaches the client to a tenant output stream. After this
+// the connection is server-push: consume with Next. On every reconnect
+// the subscription is resumed from the last delivered epoch (or the
+// attach point, if nothing was delivered yet), so the frame sequence
+// Next returns is gapless and duplicate-free across any number of
+// connection deaths.
+func (r *ResilientClient) Subscribe(streamName string) error {
+	first := !r.subscribed
+	r.stream = streamName
+	r.subscribed = true
+	return r.withRetry("subscribe", func() error {
+		if r.c != nil && !r.c.subscribedConn {
+			// The live connection predates the subscription: replay it.
+			// The first attempt is a plain attach (live from here); any
+			// retry after that resumes, because an attach whose ack was
+			// lost may have taken effect server-side.
+			from := int64(0)
+			if !first {
+				from = r.cursor()
+			}
+			first = false
+			r.armDeadline(r.c)
+			attached, err := r.c.SubscribeFrom(r.tenant, r.stream, from)
+			r.clearDeadline(r.c)
+			if err != nil {
+				return err
+			}
+			if from == 0 && attached > r.lastDelivered {
+				// Live-only attach mid-stream: the contract starts at the
+				// attach epoch, so resume later from there, not genesis.
+				r.lastDelivered = attached
+			}
+		}
+		r.c.subscribedConn = true
+		return nil
+	})
+}
+
+// Next reads the next Data frame on a subscribed client, reconnecting
+// and resuming through faults. done reports a graceful end of stream.
+func (r *ResilientClient) Next() (d wire.Data, final int64, done bool, err error) {
+	err = r.withRetry("next", func() error {
+		if r.pol.ReadTimeout > 0 {
+			_ = r.c.SetReadDeadline(r.clk.Now().Add(r.pol.ReadTimeout))
+		}
+		for {
+			nd, nfinal, ndone, nerr := r.c.Next()
+			if nerr != nil {
+				return nerr
+			}
+			if ndone {
+				final, done = nfinal, true
+				return nil
+			}
+			if nd.Epoch <= r.lastDelivered {
+				continue // duplicate from a resume race; drop silently
+			}
+			r.lastDelivered = nd.Epoch
+			d = nd
+			return nil
+		}
+	})
+	return d, final, done, err
+}

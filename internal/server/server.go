@@ -30,19 +30,37 @@ type Config struct {
 	// under this directory (see Engine.SetWALDir). The caller decides
 	// when to run boot recovery via Engine().Recover().
 	WALDir string
+	// IdleTimeout, if positive, is the per-connection read deadline on
+	// the control frame loop: a connection that sends nothing for this
+	// long is killed (counted as conn_idle_kills). Subscribers streaming
+	// output are exempt — they are read-idle by design; the write
+	// deadline polices them instead.
+	IdleTimeout time.Duration
+	// WriteTimeout, if positive, bounds every frame write. A slow or
+	// half-open client whose socket stops draining is disconnected after
+	// this long instead of stalling its handler goroutine indefinitely.
+	WriteTimeout time.Duration
 	// Logger receives connection lifecycle events (nil = silent).
 	Logger *slog.Logger
 }
 
+// keepAlivePeriod is the TCP keepalive probe interval on accepted and
+// dialed connections — the kernel-level backstop that eventually
+// surfaces half-open peers even when both deadlines are disabled.
+const keepAlivePeriod = 30 * time.Second
+
 // Server fronts an Engine with the wire protocol over TCP.
 type Server struct {
-	eng    *Engine
-	ln     net.Listener
-	log    *slog.Logger
-	reg    *telemetry.Registry
-	tsrv   *telemetry.Server
-	conns  *telemetry.Counter
-	active *telemetry.Counter
+	eng       *Engine
+	ln        net.Listener
+	log       *slog.Logger
+	reg       *telemetry.Registry
+	tsrv      *telemetry.Server
+	conns     *telemetry.Counter
+	active    *telemetry.Counter
+	idleKills *telemetry.Counter // idle kills on conns not yet bound to a tenant
+	idle      time.Duration
+	write     time.Duration
 
 	mu       sync.Mutex
 	open     map[net.Conn]struct{}
@@ -64,17 +82,20 @@ func Listen(cfg Config) (*Server, error) {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &Server{
-		eng:  NewEngine(cfg.MaxTenants),
-		ln:   ln,
-		log:  log,
-		reg:  telemetry.NewRegistry(),
-		open: make(map[net.Conn]struct{}),
+		eng:   NewEngine(cfg.MaxTenants),
+		ln:    ln,
+		log:   log,
+		reg:   telemetry.NewRegistry(),
+		open:  make(map[net.Conn]struct{}),
+		idle:  cfg.IdleTimeout,
+		write: cfg.WriteTimeout,
 	}
 	if cfg.WALDir != "" {
 		s.eng.SetWALDir(cfg.WALDir)
 	}
 	s.conns = s.reg.Counter("server_conns_total")
 	s.active = s.reg.Counter("server_conns_active")
+	s.idleKills = s.reg.Counter("conn_idle_kills")
 	s.reg.GaugeFunc("server_tenants", func() int64 {
 		return int64(len(s.eng.Tenants()))
 	})
@@ -123,6 +144,7 @@ func (s *Server) Serve() error {
 		}
 		s.open[conn] = struct{}{}
 		s.mu.Unlock()
+		setKeepAlive(conn)
 		s.conns.Add(1)
 		s.active.Add(1)
 		s.wg.Add(1)
@@ -185,6 +207,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return drainErr
 }
 
+// setKeepAlive arms TCP keepalive on a connection (no-op for other
+// conn types, e.g. net.Pipe in tests).
+func setKeepAlive(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetKeepAlive(true)
+		_ = tc.SetKeepAlivePeriod(keepAlivePeriod)
+	}
+}
+
 // forget removes a finished connection from the open set.
 func (s *Server) forget(conn net.Conn) {
 	s.mu.Lock()
@@ -199,8 +230,12 @@ func (s *Server) handle(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	var tenant *Tenant // bound by hello (or per-frame tenant fields)
+	var sessID string  // bound by a session hello: publishes dedup via the session
 
 	reply := func(f wire.Frame) bool {
+		if s.write > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.write))
+		}
 		if err := wire.WriteFrame(bw, f); err != nil {
 			return false
 		}
@@ -211,8 +246,23 @@ func (s *Server) handle(conn net.Conn) {
 	}
 
 	for {
+		if s.idle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.idle))
+		}
 		f, err := wire.ReadFrame(br)
 		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				// The control loop went quiet past the idle deadline:
+				// kill the connection rather than hold its handler (and
+				// any half-open peer's socket) forever.
+				if tenant != nil {
+					tenant.idleKills.Add(1)
+				} else {
+					s.idleKills.Add(1)
+				}
+				s.log.Debug("conn idle-killed", "remote", conn.RemoteAddr())
+				return
+			}
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				s.log.Debug("conn closed", "err", err)
 			}
@@ -235,7 +285,29 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				tenant = t
 			}
-			if !reply(wire.Ack{}.Frame()) {
+			ack := wire.Ack{}
+			if h.Session != "" {
+				if tenant == nil {
+					if !fail("session hello needs a tenant") {
+						return
+					}
+					continue
+				}
+				lastSeq, lastEpoch, err := tenant.AttachSession(h.Session)
+				if err != nil {
+					if !fail("%v", err) {
+						return
+					}
+					continue
+				}
+				// The resume ack tells the reconnecting client where the
+				// server actually is: its session's last applied publish
+				// seq and the tenant's last committed epoch.
+				sessID = h.Session
+				ack.Seq = lastSeq
+				ack.Epoch = lastEpoch
+			}
+			if !reply(ack.Frame()) {
 				return
 			}
 
@@ -270,7 +342,12 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				continue
 			}
-			ack, err := tenant.Publish(m.Receptor, m.Tuples)
+			var ack wire.Ack
+			if sessID != "" {
+				ack, err = tenant.PublishSession(sessID, m.Seq, m.Receptor, m.Tuples)
+			} else {
+				ack, err = tenant.Publish(m.Receptor, m.Tuples)
+			}
 			if err != nil {
 				if !fail("%v", err) {
 					return
@@ -327,16 +404,29 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				continue
 			}
-			sub, err := t.Subscribe(m.Stream)
+			sub, backlog, err := t.ResumeSubscribe(m.Stream, m.FromEpoch)
 			if err != nil {
 				if !fail("%v", err) {
 					return
 				}
 				continue
 			}
-			if !reply(wire.Ack{}.Frame()) {
+			// The ack's Epoch is the attach point: the client's resume
+			// cursor until the first Data frame lands.
+			if !reply(wire.Ack{Epoch: sub.Attached()}.Frame()) {
 				sub.Close()
 				return
+			}
+			// Catch-up: epochs committed after the client's cursor are
+			// replayed before live frames. The subscriber was attached in
+			// the same actor command that snapshotted the backlog, so live
+			// frames (buffered in the channel meanwhile) continue exactly
+			// where the backlog ends — no gap, no duplicate.
+			for _, d := range backlog {
+				if !reply(d.Frame()) {
+					sub.Close()
+					return
+				}
 			}
 			// Register as a pushing handler so Shutdown lets this
 			// connection flush before closing sockets. If a shutdown is
@@ -380,6 +470,10 @@ func (s *Server) handle(conn net.Conn) {
 // watched concurrently so a dropped client releases its subscriber
 // slot instead of buffering until kicked.
 func (s *Server) push(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, t *Tenant, sub *Subscription) {
+	// A subscriber is legitimately read-idle: lift the control loop's
+	// idle deadline so the watcher goroutine blocks indefinitely. The
+	// write deadline below is what polices a half-open subscriber.
+	_ = conn.SetReadDeadline(time.Time{})
 	gone := make(chan struct{})
 	go func() {
 		defer close(gone)
@@ -391,10 +485,16 @@ func (s *Server) push(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, t *Tena
 		}
 	}()
 	defer sub.Close()
+	deadline := func() {
+		if s.write > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.write))
+		}
+	}
 	for {
 		select {
 		case d, ok := <-sub.C():
 			if !ok {
+				deadline()
 				if sub.Lost() {
 					_ = wire.WriteFrame(bw, wire.Errorf("subscriber fell behind; kicked"))
 				} else {
@@ -403,17 +503,32 @@ func (s *Server) push(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, t *Tena
 				_ = bw.Flush()
 				return
 			}
+			deadline()
 			if err := wire.WriteFrame(bw, d.Frame()); err != nil {
+				s.kickIfStalled(t, err)
 				return
 			}
 			if len(sub.C()) == 0 {
 				if err := bw.Flush(); err != nil {
+					s.kickIfStalled(t, err)
 					return
 				}
 			}
 		case <-gone:
 			return
 		}
+	}
+}
+
+// kickIfStalled counts a push-side write-deadline disconnect: the
+// subscriber's socket stopped draining (slow consumer or half-open
+// peer), so the handler gave up on it rather than block. Kicks surface
+// in the same serve_subscribers_kicked counter as buffer-overflow
+// kicks — both mean "consumer could not keep up and was cut loose".
+func (s *Server) kickIfStalled(t *Tenant, err error) {
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.subKicked.Add(1)
+		s.log.Debug("subscriber write stalled; kicked", "tenant", t.Name())
 	}
 }
 

@@ -1,0 +1,427 @@
+package server
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"esp/internal/netchaos"
+	"esp/internal/stream"
+)
+
+// startServerCfg is startServer with explicit deadline/WAL knobs.
+func startServerCfg(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s, err := Listen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve() //nolint:errcheck
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+// TestSessionPublishDedup: a publish replayed under its original seq is
+// acked but not re-applied, and a second hello under the same session
+// name rebinds it with the server's high-water mark in the ack.
+func TestSessionPublishDedup(t *testing.T) {
+	s := startServerCfg(t, Config{})
+	ctl := dial(t, s)
+	if err := ctl.Create("acme", testSpec("")); err != nil {
+		t.Fatal(err)
+	}
+
+	c1 := dial(t, s)
+	ack, err := c1.HelloSession("acme", "pub", "sess-a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Seq != 0 {
+		t.Fatalf("fresh session ack.Seq = %d, want 0", ack.Seq)
+	}
+	ts := []stream.Tuple{read(0.2, "X", true), read(0.4, "X", true)}
+	if _, err := c1.PublishSeq("reader0", 1, ts); err != nil {
+		t.Fatal(err)
+	}
+	// The replay: same seq, same payload — as after a lost ack.
+	if _, err := c1.PublishSeq("reader0", 1, ts); err != nil {
+		t.Fatalf("replayed publish must be acked, got %v", err)
+	}
+
+	st, err := ctl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TuplesIn != 2 {
+		t.Errorf("tuples_in = %d, want 2 (replay must not re-apply)", st.TuplesIn)
+	}
+	if st.DedupDrops != 1 {
+		t.Errorf("dedup_drops = %d, want 1", st.DedupDrops)
+	}
+
+	// Reconnect: a new connection adopting the same session name.
+	c2 := dial(t, s)
+	ack, err = c2.HelloSession("acme", "pub", "sess-a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Seq != 1 {
+		t.Errorf("rebind ack.Seq = %d, want 1 (the applied high-water mark)", ack.Seq)
+	}
+	if st, _ := ctl.Stats(); st.Reconnects != 1 {
+		t.Errorf("reconnects = %d, want 1", st.Reconnects)
+	}
+	// An old seq from the zombie connection must still be deduped.
+	if _, err := c1.PublishSeq("reader0", 1, ts); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := ctl.Stats(); st.TuplesIn != 2 || st.DedupDrops != 2 {
+		t.Errorf("after zombie replay: tuples_in=%d dedup_drops=%d, want 2/2", st.TuplesIn, st.DedupDrops)
+	}
+}
+
+// commitEpoch publishes one distinct-tag reading and advances one
+// epoch, so every epoch has arbitrated output.
+func commitEpoch(t *testing.T, c *Client, epoch int, tag string) {
+	t.Helper()
+	sec := float64(epoch-1) + 0.5
+	if _, err := c.Publish("reader0", []stream.Tuple{read(sec, tag, true)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advance(at(float64(epoch))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubscribeResumeRing: a subscriber that died mid-stream reattaches
+// with its last delivered epoch and receives exactly the missed epochs
+// from the in-memory retention ring, then goes live.
+func TestSubscribeResumeRing(t *testing.T) {
+	s := startServerCfg(t, Config{})
+	ctl := dial(t, s)
+	if err := ctl.Create("acme", testSpec("")); err != nil {
+		t.Fatal(err)
+	}
+
+	c1 := dial(t, s)
+	if err := c1.Subscribe("acme", "rfid"); err != nil {
+		t.Fatal(err)
+	}
+	commitEpoch(t, ctl, 1, "A")
+	d, _, _, err := c1.Next()
+	if err != nil || d.Epoch != at(1).UnixNano() {
+		t.Fatalf("epoch 1: %v (err %v)", d.Epoch, err)
+	}
+	c1.Close() // the link dies
+
+	commitEpoch(t, ctl, 2, "B")
+	commitEpoch(t, ctl, 3, "C")
+
+	c2 := dial(t, s)
+	attached, err := c2.SubscribeFrom("acme", "rfid", at(1).UnixNano())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attached != at(3).UnixNano() {
+		t.Errorf("attach epoch = %d, want %d", attached, at(3).UnixNano())
+	}
+	for i, want := range []time.Time{at(2), at(3)} {
+		d, _, _, err := c2.Next()
+		if err != nil {
+			t.Fatalf("backlog frame %d: %v", i, err)
+		}
+		if d.Epoch != want.UnixNano() {
+			t.Fatalf("backlog frame %d epoch = %d, want %d", i, d.Epoch, want.UnixNano())
+		}
+	}
+	// And live delivery continues past the backlog.
+	commitEpoch(t, ctl, 4, "D")
+	if d, _, _, err = c2.Next(); err != nil || d.Epoch != at(4).UnixNano() {
+		t.Fatalf("live epoch 4 after backlog: epoch=%d err=%v", d.Epoch, err)
+	}
+
+	if st, _ := ctl.Stats(); st.Resumes != 1 {
+		t.Errorf("resumes = %d, want 1", st.Resumes)
+	}
+}
+
+// TestSubscribeResumeArchive: with a one-epoch retention ring, a resume
+// cursor behind the ring must be served from the WAL output archive —
+// and without a WAL it must fail loudly instead of opening a gap.
+func TestSubscribeResumeArchive(t *testing.T) {
+	s := startServerCfg(t, Config{WALDir: t.TempDir()})
+	ctl := dial(t, s)
+	if err := ctl.Create("acme", testSpec(`,"quota":{"resume_horizon_epochs":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	for e, tag := range []string{"A", "B", "C", "D"} {
+		commitEpoch(t, ctl, e+1, tag)
+	}
+
+	// Epochs 1-3 are long evicted from the ring; resume from epoch 1.
+	c := dial(t, s)
+	if _, err := c.SubscribeFrom("acme", "rfid", at(1).UnixNano()); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []time.Time{at(2), at(3), at(4)} {
+		d, _, _, err := c.Next()
+		if err != nil {
+			t.Fatalf("archive frame %d: %v", i, err)
+		}
+		if d.Epoch != want.UnixNano() {
+			t.Fatalf("archive frame %d epoch = %d, want %d", i, d.Epoch, want.UnixNano())
+		}
+	}
+
+	// From genesis (negative cursor): every committed epoch replays.
+	g := dial(t, s)
+	if _, err := g.SubscribeFrom("acme", "rfid", -1); err != nil {
+		t.Fatal(err)
+	}
+	d, _, _, err := g.Next()
+	if err != nil || d.Epoch != at(1).UnixNano() {
+		t.Fatalf("genesis resume first epoch = %d, err %v", d.Epoch, err)
+	}
+}
+
+// TestSubscribeResumeBeyondHorizonFails: no WAL, one-epoch ring — a
+// cursor behind the horizon cannot be honored and must be an error.
+func TestSubscribeResumeBeyondHorizonFails(t *testing.T) {
+	s := startServerCfg(t, Config{})
+	ctl := dial(t, s)
+	if err := ctl.Create("acme", testSpec(`,"quota":{"resume_horizon_epochs":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	for e, tag := range []string{"A", "B", "C"} {
+		commitEpoch(t, ctl, e+1, tag)
+	}
+	c := dial(t, s)
+	_, err := c.SubscribeFrom("acme", "rfid", at(1).UnixNano())
+	if err == nil || !strings.Contains(err.Error(), "horizon") {
+		t.Fatalf("resume beyond horizon: got %v, want horizon error", err)
+	}
+}
+
+// TestIdleKill: a connection that goes silent past the idle timeout is
+// killed and counted — against the tenant when hello-bound, against
+// the server otherwise.
+func TestIdleKill(t *testing.T) {
+	s := startServerCfg(t, Config{IdleTimeout: 100 * time.Millisecond})
+	ctl := dial(t, s)
+	if err := ctl.Create("acme", testSpec("")); err != nil {
+		t.Fatal(err)
+	}
+
+	bound := dial(t, s)
+	if err := bound.Hello("acme", "pub"); err != nil {
+		t.Fatal(err)
+	}
+	unbound, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unbound.Close()
+
+	// Both connections park. The server must reap them; the read
+	// unblocks when the server closes the socket.
+	_ = unbound.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := unbound.Read(make([]byte, 1)); err == nil {
+		t.Fatal("parked unbound conn: read succeeded, want server-side close")
+	} else if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Fatal("parked unbound conn was not killed within 5s")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	ten, _ := s.Engine().Tenant("acme")
+	for ten.Stats().IdleKills == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("bound conn idle-kill not counted within 5s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := s.idleKills.Load(); n == 0 {
+		t.Error("server-level conn_idle_kills = 0, want ≥ 1 for the unbound conn")
+	}
+	// ctl idles out too eventually; that's fine — Stats above already ran.
+}
+
+// TestSlowSubscriberKicked: an in-process subscriber that stops reading
+// is kicked when its buffer fills, without stalling the epoch clock or
+// other subscribers.
+func TestSlowSubscriberKicked(t *testing.T) {
+	eng := NewEngine(0)
+	ten, err := eng.Create("acme", testSpec(`,"quota":{"subscriber_buffer":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := ten.Subscribe("rfid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := ten.Subscribe("rfid")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tags := []string{"A", "B", "C"}
+	for e, tag := range tags {
+		sec := float64(e) + 0.5
+		if _, err := ten.Publish("reader0", []stream.Tuple{read(sec, tag, true)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ten.Advance(at(float64(e + 1))); err != nil {
+			t.Fatal(err)
+		}
+		<-live.C() // the healthy subscriber keeps up
+	}
+
+	if !slow.Lost() {
+		t.Error("slow subscriber not kicked")
+	}
+	if st := ten.Stats(); st.Epochs != int64(len(tags)) {
+		t.Errorf("epochs = %d, want %d — the slow subscriber stalled the clock", st.Epochs, len(tags))
+	}
+	if n := ten.subKicked.Load(); n != 1 {
+		t.Errorf("serve_subscribers_kicked = %d, want 1", n)
+	}
+}
+
+// bigRead is a reading with a distinct ~1KiB tag — bulk for filling
+// socket buffers through the arbitrated output.
+func bigRead(sec float64, tag string) stream.Tuple {
+	return read(sec, tag+strings.Repeat("x", 1024), true)
+}
+
+// TestHalfOpenSubscriberKicked: a subscriber whose link stops draining
+// (half-open: socket open, peer gone) must be kicked by the write
+// deadline, not hang the push goroutine forever.
+func TestHalfOpenSubscriberKicked(t *testing.T) {
+	s := startServerCfg(t, Config{WriteTimeout: 250 * time.Millisecond})
+	ctl := dial(t, s)
+	if err := ctl.Create("acme", testSpec("")); err != nil {
+		t.Fatal(err)
+	}
+
+	proxy, err := netchaos.Listen(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	halfOpen, err := Dial(proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer halfOpen.Close()
+	if err := halfOpen.Subscribe("acme", "rfid"); err != nil {
+		t.Fatal(err)
+	}
+
+	proxy.Stall() // frames stop draining; every socket stays open
+	defer proxy.Resume()
+
+	ten, _ := s.Engine().Tenant("acme")
+	// Pump bulky epochs until the server's blocked write times out. The
+	// smooth stage's 5s window keeps all distinct tags live, so each
+	// epoch's frame carries every tag seen — buffers fill fast.
+	deadline := time.Now().Add(10 * time.Second)
+	for e := 1; ten.subKicked.Load() == 0; e++ {
+		if time.Now().After(deadline) {
+			t.Fatal("half-open subscriber not kicked within 10s")
+		}
+		ts := make([]stream.Tuple, 0, 64)
+		for i := 0; i < 64; i++ {
+			ts = append(ts, bigRead(float64(e-1)+0.5, string(rune('a'+e%26))+string(rune('a'+i%26))+string(rune('a'+i/26))))
+		}
+		if _, err := ctl.Publish("reader0", ts); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctl.Advance(at(float64(e))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The tenant survived: it can still commit an epoch for a healthy
+	// subscriber.
+	fresh := dial(t, s)
+	if _, err := fresh.SubscribeFrom("acme", "rfid", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recordingClock is the fake Clock: Now is frozen, Sleep records.
+type recordingClock struct {
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func (c *recordingClock) Now() time.Time        { return c.now }
+func (c *recordingClock) Sleep(d time.Duration) { c.sleeps = append(c.sleeps, d) }
+
+// TestResilientBackoffDeterministic: the reconnect backoff sequence is
+// capped exponential with seeded jitter — exactly reproducible under a
+// fake clock, bounded by MaxAttempts, and seed-sensitive.
+func TestResilientBackoffDeterministic(t *testing.T) {
+	// A port that refuses connections: listen, then close.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	run := func(seed int64) []time.Duration {
+		clk := &recordingClock{now: time.Unix(1000, 0)}
+		_, err := DialResilient(addr, "acme", "sess", RetryPolicy{
+			MaxAttempts: 5,
+			BaseBackoff: 10 * time.Millisecond,
+			MaxBackoff:  40 * time.Millisecond,
+			Seed:        seed,
+			Clock:       clk,
+		})
+		if err == nil {
+			t.Fatal("dial to a closed port succeeded")
+		}
+		return clk.sleeps
+	}
+
+	got := run(42)
+	// MaxAttempts 5 → backoff before attempts 1..4.
+	if len(got) != 4 {
+		t.Fatalf("got %d sleeps, want 4: %v", len(got), got)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i, d := range got {
+		base := 10 * time.Millisecond << i
+		if base > 40*time.Millisecond {
+			base = 40 * time.Millisecond
+		}
+		want := time.Duration(float64(base) * (0.5 + 0.5*rng.Float64()))
+		if d != want {
+			t.Errorf("sleep %d = %v, want %v", i, d, want)
+		}
+		if d < base/2 || d > base {
+			t.Errorf("sleep %d = %v outside [%v, %v]", i, d, base/2, base)
+		}
+	}
+
+	if again := run(42); len(again) != len(got) || again[0] != got[0] || again[3] != got[3] {
+		t.Errorf("same seed replayed a different sequence: %v vs %v", again, got)
+	}
+	other := run(7)
+	same := len(other) == len(got)
+	for i := 0; same && i < len(got); i++ {
+		same = other[i] == got[i]
+	}
+	if same {
+		t.Error("seeds 42 and 7 produced identical backoff sequences")
+	}
+}

@@ -61,12 +61,27 @@ type Quota struct {
 	MaxPublishTuples int `json:"max_publish_tuples,omitempty"`
 	// MaxSubscribers bounds concurrent subscribers (default 64).
 	MaxSubscribers int `json:"max_subscribers,omitempty"`
+	// MaxSessions bounds resumable publisher sessions (default 4096).
+	// Sessions are tiny (a seq high-water mark) but client-named, so
+	// the table must be capped against hostile churn.
+	MaxSessions int `json:"max_sessions,omitempty"`
+	// ResumeHorizonEpochs bounds the in-memory retention ring: how many
+	// recent committed epochs' outputs are kept for fast subscriber
+	// resume (default 128). Resumes from further back fall through to
+	// the WAL archive, or fail when journalling is off.
+	ResumeHorizonEpochs int `json:"resume_horizon_epochs,omitempty"`
+	// SubscriberBuffer bounds each subscriber's Data frame buffer
+	// (default 1024); a consumer that far behind is kicked.
+	SubscriberBuffer int `json:"subscriber_buffer,omitempty"`
 }
 
 // Quota defaults.
 const (
-	DefaultMaxPublishTuples = 1 << 16
-	DefaultMaxSubscribers   = 64
+	DefaultMaxPublishTuples    = 1 << 16
+	DefaultMaxSubscribers      = 64
+	DefaultMaxSessions         = 4096
+	DefaultResumeHorizonEpochs = 128
+	DefaultSubscriberBuffer    = 1024
 )
 
 func (q Quota) maxPublishTuples() int {
@@ -81,6 +96,27 @@ func (q Quota) maxSubscribers() int {
 		return q.MaxSubscribers
 	}
 	return DefaultMaxSubscribers
+}
+
+func (q Quota) maxSessions() int {
+	if q.MaxSessions > 0 {
+		return q.MaxSessions
+	}
+	return DefaultMaxSessions
+}
+
+func (q Quota) resumeHorizon() int {
+	if q.ResumeHorizonEpochs > 0 {
+		return q.ResumeHorizonEpochs
+	}
+	return DefaultResumeHorizonEpochs
+}
+
+func (q Quota) subscriberBuffer() int {
+	if q.SubscriberBuffer > 0 {
+		return q.SubscriberBuffer
+	}
+	return DefaultSubscriberBuffer
 }
 
 // parsedSpec is a Spec compiled into runtime objects.

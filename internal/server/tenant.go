@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"esp/internal/core"
@@ -50,12 +51,28 @@ type Tenant struct {
 	drained   bool
 	replaying bool // inside boot replay: suppress re-journalling
 
+	// Retention ring for subscriber resume (actor-owned): the last
+	// resumeHorizon() output-bearing epochs' Data frames, plus the
+	// newest epoch evicted from it (resumes from at or before
+	// evictedThrough must go to the archive instead).
+	retained       []retainedEpoch
+	evictedThrough int64
+
+	// Publisher session table, guarded by its own lock (publishes
+	// bypass the actor).
+	sessMu   sync.Mutex
+	sessions map[string]*session
+
 	// Telemetry counters (atomic; readable from any goroutine).
-	tuplesIn  *telemetry.Counter
-	framesIn  *telemetry.Counter
-	epochs    *telemetry.Counter
-	dataOut   *telemetry.Counter
-	subKicked *telemetry.Counter
+	tuplesIn   *telemetry.Counter
+	framesIn   *telemetry.Counter
+	epochs     *telemetry.Counter
+	dataOut    *telemetry.Counter
+	subKicked  *telemetry.Counter
+	reconnects *telemetry.Counter
+	resumes    *telemetry.Counter
+	dedupDrops *telemetry.Counter
+	idleKills  *telemetry.Counter
 }
 
 // subscriber is one attached output consumer. Its channel is bounded: a
@@ -67,10 +84,6 @@ type subscriber struct {
 	final  int64 // set before ch is closed on drain: last committed epoch
 	lost   bool  // kicked for falling behind
 }
-
-// subscriberBuffer is the per-subscriber frame buffer; a consumer more
-// than this many Data frames behind is kicked.
-const subscriberBuffer = 1024
 
 // newTenant compiles a spec and starts the tenant actor. The tenant's
 // registry is the processor's own, extended with the serve_* counters,
@@ -98,14 +111,19 @@ func newTenant(name string, ps *parsedSpec, walDir string, walNoSync bool) (*Ten
 		cmds:    make(chan func()),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
-		last:    ps.start,
-		pending: make(map[string][]stream.Tuple),
+		last:     ps.start,
+		pending:  make(map[string][]stream.Tuple),
+		sessions: make(map[string]*session),
 	}
 	t.tuplesIn = t.reg.Counter("serve_tuples_in")
 	t.framesIn = t.reg.Counter("serve_publish_frames")
 	t.epochs = t.reg.Counter("serve_epochs")
 	t.dataOut = t.reg.Counter("serve_data_frames")
 	t.subKicked = t.reg.Counter("serve_subscribers_kicked")
+	t.reconnects = t.reg.Counter("serve_reconnects")
+	t.resumes = t.reg.Counter("serve_resumes")
+	t.dedupDrops = t.reg.Counter("serve_dedup_drops")
+	t.idleKills = t.reg.Counter("conn_idle_kills")
 	t.reg.GaugeFunc("serve_backlog", func() int64 {
 		var n int64
 		for _, ch := range t.chans {
@@ -324,27 +342,47 @@ func (t *Tenant) stepLocked(b time.Time) error {
 	return nil
 }
 
-// flushLocked hands the epoch's buffered output to the subscribers.
+// flushLocked hands the epoch's buffered output to the subscribers and
+// appends it to the retention ring. Each stream's frame is built once
+// and shared — subscribers, the ring, and resume backlogs all read the
+// same immutable Data value.
 func (t *Tenant) flushLocked(b time.Time) {
 	if len(t.pending) == 0 {
 		return
 	}
 	epoch := b.UnixNano()
+	var names []string
+	for name, out := range t.pending {
+		if len(out) > 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	frames := make(map[string]wire.Data, len(names))
+	ordered := make([]wire.Data, 0, len(names))
+	for _, name := range names {
+		d := wire.Data{Stream: name, Epoch: epoch, Tuples: append([]stream.Tuple(nil), t.pending[name]...)}
+		frames[name] = d
+		ordered = append(ordered, d)
+	}
+	t.retainLocked(epoch, ordered)
 	keep := t.subs[:0]
 	for _, sub := range t.subs {
-		out := t.pending[sub.stream]
-		if len(out) == 0 {
+		d, ok := frames[sub.stream]
+		if !ok {
 			keep = append(keep, sub)
 			continue
 		}
-		d := wire.Data{Stream: sub.stream, Epoch: epoch, Tuples: append([]stream.Tuple(nil), out...)}
 		select {
 		case sub.ch <- d:
 			t.dataOut.Add(1)
 			keep = append(keep, sub)
 		default:
-			// The consumer is subscriberBuffer frames behind: kick it
-			// rather than stall the tenant's epoch clock.
+			// The consumer is a full buffer behind: kick it rather than
+			// stall the tenant's epoch clock.
 			sub.lost = true
 			close(sub.ch)
 			t.subKicked.Add(1)
@@ -362,21 +400,8 @@ func (t *Tenant) flushLocked(b time.Time) {
 // after drain (Final reports the final committed epoch) or when the
 // consumer is kicked for falling behind (Lost).
 func (t *Tenant) Subscribe(streamName string) (*Subscription, error) {
-	sub := &subscriber{stream: streamName, ch: make(chan wire.Data, subscriberBuffer)}
-	err := t.do(func() error {
-		if t.drained {
-			return fmt.Errorf("server: tenant %q is drained", t.name)
-		}
-		if len(t.subs) >= t.quota.maxSubscribers() {
-			return fmt.Errorf("server: tenant %q subscriber quota (%d) exhausted", t.name, t.quota.maxSubscribers())
-		}
-		t.subs = append(t.subs, sub)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Subscription{t: t, sub: sub}, nil
+	sub, _, err := t.ResumeSubscribe(streamName, 0)
+	return sub, err
 }
 
 // Unsubscribe detaches a subscriber (consumer-initiated close).
@@ -494,9 +519,14 @@ func (t *Tenant) Last() time.Time {
 
 // Subscription is a consumer handle on one tenant output stream.
 type Subscription struct {
-	t   *Tenant
-	sub *subscriber
+	t        *Tenant
+	sub      *subscriber
+	attached int64
 }
+
+// Attached reports the epoch committed last at the instant the
+// subscriber attached: frames delivered on C are strictly after it.
+func (s *Subscription) Attached() int64 { return s.attached }
 
 // C is the frame channel; closed on drain or when kicked.
 func (s *Subscription) C() <-chan wire.Data { return s.sub.ch }
@@ -523,6 +553,10 @@ type Stats struct {
 	Subscribers int    `json:"subscribers"`
 	Backlog     int    `json:"backlog"`
 	Dropped     int64  `json:"dropped"`
+	Reconnects  int64  `json:"reconnects,omitempty"`
+	Resumes     int64  `json:"resumes,omitempty"`
+	DedupDrops  int64  `json:"dedup_drops,omitempty"`
+	IdleKills   int64  `json:"idle_kills,omitempty"`
 }
 
 // Stats snapshots the tenant's counters.
@@ -534,6 +568,10 @@ func (t *Tenant) Stats() Stats {
 		Frames:     t.framesIn.Load(),
 		Epochs:     t.epochs.Load(),
 		DataFrames: t.dataOut.Load(),
+		Reconnects: t.reconnects.Load(),
+		Resumes:    t.resumes.Load(),
+		DedupDrops: t.dedupDrops.Load(),
+		IdleKills:  t.idleKills.Load(),
 	}
 	for _, ch := range t.chans {
 		st.Backlog += ch.Pending()

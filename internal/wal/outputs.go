@@ -1,0 +1,79 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"time"
+
+	"esp/internal/stream"
+)
+
+// ArchivedOutput is one stream's cleaned output for one committed
+// epoch, in the archive's (sorted-stream) record order.
+type ArchivedOutput struct {
+	Stream string
+	Tuples []stream.Tuple
+}
+
+// ArchivedEpoch is one committed epoch's archived output.
+type ArchivedEpoch struct {
+	Epoch   time.Time
+	Outputs []ArchivedOutput
+}
+
+// OutputsSince reads the archived cleaned output of every committed
+// epoch strictly after `after`, in epoch order — the deep path of
+// subscriber resume: a reconnecting subscriber whose last delivered
+// epoch has aged out of the tenant's in-memory retention ring is
+// caught up from the archive segments instead.
+//
+// The archive's userspace buffer is flushed first (no fsync — the
+// archive is derivable, so its durability stays lazy), which makes
+// every committed epoch visible to the read-back. Epochs with no
+// output produce no entry, matching what a live subscriber would have
+// seen. Safe to call concurrently with Journal/Commit; the log's lock
+// serializes it against appends.
+func (l *Log) OutputsSince(after time.Time) ([]ArchivedEpoch, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		if err := l.archive.w.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	segs, err := listSegs(l.dir, archivePrefix)
+	if err != nil {
+		return nil, err
+	}
+	var out []ArchivedEpoch
+	var pending []ArchivedOutput
+	for _, seg := range segs {
+		b, err := os.ReadFile(seg.path)
+		if err != nil {
+			return nil, err
+		}
+		if len(b) < len(segHeader) || !bytes.Equal(b[:len(segHeader)], segHeader[:]) {
+			break
+		}
+		off := int64(len(segHeader))
+		for int(off) < len(b) {
+			r, n, err := DecodeRecord(b[off:])
+			if err != nil {
+				// A torn or corrupt tail is everything past the last
+				// barrier — exactly what resume must not deliver.
+				return out, nil
+			}
+			switch r.Kind {
+			case KindOutput:
+				pending = append(pending, ArchivedOutput{Stream: r.Stream, Tuples: r.Tuples})
+			case KindCommit:
+				if r.Epoch.After(after) && len(pending) > 0 {
+					out = append(out, ArchivedEpoch{Epoch: r.Epoch, Outputs: pending})
+				}
+				pending = nil
+			}
+			off += int64(n)
+		}
+	}
+	return out, nil
+}

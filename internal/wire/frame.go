@@ -123,16 +123,20 @@ func AppendFrame(dst []byte, f Frame) []byte {
 
 // DecodeFrame decodes one frame from the front of b, returning the frame
 // and the number of bytes consumed. The returned payload aliases b.
+// Error messages carry the offending header fields (magic bytes, or the
+// type byte and announced length) so a corrupted-in-transit stream is
+// diagnosable from the error alone.
 func DecodeFrame(b []byte) (Frame, int, error) {
 	if len(b) < HeaderLen {
 		return Frame{}, 0, ErrShort
 	}
 	if b[0] != magic0 || b[1] != magic1 {
-		return Frame{}, 0, ErrBadMagic
+		return Frame{}, 0, fmt.Errorf("%w: got %#02x %#02x, want %#02x %#02x", ErrBadMagic, b[0], b[1], magic0, magic1)
 	}
 	n := binary.BigEndian.Uint32(b[4:8])
 	if n > MaxPayload {
-		return Frame{}, 0, ErrTooLarge
+		return Frame{}, 0, fmt.Errorf("%w: frame type %s (0x%02x) announces %d bytes (limit %d)",
+			ErrTooLarge, Type(b[2]), b[2], n, MaxPayload)
 	}
 	end := HeaderLen + int(n)
 	if len(b) < end {
@@ -152,25 +156,30 @@ func WriteFrame(w io.Writer, f Frame) error {
 
 // ReadFrame reads exactly one frame from r. The header is validated
 // before the payload is allocated, so a corrupt length cannot drive a
-// huge allocation.
+// huge allocation. Error messages carry the offending header fields
+// (magic bytes, or the type byte and announced length) so a
+// corrupted-in-transit stream — a truncating proxy, a half-written
+// frame — is diagnosable from the error alone.
 func ReadFrame(r io.Reader) (Frame, error) {
 	var hdr [HeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Frame{}, err
 	}
 	if hdr[0] != magic0 || hdr[1] != magic1 {
-		return Frame{}, ErrBadMagic
+		return Frame{}, fmt.Errorf("%w: got %#02x %#02x, want %#02x %#02x", ErrBadMagic, hdr[0], hdr[1], magic0, magic1)
 	}
 	n := binary.BigEndian.Uint32(hdr[4:8])
 	if n > MaxPayload {
-		return Frame{}, ErrTooLarge
+		return Frame{}, fmt.Errorf("%w: frame type %s (0x%02x) announces %d bytes (limit %d)",
+			ErrTooLarge, Type(hdr[2]), hdr[2], n, MaxPayload)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return Frame{}, err
+		return Frame{}, fmt.Errorf("wire: frame type %s (0x%02x) truncated mid-payload (want %d bytes): %w",
+			Type(hdr[2]), hdr[2], n, err)
 	}
 	return Frame{Type: Type(hdr[2]), Flags: hdr[3], Payload: payload}, nil
 }

@@ -25,19 +25,39 @@ func decodeString(b []byte) (string, int, error) {
 
 // Hello opens a connection, naming the tenant the connection serves and
 // the role it plays ("publish", "subscribe", or "control").
+//
+// Session, when non-empty, binds the connection to a client-chosen
+// session: the server tracks the session's last applied publish seq
+// across connections, so a client that reconnects and re-sends an
+// unacked publish under the same session has it deduplicated rather
+// than double-applied. ResumeEpoch is the client's last acked epoch
+// (UnixNano, 0 = none), re-announced on reconnect for the server's
+// logs and telemetry. The hello Ack replies with the session's last
+// applied seq (Ack.Seq) and the tenant's last committed epoch
+// (Ack.Epoch) — everything the client needs to decide what to re-send.
 type Hello struct {
-	Tenant string `json:"tenant"`
-	Role   string `json:"role"`
+	Tenant      string `json:"tenant"`
+	Role        string `json:"role"`
+	Session     string `json:"session,omitempty"`
+	ResumeEpoch int64  `json:"resume_epoch,omitempty"`
 }
 
-// Frame encodes the message binary.
+// Frame encodes the message binary. The session fields are appended
+// only when a session is named, so a session-less hello is byte-
+// compatible with the pre-session protocol.
 func (m Hello) Frame() Frame {
 	p := appendString(nil, m.Tenant)
 	p = appendString(p, m.Role)
+	if m.Session != "" || m.ResumeEpoch != 0 {
+		p = appendString(p, m.Session)
+		p = binary.BigEndian.AppendUint64(p, uint64(m.ResumeEpoch))
+	}
 	return Frame{Type: TypeHello, Payload: p}
 }
 
-// DecodeHello decodes a hello frame (binary or JSON).
+// DecodeHello decodes a hello frame (binary or JSON). The session
+// fields are optional trailing bytes: frames from pre-session encoders
+// decode with an empty session.
 func DecodeHello(f Frame) (Hello, error) {
 	var m Hello
 	if f.JSON() {
@@ -47,11 +67,22 @@ func DecodeHello(f Frame) (Hello, error) {
 	if err != nil {
 		return m, err
 	}
-	r, _, err := decodeString(f.Payload[w:])
+	r, w2, err := decodeString(f.Payload[w:])
 	if err != nil {
 		return m, err
 	}
 	m.Tenant, m.Role = t, r
+	if rest := f.Payload[w+w2:]; len(rest) > 0 {
+		s, w3, err := decodeString(rest)
+		if err != nil {
+			return m, err
+		}
+		if len(rest[w3:]) < 8 {
+			return m, ErrShort
+		}
+		m.Session = s
+		m.ResumeEpoch = int64(binary.BigEndian.Uint64(rest[w3:]))
+	}
 	return m, nil
 }
 
@@ -184,15 +215,27 @@ func DecodeAdvance(f Frame) (Advance, error) {
 // Subscribe attaches the connection to one of a tenant's cleaned output
 // streams: a receptor type name, or "virtualize" for the cross-type
 // stream.
+//
+// FromEpoch, when non-zero, resumes a dropped subscription: the server
+// first replays every committed epoch strictly after FromEpoch
+// (UnixNano) — from its in-memory retention ring or the WAL archive
+// segments — before attaching the connection live, so a reconnecting
+// subscriber sees every epoch exactly once.
 type Subscribe struct {
-	Tenant string `json:"tenant"`
-	Stream string `json:"stream"`
+	Tenant    string `json:"tenant"`
+	Stream    string `json:"stream"`
+	FromEpoch int64  `json:"from_epoch,omitempty"`
 }
 
-// Frame encodes the message binary.
+// Frame encodes the message binary. FromEpoch is appended only when
+// set, so a plain subscribe is byte-compatible with the pre-resume
+// protocol.
 func (m Subscribe) Frame() Frame {
 	p := appendString(nil, m.Tenant)
 	p = appendString(p, m.Stream)
+	if m.FromEpoch != 0 {
+		p = binary.BigEndian.AppendUint64(p, uint64(m.FromEpoch))
+	}
 	return Frame{Type: TypeSubscribe, Payload: p}
 }
 
@@ -206,11 +249,17 @@ func DecodeSubscribe(f Frame) (Subscribe, error) {
 	if err != nil {
 		return m, err
 	}
-	s, _, err := decodeString(f.Payload[w:])
+	s, w2, err := decodeString(f.Payload[w:])
 	if err != nil {
 		return m, err
 	}
 	m.Tenant, m.Stream = t, s
+	if rest := f.Payload[w+w2:]; len(rest) > 0 {
+		if len(rest) < 8 {
+			return m, ErrShort
+		}
+		m.FromEpoch = int64(binary.BigEndian.Uint64(rest))
+	}
 	return m, nil
 }
 
@@ -277,19 +326,29 @@ func DecodeData(f Frame) (Data, error) {
 // receptor channel's backlog after the operation — the client's
 // backpressure signal — and Dropped the channel's lifetime eviction
 // count.
+//
+// Epoch, when non-zero, carries the tenant's last committed epoch
+// boundary (UnixNano). A hello Ack always sets it (alongside Seq = the
+// session's last applied publish seq), which is how a reconnecting
+// client learns what the server already has.
 type Ack struct {
 	Seq     uint64 `json:"seq"`
 	Pending int64  `json:"pending"`
 	Cap     int64  `json:"cap"`
 	Dropped int64  `json:"dropped"`
+	Epoch   int64  `json:"epoch,omitempty"`
 }
 
-// Frame encodes the message binary.
+// Frame encodes the message binary. Epoch is appended only when set,
+// so a plain ack is byte-compatible with the pre-session protocol.
 func (m Ack) Frame() Frame {
 	p := binary.BigEndian.AppendUint64(nil, m.Seq)
 	p = binary.BigEndian.AppendUint64(p, uint64(m.Pending))
 	p = binary.BigEndian.AppendUint64(p, uint64(m.Cap))
 	p = binary.BigEndian.AppendUint64(p, uint64(m.Dropped))
+	if m.Epoch != 0 {
+		p = binary.BigEndian.AppendUint64(p, uint64(m.Epoch))
+	}
 	return Frame{Type: TypeAck, Payload: p}
 }
 
@@ -306,6 +365,9 @@ func DecodeAck(f Frame) (Ack, error) {
 	m.Pending = int64(binary.BigEndian.Uint64(f.Payload[8:]))
 	m.Cap = int64(binary.BigEndian.Uint64(f.Payload[16:]))
 	m.Dropped = int64(binary.BigEndian.Uint64(f.Payload[24:]))
+	if len(f.Payload) >= 40 {
+		m.Epoch = int64(binary.BigEndian.Uint64(f.Payload[32:]))
+	}
 	return m, nil
 }
 

@@ -2,9 +2,12 @@ package wire
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"io"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -50,20 +53,45 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestDecodeFrameErrors(t *testing.T) {
-	if _, _, err := DecodeFrame([]byte{0xde, 0xad, 0, 0, 0, 0, 0, 0}); err != ErrBadMagic {
+	if _, _, err := DecodeFrame([]byte{0xde, 0xad, 0, 0, 0, 0, 0, 0}); !errors.Is(err, ErrBadMagic) {
 		t.Errorf("bad magic: %v", err)
 	}
 	huge := AppendFrame(nil, Frame{Type: TypeData})
 	huge[4], huge[5], huge[6], huge[7] = 0xff, 0xff, 0xff, 0xff
-	if _, _, err := DecodeFrame(huge); err != ErrTooLarge {
+	if _, _, err := DecodeFrame(huge); !errors.Is(err, ErrTooLarge) {
 		t.Errorf("huge length: %v", err)
 	}
 	ok := AppendFrame(nil, Frame{Type: TypeData, Payload: []byte("hello")})
 	if _, _, err := DecodeFrame(ok[:len(ok)-1]); err != ErrShort {
 		t.Errorf("truncated: %v", err)
 	}
-	if _, err := ReadFrame(bytes.NewReader(ok[:len(ok)-1])); err != io.ErrUnexpectedEOF {
+	if _, err := ReadFrame(bytes.NewReader(ok[:len(ok)-1])); !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Errorf("truncated stream: %v", err)
+	}
+}
+
+// TestFrameErrorDiagnostics pins the decoder's error messages to carry
+// the offending frame's type byte and announced length — what makes a
+// chaos-proxy truncation diagnosable from the error alone.
+func TestFrameErrorDiagnostics(t *testing.T) {
+	huge := AppendFrame(nil, Frame{Type: TypePublish})
+	huge[4], huge[5], huge[6], huge[7] = 0xff, 0xff, 0xff, 0xff
+	_, _, err := DecodeFrame(huge)
+	for _, want := range []string{"publish", "0x03", "4294967295"} {
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("oversize error %q missing %q", err, want)
+		}
+	}
+	ok := AppendFrame(nil, Frame{Type: TypeData, Payload: []byte("hello")})
+	_, rerr := ReadFrame(bytes.NewReader(ok[:len(ok)-2]))
+	for _, want := range []string{"data", "0x06", "want 5 bytes"} {
+		if rerr == nil || !strings.Contains(rerr.Error(), want) {
+			t.Errorf("truncation error %q missing %q", rerr, want)
+		}
+	}
+	_, merr := ReadFrame(bytes.NewReader([]byte{0xde, 0xad, 0, 0, 0, 0, 0, 0}))
+	if merr == nil || !strings.Contains(merr.Error(), "0xde") {
+		t.Errorf("magic error %q missing offending byte", merr)
 	}
 }
 
@@ -136,6 +164,54 @@ func TestMessageRoundTrips(t *testing.T) {
 	dr := Drain{FinalEpoch: 42}
 	if got, err := DecodeDrain(dr.Frame()); err != nil || got != dr {
 		t.Fatalf("drain: %+v, %v", got, err)
+	}
+}
+
+// TestSessionFieldRoundTrips covers the resume extensions: session
+// hellos, resume subscribes, and epoch-carrying acks must round-trip in
+// both encodings, and the session-less forms must stay byte-compatible
+// with the pre-session protocol.
+func TestSessionFieldRoundTrips(t *testing.T) {
+	jsonFrame := func(m any, typ Type) Frame {
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Frame{Type: typ, Flags: FlagJSON, Payload: b}
+	}
+
+	hello := Hello{Tenant: "lab", Role: "pub", Session: "pub-7", ResumeEpoch: 123456789}
+	for name, f := range map[string]Frame{"binary": hello.Frame(), "json": jsonFrame(hello, TypeHello)} {
+		if got, err := DecodeHello(f); err != nil || got != hello {
+			t.Fatalf("%s session hello: %+v, %v", name, got, err)
+		}
+	}
+	// A session-less hello encodes exactly as the pre-session protocol
+	// did: two strings, nothing trailing.
+	plain := Hello{Tenant: "lab", Role: "pub"}
+	want := appendString(nil, "lab")
+	want = appendString(want, "pub")
+	if !bytes.Equal(plain.Frame().Payload, want) {
+		t.Errorf("plain hello payload = %x, want pre-session %x", plain.Frame().Payload, want)
+	}
+
+	sub := Subscribe{Tenant: "lab", Stream: "mote", FromEpoch: 42}
+	for name, f := range map[string]Frame{"binary": sub.Frame(), "json": jsonFrame(sub, TypeSubscribe)} {
+		if got, err := DecodeSubscribe(f); err != nil || got != sub {
+			t.Fatalf("%s resume subscribe: %+v, %v", name, got, err)
+		}
+	}
+
+	ack := Ack{Seq: 9, Pending: 1, Cap: 2, Dropped: 3, Epoch: 77}
+	for name, f := range map[string]Frame{"binary": ack.Frame(), "json": jsonFrame(ack, TypeAck)} {
+		if got, err := DecodeAck(f); err != nil || got != ack {
+			t.Fatalf("%s epoch ack: %+v, %v", name, got, err)
+		}
+	}
+	// Truncated session suffix is an error, not a silent fallback.
+	f := hello.Frame()
+	if _, err := DecodeHello(Frame{Type: TypeHello, Payload: f.Payload[:len(f.Payload)-3]}); err == nil {
+		t.Error("truncated session hello decoded")
 	}
 }
 
