@@ -4,14 +4,16 @@ GO ?= go
 # `make check` runs, longer via `make fuzz FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race diff chaos serve-smoke wal-smoke netchaos-smoke fuzz-smoke fuzz bench bench-json
+.PHONY: check vet build test race diff chaos serve-smoke wal-smoke netchaos-smoke obsserve-smoke fuzz-smoke fuzz bench bench-json
 
 ## check: everything CI needs — vet, build, full tests, race-detector pass
 ## over the concurrent executor, the differential oracle suite, the chaos
 ## (fault-injection) harness, the serving-layer smoke (loadgen vs the
 ## in-process oracle), the WAL crash-recovery smoke, the network-chaos
-## resilient-session smoke, and a short fuzz round per target.
-check: vet build test race diff chaos serve-smoke wal-smoke netchaos-smoke fuzz-smoke
+## resilient-session smoke, the observability smoke (tracing, ops
+## surfaces, metrics-doc drift, overhead gates), and a short fuzz round
+## per target.
+check: vet build test race diff chaos serve-smoke wal-smoke netchaos-smoke obsserve-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -60,6 +62,18 @@ netchaos-smoke:
 	$(GO) test ./internal/server -race -count=1 -run 'TestSession|TestSubscribeResume|TestIdleKill|TestSlowSubscriber|TestHalfOpen|TestResilientBackoff'
 	$(GO) test ./internal/exp -race -count=1 -run 'TestNetChaosSmoke'
 
+## obsserve-smoke: the observability battery under -race — the
+## telemetry registry/tracer conformance tests, the end-to-end trace and
+## ops-surface tests, the metrics-doc drift gate, and a scaled-down
+## serving-overhead run (allocation-free disabled path, fingerprint
+## identity across tracing modes, one trace ID end to end; see
+## internal/exp/obsserve.go).
+obsserve-smoke:
+	$(GO) test ./internal/telemetry -race -count=1
+	$(GO) test ./internal/server -race -count=1 -run 'TestTrace|TestHealthz|TestStatusz|TestMetricsDocDrift|TestFamilyOf'
+	$(GO) test ./internal/exp -race -count=1 -run 'TestObsServeSmoke'
+	$(GO) test ./cmd/esptop ./cmd/espd -count=1
+
 ## fuzz-smoke: one short coverage-guided round per fuzz target, seeded
 ## from the committed corpora under testdata/fuzz.
 fuzz-smoke:
@@ -82,11 +96,13 @@ bench:
 ## BENCH_baseline.json (telemetry-off wall-time profile), BENCH_obs.json
 ## (telemetry overhead matrix), BENCH_batch.json (columnar-vs-tuple
 ## execution comparison), BENCH_wal.json (journalling overhead +
-## crash-recovery time) and BENCH_netchaos.json (resilient sessions
-## under link faults; see EXPERIMENTS.md).
+## crash-recovery time), BENCH_netchaos.json (resilient sessions under
+## link faults) and BENCH_obsserve.json (serving observability overhead;
+## see EXPERIMENTS.md).
 bench-json:
 	$(GO) run ./cmd/espbench -exp baseline
 	$(GO) run ./cmd/espbench -exp obs
 	$(GO) run ./cmd/espbench -exp batch
 	$(GO) run ./cmd/espbench -exp wal
 	$(GO) run ./cmd/espbench -exp netchaos
+	$(GO) run ./cmd/espbench -exp obsserve

@@ -15,6 +15,7 @@
 //	espbench -exp batch    columnar-vs-tuple execution comparison (BENCH_batch.json)
 //	espbench -exp wal      WAL append overhead + crash-recovery time (BENCH_wal.json)
 //	espbench -exp netchaos resilient sessions under link faults (BENCH_netchaos.json)
+//	espbench -exp obsserve serving observability overhead: tracing off/sampled/full (BENCH_obsserve.json)
 //	espbench -exp all      everything above
 //
 // Add -trace to emit the per-epoch series behind the figure (CSV on
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment id: fig3, fig5, fig6, fig7, yield, spatial, fig9, actuation, model, robust, sched, chaos, baseline, obs, batch, wal, netchaos, all")
+	expName := flag.String("exp", "all", "experiment id: fig3, fig5, fig6, fig7, yield, spatial, fig9, actuation, model, robust, sched, chaos, baseline, obs, batch, wal, netchaos, obsserve, all")
 	trace := flag.Bool("trace", false, "emit per-epoch trace CSV after the summary")
 	seed := flag.Int64("seed", 0, "override the simulation seed (0 = calibrated defaults)")
 	flag.Parse()
@@ -54,8 +55,9 @@ func main() {
 		"batch":     runBatch,
 		"wal":       runWAL,
 		"netchaos":  runNetChaos,
+		"obsserve":  runObsServe,
 	}
-	order := []string{"fig3", "fig5", "fig6", "fig7", "yield", "spatial", "fig9", "actuation", "model", "robust", "sched", "chaos", "baseline", "obs", "batch", "wal", "netchaos"}
+	order := []string{"fig3", "fig5", "fig6", "fig7", "yield", "spatial", "fig9", "actuation", "model", "robust", "sched", "chaos", "baseline", "obs", "batch", "wal", "netchaos", "obsserve"}
 
 	if *expName == "all" {
 		for _, name := range order {

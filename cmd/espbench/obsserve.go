@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"esp/internal/exp"
+)
+
+// runObsServe measures what the serving observability plane costs: the
+// 1000-mote workload over live TCP with tracing off (twice — the noise
+// floor), server-sampled, and fully traced, hard-gating that the
+// disabled path is allocation-free and within noise, that tracing never
+// changes output, and that a trace ID survives client → server →
+// delivery. Writes BENCH_obsserve.json.
+func runObsServe(bool) error {
+	fmt.Println("== obsserve: serving observability overhead ==")
+	cfg := exp.DefaultObsServeConfig()
+	if seedOverride != 0 {
+		cfg.Seed = seedOverride
+	}
+	res, err := exp.RunObsServe(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %d motes × %d epochs via %d publishers, min of %d repeats per leg\n",
+		res.Motes, res.Epochs, res.Publishers, res.Repeats)
+	for _, l := range res.Legs {
+		tracing := "off"
+		if l.TraceSampleN > 0 {
+			tracing = fmt.Sprintf("server 1/%d", l.TraceSampleN)
+		}
+		if l.ClientTracing {
+			tracing += " + client 1/1"
+		}
+		fmt.Printf("   %-8s %-22s wall %10s  %+6.2f%%  spans %6d  traces %4d\n",
+			l.Mode, tracing, time.Duration(l.WallNs), l.OverheadPct, l.Spans, l.Traces)
+	}
+	fmt.Printf("   disabled path: %.4f allocs/frame, off-leg spread %.2f%%\n",
+		res.DisabledAllocsPerFrame, res.DisabledSpreadPct)
+	fmt.Printf("   fingerprint match %v   trace ID end-to-end %v\n",
+		res.FingerprintMatch, res.TraceIDEndToEnd)
+	if err := writeJSON("BENCH_obsserve.json", res); err != nil {
+		return err
+	}
+	fmt.Println("   wrote BENCH_obsserve.json")
+	return nil
+}

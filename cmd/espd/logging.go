@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// buildLogger assembles the daemon's slog.Logger from the -log-format
+// and -log-level flags. Unknown values are flag errors, not silent
+// defaults — a typo in a service file should fail loudly at boot.
+func buildLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level %q: want debug, info, warn, or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
+	}
+}
+
+// logBuildInfo emits one boot line identifying the binary: module
+// version and VCS revision when the build carries them, plus the
+// toolchain — the line an operator greps first when a host misbehaves.
+func logBuildInfo(log *slog.Logger) {
+	version, revision, modified := "unknown", "", false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				revision = kv.Value
+			case "vcs.modified":
+				modified = kv.Value == "true"
+			}
+		}
+	}
+	log.Info("espd build",
+		"version", version, "revision", revision, "modified", modified,
+		"go", runtime.Version())
+}

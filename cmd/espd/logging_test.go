@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBuildLogger(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := buildLogger(&buf, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("visible", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info line leaked past -log-level warn:\n%s", out)
+	}
+	if !strings.Contains(out, `"msg":"visible"`) || !strings.Contains(out, `"k":"v"`) {
+		t.Errorf("json handler output wrong:\n%s", out)
+	}
+
+	buf.Reset()
+	log, err = buildLogger(&buf, "text", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("fine")
+	if !strings.Contains(buf.String(), "msg=fine") {
+		t.Errorf("text handler output wrong:\n%s", buf.String())
+	}
+
+	for _, bad := range [][2]string{{"yaml", "info"}, {"text", "loud"}} {
+		if _, err := buildLogger(&buf, bad[0], bad[1]); err == nil {
+			t.Errorf("buildLogger(%q, %q) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestLogBuildInfo(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := buildLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logBuildInfo(log)
+	out := buf.String()
+	for _, want := range []string{`"msg":"espd build"`, `"version"`, `"go":"go`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("build line missing %s:\n%s", want, out)
+		}
+	}
+}

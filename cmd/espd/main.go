@@ -11,6 +11,13 @@
 //	espd -addr :5599 -metrics :9131
 //	espd -spec acme=deploy.json               # preload a tenant at boot
 //	espd -wal-dir /var/lib/espd/wal           # durable: journal + recovery
+//	espd -trace-sample 64 -slow-epoch 50ms    # trace 1/64 epochs, flag slow ones
+//	espd -log-format json -log-level debug    # structured logs for a collector
+//
+// With -metrics the endpoint also serves the ops surfaces: /healthz
+// (liveness + WAL writability), /statusz (per-tenant table; add
+// ?format=json for machines), /traces (recent spans when -trace-sample
+// is on), and /metrics.json (the poll target of cmd/esptop).
 //
 // With -wal-dir every tenant journals its publishes and epoch barriers
 // to <wal-dir>/<tenant>/ (fsync at each committed epoch), archives its
@@ -31,7 +38,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -49,6 +55,11 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "kill control connections silent for this long (0 = never)")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "disconnect clients whose sockets stop draining for this long (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	traceSample := flag.Int("trace-sample", 0, "trace one in N advance-driven epochs and every client-traced frame (0 = tracing off)")
+	traceSeed := flag.Int64("trace-seed", 0, "trace-ID minting seed (deterministic per sample+seed)")
+	slowEpoch := flag.Duration("slow-epoch", 0, "log a slow-epoch warning with an exemplar trace when a commit exceeds this (0 = never)")
 	var preloads []string
 	flag.Func("spec", "preload a tenant at boot as name=specfile (repeatable)", func(v string) error {
 		preloads = append(preloads, v)
@@ -56,7 +67,12 @@ func main() {
 	})
 	flag.Parse()
 
-	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	log, err := buildLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "espd:", err)
+		os.Exit(2)
+	}
+	logBuildInfo(log)
 	s, err := server.Listen(server.Config{
 		Addr:         *addr,
 		MetricsAddr:  *metrics,
@@ -65,6 +81,9 @@ func main() {
 		IdleTimeout:  *idleTimeout,
 		WriteTimeout: *writeTimeout,
 		Logger:       log,
+		TraceSampleN: *traceSample,
+		TraceSeed:    *traceSeed,
+		SlowEpoch:    *slowEpoch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "espd:", err)

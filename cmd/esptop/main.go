@@ -1,0 +1,104 @@
+// Command esptop is a live terminal dashboard for a running espd: it
+// polls the daemon's /metrics.json endpoint and renders a per-tenant
+// table of the serving SLOs — epoch watermark, ingest/commit/delivery
+// latency quantiles, throughput rates (counter deltas between polls),
+// backlog, and staleness.
+//
+//	esptop -addr http://localhost:9131
+//	esptop -addr http://localhost:9131 -interval 2s
+//	esptop -addr http://localhost:9131 -once        # one frame, no clear
+//
+// esptop is read-only and needs nothing but the metrics endpoint; it
+// works against any espd regardless of whether tracing is enabled.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:9131", "espd telemetry endpoint base URL")
+	interval := flag.Duration("interval", time.Second, "poll and redraw period")
+	once := flag.Bool("once", false, "render one frame and exit (no screen clearing)")
+	flag.Parse()
+
+	var prev pollResult
+	first := true
+	for {
+		cur, err := poll(*addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esptop:", err)
+			os.Exit(1)
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear + home
+		}
+		elapsed := time.Duration(0)
+		if !first {
+			elapsed = cur.at.Sub(prev.at)
+		}
+		os.Stdout.WriteString(render(cur, prev, elapsed))
+		if *once {
+			return
+		}
+		prev, first = cur, false
+		time.Sleep(*interval)
+	}
+}
+
+// pollResult is one scrape of /metrics.json: the daemon registry under
+// "" plus one registry snapshot per tenant, stamped with scrape time.
+type pollResult struct {
+	at    time.Time
+	snaps map[string]registrySnap
+}
+
+// registrySnap mirrors telemetry.Snapshot's JSON shape (decoded here
+// rather than imported so esptop stays a pure wire-level consumer).
+type registrySnap struct {
+	Counters   map[string]int64    `json:"counters"`
+	Gauges     map[string]int64    `json:"gauges"`
+	Histograms map[string]histSnap `json:"histograms"`
+}
+
+type histSnap struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum_ns"`
+	Max   int64 `json:"max_ns"`
+	P50   int64 `json:"p50_ns"`
+	P90   int64 `json:"p90_ns"`
+	P99   int64 `json:"p99_ns"`
+}
+
+func poll(base string) (pollResult, error) {
+	resp, err := http.Get(base + "/metrics.json")
+	if err != nil {
+		return pollResult{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return pollResult{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return pollResult{}, fmt.Errorf("GET /metrics.json: %s", resp.Status)
+	}
+	snaps := make(map[string]registrySnap)
+	if err := json.Unmarshal(body, &snaps); err != nil {
+		// A daemon with no More() registries serves a bare snapshot.
+		// The failed multi-registry decode may have left partial
+		// entries behind — start over.
+		var single registrySnap
+		if err2 := json.Unmarshal(body, &single); err2 != nil {
+			return pollResult{}, fmt.Errorf("decode /metrics.json: %w", err)
+		}
+		snaps = map[string]registrySnap{"": single}
+	}
+	return pollResult{at: time.Now(), snaps: snaps}, nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// render draws one dashboard frame: a daemon header followed by the
+// per-tenant SLO table. prev is the previous poll (zero value on the
+// first frame) and elapsed the wall time between the two — rates render
+// as "-" until a second poll provides a delta.
+func render(cur, prev pollResult, elapsed time.Duration) string {
+	var b strings.Builder
+	base := cur.snaps[""]
+	fmt.Fprintf(&b, "esptop  %s  conns=%d active=%d tenants=%d\n\n",
+		cur.at.Format("15:04:05"),
+		base.Counters["server_conns"],
+		base.Gauges["server_conns_active"],
+		base.Gauges["server_tenants"])
+
+	var tenants []string
+	for name := range cur.snaps {
+		if name != "" {
+			tenants = append(tenants, name)
+		}
+	}
+	sort.Strings(tenants)
+	if len(tenants) == 0 {
+		b.WriteString("no tenants\n")
+		return b.String()
+	}
+
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "TENANT\tEPOCHS\tTUP/S\tEP/S\tBACKLOG\tSTALE\tSTEP p99\tINGEST p99\tDELIVER p99\tERRS")
+	for _, name := range tenants {
+		s := cur.snaps[name]
+		p, hadPrev := prev.snaps[name]
+		rate := func(counter string) string {
+			if !hadPrev || elapsed <= 0 {
+				return "-"
+			}
+			d := s.Counters[counter] - p.Counters[counter]
+			return fmt.Sprintf("%.1f", float64(d)/elapsed.Seconds())
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%d\t%s\t%s\t%s\t%s\t%d\n",
+			strings.TrimPrefix(name, "tenant_"),
+			s.Counters["serve_epochs"],
+			rate("serve_tuples_in"),
+			rate("serve_epochs"),
+			s.Gauges["serve_backlog"],
+			staleness(s.Gauges["slo_staleness_ns"]),
+			ns(s.Histograms["serve_step_ns"].P99),
+			ns(s.Histograms["slo_ingest_commit_ns"].P99),
+			ns(s.Histograms["slo_commit_delivery_ns"].P99),
+			s.Counters["rpc_errors"])
+	}
+	_ = tw.Flush()
+	return b.String()
+}
+
+// ns renders a nanosecond quantity compactly ("-" when unobserved).
+func ns(v int64) string {
+	if v == 0 {
+		return "-"
+	}
+	return time.Duration(v).Round(time.Microsecond).String()
+}
+
+// staleness renders the time-since-last-commit gauge ("-" before the
+// first commit).
+func staleness(v int64) string {
+	if v == 0 {
+		return "-"
+	}
+	return time.Duration(v).Round(time.Millisecond).String()
+}

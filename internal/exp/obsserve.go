@@ -1,0 +1,384 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"esp/internal/server"
+	"esp/internal/telemetry"
+	"esp/internal/wire"
+)
+
+// ObsServeConfig parameterises the serving-observability overhead
+// experiment: the loadgen workload driven over live TCP with the
+// tracing plane off, server-sampled, and fully on (client-originated
+// traces on every frame), measuring what observability costs the
+// serving path.
+type ObsServeConfig struct {
+	// Load shapes the workload (DefaultLoadgenOptions = 1000 motes).
+	Load LoadgenOptions
+	// Publishers is the publisher connection count.
+	Publishers int
+	// Repeats runs each leg this many times, keeping the minimum wall
+	// time (least-noise estimator).
+	Repeats int
+	// SampleN is the sampled leg's 1-in-N epoch trace rate.
+	SampleN int
+	// Seed seeds trace-ID minting.
+	Seed int64
+	// SkipTimingGate disables the noise-spread hard gate (used by the
+	// smoke test, whose tiny workload is all noise).
+	SkipTimingGate bool
+}
+
+// DefaultObsServeConfig sizes the experiment for `espbench -exp
+// obsserve`.
+func DefaultObsServeConfig() ObsServeConfig {
+	// SampleN must stay below the workload's 30 epoch boundaries —
+	// the server samples at advance time, so 1/8 of 30 advances means
+	// ~3 traced epochs per run.
+	return ObsServeConfig{
+		Load:       DefaultLoadgenOptions(),
+		Publishers: 8,
+		Repeats:    3,
+		SampleN:    8,
+		Seed:       7,
+	}
+}
+
+// ObsServeLeg is one tracing mode's measurement.
+type ObsServeLeg struct {
+	Mode          string  `json:"mode"` // off-a, off-b, sampled, full
+	TraceSampleN  int     `json:"trace_sample_n"`
+	ClientTracing bool    `json:"client_tracing"`
+	WallNs        int64   `json:"wall_ns"` // min over Repeats
+	NsPerEpoch    int64   `json:"ns_per_epoch"`
+	OverheadPct   float64 `json:"overhead_pct"` // vs the off-a leg
+	Spans         int     `json:"spans"`        // server-side spans recorded (last run)
+	Traces        int     `json:"traces"`       // distinct trace IDs (last run)
+	Fingerprint   string  `json:"fingerprint"`
+}
+
+// ObsServeResult is the BENCH_obsserve.json document. The acceptance
+// gates: DisabledAllocsPerFrame must be zero (the off path may not
+// allocate), the two off legs must agree within noise (the tracing
+// plane's disabled cost is unmeasurable), every leg's fingerprint must
+// match (tracing never changes output), and the full leg must carry
+// one trace ID from a client publish through the server's spans to a
+// delivered Data frame.
+type ObsServeResult struct {
+	Experiment string `json:"experiment"`
+	Motes      int    `json:"motes"`
+	Epochs     int    `json:"epochs"`
+	Publishers int    `json:"publishers"`
+	Repeats    int    `json:"repeats"`
+	SampleN    int    `json:"sample_n"`
+	Seed       int64  `json:"seed"`
+
+	Legs []ObsServeLeg `json:"legs"`
+
+	// DisabledAllocsPerFrame is the heap allocations per simulated
+	// frame on the tracing-disabled path (nil and disabled tracer
+	// Sample + zero-ID Record), measured before any leg runs.
+	DisabledAllocsPerFrame float64 `json:"disabled_allocs_per_frame"`
+	// DisabledSpreadPct is |off-b − off-a| / off-a — the run-to-run
+	// noise floor the tracing overhead is judged against.
+	DisabledSpreadPct float64 `json:"disabled_spread_pct"`
+
+	FingerprintMatch bool `json:"fingerprint_match"`
+	TraceIDEndToEnd  bool `json:"trace_id_end_to_end"`
+}
+
+// disabledNoiseTolerancePct is the hard gate on the off legs' spread:
+// two identical tracing-off runs differing by more than this means the
+// measurement (or the disabled path) is broken.
+const disabledNoiseTolerancePct = 3.0
+
+// obsServeLegSpec is one leg's tracing wiring.
+type obsServeLegSpec struct {
+	mode          string
+	serverSampleN int
+	clientSampleN int // 0 = no client tracer
+}
+
+// obsServeLegOut is one leg run's raw outcome.
+type obsServeLegOut struct {
+	wallNs       int64
+	fp           *server.Fingerprint
+	spans        int
+	traces       int
+	deliveredIDs map[uint64]bool
+	serverTracer *telemetry.Tracer
+	clientTracer *telemetry.Tracer
+}
+
+// runObsServeLeg drives the workload once over live TCP with the
+// leg's tracing configuration and collects spans + the output
+// fingerprint.
+func runObsServeLeg(cfg ObsServeConfig, spec []byte, steps []Step, leg obsServeLegSpec) (*obsServeLegOut, error) {
+	s, err := server.Listen(server.Config{
+		Addr:         "127.0.0.1:0",
+		TraceSampleN: leg.serverSampleN,
+		TraceSeed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve() //nolint:errcheck
+	defer shutdown(s)
+
+	var clientTracer *telemetry.Tracer
+	if leg.clientSampleN > 0 {
+		clientTracer = telemetry.NewTracer(leg.clientSampleN, cfg.Seed+1)
+	}
+
+	ctl, err := server.Dial(s.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer ctl.Close()
+	ctl.SetTracer(clientTracer)
+	if err := ctl.Create("obsserve", spec); err != nil {
+		return nil, err
+	}
+	subc, err := server.Dial(s.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer subc.Close()
+	if err := subc.Subscribe("obsserve", "mote"); err != nil {
+		return nil, err
+	}
+
+	out := &obsServeLegOut{
+		fp:           server.NewFingerprint(),
+		deliveredIDs: make(map[uint64]bool),
+		serverTracer: s.Tracer(),
+		clientTracer: clientTracer,
+	}
+	subErr := collect(out.fp, steps, func() (wire.Data, bool, error) {
+		d, _, done, err := subc.Next()
+		if err == nil && !done && d.TraceID != 0 {
+			out.deliveredIDs[d.TraceID] = true
+		}
+		return d, done, err
+	})
+
+	pubs := make([]*server.Client, cfg.Publishers)
+	for i := range pubs {
+		c, err := server.Dial(s.Addr())
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		c.SetTracer(clientTracer)
+		if err := c.Hello("obsserve", "pub"); err != nil {
+			return nil, err
+		}
+		pubs[i] = c
+	}
+
+	start := time.Now()
+	err = drive(steps, cfg.Publishers,
+		func(now time.Time) error { return ctl.Advance(now) },
+		func(w int, rec string, st Step) error {
+			_, err := pubs[w].Publish(rec, st.Pubs[rec])
+			return err
+		}, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.wallNs = time.Since(start).Nanoseconds()
+	if err := <-subErr; err != nil {
+		return nil, err
+	}
+	if tr := s.Tracer(); tr != nil {
+		spans := tr.Spans()
+		out.spans = len(spans)
+		ids := make(map[telemetry.TraceID]bool)
+		for _, sp := range spans {
+			ids[sp.TraceID] = true
+		}
+		out.traces = len(ids)
+	}
+	return out, nil
+}
+
+// measureDisabledAllocs measures heap allocations per frame on the
+// tracing-disabled hot path: the nil-tracer Sample a client performs
+// per call and the disabled-tracer Sample + zero-ID Record branch the
+// server performs per frame. Run before any server goroutines exist so
+// the Mallocs delta is attributable.
+func measureDisabledAllocs() float64 {
+	var nilTr *telemetry.Tracer
+	disabled := telemetry.NewTracer(1, 0)
+	disabled.SetEnabled(false)
+	const frames = 100_000
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < frames; i++ {
+		if _, ok := nilTr.Sample(); ok {
+			panic("nil tracer sampled")
+		}
+		if _, ok := disabled.Sample(); ok {
+			panic("disabled tracer sampled")
+		}
+		disabled.Record(telemetry.SpanRecord{})
+		nilTr.Record(telemetry.SpanRecord{})
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / frames
+}
+
+// RunObsServe runs the four legs — tracing off twice (the noise
+// floor), server-sampled, and fully traced — and hard-fails on any
+// acceptance-gate violation, so `espbench -exp obsserve` doubles as an
+// overhead regression test.
+func RunObsServe(cfg ObsServeConfig) (*ObsServeResult, error) {
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 1
+	}
+	spec := LoadgenSpec(cfg.Load)
+	steps, _ := LoadgenWorkload(cfg.Load)
+
+	res := &ObsServeResult{
+		Experiment: "obsserve",
+		Motes:      cfg.Load.Motes,
+		Epochs:     cfg.Load.Epochs,
+		Publishers: cfg.Publishers,
+		Repeats:    cfg.Repeats,
+		SampleN:    cfg.SampleN,
+		Seed:       cfg.Seed,
+	}
+
+	res.DisabledAllocsPerFrame = measureDisabledAllocs()
+	if res.DisabledAllocsPerFrame > 0.01 {
+		return nil, fmt.Errorf("obsserve: tracing-disabled path allocates (%.4f allocs/frame, want 0)",
+			res.DisabledAllocsPerFrame)
+	}
+
+	// One discarded warmup run: the first leg otherwise pays the
+	// process's cold-start costs (page faults, socket buffers, GC
+	// sizing) and the off-leg spread measures warmup, not tracing.
+	if !cfg.SkipTimingGate {
+		if _, err := runObsServeLeg(cfg, spec, steps, obsServeLegSpec{mode: "warmup"}); err != nil {
+			return nil, fmt.Errorf("obsserve: warmup: %w", err)
+		}
+	}
+
+	legs := []obsServeLegSpec{
+		{mode: "off-a"},
+		{mode: "off-b"},
+		{mode: "sampled", serverSampleN: cfg.SampleN},
+		{mode: "full", serverSampleN: 1, clientSampleN: 1},
+	}
+	outs := make([]*obsServeLegOut, len(legs))
+	for i, leg := range legs {
+		// Keep the last run's spans/fingerprint (any run's would do —
+		// they are deterministic) and the minimum wall time over the
+		// repeats.
+		var best *obsServeLegOut
+		minWall := int64(math.MaxInt64)
+		for r := 0; r < cfg.Repeats; r++ {
+			out, err := runObsServeLeg(cfg, spec, steps, leg)
+			if err != nil {
+				return nil, fmt.Errorf("obsserve: %s leg: %w", leg.mode, err)
+			}
+			if out.wallNs < minWall {
+				minWall = out.wallNs
+			}
+			best = out
+		}
+		best.wallNs = minWall
+		outs[i] = best
+		clientTraced := leg.clientSampleN > 0
+		res.Legs = append(res.Legs, ObsServeLeg{
+			Mode:          leg.mode,
+			TraceSampleN:  leg.serverSampleN,
+			ClientTracing: clientTraced,
+			WallNs:        best.wallNs,
+			NsPerEpoch:    best.wallNs / int64(cfg.Load.Epochs),
+			Spans:         best.spans,
+			Traces:        best.traces,
+			Fingerprint:   best.fp.String(),
+		})
+	}
+
+	// Overheads vs off-a; the off legs' spread is the noise floor.
+	offA := float64(res.Legs[0].WallNs)
+	for i := range res.Legs {
+		res.Legs[i].OverheadPct = 100 * (float64(res.Legs[i].WallNs) - offA) / offA
+	}
+	res.DisabledSpreadPct = math.Abs(float64(res.Legs[1].WallNs)-offA) / offA * 100
+	if !cfg.SkipTimingGate && res.DisabledSpreadPct > disabledNoiseTolerancePct {
+		return nil, fmt.Errorf("obsserve: tracing-off legs differ by %.2f%% (tolerance %.1f%%): disabled path is not free or the host is too noisy",
+			res.DisabledSpreadPct, disabledNoiseTolerancePct)
+	}
+
+	// Output identity: tracing must never change what is delivered.
+	res.FingerprintMatch = true
+	for _, l := range res.Legs[1:] {
+		if l.Fingerprint != res.Legs[0].Fingerprint {
+			res.FingerprintMatch = false
+		}
+	}
+	if !res.FingerprintMatch {
+		return nil, fmt.Errorf("obsserve: fingerprints diverge across tracing modes: %+v", res.Legs)
+	}
+
+	// Sampled leg: the server must actually have traced something.
+	if res.Legs[2].Spans == 0 || res.Legs[2].Traces == 0 {
+		return nil, fmt.Errorf("obsserve: sampled leg recorded no spans")
+	}
+
+	// Full leg: one client-minted trace ID must be observable at every
+	// hop — client.publish span, server-side apply/step/deliver spans,
+	// and the delivered Data frame.
+	full := outs[3]
+	res.TraceIDEndToEnd = traceEndToEnd(full)
+	if !res.TraceIDEndToEnd {
+		return nil, fmt.Errorf("obsserve: no trace ID observed end to end in the full leg")
+	}
+	return res, nil
+}
+
+// traceEndToEnd reports whether some delivered frame's trace ID has a
+// client.publish span on the client side and apply, step, and deliver
+// spans on the server side.
+func traceEndToEnd(out *obsServeLegOut) bool {
+	if out.clientTracer == nil || out.serverTracer == nil {
+		return false
+	}
+	clientSpans := out.clientTracer.ByTrace()
+	serverSpans := out.serverTracer.ByTrace()
+	for raw := range out.deliveredIDs {
+		id := telemetry.TraceID(raw)
+		var hasPublish bool
+		for _, sp := range clientSpans[id] {
+			if sp.Name == "client.publish" {
+				hasPublish = true
+			}
+		}
+		if !hasPublish {
+			continue
+		}
+		var hasApply, hasStep, hasDeliver bool
+		for _, sp := range serverSpans[id] {
+			switch sp.Name {
+			case "server.apply":
+				hasApply = true
+			case "pipeline.step":
+				hasStep = true
+			case "subscriber.deliver":
+				hasDeliver = true
+			}
+		}
+		if hasApply && hasStep && hasDeliver {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+package exp
+
+import "testing"
+
+// TestObsServeSmoke runs the serving-observability experiment at toy
+// scale: every leg, every non-timing gate (allocation-free disabled
+// path, fingerprint identity across tracing modes, sampled spans
+// present, one trace ID end to end). The timing-noise gate is skipped —
+// a 50-mote workload's wall time is all noise.
+func TestObsServeSmoke(t *testing.T) {
+	cfg := ObsServeConfig{
+		Load: LoadgenOptions{
+			Motes:      50,
+			GroupSize:  5,
+			Epochs:     6,
+			Epoch:      DefaultLoadgenOptions().Epoch,
+			Delivery:   0.9,
+			FaultEvery: 10,
+			Seed:       1,
+		},
+		Publishers:     4,
+		Repeats:        1,
+		SampleN:        4,
+		Seed:           7,
+		SkipTimingGate: true,
+	}
+	res, err := RunObsServe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Legs) != 4 {
+		t.Fatalf("legs = %d, want 4", len(res.Legs))
+	}
+	if !res.FingerprintMatch {
+		t.Error("fingerprints diverged across tracing modes")
+	}
+	if !res.TraceIDEndToEnd {
+		t.Error("no trace ID observed end to end")
+	}
+	if res.DisabledAllocsPerFrame > 0.01 {
+		t.Errorf("disabled path allocates: %.4f allocs/frame", res.DisabledAllocsPerFrame)
+	}
+	if res.Legs[0].Spans != 0 || res.Legs[1].Spans != 0 {
+		t.Errorf("off legs recorded spans: %+v", res.Legs[:2])
+	}
+	if res.Legs[2].Spans == 0 {
+		t.Errorf("sampled leg recorded no spans: %+v", res.Legs[2])
+	}
+	if res.Legs[3].Spans <= res.Legs[2].Spans {
+		t.Errorf("full leg (%d spans) should out-trace sampled leg (%d spans)",
+			res.Legs[3].Spans, res.Legs[2].Spans)
+	}
+	for _, l := range res.Legs {
+		if l.WallNs <= 0 {
+			t.Errorf("leg %s wall time %d", l.Mode, l.WallNs)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"esp/internal/stream"
+	"esp/internal/telemetry"
 	"esp/internal/wire"
 )
 
@@ -21,6 +22,11 @@ type Client struct {
 	bw   *bufio.Writer
 	seq  uint64
 	json bool // encode publishes with the JSON debug fallback
+
+	// tracer, when set, originates trace contexts: sampled publishes
+	// and advances carry a minted trace ID on the wire and record
+	// client-side spans (round-trip latency) beside the server's.
+	tracer *telemetry.Tracer
 
 	// subscribedConn marks a connection that has switched to
 	// server-push (set by ResilientClient to know whether a fresh
@@ -51,6 +57,13 @@ func (e *ServerError) Error() string { return "server: " + e.Msg }
 // SetJSON switches publish encoding to the JSON debug fallback (the
 // server accepts both; used to exercise the fallback path).
 func (c *Client) SetJSON(on bool) { c.json = on }
+
+// SetTracer attaches a span recorder: sampled publishes and advances
+// mint a trace ID, send it on the wire, and record client.publish /
+// client.advance spans; Next records client.deliver for Data frames
+// carrying a trace. A nil tracer (the default) costs one nil check per
+// call.
+func (c *Client) SetTracer(tr *telemetry.Tracer) { c.tracer = tr }
 
 // SetReadDeadline bounds blocking reads (zero time clears it) — used by
 // consumers of an external daemon that cannot force a drain.
@@ -134,11 +147,22 @@ func (c *Client) Publish(receptorID string, ts []stream.Tuple) (wire.Ack, error)
 // under the same seq so the server can deduplicate it.
 func (c *Client) PublishSeq(receptorID string, seq uint64, ts []stream.Tuple) (wire.Ack, error) {
 	m := wire.Publish{Receptor: receptorID, Seq: seq, Tuples: ts}
+	var t0 time.Time
+	if id, ok := c.tracer.Sample(); ok {
+		m.TraceID = uint64(id)
+		t0 = time.Now()
+	}
 	f := m.Frame()
 	if c.json {
 		f = m.FrameJSON()
 	}
 	r, err := c.roundTrip(f)
+	if m.TraceID != 0 {
+		c.tracer.Record(telemetry.SpanRecord{
+			TraceID: telemetry.TraceID(m.TraceID), Name: "client.publish",
+			Detail: receptorID, Start: t0, DurNs: int64(time.Since(t0)), In: int64(len(ts)),
+		})
+	}
 	if err != nil {
 		return wire.Ack{}, err
 	}
@@ -164,7 +188,19 @@ func (c *Client) Advance(now time.Time) error {
 // before the last committed epoch are no-ops — so replaying one after
 // a reconnect is safe regardless of whether the original landed.
 func (c *Client) AdvanceSeq(seq uint64, now time.Time) error {
-	r, err := c.roundTrip(wire.Advance{Seq: seq, Now: now.UnixNano()}.Frame())
+	m := wire.Advance{Seq: seq, Now: now.UnixNano()}
+	var t0 time.Time
+	if id, ok := c.tracer.Sample(); ok {
+		m.TraceID = uint64(id)
+		t0 = time.Now()
+	}
+	r, err := c.roundTrip(m.Frame())
+	if m.TraceID != 0 {
+		c.tracer.Record(telemetry.SpanRecord{
+			TraceID: telemetry.TraceID(m.TraceID), Name: "client.advance",
+			Epoch: m.Now, Start: t0, DurNs: int64(time.Since(t0)),
+		})
+	}
 	if err != nil {
 		return err
 	}
@@ -229,6 +265,12 @@ func (c *Client) Next() (d wire.Data, final int64, done bool, err error) {
 		switch f.Type {
 		case wire.TypeData:
 			d, err := wire.DecodeData(f)
+			if err == nil && d.TraceID != 0 {
+				c.tracer.Record(telemetry.SpanRecord{
+					TraceID: telemetry.TraceID(d.TraceID), Name: "client.deliver",
+					Detail: d.Stream, Epoch: d.Epoch, Start: time.Now(), Out: int64(len(d.Tuples)),
+				})
+			}
 			return d, 0, false, err
 		case wire.TypeDrain:
 			dr, derr := wire.DecodeDrain(f)

@@ -2,10 +2,12 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"esp/internal/telemetry"
 )
@@ -19,6 +21,9 @@ type Engine struct {
 	maxTenants int
 	walDir     string
 	walNoSync  bool
+	tracer     *telemetry.Tracer
+	logger     *slog.Logger
+	slowEpoch  time.Duration
 
 	mu      sync.Mutex
 	tenants map[string]*Tenant
@@ -52,6 +57,32 @@ func (e *Engine) WALDir() string { return e.walDir }
 // bench's overhead decomposition and tests. Same call discipline as
 // SetWALDir.
 func (e *Engine) SetWALNoSync(on bool) { e.walNoSync = on }
+
+// SetTracer attaches the cross-process span recorder every tenant
+// created afterwards records into (nil = tracing plane off; the frame
+// trace IDs still round-trip, they just aren't recorded). Same call
+// discipline as SetWALDir.
+func (e *Engine) SetTracer(tr *telemetry.Tracer) { e.tracer = tr }
+
+// Tracer reports the engine's span recorder (nil when tracing is off).
+func (e *Engine) Tracer() *telemetry.Tracer { return e.tracer }
+
+// SetLogger attaches the structured logger tenants emit operational
+// events to (slow-epoch warnings). Same call discipline as SetWALDir.
+func (e *Engine) SetLogger(l *slog.Logger) { e.logger = l }
+
+// SetSlowEpoch sets the epoch-commit duration above which a tenant logs
+// a structured slow-epoch warning carrying the epoch's exemplar trace
+// ID (0 disables). Same call discipline as SetWALDir.
+func (e *Engine) SetSlowEpoch(d time.Duration) { e.slowEpoch = d }
+
+// Drained reports whether DrainAll has run — the liveness bit /healthz
+// checks: a draining engine refuses new work.
+func (e *Engine) Drained() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.drained
+}
 
 // Create compiles a spec and starts a tenant pipeline under name. If
 // the name is taken, the existing tenant is drained first and replaced
@@ -107,7 +138,7 @@ func (e *Engine) Create(name string, spec []byte) (*Tenant, error) {
 			return nil, err
 		}
 	}
-	t, err := newTenant(name, ps, walDir, e.walNoSync)
+	t, err := newTenant(name, ps, e.tenantConfig(walDir))
 	if err != nil {
 		return nil, err
 	}
@@ -119,6 +150,17 @@ func (e *Engine) Create(name string, spec []byte) (*Tenant, error) {
 	}
 	e.tenants[name] = t
 	return t, nil
+}
+
+// tenantConfig bundles the engine-level wiring a new tenant inherits.
+func (e *Engine) tenantConfig(walDir string) tenantConfig {
+	return tenantConfig{
+		walDir:    walDir,
+		walNoSync: e.walNoSync,
+		tracer:    e.tracer,
+		logger:    e.logger,
+		slowEpoch: e.slowEpoch,
+	}
 }
 
 // Tenant looks up a tenant by name.

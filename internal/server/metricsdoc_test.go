@@ -1,0 +1,145 @@
+package server
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateMetricsDoc = flag.Bool("update", false, "rewrite docs/METRICS.md from a booted daemon")
+
+// richSpec exercises every registration path the metrics doc must
+// cover: multi-member groups (merge nodes), windows (pane gauges),
+// static tables, a cross-type Virtualize, and WAL-backed tenants.
+func richSpec() []byte {
+	return []byte(`{
+	  "deployment": {
+	    "epoch": "1s",
+	    "groups": {
+	      "office-rfid":  {"type": "rfid", "members": ["r0", "r1"]},
+	      "office-sound": {"type": "mote", "members": ["s0", "s1"]}
+	    },
+	    "pipelines": {
+	      "rfid": {
+	        "point": "SELECT tag_id FROM point_input WHERE checksum_ok = TRUE",
+	        "smooth": "SELECT tag_id, count(*) AS n FROM smooth_input [Range By '2 sec'] GROUP BY tag_id"
+	      },
+	      "mote": {
+	        "smooth": "SELECT avg(noise) AS noise FROM smooth_input [Range By '2 sec']",
+	        "merge": "SELECT avg(noise) AS noise FROM merge_input [Range By '1 sec']"
+	      }
+	    },
+	    "virtualize": {
+	      "query": "SELECT 'busy' AS event FROM (SELECT 1 AS cnt FROM sensors_input [Range By 'NOW'] WHERE noise > 500) AS a, (SELECT 1 AS cnt FROM rfid_input [Range By 'NOW'] HAVING count(distinct tag_id) >= 1) AS b WHERE a.cnt + b.cnt >= 2",
+	      "bind": {"sensors_input": "mote", "rfid_input": "rfid"}
+	    }
+	  },
+	  "receptors": [
+	    {"id": "r0", "type": "rfid", "schema": "tag_id:string,checksum_ok:bool"},
+	    {"id": "r1", "type": "rfid", "schema": "tag_id:string,checksum_ok:bool"},
+	    {"id": "s0", "type": "mote", "schema": "mote_id:string,noise:float"},
+	    {"id": "s1", "type": "mote", "schema": "mote_id:string,noise:float"}
+	  ]
+	}`)
+}
+
+// metricsDocFromBoot boots a fully-featured daemon (WAL on, tracing on)
+// with the rich spec and renders its metrics doc.
+func metricsDocFromBoot(t *testing.T) string {
+	t.Helper()
+	cfg := Config{Addr: "127.0.0.1:0", WALDir: t.TempDir(), TraceSampleN: 4}
+	s, err := Listen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve() //nolint:errcheck
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	if _, err := s.Engine().Create("doc", richSpec()); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := s.MetricFamilies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RenderMetricsDoc(fams)
+}
+
+// TestMetricsDocDrift is the doc gate: docs/METRICS.md must match what
+// a booted daemon registers, family for family. Run with -update to
+// regenerate the page after adding a metric (and give the new family a
+// help string, or generation itself fails).
+func TestMetricsDocDrift(t *testing.T) {
+	doc := metricsDocFromBoot(t)
+	path := filepath.Join("..", "..", "docs", "METRICS.md")
+	if *updateMetricsDoc {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("docs/METRICS.md unreadable (regenerate with -update): %v", err)
+	}
+	if string(got) != doc {
+		t.Fatalf("docs/METRICS.md is stale: a registered metric family is missing or changed.\n"+
+			"Regenerate with: go test ./internal/server -run TestMetricsDocDrift -update\n\n%s",
+			firstDiff(string(got), doc))
+	}
+}
+
+// firstDiff points at the first line where two renderings diverge.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "line " + itoa(i+1) + ":\n  committed: " + al[i] + "\n  generated: " + bl[i]
+		}
+	}
+	return "line " + itoa(min(len(al), len(bl))+1) + ": one rendering is a prefix of the other"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}
+
+// TestFamilyOf pins the name-collapsing rules the doc relies on.
+func TestFamilyOf(t *testing.T) {
+	cases := map[string]string{
+		"node.leg rfid r0@office-rfid.tuples_in": "node.<label>.tuples_in",
+		"node.virtualize.advance_ns":             "node.<label>.advance_ns",
+		"node.merge mote office-sound.panics":    "node.<label>.panics",
+		"stage.rfid/Point.tuples":                "stage.<type>/Point.tuples",
+		"stage.mote/Arbitrate.tuples":            "stage.<type>/Arbitrate.tuples",
+		"stage.virtualize.tuples":                "stage.virtualize.tuples",
+		"poll.rfid.tuples":                       "poll.<type>.tuples",
+		"receptor.r0.channel_pending":            "receptor.<id>.channel_pending",
+		"receptor.s1.channel_dropped":            "receptor.<id>.channel_dropped",
+		"serve_tuples_in":                        "serve_tuples_in",
+		"wal_fsync_ns":                           "wal_fsync_ns",
+	}
+	for in, want := range cases {
+		if got := familyOf(in); got != want {
+			t.Errorf("familyOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+	"time"
+)
+
+// opsMounts builds the daemon's ops surfaces, mounted on the telemetry
+// endpoint beside /metrics:
+//
+//	/healthz  liveness: 200 while serving and the WAL root is writable
+//	/statusz  per-tenant table: epoch clock, sessions, backlog,
+//	          staleness, resume horizon (?format=json for machines)
+func (s *Server) opsMounts() map[string]http.Handler {
+	return map[string]http.Handler{
+		"/healthz": http.HandlerFunc(s.serveHealthz),
+		"/statusz": http.HandlerFunc(s.serveStatusz),
+	}
+}
+
+// serveHealthz answers liveness probes. Draining means "stop sending
+// traffic" (503), and an unwritable WAL root means every journalled
+// publish will fail — surfaced here before clients find out the hard
+// way.
+func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.eng.Drained() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if dir := s.eng.WALDir(); dir != "" {
+		if err := probeWritable(dir); err != nil {
+			http.Error(w, fmt.Sprintf("wal root not writable: %v", err), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// probeWritable proves dir accepts writes by creating and removing a
+// probe file (an existence check would miss a read-only remount).
+func probeWritable(dir string) error {
+	f, err := os.CreateTemp(dir, ".healthz-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(filepath.Join(dir, filepath.Base(name)))
+}
+
+// serveStatusz renders the per-tenant operational table a human checks
+// first: where each tenant's epoch clock is, who is attached, and how
+// stale its output is. ?format=json emits the same rows as a JSON
+// array.
+func (s *Server) serveStatusz(w http.ResponseWriter, r *http.Request) {
+	tenants := s.eng.Tenants()
+	statuses := make([]Status, len(tenants))
+	for i, t := range tenants {
+		statuses[i] = t.Status()
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(statuses)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "espd on %s — %d tenant(s)\n\n", s.Addr(), len(statuses))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "TENANT\tEPOCH\tLAST\tEPOCHS\tSESS\tSUBS\tBACKLOG\tSTALE\tRETAINED\tDEDUP\tIDLEKILLS")
+	for _, st := range statuses {
+		last := "-"
+		if st.LastEpoch != 0 {
+			last = time.Unix(0, st.LastEpoch).UTC().Format(time.RFC3339Nano)
+		}
+		stale := "-"
+		if st.StalenessNs != 0 {
+			stale = time.Duration(st.StalenessNs).Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t%d\n",
+			st.Tenant, st.Epoch, last, st.Epochs, st.Sessions, st.Subscribers,
+			st.Backlog, stale, st.RetainedEpochs, st.DedupDrops, st.Stats.IdleKills)
+	}
+	_ = tw.Flush()
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"esp/internal/stream"
+)
+
+// opsGet fetches one ops path from the server's telemetry endpoint and
+// returns the status code and body.
+func opsGet(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(s.MetricsURL() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestHealthz covers the liveness surface: 200 while serving, 503 once
+// the engine has drained, and 503 when the WAL root stops accepting
+// writes (probed with a real file create, not a stat).
+func TestHealthz(t *testing.T) {
+	walDir := t.TempDir()
+	cfg := Config{Addr: "127.0.0.1:0", MetricsAddr: "127.0.0.1:0", WALDir: walDir}
+	s, err := Listen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve() //nolint:errcheck
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+
+	if code, body := opsGet(t, s, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %d %q, want 200 ok", code, body)
+	}
+
+	// Kill the WAL root out from under the daemon: the write probe must
+	// fail and flip liveness before a journalled publish finds out.
+	if err := os.RemoveAll(walDir); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := opsGet(t, s, "/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "wal root not writable") {
+		t.Fatalf("healthz with dead WAL root = %d %q, want 503", code, body)
+	}
+	if err := os.MkdirAll(walDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := opsGet(t, s, "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after WAL root restore = %d, want 200", code)
+	}
+
+	// A drained engine answers 503: the balancer should stop routing
+	// here even though the process is still up.
+	if err := s.Engine().DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := opsGet(t, s, "/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("healthz while draining = %d %q, want 503 draining", code, body)
+	}
+}
+
+// TestStatusz covers the per-tenant ops table and its JSON twin.
+func TestStatusz(t *testing.T) {
+	s := startServer(t, true)
+	ctl := dial(t, s)
+	if err := ctl.Create("ops-tenant", testSpec("")); err != nil {
+		t.Fatal(err)
+	}
+	sub := dial(t, s)
+	if err := sub.Subscribe("ops-tenant", "rfid"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Publish("reader0", []stream.Tuple{read(0.2, "X", true), read(0.4, "X", true)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Advance(at(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := sub.Next(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := opsGet(t, s, "/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("statusz = %d", code)
+	}
+	for _, want := range []string{"TENANT", "EPOCH", "SESS", "SUBS", "STALE", "ops-tenant"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("statusz table missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = opsGet(t, s, "/statusz?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("statusz json = %d", code)
+	}
+	var statuses []Status
+	if err := json.Unmarshal([]byte(body), &statuses); err != nil {
+		t.Fatalf("statusz json does not decode: %v\n%s", err, body)
+	}
+	if len(statuses) != 1 {
+		t.Fatalf("statusz json has %d tenants, want 1", len(statuses))
+	}
+	st := statuses[0]
+	if st.Tenant != "ops-tenant" {
+		t.Errorf("tenant = %q", st.Tenant)
+	}
+	if st.Epochs != 1 {
+		t.Errorf("epochs = %d, want 1", st.Epochs)
+	}
+	if st.Subscribers != 1 {
+		t.Errorf("subscribers = %d, want 1", st.Subscribers)
+	}
+	if st.TuplesIn != 2 {
+		t.Errorf("tuples in = %d, want 2", st.TuplesIn)
+	}
+	if st.StalenessNs <= 0 {
+		t.Errorf("staleness = %d, want > 0 after a commit", st.StalenessNs)
+	}
+	if st.RetainedEpochs != 1 {
+		t.Errorf("retained epochs = %d, want 1", st.RetainedEpochs)
+	}
+}
+
+// TestStatuszEmpty: a daemon with no tenants still renders the table
+// (header only) and an empty JSON array.
+func TestStatuszEmpty(t *testing.T) {
+	s := startServer(t, true)
+	code, body := opsGet(t, s, "/statusz")
+	if code != http.StatusOK || !strings.Contains(body, "0 tenant(s)") {
+		t.Fatalf("empty statusz = %d %q", code, body)
+	}
+	code, body = opsGet(t, s, "/statusz?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("empty statusz json = %d", code)
+	}
+	var statuses []Status
+	if err := json.Unmarshal([]byte(body), &statuses); err != nil {
+		t.Fatalf("empty statusz json: %v\n%s", err, body)
+	}
+	if len(statuses) != 0 {
+		t.Fatalf("statuses = %v, want none", statuses)
+	}
+}

@@ -97,7 +97,7 @@ func (e *Engine) Recover() ([]RecoveryReport, error) {
 			continue
 		}
 		e.mu.Unlock()
-		t, err := newTenant(name, ps, dir, e.walNoSync)
+		t, err := newTenant(name, ps, e.tenantConfig(dir))
 		if err != nil {
 			errs = append(errs, fmt.Errorf("server: recover %q: %w", name, err))
 			continue

@@ -42,6 +42,19 @@ type Config struct {
 	WriteTimeout time.Duration
 	// Logger receives connection lifecycle events (nil = silent).
 	Logger *slog.Logger
+	// TraceSampleN, when positive, turns the tracing plane on: one in
+	// every TraceSampleN advance-driven epochs (and any client-traced
+	// frame) is recorded as cross-process spans, browsable at /traces.
+	// 1 traces everything; 0 leaves the plane off — the per-frame cost
+	// of off is one branch on a zero trace ID.
+	TraceSampleN int
+	// TraceSeed seeds trace-ID minting (0 is a valid seed; IDs are
+	// deterministic per (sampleN, seed) which keeps runs comparable).
+	TraceSeed int64
+	// SlowEpoch, when positive, is the epoch-commit duration above which
+	// a tenant logs a structured slow-epoch warning carrying the epoch's
+	// exemplar trace ID.
+	SlowEpoch time.Duration
 }
 
 // keepAlivePeriod is the TCP keepalive probe interval on accepted and
@@ -56,8 +69,9 @@ type Server struct {
 	log       *slog.Logger
 	reg       *telemetry.Registry
 	tsrv      *telemetry.Server
+	tracer    *telemetry.Tracer
 	conns     *telemetry.Counter
-	active    *telemetry.Counter
+	active    *telemetry.Gauge
 	idleKills *telemetry.Counter // idle kills on conns not yet bound to a tenant
 	idle      time.Duration
 	write     time.Duration
@@ -93,16 +107,26 @@ func Listen(cfg Config) (*Server, error) {
 	if cfg.WALDir != "" {
 		s.eng.SetWALDir(cfg.WALDir)
 	}
-	s.conns = s.reg.Counter("server_conns_total")
-	s.active = s.reg.Counter("server_conns_active")
+	if cfg.TraceSampleN > 0 {
+		s.tracer = telemetry.NewTracer(cfg.TraceSampleN, cfg.TraceSeed)
+		s.eng.SetTracer(s.tracer)
+	}
+	s.eng.SetLogger(log)
+	s.eng.SetSlowEpoch(cfg.SlowEpoch)
+	s.conns = s.reg.Counter("server_conns")
+	s.active = s.reg.Gauge("server_conns_active")
 	s.idleKills = s.reg.Counter("conn_idle_kills")
 	s.reg.GaugeFunc("server_tenants", func() int64 {
 		return int64(len(s.eng.Tenants()))
 	})
+	s.reg.Gauge("build_info").Set(1)
+	s.reg.Describe("build_info", "constant 1; the exposition prefix carries the build identity")
 	if cfg.MetricsAddr != "" {
 		tsrv, err := telemetry.Serve(cfg.MetricsAddr, telemetry.ServerConfig{
 			Registry: s.reg,
 			More:     s.eng.Registries,
+			Tracer:   s.tracer,
+			Mounts:   s.opsMounts(),
 		})
 		if err != nil {
 			ln.Close()
@@ -112,6 +136,9 @@ func Listen(cfg Config) (*Server, error) {
 	}
 	return s, nil
 }
+
+// Tracer reports the server's span recorder (nil when tracing is off).
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
 // Engine exposes the underlying engine (tests and embedded use).
 func (s *Server) Engine() *Engine { return s.eng }
@@ -242,6 +269,9 @@ func (s *Server) handle(conn net.Conn) {
 		return bw.Flush() == nil
 	}
 	fail := func(format string, args ...any) bool {
+		if tenant != nil {
+			tenant.rpcErrors.Add(1)
+		}
 		return reply(wire.Errorf(format, args...))
 	}
 
@@ -342,12 +372,15 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				continue
 			}
+			tenant.rpcPublish.Add(1)
+			t0 := time.Now()
 			var ack wire.Ack
 			if sessID != "" {
-				ack, err = tenant.PublishSession(sessID, m.Seq, m.Receptor, m.Tuples)
+				ack, err = tenant.PublishSessionTraced(sessID, m.Seq, m.Receptor, m.Tuples, m.TraceID)
 			} else {
-				ack, err = tenant.Publish(m.Receptor, m.Tuples)
+				ack, err = tenant.PublishTraced(m.Receptor, m.Tuples, m.TraceID)
 			}
+			tenant.rpcPublishNs.Observe(time.Since(t0))
 			if err != nil {
 				if !fail("%v", err) {
 					return
@@ -371,7 +404,11 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				continue
 			}
-			if err := tenant.Advance(time.Unix(0, m.Now).UTC()); err != nil {
+			tenant.rpcAdvance.Add(1)
+			t0 := time.Now()
+			err = tenant.AdvanceTraced(time.Unix(0, m.Now).UTC(), m.TraceID)
+			tenant.rpcAdvanceNs.Observe(time.Since(t0))
+			if err != nil {
 				if !fail("%v", err) {
 					return
 				}
@@ -404,6 +441,7 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				continue
 			}
+			t.rpcSubscribe.Add(1)
 			sub, backlog, err := t.ResumeSubscribe(m.Stream, m.FromEpoch)
 			if err != nil {
 				if !fail("%v", err) {
@@ -452,6 +490,7 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				continue
 			}
+			tenant.rpcStats.Add(1)
 			b, _ := json.Marshal(tenant.Stats())
 			if !reply(wire.Frame{Type: wire.TypeStats, Flags: wire.FlagJSON, Payload: b}) {
 				return
@@ -504,6 +543,7 @@ func (s *Server) push(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, t *Tena
 				return
 			}
 			deadline()
+			t0 := time.Now()
 			if err := wire.WriteFrame(bw, d.Frame()); err != nil {
 				s.kickIfStalled(t, err)
 				return
@@ -513,6 +553,14 @@ func (s *Server) push(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, t *Tena
 					s.kickIfStalled(t, err)
 					return
 				}
+			}
+			t.observeDelivery(d.Epoch)
+			if d.TraceID != 0 {
+				s.tracer.Record(telemetry.SpanRecord{
+					TraceID: telemetry.TraceID(d.TraceID), Name: "subscriber.deliver",
+					Tenant: t.Name(), Detail: d.Stream, Epoch: d.Epoch,
+					Start: t0, DurNs: int64(time.Since(t0)), Out: int64(len(d.Tuples)),
+				})
 			}
 		case <-gone:
 			return

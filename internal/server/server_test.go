@@ -438,8 +438,8 @@ func TestServerMetricsExposeTenants(t *testing.T) {
 	for _, want := range []string{
 		"esp_server_conns_total",
 		"esp_server_tenants 1",
-		"esp_tenant_metered_serve_tuples_in 1",
-		"esp_tenant_metered_serve_epochs 1",
+		"esp_tenant_metered_serve_tuples_in_total 1",
+		"esp_tenant_metered_serve_epochs_total 1",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q\n%s", want, text)

@@ -47,6 +47,13 @@ func (t *Tenant) AttachSession(id string) (lastSeq uint64, lastEpoch int64, err 
 // held across the apply so a zombie connection replaying the same seq
 // cannot interleave with the live one.
 func (t *Tenant) PublishSession(id string, seq uint64, rec string, ts []stream.Tuple) (wire.Ack, error) {
+	return t.PublishSessionTraced(id, seq, rec, ts, 0)
+}
+
+// PublishSessionTraced is PublishSession carrying the frame's trace
+// context (see PublishTraced). A deduplicated replay is not traced —
+// nothing was applied.
+func (t *Tenant) PublishSessionTraced(id string, seq uint64, rec string, ts []stream.Tuple, traceID uint64) (wire.Ack, error) {
 	t.sessMu.Lock()
 	defer t.sessMu.Unlock()
 	s, ok := t.sessions[id]
@@ -65,7 +72,7 @@ func (t *Tenant) PublishSession(id string, seq uint64, rec string, ts []stream.T
 			Dropped: ch.Dropped(),
 		}, nil
 	}
-	ack, err := t.Publish(rec, ts)
+	ack, err := t.PublishTraced(rec, ts, traceID)
 	if err != nil {
 		return ack, err
 	}

@@ -2,8 +2,10 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"esp/internal/core"
@@ -73,6 +75,63 @@ type Tenant struct {
 	resumes    *telemetry.Counter
 	dedupDrops *telemetry.Counter
 	idleKills  *telemetry.Counter
+
+	// Observability plane (tentpole wiring).
+	tracer    *telemetry.Tracer
+	logger    *slog.Logger
+	slowEpoch time.Duration
+
+	// SLO histograms: epoch step cost, first-ingest→commit, and
+	// commit→first-delivery latency.
+	stepNs         *telemetry.Histogram
+	ingestCommitNs *telemetry.Histogram
+	deliveryNs     *telemetry.Histogram
+
+	// RED counters per frame type (rate + errors; duration is the
+	// rpc_*_ns histograms). Incremented by the connection handlers.
+	rpcPublish   *telemetry.Counter
+	rpcAdvance   *telemetry.Counter
+	rpcSubscribe *telemetry.Counter
+	rpcStats     *telemetry.Counter
+	rpcErrors    *telemetry.Counter
+	rpcPublishNs *telemetry.Histogram
+	rpcAdvanceNs *telemetry.Histogram
+
+	// firstIngest is the wall clock of the first publish since the last
+	// commit (CAS-set, swapped out at commit) — the ingest→commit SLO's
+	// start mark. pendingTrace holds the earliest traced publish's ID
+	// since the last commit, the epoch's exemplar.
+	firstIngest  atomic.Int64
+	pendingTrace atomic.Uint64
+
+	// Watermark/staleness atomics behind the slo_* gauges.
+	lastEpochNano  atomic.Int64 // latest committed boundary (UnixNano)
+	lastCommitWall atomic.Int64 // wall clock of that commit
+
+	// Commit wall clocks by epoch, for the commit→delivery histogram
+	// (deliveries happen on push goroutines, hence the lock).
+	commitMu   sync.Mutex
+	commitWall map[int64]int64
+	commitQ    []int64
+
+	// advTrace is the actor-owned trace carried by the advance driving
+	// the current step (exemplar fallback when no publish was traced).
+	// curFsyncTrace/curFsyncEpoch are set before jl.Commit so the WAL's
+	// OnFsync hook (same goroutine) can attribute the fsync span.
+	advTrace      telemetry.TraceID
+	curFsyncTrace telemetry.TraceID
+	curFsyncEpoch int64
+
+	// Per-stage counter handles, diffed across a traced Step to emit
+	// stage spans.
+	stageTaps []stageTap
+}
+
+// stageTap is one pipeline-stage counter watched for traced epochs.
+type stageTap struct {
+	span   string // span name, e.g. "stage.smooth"
+	detail string // receptor type (or "" for virtualize)
+	c      *telemetry.Counter
 }
 
 // subscriber is one attached output consumer. Its channel is bounded: a
@@ -85,17 +144,27 @@ type subscriber struct {
 	lost   bool  // kicked for falling behind
 }
 
+// tenantConfig is the engine-level wiring a tenant inherits at birth:
+// journalling, tracing, logging, and the slow-epoch threshold.
+type tenantConfig struct {
+	walDir    string
+	walNoSync bool
+	tracer    *telemetry.Tracer
+	logger    *slog.Logger
+	slowEpoch time.Duration
+}
+
 // newTenant compiles a spec and starts the tenant actor. The tenant's
 // registry is the processor's own, extended with the serve_* counters,
 // so one exposition block carries both pipeline and serving telemetry.
 //
-// walDir, when non-empty, is this tenant's log directory: the journal
-// in it is scanned (truncating any torn or uncommitted tail), its
-// committed epochs are replayed through the fresh processor before the
-// actor starts — rebuilding window state exactly, by the
+// cfg.walDir, when non-empty, is this tenant's log directory: the
+// journal in it is scanned (truncating any torn or uncommitted tail),
+// its committed epochs are replayed through the fresh processor before
+// the actor starts — rebuilding window state exactly, by the
 // replay-commute property the oracle proves — and the log stays open
 // for the tenant's own journalling.
-func newTenant(name string, ps *parsedSpec, walDir string, walNoSync bool) (*Tenant, error) {
+func newTenant(name string, ps *parsedSpec, cfg tenantConfig) (*Tenant, error) {
 	proc, err := core.NewProcessor(ps.dep)
 	if err != nil {
 		return nil, err
@@ -114,6 +183,11 @@ func newTenant(name string, ps *parsedSpec, walDir string, walNoSync bool) (*Ten
 		last:     ps.start,
 		pending:  make(map[string][]stream.Tuple),
 		sessions: make(map[string]*session),
+
+		tracer:     cfg.tracer,
+		logger:     cfg.logger,
+		slowEpoch:  cfg.slowEpoch,
+		commitWall: make(map[int64]int64),
 	}
 	t.tuplesIn = t.reg.Counter("serve_tuples_in")
 	t.framesIn = t.reg.Counter("serve_publish_frames")
@@ -131,6 +205,30 @@ func newTenant(name string, ps *parsedSpec, walDir string, walNoSync bool) (*Ten
 		}
 		return n
 	})
+	t.stepNs = t.reg.Histogram("serve_step_ns")
+	t.reg.Describe("serve_step_ns", "per-epoch pipeline Step latency")
+	t.ingestCommitNs = t.reg.Histogram("slo_ingest_commit_ns")
+	t.reg.Describe("slo_ingest_commit_ns", "first publish after a commit to the next commit barrier")
+	t.deliveryNs = t.reg.Histogram("slo_commit_delivery_ns")
+	t.reg.Describe("slo_commit_delivery_ns", "commit barrier to a subscriber's socket write")
+	t.reg.GaugeFunc("slo_watermark_epoch", func() int64 { return t.lastEpochNano.Load() })
+	t.reg.Describe("slo_watermark_epoch", "latest committed epoch boundary (UnixNano)")
+	t.reg.GaugeFunc("slo_staleness_ns", func() int64 {
+		w := t.lastCommitWall.Load()
+		if w == 0 {
+			return 0
+		}
+		return time.Now().UnixNano() - w
+	})
+	t.reg.Describe("slo_staleness_ns", "wall time since the last commit (0 until the first)")
+	t.rpcPublish = t.reg.Counter("rpc_publish")
+	t.rpcAdvance = t.reg.Counter("rpc_advance")
+	t.rpcSubscribe = t.reg.Counter("rpc_subscribe")
+	t.rpcStats = t.reg.Counter("rpc_stats")
+	t.rpcErrors = t.reg.Counter("rpc_errors")
+	t.reg.Describe("rpc_errors", "requests answered with an Error frame")
+	t.rpcPublishNs = t.reg.Histogram("rpc_publish_ns")
+	t.rpcAdvanceNs = t.reg.Histogram("rpc_advance_ns")
 
 	// Deterministic sink registration order: sorted type names, then
 	// virtualize. Sinks run inside Step (actor goroutine), appending to
@@ -157,12 +255,44 @@ func newTenant(name string, ps *parsedSpec, walDir string, walNoSync bool) (*Ten
 		})
 	}
 
-	if walDir != "" {
-		jl, rec, err := wal.Open(wal.Options{Dir: walDir, Source: name, Registry: t.reg, NoSync: walNoSync})
+	// Stage taps: the per-type stage counters the processor registers,
+	// diffed across a traced Step so the exemplar trace shows how many
+	// tuples each stage released for that epoch. Resolved once here —
+	// traced epochs pay a handful of atomic loads, not map lookups.
+	for _, tn := range types {
+		t.stageTaps = append(t.stageTaps, stageTap{span: "stage.point", detail: tn, c: t.reg.Counter(fmt.Sprintf("stage.%s/Point.tuples", tn))})
+		t.stageTaps = append(t.stageTaps, stageTap{span: "stage.smooth", detail: tn, c: t.reg.Counter(fmt.Sprintf("stage.%s/Smooth.tuples", tn))})
+		t.stageTaps = append(t.stageTaps, stageTap{span: "stage.merge", detail: tn, c: t.reg.Counter(fmt.Sprintf("stage.%s/Merge.tuples", tn))})
+		t.stageTaps = append(t.stageTaps, stageTap{span: "stage.arbitrate", detail: tn, c: t.reg.Counter(fmt.Sprintf("stage.%s/Arbitrate.tuples", tn))})
+	}
+	if ps.dep.Virtualize != nil {
+		t.stageTaps = append(t.stageTaps, stageTap{span: "stage.virtualize", c: t.reg.Counter("stage.virtualize.tuples")})
+	}
+
+	if cfg.walDir != "" {
+		jl, rec, err := wal.Open(wal.Options{
+			Dir: cfg.walDir, Source: name, Registry: t.reg, NoSync: cfg.walNoSync,
+			// Runs on the committing goroutine (the actor) inside
+			// Commit, so the actor-owned curFsync* fields are safe to
+			// read — this is how a traced request's fsync cost lands in
+			// its trace.
+			OnFsync: func(d time.Duration) {
+				if t.curFsyncTrace != 0 {
+					t.tracer.Record(telemetry.SpanRecord{
+						TraceID: t.curFsyncTrace, Name: "wal.fsync", Tenant: t.name,
+						Epoch: t.curFsyncEpoch, Start: time.Now().Add(-d), DurNs: int64(d),
+					})
+				}
+			},
+		})
 		if err != nil {
 			return nil, fmt.Errorf("server: tenant %q: wal: %w", name, err)
 		}
 		t.jl = jl
+		// Registered up front (not on first replay) so the family is
+		// present — and documented — on every WAL-backed tenant.
+		t.reg.Counter("wal_replayed_epochs")
+		t.reg.Counter("wal_replayed_tuples")
 		if !rec.Empty() {
 			t.recovered = rec
 			if err := t.replay(rec); err != nil {
@@ -267,6 +397,16 @@ func (t *Tenant) Registry() *telemetry.Registry { return t.reg }
 // channels are thread-safe and eviction at the cap bounds memory — so
 // publishers on many connections never serialize behind a Step.
 func (t *Tenant) Publish(rec string, ts []stream.Tuple) (wire.Ack, error) {
+	return t.PublishTraced(rec, ts, 0)
+}
+
+// PublishTraced is Publish carrying the frame's trace context: a
+// non-zero traceID records a server.apply span (journal + channel
+// append) and nominates the ID as the epoch's exemplar — the trace a
+// slow-epoch event and the epoch's Data frames will reference. The
+// untraced path (traceID 0, the overwhelming majority under sampling)
+// adds exactly one predictable branch and no allocations.
+func (t *Tenant) PublishTraced(rec string, ts []stream.Tuple, traceID uint64) (wire.Ack, error) {
 	ch, ok := t.chans[rec]
 	if !ok {
 		return wire.Ack{}, fmt.Errorf("server: tenant %q has no receptor %q", t.name, rec)
@@ -274,6 +414,8 @@ func (t *Tenant) Publish(rec string, ts []stream.Tuple) (wire.Ack, error) {
 	if max := t.quota.maxPublishTuples(); len(ts) > max {
 		return wire.Ack{}, fmt.Errorf("server: publish of %d tuples exceeds tenant quota %d", len(ts), max)
 	}
+	t0 := time.Now()
+	t.firstIngest.CompareAndSwap(0, t0.UnixNano())
 	if t.jl != nil {
 		// Journal before ack. The channel publish runs under the log's
 		// lock so journal order and channel order agree even with
@@ -289,6 +431,14 @@ func (t *Tenant) Publish(rec string, ts []stream.Tuple) (wire.Ack, error) {
 	}
 	t.framesIn.Add(1)
 	t.tuplesIn.Add(int64(len(ts)))
+	if traceID != 0 {
+		// Earliest traced publish wins the exemplar slot for the epoch.
+		t.pendingTrace.CompareAndSwap(0, traceID)
+		t.tracer.Record(telemetry.SpanRecord{
+			TraceID: telemetry.TraceID(traceID), Name: "server.apply", Tenant: t.name,
+			Detail: rec, Start: t0, DurNs: int64(time.Since(t0)), In: int64(len(ts)),
+		})
+	}
 	return wire.Ack{
 		Pending: int64(ch.Pending()),
 		Cap:     int64(ch.Cap()),
@@ -302,7 +452,38 @@ func (t *Tenant) Publish(rec string, ts []stream.Tuple) (wire.Ack, error) {
 // runs. Advance returns after the last boundary has committed — it is
 // the client-visible epoch barrier.
 func (t *Tenant) Advance(now time.Time) error {
-	return t.do(func() error { return t.advanceLocked(now.UTC()) })
+	return t.AdvanceTraced(now, 0)
+}
+
+// AdvanceTraced is Advance carrying the frame's trace context: a
+// non-zero traceID records a server.advance span covering every
+// boundary the advance committed, and serves as the exemplar for
+// boundaries no traced publish fed. An untraced advance asks the
+// tenant's own tracer to sample — the server-side origin that keeps
+// one in every sampleN advance-driven epochs observable even when no
+// client propagates a trace.
+func (t *Tenant) AdvanceTraced(now time.Time, traceID uint64) error {
+	if traceID == 0 {
+		if id, ok := t.tracer.Sample(); ok {
+			traceID = uint64(id)
+		}
+	}
+	var t0 time.Time
+	if traceID != 0 {
+		t0 = time.Now()
+	}
+	err := t.do(func() error {
+		t.advTrace = telemetry.TraceID(traceID)
+		defer func() { t.advTrace = 0 }()
+		return t.advanceLocked(now.UTC())
+	})
+	if traceID != 0 {
+		t.tracer.Record(telemetry.SpanRecord{
+			TraceID: telemetry.TraceID(traceID), Name: "server.advance", Tenant: t.name,
+			Epoch: now.UnixNano(), Start: t0, DurNs: int64(time.Since(t0)),
+		})
+	}
+	return err
 }
 
 // advanceLocked runs on the actor goroutine.
@@ -322,9 +503,33 @@ func (t *Tenant) advanceLocked(now time.Time) error {
 // a crash. During boot replay the barrier already exists on disk, so
 // only lost archive records are regenerated.
 func (t *Tenant) stepLocked(b time.Time) error {
+	// The epoch's exemplar trace: the earliest traced publish since the
+	// last commit, falling back to the advance that drove this boundary.
+	// Replay never traces — the spans would describe a reconstruction,
+	// not a request.
+	var exemplar telemetry.TraceID
+	if !t.replaying {
+		exemplar = telemetry.TraceID(t.pendingTrace.Swap(0))
+		if exemplar == 0 {
+			exemplar = t.advTrace
+		}
+	}
+	var preStages []int64
+	if exemplar != 0 {
+		preStages = make([]int64, len(t.stageTaps))
+		for i, tap := range t.stageTaps {
+			preStages[i] = tap.c.Load()
+		}
+	}
+	epoch := b.UnixNano()
+	t.curFsyncTrace, t.curFsyncEpoch = exemplar, epoch
+
+	t0 := time.Now()
 	if err := t.proc.Step(b); err != nil {
 		return fmt.Errorf("server: tenant %q: %w", t.name, err)
 	}
+	stepDur := time.Since(t0)
+	t.stepNs.Observe(stepDur)
 	t.last = b
 	t.epochs.Add(1)
 	if t.jl != nil {
@@ -338,15 +543,50 @@ func (t *Tenant) stepLocked(b time.Time) error {
 			return fmt.Errorf("server: tenant %q: wal: %w", t.name, err)
 		}
 	}
-	t.flushLocked(b)
+	if !t.replaying {
+		now := time.Now()
+		t.lastEpochNano.Store(epoch)
+		t.lastCommitWall.Store(now.UnixNano())
+		if fi := t.firstIngest.Swap(0); fi != 0 {
+			t.ingestCommitNs.Observe(time.Duration(now.UnixNano() - fi))
+		}
+	}
+	if exemplar != 0 {
+		for i, tap := range t.stageTaps {
+			if d := tap.c.Load() - preStages[i]; d > 0 {
+				t.tracer.Record(telemetry.SpanRecord{
+					TraceID: exemplar, Name: tap.span, Tenant: t.name,
+					Detail: tap.detail, Epoch: epoch, Start: t0, Out: d,
+				})
+			}
+		}
+	}
+	t.flushLocked(b, exemplar)
+	total := time.Since(t0)
+	if exemplar != 0 {
+		t.tracer.Record(telemetry.SpanRecord{
+			TraceID: exemplar, Name: "pipeline.step", Tenant: t.name,
+			Epoch: epoch, Start: t0, DurNs: int64(total),
+		})
+	}
+	if t.slowEpoch > 0 && total > t.slowEpoch && t.logger != nil && !t.replaying {
+		// The structured slow-epoch event: the exemplar trace ID is the
+		// bridge from an aggregate symptom ("epochs are slow") to one
+		// concrete request's span breakdown in /traces.
+		t.logger.Warn("slow epoch",
+			"tenant", t.name, "epoch", epoch,
+			"step", stepDur, "total", total,
+			"trace", exemplar.String())
+	}
 	return nil
 }
 
 // flushLocked hands the epoch's buffered output to the subscribers and
 // appends it to the retention ring. Each stream's frame is built once
 // and shared — subscribers, the ring, and resume backlogs all read the
-// same immutable Data value.
-func (t *Tenant) flushLocked(b time.Time) {
+// same immutable Data value. A non-zero exemplar is stamped into every
+// frame so the epoch's trace ID travels to the subscriber's wire.
+func (t *Tenant) flushLocked(b time.Time, exemplar telemetry.TraceID) {
 	if len(t.pending) == 0 {
 		return
 	}
@@ -364,11 +604,14 @@ func (t *Tenant) flushLocked(b time.Time) {
 	frames := make(map[string]wire.Data, len(names))
 	ordered := make([]wire.Data, 0, len(names))
 	for _, name := range names {
-		d := wire.Data{Stream: name, Epoch: epoch, Tuples: append([]stream.Tuple(nil), t.pending[name]...)}
+		d := wire.Data{Stream: name, Epoch: epoch, Tuples: append([]stream.Tuple(nil), t.pending[name]...), TraceID: uint64(exemplar)}
 		frames[name] = d
 		ordered = append(ordered, d)
 	}
 	t.retainLocked(epoch, ordered)
+	if !t.replaying {
+		t.stampCommit(epoch)
+	}
 	keep := t.subs[:0]
 	for _, sub := range t.subs {
 		d, ok := frames[sub.stream]
@@ -557,6 +800,65 @@ type Stats struct {
 	Resumes     int64  `json:"resumes,omitempty"`
 	DedupDrops  int64  `json:"dedup_drops,omitempty"`
 	IdleKills   int64  `json:"idle_kills,omitempty"`
+}
+
+// maxCommitWallEntries bounds the commit-wall table feeding the
+// commit→delivery histogram; epochs older than the window stop being
+// observable, which only loses SLO samples, never correctness.
+const maxCommitWallEntries = 1024
+
+// stampCommit records the wall clock at which an epoch's frames became
+// available to subscribers. Runs on the actor.
+func (t *Tenant) stampCommit(epoch int64) {
+	t.commitMu.Lock()
+	defer t.commitMu.Unlock()
+	if _, ok := t.commitWall[epoch]; ok {
+		return
+	}
+	t.commitWall[epoch] = time.Now().UnixNano()
+	t.commitQ = append(t.commitQ, epoch)
+	for len(t.commitQ) > maxCommitWallEntries {
+		delete(t.commitWall, t.commitQ[0])
+		t.commitQ = t.commitQ[1:]
+	}
+}
+
+// observeDelivery folds one subscriber delivery of an epoch into the
+// commit→delivery histogram. Called from push goroutines.
+func (t *Tenant) observeDelivery(epoch int64) {
+	t.commitMu.Lock()
+	w, ok := t.commitWall[epoch]
+	t.commitMu.Unlock()
+	if ok {
+		t.deliveryNs.Observe(time.Duration(time.Now().UnixNano() - w))
+	}
+}
+
+// Status is the ops-surface view of a tenant: Stats plus the SLO state
+// /statusz tables — sessions, staleness, and the resume horizon.
+type Status struct {
+	Stats
+	Sessions       int   `json:"sessions"`
+	StalenessNs    int64 `json:"staleness_ns"`
+	RetainedEpochs int   `json:"retained_epochs"`
+	EvictedThrough int64 `json:"evicted_through"`
+}
+
+// Status snapshots the tenant for the ops surface.
+func (t *Tenant) Status() Status {
+	st := Status{Stats: t.Stats()}
+	t.sessMu.Lock()
+	st.Sessions = len(t.sessions)
+	t.sessMu.Unlock()
+	if w := t.lastCommitWall.Load(); w != 0 {
+		st.StalenessNs = time.Now().UnixNano() - w
+	}
+	_ = t.do(func() error {
+		st.RetainedEpochs = len(t.retained)
+		st.EvictedThrough = t.evictedThrough
+		return nil
+	})
+	return st
 }
 
 // Stats snapshots the tenant's counters.

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"esp/internal/stream"
+	"esp/internal/telemetry"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing slog output
+// written from tenant actor goroutines.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// spanNames collects the distinct span names recorded for one trace ID
+// across a set of tracers.
+func spanNames(id telemetry.TraceID, tracers ...*telemetry.Tracer) map[string]int {
+	names := make(map[string]int)
+	for _, tr := range tracers {
+		for _, sp := range tr.ByTrace()[id] {
+			names[sp.Name]++
+		}
+	}
+	return names
+}
+
+// TestTraceEndToEnd is the acceptance test for the tracing plane: over
+// a live TCP connection, one trace ID minted by the client must be
+// observable at every hop — client publish, server apply, WAL fsync,
+// pipeline step, the stage spans, subscriber delivery, and the client's
+// own receipt of the Data frame — and the slow-epoch log line must
+// carry the same ID as its exemplar.
+func TestTraceEndToEnd(t *testing.T) {
+	var logBuf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+
+	cfg := Config{
+		Addr:         "127.0.0.1:0",
+		WALDir:       t.TempDir(), // real fsync: the wal.fsync span must fire
+		TraceSampleN: 1,
+		TraceSeed:    42,
+		SlowEpoch:    time.Nanosecond, // every epoch is "slow": forces the exemplar log
+		Logger:       logger,
+	}
+	s, err := Listen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve() //nolint:errcheck
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+
+	clientTracer := telemetry.NewTracer(1, 7) // trace every frame
+	ctl := dial(t, s)
+	ctl.SetTracer(clientTracer)
+	if err := ctl.Create("traced", testSpec("")); err != nil {
+		t.Fatal(err)
+	}
+
+	subc := dial(t, s)
+	subc.SetTracer(clientTracer)
+	if err := subc.Subscribe("traced", "rfid"); err != nil {
+		t.Fatal(err)
+	}
+
+	// First traced publish wins the exemplar slot for the epoch.
+	ack, err := ctl.Publish("reader0", []stream.Tuple{read(0.2, "X", true), read(0.4, "X", true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ack
+	if _, err := ctl.Publish("reader1", []stream.Tuple{read(0.3, "X", true)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Advance(at(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	d, _, done, err := subc.Next()
+	if err != nil || done {
+		t.Fatalf("Next: %v (done=%v)", err, done)
+	}
+	if d.TraceID == 0 {
+		t.Fatal("delivered Data frame carries no trace ID")
+	}
+	id := telemetry.TraceID(d.TraceID)
+
+	// The client's first publish span must own the same ID: the
+	// exemplar is the earliest traced publish of the epoch.
+	var pubIDs []telemetry.TraceID
+	for _, sp := range clientTracer.Spans() {
+		if sp.Name == "client.publish" {
+			pubIDs = append(pubIDs, sp.TraceID)
+		}
+	}
+	if len(pubIDs) != 2 {
+		t.Fatalf("client recorded %d publish spans, want 2", len(pubIDs))
+	}
+	if pubIDs[0] != id && pubIDs[1] != id {
+		t.Fatalf("delivered trace %s matches neither publish span (%s, %s)", id, pubIDs[0], pubIDs[1])
+	}
+
+	// subscriber.deliver is recorded on the push goroutine after the
+	// socket write; the client can observe the frame first. Poll.
+	want := []string{
+		"client.publish", "server.apply", "wal.fsync",
+		"pipeline.step", "subscriber.deliver", "client.deliver",
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var names map[string]int
+	for {
+		names = spanNames(id, s.Tracer(), clientTracer)
+		missing := 0
+		for _, n := range want {
+			if names[n] == 0 {
+				missing++
+			}
+		}
+		if missing == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, n := range want {
+		if names[n] == 0 {
+			t.Errorf("trace %s missing span %q (got %v)", id, n, names)
+		}
+	}
+	// At least one stage-level span must be attributed to the trace.
+	stages := 0
+	for n, c := range names {
+		if strings.HasPrefix(n, "stage.") {
+			stages += c
+		}
+	}
+	if stages == 0 {
+		t.Errorf("trace %s has no stage.* spans (got %v)", id, names)
+	}
+
+	// The slow-epoch structured event carries the exemplar ID in hex.
+	logs := logBuf.String()
+	if !strings.Contains(logs, "slow epoch") {
+		t.Fatalf("no slow-epoch event logged:\n%s", logs)
+	}
+	if !strings.Contains(logs, id.String()) {
+		t.Errorf("slow-epoch event does not carry exemplar trace %s:\n%s", id, logs)
+	}
+}
+
+// TestTraceUntracedFramesStayDark proves the off path: without a client
+// tracer the server (sampling only advance-driven epochs at N=1) still
+// traces, but a server with tracing disabled must deliver Data frames
+// with a zero trace ID and record nothing.
+func TestTraceUntracedFramesStayDark(t *testing.T) {
+	s := startServer(t, false) // no TraceSampleN: tracing off
+	ctl := dial(t, s)
+	if err := ctl.Create("dark", testSpec("")); err != nil {
+		t.Fatal(err)
+	}
+	subc := dial(t, s)
+	if err := subc.Subscribe("dark", "rfid"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Publish("reader0", []stream.Tuple{read(0.2, "X", true)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Advance(at(1)); err != nil {
+		t.Fatal(err)
+	}
+	d, _, done, err := subc.Next()
+	if err != nil || done {
+		t.Fatalf("Next: %v (done=%v)", err, done)
+	}
+	if d.TraceID != 0 {
+		t.Fatalf("tracing disabled but Data carries trace %x", d.TraceID)
+	}
+	if tr := s.Tracer(); tr != nil {
+		t.Fatalf("tracing disabled but server has a tracer")
+	}
+}
+
+// TestTraceServerSampledAdvance proves the server-side sampling origin:
+// with no client tracer at all, a server at TraceSampleN=1 samples the
+// advance and the epoch's spans hang off that trace.
+func TestTraceServerSampledAdvance(t *testing.T) {
+	cfg := Config{Addr: "127.0.0.1:0", TraceSampleN: 1, TraceSeed: 1}
+	s, err := Listen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve() //nolint:errcheck
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	ctl := dial(t, s)
+	if err := ctl.Create("srv", testSpec("")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Publish("reader0", []stream.Tuple{read(0.2, "X", true)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Advance(at(1)); err != nil {
+		t.Fatal(err)
+	}
+	byTrace := s.Tracer().ByTrace()
+	if len(byTrace) == 0 {
+		t.Fatal("server sampled nothing")
+	}
+	found := false
+	for id, spans := range byTrace {
+		names := spanNames(id, s.Tracer())
+		if names["server.advance"] > 0 && names["pipeline.step"] > 0 {
+			found = true
+		}
+		_ = spans
+	}
+	if !found {
+		t.Fatalf("no trace links server.advance to pipeline.step: %v", byTrace)
+	}
+}

@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistrationConformance is the table test behind the exposition
+// contract: invalid names and cross-kind duplicates are wiring bugs and
+// panic at registration time; same-kind re-registration stays legal
+// (handles are idempotent per name, GaugeFunc replaces).
+func TestRegistrationConformance(t *testing.T) {
+	cases := []struct {
+		name      string
+		setup     func(r *Registry)
+		register  func(r *Registry)
+		wantPanic string // substring of the panic message, "" = no panic
+	}{
+		{
+			name:     "empty name",
+			register: func(r *Registry) { r.Counter("") },
+
+			wantPanic: "empty metric name",
+		},
+		{
+			name:      "control character",
+			register:  func(r *Registry) { r.Gauge("bad\nname") },
+			wantPanic: "control characters",
+		},
+		{
+			name:      "DEL character",
+			register:  func(r *Registry) { r.Histogram("bad\x7fname") },
+			wantPanic: "control characters",
+		},
+		{
+			name:      "counter redeclared as gauge",
+			setup:     func(r *Registry) { r.Counter("x") },
+			register:  func(r *Registry) { r.Gauge("x") },
+			wantPanic: `metric "x" already registered as a counter, re-registered as a gauge`,
+		},
+		{
+			name:      "gauge redeclared as histogram",
+			setup:     func(r *Registry) { r.Gauge("x") },
+			register:  func(r *Registry) { r.Histogram("x") },
+			wantPanic: `already registered as a gauge, re-registered as a histogram`,
+		},
+		{
+			name:      "histogram redeclared as gauge-func",
+			setup:     func(r *Registry) { r.Histogram("x") },
+			register:  func(r *Registry) { r.GaugeFunc("x", func() int64 { return 0 }) },
+			wantPanic: `already registered as a histogram, re-registered as a gauge-func`,
+		},
+		{
+			name:      "gauge-func redeclared as counter",
+			setup:     func(r *Registry) { r.GaugeFunc("x", func() int64 { return 0 }) },
+			register:  func(r *Registry) { r.Counter("x") },
+			wantPanic: `already registered as a gauge-func, re-registered as a counter`,
+		},
+		{
+			name:     "same-kind counter is idempotent",
+			setup:    func(r *Registry) { r.Counter("x").Add(1) },
+			register: func(r *Registry) { r.Counter("x").Add(1) },
+		},
+		{
+			name:     "gauge-func replacement is legal",
+			setup:    func(r *Registry) { r.GaugeFunc("x", func() int64 { return 1 }) },
+			register: func(r *Registry) { r.GaugeFunc("x", func() int64 { return 2 }) },
+		},
+		{
+			name:     "spaces and @ are legal (sanitized at exposition)",
+			register: func(r *Registry) { r.Counter("node.leg rfid r0@shelf0.tuples_in") },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			if tc.setup != nil {
+				tc.setup(r)
+			}
+			defer func() {
+				rec := recover()
+				if tc.wantPanic == "" {
+					if rec != nil {
+						t.Fatalf("unexpected panic: %v", rec)
+					}
+					return
+				}
+				msg, _ := rec.(string)
+				if rec == nil || !strings.Contains(msg, tc.wantPanic) {
+					t.Fatalf("panic = %v, want substring %q", rec, tc.wantPanic)
+				}
+			}()
+			tc.register(r)
+		})
+	}
+}
+
+// TestPrometheusHelpAndTotal pins the text-format details: counters gain
+// the conventional _total suffix, HELP lines are emitted for described
+// metrics with backslash/newline escaped, undescribed metrics get none.
+func TestPrometheusHelpAndTotal(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wal.commits").Add(2)
+	r.Describe("wal.commits", "epochs committed\nwith a \\ backslash")
+	r.Gauge("backlog").Set(5)
+	r.Describe("backlog", "frames queued")
+	r.Histogram("fsync").Observe(time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b, "esp_"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`# HELP esp_wal_commits_total epochs committed\nwith a \\ backslash`,
+		"# TYPE esp_wal_commits_total counter",
+		"esp_wal_commits_total 2",
+		"# HELP esp_backlog frames queued",
+		"esp_backlog 5",
+		"esp_fsync_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "# HELP esp_fsync") {
+		t.Errorf("HELP emitted for undescribed metric:\n%s", out)
+	}
+	if strings.Contains(out, "esp_wal_commits 2") {
+		t.Errorf("counter emitted without _total suffix:\n%s", out)
+	}
+	// A raw newline anywhere in the body would corrupt the format; the
+	// escaped help must keep the output at one line per sample/comment.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Errorf("blank line in exposition output:\n%s", out)
+		}
+	}
+}
+
+// TestScrapeRacesShutdown hammers the exposition endpoint from several
+// goroutines while Shutdown runs — under -race this pins that scrape
+// rendering, snapshotting, and graceful stop share no unsynchronized
+// state. Scrape errors are expected once the listener closes; data races
+// are not.
+func TestScrapeRacesShutdown(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.Counter("race.hot")
+	h := r.Histogram("race.lat")
+	tr := NewTracer(1, 1)
+
+	srv, err := Serve(":0", ServerConfig{Registry: r, Tracer: tr, ExpvarName: "esp-race-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Add(1)
+				h.Observe(time.Microsecond)
+				if id, ok := tr.Sample(); ok {
+					tr.Record(SpanRecord{TraceID: id, Name: "race.span"})
+				}
+				// Scrapes race the shutdown; failures after the listener
+				// closes are the expected outcome, not a bug.
+				if resp, err := http.Get(srv.URL() + "/metrics"); err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestHistogramSnapshotDuringObserve drives Snapshot from one goroutine
+// while four others Observe — the -race companion to the quantile math:
+// every snapshot must be internally sane (count never regresses, sum and
+// max nonnegative) with no synchronization beyond the atomics.
+func TestHistogramSnapshotDuringObserve(t *testing.T) {
+	h := &Histogram{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := time.Duration(w+1) * time.Microsecond
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(d)
+				}
+			}
+		}(w)
+	}
+	var last int64
+	for i := 0; i < 500; i++ {
+		s := h.Snapshot()
+		if s.Count < last {
+			t.Fatalf("count regressed: %d -> %d", last, s.Count)
+		}
+		last = s.Count
+		if s.Sum < 0 || s.Max < 0 {
+			t.Fatalf("negative sum/max in concurrent snapshot: %+v", s)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

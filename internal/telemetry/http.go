@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 )
 
 // NamedRegistry labels a secondary registry exposed alongside the main
@@ -32,6 +33,15 @@ type ServerConfig struct {
 	// per-tenant registries through the one exposition endpoint while
 	// tenants come and go.
 	More func() []NamedRegistry
+	// Tracer, when non-nil, is dumped at /traces (recent cross-process
+	// spans, oldest first).
+	Tracer *Tracer
+	// Mounts are extra handlers mounted verbatim (path → handler) —
+	// the hook a daemon uses to add its ops surfaces (/healthz,
+	// /statusz) to the one exposition endpoint. Paths already served by
+	// the standard mux above are rejected at Handler time by the mux
+	// itself (duplicate registration panics), so keep them distinct.
+	Mounts map[string]http.Handler
 }
 
 // Handler builds the exposition mux:
@@ -89,6 +99,17 @@ func Handler(cfg ServerConfig) http.Handler {
 		}
 		_ = cfg.Lineage.DumpJSON(w)
 	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if cfg.Tracer == nil {
+			fmt.Fprintln(w, "[]")
+			return
+		}
+		_ = cfg.Tracer.DumpJSON(w)
+	})
+	for path, h := range cfg.Mounts {
+		mux.Handle(path, h)
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -105,8 +126,17 @@ func Handler(cfg ServerConfig) http.Handler {
 		fmt.Fprintln(w, "  /metrics       Prometheus text")
 		fmt.Fprintln(w, "  /metrics.json  snapshot JSON")
 		fmt.Fprintln(w, "  /lineage       sampled tuple lineage")
+		fmt.Fprintln(w, "  /traces        cross-process trace spans")
 		fmt.Fprintln(w, "  /debug/vars    expvar JSON")
 		fmt.Fprintln(w, "  /debug/pprof/  profiling")
+		paths := make([]string, 0, len(cfg.Mounts))
+		for p := range cfg.Mounts {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			fmt.Fprintf(w, "  %s\n", p)
+		}
 	})
 	return mux
 }

@@ -48,7 +48,7 @@ func TestServeEndpoints(t *testing.T) {
 		return string(body)
 	}
 
-	if out := get("/metrics"); !strings.Contains(out, "esp_node_output_rfid_tuples_in 11") {
+	if out := get("/metrics"); !strings.Contains(out, "esp_node_output_rfid_tuples_in_total 11") {
 		t.Errorf("/metrics missing counter:\n%s", out)
 	}
 	var snap Snapshot
@@ -146,7 +146,7 @@ func TestShutdownCompletesInflightScrape(t *testing.T) {
 	}
 	select {
 	case got := <-body:
-		if !strings.Contains(got, "esp_drain_test 7") {
+		if !strings.Contains(got, "esp_drain_test_total 7") {
 			t.Errorf("in-flight scrape body truncated:\n%s", got)
 		}
 	case err := <-scrapeErr:
@@ -199,10 +199,10 @@ func TestMetricsMultiRegistry(t *testing.T) {
 	}
 
 	out := get("/metrics")
-	if !strings.Contains(out, "esp_server_conns 3") {
+	if !strings.Contains(out, "esp_server_conns_total 3") {
 		t.Errorf("/metrics missing base counter:\n%s", out)
 	}
-	if !strings.Contains(out, "esp_tenant_0_poll_tuples 42") {
+	if !strings.Contains(out, "esp_tenant_0_poll_tuples_total 42") {
 		t.Errorf("/metrics missing tenant counter:\n%s", out)
 	}
 	var multi map[string]Snapshot

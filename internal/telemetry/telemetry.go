@@ -89,6 +89,12 @@ func (g *Gauge) Load() int64 {
 // usable; construct with NewRegistry. Metric names are free-form dotted
 // paths ("node.leg rfid r0@shelf0.tuples_in"); exposition layers
 // sanitise them per format.
+//
+// Registration is strict: an empty name, a name with control
+// characters, or a name already registered under a different metric
+// kind panics — both are wiring bugs (two components colliding on a
+// name would silently share or shadow state), and registration happens
+// at wiring time where a panic is an immediate, debuggable failure.
 type Registry struct {
 	enabled atomic.Bool
 
@@ -97,6 +103,32 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	gaugeFns map[string]func() int64
 	hists    map[string]*Histogram
+	kinds    map[string]metricKind
+	help     map[string]string
+}
+
+// metricKind discriminates the namespaces sharing one registry.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindGaugeFunc:
+		return "gauge-func"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
 }
 
 // NewRegistry returns an empty registry with extended telemetry
@@ -107,7 +139,48 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		gaugeFns: make(map[string]func() int64),
 		hists:    make(map[string]*Histogram),
+		kinds:    make(map[string]metricKind),
+		help:     make(map[string]string),
 	}
+}
+
+// checkNameLocked validates a registration. Caller holds r.mu.
+func (r *Registry) checkNameLocked(name string, kind metricKind) {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] < 0x20 || name[i] == 0x7f {
+			panic(fmt.Sprintf("telemetry: metric name %q contains control characters", name))
+		}
+	}
+	if have, ok := r.kinds[name]; ok && have != kind {
+		panic(fmt.Sprintf("telemetry: metric %q already registered as a %s, re-registered as a %s", name, have, kind))
+	}
+	r.kinds[name] = kind
+}
+
+// Describe attaches a one-line help string to a metric name, emitted as
+// the Prometheus # HELP line (with backslashes and newlines escaped per
+// the exposition format). Describing before or after registering the
+// metric both work; the last description wins.
+func (r *Registry) Describe(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = help
+}
+
+// Help reports a metric's description ("" when none was given).
+func (r *Registry) Help(name string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.help[name]
 }
 
 // SetEnabled flips the extended-telemetry gate (latency timing, stage
@@ -137,6 +210,7 @@ func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if c = r.counters[name]; c == nil {
+		r.checkNameLocked(name, kindCounter)
 		c = &Counter{}
 		r.counters[name] = c
 	}
@@ -154,6 +228,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if g = r.gauges[name]; g == nil {
+		r.checkNameLocked(name, kindGauge)
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -166,6 +241,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 func (r *Registry) GaugeFunc(name string, fn func() int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.checkNameLocked(name, kindGaugeFunc)
 	r.gaugeFns[name] = fn
 }
 
@@ -181,6 +257,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h = r.hists[name]; h == nil {
+		r.checkNameLocked(name, kindHistogram)
 		h = &Histogram{}
 		r.hists[name] = h
 	}
@@ -293,12 +370,19 @@ func PublishExpvar(name string, r *Registry) {
 }
 
 // WritePrometheus renders every metric in the Prometheus text exposition
-// format (metric names sanitised, histograms as summaries with
-// quantile-labelled rows plus _sum/_count/_max). Names are emitted in
-// sorted order so the output is diffable.
+// format: counters under their conventional `_total` suffix, gauges
+// bare, histograms as summaries with quantile-labelled rows plus
+// _sum/_count/_max, each with its # HELP line (escaped per the format)
+// when one was described. Names are emitted in sorted order so the
+// output is diffable.
 func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
 	s := r.Snapshot()
 	var b strings.Builder
+	help := func(name, promName string) {
+		if h := r.Help(name); h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", promName, escapePromHelp(h))
+		}
+	}
 
 	names := make([]string, 0, len(s.Counters))
 	for k := range s.Counters {
@@ -306,7 +390,8 @@ func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
 	}
 	sort.Strings(names)
 	for _, k := range names {
-		n := prefix + sanitizeProm(k)
+		n := prefix + sanitizeProm(k) + "_total"
+		help(k, n)
 		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[k])
 	}
 
@@ -317,6 +402,7 @@ func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
 	sort.Strings(names)
 	for _, k := range names {
 		n := prefix + sanitizeProm(k)
+		help(k, n)
 		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[k])
 	}
 
@@ -328,6 +414,7 @@ func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
 	for _, k := range names {
 		h := s.Histograms[k]
 		n := prefix + sanitizeProm(k)
+		help(k, n)
 		fmt.Fprintf(&b, "# TYPE %s summary\n", n)
 		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %d\n", n, h.P50)
 		fmt.Fprintf(&b, "%s{quantile=\"0.9\"} %d\n", n, h.P90)
@@ -338,6 +425,13 @@ func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// escapePromHelp escapes a HELP string per the text exposition format:
+// backslash and newline are the only characters that need escaping.
+func escapePromHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 // sanitizeProm maps a free-form dotted metric name onto the Prometheus

@@ -146,8 +146,8 @@ func TestPrometheusExposition(t *testing.T) {
 	}
 	out := b.String()
 	for _, want := range []string{
-		"# TYPE esp_node_leg_rfid_r0_shelf0_tuples_in counter",
-		"esp_node_leg_rfid_r0_shelf0_tuples_in 5",
+		"# TYPE esp_node_leg_rfid_r0_shelf0_tuples_in_total counter",
+		"esp_node_leg_rfid_r0_shelf0_tuples_in_total 5",
 		"esp_receptor_r0_channel_occupancy 3",
 		"esp_poll_r0_latency{quantile=\"0.5\"}",
 		"esp_poll_r0_latency_count 1",

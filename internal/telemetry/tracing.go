@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer is the cross-process request tracer: a deterministic sampler
+// mints trace IDs on the client, the wire protocol carries them as
+// optional trailing frame fields, and every process along the path
+// (client publish → server apply → WAL fsync → pipeline step →
+// subscriber delivery) records SpanRecords into a bounded ring under
+// the same ID — the serving-layer extension of the in-process lineage
+// recorder (DESIGN.md §12).
+//
+// The disabled path is free: Sample on a nil or disabled tracer is one
+// nil/atomic check with no allocations (asserted by
+// TestTracerDisabledZeroAlloc), and Record drops zero-ID spans before
+// taking any lock.
+type Tracer struct {
+	enabled atomic.Bool
+	sampleN uint64
+	seed    uint64
+	ctr     atomic.Uint64
+
+	mu    sync.Mutex
+	cap   int
+	ring  []SpanRecord
+	start int // index of the oldest span when the ring is full
+}
+
+// DefaultTraceCap bounds the span ring.
+const DefaultTraceCap = 4096
+
+// NewTracer returns an enabled tracer minting one trace per ~sampleN
+// Sample calls (sampleN <= 1 traces every call). The seed perturbs the
+// minted IDs so concurrent tracers (e.g. client and server side of a
+// bench leg) never collide.
+func NewTracer(sampleN int, seed int64) *Tracer {
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	t := &Tracer{sampleN: uint64(sampleN), seed: uint64(seed), cap: DefaultTraceCap}
+	t.enabled.Store(true)
+	return t
+}
+
+// SetEnabled flips the tracer gate. Disabled tracers never sample and
+// never record.
+func (t *Tracer) SetEnabled(on bool) {
+	if t == nil {
+		return
+	}
+	t.enabled.Store(on)
+}
+
+// Enabled reports the gate. Nil tracers are disabled.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SampleN reports the sampling divisor (0 for a nil tracer).
+func (t *Tracer) SampleN() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.sampleN)
+}
+
+// SetCap bounds the span ring (minimum 1).
+func (t *Tracer) SetCap(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cap = n
+	if len(t.ring) > n {
+		trimmed := make([]SpanRecord, 0, n)
+		for i := len(t.ring) - n; i < len(t.ring); i++ {
+			trimmed = append(trimmed, t.ring[(t.start+i)%len(t.ring)])
+		}
+		t.ring, t.start = trimmed, 0
+	}
+}
+
+// Sample decides whether the next request is traced, minting its trace
+// ID when it is. The decision is a counter modulus (every sampleN'th
+// call traces) and the ID is a seeded mix of the counter — nonzero by
+// construction, so a zero TraceID on the wire always means "untraced".
+// Allocation-free on every path; nil-safe.
+func (t *Tracer) Sample() (TraceID, bool) {
+	if t == nil || !t.enabled.Load() {
+		return 0, false
+	}
+	n := t.ctr.Add(1)
+	if n%t.sampleN != 0 {
+		return 0, false
+	}
+	id := mix64(n ^ t.seed ^ 0x9e3779b97f4a7c15)
+	if id == 0 {
+		id = 1
+	}
+	return TraceID(id), true
+}
+
+// mix64 is SplitMix64's finalizer: a cheap, well-distributed 64-bit
+// permutation (no allocation, no global state).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// TraceID is a 64-bit trace identity, rendered as fixed-width hex in
+// JSON (the form logs and the /traces surface show).
+type TraceID uint64
+
+// String formats the ID the way ops surfaces and slow-epoch log events
+// show it.
+func (id TraceID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// MarshalJSON renders the ID as a hex string.
+func (id TraceID) MarshalJSON() ([]byte, error) {
+	return json.Marshal(id.String())
+}
+
+// UnmarshalJSON accepts the hex-string form (and a bare number, for
+// hand-written fixtures).
+func (id *TraceID) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		_, serr := fmt.Sscanf(s, "%x", (*uint64)(id))
+		return serr
+	}
+	return json.Unmarshal(b, (*uint64)(id))
+}
+
+// SpanRecord is one process-local segment of a traced request's path.
+// Spans sharing a TraceID across the client's and the server's rings
+// are one end-to-end trace.
+type SpanRecord struct {
+	TraceID TraceID   `json:"trace_id"`
+	Name    string    `json:"name"`             // "client.publish", "server.apply", "wal.fsync", ...
+	Tenant  string    `json:"tenant,omitempty"` // tenant the span ran under
+	Detail  string    `json:"detail,omitempty"` // receptor ID, stream name, stage note
+	Epoch   int64     `json:"epoch,omitempty"`  // punctuation boundary (UnixNano) the span belongs to
+	Start   time.Time `json:"start"`
+	DurNs   int64     `json:"dur_ns"`
+	In      int64     `json:"in,omitempty"`  // tuples entering the span
+	Out     int64     `json:"out,omitempty"` // tuples leaving the span
+}
+
+// Record stores one span. Zero-ID spans (untraced requests) are
+// dropped before any locking; nil-safe.
+func (t *Tracer) Record(s SpanRecord) {
+	if t == nil || s.TraceID == 0 || !t.enabled.Load() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.start] = s
+		t.start = (t.start + 1) % len(t.ring)
+	}
+}
+
+// Len reports how many spans the ring holds.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Spans snapshots the ring, oldest first.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.ring))
+	for i := range t.ring {
+		out[i] = t.ring[(t.start+i)%len(t.ring)]
+	}
+	return out
+}
+
+// ByTrace groups the ring's spans by trace ID, preserving record order
+// within each trace — the /traces surface's shape.
+func (t *Tracer) ByTrace() map[TraceID][]SpanRecord {
+	spans := t.Spans()
+	out := make(map[TraceID][]SpanRecord)
+	for _, s := range spans {
+		out[s.TraceID] = append(out[s.TraceID], s)
+	}
+	return out
+}
+
+// DumpJSON writes the recorded spans as an indented JSON array (oldest
+// first) — the /traces response body.
+func (t *Tracer) DumpJSON(w io.Writer) error {
+	spans := t.Spans()
+	if spans == nil {
+		spans = []SpanRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spans)
+}

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerSampleDeterministic(t *testing.T) {
+	a := NewTracer(4, 7)
+	b := NewTracer(4, 7)
+	var idsA, idsB []TraceID
+	for i := 0; i < 64; i++ {
+		if id, ok := a.Sample(); ok {
+			idsA = append(idsA, id)
+		}
+		if id, ok := b.Sample(); ok {
+			idsB = append(idsB, id)
+		}
+	}
+	if len(idsA) != 16 {
+		t.Fatalf("sampleN=4 over 64 calls minted %d traces, want 16", len(idsA))
+	}
+	for i := range idsA {
+		if idsA[i] != idsB[i] {
+			t.Fatalf("same (sampleN, seed) minted different IDs: %v vs %v", idsA[i], idsB[i])
+		}
+		if idsA[i] == 0 {
+			t.Fatal("minted trace ID must be nonzero")
+		}
+	}
+	// A different seed mints different IDs for the same positions.
+	c := NewTracer(4, 8)
+	for i := 0; i < 4; i++ {
+		c.Sample()
+	}
+	if id, ok := c.Sample(); ok && len(idsA) > 0 && id == idsA[0] {
+		t.Fatal("different seeds minted the same trace ID")
+	}
+}
+
+func TestTracerRingAndGrouping(t *testing.T) {
+	tr := NewTracer(1, 1)
+	tr.SetCap(4)
+	for i := 0; i < 6; i++ {
+		id, ok := tr.Sample()
+		if !ok {
+			t.Fatal("sampleN=1 must sample every call")
+		}
+		tr.Record(SpanRecord{TraceID: id, Name: "client.publish", Start: time.Unix(0, int64(i))})
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want cap 4", len(spans))
+	}
+	// Oldest first: the two earliest records were evicted.
+	if spans[0].Start.UnixNano() != 2 || spans[3].Start.UnixNano() != 5 {
+		t.Fatalf("ring order wrong: %+v", spans)
+	}
+	by := tr.ByTrace()
+	if len(by) != 4 {
+		t.Fatalf("ByTrace groups = %d, want 4 distinct traces", len(by))
+	}
+
+	// Zero-ID spans (untraced requests) must be dropped.
+	tr.Record(SpanRecord{TraceID: 0, Name: "noise"})
+	if tr.Len() != 4 {
+		t.Fatal("zero-ID span was recorded")
+	}
+}
+
+func TestTracerDisabledZeroAlloc(t *testing.T) {
+	var nilT *Tracer
+	off := NewTracer(1, 1)
+	off.SetEnabled(false)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := nilT.Sample(); ok {
+			t.Error("nil tracer sampled")
+		}
+		if _, ok := off.Sample(); ok {
+			t.Error("disabled tracer sampled")
+		}
+		nilT.Record(SpanRecord{TraceID: 1})
+		off.Record(SpanRecord{TraceID: 1})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing path allocates %v times per op, want 0", allocs)
+	}
+	if off.Len() != 0 {
+		t.Fatal("disabled tracer recorded a span")
+	}
+}
+
+func TestTraceIDJSON(t *testing.T) {
+	s := SpanRecord{TraceID: 0xdeadbeef, Name: "wal.fsync", DurNs: 5}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"trace_id":"00000000deadbeef"`) {
+		t.Fatalf("trace ID not hex in JSON: %s", b)
+	}
+	var back SpanRecord
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceID != s.TraceID {
+		t.Fatalf("trace ID round trip: %v vs %v", back.TraceID, s.TraceID)
+	}
+}
+
+func TestTracerDumpJSON(t *testing.T) {
+	tr := NewTracer(1, 3)
+	id, _ := tr.Sample()
+	tr.Record(SpanRecord{TraceID: id, Name: "server.apply", Tenant: "lab", In: 3})
+	var b strings.Builder
+	if err := tr.DumpJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var spans []SpanRecord
+	if err := json.Unmarshal([]byte(b.String()), &spans); err != nil {
+		t.Fatalf("dump not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(spans) != 1 || spans[0].Name != "server.apply" || spans[0].TraceID != id {
+		t.Fatalf("dump = %+v", spans)
+	}
+}

@@ -39,6 +39,11 @@ type Options struct {
 	// Registry, when non-nil, receives the wal_* counters and the
 	// fsync latency histogram.
 	Registry *telemetry.Registry
+	// OnFsync, when non-nil, is called after each commit-barrier
+	// fdatasync with its duration — the hook the serving layer uses to
+	// attribute fsync time to a traced request. Never called under
+	// NoSync. Runs on the committing goroutine; keep it cheap.
+	OnFsync func(time.Duration)
 }
 
 // Log is one producer's journal + archive + catalog. Journal is safe
@@ -49,6 +54,7 @@ type Log struct {
 	dir      string
 	segBytes int64
 	noSync   bool
+	onFsync  func(time.Duration)
 
 	// telemetry (nil-safe when no registry was given)
 	mRecords   *telemetry.Counter
@@ -184,6 +190,7 @@ func Open(opts Options) (*Log, *Recovery, error) {
 		dir:      opts.Dir,
 		segBytes: opts.SegmentBytes,
 		noSync:   opts.NoSync,
+		onFsync:  opts.OnFsync,
 		last:     js.rec.Last,
 		hasLast:  js.good.seq > 0,
 		archived: as.through,
@@ -296,7 +303,11 @@ func (l *Log) Commit(epoch time.Time, outputs map[string][]stream.Tuple) error {
 		if err := l.journal.sync(); err != nil {
 			return err
 		}
-		l.mFsync.Observe(time.Since(t0))
+		d := time.Since(t0)
+		l.mFsync.Observe(d)
+		if l.onFsync != nil {
+			l.onFsync(d)
+		}
 	}
 	l.last, l.hasLast = epoch, true
 	l.archived, l.hasArch = epoch, true

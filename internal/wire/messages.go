@@ -126,29 +126,39 @@ func DecodeCreate(f Frame) (Create, error) {
 
 // Publish delivers a batch of raw readings for one receptor channel.
 // Seq identifies the frame for its Ack.
+//
+// TraceID, when non-zero, marks the request as traced: the server
+// propagates the ID through apply, commit, and delivery so one request
+// is observable end to end. It rides as optional trailing bytes, so an
+// untraced publish is byte-compatible with the pre-tracing protocol.
 type Publish struct {
 	Receptor string         `json:"receptor"`
 	Seq      uint64         `json:"seq"`
 	Tuples   []stream.Tuple `json:"-"`
+	TraceID  uint64         `json:"trace_id,omitempty"`
 }
 
 type jsonPublish struct {
 	Receptor string      `json:"receptor"`
 	Seq      uint64      `json:"seq"`
 	Tuples   []jsonTuple `json:"tuples"`
+	TraceID  uint64      `json:"trace_id,omitempty"`
 }
 
-// Frame encodes the message binary.
+// Frame encodes the message binary. TraceID is appended only when set.
 func (m Publish) Frame() Frame {
 	p := appendString(nil, m.Receptor)
 	p = binary.BigEndian.AppendUint64(p, m.Seq)
 	p = AppendTuples(p, m.Tuples)
+	if m.TraceID != 0 {
+		p = binary.BigEndian.AppendUint64(p, m.TraceID)
+	}
 	return Frame{Type: TypePublish, Payload: p}
 }
 
 // FrameJSON encodes the message with the JSON debug fallback.
 func (m Publish) FrameJSON() Frame {
-	b, _ := json.Marshal(jsonPublish{Receptor: m.Receptor, Seq: m.Seq, Tuples: toJSONTuples(m.Tuples)})
+	b, _ := json.Marshal(jsonPublish{Receptor: m.Receptor, Seq: m.Seq, Tuples: toJSONTuples(m.Tuples), TraceID: m.TraceID})
 	return Frame{Type: TypePublish, Flags: FlagJSON, Payload: b}
 }
 
@@ -164,7 +174,7 @@ func DecodePublish(f Frame) (Publish, error) {
 		if err != nil {
 			return m, err
 		}
-		return Publish{Receptor: jm.Receptor, Seq: jm.Seq, Tuples: ts}, nil
+		return Publish{Receptor: jm.Receptor, Seq: jm.Seq, Tuples: ts, TraceID: jm.TraceID}, nil
 	}
 	r, w, err := decodeString(f.Payload)
 	if err != nil {
@@ -175,26 +185,38 @@ func DecodePublish(f Frame) (Publish, error) {
 		return m, ErrShort
 	}
 	seq := binary.BigEndian.Uint64(rest)
-	ts, _, err := DecodeTuples(rest[8:])
+	ts, n, err := DecodeTuples(rest[8:])
 	if err != nil {
 		return m, err
 	}
-	return Publish{Receptor: r, Seq: seq, Tuples: ts}, nil
+	var trace uint64
+	if tail := rest[8+n:]; len(tail) >= 8 {
+		trace = binary.BigEndian.Uint64(tail)
+	}
+	return Publish{Receptor: r, Seq: seq, Tuples: ts, TraceID: trace}, nil
 }
 
 // Advance drives the tenant's epoch clock to Now (UnixNano): the server
 // punctuates every granule boundary up to and including it. Seq
 // identifies the frame for its Ack, which is sent only after every
 // boundary has committed — the client-visible epoch barrier.
+//
+// TraceID, when non-zero, traces the epoch step this advance triggers
+// (see Publish.TraceID). Optional trailing bytes, byte-compatible with
+// the pre-tracing protocol when unset.
 type Advance struct {
-	Seq uint64 `json:"seq"`
-	Now int64  `json:"now"`
+	Seq     uint64 `json:"seq"`
+	Now     int64  `json:"now"`
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
-// Frame encodes the message binary.
+// Frame encodes the message binary. TraceID is appended only when set.
 func (m Advance) Frame() Frame {
 	p := binary.BigEndian.AppendUint64(nil, m.Seq)
 	p = binary.BigEndian.AppendUint64(p, uint64(m.Now))
+	if m.TraceID != 0 {
+		p = binary.BigEndian.AppendUint64(p, m.TraceID)
+	}
 	return Frame{Type: TypeAdvance, Payload: p}
 }
 
@@ -209,6 +231,9 @@ func DecodeAdvance(f Frame) (Advance, error) {
 	}
 	m.Seq = binary.BigEndian.Uint64(f.Payload)
 	m.Now = int64(binary.BigEndian.Uint64(f.Payload[8:]))
+	if len(f.Payload) >= 24 {
+		m.TraceID = binary.BigEndian.Uint64(f.Payload[16:])
+	}
 	return m, nil
 }
 
@@ -266,29 +291,40 @@ func DecodeSubscribe(f Frame) (Subscribe, error) {
 // Data carries one epoch's cleaned output tuples for a subscribed
 // stream. Epoch is the punctuation boundary (UnixNano) that released
 // them.
+//
+// TraceID, when non-zero, is the exemplar trace for the epoch that
+// produced this frame — the ID of a traced publish (or advance) that
+// fed the commit — closing the loop from client publish to subscriber
+// delivery. Optional trailing bytes, byte-compatible with the
+// pre-tracing protocol when unset.
 type Data struct {
-	Stream string         `json:"stream"`
-	Epoch  int64          `json:"epoch"`
-	Tuples []stream.Tuple `json:"-"`
+	Stream  string         `json:"stream"`
+	Epoch   int64          `json:"epoch"`
+	Tuples  []stream.Tuple `json:"-"`
+	TraceID uint64         `json:"trace_id,omitempty"`
 }
 
 type jsonData struct {
-	Stream string      `json:"stream"`
-	Epoch  int64       `json:"epoch"`
-	Tuples []jsonTuple `json:"tuples"`
+	Stream  string      `json:"stream"`
+	Epoch   int64       `json:"epoch"`
+	Tuples  []jsonTuple `json:"tuples"`
+	TraceID uint64      `json:"trace_id,omitempty"`
 }
 
-// Frame encodes the message binary.
+// Frame encodes the message binary. TraceID is appended only when set.
 func (m Data) Frame() Frame {
 	p := appendString(nil, m.Stream)
 	p = binary.BigEndian.AppendUint64(p, uint64(m.Epoch))
 	p = AppendTuples(p, m.Tuples)
+	if m.TraceID != 0 {
+		p = binary.BigEndian.AppendUint64(p, m.TraceID)
+	}
 	return Frame{Type: TypeData, Payload: p}
 }
 
 // FrameJSON encodes the message with the JSON debug fallback.
 func (m Data) FrameJSON() Frame {
-	b, _ := json.Marshal(jsonData{Stream: m.Stream, Epoch: m.Epoch, Tuples: toJSONTuples(m.Tuples)})
+	b, _ := json.Marshal(jsonData{Stream: m.Stream, Epoch: m.Epoch, Tuples: toJSONTuples(m.Tuples), TraceID: m.TraceID})
 	return Frame{Type: TypeData, Flags: FlagJSON, Payload: b}
 }
 
@@ -304,7 +340,7 @@ func DecodeData(f Frame) (Data, error) {
 		if err != nil {
 			return m, err
 		}
-		return Data{Stream: jm.Stream, Epoch: jm.Epoch, Tuples: ts}, nil
+		return Data{Stream: jm.Stream, Epoch: jm.Epoch, Tuples: ts, TraceID: jm.TraceID}, nil
 	}
 	s, w, err := decodeString(f.Payload)
 	if err != nil {
@@ -315,11 +351,15 @@ func DecodeData(f Frame) (Data, error) {
 		return m, ErrShort
 	}
 	epoch := int64(binary.BigEndian.Uint64(rest))
-	ts, _, err := DecodeTuples(rest[8:])
+	ts, n, err := DecodeTuples(rest[8:])
 	if err != nil {
 		return m, err
 	}
-	return Data{Stream: s, Epoch: epoch, Tuples: ts}, nil
+	var trace uint64
+	if tail := rest[8+n:]; len(tail) >= 8 {
+		trace = binary.BigEndian.Uint64(tail)
+	}
+	return Data{Stream: s, Epoch: epoch, Tuples: ts, TraceID: trace}, nil
 }
 
 // Ack acknowledges a Publish or Advance. Pending/Cap report the

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"io"
@@ -228,4 +229,72 @@ func TestDecodeTuplesHostileCounts(t *testing.T) {
 	if _, _, err := decodeTuple(enc[:len(enc)-3]); err == nil {
 		t.Fatal("truncated string decoded")
 	}
+}
+
+// TestTraceFieldRoundTrips covers the trace-context extension: publish,
+// advance, and data frames carry an optional trailing trace ID in both
+// encodings, and the untraced forms stay byte-compatible with the
+// pre-tracing protocol.
+func TestTraceFieldRoundTrips(t *testing.T) {
+	pub := Publish{Receptor: "mote-17", Seq: 9, Tuples: sampleTuples(), TraceID: 0xfeedface}
+	for name, f := range map[string]Frame{"binary": pub.Frame(), "json": pub.FrameJSON()} {
+		got, err := DecodePublish(f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.TraceID != pub.TraceID || got.Receptor != pub.Receptor || got.Seq != pub.Seq || !reflect.DeepEqual(got.Tuples, pub.Tuples) {
+			t.Fatalf("%s traced publish mismatch: %+v", name, got)
+		}
+	}
+
+	adv := Advance{Seq: 3, Now: 123456789, TraceID: 0xabc}
+	if got, err := DecodeAdvance(adv.Frame()); err != nil || got != adv {
+		t.Fatalf("traced advance: %+v, %v", got, err)
+	}
+
+	data := Data{Stream: "rfid", Epoch: 777, Tuples: sampleTuples(), TraceID: 0xdead}
+	for name, f := range map[string]Frame{"binary": data.Frame(), "json": data.FrameJSON()} {
+		got, err := DecodeData(f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.TraceID != data.TraceID || got.Stream != data.Stream || got.Epoch != data.Epoch || !reflect.DeepEqual(got.Tuples, data.Tuples) {
+			t.Fatalf("%s traced data mismatch: %+v", name, got)
+		}
+	}
+
+	// Untraced frames encode exactly as the pre-tracing protocol did:
+	// nothing trailing.
+	plainPub := Publish{Receptor: "r0", Seq: 1, Tuples: sampleTuples()}
+	want := appendString(nil, "r0")
+	want = binary.BigEndian.AppendUint64(want, 1)
+	want = AppendTuples(want, plainPub.Tuples)
+	if !bytes.Equal(plainPub.Frame().Payload, want) {
+		t.Error("untraced publish payload not byte-compatible with pre-tracing encoding")
+	}
+	plainAdv := Advance{Seq: 2, Now: 99}
+	if n := len(plainAdv.Frame().Payload); n != 16 {
+		t.Errorf("untraced advance payload = %d bytes, want 16", n)
+	}
+	plainData := Data{Stream: "s", Epoch: 5, Tuples: nil}
+	wantData := appendString(nil, "s")
+	wantData = binary.BigEndian.AppendUint64(wantData, 5)
+	wantData = AppendTuples(wantData, nil)
+	if !bytes.Equal(plainData.Frame().Payload, wantData) {
+		t.Error("untraced data payload not byte-compatible with pre-tracing encoding")
+	}
+
+	// A traced frame's payload is the untraced payload plus exactly
+	// eight trailing bytes — the shape an old decoder would skip.
+	traced := pub.Frame().Payload
+	untraced := plain2(pub).Frame().Payload
+	if len(traced) != len(untraced)+8 || !bytes.Equal(traced[:len(untraced)], untraced) {
+		t.Fatal("trace suffix is not a pure trailing extension")
+	}
+}
+
+// plain2 strips the trace ID — the view an untraced consumer keeps.
+func plain2(p Publish) Publish {
+	p.TraceID = 0
+	return p
 }
